@@ -1,0 +1,235 @@
+//! The bean abstraction: properties, methods, events, resource claims,
+//! validation findings.
+
+use crate::catalog::{
+    AdcBean, BitIoBean, FreeCntrBean, PwmBean, QuadDecBean, SerialBean, TimerIntBean,
+};
+use crate::property::{PropertySpec, PropertyValue};
+use peert_mcu::McuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Severity of a validation finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// Design cannot be generated.
+    Error,
+    /// Design generates but deserves attention (e.g. rate rounded).
+    Warning,
+}
+
+/// One validation finding from the expert system.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Severity.
+    pub severity: Severity,
+    /// Bean instance name the finding concerns.
+    pub bean: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Finding {
+    /// An error finding.
+    pub fn error(bean: &str, message: impl Into<String>) -> Self {
+        Finding { severity: Severity::Error, bean: bean.into(), message: message.into() }
+    }
+
+    /// A warning finding.
+    pub fn warning(bean: &str, message: impl Into<String>) -> Self {
+        Finding { severity: Severity::Warning, bean: bean.into(), message: message.into() }
+    }
+}
+
+/// A method of the bean's uniform API (what generated code may call).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MethodSpec {
+    /// Method name, e.g. `"Measure"`.
+    pub name: &'static str,
+    /// Whether code generation for this method is enabled. PEERT's hook
+    /// file "enables the code generation for methods used in the
+    /// corresponding tlc file" (§5).
+    pub enabled: bool,
+}
+
+/// An event the bean can raise (maps to a hardware interrupt).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventSpec {
+    /// Event name, e.g. `"OnEnd"`.
+    pub name: &'static str,
+    /// Whether a handler (function-call subsystem / ISR) is attached.
+    pub handled: bool,
+}
+
+/// Kinds of on-chip resources beans compete for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// A general-purpose timer channel.
+    TimerChannel,
+    /// An ADC module.
+    AdcModule,
+    /// A PWM generator.
+    PwmGenerator,
+    /// A GPIO pin (port, pin) — encoded in `detail`.
+    Pin,
+    /// A quadrature decoder module.
+    QuadDecoder,
+    /// An SCI (UART) module.
+    SciModule,
+}
+
+/// A claim on one resource instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceClaim {
+    /// What kind of resource.
+    pub kind: ResourceKind,
+    /// Preferred instance (None = any free one; the expert system
+    /// allocates). For pins this is `port * 100 + pin` and mandatory.
+    pub instance: Option<usize>,
+}
+
+/// One configured bean instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bean {
+    /// Instance name (matches the Simulink block name under PEERT sync).
+    pub name: String,
+    /// The typed configuration.
+    pub config: BeanConfig,
+}
+
+/// The bean catalog as a closed sum — the subset of Processor Expert's
+/// bean library that the PE block set exposes (§5: "Timers, ADC, PWM,
+/// PortIO, Quadrature Decoder etc.").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum BeanConfig {
+    /// Periodic timer interrupt.
+    TimerInt(TimerIntBean),
+    /// A/D converter channel.
+    Adc(AdcBean),
+    /// PWM generator.
+    Pwm(PwmBean),
+    /// Single-pin digital I/O.
+    BitIo(BitIoBean),
+    /// Quadrature decoder.
+    QuadDec(QuadDecBean),
+    /// Asynchronous serial (SCI / RS-232).
+    Serial(SerialBean),
+    /// Free-running counter (timestamping).
+    FreeCntr(FreeCntrBean),
+}
+
+impl BeanConfig {
+    /// Bean type name (the PE library name).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            BeanConfig::TimerInt(_) => "TimerInt",
+            BeanConfig::Adc(_) => "ADC",
+            BeanConfig::Pwm(_) => "PWM",
+            BeanConfig::BitIo(_) => "BitIO",
+            BeanConfig::QuadDec(_) => "QuadDecoder",
+            BeanConfig::Serial(_) => "AsynchroSerial",
+            BeanConfig::FreeCntr(_) => "FreeCntr",
+        }
+    }
+
+    /// The Inspector's property rows.
+    pub fn properties(&self) -> Vec<PropertySpec> {
+        match self {
+            BeanConfig::TimerInt(b) => b.properties(),
+            BeanConfig::Adc(b) => b.properties(),
+            BeanConfig::Pwm(b) => b.properties(),
+            BeanConfig::BitIo(b) => b.properties(),
+            BeanConfig::QuadDec(b) => b.properties(),
+            BeanConfig::Serial(b) => b.properties(),
+            BeanConfig::FreeCntr(b) => b.properties(),
+        }
+    }
+
+    /// Set a property by name (immediately constraint-checked).
+    pub fn set_property(&mut self, key: &str, value: PropertyValue) -> Result<(), String> {
+        match self {
+            BeanConfig::TimerInt(b) => b.set_property(key, value),
+            BeanConfig::Adc(b) => b.set_property(key, value),
+            BeanConfig::Pwm(b) => b.set_property(key, value),
+            BeanConfig::BitIo(b) => b.set_property(key, value),
+            BeanConfig::QuadDec(b) => b.set_property(key, value),
+            BeanConfig::Serial(b) => b.set_property(key, value),
+            BeanConfig::FreeCntr(b) => b.set_property(key, value),
+        }
+    }
+
+    /// Validate against a target MCU (per-bean part of the expert system).
+    pub fn validate(&self, name: &str, spec: &McuSpec) -> Vec<Finding> {
+        match self {
+            BeanConfig::TimerInt(b) => b.validate(name, spec),
+            BeanConfig::Adc(b) => b.validate(name, spec),
+            BeanConfig::Pwm(b) => b.validate(name, spec),
+            BeanConfig::BitIo(b) => b.validate(name, spec),
+            BeanConfig::QuadDec(b) => b.validate(name, spec),
+            BeanConfig::Serial(b) => b.validate(name, spec),
+            BeanConfig::FreeCntr(b) => b.validate(name, spec),
+        }
+    }
+
+    /// The uniform API methods.
+    pub fn methods(&self) -> Vec<MethodSpec> {
+        match self {
+            BeanConfig::TimerInt(b) => b.methods(),
+            BeanConfig::Adc(b) => b.methods(),
+            BeanConfig::Pwm(b) => b.methods(),
+            BeanConfig::BitIo(b) => b.methods(),
+            BeanConfig::QuadDec(b) => b.methods(),
+            BeanConfig::Serial(b) => b.methods(),
+            BeanConfig::FreeCntr(b) => b.methods(),
+        }
+    }
+
+    /// The events the bean can raise.
+    pub fn events(&self) -> Vec<EventSpec> {
+        match self {
+            BeanConfig::TimerInt(b) => b.events(),
+            BeanConfig::Adc(b) => b.events(),
+            BeanConfig::Pwm(b) => b.events(),
+            BeanConfig::BitIo(b) => b.events(),
+            BeanConfig::QuadDec(b) => b.events(),
+            BeanConfig::Serial(b) => b.events(),
+            BeanConfig::FreeCntr(b) => b.events(),
+        }
+    }
+
+    /// Resource claims for the allocator.
+    pub fn claims(&self) -> Vec<ResourceClaim> {
+        match self {
+            BeanConfig::TimerInt(b) => b.claims(),
+            BeanConfig::Adc(b) => b.claims(),
+            BeanConfig::Pwm(b) => b.claims(),
+            BeanConfig::BitIo(b) => b.claims(),
+            BeanConfig::QuadDec(b) => b.claims(),
+            BeanConfig::Serial(b) => b.claims(),
+            BeanConfig::FreeCntr(b) => b.claims(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TimerIntBean;
+
+    #[test]
+    fn finding_constructors() {
+        let e = Finding::error("TI1", "boom");
+        assert_eq!(e.severity, Severity::Error);
+        let w = Finding::warning("TI1", "meh");
+        assert_eq!(w.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn config_delegates_type_name() {
+        let b = BeanConfig::TimerInt(TimerIntBean::new(1e-3));
+        assert_eq!(b.type_name(), "TimerInt");
+        assert!(!b.properties().is_empty());
+        assert!(!b.methods().is_empty());
+        assert!(!b.events().is_empty());
+        assert!(!b.claims().is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! ADC bean — the paper's running example of high-level peripheral
+//! configuration (§1): "He only specifies the fundamental parameters
+//! (e.g. the resolution of ADC, the input pin, the conversion time, the
+//! mode of operation) and selects high level methods and events to access
+//! the peripheral (e.g. Measure, GetValue)."
+
+use crate::bean::{EventSpec, Finding, MethodSpec, ResourceClaim, ResourceKind};
+use crate::property::{PropertyConstraint, PropertySpec, PropertyValue};
+use peert_mcu::peripherals::adc::{AdcMode, MAX_CHANNELS};
+use peert_mcu::McuSpec;
+use serde::{Deserialize, Serialize};
+
+/// The ADC bean.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdcBean {
+    /// Requested resolution in bits.
+    pub resolution_bits: u8,
+    /// Input channel (the "input pin").
+    pub channel: usize,
+    /// Mode of operation.
+    pub continuous: bool,
+    /// Low reference voltage.
+    pub vref_low: f64,
+    /// High reference voltage.
+    pub vref_high: f64,
+    /// Whether the end-of-conversion event raises an interrupt.
+    pub eoc_interrupt: bool,
+    /// Resolved conversion time in bus cycles (from the MCU knowledge base).
+    pub resolved_conversion_cycles: Option<u64>,
+}
+
+impl AdcBean {
+    /// 12-bit single-shot bean on channel 0, 0..3.3 V.
+    pub fn new(resolution_bits: u8, channel: usize) -> Self {
+        AdcBean {
+            resolution_bits,
+            channel,
+            continuous: false,
+            vref_low: 0.0,
+            vref_high: 3.3,
+            eoc_interrupt: false,
+            resolved_conversion_cycles: None,
+        }
+    }
+
+    /// Inspector rows.
+    pub fn properties(&self) -> Vec<PropertySpec> {
+        vec![
+            PropertySpec::new(
+                "resolution [bits]",
+                PropertyValue::Int(self.resolution_bits as i64),
+                PropertyConstraint::IntRange { min: 1, max: 16 },
+            ),
+            PropertySpec::new(
+                "channel",
+                PropertyValue::Int(self.channel as i64),
+                PropertyConstraint::IntRange { min: 0, max: MAX_CHANNELS as i64 - 1 },
+            ),
+            PropertySpec::new(
+                "mode of operation",
+                PropertyValue::Choice(if self.continuous { "Continuous" } else { "Single" }.into()),
+                PropertyConstraint::OneOf(vec!["Single".into(), "Continuous".into()]),
+            ),
+            PropertySpec::new(
+                "Vref low [V]",
+                PropertyValue::Float(self.vref_low),
+                PropertyConstraint::FloatRange { min: -10.0, max: 10.0 },
+            ),
+            PropertySpec::new(
+                "Vref high [V]",
+                PropertyValue::Float(self.vref_high),
+                PropertyConstraint::FloatRange { min: -10.0, max: 10.0 },
+            ),
+            PropertySpec::new(
+                "end-of-conversion interrupt",
+                PropertyValue::Bool(self.eoc_interrupt),
+                PropertyConstraint::AnyBool,
+            ),
+        ]
+    }
+
+    /// Inspector edit.
+    pub fn set_property(&mut self, key: &str, value: PropertyValue) -> Result<(), String> {
+        match key {
+            "resolution [bits]" => {
+                PropertyConstraint::IntRange { min: 1, max: 16 }.check(&value)?;
+                self.resolution_bits = value.as_int().unwrap() as u8;
+            }
+            "channel" => {
+                PropertyConstraint::IntRange { min: 0, max: MAX_CHANNELS as i64 - 1 }.check(&value)?;
+                self.channel = value.as_int().unwrap() as usize;
+            }
+            "mode of operation" => {
+                PropertyConstraint::OneOf(vec!["Single".into(), "Continuous".into()]).check(&value)?;
+                self.continuous = value.as_str() == Some("Continuous");
+            }
+            "Vref low [V]" => {
+                PropertyConstraint::FloatRange { min: -10.0, max: 10.0 }.check(&value)?;
+                self.vref_low = value.as_float().unwrap();
+            }
+            "Vref high [V]" => {
+                PropertyConstraint::FloatRange { min: -10.0, max: 10.0 }.check(&value)?;
+                self.vref_high = value.as_float().unwrap();
+            }
+            "end-of-conversion interrupt" => {
+                PropertyConstraint::AnyBool.check(&value)?;
+                self.eoc_interrupt = value.as_bool().unwrap();
+            }
+            other => return Err(format!("ADC has no property '{other}'")),
+        }
+        self.resolved_conversion_cycles = None;
+        Ok(())
+    }
+
+    /// Expert-system validation against a target MCU.
+    pub fn validate(&self, name: &str, spec: &McuSpec) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        if !spec.adc.resolutions.contains(&self.resolution_bits) {
+            findings.push(Finding::error(
+                name,
+                format!(
+                    "{} bits not supported by the {} converter (supported: {:?})",
+                    self.resolution_bits, spec.name, spec.adc.resolutions
+                ),
+            ));
+        }
+        if self.channel >= MAX_CHANNELS {
+            findings.push(Finding::error(name, format!("channel {} out of range", self.channel)));
+        }
+        if self.vref_high <= self.vref_low {
+            findings.push(Finding::error(name, "reference voltage range is empty"));
+        }
+        findings
+    }
+
+    /// Resolve the conversion time from the knowledge base.
+    pub fn resolve(&mut self, spec: &McuSpec) -> Result<u64, String> {
+        if !spec.adc.resolutions.contains(&self.resolution_bits) {
+            return Err(format!("{} bits unsupported on {}", self.resolution_bits, spec.name));
+        }
+        self.resolved_conversion_cycles = Some(spec.adc.conversion_cycles);
+        Ok(spec.adc.conversion_cycles)
+    }
+
+    /// Uniform API methods.
+    pub fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec { name: "Measure", enabled: true },
+            MethodSpec { name: "GetValue", enabled: true },
+            MethodSpec { name: "EnableEvent", enabled: self.eoc_interrupt },
+        ]
+    }
+
+    /// Events.
+    pub fn events(&self) -> Vec<EventSpec> {
+        vec![EventSpec { name: "OnEnd", handled: self.eoc_interrupt }]
+    }
+
+    /// Resource claims.
+    pub fn claims(&self) -> Vec<ResourceClaim> {
+        vec![ResourceClaim { kind: ResourceKind::AdcModule, instance: None }]
+    }
+
+    /// Configure mode enum for the simulator peripheral.
+    pub fn mode(&self) -> AdcMode {
+        if self.continuous {
+            AdcMode::Continuous
+        } else {
+            AdcMode::Single
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bean::Severity;
+    use peert_mcu::McuCatalog;
+
+    fn spec(name: &str) -> McuSpec {
+        McuCatalog::standard().find(name).unwrap().clone()
+    }
+
+    #[test]
+    fn twelve_bits_ok_on_mc56f() {
+        let b = AdcBean::new(12, 0);
+        assert!(b.validate("AD1", &spec("MC56F8367")).is_empty());
+    }
+
+    #[test]
+    fn twelve_bits_rejected_on_hcs12() {
+        // the MC9S12DP256 converter does 8/10 bits only
+        let b = AdcBean::new(12, 0);
+        let f = b.validate("AD1", &spec("MC9S12DP256"));
+        assert!(f.iter().any(|x| x.severity == Severity::Error), "{f:?}");
+    }
+
+    #[test]
+    fn empty_vref_range_is_an_error() {
+        let mut b = AdcBean::new(12, 0);
+        b.vref_low = 3.3;
+        b.vref_high = 0.0;
+        assert!(!b.validate("AD1", &spec("MC56F8367")).is_empty());
+    }
+
+    #[test]
+    fn resolve_pulls_conversion_time_from_knowledge_base() {
+        let mut b = AdcBean::new(12, 0);
+        let cycles = b.resolve(&spec("MC56F8367")).unwrap();
+        assert_eq!(cycles, 102);
+        assert!(b.resolve(&spec("MC9S12DP256")).is_err());
+    }
+
+    #[test]
+    fn mode_property_switches_single_continuous() {
+        let mut b = AdcBean::new(12, 0);
+        b.set_property("mode of operation", PropertyValue::Choice("Continuous".into())).unwrap();
+        assert_eq!(b.mode(), AdcMode::Continuous);
+        assert!(b
+            .set_property("mode of operation", PropertyValue::Choice("Burst".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn measure_and_getvalue_are_the_enabled_methods() {
+        let b = AdcBean::new(12, 0);
+        let names: Vec<_> = b.methods().iter().filter(|m| m.enabled).map(|m| m.name).collect();
+        assert!(names.contains(&"Measure"));
+        assert!(names.contains(&"GetValue"));
+    }
+
+    #[test]
+    fn eoc_interrupt_marks_the_event_handled() {
+        let mut b = AdcBean::new(12, 0);
+        assert!(!b.events()[0].handled);
+        b.set_property("end-of-conversion interrupt", PropertyValue::Bool(true)).unwrap();
+        assert!(b.events()[0].handled);
+    }
+}

@@ -1,0 +1,251 @@
+//! BitIO bean: single-pin digital input/output — the case study's button
+//! keyboard (§7) and general PortIO (§5).
+
+use crate::bean::{EventSpec, Finding, MethodSpec, ResourceClaim, ResourceKind};
+use crate::property::{PropertyConstraint, PropertySpec, PropertyValue};
+use peert_mcu::peripherals::gpio::{EdgeSense, PORT_WIDTH};
+use peert_mcu::McuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Pin direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PinDirection {
+    /// Input pin.
+    Input,
+    /// Output pin.
+    Output,
+}
+
+/// Edge-interrupt selection for input pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PinEdge {
+    /// No interrupt.
+    None,
+    /// Rising edge.
+    Rising,
+    /// Falling edge.
+    Falling,
+    /// Both edges.
+    Both,
+}
+
+impl PinEdge {
+    /// Map to the peripheral's enum.
+    pub fn sense(&self) -> EdgeSense {
+        match self {
+            PinEdge::None => EdgeSense::None,
+            PinEdge::Rising => EdgeSense::Rising,
+            PinEdge::Falling => EdgeSense::Falling,
+            PinEdge::Both => EdgeSense::Both,
+        }
+    }
+
+    fn as_str(&self) -> &'static str {
+        match self {
+            PinEdge::None => "None",
+            PinEdge::Rising => "Rising",
+            PinEdge::Falling => "Falling",
+            PinEdge::Both => "Both",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "None" => PinEdge::None,
+            "Rising" => PinEdge::Rising,
+            "Falling" => PinEdge::Falling,
+            "Both" => PinEdge::Both,
+            _ => return None,
+        })
+    }
+}
+
+/// The BitIO bean.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BitIoBean {
+    /// GPIO port index.
+    pub port: usize,
+    /// Pin within the port.
+    pub pin: usize,
+    /// Direction.
+    pub direction: PinDirection,
+    /// Initial output level (outputs only).
+    pub init_high: bool,
+    /// Edge interrupt (inputs only).
+    pub edge: PinEdge,
+}
+
+impl BitIoBean {
+    /// Input pin without interrupt.
+    pub fn input(port: usize, pin: usize) -> Self {
+        BitIoBean { port, pin, direction: PinDirection::Input, init_high: false, edge: PinEdge::None }
+    }
+
+    /// Output pin, initially low.
+    pub fn output(port: usize, pin: usize) -> Self {
+        BitIoBean { port, pin, direction: PinDirection::Output, init_high: false, edge: PinEdge::None }
+    }
+
+    /// Inspector rows.
+    pub fn properties(&self) -> Vec<PropertySpec> {
+        vec![
+            PropertySpec::new(
+                "port",
+                PropertyValue::Int(self.port as i64),
+                PropertyConstraint::IntRange { min: 0, max: 15 },
+            ),
+            PropertySpec::new(
+                "pin",
+                PropertyValue::Int(self.pin as i64),
+                PropertyConstraint::IntRange { min: 0, max: PORT_WIDTH as i64 - 1 },
+            ),
+            PropertySpec::new(
+                "direction",
+                PropertyValue::Choice(
+                    match self.direction {
+                        PinDirection::Input => "Input",
+                        PinDirection::Output => "Output",
+                    }
+                    .into(),
+                ),
+                PropertyConstraint::OneOf(vec!["Input".into(), "Output".into()]),
+            ),
+            PropertySpec::new(
+                "init value",
+                PropertyValue::Bool(self.init_high),
+                PropertyConstraint::AnyBool,
+            ),
+            PropertySpec::new(
+                "edge interrupt",
+                PropertyValue::Choice(self.edge.as_str().into()),
+                PropertyConstraint::OneOf(
+                    ["None", "Rising", "Falling", "Both"].iter().map(|s| s.to_string()).collect(),
+                ),
+            ),
+        ]
+    }
+
+    /// Inspector edit.
+    pub fn set_property(&mut self, key: &str, value: PropertyValue) -> Result<(), String> {
+        match key {
+            "port" => {
+                PropertyConstraint::IntRange { min: 0, max: 15 }.check(&value)?;
+                self.port = value.as_int().unwrap() as usize;
+            }
+            "pin" => {
+                PropertyConstraint::IntRange { min: 0, max: PORT_WIDTH as i64 - 1 }.check(&value)?;
+                self.pin = value.as_int().unwrap() as usize;
+            }
+            "direction" => {
+                PropertyConstraint::OneOf(vec!["Input".into(), "Output".into()]).check(&value)?;
+                self.direction = if value.as_str() == Some("Output") {
+                    PinDirection::Output
+                } else {
+                    PinDirection::Input
+                };
+            }
+            "init value" => {
+                PropertyConstraint::AnyBool.check(&value)?;
+                self.init_high = value.as_bool().unwrap();
+            }
+            "edge interrupt" => {
+                let s = value.as_str().ok_or("expected a choice")?;
+                self.edge = PinEdge::parse(s).ok_or_else(|| format!("unknown edge '{s}'"))?;
+            }
+            other => return Err(format!("BitIO has no property '{other}'")),
+        }
+        Ok(())
+    }
+
+    /// Expert-system validation against a target MCU.
+    pub fn validate(&self, name: &str, spec: &McuSpec) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        if self.port >= spec.gpio_ports {
+            findings.push(Finding::error(
+                name,
+                format!("{} has only {} GPIO ports", spec.name, spec.gpio_ports),
+            ));
+        }
+        if self.pin >= PORT_WIDTH {
+            findings.push(Finding::error(name, format!("pin {} out of range", self.pin)));
+        }
+        if self.direction == PinDirection::Output && self.edge != PinEdge::None {
+            findings.push(Finding::error(name, "edge interrupts require an input pin"));
+        }
+        findings
+    }
+
+    /// Uniform API methods.
+    pub fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec { name: "GetVal", enabled: true },
+            MethodSpec { name: "PutVal", enabled: self.direction == PinDirection::Output },
+            MethodSpec { name: "NegVal", enabled: self.direction == PinDirection::Output },
+        ]
+    }
+
+    /// Events.
+    pub fn events(&self) -> Vec<EventSpec> {
+        vec![EventSpec { name: "OnEdge", handled: self.edge != PinEdge::None }]
+    }
+
+    /// Resource claims (pins are identified by port*100+pin).
+    pub fn claims(&self) -> Vec<ResourceClaim> {
+        vec![ResourceClaim { kind: ResourceKind::Pin, instance: Some(self.port * 100 + self.pin) }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bean::Severity;
+    use peert_mcu::McuCatalog;
+
+    fn mc56() -> McuSpec {
+        McuCatalog::standard().find("MC56F8367").unwrap().clone()
+    }
+
+    #[test]
+    fn valid_button_pin_passes() {
+        let mut b = BitIoBean::input(0, 3);
+        b.edge = PinEdge::Rising;
+        assert!(b.validate("BTN", &mc56()).is_empty());
+    }
+
+    #[test]
+    fn port_beyond_the_part_is_an_error() {
+        let b = BitIoBean::input(9, 0); // MC56F8367 has 4 ports
+        let f = b.validate("BTN", &mc56());
+        assert!(f.iter().any(|x| x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn edge_interrupt_on_output_is_rejected() {
+        let mut b = BitIoBean::output(0, 0);
+        b.edge = PinEdge::Both;
+        assert!(!b.validate("LED", &mc56()).is_empty());
+    }
+
+    #[test]
+    fn putval_only_enabled_for_outputs() {
+        let inp = BitIoBean::input(0, 0);
+        assert!(!inp.methods().iter().any(|m| m.name == "PutVal" && m.enabled));
+        let out = BitIoBean::output(0, 0);
+        assert!(out.methods().iter().any(|m| m.name == "PutVal" && m.enabled));
+    }
+
+    #[test]
+    fn pin_claim_encodes_port_and_pin() {
+        let b = BitIoBean::input(2, 7);
+        assert_eq!(b.claims()[0].instance, Some(207));
+    }
+
+    #[test]
+    fn edge_property_round_trips() {
+        let mut b = BitIoBean::input(0, 0);
+        b.set_property("edge interrupt", PropertyValue::Choice("Falling".into())).unwrap();
+        assert_eq!(b.edge, PinEdge::Falling);
+        assert_eq!(b.edge.sense(), EdgeSense::Falling);
+        assert!(b.set_property("edge interrupt", PropertyValue::Choice("Sideways".into())).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! FreeCntr bean: a free-running counter read for timestamping — the
+//! remaining member of the §5 block-set list ("Timers, ADC, PWM, PortIO,
+//! Quadrature Decoder etc."). Generated code calls `GetCounterValue` to
+//! timestamp events (e.g. input-capture-style period measurement).
+
+use crate::bean::{EventSpec, Finding, MethodSpec, ResourceClaim, ResourceKind};
+use crate::property::{PropertyConstraint, PropertySpec, PropertyValue};
+use peert_mcu::{Cycles, McuSpec};
+use serde::{Deserialize, Serialize};
+
+/// The FreeCntr bean.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FreeCntrBean {
+    /// Counter prescaler (must be hardware-supported on the target).
+    pub prescaler: u32,
+}
+
+impl FreeCntrBean {
+    /// Counter with the given prescaler.
+    pub fn new(prescaler: u32) -> Self {
+        FreeCntrBean { prescaler }
+    }
+
+    /// Inspector rows.
+    pub fn properties(&self) -> Vec<PropertySpec> {
+        vec![PropertySpec::new(
+            "prescaler",
+            PropertyValue::Int(self.prescaler as i64),
+            PropertyConstraint::IntRange { min: 1, max: 1 << 16 },
+        )]
+    }
+
+    /// Inspector edit.
+    pub fn set_property(&mut self, key: &str, value: PropertyValue) -> Result<(), String> {
+        match key {
+            "prescaler" => {
+                PropertyConstraint::IntRange { min: 1, max: 1 << 16 }.check(&value)?;
+                self.prescaler = value.as_int().unwrap() as u32;
+                Ok(())
+            }
+            other => Err(format!("FreeCntr has no property '{other}'")),
+        }
+    }
+
+    /// Expert-system validation: the prescaler must exist in the target's
+    /// hardware set.
+    pub fn validate(&self, name: &str, spec: &McuSpec) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        if !spec.timers.prescalers.contains(&self.prescaler) {
+            findings.push(Finding::error(
+                name,
+                format!(
+                    "prescaler {} not in the {} hardware set {:?}",
+                    self.prescaler, spec.name, spec.timers.prescalers
+                ),
+            ));
+        }
+        findings
+    }
+
+    /// The counter register value at bus-cycle `now` on a counter of
+    /// `counter_bits` width — the semantics of `GetCounterValue`.
+    pub fn read(&self, now: Cycles, counter_bits: u8) -> u32 {
+        let ticks = now / self.prescaler as Cycles;
+        if counter_bits >= 32 {
+            ticks as u32
+        } else {
+            (ticks % (1u64 << counter_bits)) as u32
+        }
+    }
+
+    /// Tick period in seconds on `spec`.
+    pub fn tick_secs(&self, spec: &McuSpec) -> f64 {
+        self.prescaler as f64 / spec.bus_hz()
+    }
+
+    /// Uniform API methods.
+    pub fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec { name: "GetCounterValue", enabled: true },
+            MethodSpec { name: "Reset", enabled: false },
+        ]
+    }
+
+    /// Events (none — the counter never interrupts).
+    pub fn events(&self) -> Vec<EventSpec> {
+        vec![]
+    }
+
+    /// Resource claims.
+    pub fn claims(&self) -> Vec<ResourceClaim> {
+        vec![ResourceClaim { kind: ResourceKind::TimerChannel, instance: None }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bean::Severity;
+    use peert_mcu::McuCatalog;
+
+    fn mc56() -> McuSpec {
+        McuCatalog::standard().find("MC56F8367").unwrap().clone()
+    }
+
+    #[test]
+    fn hardware_prescalers_pass_others_fail() {
+        assert!(FreeCntrBean::new(8).validate("FC1", &mc56()).is_empty());
+        let f = FreeCntrBean::new(3).validate("FC1", &mc56());
+        assert!(f.iter().any(|x| x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn counter_reads_wrap_at_the_register_width() {
+        let fc = FreeCntrBean::new(4);
+        assert_eq!(fc.read(400, 16), 100);
+        // 16-bit wrap: 4 * 65536 cycles back to zero
+        assert_eq!(fc.read(4 * 65_536, 16), 0);
+        assert_eq!(fc.read(4 * 65_537, 16), 1);
+    }
+
+    #[test]
+    fn tick_period_follows_the_bus_clock() {
+        let fc = FreeCntrBean::new(60);
+        assert!((fc.tick_secs(&mc56()) - 1e-6).abs() < 1e-12, "1 µs ticks at 60 MHz / 60");
+    }
+
+    #[test]
+    fn timestamping_two_events_measures_their_distance() {
+        // the input-capture pattern: delta of two reads × tick time
+        let fc = FreeCntrBean::new(60); // 1 µs ticks
+        let t1 = fc.read(1_200_000, 16); // at 20 ms
+        let t2 = fc.read(1_500_000, 16); // at 25 ms
+        let delta_us = t2.wrapping_sub(t1) & 0xFFFF;
+        assert_eq!(delta_us, 5_000);
+    }
+
+    #[test]
+    fn property_edit_validates() {
+        let mut fc = FreeCntrBean::new(1);
+        assert!(fc.set_property("prescaler", PropertyValue::Int(0)).is_err());
+        assert!(fc.set_property("prescaler", PropertyValue::Int(16)).is_ok());
+        assert_eq!(fc.prescaler, 16);
+    }
+}

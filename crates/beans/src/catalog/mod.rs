@@ -1,0 +1,17 @@
+//! The bean catalog: the PE block set's underlying beans (§5).
+
+pub mod adc;
+pub mod bit_io;
+pub mod free_cntr;
+pub mod pwm;
+pub mod quad_decoder;
+pub mod serial;
+pub mod timer_int;
+
+pub use adc::AdcBean;
+pub use bit_io::{BitIoBean, PinDirection, PinEdge};
+pub use free_cntr::FreeCntrBean;
+pub use pwm::PwmBean;
+pub use quad_decoder::QuadDecBean;
+pub use serial::SerialBean;
+pub use timer_int::TimerIntBean;

@@ -1,0 +1,300 @@
+//! PWM bean: the actuation path of the servo case study (§7).
+
+use crate::bean::{EventSpec, Finding, MethodSpec, ResourceClaim, ResourceKind};
+use crate::property::{PropertyConstraint, PropertySpec, PropertyValue};
+use peert_mcu::peripherals::pwm::PwmAlign;
+use peert_mcu::McuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Resolved hardware setting of a PWM bean.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PwmResolution {
+    /// Carrier prescaler.
+    pub prescaler: u32,
+    /// Period register in counts.
+    pub period_counts: u32,
+    /// Dead-time register in counts.
+    pub dead_time_counts: u32,
+    /// Achieved carrier frequency in Hz.
+    pub achieved_hz: f64,
+}
+
+/// The PWM bean.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PwmBean {
+    /// Requested carrier frequency in Hz.
+    pub freq_hz: f64,
+    /// Requested dead time in seconds (0 = none).
+    pub dead_time_s: f64,
+    /// Center or edge alignment.
+    pub center_aligned: bool,
+    /// Initial duty ratio in `[0, 1]`.
+    pub initial_duty: f64,
+    /// Whether the reload event raises an interrupt.
+    pub reload_interrupt: bool,
+    /// Resolved hardware setting.
+    pub resolved: Option<PwmResolution>,
+}
+
+impl PwmBean {
+    /// Edge-aligned PWM at `freq_hz`, no dead time.
+    pub fn new(freq_hz: f64) -> Self {
+        PwmBean {
+            freq_hz,
+            dead_time_s: 0.0,
+            center_aligned: false,
+            initial_duty: 0.0,
+            reload_interrupt: false,
+            resolved: None,
+        }
+    }
+
+    /// Inspector rows.
+    pub fn properties(&self) -> Vec<PropertySpec> {
+        vec![
+            PropertySpec::new(
+                "carrier frequency [Hz]",
+                PropertyValue::Float(self.freq_hz),
+                PropertyConstraint::FloatRange { min: 1.0, max: 1e7 },
+            ),
+            PropertySpec::new(
+                "dead time [s]",
+                PropertyValue::Float(self.dead_time_s),
+                PropertyConstraint::FloatRange { min: 0.0, max: 1e-3 },
+            ),
+            PropertySpec::new(
+                "alignment",
+                PropertyValue::Choice(if self.center_aligned { "Center" } else { "Edge" }.into()),
+                PropertyConstraint::OneOf(vec!["Edge".into(), "Center".into()]),
+            ),
+            PropertySpec::new(
+                "initial duty",
+                PropertyValue::Float(self.initial_duty),
+                PropertyConstraint::FloatRange { min: 0.0, max: 1.0 },
+            ),
+            PropertySpec::new(
+                "reload interrupt",
+                PropertyValue::Bool(self.reload_interrupt),
+                PropertyConstraint::AnyBool,
+            ),
+        ]
+    }
+
+    /// Inspector edit.
+    pub fn set_property(&mut self, key: &str, value: PropertyValue) -> Result<(), String> {
+        match key {
+            "carrier frequency [Hz]" => {
+                PropertyConstraint::FloatRange { min: 1.0, max: 1e7 }.check(&value)?;
+                self.freq_hz = value.as_float().unwrap();
+            }
+            "dead time [s]" => {
+                PropertyConstraint::FloatRange { min: 0.0, max: 1e-3 }.check(&value)?;
+                self.dead_time_s = value.as_float().unwrap();
+            }
+            "alignment" => {
+                PropertyConstraint::OneOf(vec!["Edge".into(), "Center".into()]).check(&value)?;
+                self.center_aligned = value.as_str() == Some("Center");
+            }
+            "initial duty" => {
+                PropertyConstraint::FloatRange { min: 0.0, max: 1.0 }.check(&value)?;
+                self.initial_duty = value.as_float().unwrap();
+            }
+            "reload interrupt" => {
+                PropertyConstraint::AnyBool.check(&value)?;
+                self.reload_interrupt = value.as_bool().unwrap();
+            }
+            other => return Err(format!("PWM has no property '{other}'")),
+        }
+        self.resolved = None;
+        Ok(())
+    }
+
+    fn solve(&self, spec: &McuSpec) -> Result<PwmResolution, String> {
+        let bus = spec.bus_hz();
+        // choose the smallest power-of-two prescaler giving period counts
+        // within the register range (maximizes duty resolution)
+        for shift in 0..16u32 {
+            let prescaler = 1u32 << shift;
+            let counts = (bus / prescaler as f64 / self.freq_hz).round();
+            if counts < 2.0 {
+                return Err(format!(
+                    "carrier {} Hz too fast for the {} PWM",
+                    self.freq_hz, spec.name
+                ));
+            }
+            if counts <= spec.pwm.max_period_counts as f64 {
+                let period_counts = counts as u32;
+                let dead = (self.dead_time_s * bus / prescaler as f64).round() as u32;
+                if dead >= period_counts {
+                    return Err("dead time exceeds the PWM period".into());
+                }
+                return Ok(PwmResolution {
+                    prescaler,
+                    period_counts,
+                    dead_time_counts: dead,
+                    achieved_hz: bus / prescaler as f64 / period_counts as f64,
+                });
+            }
+        }
+        Err(format!("carrier {} Hz too slow for the {} PWM", self.freq_hz, spec.name))
+    }
+
+    /// Expert-system validation against a target MCU.
+    pub fn validate(&self, name: &str, spec: &McuSpec) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        match self.solve(spec) {
+            Err(msg) => findings.push(Finding::error(name, msg)),
+            Ok(res) => {
+                let rel = (res.achieved_hz - self.freq_hz).abs() / self.freq_hz;
+                if rel > 0.10 {
+                    // gross deviation: the register space cannot express
+                    // the requested carrier (e.g. 40 MHz on a 60 MHz bus
+                    // rounds to 30 MHz) — an error, not a rounding note
+                    findings.push(Finding::error(
+                        name,
+                        format!(
+                            "carrier {:.0} Hz unreachable on {} (closest {:.0} Hz)",
+                            self.freq_hz, spec.name, res.achieved_hz
+                        ),
+                    ));
+                } else if rel > 0.01 {
+                    findings.push(Finding::warning(
+                        name,
+                        format!("carrier rounded to {:.1} Hz", res.achieved_hz),
+                    ));
+                }
+                if self.dead_time_s > 0.0 && !spec.pwm.dead_time {
+                    findings.push(Finding::error(
+                        name,
+                        format!("{} has no hardware dead-time insertion", spec.name),
+                    ));
+                }
+                if res.period_counts < 512 {
+                    findings.push(Finding::warning(
+                        name,
+                        format!("only {} duty levels at this carrier", res.period_counts + 1),
+                    ));
+                }
+            }
+        }
+        findings
+    }
+
+    /// Solve and store the hardware setting.
+    pub fn resolve(&mut self, spec: &McuSpec) -> Result<PwmResolution, String> {
+        if self.dead_time_s > 0.0 && !spec.pwm.dead_time {
+            return Err(format!("{} has no hardware dead-time insertion", spec.name));
+        }
+        let res = self.solve(spec)?;
+        let rel = (res.achieved_hz - self.freq_hz).abs() / self.freq_hz;
+        if rel > 0.10 {
+            return Err(format!(
+                "carrier {:.0} Hz unreachable on {} (closest {:.0} Hz)",
+                self.freq_hz, spec.name, res.achieved_hz
+            ));
+        }
+        self.resolved = Some(res);
+        Ok(res)
+    }
+
+    /// Alignment enum for the simulated peripheral.
+    pub fn align(&self) -> PwmAlign {
+        if self.center_aligned {
+            PwmAlign::Center
+        } else {
+            PwmAlign::Edge
+        }
+    }
+
+    /// Uniform API methods.
+    pub fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec { name: "Enable", enabled: true },
+            MethodSpec { name: "Disable", enabled: true },
+            MethodSpec { name: "SetRatio16", enabled: true },
+        ]
+    }
+
+    /// Events.
+    pub fn events(&self) -> Vec<EventSpec> {
+        vec![EventSpec { name: "OnReload", handled: self.reload_interrupt }]
+    }
+
+    /// Resource claims.
+    pub fn claims(&self) -> Vec<ResourceClaim> {
+        vec![ResourceClaim { kind: ResourceKind::PwmGenerator, instance: None }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bean::Severity;
+    use peert_mcu::McuCatalog;
+
+    fn spec(name: &str) -> McuSpec {
+        McuCatalog::standard().find(name).unwrap().clone()
+    }
+
+    #[test]
+    fn twenty_khz_on_mc56f_resolves_to_3000_counts() {
+        let mut b = PwmBean::new(20_000.0);
+        let r = b.resolve(&spec("MC56F8367")).unwrap();
+        assert_eq!(r.prescaler, 1);
+        assert_eq!(r.period_counts, 3000);
+        assert!((r.achieved_hz - 20_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn low_resolution_carrier_warns_on_hcs12() {
+        // HCS12 PWM has an 8-bit period register: 20 kHz @ 24 MHz = 1200
+        // counts → prescaler pushes counts under 256 → few duty levels
+        let b = PwmBean::new(20_000.0);
+        let f = b.validate("PWM1", &spec("MC9S12DP256"));
+        assert!(
+            f.iter().any(|x| x.severity == Severity::Warning && x.message.contains("duty levels")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn dead_time_on_a_part_without_support_is_an_error() {
+        let mut b = PwmBean::new(20_000.0);
+        b.dead_time_s = 1e-6;
+        let f = b.validate("PWM1", &spec("MCF5213"));
+        assert!(f.iter().any(|x| x.severity == Severity::Error));
+        assert!(b.resolve(&spec("MCF5213")).is_err());
+        assert!(b.resolve(&spec("MC56F8367")).is_ok(), "56F8xxx has dead-time hardware");
+    }
+
+    #[test]
+    fn impossible_carriers_are_errors() {
+        // 40 MHz rounds to 2 counts = 30 MHz on the 60 MHz bus: a 25 %
+        // deviation must be an error, not a rounding warning
+        let over = PwmBean::new(4e7);
+        let f = over.validate("PWM1", &spec("MC56F8367"));
+        assert!(f.iter().any(|x| x.severity == Severity::Error
+            && x.message.contains("unreachable")), "{f:?}");
+        assert!(PwmBean::new(4e7).resolve(&spec("MC56F8367")).is_err());
+        let fast = PwmBean::new(1e7);
+        assert!(!fast.validate("PWM1", &spec("MC56F8367")).is_empty());
+        let slow = PwmBean::new(1.0);
+        // 60 MHz / 65536 / 0x7FFF ≈ 0.03 Hz — 1 Hz reachable via prescaler
+        assert!(slow.validate("PWM1", &spec("MC56F8367")).iter().all(|f| f.severity != Severity::Error));
+    }
+
+    #[test]
+    fn property_edit_invalidates_resolution() {
+        let mut b = PwmBean::new(20_000.0);
+        b.resolve(&spec("MC56F8367")).unwrap();
+        assert!(b.resolved.is_some());
+        b.set_property("carrier frequency [Hz]", PropertyValue::Float(10_000.0)).unwrap();
+        assert!(b.resolved.is_none());
+    }
+
+    #[test]
+    fn set_ratio16_is_part_of_the_uniform_api() {
+        let b = PwmBean::new(20_000.0);
+        assert!(b.methods().iter().any(|m| m.name == "SetRatio16" && m.enabled));
+    }
+}

@@ -1,0 +1,136 @@
+//! QuadDecoder bean: the incremental-encoder feedback path of the case
+//! study (§7, "100 periods of two phase shifted pulse signals A and B per
+//! rotation and one index pulse per rotation").
+
+use crate::bean::{EventSpec, Finding, MethodSpec, ResourceClaim, ResourceKind};
+use crate::property::{PropertyConstraint, PropertySpec, PropertyValue};
+use peert_mcu::McuSpec;
+use serde::{Deserialize, Serialize};
+
+/// The QuadDecoder bean.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuadDecBean {
+    /// Encoder line count per revolution (per phase).
+    pub lines_per_rev: u32,
+    /// Whether the index pulse raises an interrupt.
+    pub index_interrupt: bool,
+}
+
+impl QuadDecBean {
+    /// Bean for an encoder with `lines_per_rev` lines (the paper's IRC
+    /// has 100).
+    pub fn new(lines_per_rev: u32) -> Self {
+        QuadDecBean { lines_per_rev, index_interrupt: false }
+    }
+
+    /// Counts per revolution after 4× decoding.
+    pub fn counts_per_rev(&self) -> u32 {
+        self.lines_per_rev * 4
+    }
+
+    /// Inspector rows.
+    pub fn properties(&self) -> Vec<PropertySpec> {
+        vec![
+            PropertySpec::new(
+                "encoder lines per revolution",
+                PropertyValue::Int(self.lines_per_rev as i64),
+                PropertyConstraint::IntRange { min: 1, max: 100_000 },
+            ),
+            PropertySpec::new(
+                "index interrupt",
+                PropertyValue::Bool(self.index_interrupt),
+                PropertyConstraint::AnyBool,
+            ),
+        ]
+    }
+
+    /// Inspector edit.
+    pub fn set_property(&mut self, key: &str, value: PropertyValue) -> Result<(), String> {
+        match key {
+            "encoder lines per revolution" => {
+                PropertyConstraint::IntRange { min: 1, max: 100_000 }.check(&value)?;
+                self.lines_per_rev = value.as_int().unwrap() as u32;
+            }
+            "index interrupt" => {
+                PropertyConstraint::AnyBool.check(&value)?;
+                self.index_interrupt = value.as_bool().unwrap();
+            }
+            other => return Err(format!("QuadDecoder has no property '{other}'")),
+        }
+        Ok(())
+    }
+
+    /// Expert-system validation: the key check is whether the selected MCU
+    /// has a quadrature-decoder block at all (the S08 does not) — the
+    /// resource gap E8's portability sweep demonstrates.
+    pub fn validate(&self, name: &str, spec: &McuSpec) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        if spec.qdec_count == 0 {
+            findings.push(Finding::error(
+                name,
+                format!("{} has no quadrature decoder peripheral", spec.name),
+            ));
+        }
+        if self.lines_per_rev == 0 {
+            findings.push(Finding::error(name, "encoder line count must be nonzero"));
+        }
+        findings
+    }
+
+    /// Uniform API methods.
+    pub fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec { name: "GetPosition", enabled: true },
+            MethodSpec { name: "GetRevolutions", enabled: true },
+            MethodSpec { name: "Reset", enabled: true },
+        ]
+    }
+
+    /// Events.
+    pub fn events(&self) -> Vec<EventSpec> {
+        vec![EventSpec { name: "OnIndex", handled: self.index_interrupt }]
+    }
+
+    /// Resource claims.
+    pub fn claims(&self) -> Vec<ResourceClaim> {
+        vec![ResourceClaim { kind: ResourceKind::QuadDecoder, instance: None }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bean::Severity;
+    use peert_mcu::McuCatalog;
+
+    #[test]
+    fn ok_on_parts_with_a_decoder() {
+        let b = QuadDecBean::new(100);
+        let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        assert!(b.validate("QD1", &spec).is_empty());
+        assert_eq!(b.counts_per_rev(), 400);
+    }
+
+    #[test]
+    fn error_on_the_s08_which_lacks_the_block() {
+        let b = QuadDecBean::new(100);
+        let spec = McuCatalog::standard().find("MC9S08GB60").unwrap().clone();
+        let f = b.validate("QD1", &spec);
+        assert!(f.iter().any(|x| x.severity == Severity::Error
+            && x.message.contains("no quadrature decoder")));
+    }
+
+    #[test]
+    fn getposition_is_the_primary_method() {
+        let b = QuadDecBean::new(100);
+        assert!(b.methods().iter().any(|m| m.name == "GetPosition" && m.enabled));
+    }
+
+    #[test]
+    fn line_count_edits_validate() {
+        let mut b = QuadDecBean::new(100);
+        assert!(b.set_property("encoder lines per revolution", PropertyValue::Int(0)).is_err());
+        assert!(b.set_property("encoder lines per revolution", PropertyValue::Int(512)).is_ok());
+        assert_eq!(b.counts_per_rev(), 2048);
+    }
+}

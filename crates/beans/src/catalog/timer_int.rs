@@ -1,0 +1,187 @@
+//! TimerInt bean: a periodic interrupt — the control-loop time base.
+//!
+//! The user specifies only the interrupt period; the expert system solves
+//! the prescaler/modulo pair (§4) and reports whether the period is exactly
+//! reachable on the selected MCU.
+
+use crate::bean::{EventSpec, Finding, MethodSpec, ResourceClaim, ResourceKind};
+use crate::property::{PropertyConstraint, PropertySpec, PropertyValue};
+use peert_mcu::clock::{solve_prescaler, PrescalerSolution};
+use peert_mcu::{Cycles, McuSpec};
+use serde::{Deserialize, Serialize};
+
+/// Relative rate error beyond which the period is deemed unreachable.
+pub const MAX_RATE_ERROR: f64 = 1e-3;
+/// Relative rate error beyond which a warning (rounded period) is issued.
+pub const WARN_RATE_ERROR: f64 = 1e-9;
+
+/// The TimerInt bean.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimerIntBean {
+    /// Requested interrupt period in seconds.
+    pub period_s: f64,
+    /// Interrupt priority (0..=7, higher preempts dispatch order).
+    pub priority: u8,
+    /// Solved hardware setting (filled by `resolve`).
+    pub resolved: Option<PrescalerSolution>,
+}
+
+impl TimerIntBean {
+    /// Bean with a requested period, default priority.
+    pub fn new(period_s: f64) -> Self {
+        TimerIntBean { period_s, priority: 5, resolved: None }
+    }
+
+    /// Inspector rows.
+    pub fn properties(&self) -> Vec<PropertySpec> {
+        vec![
+            PropertySpec::new(
+                "interrupt period [s]",
+                PropertyValue::Float(self.period_s),
+                PropertyConstraint::FloatRange { min: 1e-7, max: 3600.0 },
+            ),
+            PropertySpec::new(
+                "interrupt priority",
+                PropertyValue::Int(self.priority as i64),
+                PropertyConstraint::IntRange { min: 0, max: 7 },
+            ),
+        ]
+    }
+
+    /// Inspector edit.
+    pub fn set_property(&mut self, key: &str, value: PropertyValue) -> Result<(), String> {
+        match key {
+            "interrupt period [s]" => {
+                PropertyConstraint::FloatRange { min: 1e-7, max: 3600.0 }.check(&value)?;
+                self.period_s = value.as_float().unwrap();
+                self.resolved = None;
+                Ok(())
+            }
+            "interrupt priority" => {
+                PropertyConstraint::IntRange { min: 0, max: 7 }.check(&value)?;
+                self.priority = value.as_int().unwrap() as u8;
+                Ok(())
+            }
+            other => Err(format!("TimerInt has no property '{other}'")),
+        }
+    }
+
+    /// Expert-system validation against a target MCU.
+    pub fn validate(&self, name: &str, spec: &McuSpec) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        if self.period_s <= 0.0 {
+            findings.push(Finding::error(name, "interrupt period must be positive"));
+            return findings;
+        }
+        match solve_prescaler(
+            spec.bus_hz(),
+            1.0 / self.period_s,
+            &spec.timers.prescalers,
+            spec.timers.counter_bits,
+        ) {
+            None => findings.push(Finding::error(name, "no timer prescaler space on this MCU")),
+            Some(sol) if sol.rel_error > MAX_RATE_ERROR => findings.push(Finding::error(
+                name,
+                format!(
+                    "period {:.6} s unreachable on {} (closest achievable {:.6} s)",
+                    self.period_s,
+                    spec.name,
+                    1.0 / sol.achieved_hz
+                ),
+            )),
+            Some(sol) if sol.rel_error > WARN_RATE_ERROR => findings.push(Finding::warning(
+                name,
+                format!("period rounded to {:.9} s (rel. error {:.2e})", 1.0 / sol.achieved_hz, sol.rel_error),
+            )),
+            Some(_) => {}
+        }
+        findings
+    }
+
+    /// Solve the hardware setting; requires a prior clean `validate`.
+    pub fn resolve(&mut self, spec: &McuSpec) -> Result<PrescalerSolution, String> {
+        let sol = solve_prescaler(
+            spec.bus_hz(),
+            1.0 / self.period_s,
+            &spec.timers.prescalers,
+            spec.timers.counter_bits,
+        )
+        .filter(|s| s.rel_error <= MAX_RATE_ERROR)
+        .ok_or_else(|| format!("period {} s unreachable on {}", self.period_s, spec.name))?;
+        self.resolved = Some(sol);
+        Ok(sol)
+    }
+
+    /// Achieved period in bus cycles (after resolve).
+    pub fn period_cycles(&self) -> Option<Cycles> {
+        self.resolved.map(|s| s.prescaler as Cycles * s.modulo as Cycles)
+    }
+
+    /// Uniform API methods.
+    pub fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec { name: "Enable", enabled: true },
+            MethodSpec { name: "Disable", enabled: true },
+            MethodSpec { name: "SetPeriodTicks", enabled: false },
+        ]
+    }
+
+    /// Events.
+    pub fn events(&self) -> Vec<EventSpec> {
+        vec![EventSpec { name: "OnInterrupt", handled: true }]
+    }
+
+    /// Resource claims.
+    pub fn claims(&self) -> Vec<ResourceClaim> {
+        vec![ResourceClaim { kind: ResourceKind::TimerChannel, instance: None }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peert_mcu::McuCatalog;
+
+    fn mc56() -> McuSpec {
+        McuCatalog::standard().find("MC56F8367").unwrap().clone()
+    }
+
+    #[test]
+    fn one_khz_is_exact_on_the_case_study_mcu() {
+        let b = TimerIntBean::new(1e-3);
+        assert!(b.validate("TI1", &mc56()).is_empty(), "1 kHz exactly reachable");
+    }
+
+    #[test]
+    fn unreachable_period_is_an_error() {
+        let b = TimerIntBean::new(3600.0); // 1/hour far beyond 16-bit range
+        let f = b.validate("TI1", &mc56());
+        assert!(f.iter().any(|x| x.severity == crate::bean::Severity::Error));
+    }
+
+    #[test]
+    fn resolve_computes_prescaler_and_modulo() {
+        let mut b = TimerIntBean::new(1e-3);
+        let sol = b.resolve(&mc56()).unwrap();
+        assert_eq!(sol.prescaler as u64 * sol.modulo as u64, 60_000, "1 ms at 60 MHz");
+        assert_eq!(b.period_cycles(), Some(60_000));
+    }
+
+    #[test]
+    fn property_edit_validates_immediately() {
+        let mut b = TimerIntBean::new(1e-3);
+        assert!(b.set_property("interrupt period [s]", PropertyValue::Float(-1.0)).is_err());
+        assert!(b.set_property("interrupt priority", PropertyValue::Int(9)).is_err());
+        assert!(b.set_property("interrupt period [s]", PropertyValue::Float(2e-3)).is_ok());
+        assert_eq!(b.period_s, 2e-3);
+        assert!(b.resolved.is_none(), "edit invalidates a prior resolution");
+        assert!(b.set_property("bogus", PropertyValue::Int(1)).is_err());
+    }
+
+    #[test]
+    fn has_on_interrupt_event_and_timer_claim() {
+        let b = TimerIntBean::new(1e-3);
+        assert_eq!(b.events()[0].name, "OnInterrupt");
+        assert_eq!(b.claims()[0].kind, ResourceKind::TimerChannel);
+    }
+}

@@ -1,0 +1,203 @@
+//! The expert system: project-level verification and resource allocation.
+//!
+//! §4: "Some design parameters, such as settings of common prescalers or
+//! useable resources for the needed functionality are calculated by the
+//! expert system. Verification of user decisions is provided." The per-bean
+//! checks live with each bean in [`crate::catalog`]; this module adds the
+//! cross-bean view: does the selected MCU have *enough* timers / ADC
+//! modules / PWM generators / decoders / SCIs for all beans together, and
+//! does any pair of beans claim the same pin?
+
+use crate::bean::{Finding, ResourceKind, Severity};
+use crate::project::PeProject;
+use peert_mcu::McuSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The instance assignment the allocator produced: bean name → peripheral
+/// instance index (within its resource kind).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    assignments: HashMap<String, usize>,
+}
+
+impl Allocation {
+    /// Instance index assigned to `bean`.
+    pub fn instance_of(&self, bean: &str) -> Option<usize> {
+        self.assignments.get(bean).copied()
+    }
+
+    /// Number of allocated beans.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether nothing was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+/// The expert system facade.
+pub struct ExpertSystem;
+
+impl ExpertSystem {
+    /// Capacity of a resource kind on `spec`.
+    fn capacity(kind: ResourceKind, spec: &McuSpec) -> usize {
+        match kind {
+            ResourceKind::TimerChannel => spec.timers.count,
+            ResourceKind::AdcModule => spec.adc.count,
+            ResourceKind::PwmGenerator => spec.pwm.count,
+            ResourceKind::QuadDecoder => spec.qdec_count,
+            ResourceKind::SciModule => spec.sci_count,
+            ResourceKind::Pin => spec.gpio_ports * 16,
+        }
+    }
+
+    /// Run every bean's own validation against `spec`.
+    pub fn validate_beans(project: &PeProject, spec: &McuSpec) -> Vec<Finding> {
+        project
+            .beans()
+            .iter()
+            .flat_map(|b| b.config.validate(&b.name, spec))
+            .collect()
+    }
+
+    /// Cross-bean resource check + allocation. Appends findings for
+    /// over-subscription and pin conflicts; returns the allocation when no
+    /// error-severity finding was produced.
+    pub fn allocate(project: &PeProject, spec: &McuSpec) -> (Vec<Finding>, Option<Allocation>) {
+        let mut findings = Vec::new();
+        let mut next_free: HashMap<ResourceKind, usize> = HashMap::new();
+        let mut pins_taken: HashMap<usize, String> = HashMap::new();
+        let mut alloc = Allocation::default();
+
+        for bean in project.beans() {
+            for claim in bean.config.claims() {
+                match claim.kind {
+                    ResourceKind::Pin => {
+                        let pin_id = claim.instance.expect("pin claims carry their identity");
+                        if let Some(owner) = pins_taken.get(&pin_id) {
+                            findings.push(Finding::error(
+                                &bean.name,
+                                format!(
+                                    "pin {}.{} already used by bean '{owner}'",
+                                    pin_id / 100,
+                                    pin_id % 100
+                                ),
+                            ));
+                        } else {
+                            pins_taken.insert(pin_id, bean.name.clone());
+                            alloc.assignments.insert(bean.name.clone(), pin_id);
+                        }
+                        if pin_id / 100 >= spec.gpio_ports {
+                            findings.push(Finding::error(
+                                &bean.name,
+                                format!("{} has only {} GPIO ports", spec.name, spec.gpio_ports),
+                            ));
+                        }
+                    }
+                    kind => {
+                        let idx = next_free.entry(kind).or_insert(0);
+                        let cap = Self::capacity(kind, spec);
+                        if *idx >= cap {
+                            findings.push(Finding::error(
+                                &bean.name,
+                                format!(
+                                    "no free {kind:?} left on {} (capacity {cap})",
+                                    spec.name
+                                ),
+                            ));
+                        } else {
+                            alloc.assignments.insert(bean.name.clone(), *idx);
+                            *idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let has_error = findings.iter().any(|f| f.severity == Severity::Error);
+        (findings, (!has_error).then_some(alloc))
+    }
+
+    /// The full check PEERT runs when the user opens the Bean Inspector or
+    /// before code generation: per-bean validation + allocation.
+    pub fn check(project: &PeProject, spec: &McuSpec) -> (Vec<Finding>, Option<Allocation>) {
+        let mut findings = Self::validate_beans(project, spec);
+        let (mut alloc_findings, alloc) = Self::allocate(project, spec);
+        findings.append(&mut alloc_findings);
+        let has_error = findings.iter().any(|f| f.severity == Severity::Error);
+        (findings, if has_error { None } else { alloc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bean::{Bean, BeanConfig};
+    use crate::catalog::{AdcBean, BitIoBean, QuadDecBean, TimerIntBean};
+    use peert_mcu::McuCatalog;
+
+    fn spec(name: &str) -> McuSpec {
+        McuCatalog::standard().find(name).unwrap().clone()
+    }
+
+    fn bean(name: &str, config: BeanConfig) -> Bean {
+        Bean { name: name.into(), config }
+    }
+
+    #[test]
+    fn servo_project_allocates_cleanly_on_mc56f() {
+        let mut p = PeProject::new("MC56F8367");
+        p.add(bean("TI1", BeanConfig::TimerInt(TimerIntBean::new(1e-3)))).unwrap();
+        p.add(bean("AD1", BeanConfig::Adc(AdcBean::new(12, 0)))).unwrap();
+        p.add(bean("QD1", BeanConfig::QuadDec(QuadDecBean::new(100)))).unwrap();
+        let (findings, alloc) = ExpertSystem::check(&p, &spec("MC56F8367"));
+        assert!(findings.iter().all(|f| f.severity != Severity::Error), "{findings:?}");
+        let alloc = alloc.unwrap();
+        assert_eq!(alloc.instance_of("TI1"), Some(0));
+        assert_eq!(alloc.instance_of("AD1"), Some(0));
+    }
+
+    #[test]
+    fn oversubscribed_adcs_are_detected() {
+        // MC56F8323 has a single ADC module
+        let mut p = PeProject::new("MC56F8323");
+        p.add(bean("AD1", BeanConfig::Adc(AdcBean::new(12, 0)))).unwrap();
+        p.add(bean("AD2", BeanConfig::Adc(AdcBean::new(12, 1)))).unwrap();
+        let (findings, alloc) = ExpertSystem::check(&p, &spec("MC56F8323"));
+        assert!(alloc.is_none());
+        assert!(findings.iter().any(|f| f.message.contains("no free AdcModule")));
+    }
+
+    #[test]
+    fn pin_conflicts_are_detected() {
+        let mut p = PeProject::new("MC56F8367");
+        p.add(bean("BTN1", BeanConfig::BitIo(BitIoBean::input(0, 3)))).unwrap();
+        p.add(bean("LED1", BeanConfig::BitIo(BitIoBean::output(0, 3)))).unwrap();
+        let (findings, alloc) = ExpertSystem::check(&p, &spec("MC56F8367"));
+        assert!(alloc.is_none());
+        assert!(findings.iter().any(|f| f.message.contains("already used by bean 'BTN1'")));
+    }
+
+    #[test]
+    fn qdec_on_s08_fails_the_check() {
+        let mut p = PeProject::new("MC9S08GB60");
+        p.add(bean("QD1", BeanConfig::QuadDec(QuadDecBean::new(100)))).unwrap();
+        let (findings, alloc) = ExpertSystem::check(&p, &spec("MC9S08GB60"));
+        assert!(alloc.is_none());
+        assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn two_timers_fit_on_a_part_with_eight_channels() {
+        let mut p = PeProject::new("MC56F8367");
+        p.add(bean("TI1", BeanConfig::TimerInt(TimerIntBean::new(1e-3)))).unwrap();
+        p.add(bean("TI2", BeanConfig::TimerInt(TimerIntBean::new(1e-2)))).unwrap();
+        let (_, alloc) = ExpertSystem::check(&p, &spec("MC56F8367"));
+        let alloc = alloc.unwrap();
+        assert_eq!(alloc.instance_of("TI1"), Some(0));
+        assert_eq!(alloc.instance_of("TI2"), Some(1));
+    }
+}

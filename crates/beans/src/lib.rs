@@ -1,0 +1,43 @@
+//! Embedded Beans — the reproduction's Processor Expert (§4).
+//!
+//! "The functionality of the basic elements of the embedded systems like
+//! the MCU core, the MCU on-chip peripherals etc. are encapsulated in
+//! Embedded Beans. An interface to a bean is provided via properties,
+//! methods, and events."
+//!
+//! This crate reproduces the three pillars the paper builds on:
+//!
+//! * **Properties** ([`property`], [`catalog`]) — high-level design-time
+//!   settings ("the resolution of ADC, the input pin, the conversion time,
+//!   the mode of operation") instead of control-register values;
+//! * **Validation & the expert system** ([`expert`]) — "Some design
+//!   parameters, such as settings of common prescalers or useable resources
+//!   for the needed functionality are calculated by the expert system.
+//!   Verification of user decisions is provided." Per-bean checks against
+//!   the MCU knowledge base plus cross-bean resource-conflict detection and
+//!   automatic prescaler solving;
+//! * **Methods & events** ([`bean`]) — the uniform API (`Measure`,
+//!   `GetValue`, `SetRatio16`, …) the generated code calls, and the
+//!   interrupt events (`OnEnd`, `OnInterrupt`) function-call subsystems
+//!   hang off;
+//! * the **Bean Inspector** ([`inspector`], Fig 4.1) — string-keyed property
+//!   editing with immediate validation, the UI surface PEERT opens on a
+//!   block double-click (§5);
+//! * the **PE project** ([`project`]) — the bean list plus the selected CPU
+//!   bean; "the model with the PE blocks can be ... ported to another MCU by
+//!   selecting another CPU bean in the PE project window" (§1).
+
+#![warn(missing_docs)]
+
+pub mod bean;
+pub mod catalog;
+pub mod expert;
+pub mod inspector;
+pub mod project;
+pub mod property;
+
+pub use bean::{BeanConfig, EventSpec, Finding, MethodSpec, ResourceClaim, Severity};
+pub use expert::{Allocation, ExpertSystem};
+pub use inspector::Inspector;
+pub use project::PeProject;
+pub use property::{PropertyConstraint, PropertySpec, PropertyValue};

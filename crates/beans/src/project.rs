@@ -1,0 +1,318 @@
+//! The PE project: selected CPU bean + the bean list, with the
+//! configuration/apply path onto the simulated MCU.
+//!
+//! §1: "The model with the PE blocks can be moreover extremely simply
+//! ported to another MCU by selecting another CPU bean in the PE project
+//! window." [`PeProject::retarget`] is exactly that operation; everything
+//! else revalidates automatically on the next expert-system check.
+
+use crate::bean::{Bean, BeanConfig, Finding};
+use crate::expert::{Allocation, ExpertSystem};
+use peert_mcu::board::vectors;
+use peert_mcu::board::Mcu;
+use peert_mcu::interrupt::IrqVector;
+use peert_mcu::{McuCatalog, McuSpec};
+use serde::{Deserialize, Serialize};
+
+/// A Processor Expert project.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeProject {
+    /// Selected CPU bean (an MCU catalog name).
+    cpu: String,
+    beans: Vec<Bean>,
+}
+
+impl PeProject {
+    /// New project targeting `cpu`.
+    pub fn new(cpu: &str) -> Self {
+        PeProject { cpu: cpu.into(), beans: Vec::new() }
+    }
+
+    /// The selected CPU bean.
+    pub fn cpu(&self) -> &str {
+        &self.cpu
+    }
+
+    /// Switch the CPU bean — the paper's one-click port (§1).
+    pub fn retarget(&mut self, cpu: &str) {
+        self.cpu = cpu.into();
+    }
+
+    /// The target's catalog entry.
+    pub fn spec(&self, catalog: &McuCatalog) -> Result<McuSpec, String> {
+        catalog
+            .find(&self.cpu)
+            .cloned()
+            .ok_or_else(|| format!("unknown CPU bean '{}'", self.cpu))
+    }
+
+    /// All beans.
+    pub fn beans(&self) -> &[Bean] {
+        &self.beans
+    }
+
+    /// Add a bean (names must be unique — they mirror block names).
+    pub fn add(&mut self, bean: Bean) -> Result<(), String> {
+        if self.beans.iter().any(|b| b.name == bean.name) {
+            return Err(format!("bean '{}' already exists", bean.name));
+        }
+        self.beans.push(bean);
+        Ok(())
+    }
+
+    /// Remove a bean by name.
+    pub fn remove(&mut self, name: &str) -> Result<Bean, String> {
+        let idx = self
+            .beans
+            .iter()
+            .position(|b| b.name == name)
+            .ok_or_else(|| format!("no bean named '{name}'"))?;
+        Ok(self.beans.remove(idx))
+    }
+
+    /// Rename a bean.
+    pub fn rename(&mut self, old: &str, new: &str) -> Result<(), String> {
+        if self.beans.iter().any(|b| b.name == new) {
+            return Err(format!("bean '{new}' already exists"));
+        }
+        let bean = self
+            .beans
+            .iter_mut()
+            .find(|b| b.name == old)
+            .ok_or_else(|| format!("no bean named '{old}'"))?;
+        bean.name = new.into();
+        Ok(())
+    }
+
+    /// Find a bean by name.
+    pub fn find(&self, name: &str) -> Option<&Bean> {
+        self.beans.iter().find(|b| b.name == name)
+    }
+
+    /// Mutable access by name.
+    pub fn find_mut(&mut self, name: &str) -> Option<&mut Bean> {
+        self.beans.iter_mut().find(|b| b.name == name)
+    }
+
+    /// Run the expert system and, on success, resolve every bean's hardware
+    /// setting against the target.
+    pub fn resolve(&mut self, catalog: &McuCatalog) -> Result<Allocation, Vec<Finding>> {
+        let spec = self
+            .spec(catalog)
+            .map_err(|e| vec![Finding::error("CPU", e)])?;
+        let (findings, alloc) = ExpertSystem::check(self, &spec);
+        let Some(alloc) = alloc else {
+            return Err(findings);
+        };
+        for bean in &mut self.beans {
+            let r = match &mut bean.config {
+                BeanConfig::TimerInt(b) => b.resolve(&spec).map(|_| ()),
+                BeanConfig::Adc(b) => b.resolve(&spec).map(|_| ()),
+                BeanConfig::Pwm(b) => b.resolve(&spec).map(|_| ()),
+                _ => Ok(()),
+            };
+            if let Err(msg) = r {
+                return Err(vec![Finding::error(&bean.name, msg)]);
+            }
+        }
+        Ok(alloc)
+    }
+
+    /// The interrupt vector a bean's (resolved) peripheral instance uses.
+    pub fn vector_of(&self, bean_name: &str, alloc: &Allocation) -> Option<IrqVector> {
+        let bean = self.find(bean_name)?;
+        let inst = alloc.instance_of(bean_name)?;
+        Some(match &bean.config {
+            BeanConfig::TimerInt(_) => vectors::timer(inst),
+            BeanConfig::Adc(_) => vectors::adc(inst),
+            BeanConfig::Pwm(_) => vectors::pwm(inst),
+            BeanConfig::BitIo(b) => vectors::gpio(b.port),
+            BeanConfig::QuadDec(_) => vectors::qdec(inst),
+            BeanConfig::Serial(_) => vectors::sci_rx(inst),
+            BeanConfig::FreeCntr(_) => vectors::timer(inst),
+        })
+    }
+
+    /// Configure the simulated MCU's peripherals per the resolved beans —
+    /// the runtime effect of the init code Processor Expert generates.
+    pub fn apply(&self, mcu: &mut Mcu, alloc: &Allocation) -> Result<(), String> {
+        for bean in &self.beans {
+            let inst = alloc
+                .instance_of(&bean.name)
+                .ok_or_else(|| format!("bean '{}' has no allocation", bean.name))?;
+            match &bean.config {
+                BeanConfig::TimerInt(b) => {
+                    let sol = b
+                        .resolved
+                        .ok_or_else(|| format!("bean '{}' is unresolved", bean.name))?;
+                    let timer = mcu
+                        .timers
+                        .get_mut(inst)
+                        .ok_or_else(|| format!("timer {inst} missing on the chip"))?;
+                    timer.configure(sol.prescaler, sol.modulo)?;
+                    let vector = timer.vector;
+                    mcu.intc.configure(vector, b.priority);
+                }
+                BeanConfig::Adc(b) => {
+                    let cycles = b
+                        .resolved_conversion_cycles
+                        .ok_or_else(|| format!("bean '{}' is unresolved", bean.name))?;
+                    let adc = mcu
+                        .adcs
+                        .get_mut(inst)
+                        .ok_or_else(|| format!("ADC {inst} missing on the chip"))?;
+                    adc.configure(b.resolution_bits, b.vref_low, b.vref_high, cycles, b.mode())?;
+                    adc.select_channel(b.channel)?;
+                    if b.eoc_interrupt {
+                        let vector = adc.vector;
+                        mcu.intc.configure(vector, 4);
+                    }
+                }
+                BeanConfig::Pwm(b) => {
+                    let sol = b
+                        .resolved
+                        .ok_or_else(|| format!("bean '{}' is unresolved", bean.name))?;
+                    let pwm = mcu
+                        .pwms
+                        .get_mut(inst)
+                        .ok_or_else(|| format!("PWM {inst} missing on the chip"))?;
+                    pwm.configure(sol.prescaler, sol.period_counts, sol.dead_time_counts, b.align())?;
+                    pwm.set_ratio16((b.initial_duty * u16::MAX as f64) as u16);
+                    pwm.set_reload_irq(b.reload_interrupt);
+                    if b.reload_interrupt {
+                        let vector = pwm.vector;
+                        mcu.intc.configure(vector, 3);
+                    }
+                }
+                BeanConfig::BitIo(b) => {
+                    let port = mcu
+                        .ports
+                        .get_mut(b.port)
+                        .ok_or_else(|| format!("GPIO port {} missing on the chip", b.port))?;
+                    port.set_direction(b.pin, b.direction == crate::catalog::PinDirection::Output)?;
+                    if b.direction == crate::catalog::PinDirection::Output {
+                        port.write_pin(b.pin, b.init_high)?;
+                    }
+                    port.set_edge_sense(b.pin, b.edge.sense())?;
+                    if b.edge != crate::catalog::PinEdge::None {
+                        let vector = port.vector;
+                        mcu.intc.configure(vector, 2);
+                    }
+                }
+                BeanConfig::QuadDec(b) => {
+                    let slot = mcu
+                        .qdecs
+                        .get_mut(inst)
+                        .ok_or_else(|| format!("quadrature decoder {inst} missing on the chip"))?;
+                    let vector = slot.vector;
+                    *slot = peert_mcu::peripherals::QuadDecoder::new(vector, b.lines_per_rev)?;
+                    slot.set_index_irq(b.index_interrupt);
+                    if b.index_interrupt {
+                        mcu.intc.configure(vector, 3);
+                    }
+                }
+                BeanConfig::FreeCntr(_) => {
+                    // read-only counter derived from the bus clock: nothing
+                    // to configure on the simulated chip
+                }
+                BeanConfig::Serial(b) => {
+                    let sci = mcu
+                        .scis
+                        .get_mut(inst)
+                        .ok_or_else(|| format!("SCI {inst} missing on the chip"))?;
+                    sci.configure(b.baud, b.stop_bits, b.parity)?;
+                    sci.set_irqs(b.rx_interrupt, b.tx_interrupt);
+                    let (rx, tx) = (sci.rx_vector, sci.tx_vector);
+                    if b.rx_interrupt {
+                        mcu.intc.configure(rx, 6);
+                    }
+                    if b.tx_interrupt {
+                        mcu.intc.configure(tx, 4);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{AdcBean, PwmBean, QuadDecBean, SerialBean, TimerIntBean};
+
+    fn servo_project() -> PeProject {
+        let mut p = PeProject::new("MC56F8367");
+        p.add(Bean { name: "TI1".into(), config: BeanConfig::TimerInt(TimerIntBean::new(1e-3)) })
+            .unwrap();
+        p.add(Bean { name: "AD1".into(), config: BeanConfig::Adc(AdcBean::new(12, 0)) }).unwrap();
+        p.add(Bean { name: "PWM1".into(), config: BeanConfig::Pwm(PwmBean::new(20_000.0)) })
+            .unwrap();
+        p.add(Bean { name: "QD1".into(), config: BeanConfig::QuadDec(QuadDecBean::new(100)) })
+            .unwrap();
+        p.add(Bean { name: "RS1".into(), config: BeanConfig::Serial(SerialBean::new(115_200)) })
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn add_remove_rename() {
+        let mut p = servo_project();
+        assert!(p.add(Bean { name: "TI1".into(), config: BeanConfig::TimerInt(TimerIntBean::new(1.0)) }).is_err());
+        p.rename("TI1", "Tick").unwrap();
+        assert!(p.find("Tick").is_some());
+        assert!(p.rename("Tick", "AD1").is_err(), "rename onto an existing name");
+        p.remove("Tick").unwrap();
+        assert!(p.find("Tick").is_none());
+        assert!(p.remove("Tick").is_err());
+    }
+
+    #[test]
+    fn resolve_and_apply_configure_the_simulated_chip() {
+        let catalog = McuCatalog::standard();
+        let mut p = servo_project();
+        let alloc = p.resolve(&catalog).unwrap();
+        let spec = p.spec(&catalog).unwrap();
+        let mut mcu = Mcu::new(&spec);
+        p.apply(&mut mcu, &alloc).unwrap();
+        assert_eq!(mcu.timers[0].period_cycles(), 60_000, "1 ms at 60 MHz");
+        assert_eq!(mcu.adcs[0].resolution_bits(), 12);
+        assert_eq!(mcu.qdecs[0].counts_per_rev(), 400);
+        assert_eq!(mcu.scis[0].baud(), 115_200);
+    }
+
+    #[test]
+    fn retarget_to_a_part_without_qdec_fails_resolution() {
+        let catalog = McuCatalog::standard();
+        let mut p = servo_project();
+        p.retarget("MC9S08GB60");
+        let err = p.resolve(&catalog).unwrap_err();
+        assert!(err.iter().any(|f| f.message.contains("no quadrature decoder")));
+    }
+
+    #[test]
+    fn retarget_to_another_dsp_succeeds_without_model_changes() {
+        let catalog = McuCatalog::standard();
+        let mut p = servo_project();
+        p.retarget("MC56F8323");
+        assert!(p.resolve(&catalog).is_ok(), "one-click port per §1");
+    }
+
+    #[test]
+    fn unknown_cpu_bean_is_reported() {
+        let catalog = McuCatalog::standard();
+        let mut p = PeProject::new("i8051");
+        let err = p.resolve(&catalog).unwrap_err();
+        assert!(err[0].message.contains("unknown CPU bean"));
+    }
+
+    #[test]
+    fn vector_lookup_follows_allocation() {
+        let catalog = McuCatalog::standard();
+        let mut p = servo_project();
+        let alloc = p.resolve(&catalog).unwrap();
+        assert_eq!(p.vector_of("TI1", &alloc), Some(vectors::timer(0)));
+        assert_eq!(p.vector_of("AD1", &alloc), Some(vectors::adc(0)));
+        assert_eq!(p.vector_of("nope", &alloc), None);
+    }
+}

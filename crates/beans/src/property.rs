@@ -1,0 +1,197 @@
+//! Typed bean properties with constraints.
+//!
+//! The Bean Inspector (§4, Fig 4.1) presents "well arranged dialogs" of
+//! properties; every edit is validated immediately. [`PropertyValue`] is a
+//! dynamically-typed setting, [`PropertyConstraint`] its admissible domain,
+//! [`PropertySpec`] the (name, value, constraint) row the inspector shows.
+
+use serde::{Deserialize, Serialize};
+
+/// A property's current value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PropertyValue {
+    /// Integer setting (channel numbers, priorities, bit counts…).
+    Int(i64),
+    /// Floating setting (periods, frequencies, voltages…).
+    Float(f64),
+    /// Boolean setting (interrupt enable…).
+    Bool(bool),
+    /// Enumerated choice (mode of operation…).
+    Choice(String),
+    /// Free text (instance names…).
+    Text(String),
+}
+
+impl PropertyValue {
+    /// Integer view, if this is an Int.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropertyValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float view (Int coerces).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            PropertyValue::Float(v) => Some(*v),
+            PropertyValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            PropertyValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Choice/Text view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropertyValue::Choice(s) | PropertyValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PropertyValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropertyValue::Int(v) => write!(f, "{v}"),
+            PropertyValue::Float(v) => write!(f, "{v}"),
+            PropertyValue::Bool(v) => write!(f, "{v}"),
+            PropertyValue::Choice(s) | PropertyValue::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Admissible domain of a property.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PropertyConstraint {
+    /// Integer in `[min, max]`.
+    IntRange {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// Float in `[min, max]`.
+    FloatRange {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// One of an enumerated set.
+    OneOf(Vec<String>),
+    /// Any boolean.
+    AnyBool,
+    /// Any text.
+    AnyText,
+}
+
+impl PropertyConstraint {
+    /// Check `value` against this constraint.
+    pub fn check(&self, value: &PropertyValue) -> Result<(), String> {
+        match (self, value) {
+            (PropertyConstraint::IntRange { min, max }, PropertyValue::Int(v)) => {
+                if v < min || v > max {
+                    Err(format!("{v} outside [{min}, {max}]"))
+                } else {
+                    Ok(())
+                }
+            }
+            (PropertyConstraint::FloatRange { min, max }, v) => match v.as_float() {
+                Some(x) if x >= *min && x <= *max => Ok(()),
+                Some(x) => Err(format!("{x} outside [{min}, {max}]")),
+                None => Err(format!("expected a number, got {v}")),
+            },
+            (PropertyConstraint::OneOf(opts), PropertyValue::Choice(s)) => {
+                if opts.iter().any(|o| o == s) {
+                    Ok(())
+                } else {
+                    Err(format!("'{s}' not in {{{}}}", opts.join(", ")))
+                }
+            }
+            (PropertyConstraint::AnyBool, PropertyValue::Bool(_)) => Ok(()),
+            (PropertyConstraint::AnyText, PropertyValue::Text(_)) => Ok(()),
+            (c, v) => Err(format!("value {v} has the wrong type for constraint {c:?}")),
+        }
+    }
+}
+
+/// One row of the Bean Inspector.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PropertySpec {
+    /// Property key, e.g. `"interrupt period [s]"`.
+    pub name: String,
+    /// Current value.
+    pub value: PropertyValue,
+    /// Admissible domain.
+    pub constraint: PropertyConstraint,
+}
+
+impl PropertySpec {
+    /// Build a spec row.
+    pub fn new(name: &str, value: PropertyValue, constraint: PropertyConstraint) -> Self {
+        PropertySpec { name: name.into(), value, constraint }
+    }
+
+    /// Whether the current value satisfies the constraint.
+    pub fn is_valid(&self) -> bool {
+        self.constraint.check(&self.value).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_checks_bounds() {
+        let c = PropertyConstraint::IntRange { min: 1, max: 8 };
+        assert!(c.check(&PropertyValue::Int(4)).is_ok());
+        assert!(c.check(&PropertyValue::Int(0)).is_err());
+        assert!(c.check(&PropertyValue::Int(9)).is_err());
+        assert!(c.check(&PropertyValue::Bool(true)).is_err(), "type mismatch");
+    }
+
+    #[test]
+    fn float_range_coerces_ints() {
+        let c = PropertyConstraint::FloatRange { min: 0.0, max: 1.0 };
+        assert!(c.check(&PropertyValue::Float(0.5)).is_ok());
+        assert!(c.check(&PropertyValue::Int(1)).is_ok());
+        assert!(c.check(&PropertyValue::Float(1.5)).is_err());
+    }
+
+    #[test]
+    fn one_of_requires_membership() {
+        let c = PropertyConstraint::OneOf(vec!["Single".into(), "Continuous".into()]);
+        assert!(c.check(&PropertyValue::Choice("Single".into())).is_ok());
+        assert!(c.check(&PropertyValue::Choice("Burst".into())).is_err());
+    }
+
+    #[test]
+    fn spec_validity() {
+        let s = PropertySpec::new(
+            "resolution",
+            PropertyValue::Int(12),
+            PropertyConstraint::IntRange { min: 8, max: 16 },
+        );
+        assert!(s.is_valid());
+        let bad = PropertySpec { value: PropertyValue::Int(4), ..s };
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn value_views() {
+        assert_eq!(PropertyValue::Int(3).as_int(), Some(3));
+        assert_eq!(PropertyValue::Int(3).as_float(), Some(3.0));
+        assert_eq!(PropertyValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(PropertyValue::Choice("x".into()).as_str(), Some("x"));
+        assert_eq!(PropertyValue::Float(1.0).as_int(), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the bean framework and expert system.
+
+use peert_beans::bean::{Bean, BeanConfig, ResourceKind};
+use peert_beans::catalog::{AdcBean, PwmBean, TimerIntBean};
+use peert_beans::{ExpertSystem, PeProject, PropertyValue};
+use peert_mcu::McuCatalog;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any period the MC56F8367's timers can express (µs to ~100 ms) is
+    /// resolved within the expert system's tolerance.
+    #[test]
+    fn timer_resolution_meets_tolerance(period_us in 10u32..100_000) {
+        let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        let mut b = TimerIntBean::new(period_us as f64 * 1e-6);
+        let sol = b.resolve(&spec).unwrap();
+        let achieved = 1.0 / sol.achieved_hz;
+        let rel = (achieved - b.period_s).abs() / b.period_s;
+        prop_assert!(rel <= 1e-3, "period {} µs: rel error {rel}", period_us);
+        // the register values are inside the hardware space
+        prop_assert!(spec.timers.prescalers.contains(&sol.prescaler));
+        prop_assert!(sol.modulo >= 1 && sol.modulo <= 65_535);
+    }
+
+    /// Property edits either fail (and change nothing observable) or the
+    /// new value shows up in the Inspector rows.
+    #[test]
+    fn adc_property_edits_are_atomic(res in 0i64..24, ch in -2i64..12) {
+        let mut bean = AdcBean::new(12, 0);
+        let before = bean.properties();
+        let r1 = bean.set_property("resolution [bits]", PropertyValue::Int(res));
+        if r1.is_err() {
+            prop_assert_eq!(&bean.properties()[0], &before[0], "failed edit left state alone");
+        } else {
+            prop_assert_eq!(bean.resolution_bits as i64, res);
+        }
+        let r2 = bean.set_property("channel", PropertyValue::Int(ch));
+        if r2.is_ok() {
+            prop_assert_eq!(bean.channel as i64, ch);
+        }
+        // all rows remain self-consistent after any edit sequence
+        prop_assert!(bean.properties().iter().all(|row| row.is_valid()));
+    }
+
+    /// However many beans a project holds, the allocator never assigns the
+    /// same (kind, instance) twice, and never exceeds capacity.
+    #[test]
+    fn allocation_is_injective_and_bounded(
+        n_timers in 0usize..12,
+        n_adcs in 0usize..4,
+        n_pwms in 0usize..4,
+    ) {
+        let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        let mut p = PeProject::new("MC56F8367");
+        for i in 0..n_timers {
+            p.add(Bean { name: format!("TI{i}"), config: BeanConfig::TimerInt(TimerIntBean::new(1e-3)) }).unwrap();
+        }
+        for i in 0..n_adcs {
+            p.add(Bean { name: format!("AD{i}"), config: BeanConfig::Adc(AdcBean::new(12, 0)) }).unwrap();
+        }
+        for i in 0..n_pwms {
+            p.add(Bean { name: format!("PW{i}"), config: BeanConfig::Pwm(PwmBean::new(20_000.0)) }).unwrap();
+        }
+        let (findings, alloc) = ExpertSystem::check(&p, &spec);
+        let fits = n_timers <= spec.timers.count && n_adcs <= spec.adc.count && n_pwms <= spec.pwm.count;
+        if fits {
+            let alloc = alloc.expect("fitting project allocates");
+            // injectivity per kind
+            let mut seen: std::collections::HashSet<(ResourceKind, usize)> = Default::default();
+            for bean in p.beans() {
+                let kind = bean.config.claims()[0].kind;
+                let inst = alloc.instance_of(&bean.name).unwrap();
+                prop_assert!(seen.insert((kind, inst)), "duplicate {kind:?}#{inst}");
+                let cap = match kind {
+                    ResourceKind::TimerChannel => spec.timers.count,
+                    ResourceKind::AdcModule => spec.adc.count,
+                    ResourceKind::PwmGenerator => spec.pwm.count,
+                    _ => usize::MAX,
+                };
+                prop_assert!(inst < cap);
+            }
+        } else {
+            prop_assert!(alloc.is_none(), "oversubscription must fail: {findings:?}");
+        }
+    }
+
+    /// PWM resolution always lands inside the register space and within
+    /// 1 % of the requested carrier for reachable frequencies.
+    #[test]
+    fn pwm_resolution_is_in_register_space(freq in 100.0f64..1_000_000.0) {
+        let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        let mut b = PwmBean::new(freq);
+        if let Ok(sol) = b.resolve(&spec) {
+            prop_assert!(sol.period_counts >= 2);
+            prop_assert!(sol.period_counts <= spec.pwm.max_period_counts);
+            let rel = (sol.achieved_hz - freq).abs() / freq;
+            prop_assert!(rel < 0.01, "carrier off by {rel}");
+        }
+    }
+}

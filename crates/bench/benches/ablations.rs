@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! engine sweep scaling, executive idle-quantum granularity, peripheral
+//! tick batching, and packet codec throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peert_mcu::board::{vectors, Mcu};
+use peert_mcu::McuCatalog;
+use peert_model::graph::Diagram;
+use peert_model::library::math::Gain;
+use peert_model::library::sources::SineWave;
+use peert_model::Engine;
+use peert_pil::packet::{Packet, PacketParser};
+use peert_rtexec::Executive;
+
+/// How the fixed-step sweep scales with the number of blocks — the cost of
+/// the per-block dynamic dispatch + wire copying design.
+fn engine_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_engine_block_count");
+    for n in [10usize, 100, 400] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut d = Diagram::new();
+            let mut prev = d.add("src", SineWave::new(1.0, 10.0)).unwrap();
+            for i in 0..n {
+                let blk = d.add(format!("g{i}"), Gain::new(1.0001)).unwrap();
+                d.connect((prev, 0), (blk, 0)).unwrap();
+                prev = blk;
+            }
+            let mut e = Engine::new(d, 1e-3).unwrap();
+            b.iter(|| {
+                e.step().unwrap();
+                e.time()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The executive's idle-quantum trade-off: finer quanta give tighter
+/// dispatch latency bounds but cost simulation throughput.
+fn executive_idle_quantum(c: &mut Criterion) {
+    let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+    let mut g = c.benchmark_group("ablation_idle_quantum");
+    g.sample_size(10);
+    for quantum in [5u64, 20, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(quantum), &quantum, |b, &q| {
+            b.iter(|| {
+                let mut mcu = Mcu::new(&spec);
+                mcu.intc.configure(vectors::timer(0), 5);
+                mcu.timers[0].configure(1, 60_000).unwrap();
+                mcu.timers[0].start(0);
+                let mut exec = Executive::new(mcu);
+                exec.attach(vectors::timer(0), "ctl", 3_000, 64, None);
+                exec.set_idle_quantum(q);
+                exec.start();
+                exec.run_for_secs(0.05);
+                exec.profile("ctl").unwrap().activations
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Peripheral tick batching: advancing the MCU in one large window vs many
+/// small ones (the event-timestamped peripheral design makes both exact;
+/// this measures the overhead of window count alone).
+fn mcu_tick_batching(c: &mut Criterion) {
+    let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+    let mut g = c.benchmark_group("ablation_tick_batching");
+    for windows in [1u64, 100, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(windows), &windows, |b, &w| {
+            b.iter(|| {
+                let mut mcu = Mcu::new(&spec);
+                mcu.timers[0].configure(1, 60_000).unwrap();
+                mcu.timers[0].start(0);
+                let total = 600_000u64; // 10 ms
+                for k in 1..=w {
+                    mcu.advance_to(total * k / w);
+                }
+                mcu.timers[0].rollovers()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Packet codec throughput vs payload size.
+fn packet_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_packet_codec");
+    for n in [1usize, 8, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = Packet::new(1, (0..n as i16).collect()).unwrap();
+            b.iter(|| {
+                let bytes = p.encode();
+                let mut parser = PacketParser::new();
+                let mut out = None;
+                for byte in bytes {
+                    if let Some(pkt) = parser.push(byte) {
+                        out = Some(pkt);
+                    }
+                }
+                out.unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_scaling, executive_idle_quantum, mcu_tick_batching, packet_codec);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E10 bench: the full MIL → PIL → HIL validation ladder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert_bench::e10_validation_ladder;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_validation_ladder");
+    g.sample_size(10);
+    g.bench_function("mil_pil_hil_0p5s", |b| {
+        b.iter(|| {
+            let rows = e10_validation_ladder();
+            assert_eq!(rows.len(), 3);
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

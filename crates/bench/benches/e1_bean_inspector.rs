@@ -1,0 +1,17 @@
+//! E1 bench: the Bean Inspector's validation sweep (Fig 4.1, §4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert_bench::e1_bean_inspector;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e1_bean_inspector_validation_sweep", |b| {
+        b.iter(|| {
+            let rows = e1_bean_inspector();
+            assert!(rows.iter().any(|r| !r.accepted));
+            rows
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2 bench: the MIL servo case study (Figs 7.1/7.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert::servo::{build_servo_model, ServoOptions};
+use peert_control::setpoint::SetpointProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_mil_servo");
+    g.sample_size(10);
+    g.bench_function("mil_0p2s_closed_loop", |b| {
+        b.iter(|| {
+            let opts = ServoOptions {
+                setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+                load_step: None,
+                ..Default::default()
+            };
+            let mut m = build_servo_model(&opts).unwrap();
+            m.run(0.2).unwrap();
+            let n = m.speed_log.lock().len();
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E3 bench: one MIL run per feedback ADC resolution (§5 fidelity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peert::servo::{build_servo_model, Feedback, ServoOptions};
+use peert_control::setpoint::SetpointProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_adc_resolution");
+    g.sample_size(10);
+    for bits in [8u8, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let opts = ServoOptions {
+                    feedback: Feedback::AnalogTacho { resolution_bits: bits, full_scale: 250.0 },
+                    setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+                    load_step: None,
+                    ..Default::default()
+                };
+                let mut m = build_servo_model(&opts).unwrap();
+                m.run(0.2).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

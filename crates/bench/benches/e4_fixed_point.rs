@@ -1,0 +1,22 @@
+//! E4 bench: controller-step pricing and Q15 vs f64 PID micro-costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert_control::pid::{PidConfig, PidF64, PidQ15};
+use peert_fixedpoint::Q15;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = PidConfig { kp: 0.3, ki: 1.0, kd: 0.0, ts: 1e-3, umin: -1.0, umax: 1.0 };
+    c.bench_function("e4_pid_step_f64", |b| {
+        let mut pid = PidF64::new(cfg).unwrap();
+        b.iter(|| black_box(pid.step(black_box(0.4), black_box(0.1))))
+    });
+    c.bench_function("e4_pid_step_q15", |b| {
+        let mut pid = PidQ15::new(cfg, 1.0, 1.0).unwrap();
+        let (r, y) = (Q15::from_f64(0.4), Q15::from_f64(0.1));
+        b.iter(|| black_box(pid.step(black_box(r), black_box(y))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E5 bench: full PEERT build (expert system + TLC + pricing) throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert::servo::ServoOptions;
+use peert::workflow::run_codegen;
+use peert_control::setpoint::SetpointProfile;
+
+fn bench(c: &mut Criterion) {
+    let opts = ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+        load_step: None,
+        ..Default::default()
+    };
+    c.bench_function("e5_full_peert_build_mc56f8367", |b| {
+        b.iter(|| {
+            let out = run_codegen(&opts, "MC56F8367").unwrap();
+            assert!(out.report.loc > 30);
+            out.report.loc
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E6 bench: PIL exchange throughput at two baud rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peert::servo::ServoOptions;
+use peert::workflow::run_pil;
+use peert_control::setpoint::SetpointProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_pil");
+    g.sample_size(10);
+    for (baud, period) in [(115_200u32, 2e-3), (9_600, 2e-2)] {
+        g.bench_with_input(BenchmarkId::from_parameter(baud), &baud, |b, &baud| {
+            b.iter(|| {
+                let mut opts = ServoOptions {
+                    setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+                    load_step: None,
+                    ..Default::default()
+                };
+                opts.control_period_s = period;
+                opts.pid.ts = period;
+                let (stats, _) = run_pil(&opts, "MC56F8367", baud, 50).unwrap();
+                assert_eq!(stats.steps, 50);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E7 bench: executive throughput (simulated seconds per wall second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert_mcu::board::{vectors, Mcu};
+use peert_mcu::McuCatalog;
+use peert_rtexec::Executive;
+
+fn bench(c: &mut Criterion) {
+    let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+    let mut g = c.benchmark_group("e7_scheduling");
+    g.sample_size(10);
+    g.bench_function("executive_0p1s_1khz_task", |b| {
+        b.iter(|| {
+            let mut mcu = Mcu::new(&spec);
+            mcu.intc.configure(vectors::timer(0), 5);
+            mcu.timers[0].configure(1, 60_000).unwrap();
+            mcu.timers[0].start(0);
+            let mut exec = Executive::new(mcu);
+            exec.attach(vectors::timer(0), "ctl", 3_000, 64, None);
+            exec.set_background_burst(Some(6_000));
+            exec.start();
+            exec.run_for_secs(0.1);
+            exec.profile("ctl").unwrap().activations
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

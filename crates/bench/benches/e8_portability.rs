@@ -1,0 +1,20 @@
+//! E8 bench: retargeting the unchanged model across the whole catalog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert_bench::e8_portability;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_portability");
+    g.sample_size(10);
+    g.bench_function("catalog_sweep", |b| {
+        b.iter(|| {
+            let rows = e8_portability();
+            assert_eq!(rows.iter().filter(|r| r.built).count(), 5);
+            rows
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E9 bench: sync convergence under randomized edit sequences.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert_bench::e9_sync;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e9_sync_80_random_edits", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let row = e9_sync(seed, 80);
+            assert!(row.consistent);
+            row
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

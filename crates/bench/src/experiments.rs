@@ -1,0 +1,816 @@
+//! The E1–E9 experiment implementations.
+
+use peert::servo::{
+    build_controller, build_servo_model, ControllerArithmetic, Feedback, ServoOptions,
+};
+use peert::target_peert::PeertTarget;
+use peert::hil::{run_hil, run_hil_loaded};
+use peert::workflow::{run_mil, run_pil, run_pil_link, run_pil_noisy};
+use peert_beans::bean::{Bean, BeanConfig, Severity};
+use peert_beans::catalog::{AdcBean, PwmBean, QuadDecBean, SerialBean, TimerIntBean};
+use peert_beans::{ExpertSystem, Inspector, PeProject, PropertyValue};
+use peert_codegen::tlc::{Arithmetic, CodegenOptions};
+use peert_codegen::{generate_controller, TaskImage};
+use peert_control::metrics::StepMetrics;
+use peert_control::setpoint::SetpointProfile;
+use peert_mcu::board::vectors;
+use peert_mcu::{McuCatalog, McuSpec};
+use peert_rtexec::Executive;
+use serde::{Deserialize, Serialize};
+
+fn catalog() -> McuCatalog {
+    McuCatalog::standard()
+}
+
+fn mc56() -> McuSpec {
+    catalog().find("MC56F8367").unwrap().clone()
+}
+
+fn quick_servo() -> ServoOptions {
+    ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+        load_step: None,
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------- E1 ----
+
+/// One E1 row: a configuration attempt and the expert system's verdict.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E1Row {
+    /// What was attempted.
+    pub case: String,
+    /// Whether the expert system accepted it.
+    pub accepted: bool,
+    /// First finding message, if any.
+    pub finding: Option<String>,
+}
+
+/// E1 — Bean Inspector & expert validation (Fig 4.1, §4): invalid hardware
+/// settings must be rejected at design time, valid ones auto-completed.
+pub fn e1_bean_inspector() -> Vec<E1Row> {
+    let spec = mc56();
+    let mut rows = Vec::new();
+    let mut check = |case: &str, findings: Vec<peert_beans::Finding>| {
+        let errors: Vec<_> =
+            findings.iter().filter(|f| f.severity == Severity::Error).collect();
+        rows.push(E1Row {
+            case: case.into(),
+            accepted: errors.is_empty(),
+            finding: errors.first().map(|f| f.message.clone()),
+        });
+    };
+
+    check("1 kHz TimerInt on MC56F8367", TimerIntBean::new(1e-3).validate("TI", &spec));
+    check("1-hour TimerInt (unreachable)", TimerIntBean::new(3600.0).validate("TI", &spec));
+    check("12-bit ADC on MC56F8367", AdcBean::new(12, 0).validate("AD", &spec));
+    check(
+        "12-bit ADC on MC9S12DP256 (8/10-bit converter)",
+        AdcBean::new(12, 0).validate("AD", catalog().find("MC9S12DP256").unwrap()),
+    );
+    check("20 kHz PWM on MC56F8367", PwmBean::new(20_000.0).validate("PWM", &spec));
+    check("10 MHz PWM (reachable but only 7 duty levels)", PwmBean::new(1e7).validate("PWM", &spec));
+    check("40 MHz PWM (beyond the 60 MHz bus)", PwmBean::new(4e7).validate("PWM", &spec));
+    check(
+        "QuadDecoder on MC9S08GB60 (no decoder block)",
+        QuadDecBean::new(100).validate("QD", catalog().find("MC9S08GB60").unwrap()),
+    );
+    check("115200 baud SCI on MC56F8367", SerialBean::new(115_200).validate("RS", &spec));
+
+    // inspector edit rollback: an invalid edit must be refused
+    let mut bean = Bean { name: "AD1".into(), config: BeanConfig::Adc(AdcBean::new(12, 0)) };
+    let refused =
+        Inspector::set(&mut bean, "resolution [bits]", PropertyValue::Int(14), Some(&spec))
+            .is_err();
+    rows.push(E1Row {
+        case: "Inspector edit to unsupported 14 bits".into(),
+        accepted: !refused,
+        finding: refused.then(|| "edit refused and rolled back".into()),
+    });
+
+    // pin conflict across beans
+    let mut p = PeProject::new("MC56F8367");
+    p.add(Bean {
+        name: "B1".into(),
+        config: BeanConfig::BitIo(peert_beans::catalog::BitIoBean::input(0, 3)),
+    })
+    .unwrap();
+    p.add(Bean {
+        name: "B2".into(),
+        config: BeanConfig::BitIo(peert_beans::catalog::BitIoBean::output(0, 3)),
+    })
+    .unwrap();
+    let (findings, alloc) = ExpertSystem::check(&p, &spec);
+    rows.push(E1Row {
+        case: "two beans on pin 0.3".into(),
+        accepted: alloc.is_some(),
+        finding: findings.first().map(|f| f.message.clone()),
+    });
+    rows
+}
+
+// ---------------------------------------------------------------- E2 ----
+
+/// E2 row: MIL servo step-response metrics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E2Row {
+    /// Scenario label.
+    pub scenario: String,
+    /// 10–90 % rise time (s).
+    pub rise_time: f64,
+    /// Overshoot fraction.
+    pub overshoot: f64,
+    /// 2 % settling time (s).
+    pub settling_time: f64,
+    /// Steady-state error (rad/s).
+    pub steady_state_error: f64,
+    /// IAE.
+    pub iae: f64,
+}
+
+fn metrics_row(scenario: &str, m: &StepMetrics) -> E2Row {
+    E2Row {
+        scenario: scenario.into(),
+        rise_time: m.rise_time,
+        overshoot: m.overshoot,
+        settling_time: m.settling_time,
+        steady_state_error: m.steady_state_error,
+        iae: m.iae,
+    }
+}
+
+/// E2 — the MIL servo case study (Figs 7.1/7.2): step response and load
+/// disturbance rejection.
+pub fn e2_mil_servo() -> Vec<E2Row> {
+    let mut rows = Vec::new();
+    let mil = run_mil(&quick_servo(), 0.8).unwrap();
+    rows.push(metrics_row("step to 150 rad/s (no load)", &mil.metrics));
+
+    let loaded = ServoOptions { load_step: Some((0.5, 0.05)), ..quick_servo() };
+    let mut model = build_servo_model(&loaded).unwrap();
+    model.run(1.2).unwrap();
+    let log = model.speed_log.lock().clone();
+    // dip depth + recovery after the load step
+    let before = log.sample_at(0.49).unwrap();
+    let worst = log
+        .t
+        .iter()
+        .zip(&log.y)
+        .filter(|(t, _)| **t >= 0.5 && **t <= 0.7)
+        .map(|(_, y)| *y)
+        .fold(f64::INFINITY, f64::min);
+    let recovered = log.sample_at(1.15).unwrap();
+    rows.push(E2Row {
+        scenario: format!(
+            "load step 0.05 N·m: dip {:.1} → recovered {:.1} rad/s",
+            before - worst,
+            recovered
+        ),
+        rise_time: f64::NAN,
+        overshoot: f64::NAN,
+        settling_time: f64::NAN,
+        steady_state_error: 150.0 - recovered,
+        iae: f64::NAN,
+    });
+    rows
+}
+
+// ---------------------------------------------------------------- E3 ----
+
+/// E3 row: control quality vs feedback ADC resolution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E3Row {
+    /// ADC resolution in bits (0 = ideal/unquantized feedback).
+    pub bits: u8,
+    /// IAE of the step response.
+    pub iae: f64,
+    /// RMS speed ripple at steady state (rad/s).
+    pub ripple_rms: f64,
+}
+
+/// E3 — single-model hardware fidelity (§5): MIL with the real peripheral
+/// resolution differs measurably from idealized MIL.
+pub fn e3_adc_resolution() -> Vec<E3Row> {
+    let mut rows = Vec::new();
+    for bits in [4u8, 6, 8, 10, 12, 16] {
+        let opts = ServoOptions {
+            feedback: Feedback::AnalogTacho { resolution_bits: bits, full_scale: 250.0 },
+            ..quick_servo()
+        };
+        let mut model = build_servo_model(&opts).unwrap();
+        model.run(0.8).unwrap();
+        let log = model.speed_log.lock().clone();
+        let m = StepMetrics::from_response(&log.t, &log.y, 150.0, 0.02);
+        // steady-state ripple over the last 0.2 s
+        let tail: Vec<f64> = log
+            .t
+            .iter()
+            .zip(&log.y)
+            .filter(|(t, _)| **t > 0.6)
+            .map(|(_, y)| *y - 150.0)
+            .collect();
+        let ripple = (tail.iter().map(|e| e * e).sum::<f64>() / tail.len() as f64).sqrt();
+        rows.push(E3Row { bits, iae: m.iae, ripple_rms: ripple });
+    }
+    // ideal (encoder) reference
+    let mut model = build_servo_model(&quick_servo()).unwrap();
+    model.run(0.8).unwrap();
+    let log = model.speed_log.lock().clone();
+    let m = StepMetrics::from_response(&log.t, &log.y, 150.0, 0.02);
+    rows.push(E3Row { bits: 0, iae: m.iae, ripple_rms: 0.0 });
+    rows
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+/// E4 row: fixed-point vs float controller.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E4Row {
+    /// Arithmetic label.
+    pub arithmetic: String,
+    /// Target MCU.
+    pub target: String,
+    /// Controller step cost in cycles.
+    pub step_cycles: u64,
+    /// Step time in µs.
+    pub step_micros: f64,
+    /// CPU utilization at 1 kHz.
+    pub utilization: f64,
+    /// RMS trajectory deviation from the float MIL reference (rad/s).
+    pub rms_vs_float: f64,
+}
+
+/// E4 — fixed point vs double (§7): quality loss is negligible, cycle cost
+/// on the FPU-less 16-bit part is dramatically lower.
+pub fn e4_fixed_point() -> Vec<E4Row> {
+    let float_opts = quick_servo();
+    let mut float_model = build_servo_model(&float_opts).unwrap();
+    float_model.run(0.6).unwrap();
+    let float_log = float_model.speed_log.lock().clone();
+
+    let mut rows = Vec::new();
+    for (label, arith, copts) in [
+        ("double", ControllerArithmetic::Float, Arithmetic::Float),
+        ("Q15", ControllerArithmetic::FixedQ15 { scale: 250.0 }, Arithmetic::FixedQ15),
+    ] {
+        let opts = ServoOptions { arithmetic: arith, ..quick_servo() };
+        let mut model = build_servo_model(&opts).unwrap();
+        model.run(0.6).unwrap();
+        let log = model.speed_log.lock().clone();
+        let rms = log.rms_diff(&float_log);
+
+        let controller = build_controller(&opts).unwrap();
+        let target = PeertTarget::new();
+        let code = generate_controller(
+            &controller,
+            "servo",
+            &CodegenOptions { arithmetic: copts, dt: 1e-3 },
+            peert_codegen::target::Target::registry(&target),
+        )
+        .unwrap();
+        for mcu in ["MC56F8367", "MPC5554"] {
+            let spec = catalog().find(mcu).unwrap().clone();
+            let image = TaskImage::build(&code, &spec);
+            rows.push(E4Row {
+                arithmetic: label.into(),
+                target: mcu.into(),
+                step_cycles: image.step_cycles,
+                step_micros: image.step_time_secs(&spec) * 1e6,
+                utilization: image.utilization(&spec, 1e-3),
+                rms_vs_float: rms,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+/// E5 row: code generation metrics per target MCU.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E5Row {
+    /// Target MCU (or "manual baseline").
+    pub target: String,
+    /// Whether the build succeeded.
+    pub built: bool,
+    /// Generated LoC.
+    pub loc: usize,
+    /// Flash bytes.
+    pub flash_bytes: u32,
+    /// RAM bytes.
+    pub ram_bytes: u32,
+    /// Step cycles.
+    pub step_cycles: u64,
+    /// Generation time in µs.
+    pub gen_micros: u128,
+    /// Equivalent manual effort (days at the §2 rate of 6 LoC/day).
+    pub manual_days: f64,
+    /// Failure reason when not built.
+    pub error: Option<String>,
+}
+
+/// E5 — code generation across the catalog (§2, §3, §5): LoC, footprint,
+/// generation time, and the §2 manual-productivity contrast.
+pub fn e5_codegen() -> Vec<E5Row> {
+    let opts = quick_servo();
+    let mut rows = Vec::new();
+    for spec in catalog().specs() {
+        match peert::workflow::run_codegen(&opts, &spec.name) {
+            Ok(out) => rows.push(E5Row {
+                target: spec.name.clone(),
+                built: true,
+                loc: out.report.loc,
+                flash_bytes: out.report.flash_bytes,
+                ram_bytes: out.report.ram_bytes,
+                step_cycles: out.report.step_cycles,
+                gen_micros: out.report.gen_micros,
+                manual_days: out.report.manual_days_equivalent,
+                error: None,
+            }),
+            Err(e) => rows.push(E5Row {
+                target: spec.name.clone(),
+                built: false,
+                loc: 0,
+                flash_bytes: 0,
+                ram_bytes: 0,
+                step_cycles: 0,
+                gen_micros: 0,
+                manual_days: 0.0,
+                error: Some(e),
+            }),
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E6 ----
+
+/// E6 row: PIL behaviour vs link speed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E6Row {
+    /// Link label (e.g. "RS-232 9600", "SPI 2 MHz").
+    pub link: String,
+    /// Control period used (s).
+    pub period_s: f64,
+    /// Mean step duration (ms).
+    pub mean_step_ms: f64,
+    /// Communication fraction of a step.
+    pub comm_fraction: f64,
+    /// Minimum feasible control period (ms).
+    pub min_period_ms: f64,
+    /// Deadline misses.
+    pub deadline_misses: u64,
+    /// RMS deviation of the PIL speed trajectory from MIL (rad/s).
+    pub rms_vs_mil: f64,
+}
+
+/// E6 — PIL simulation (Fig 6.2, §6): RS-232 time dominates, overhead
+/// scales with 1/baud, the trajectory matches MIL within quantization.
+pub fn e6_pil(steps: u64) -> Vec<E6Row> {
+    use peert_pil::cosim::LinkKind;
+    let bus_hz = mc56().bus_hz();
+    let mut rows = Vec::new();
+    let cases: Vec<(String, LinkKind, f64)> = vec![
+        ("RS-232 9600".into(), LinkKind::Rs232 { baud: 9_600 }, 0.02),
+        ("RS-232 19200".into(), LinkKind::Rs232 { baud: 19_200 }, 0.01),
+        ("RS-232 57600".into(), LinkKind::Rs232 { baud: 57_600 }, 0.004),
+        ("RS-232 115200".into(), LinkKind::Rs232 { baud: 115_200 }, 0.002),
+        ("RS-232 460800".into(), LinkKind::Rs232 { baud: 460_800 }, 0.001),
+        // the §8 future-work link on the open simulator target
+        ("SPI 2 MHz".into(), LinkKind::Spi { clock_hz: 2_000_000 }, 0.001),
+    ];
+    for (label, link, period) in cases {
+        let mut opts = quick_servo();
+        opts.control_period_s = period;
+        opts.pid.ts = period;
+        let mil = run_mil(&opts, steps as f64 * period).unwrap();
+        let (stats, speed) = run_pil_link(&opts, "MC56F8367", link, steps).unwrap();
+        rows.push(E6Row {
+            link: label,
+            period_s: period,
+            mean_step_ms: stats.mean_step_cycles() / bus_hz * 1e3,
+            comm_fraction: stats.comm_fraction(),
+            min_period_ms: stats.min_feasible_period_s(bus_hz) * 1e3,
+            deadline_misses: stats.deadline_misses,
+            rms_vs_mil: speed.rms_diff(&mil.speed),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E7 ----
+
+/// E7 row: scheduling behaviour under background load.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E7Row {
+    /// Background burst length (µs of non-preemptible work).
+    pub burst_micros: f64,
+    /// Max interrupt response (µs).
+    pub response_max_us: f64,
+    /// Sampling jitter (µs, peak deviation from the 1 ms grid).
+    pub jitter_us: f64,
+    /// Lost timer activations.
+    pub lost: u64,
+    /// CPU utilization.
+    pub utilization: f64,
+    /// Closed-loop IAE of the HIL servo under the same load (the §1
+    /// quality-degradation column).
+    pub hil_iae: f64,
+}
+
+/// E7 — scheduling & jitter (§5 non-preemptive execution): response time
+/// and sampling jitter grow with background load; overload loses samples.
+pub fn e7_scheduling() -> Vec<E7Row> {
+    let spec = mc56();
+    let bus = spec.bus_hz();
+    let mut rows = Vec::new();
+    for burst_us in [0.0f64, 50.0, 200.0, 500.0, 900.0, 1500.0] {
+        let mut mcu = peert_mcu::board::Mcu::new(&spec);
+        mcu.intc.configure(vectors::timer(0), 5);
+        mcu.timers[0].configure(1, 60_000).unwrap(); // 1 kHz
+        mcu.timers[0].start(0);
+        let mut exec = Executive::new(mcu);
+        exec.attach(vectors::timer(0), "ctl", 3_000, 64, None); // 50 µs body
+        if burst_us > 0.0 {
+            exec.set_background_burst(Some((burst_us * bus / 1e6) as u64));
+        }
+        exec.start();
+        exec.run_for_secs(0.5);
+        let p = exec.profile("ctl").unwrap().clone();
+        let report = exec.report();
+        // the same load applied to the real closed loop (HIL): §1's
+        // "timing variations ... degrade the control performance"
+        let burst_cycles = (burst_us * bus / 1e6) as u64;
+        let hil = run_hil_loaded(
+            &quick_servo(),
+            "MC56F8367",
+            0.4,
+            (burst_cycles > 0).then_some(burst_cycles),
+        )
+        .unwrap();
+        let hil_iae = StepMetrics::from_response(&hil.speed.t, &hil.speed.y, 150.0, 0.02).iae;
+        rows.push(E7Row {
+            burst_micros: burst_us,
+            response_max_us: p.response_max as f64 / bus * 1e6,
+            jitter_us: p.start_jitter(60_000) as f64 / bus * 1e6,
+            lost: report.lost_interrupts,
+            utilization: report.utilization(),
+            hil_iae,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E8 ----
+
+/// E8 row: portability of the unchanged model across the catalog.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E8Row {
+    /// Target part.
+    pub target: String,
+    /// Whether the retarget built.
+    pub built: bool,
+    /// Step cost in µs on that part.
+    pub step_micros: f64,
+    /// Utilization at 1 kHz.
+    pub utilization: f64,
+    /// Flash bytes.
+    pub flash_bytes: u32,
+    /// Rejection reason if not built.
+    pub reason: Option<String>,
+}
+
+/// E8 — portability (§1, §3.1): the unchanged servo model retargets by
+/// swapping the CPU bean; parts lacking a required peripheral are rejected
+/// by the expert system with a named finding.
+pub fn e8_portability() -> Vec<E8Row> {
+    let opts = quick_servo();
+    let mut rows = Vec::new();
+    for spec in catalog().specs() {
+        match peert::workflow::run_codegen(&opts, &spec.name) {
+            Ok(out) => rows.push(E8Row {
+                target: spec.name.clone(),
+                built: true,
+                step_micros: out.image.step_time_secs(&out.spec) * 1e6,
+                utilization: out.image.utilization(&out.spec, 1e-3),
+                flash_bytes: out.image.flash_bytes,
+                reason: None,
+            }),
+            Err(e) => rows.push(E8Row {
+                target: spec.name.clone(),
+                built: false,
+                step_micros: f64::NAN,
+                utilization: f64::NAN,
+                flash_bytes: 0,
+                reason: Some(e),
+            }),
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E9 ----
+
+/// E9 summary: sync convergence under a randomized edit sequence.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E9Row {
+    /// Number of random edits applied.
+    pub edits: usize,
+    /// Syncs performed.
+    pub syncs: usize,
+    /// Whether model and project converged.
+    pub consistent: bool,
+    /// Conflicts recorded.
+    pub conflicts: usize,
+}
+
+/// E9 — model⇄project sync (§5 PES_COM): random interleaved edits on both
+/// sides converge after sync.
+pub fn e9_sync(seed: u64, edits: usize) -> E9Row {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = peert::sync::SyncedProject::new("MC56F8367");
+    let mut counter = 0usize;
+    let mut names: Vec<String> = Vec::new();
+    let mut syncs = 0usize;
+    for _ in 0..edits {
+        let model_side = rng.gen_bool(0.5);
+        match rng.gen_range(0..4) {
+            0 => {
+                let name = format!("B{counter}");
+                counter += 1;
+                let cfg = BeanConfig::TimerInt(TimerIntBean::new(1e-3));
+                let ok = if model_side {
+                    s.model_add(&name, cfg).is_ok()
+                } else {
+                    s.project_add(&name, cfg).is_ok()
+                };
+                if ok {
+                    names.push(name);
+                }
+            }
+            1 if !names.is_empty() => {
+                let i = rng.gen_range(0..names.len());
+                let name = names[i].clone();
+                // remove may fail if the other side hasn't synced it yet
+                let ok = if model_side {
+                    s.model_remove(&name).is_ok()
+                } else {
+                    s.project_remove(&name).is_ok()
+                };
+                if ok {
+                    names.remove(i);
+                }
+            }
+            2 if !names.is_empty() => {
+                let i = rng.gen_range(0..names.len());
+                let new = format!("B{counter}");
+                counter += 1;
+                let ok = if model_side {
+                    s.model_rename(&names[i], &new).is_ok()
+                } else {
+                    s.project_rename(&names[i], &new).is_ok()
+                };
+                if ok {
+                    names[i] = new;
+                }
+            }
+            _ => {
+                s.sync();
+                syncs += 1;
+            }
+        }
+    }
+    s.sync();
+    syncs += 1;
+    E9Row { edits, syncs, consistent: s.is_consistent(), conflicts: s.conflicts().len() }
+}
+
+// --------------------------------------------------------------- E11 ----
+
+/// E11 row: PIL robustness under line noise.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E11Row {
+    /// Per-byte bit-flip probability on the wire.
+    pub corruption_prob: f64,
+    /// Fraction of exchanges lost to CRC failures.
+    pub drop_fraction: f64,
+    /// CRC errors detected by the board.
+    pub crc_errors: u64,
+    /// RMS deviation of the PIL trajectory from clean MIL (rad/s).
+    pub rms_vs_mil: f64,
+}
+
+/// E11 — line-noise fault injection on the PIL link: corrupted frames are
+/// always CRC-detected (never silently wrong), the loop degrades
+/// gracefully by holding its last actuation, and quality falls
+/// monotonically with the error rate.
+pub fn e11_line_noise(steps: u64) -> Vec<E11Row> {
+    use peert_pil::cosim::LinkKind;
+    let mut opts = quick_servo();
+    opts.control_period_s = 2e-3;
+    opts.pid.ts = 2e-3;
+    let mil = run_mil(&opts, steps as f64 * 2e-3).unwrap();
+    let mut rows = Vec::new();
+    for p in [0.0, 0.001, 0.005, 0.02, 0.05] {
+        let (stats, speed) = run_pil_noisy(
+            &opts,
+            "MC56F8367",
+            LinkKind::Rs232 { baud: 115_200 },
+            p,
+            steps,
+        )
+        .unwrap();
+        rows.push(E11Row {
+            corruption_prob: p,
+            drop_fraction: stats.dropped_exchanges as f64 / stats.steps as f64,
+            crc_errors: stats.crc_errors,
+            rms_vs_mil: speed.rms_diff(&mil.speed),
+        });
+    }
+    rows
+}
+
+// --------------------------------------------------------------- E10 ----
+
+/// E10 row: one validation level of the §6 V-cycle.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E10Row {
+    /// Validation level ("MIL" / "PIL" / "HIL").
+    pub level: String,
+    /// Step-response IAE toward 150 rad/s.
+    pub iae: f64,
+    /// RMS deviation from the MIL reference (rad/s).
+    pub rms_vs_mil: f64,
+    /// Worst timer-ISR/exchange duration observed (µs), NaN for MIL.
+    pub worst_step_us: f64,
+}
+
+/// E10 — the full validation ladder (§2/§6): MIL → PIL → HIL on the same
+/// model; each level adds implementation detail while the trajectory
+/// stays consistent.
+pub fn e10_validation_ladder() -> Vec<E10Row> {
+    let bus = mc56().bus_hz();
+    let mut opts = quick_servo();
+    opts.control_period_s = 2e-3; // feasible for the RS-232 PIL link
+    opts.pid.ts = 2e-3;
+    let horizon = 0.5;
+
+    let mil = run_mil(&opts, horizon).unwrap();
+    let mil_iae =
+        StepMetrics::from_response(&mil.speed.t, &mil.speed.y, 150.0, 0.02).iae;
+
+    let (pil_stats, pil_speed) =
+        run_pil(&opts, "MC56F8367", 115_200, (horizon / opts.control_period_s) as u64).unwrap();
+    let pil_iae = StepMetrics::from_response(&pil_speed.t, &pil_speed.y, 150.0, 0.02).iae;
+
+    let hil = run_hil(&opts, "MC56F8367", horizon).unwrap();
+    let hil_iae = StepMetrics::from_response(&hil.speed.t, &hil.speed.y, 150.0, 0.02).iae;
+    let hil_worst = hil.profile.tasks["ctl_step"].exec_max as f64 / bus * 1e6;
+
+    vec![
+        E10Row { level: "MIL".into(), iae: mil_iae, rms_vs_mil: 0.0, worst_step_us: f64::NAN },
+        E10Row {
+            level: "PIL".into(),
+            iae: pil_iae,
+            rms_vs_mil: pil_speed.rms_diff(&mil.speed),
+            worst_step_us: pil_stats.step_cycles.iter().copied().max().unwrap_or(0) as f64 / bus
+                * 1e6,
+        },
+        E10Row {
+            level: "HIL".into(),
+            iae: hil_iae,
+            rms_vs_mil: hil.speed.rms_diff(&mil.speed),
+            worst_step_us: hil_worst,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_rejects_exactly_the_invalid_cases() {
+        let rows = e1_bean_inspector();
+        let by_case = |needle: &str| {
+            rows.iter().find(|r| r.case.contains(needle)).unwrap_or_else(|| panic!("{needle}"))
+        };
+        assert!(by_case("1 kHz TimerInt").accepted);
+        assert!(!by_case("1-hour TimerInt").accepted);
+        assert!(by_case("12-bit ADC on MC56F8367").accepted);
+        assert!(!by_case("12-bit ADC on MC9S12DP256").accepted);
+        assert!(by_case("10 MHz PWM").accepted, "reachable, warning only");
+        assert!(!by_case("40 MHz PWM").accepted, "gross deviation is an error");
+        assert!(!by_case("no decoder block").accepted);
+        assert!(!by_case("pin 0.3").accepted);
+        assert!(!by_case("14 bits").accepted);
+    }
+
+    #[test]
+    fn e3_quality_degrades_monotonically_with_coarse_adc() {
+        let rows = e3_adc_resolution();
+        let iae = |bits: u8| rows.iter().find(|r| r.bits == bits).unwrap().iae;
+        assert!(iae(4) > iae(8), "4-bit worse than 8-bit: {} vs {}", iae(4), iae(8));
+        assert!(iae(8) > iae(12) * 0.99, "8-bit no better than 12-bit");
+        let r12 = rows.iter().find(|r| r.bits == 12).unwrap();
+        let ideal = rows.iter().find(|r| r.bits == 0).unwrap();
+        assert!(r12.iae < ideal.iae * 1.5, "12-bit ≈ ideal (paper's operating point)");
+    }
+
+    #[test]
+    fn e4_q15_is_cheap_and_accurate() {
+        let rows = e4_fixed_point();
+        let pick = |arith: &str, tgt: &str| {
+            rows.iter().find(|r| r.arithmetic == arith && r.target == tgt).unwrap()
+        };
+        let f = pick("double", "MC56F8367");
+        let q = pick("Q15", "MC56F8367");
+        assert!(f.step_cycles as f64 > 2.0 * q.step_cycles as f64);
+        assert!(q.rms_vs_float < 5.0, "Q15 trajectory near float: {}", q.rms_vs_float);
+        // the FPU part narrows the gap
+        let fp = pick("double", "MPC5554");
+        let qp = pick("Q15", "MPC5554");
+        let dsp_gap = f.step_cycles as f64 / q.step_cycles as f64;
+        let ppc_gap = fp.step_cycles as f64 / qp.step_cycles as f64;
+        assert!(ppc_gap < dsp_gap);
+    }
+
+    #[test]
+    fn e6_spi_beats_every_rs232_rate() {
+        let rows = e6_pil(40);
+        let spi = rows.iter().find(|r| r.link.starts_with("SPI")).unwrap();
+        for r in rows.iter().filter(|r| r.link.starts_with("RS-232")) {
+            assert!(spi.mean_step_ms < r.mean_step_ms, "SPI faster than {}", r.link);
+        }
+        assert_eq!(spi.deadline_misses, 0, "SPI sustains 1 kHz");
+    }
+
+    #[test]
+    fn e10_all_levels_agree_within_quantization() {
+        let rows = e10_validation_ladder();
+        assert_eq!(rows.len(), 3);
+        let mil = &rows[0];
+        for r in &rows[1..] {
+            assert!(
+                (r.iae - mil.iae).abs() / mil.iae < 0.2,
+                "{} IAE within 20% of MIL: {} vs {}",
+                r.level, r.iae, mil.iae
+            );
+            assert!(r.rms_vs_mil < 15.0, "{} rms {}", r.level, r.rms_vs_mil);
+        }
+    }
+
+    #[test]
+    fn e11_noise_degrades_gracefully_and_detectably() {
+        let rows = e11_line_noise(150);
+        assert_eq!(rows[0].drop_fraction, 0.0, "clean line drops nothing");
+        let worst = rows.last().unwrap();
+        assert!(worst.drop_fraction > 0.1, "5 %/byte kills many frames");
+        assert!(worst.crc_errors > 0, "every loss is CRC-detected");
+        assert!(
+            worst.rms_vs_mil > rows[0].rms_vs_mil,
+            "quality falls with noise: {} vs {}",
+            worst.rms_vs_mil,
+            rows[0].rms_vs_mil
+        );
+    }
+
+    #[test]
+    fn e7_jitter_grows_with_background_load() {
+        let rows = e7_scheduling();
+        assert!(rows[0].jitter_us < rows[3].jitter_us);
+        assert!(rows.last().unwrap().lost > 0, "1.5 ms bursts starve the 1 ms timer");
+        assert!(rows[0].response_max_us < 2.0, "idle response under 2 µs");
+        // the §1 claim: overload degrades the closed loop
+        assert!(
+            rows.last().unwrap().hil_iae > rows[0].hil_iae * 1.1,
+            "control quality under overload: {} vs idle {}",
+            rows.last().unwrap().hil_iae,
+            rows[0].hil_iae
+        );
+    }
+
+    #[test]
+    fn e8_only_the_decoder_less_part_fails() {
+        let rows = e8_portability();
+        for r in &rows {
+            if r.target == "MC9S08GB60" {
+                assert!(!r.built);
+                assert!(r.reason.as_ref().unwrap().contains("no quadrature decoder"));
+            } else {
+                assert!(r.built, "{} should build: {:?}", r.target, r.reason);
+            }
+        }
+    }
+
+    #[test]
+    fn e9_sync_converges_for_many_seeds() {
+        for seed in 0..20 {
+            let row = e9_sync(seed, 60);
+            assert!(row.consistent, "seed {seed} diverged: {row:?}");
+        }
+    }
+}

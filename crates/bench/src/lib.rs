@@ -1,0 +1,13 @@
+//! Experiment runners for the reproduction's evaluation (E1–E11).
+//!
+//! The paper's evaluation is a qualitative case study plus figures; this
+//! crate regenerates each figure's scenario *quantitatively*. Every module
+//! returns serde-serializable rows so the Criterion benches and the
+//! `experiments` report binary share one implementation (see DESIGN.md §4
+//! for the experiment index and EXPERIMENTS.md for recorded outcomes).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,226 @@
+//! The executable task image — what "compile and download to the board"
+//! produces in this reproduction.
+//!
+//! A real cross-compiler is out of scope; what PIL simulation needs from
+//! the binary is its *resource behaviour*: how many cycles a step costs on
+//! the selected core, how much flash/RAM it occupies, how deep the stack
+//! goes (§6 lists exactly these: "execution times of the implemented
+//! controller code, interrupts response times, sampling jitters, memory
+//! and stack requirements"). [`TaskImage`] prices the generated operation
+//! stream through the MCU's cost table; functional behaviour at run time
+//! is supplied by the model itself, which is semantically identical to the
+//! generated code by construction (§2: "there is no gap between the model
+//! and the implementation").
+
+use crate::emit::ControllerCode;
+use peert_mcu::{CoreFamily, Cycles, McuSpec, Op};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Code-size density: flash bytes emitted per abstract operation.
+fn bytes_per_op(family: CoreFamily) -> f64 {
+    match family {
+        CoreFamily::Hcs08 => 2.2,
+        CoreFamily::Hcs12 => 2.8,
+        CoreFamily::Dsp56800E => 3.0,
+        CoreFamily::ColdFireV2 => 3.6,
+        CoreFamily::PpcE200 => 4.0,
+    }
+}
+
+/// Fixed flash overhead of the PEERT runtime scaffold (vectors, init,
+/// scheduler shell, bean method bodies).
+const RUNTIME_FLASH_BYTES: u32 = 2048;
+/// Fixed RAM overhead of the runtime (I/O buffers, scheduler state).
+const RUNTIME_RAM_BYTES: u32 = 160;
+
+/// One event (interrupt) handler's cost entry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HandlerCost {
+    /// Cycles per activation (excluding ISR entry/exit, which the
+    /// scheduler charges).
+    pub cycles: Cycles,
+    /// Extra stack bytes while running.
+    pub stack_bytes: u32,
+}
+
+/// The "binary" for the simulated MCU.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskImage {
+    /// Model name.
+    pub name: String,
+    /// Target part number.
+    pub target: String,
+    /// Cycles of one periodic step on the target core.
+    pub step_cycles: Cycles,
+    /// Cycles of the init function.
+    pub init_cycles: Cycles,
+    /// Per-event handler costs, keyed by handler name.
+    pub handlers: BTreeMap<String, HandlerCost>,
+    /// Estimated flash footprint in bytes.
+    pub flash_bytes: u32,
+    /// Estimated static RAM footprint in bytes.
+    pub ram_bytes: u32,
+    /// Estimated worst-case stack bytes of the step function.
+    pub step_stack_bytes: u32,
+}
+
+impl TaskImage {
+    /// Price a generated controller for `spec`.
+    pub fn build(code: &ControllerCode, spec: &McuSpec) -> Self {
+        let table = spec.cost_table();
+        let step_cycles = table.sequence_cost(&code.step_ops);
+        let init_cycles = table.sequence_cost(&code.init_ops);
+        let total_ops = code.step_ops.len() + code.init_ops.len();
+        let flash_bytes =
+            (total_ops as f64 * bytes_per_op(spec.family)) as u32 + RUNTIME_FLASH_BYTES;
+        // locals: one scalar per wire ≈ one per op/4, conservatively
+        let step_stack_bytes = table.frame_bytes + (code.step_ops.len() as u32 / 4) * 2;
+        TaskImage {
+            name: code.name.clone(),
+            target: spec.name.clone(),
+            step_cycles,
+            init_cycles,
+            handlers: BTreeMap::new(),
+            flash_bytes,
+            ram_bytes: code.state_bytes + RUNTIME_RAM_BYTES,
+            step_stack_bytes,
+        }
+    }
+
+    /// Attach an event-handler cost (a function-call subsystem compiled
+    /// into an ISR body).
+    pub fn with_handler(mut self, name: &str, code: &ControllerCode, spec: &McuSpec) -> Self {
+        let table = spec.cost_table();
+        self.handlers.insert(
+            name.to_string(),
+            HandlerCost {
+                cycles: table.sequence_cost(&code.step_ops),
+                stack_bytes: table.frame_bytes + (code.step_ops.len() as u32 / 4) * 2,
+            },
+        );
+        let ops = code.step_ops.len();
+        self.flash_bytes += (ops as f64 * bytes_per_op(spec.family)) as u32;
+        self.ram_bytes += code.state_bytes;
+        self
+    }
+
+    /// Step execution time in seconds on the target.
+    pub fn step_time_secs(&self, spec: &McuSpec) -> f64 {
+        self.step_cycles as f64 / spec.bus_hz()
+    }
+
+    /// CPU utilization of the periodic task at `period_s`.
+    pub fn utilization(&self, spec: &McuSpec, period_s: f64) -> f64 {
+        self.step_time_secs(spec) / period_s
+    }
+
+    /// Whether the image fits the part's flash and RAM.
+    pub fn fits(&self, spec: &McuSpec) -> bool {
+        self.flash_bytes <= spec.flash_bytes && self.ram_bytes <= spec.ram_bytes
+    }
+}
+
+/// Price one operation sequence on a spec (utility for ablations).
+pub fn price_ops(ops: &[Op], spec: &McuSpec) -> Cycles {
+    spec.cost_table().sequence_cost(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::{generate_controller, ControllerCode};
+    use crate::tlc::{Arithmetic, CodegenOptions, TlcRegistry};
+    use peert_mcu::McuCatalog;
+    use peert_model::block::SampleTime;
+    use peert_model::graph::Diagram;
+    use peert_model::library::math::{Gain, Sum};
+    use peert_model::subsystem::{Inport, Outport, Subsystem};
+
+    fn small_controller() -> Subsystem {
+        let mut d = Diagram::new();
+        let r = d.add("r", Inport).unwrap();
+        let y = d.add("fb", Inport).unwrap();
+        let e = d.add("e", Sum::error()).unwrap();
+        let g = d.add("k", Gain::new(0.3)).unwrap();
+        let o = d.add("u", Outport).unwrap();
+        d.connect((r, 0), (e, 0)).unwrap();
+        d.connect((y, 0), (e, 1)).unwrap();
+        d.connect((e, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        Subsystem::new(d, vec![r, y], vec![o], SampleTime::every(1e-3)).unwrap()
+    }
+
+    fn gen(arith: Arithmetic) -> ControllerCode {
+        generate_controller(
+            &small_controller(),
+            "p_ctl",
+            &CodegenOptions { arithmetic: arith, dt: 1e-3 },
+            &TlcRegistry::standard(),
+        )
+        .unwrap()
+    }
+
+    fn spec(name: &str) -> McuSpec {
+        McuCatalog::standard().find(name).unwrap().clone()
+    }
+
+    #[test]
+    fn fixed_point_is_much_cheaper_on_the_fpu_less_dsp() {
+        let mc56 = spec("MC56F8367");
+        let float = TaskImage::build(&gen(Arithmetic::Float), &mc56);
+        let fixed = TaskImage::build(&gen(Arithmetic::FixedQ15), &mc56);
+        assert!(
+            float.step_cycles as f64 > 2.5 * fixed.step_cycles as f64,
+            "float {} vs fixed {} cycles",
+            float.step_cycles,
+            fixed.step_cycles
+        );
+    }
+
+    #[test]
+    fn the_fpu_part_shrinks_the_gap() {
+        let code_f = gen(Arithmetic::Float);
+        let code_q = gen(Arithmetic::FixedQ15);
+        let dsp_gap = TaskImage::build(&code_f, &spec("MC56F8367")).step_cycles as f64
+            / TaskImage::build(&code_q, &spec("MC56F8367")).step_cycles as f64;
+        let ppc_gap = TaskImage::build(&code_f, &spec("MPC5554")).step_cycles as f64
+            / TaskImage::build(&code_q, &spec("MPC5554")).step_cycles as f64;
+        assert!(ppc_gap < dsp_gap / 2.0, "FPU narrows float/fixed: {ppc_gap} vs {dsp_gap}");
+    }
+
+    #[test]
+    fn image_fits_the_case_study_part() {
+        let img = TaskImage::build(&gen(Arithmetic::FixedQ15), &spec("MC56F8367"));
+        assert!(img.fits(&spec("MC56F8367")), "{img:?}");
+        assert!(img.flash_bytes > RUNTIME_FLASH_BYTES);
+        assert!(img.ram_bytes > 0);
+    }
+
+    #[test]
+    fn utilization_scales_with_period() {
+        let img = TaskImage::build(&gen(Arithmetic::FixedQ15), &spec("MC56F8367"));
+        let u1 = img.utilization(&spec("MC56F8367"), 1e-3);
+        let u2 = img.utilization(&spec("MC56F8367"), 2e-3);
+        assert!((u1 / u2 - 2.0).abs() < 1e-9);
+        assert!(u1 < 0.05, "tiny controller keeps the 60 MHz core mostly idle");
+    }
+
+    #[test]
+    fn handlers_add_flash_and_cost() {
+        let mc56 = spec("MC56F8367");
+        let base = TaskImage::build(&gen(Arithmetic::FixedQ15), &mc56);
+        let with = base.clone().with_handler("AD1_OnEnd", &gen(Arithmetic::FixedQ15), &mc56);
+        assert!(with.flash_bytes > base.flash_bytes);
+        assert!(with.handlers.contains_key("AD1_OnEnd"));
+        assert!(with.handlers["AD1_OnEnd"].cycles > 0);
+    }
+
+    #[test]
+    fn slower_core_takes_longer_wall_clock() {
+        let code = gen(Arithmetic::Float);
+        let t_dsp = TaskImage::build(&code, &spec("MC56F8367")).step_time_secs(&spec("MC56F8367"));
+        let t_s08 = TaskImage::build(&code, &spec("MC9S08GB60")).step_time_secs(&spec("MC9S08GB60"));
+        assert!(t_s08 > 5.0 * t_dsp, "8-bit 20 MHz part is much slower: {t_s08} vs {t_dsp}");
+    }
+}

@@ -1,0 +1,176 @@
+//! The RTW *target* abstraction and the build-hook mechanism.
+//!
+//! §3: "Besides these tools, the platform dependent target is needed. ...
+//! The target, except other, defines the language, details about the MCU,
+//! and it calls the development tools." §5: "peert_make_rtw_hook.m file
+//! implements hook methods called by RTW in the defined points of the code
+//! generation process."
+
+use crate::emit::{CodegenError, ControllerCode};
+use crate::image::TaskImage;
+use crate::tlc::{CodegenOptions, TlcRegistry};
+use peert_mcu::McuSpec;
+use peert_model::subsystem::Subsystem;
+
+/// The hook points RTW exposes during a build (the `*_make_rtw_hook`
+/// method names).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BuildHook {
+    /// Before anything: validate the environment.
+    Entry,
+    /// Before TLC runs: the PEERT hook configures beans here ("it for
+    /// example enables the code generation for methods used in the
+    /// corresponding tlc file").
+    BeforeTlc,
+    /// After code generation: integrate the RTW code with the PE code.
+    AfterCodegen,
+    /// After the build: download to the board.
+    Exit,
+}
+
+/// A hook callback.
+pub type HookFn = Box<dyn FnMut() -> Result<(), String> + Send>;
+
+/// Collects hook callbacks and records their firing order.
+#[derive(Default)]
+pub struct HookRunner {
+    callbacks: Vec<(BuildHook, HookFn)>,
+    fired: Vec<BuildHook>,
+}
+
+impl HookRunner {
+    /// New empty runner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a callback on a hook point.
+    pub fn on(&mut self, hook: BuildHook, f: impl FnMut() -> Result<(), String> + Send + 'static) {
+        self.callbacks.push((hook, Box::new(f)));
+    }
+
+    /// Fire all callbacks registered on `hook`, in registration order.
+    pub fn run(&mut self, hook: BuildHook) -> Result<(), String> {
+        self.fired.push(hook);
+        for (h, f) in &mut self.callbacks {
+            if *h == hook {
+                f()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The hook points fired so far (diagnostics).
+    pub fn fired(&self) -> &[BuildHook] {
+        &self.fired
+    }
+}
+
+/// A code-generation target.
+pub trait Target {
+    /// Target name, e.g. `"peert"` or `"peert_pil"` (§6).
+    fn name(&self) -> &str;
+
+    /// The template registry this target ships (its tlc directory).
+    fn registry(&self) -> &TlcRegistry;
+
+    /// Generate code for the controller subsystem and price it for the
+    /// target MCU — the `make_rtw` entry point.
+    fn build(
+        &self,
+        controller: &Subsystem,
+        model_name: &str,
+        spec: &McuSpec,
+        opts: &CodegenOptions,
+    ) -> Result<(ControllerCode, TaskImage), CodegenError> {
+        let code = crate::emit::generate_controller(controller, model_name, opts, self.registry())?;
+        let image = TaskImage::build(&code, spec);
+        Ok((code, image))
+    }
+}
+
+/// The generic bare-metal target: standard templates only, no peripheral
+/// blocks — what Matlab ships before PEERT is installed (§3.1 weaknesses).
+pub struct GenericTarget {
+    registry: TlcRegistry,
+}
+
+impl Default for GenericTarget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GenericTarget {
+    /// New generic target.
+    pub fn new() -> Self {
+        GenericTarget { registry: TlcRegistry::standard() }
+    }
+}
+
+impl Target for GenericTarget {
+    fn name(&self) -> &str {
+        "grt"
+    }
+    fn registry(&self) -> &TlcRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peert_mcu::McuCatalog;
+    use peert_model::block::SampleTime;
+    use peert_model::graph::Diagram;
+    use peert_model::library::math::Gain;
+    use peert_model::subsystem::{Inport, Outport, Subsystem};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn hooks_fire_in_order() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut r = HookRunner::new();
+        let c1 = count.clone();
+        r.on(BuildHook::BeforeTlc, move || {
+            c1.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let c2 = count.clone();
+        r.on(BuildHook::BeforeTlc, move || {
+            c2.fetch_add(10, Ordering::SeqCst);
+            Ok(())
+        });
+        r.run(BuildHook::Entry).unwrap();
+        r.run(BuildHook::BeforeTlc).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 11);
+        assert_eq!(r.fired(), &[BuildHook::Entry, BuildHook::BeforeTlc]);
+    }
+
+    #[test]
+    fn hook_errors_propagate() {
+        let mut r = HookRunner::new();
+        r.on(BuildHook::Exit, || Err("download failed".into()));
+        assert_eq!(r.run(BuildHook::Exit).unwrap_err(), "download failed");
+    }
+
+    #[test]
+    fn generic_target_builds_an_image() {
+        let mut d = Diagram::new();
+        let i = d.add("u", Inport).unwrap();
+        let g = d.add("g", Gain::new(2.0)).unwrap();
+        let o = d.add("y", Outport).unwrap();
+        d.connect((i, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        let sub = Subsystem::new(d, vec![i], vec![o], SampleTime::every(1e-3)).unwrap();
+        let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        let target = GenericTarget::new();
+        assert_eq!(target.name(), "grt");
+        let (code, image) =
+            target.build(&sub, "tiny", &spec, &CodegenOptions::default()).unwrap();
+        assert!(code.source.total_loc() > 10);
+        assert!(image.step_cycles > 0);
+        assert_eq!(image.target, "MC56F8367");
+    }
+}

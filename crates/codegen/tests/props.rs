@@ -1,0 +1,113 @@
+//! Property-based tests for the code generator: determinism, structural
+//! soundness, and cost monotonicity over randomized gain-chain models.
+
+use peert_codegen::tlc::{Arithmetic, CodegenOptions, TlcRegistry};
+use peert_codegen::{generate_controller, TaskImage};
+use peert_mcu::{McuCatalog, Op};
+use peert_model::block::SampleTime;
+use peert_model::graph::Diagram;
+use peert_model::library::discrete::UnitDelay;
+use peert_model::library::math::{Gain, Sum};
+use peert_model::library::nonlinear::Saturation;
+use peert_model::subsystem::{Inport, Outport, Subsystem};
+use proptest::prelude::*;
+
+/// A randomized but always-valid controller: a chain of gains, optional
+/// delays and saturations between one inport and one outport.
+fn chain(segments: &[(u8, f64)]) -> Subsystem {
+    let mut d = Diagram::new();
+    let i = d.add("u", Inport).unwrap();
+    let mut prev = (i, 0usize);
+    for (k, &(kind, v)) in segments.iter().enumerate() {
+        let id = match kind % 4 {
+            0 => d.add(format!("g{k}"), Gain::new(v)).unwrap(),
+            1 => d.add(format!("z{k}"), UnitDelay::new(1e-3)).unwrap(),
+            2 => d.add(format!("s{k}"), Saturation::new(-v.abs() - 0.1, v.abs() + 0.1)).unwrap(),
+            _ => {
+                let sum = d.add(format!("a{k}"), Sum::new("+").unwrap()).unwrap();
+                sum
+            }
+        };
+        d.connect(prev, (id, 0)).unwrap();
+        prev = (id, 0);
+    }
+    let o = d.add("y", Outport).unwrap();
+    d.connect(prev, (o, 0)).unwrap();
+    Subsystem::new(d, vec![i], vec![o], SampleTime::every(1e-3)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generation is deterministic: same model, same text, same ops.
+    #[test]
+    fn generation_is_deterministic(segments in prop::collection::vec((any::<u8>(), -2.0f64..2.0), 1..15)) {
+        let opts = CodegenOptions::default();
+        let reg = TlcRegistry::standard();
+        let a = generate_controller(&chain(&segments), "m", &opts, &reg).unwrap();
+        let b = generate_controller(&chain(&segments), "m", &opts, &reg).unwrap();
+        prop_assert_eq!(
+            &a.source.file("m.c").unwrap().text,
+            &b.source.file("m.c").unwrap().text
+        );
+        prop_assert_eq!(a.step_ops, b.step_ops);
+        prop_assert_eq!(a.state_bytes, b.state_bytes);
+    }
+
+    /// Every generated unit has nonempty structure: LoC grows with blocks,
+    /// every block's comment marker appears exactly once.
+    #[test]
+    fn structure_is_sound(segments in prop::collection::vec((any::<u8>(), -2.0f64..2.0), 1..15)) {
+        let code = generate_controller(
+            &chain(&segments),
+            "m",
+            &CodegenOptions::default(),
+            &TlcRegistry::standard(),
+        )
+        .unwrap();
+        prop_assert_eq!(code.block_count, segments.len());
+        let text = &code.source.file("m.c").unwrap().text;
+        for k in 0..segments.len() {
+            let markers = [format!("'g{k}'"), format!("'z{k}'"), format!("'s{k}'"), format!("'a{k}'")];
+            let count: usize = markers.iter().map(|m| text.matches(m.as_str()).count()).sum();
+            prop_assert_eq!(count, 1, "block {} marker appears once", k);
+        }
+        prop_assert!(!code.step_ops.is_empty());
+    }
+
+    /// Fixed-point generation never emits float operations, and its state
+    /// is never larger than the float build's.
+    #[test]
+    fn fixed_point_is_floatless_and_compact(segments in prop::collection::vec((any::<u8>(), -0.9f64..0.9), 1..15)) {
+        let reg = TlcRegistry::standard();
+        let q = generate_controller(
+            &chain(&segments),
+            "m",
+            &CodegenOptions { arithmetic: Arithmetic::FixedQ15, dt: 1e-3 },
+            &reg,
+        )
+        .unwrap();
+        prop_assert!(!q.step_ops.iter().any(|o| matches!(o, Op::FAdd | Op::FMul | Op::FDiv)));
+        let f = generate_controller(&chain(&segments), "m", &CodegenOptions::default(), &reg)
+            .unwrap();
+        prop_assert!(q.state_bytes <= f.state_bytes);
+    }
+
+    /// Pricing is monotone across the op stream: the image cost equals the
+    /// cost-table sum, on every catalog part.
+    #[test]
+    fn image_price_equals_the_table_sum(segments in prop::collection::vec((any::<u8>(), -2.0f64..2.0), 1..10)) {
+        let code = generate_controller(
+            &chain(&segments),
+            "m",
+            &CodegenOptions::default(),
+            &TlcRegistry::standard(),
+        )
+        .unwrap();
+        for spec in McuCatalog::standard().specs() {
+            let image = TaskImage::build(&code, spec);
+            let expect = spec.cost_table().sequence_cost(&code.step_ops);
+            prop_assert_eq!(image.step_cycles, expect, "{}", &spec.name);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Measurement filters for the feedback path.
+
+use serde::{Deserialize, Serialize};
+
+/// Discrete first-order low-pass `y += α (u − y)` with
+/// `α = Ts / (τ + Ts)`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LowPass1 {
+    alpha: f64,
+    state: f64,
+    primed: bool,
+}
+
+impl LowPass1 {
+    /// Filter with time constant `tau` sampled at `ts`.
+    pub fn new(tau: f64, ts: f64) -> Result<Self, String> {
+        if tau < 0.0 || ts <= 0.0 {
+            return Err("low-pass needs tau >= 0 and ts > 0".into());
+        }
+        Ok(LowPass1 { alpha: ts / (tau + ts), state: 0.0, primed: false })
+    }
+
+    /// Process one sample.
+    pub fn step(&mut self, u: f64) -> f64 {
+        if !self.primed {
+            self.state = u;
+            self.primed = true;
+        } else {
+            self.state += self.alpha * (u - self.state);
+        }
+        self.state
+    }
+
+    /// Reset to unprimed.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+        self.primed = false;
+    }
+}
+
+/// Moving-average filter over a fixed window.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MovingAverage {
+    window: Vec<f64>,
+    head: usize,
+    filled: usize,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Averager over `len` samples.
+    pub fn new(len: usize) -> Result<Self, String> {
+        if len == 0 {
+            return Err("window length must be nonzero".into());
+        }
+        Ok(MovingAverage { window: vec![0.0; len], head: 0, filled: 0, sum: 0.0 })
+    }
+
+    /// Process one sample.
+    pub fn step(&mut self, u: f64) -> f64 {
+        self.sum -= self.window[self.head];
+        self.window[self.head] = u;
+        self.sum += u;
+        self.head = (self.head + 1) % self.window.len();
+        self.filled = (self.filled + 1).min(self.window.len());
+        self.sum / self.filled as f64
+    }
+}
+
+/// Velocity estimator from wrapped encoder counts — the generated code's
+/// feedback path in the servo case study (counts → rad/s).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EncoderSpeed {
+    counts_per_rev: f64,
+    ts: f64,
+    prev: u16,
+    primed: bool,
+}
+
+impl EncoderSpeed {
+    /// Estimator for an encoder of `counts_per_rev` counts sampled at `ts`.
+    pub fn new(counts_per_rev: u32, ts: f64) -> Result<Self, String> {
+        if counts_per_rev == 0 || ts <= 0.0 {
+            return Err("encoder speed needs counts_per_rev > 0 and ts > 0".into());
+        }
+        Ok(EncoderSpeed { counts_per_rev: counts_per_rev as f64, ts, prev: 0, primed: false })
+    }
+
+    /// Feed the current 16-bit position register; returns speed in rad/s.
+    pub fn step(&mut self, position: u16) -> f64 {
+        if !self.primed {
+            self.prev = position;
+            self.primed = true;
+            return 0.0;
+        }
+        let delta = position.wrapping_sub(self.prev) as i16 as f64;
+        self.prev = position;
+        delta / self.counts_per_rev * std::f64::consts::TAU / self.ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_converges_to_dc() {
+        let mut f = LowPass1::new(0.1, 0.001).unwrap();
+        let mut y = 0.0;
+        for _ in 0..2000 {
+            y = f.step(5.0);
+        }
+        assert!((y - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lowpass_primes_on_first_sample() {
+        let mut f = LowPass1::new(1.0, 0.001).unwrap();
+        assert_eq!(f.step(3.0), 3.0);
+    }
+
+    #[test]
+    fn lowpass_validates() {
+        assert!(LowPass1::new(-1.0, 0.001).is_err());
+        assert!(LowPass1::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let mut m = MovingAverage::new(8).unwrap();
+        let mut y = 0.0;
+        for _ in 0..20 {
+            y = m.step(2.0);
+        }
+        assert!((y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_partial_fill_uses_filled_count() {
+        let mut m = MovingAverage::new(4).unwrap();
+        assert_eq!(m.step(2.0), 2.0);
+        assert_eq!(m.step(4.0), 3.0);
+    }
+
+    #[test]
+    fn moving_average_rejects_empty_window() {
+        assert!(MovingAverage::new(0).is_err());
+    }
+
+    #[test]
+    fn encoder_speed_recovers_constant_rotation() {
+        // 400 counts/rev, 1 kHz sampling, 10 counts per sample
+        // → 10/400 rev/ms = 25 rev/s = 157.08 rad/s
+        let mut e = EncoderSpeed::new(400, 1e-3).unwrap();
+        let mut pos = 0u16;
+        assert_eq!(e.step(pos), 0.0, "first sample primes");
+        let mut speed = 0.0;
+        for _ in 0..100 {
+            pos = pos.wrapping_add(10);
+            speed = e.step(pos);
+        }
+        assert!((speed - 157.079).abs() < 0.01, "got {speed}");
+    }
+
+    #[test]
+    fn encoder_speed_handles_wraparound() {
+        let mut e = EncoderSpeed::new(400, 1e-3).unwrap();
+        e.step(65_530);
+        let speed = e.step(4); // +10 counts across the wrap
+        assert!(speed > 0.0, "wrap must read as forward rotation");
+    }
+
+    #[test]
+    fn encoder_speed_negative_for_reverse() {
+        let mut e = EncoderSpeed::new(400, 1e-3).unwrap();
+        e.step(100);
+        assert!(e.step(90) < 0.0);
+    }
+}

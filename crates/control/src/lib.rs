@@ -1,0 +1,20 @@
+//! Control algorithms and control-quality metrics.
+//!
+//! The paper's development flow "captures relationships among various
+//! requirements such as the control performance (e.g. rise time, overshoot,
+//! and stability)" (§1) — [`metrics`] computes exactly those figures from
+//! logged responses so every experiment can report them. [`pid`] provides
+//! the speed controller of the servo case study in both `f64` (the MIL
+//! reference) and Q15 fixed point (what actually ships to the 16-bit
+//! MC56F8367, §7); [`filter`] and [`setpoint`] supply the supporting pieces.
+
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod metrics;
+pub mod pid;
+pub mod setpoint;
+
+pub use metrics::StepMetrics;
+pub use pid::{PidConfig, PidF64, PidQ15};
+pub use setpoint::SetpointProfile;

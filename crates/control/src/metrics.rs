@@ -1,0 +1,191 @@
+//! Control-quality metrics computed from logged step responses: the
+//! "rise time, overshoot, and stability" figures the paper's §1 names as
+//! the control-performance requirements, plus the integral criteria
+//! (IAE/ISE/ITAE) the jitter experiment (E7) reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of a step response toward a setpoint.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StepMetrics {
+    /// 10 %→90 % rise time in seconds (NaN if never reached).
+    pub rise_time: f64,
+    /// Peak overshoot as a fraction of the step size (0 = none).
+    pub overshoot: f64,
+    /// 2 %-band settling time in seconds (NaN if never settles).
+    pub settling_time: f64,
+    /// Steady-state error (mean of the last 10 % of the record).
+    pub steady_state_error: f64,
+    /// Integral of absolute error.
+    pub iae: f64,
+    /// Integral of squared error.
+    pub ise: f64,
+    /// Integral of time-weighted absolute error.
+    pub itae: f64,
+}
+
+impl StepMetrics {
+    /// Analyze a step response `y(t)` toward `setpoint`, assuming the step
+    /// was applied at `t0` from `y = 0`.
+    pub fn from_response(t: &[f64], y: &[f64], setpoint: f64, t0: f64) -> Self {
+        assert_eq!(t.len(), y.len(), "time and value vectors must align");
+        let n = t.len();
+        if n == 0 || setpoint == 0.0 {
+            return StepMetrics {
+                rise_time: f64::NAN,
+                overshoot: f64::NAN,
+                settling_time: f64::NAN,
+                steady_state_error: f64::NAN,
+                iae: f64::NAN,
+                ise: f64::NAN,
+                itae: f64::NAN,
+            };
+        }
+
+        let lo = 0.1 * setpoint;
+        let hi = 0.9 * setpoint;
+        let mut t_lo = f64::NAN;
+        let mut t_hi = f64::NAN;
+        let mut peak: f64 = f64::NEG_INFINITY;
+        for (&ti, &yi) in t.iter().zip(y) {
+            if ti < t0 {
+                continue;
+            }
+            let frac = yi / setpoint;
+            if t_lo.is_nan() && frac >= 0.1 {
+                let _ = lo;
+                t_lo = ti;
+            }
+            if t_hi.is_nan() && frac >= 0.9 {
+                let _ = hi;
+                t_hi = ti;
+            }
+            peak = peak.max(frac);
+        }
+        let rise_time = if t_lo.is_nan() || t_hi.is_nan() { f64::NAN } else { t_hi - t_lo };
+        let overshoot = if peak.is_finite() { (peak - 1.0).max(0.0) } else { f64::NAN };
+
+        // settling: last time the signal left the ±2 % band
+        let band = 0.02;
+        let mut settle = t0;
+        let mut settled = false;
+        for (&ti, &yi) in t.iter().zip(y) {
+            if ti < t0 {
+                continue;
+            }
+            if (yi / setpoint - 1.0).abs() > band {
+                settle = ti;
+                settled = false;
+            } else {
+                settled = true;
+            }
+        }
+        let settling_time = if settled { settle - t0 } else { f64::NAN };
+
+        // steady-state error over the final 10 % of the record
+        let tail_start = n - (n / 10).max(1);
+        let tail: Vec<f64> = y[tail_start..].iter().map(|&v| setpoint - v).collect();
+        let steady_state_error = tail.iter().sum::<f64>() / tail.len() as f64;
+
+        // integral criteria (trapezoid over samples after t0)
+        let mut iae = 0.0;
+        let mut ise = 0.0;
+        let mut itae = 0.0;
+        for i in 1..n {
+            if t[i] < t0 {
+                continue;
+            }
+            let dt = t[i] - t[i - 1];
+            let e0 = setpoint - y[i - 1];
+            let e1 = setpoint - y[i];
+            let ea = 0.5 * (e0.abs() + e1.abs());
+            iae += ea * dt;
+            ise += 0.5 * (e0 * e0 + e1 * e1) * dt;
+            itae += (t[i] - t0) * ea * dt;
+        }
+
+        StepMetrics { rise_time, overshoot, settling_time, steady_state_error, iae, ise, itae }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ideal first-order response 1-e^{-t/τ}, τ = 0.1 s.
+    fn first_order(setpoint: f64) -> (Vec<f64>, Vec<f64>) {
+        let tau = 0.1;
+        let mut t = vec![];
+        let mut y = vec![];
+        for k in 0..2000 {
+            let ti = k as f64 * 1e-3;
+            t.push(ti);
+            y.push(setpoint * (1.0 - (-ti / tau).exp()));
+        }
+        (t, y)
+    }
+
+    #[test]
+    fn first_order_rise_time_matches_theory() {
+        let (t, y) = first_order(10.0);
+        let m = StepMetrics::from_response(&t, &y, 10.0, 0.0);
+        // 10-90 % rise of a first-order lag = τ ln 9 ≈ 0.2197 s
+        assert!((m.rise_time - 0.2197).abs() < 0.005, "rise {}", m.rise_time);
+        assert!(m.overshoot < 1e-9, "no overshoot for first order");
+        // settles at τ ln 50 ≈ 0.391 s
+        assert!((m.settling_time - 0.391).abs() < 0.01, "settle {}", m.settling_time);
+        assert!(m.steady_state_error.abs() < 1e-3);
+    }
+
+    #[test]
+    fn overshoot_is_detected() {
+        let mut t = vec![];
+        let mut y = vec![];
+        for k in 0..1000 {
+            let ti = k as f64 * 1e-3;
+            t.push(ti);
+            // underdamped response peaking near 1.16
+            let v = 1.0 + 0.3 * (-(ti) / 0.1).exp() * (std::f64::consts::TAU * 4.0 * ti).sin();
+            y.push(if ti == 0.0 { 0.0 } else { v });
+        }
+        let m = StepMetrics::from_response(&t, &y, 1.0, 0.0);
+        assert!(m.overshoot > 0.05, "overshoot detected: {}", m.overshoot);
+    }
+
+    #[test]
+    fn never_reaching_the_band_gives_nan_settling() {
+        let t: Vec<f64> = (0..100).map(|k| k as f64 * 0.01).collect();
+        let y = vec![0.5; 100]; // stuck at 50 %
+        let m = StepMetrics::from_response(&t, &y, 1.0, 0.0);
+        assert!(m.settling_time.is_nan());
+        assert!(m.rise_time.is_nan(), "never crossed 90 %");
+        assert!((m.steady_state_error - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iae_of_constant_error_is_error_times_time() {
+        let t: Vec<f64> = (0..=100).map(|k| k as f64 * 0.01).collect();
+        let y = vec![0.0; 101];
+        let m = StepMetrics::from_response(&t, &y, 2.0, 0.0);
+        assert!((m.iae - 2.0).abs() < 1e-9, "IAE = |e|·T = 2·1, got {}", m.iae);
+        assert!((m.ise - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_or_zero_setpoint_yields_nans() {
+        let m = StepMetrics::from_response(&[], &[], 1.0, 0.0);
+        assert!(m.rise_time.is_nan());
+        let m = StepMetrics::from_response(&[0.0], &[0.0], 0.0, 0.0);
+        assert!(m.iae.is_nan());
+    }
+
+    #[test]
+    fn better_tuning_means_smaller_itae() {
+        let (t, fast) = first_order(1.0);
+        let slow: Vec<f64> = t.iter().map(|&ti| 1.0 - (-ti / 0.4f64).exp()).collect();
+        let mf = StepMetrics::from_response(&t, &fast, 1.0, 0.0);
+        let ms = StepMetrics::from_response(&t, &slow, 1.0, 0.0);
+        assert!(mf.itae < ms.itae);
+        assert!(mf.iae < ms.iae);
+    }
+}

@@ -1,0 +1,341 @@
+//! Discrete PID controllers: the `f64` reference implementation and the
+//! Q15 fixed-point implementation generated for the FPU-less target.
+//!
+//! Both share one [`PidConfig`] so E4 can compare them like for like. The
+//! structure is the standard parallel form with derivative-on-measurement
+//! and conditional-integration anti-windup:
+//!
+//! ```text
+//! e  = r − y
+//! P  = Kp e
+//! I += Ki Ts e          (only while the output is not saturated against e)
+//! D  = −Kd (y − y_prev)/Ts
+//! u  = sat(P + I + D)
+//! ```
+//!
+//! The Q15 controller works on *normalized* signals (r, y ∈ [−1, 1)); the
+//! gains are pre-scaled to per-sample form at configuration time so the
+//! inner loop is pure Q15/Q31 MAC arithmetic — the code a DSP engineer
+//! would write for the 56F8xxx.
+
+use peert_fixedpoint::{Q15, Q31};
+use serde::{Deserialize, Serialize};
+
+/// PID parameters (continuous-time gains + sample time + output limits).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PidConfig {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain (1/s).
+    pub ki: f64,
+    /// Derivative gain (s).
+    pub kd: f64,
+    /// Sample time in seconds.
+    pub ts: f64,
+    /// Lower output limit.
+    pub umin: f64,
+    /// Upper output limit.
+    pub umax: f64,
+}
+
+impl PidConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ts <= 0.0 {
+            return Err("sample time must be positive".into());
+        }
+        if self.umin >= self.umax {
+            return Err("output limit interval is empty".into());
+        }
+        Ok(())
+    }
+
+    /// The servo case study's speed-loop tuning at 1 kHz (duty output in
+    /// `[0, 1]`, speed in rad/s).
+    pub fn servo_speed_loop() -> Self {
+        PidConfig { kp: 0.003, ki: 0.06, kd: 0.0, ts: 1e-3, umin: 0.0, umax: 1.0 }
+    }
+}
+
+/// Reference `f64` PID.
+#[derive(Clone, Debug)]
+pub struct PidF64 {
+    cfg: PidConfig,
+    integral: f64,
+    prev_y: f64,
+    primed: bool,
+}
+
+impl PidF64 {
+    /// New controller; validates the config.
+    pub fn new(cfg: PidConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(PidF64 { cfg, integral: 0.0, prev_y: 0.0, primed: false })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PidConfig {
+        &self.cfg
+    }
+
+    /// Reset dynamic state.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_y = 0.0;
+        self.primed = false;
+    }
+
+    /// Preset the integrator so the next output equals `u` at error zero —
+    /// the bumpless-transfer hook used when switching manual → automatic.
+    pub fn preset_output(&mut self, u: f64) {
+        self.integral = u.clamp(self.cfg.umin, self.cfg.umax);
+    }
+
+    /// One control step: setpoint `r`, measurement `y` → actuation `u`.
+    pub fn step(&mut self, r: f64, y: f64) -> f64 {
+        let c = &self.cfg;
+        let e = r - y;
+        let p = c.kp * e;
+        let d = if self.primed && c.kd != 0.0 {
+            -c.kd * (y - self.prev_y) / c.ts
+        } else {
+            0.0
+        };
+        let unsat = p + self.integral + d;
+        // conditional integration: freeze the integrator while pushing
+        // further into saturation
+        let saturated_hi = unsat > c.umax && e > 0.0;
+        let saturated_lo = unsat < c.umin && e < 0.0;
+        if !(saturated_hi || saturated_lo) {
+            self.integral += c.ki * c.ts * e;
+            self.integral = self.integral.clamp(c.umin, c.umax);
+        }
+        self.prev_y = y;
+        self.primed = true;
+        (p + self.integral + d).clamp(c.umin, c.umax)
+    }
+}
+
+/// Q15 fixed-point PID for normalized signals.
+///
+/// `scale` maps engineering units to the normalized range:
+/// `r_q = r / scale`, and the output is interpreted back through the
+/// actuation range by the caller.
+#[derive(Clone, Debug)]
+pub struct PidQ15 {
+    kp: Q15,
+    ki_ts: Q15,
+    kd_over_ts: Q15,
+    umin: Q15,
+    umax: Q15,
+    integral: Q31,
+    prev_y: Q15,
+    primed: bool,
+    /// Engineering-units value corresponding to Q15 full scale.
+    pub scale: f64,
+}
+
+impl PidQ15 {
+    /// Build from a shared [`PidConfig`] and a normalization scale.
+    ///
+    /// The per-sample gains (`Ki·Ts`, `Kd/Ts`) must themselves fit in
+    /// Q15 (< 1.0) after normalization; this is validated and is the same
+    /// constraint the Simulink fixed-point advisor enforces (§7).
+    pub fn new(cfg: PidConfig, scale: f64, out_scale: f64) -> Result<Self, String> {
+        cfg.validate()?;
+        if scale <= 0.0 || out_scale <= 0.0 {
+            return Err("scales must be positive".into());
+        }
+        // normalized gains: u_norm = u / out_scale, e_norm = e / scale
+        let k = scale / out_scale;
+        let kp = cfg.kp * k;
+        let ki_ts = cfg.ki * cfg.ts * k;
+        let kd_over_ts = cfg.kd / cfg.ts * k;
+        for (name, v) in [("Kp", kp), ("Ki*Ts", ki_ts), ("Kd/Ts", kd_over_ts)] {
+            if v.abs() >= 1.0 {
+                return Err(format!(
+                    "normalized gain {name}={v:.4} does not fit Q15; increase the output scale"
+                ));
+            }
+        }
+        Ok(PidQ15 {
+            kp: Q15::from_f64(kp),
+            ki_ts: Q15::from_f64(ki_ts),
+            kd_over_ts: Q15::from_f64(kd_over_ts),
+            umin: Q15::from_f64(cfg.umin / out_scale),
+            umax: Q15::from_f64(cfg.umax / out_scale),
+            integral: Q31::ZERO,
+            prev_y: Q15::ZERO,
+            primed: false,
+            scale,
+        })
+    }
+
+    /// Reset dynamic state.
+    pub fn reset(&mut self) {
+        self.integral = Q31::ZERO;
+        self.prev_y = Q15::ZERO;
+        self.primed = false;
+    }
+
+    /// Preset the integrator (bumpless transfer), `u` in normalized units.
+    pub fn preset_output(&mut self, u: Q15) {
+        let clamped = if u.raw() > self.umax.raw() {
+            self.umax
+        } else if u.raw() < self.umin.raw() {
+            self.umin
+        } else {
+            u
+        };
+        self.integral = clamped.widen();
+    }
+
+    fn clamp_q(&self, v: Q15) -> Q15 {
+        if v.raw() > self.umax.raw() {
+            self.umax
+        } else if v.raw() < self.umin.raw() {
+            self.umin
+        } else {
+            v
+        }
+    }
+
+    /// One control step on normalized Q15 signals.
+    pub fn step(&mut self, r: Q15, y: Q15) -> Q15 {
+        let e = r - y;
+        let p = self.kp * e;
+        let d = if self.primed && self.kd_over_ts != Q15::ZERO {
+            (self.kd_over_ts * (y - self.prev_y)).sat_neg()
+        } else {
+            Q15::ZERO
+        };
+        let unsat = p.sat_add(self.integral.narrow()).sat_add(d);
+        let sat_hi = unsat.raw() > self.umax.raw() && e.raw() > 0;
+        let sat_lo = unsat.raw() < self.umin.raw() && e.raw() < 0;
+        if !(sat_hi || sat_lo) {
+            self.integral = self.integral.sat_add((self.ki_ts * e).widen());
+            let nar = self.integral.narrow();
+            let clamped = self.clamp_q(nar);
+            if clamped != nar {
+                self.integral = clamped.widen();
+            }
+        }
+        self.prev_y = y;
+        self.primed = true;
+        self.clamp_q(p.sat_add(self.integral.narrow()).sat_add(d))
+    }
+
+    /// Convenience wrapper: engineering-unit step (quantizes through Q15).
+    pub fn step_f64(&mut self, r: f64, y: f64) -> f64 {
+        let rq = Q15::from_f64(r / self.scale);
+        let yq = Q15::from_f64(y / self.scale);
+        self.step(rq, yq).to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PidConfig {
+        PidConfig { kp: 0.5, ki: 2.0, kd: 5e-4, ts: 1e-3, umin: -1.0, umax: 1.0 }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PidConfig { ts: 0.0, ..cfg() }.validate().is_err());
+        assert!(PidConfig { umin: 1.0, umax: -1.0, ..cfg() }.validate().is_err());
+        assert!(cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn proportional_action_is_immediate() {
+        let mut pid = PidF64::new(PidConfig { ki: 0.0, kd: 0.0, ..cfg() }).unwrap();
+        let u = pid.step(1.0, 0.0);
+        assert!((u - 0.5).abs() < 1e-3, "P-only: u = Kp*e (+ tiny I), got {u}");
+    }
+
+    #[test]
+    fn integral_action_removes_steady_error() {
+        // plant: y follows u through a unit lag; crude closed-loop check
+        let mut pid = PidF64::new(cfg()).unwrap();
+        let mut y = 0.0;
+        for _ in 0..20_000 {
+            let u = pid.step(0.5, y);
+            y += 1e-3 * (u - y); // first-order plant τ=1s? (scaled)
+        }
+        assert!((y - 0.5).abs() < 1e-3, "integral drives e→0, y={y}");
+    }
+
+    #[test]
+    fn output_respects_limits() {
+        let mut pid = PidF64::new(cfg()).unwrap();
+        for _ in 0..1000 {
+            let u = pid.step(100.0, 0.0);
+            assert!((-1.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn anti_windup_recovers_quickly() {
+        let mut awu = PidF64::new(cfg()).unwrap();
+        // drive hard into saturation
+        for _ in 0..5000 {
+            awu.step(100.0, 0.0);
+        }
+        // reverse: with conditional integration the integrator never wound
+        // past umax, so output leaves saturation immediately
+        let u = awu.step(-100.0, 0.0);
+        assert!(u <= -0.9, "output flips fast after windup, got {u}");
+    }
+
+    #[test]
+    fn preset_output_gives_bumpless_transfer() {
+        let mut pid = PidF64::new(PidConfig { kd: 0.0, ..cfg() }).unwrap();
+        pid.preset_output(0.7);
+        let u = pid.step(0.3, 0.3); // zero error
+        assert!((u - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q15_requires_gains_to_fit() {
+        let c = PidConfig { kp: 50.0, ..cfg() };
+        assert!(PidQ15::new(c, 1.0, 1.0).is_err());
+        assert!(PidQ15::new(cfg(), 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn q15_matches_f64_closely_on_a_transient() {
+        let c = PidConfig { kd: 0.0, ..cfg() };
+        let mut fp = PidF64::new(c).unwrap();
+        let mut qp = PidQ15::new(c, 1.0, 1.0).unwrap();
+        let mut max_err: f64 = 0.0;
+        let mut y = 0.0;
+        for _ in 0..2000 {
+            let uf = fp.step(0.4, y);
+            let uq = qp.step_f64(0.4, y);
+            max_err = max_err.max((uf - uq).abs());
+            y += 1e-3 * (uf - y);
+        }
+        assert!(max_err < 0.01, "Q15 tracks f64 within 1 % of range, max err {max_err}");
+    }
+
+    #[test]
+    fn q15_output_respects_limits() {
+        let c = PidConfig { umin: 0.0, umax: 0.5, ..cfg() };
+        let mut qp = PidQ15::new(c, 1.0, 1.0).unwrap();
+        for _ in 0..1000 {
+            let u = qp.step(Q15::from_f64(0.9), Q15::ZERO).to_f64();
+            assert!((0.0..=0.5001).contains(&u));
+        }
+    }
+
+    #[test]
+    fn q15_preset_clamps_to_limits() {
+        let c = PidConfig { umin: 0.0, umax: 0.5, ..cfg() };
+        let mut qp = PidQ15::new(c, 1.0, 1.0).unwrap();
+        qp.preset_output(Q15::from_f64(0.9));
+        let u = qp.step(Q15::ZERO, Q15::ZERO).to_f64();
+        assert!(u <= 0.5001);
+    }
+}

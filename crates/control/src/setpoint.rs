@@ -1,0 +1,116 @@
+//! Setpoint profiles: piecewise-constant references, as commanded by the
+//! case study's button keyboard ("set the speed set-point", §7).
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant setpoint schedule.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SetpointProfile {
+    /// Sorted `(time, value)` breakpoints.
+    steps: Vec<(f64, f64)>,
+    /// Value before the first breakpoint.
+    initial: f64,
+}
+
+impl SetpointProfile {
+    /// Constant profile.
+    pub fn constant(value: f64) -> Self {
+        SetpointProfile { steps: vec![], initial: value }
+    }
+
+    /// Start from `initial` and add breakpoints with [`Self::at`].
+    pub fn from(initial: f64) -> Self {
+        SetpointProfile { steps: vec![], initial }
+    }
+
+    /// Add a step to `value` at `time` (builder style). Breakpoints may be
+    /// added in any order; they are kept sorted.
+    pub fn at(mut self, time: f64, value: f64) -> Self {
+        let pos = self.steps.partition_point(|&(t, _)| t <= time);
+        self.steps.insert(pos, (time, value));
+        self
+    }
+
+    /// The setpoint value at `time`.
+    pub fn value(&self, time: f64) -> f64 {
+        match self.steps.iter().rev().find(|&&(t, _)| t <= time) {
+            Some(&(_, v)) => v,
+            None => self.initial,
+        }
+    }
+
+    /// All breakpoints.
+    pub fn breakpoints(&self) -> &[(f64, f64)] {
+        &self.steps
+    }
+
+    /// The largest absolute value the profile ever takes — used by the
+    /// fixed-point autoscaler to normalize the reference channel.
+    pub fn abs_max(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|&(_, v)| v.abs())
+            .fold(self.initial.abs(), f64::max)
+    }
+
+    /// Increment/decrement logic of the button keyboard: each "up" press
+    /// adds `step`, each "down" press subtracts it, clamped to
+    /// `[min, max]` — returns the new setpoint.
+    pub fn button_adjust(current: f64, up: bool, down: bool, step: f64, min: f64, max: f64) -> f64 {
+        let mut v = current;
+        if up {
+            v += step;
+        }
+        if down {
+            v -= step;
+        }
+        v.clamp(min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile() {
+        let p = SetpointProfile::constant(5.0);
+        assert_eq!(p.value(0.0), 5.0);
+        assert_eq!(p.value(100.0), 5.0);
+    }
+
+    #[test]
+    fn steps_apply_at_their_times() {
+        let p = SetpointProfile::from(0.0).at(1.0, 10.0).at(2.0, -5.0);
+        assert_eq!(p.value(0.5), 0.0);
+        assert_eq!(p.value(1.0), 10.0);
+        assert_eq!(p.value(1.999), 10.0);
+        assert_eq!(p.value(3.0), -5.0);
+    }
+
+    #[test]
+    fn out_of_order_insertion_is_sorted() {
+        let p = SetpointProfile::from(0.0).at(2.0, 2.0).at(1.0, 1.0);
+        assert_eq!(p.value(1.5), 1.0);
+        assert_eq!(p.value(2.5), 2.0);
+        assert_eq!(p.breakpoints(), &[(1.0, 1.0), (2.0, 2.0)]);
+    }
+
+    #[test]
+    fn abs_max_covers_initial_and_steps() {
+        let p = SetpointProfile::from(-20.0).at(1.0, 5.0);
+        assert_eq!(p.abs_max(), 20.0);
+    }
+
+    #[test]
+    fn button_adjust_steps_and_clamps() {
+        let v = SetpointProfile::button_adjust(10.0, true, false, 5.0, 0.0, 20.0);
+        assert_eq!(v, 15.0);
+        let v = SetpointProfile::button_adjust(18.0, true, false, 5.0, 0.0, 20.0);
+        assert_eq!(v, 20.0, "clamped at max");
+        let v = SetpointProfile::button_adjust(2.0, false, true, 5.0, 0.0, 20.0);
+        assert_eq!(v, 0.0, "clamped at min");
+        let v = SetpointProfile::button_adjust(10.0, true, true, 5.0, 0.0, 20.0);
+        assert_eq!(v, 10.0, "both buttons cancel");
+    }
+}

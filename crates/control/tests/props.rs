@@ -1,0 +1,132 @@
+//! Property-based tests for the controller library.
+
+use peert_control::filter::{EncoderSpeed, LowPass1, MovingAverage};
+use peert_control::metrics::StepMetrics;
+use peert_control::pid::{PidConfig, PidF64, PidQ15};
+use peert_control::setpoint::SetpointProfile;
+use peert_fixedpoint::Q15;
+use proptest::prelude::*;
+
+proptest! {
+    /// The PID output never leaves its configured limits, whatever the
+    /// inputs do.
+    #[test]
+    fn pid_output_always_within_limits(
+        kp in 0.0f64..5.0,
+        ki in 0.0f64..20.0,
+        kd in 0.0f64..0.001,
+        inputs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..200),
+    ) {
+        let cfg = PidConfig { kp, ki, kd, ts: 1e-3, umin: -0.7, umax: 0.9 };
+        let mut pid = PidF64::new(cfg).unwrap();
+        for (r, y) in inputs {
+            let u = pid.step(r, y);
+            prop_assert!((cfg.umin..=cfg.umax).contains(&u), "u={u}");
+        }
+    }
+
+    /// Same for the Q15 controller on normalized signals.
+    #[test]
+    fn q15_pid_output_always_within_limits(
+        raw_inputs in prop::collection::vec((any::<i16>(), any::<i16>()), 1..200),
+    ) {
+        let cfg = PidConfig { kp: 0.5, ki: 2.0, kd: 0.0, ts: 1e-3, umin: -0.5, umax: 0.5 };
+        let mut pid = PidQ15::new(cfg, 1.0, 1.0).unwrap();
+        for (r, y) in raw_inputs {
+            let u = pid.step(Q15::from_raw(r), Q15::from_raw(y)).to_f64();
+            prop_assert!((-0.5 - 1e-4..=0.5 + 1e-4).contains(&u), "u={u}");
+        }
+    }
+
+    /// Zero error keeps a preset PID output exactly where it was put
+    /// (bumpless transfer holds indefinitely).
+    #[test]
+    fn preset_is_a_fixed_point_at_zero_error(preset in -0.9f64..0.9, steps in 1usize..50) {
+        let cfg = PidConfig { kp: 0.4, ki: 3.0, kd: 0.0, ts: 1e-3, umin: -1.0, umax: 1.0 };
+        let mut pid = PidF64::new(cfg).unwrap();
+        pid.preset_output(preset);
+        for _ in 0..steps {
+            let u = pid.step(0.3, 0.3);
+            prop_assert!((u - preset).abs() < 1e-12);
+        }
+    }
+
+    /// StepMetrics never panics and produces ordered integral criteria on
+    /// arbitrary (finite) logs.
+    #[test]
+    fn metrics_are_total_and_ordered(
+        ys in prop::collection::vec(-10.0f64..10.0, 2..100),
+        setpoint in 0.1f64..10.0,
+    ) {
+        let t: Vec<f64> = (0..ys.len()).map(|k| k as f64 * 0.01).collect();
+        let m = StepMetrics::from_response(&t, &ys, setpoint, 0.0);
+        prop_assert!(m.iae >= 0.0);
+        prop_assert!(m.ise >= 0.0);
+        prop_assert!(m.itae >= 0.0);
+        prop_assert!(m.overshoot.is_nan() || m.overshoot >= 0.0);
+    }
+
+    /// The low-pass filter output is always inside the convex hull of the
+    /// inputs seen so far.
+    #[test]
+    fn lowpass_stays_in_input_hull(us in prop::collection::vec(-100.0f64..100.0, 1..100)) {
+        let mut f = LowPass1::new(0.05, 1e-3).unwrap();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &u in &us {
+            lo = lo.min(u);
+            hi = hi.max(u);
+            let y = f.step(u);
+            prop_assert!((lo - 1e-9..=hi + 1e-9).contains(&y));
+        }
+    }
+
+    /// The moving average equals the true mean once the window fills with
+    /// a constant.
+    #[test]
+    fn moving_average_converges_on_constants(len in 1usize..32, v in -50.0f64..50.0) {
+        let mut m = MovingAverage::new(len).unwrap();
+        let mut y = 0.0;
+        for _ in 0..len * 2 {
+            y = m.step(v);
+        }
+        prop_assert!((y - v).abs() < 1e-9);
+    }
+
+    /// The encoder speed estimator inverts a synthetic constant-speed
+    /// count stream, including across 16-bit wraps.
+    #[test]
+    fn encoder_speed_inverts_count_streams(
+        delta in -20_000i32..20_000,
+        start in any::<u16>(),
+    ) {
+        let cpr = 400u32;
+        let ts = 1e-3;
+        let mut e = EncoderSpeed::new(cpr, ts).unwrap();
+        let mut pos = start;
+        e.step(pos);
+        let mut speed = 0.0;
+        for _ in 0..5 {
+            pos = pos.wrapping_add(delta as u16);
+            speed = e.step(pos);
+        }
+        let expect = delta as f64 / cpr as f64 * std::f64::consts::TAU / ts;
+        prop_assert!((speed - expect).abs() < 1e-6, "{speed} vs {expect}");
+    }
+
+    /// A setpoint profile is piecewise-constant: its value at any time is
+    /// either the initial value or one of the breakpoint values.
+    #[test]
+    fn profile_values_come_from_the_breakpoint_set(
+        initial in -10.0f64..10.0,
+        points in prop::collection::vec((0.0f64..100.0, -10.0f64..10.0), 0..10),
+        query in 0.0f64..120.0,
+    ) {
+        let mut p = SetpointProfile::from(initial);
+        for (t, v) in &points {
+            p = p.at(*t, *v);
+        }
+        let v = p.value(query);
+        let legal = std::iter::once(initial).chain(points.iter().map(|&(_, v)| v));
+        prop_assert!(legal.into_iter().any(|x| x == v));
+    }
+}

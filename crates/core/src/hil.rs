@@ -1,0 +1,244 @@
+//! Hardware-in-the-loop simulation (§6).
+//!
+//! "More precise results can be obtained by the simulation of the complete
+//! hardware of the control unit in the loop with a simulator of the plant
+//! (so called hardware in the loop simulation - HIL) ... These approaches
+//! are applicable in final phases of the development and the final version
+//! of the code is used."
+//!
+//! Unlike PIL (where peripheral access is redirected to the comm buffer),
+//! HIL runs the *production* configuration: the beans are applied to the
+//! simulated MCU's real peripheral registers, the timer bean's interrupt
+//! paces the control loop through the non-preemptive executive, the
+//! controller reads the quadrature-decoder position register and writes
+//! the PWM duty register, and the plant model closes the loop against the
+//! chip's pins.
+
+use crate::servo::{Feedback, ServoOptions};
+use crate::workflow::run_codegen;
+use peert_control::pid::PidF64;
+use peert_mcu::board::Mcu;
+use peert_mcu::McuCatalog;
+use peert_model::log::SignalLog;
+use peert_plant::dcmotor::DcMotor;
+use peert_rtexec::{Executive, ProfileReport};
+use serde::{Deserialize, Serialize};
+
+/// Result of a HIL run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HilResult {
+    /// Motor speed trajectory (rad/s).
+    pub speed: SignalLog,
+    /// Commanded duty trajectory.
+    pub duty: SignalLog,
+    /// Executive profiling (timer-ISR execution/response/jitter, stack).
+    pub profile: ProfileReport,
+    /// Control steps executed.
+    pub steps: u64,
+}
+
+/// Run the servo case study hardware-in-the-loop for `t_end` seconds.
+///
+/// The full production path: expert-system resolution → bean application
+/// onto the chip registers → timer-ISR-paced control through the
+/// executive → plant closing the loop on the encoder and PWM pins.
+pub fn run_hil(opts: &ServoOptions, cpu: &str, t_end: f64) -> Result<HilResult, String> {
+    run_hil_loaded(opts, cpu, t_end, None)
+}
+
+/// Like [`run_hil`], with an optional non-preemptible background burst
+/// (cycles per iteration) sharing the CPU — the §1 jitter-degrades-control
+/// scenario: bursts delay the timer ISR, and bursts longer than the
+/// control period *lose* samples, during which the PWM holds its last
+/// duty.
+pub fn run_hil_loaded(
+    opts: &ServoOptions,
+    cpu: &str,
+    t_end: f64,
+    background_burst: Option<u64>,
+) -> Result<HilResult, String> {
+    let Feedback::Encoder { lines } = opts.feedback else {
+        return Err("HIL servo runner expects encoder feedback".into());
+    };
+
+    // production build: resolves + allocates the beans and prices the image
+    let build = run_codegen(opts, cpu)?;
+    let spec = McuCatalog::standard()
+        .find(cpu)
+        .cloned()
+        .ok_or_else(|| format!("unknown CPU '{cpu}'"))?;
+
+    // the final version of the code on the final hardware configuration
+    let mut mcu = Mcu::new(&spec);
+    let project = crate::servo::servo_project(opts, cpu);
+    let mut resolved = project.clone();
+    let alloc = resolved.resolve(&McuCatalog::standard()).map_err(|f| {
+        f.iter().map(|x| x.message.clone()).collect::<Vec<_>>().join("; ")
+    })?;
+    resolved.apply(&mut mcu, &alloc)?;
+
+    let ti = alloc.instance_of("TI1").ok_or("timer bean unallocated")?;
+    let qd = alloc.instance_of("QD1").ok_or("decoder bean unallocated")?;
+    let pw = alloc.instance_of("PWM1").ok_or("PWM bean unallocated")?;
+
+    // the generated init section: start the time base, arm the power stage
+    mcu.timers[ti].start(0);
+    mcu.pwms[pw].enable(0);
+
+    let timer_vector = mcu.timers[ti].vector;
+    let mut exec = Executive::new(mcu);
+    exec.attach(
+        timer_vector,
+        "ctl_step",
+        build.image.step_cycles,
+        build.image.step_stack_bytes,
+        None,
+    );
+    exec.set_background_burst(background_burst);
+    exec.start();
+
+    // controller state (functionally the generated code)
+    let mut pid = PidF64::new(opts.pid)?;
+    let cpr = (lines * 4) as f64;
+    let mut prev_pos: u16 = 0;
+    let mut primed = false;
+
+    let mut motor = DcMotor::new(opts.motor);
+    let mut speed = SignalLog::new();
+    let mut duty_log = SignalLog::new();
+    let period_cycles = exec.mcu.clock.secs_to_cycles(opts.control_period_s);
+    let steps = (t_end / opts.control_period_s) as u64;
+
+    let mut activations_seen = 0u64;
+    for k in 0..steps {
+        // the board runs through one control period; the timer ISR fires
+        // inside and is charged/profiled by the executive
+        exec.run_until((k + 1) * period_cycles);
+        let t = (k + 1) as f64 * opts.control_period_s;
+
+        // a lost timer activation means the control step did NOT run this
+        // period: the PWM register holds its previous duty (§1's sample
+        // dropping under overload)
+        let acts = exec.profile("ctl_step").map(|p| p.activations).unwrap_or(0);
+        let ran = acts > activations_seen;
+        activations_seen = acts;
+        if ran {
+        // ISR body semantics: read the decoder register, compute, write PWM
+        let pos = exec.mcu.qdecs[qd].position();
+        let est_speed = if primed {
+            let delta = pos.wrapping_sub(prev_pos) as i16 as f64;
+            delta / cpr * std::f64::consts::TAU / opts.control_period_s
+        } else {
+            primed = true;
+            0.0
+        };
+        prev_pos = pos;
+        let sp = opts.setpoint.value(t);
+        let u = pid.step(sp, est_speed);
+        exec.mcu.pwms[pw].set_ratio16((u * u16::MAX as f64) as u16);
+        }
+
+        // the plant closes the loop on the chip's pins
+        let duty = exec.mcu.pwms[pw].duty_ratio();
+        let torque = match opts.load_step {
+            Some((t0, tau)) if t >= t0 => tau,
+            _ => 0.0,
+        };
+        motor.advance(duty, torque, 1.0, opts.control_period_s);
+        let angle = motor.angle();
+        let now = exec.mcu.now();
+        // split borrow across disjoint Mcu fields: the shaft drives the
+        // decoder, index events go to the interrupt controller
+        let mcu = &mut exec.mcu;
+        let (qdecs, intc) = (&mut mcu.qdecs, &mut mcu.intc);
+        qdecs[qd].set_shaft_angle(angle, now, intc);
+        speed.push(t, motor.speed());
+        duty_log.push(t, duty);
+    }
+
+    Ok(HilResult { speed, duty: duty_log, profile: exec.report(), steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::run_mil;
+    use peert_control::setpoint::SetpointProfile;
+
+    fn quick() -> ServoOptions {
+        ServoOptions {
+            setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+            load_step: None,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hil_servo_tracks_the_setpoint_on_real_registers() {
+        let r = run_hil(&quick(), "MC56F8367", 0.5).unwrap();
+        let final_speed = r.speed.sample_at(0.48).unwrap();
+        assert!((final_speed - 150.0).abs() < 3.0, "HIL loop settles: {final_speed}");
+        assert!(r.duty.y.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn hil_matches_mil_closely() {
+        let mil = run_mil(&quick(), 0.5).unwrap();
+        let hil = run_hil(&quick(), "MC56F8367", 0.5).unwrap();
+        let rms = hil.speed.rms_diff(&mil.speed);
+        assert!(rms < 10.0, "HIL vs MIL trajectory deviation: {rms}");
+    }
+
+    #[test]
+    fn hil_profiles_the_real_timer_isr() {
+        let r = run_hil(&quick(), "MC56F8367", 0.3).unwrap();
+        let ctl = &r.profile.tasks["ctl_step"];
+        assert!((295..=301).contains(&ctl.activations), "1 kHz for 0.3 s: {}", ctl.activations);
+        // every activation costs the image's priced step
+        assert_eq!(ctl.exec_min, ctl.exec_max);
+        // idle system: low jitter on the real timer grid
+        assert!(ctl.start_jitter(60_000) < 100);
+        assert!(!r.profile.stack_overflow);
+        assert!(r.profile.stack_high_water > 0);
+    }
+
+    #[test]
+    fn hil_rejects_the_tacho_variant_and_unknown_cpu() {
+        let mut opts = quick();
+        opts.feedback = crate::servo::Feedback::AnalogTacho {
+            resolution_bits: 12,
+            full_scale: 250.0,
+        };
+        assert!(run_hil(&opts, "MC56F8367", 0.1).is_err());
+        assert!(run_hil(&quick(), "Z80", 0.1).is_err());
+    }
+
+    #[test]
+    fn background_overload_degrades_the_hil_loop() {
+        use peert_control::metrics::StepMetrics;
+        let clean = run_hil(&quick(), "MC56F8367", 0.5).unwrap();
+        // 1.5 ms non-preemptible bursts against a 1 ms period: samples drop
+        let loaded = run_hil_loaded(&quick(), "MC56F8367", 0.5, Some(90_000)).unwrap();
+        assert!(loaded.profile.lost_interrupts > 0);
+        let iae = |r: &HilResult| {
+            StepMetrics::from_response(&r.speed.t, &r.speed.y, 150.0, 0.02).iae
+        };
+        assert!(
+            iae(&loaded) > iae(&clean) * 1.1,
+            "overload visibly degrades control: {} vs {}",
+            iae(&loaded),
+            iae(&clean)
+        );
+    }
+
+    #[test]
+    fn hil_load_step_dips_and_recovers() {
+        let mut opts = quick();
+        opts.load_step = Some((0.4, 0.05));
+        let r = run_hil(&opts, "MC56F8367", 0.9).unwrap();
+        let before = r.speed.sample_at(0.39).unwrap();
+        let recovered = r.speed.sample_at(0.88).unwrap();
+        assert!((before - 150.0).abs() < 3.0);
+        assert!((recovered - 150.0).abs() < 3.0, "integral recovers under load: {recovered}");
+    }
+}

@@ -1,0 +1,49 @@
+//! PEERT — the Processor Expert Real-Time Target (§5), the paper's primary
+//! contribution.
+//!
+//! "PEERT consists of three main parts - the PE block set, the PES_COM
+//! communication library and the RTW Embedded Coder target."
+//!
+//! * [`peblocks`] — the **PE block set**: Simulink blocks wrapping beans
+//!   (ADC, PWM, Quadrature Decoder, BitIO, TimerInt). Each block
+//!   *simulates the main hardware properties of its peripheral* during MIL
+//!   simulation ("the ADC block representing the 12 bits AD converter ...
+//!   really provides the controller model with values with the 12 bits
+//!   resolution") and exposes the bean's events as function-call ports.
+//! * [`sync`] — the **PES_COM equivalent**: bidirectional synchronization
+//!   between the model's PE-block inventory and the PE project ("User
+//!   changes in the model (PE block insertion, erasure, rename etc.) are
+//!   propagated to the PE project and opposite").
+//! * [`target_peert`] — the **RTW Embedded Coder target**: registers the PE
+//!   block templates (which emit only the uniform bean API, making the
+//!   generated code MCU-independent), drives the expert system through the
+//!   build hooks (≙ `peert_make_rtw_hook.m`), and emits the `main.c`
+//!   runtime skeleton deploying periodic code in the timer ISR.
+//! * [`target_pil`] — the **PEERT_PIL target** (§6): same controller code,
+//!   but peripheral access redirected to the communication buffer; builds
+//!   the PIL co-simulation session against the host plant runner.
+//! * [`servo`] — the case-study model (Fig 7.1/7.2): DC-motor speed
+//!   control with PWM actuation, incremental-encoder feedback, button
+//!   keyboard and manual/automatic mode chart.
+//! * [`hil`] — the **HIL phase** (§6): the production bean configuration
+//!   applied to the chip's real peripheral registers, the timer interrupt
+//!   pacing the control loop, the plant closing the loop on the pins.
+//! * [`workflow`] — the development cycle of Fig 6.1: MIL simulation →
+//!   code generation → PIL simulation, with the validation data each phase
+//!   produces.
+
+#![warn(missing_docs)]
+
+pub mod hil;
+pub mod peblocks;
+pub mod servo;
+pub mod sync;
+pub mod target_autosar;
+pub mod target_peert;
+pub mod target_pil;
+pub mod workflow;
+
+pub use sync::SyncedProject;
+pub use target_autosar::AutosarTarget;
+pub use target_peert::PeertTarget;
+pub use target_pil::PilTarget;

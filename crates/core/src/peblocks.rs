@@ -1,0 +1,515 @@
+//! The PE block set (§5).
+//!
+//! "The PE block set contains blocks representing general peripherals such
+//! as Timers, ADC, PWM, PortIO, Quadrature Decoder etc. Each block in the
+//! Simulink model corresponds to a bean in the PE project. ... During the
+//! simulation, the PE blocks do not simply pass the data from/to the plant
+//! to/from the controller through, but reflects the main HW properties."
+//!
+//! Every block here carries its [`BeanConfig`] (what the project sync
+//! mirrors), simulates the peripheral's transfer behaviour in MIL, and
+//! exposes bean events as function-call ports. The blocks also include the
+//! controller-side helpers the generated code needs (`SpeedFromCounts`,
+//! `DiscretePid`) so the whole Fig 7.2 controller is expressible.
+
+use peert_beans::bean::BeanConfig;
+use peert_beans::catalog::{AdcBean, BitIoBean, PwmBean, QuadDecBean, TimerIntBean};
+use peert_control::pid::{PidConfig, PidF64, PidQ15};
+use peert_fixedpoint::{QFormat, Q15};
+use peert_model::block::{Block, BlockCtx, ParamValue, PortCount, SampleTime};
+
+/// ADC block: input = analog voltage from the plant (double), output = the
+/// converter's result code (uint16) — the §5 example verbatim. Event 0 is
+/// the end-of-conversion interrupt (fires each sample when enabled).
+pub struct PeAdc {
+    /// The mirrored bean.
+    pub bean: AdcBean,
+    /// Bean/block instance name.
+    pub name: String,
+}
+
+impl PeAdc {
+    /// New ADC block mirroring `bean`.
+    pub fn new(name: &str, bean: AdcBean) -> Self {
+        PeAdc { bean, name: name.into() }
+    }
+
+    /// The bean this block mirrors.
+    pub fn bean_config(&self) -> BeanConfig {
+        BeanConfig::Adc(self.bean.clone())
+    }
+}
+
+impl Block for PeAdc {
+    fn type_name(&self) -> &'static str {
+        "PE_ADC"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![
+            ("bean", ParamValue::S(self.name.clone())),
+            ("resolution", ParamValue::I(self.bean.resolution_bits as i64)),
+        ]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::with_events(1, 1, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let volts = ctx.in_f64(0);
+        let fmt = QFormat::adc(self.bean.resolution_bits);
+        let norm = (volts - self.bean.vref_low) / (self.bean.vref_high - self.bean.vref_low);
+        let code = (norm * fmt.raw_max() as f64).round().clamp(0.0, fmt.raw_max() as f64) as u16;
+        ctx.set_output(0, code);
+        if self.bean.eoc_interrupt {
+            ctx.emit_event(0);
+        }
+    }
+}
+
+/// PWM block: input = commanded duty ratio `[0, 1]` (double), output = the
+/// *effective* duty the power stage sees — quantized to the resolved
+/// period-counts resolution, with dead-time loss.
+pub struct PePwm {
+    /// The mirrored bean.
+    pub bean: PwmBean,
+    /// Instance name.
+    pub name: String,
+}
+
+impl PePwm {
+    /// New PWM block mirroring `bean`.
+    pub fn new(name: &str, bean: PwmBean) -> Self {
+        PePwm { bean, name: name.into() }
+    }
+
+    /// The bean this block mirrors.
+    pub fn bean_config(&self) -> BeanConfig {
+        BeanConfig::Pwm(self.bean.clone())
+    }
+
+    fn period_counts(&self) -> u32 {
+        self.bean.resolved.map(|r| r.period_counts).unwrap_or(3000)
+    }
+
+    fn dead_counts(&self) -> u32 {
+        self.bean.resolved.map(|r| r.dead_time_counts).unwrap_or(0)
+    }
+}
+
+impl Block for PePwm {
+    fn type_name(&self) -> &'static str {
+        "PE_PWM"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![("bean", ParamValue::S(self.name.clone()))]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(1, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let duty = ctx.in_f64(0).clamp(0.0, 1.0);
+        let period = self.period_counts();
+        let counts = (duty * period as f64).round() as u32;
+        let effective = counts.saturating_sub(self.dead_counts()) as f64 / period as f64;
+        ctx.set_output(0, effective);
+    }
+}
+
+/// Quadrature-decoder block: input = shaft angle (rad, from the plant),
+/// output = the 16-bit wrapping position register, exactly what the
+/// hardware counter delivers. Event 0 is the index pulse.
+pub struct PeQuadDec {
+    /// The mirrored bean.
+    pub bean: QuadDecBean,
+    /// Instance name.
+    pub name: String,
+    last_rev: i64,
+}
+
+impl PeQuadDec {
+    /// New decoder block mirroring `bean`.
+    pub fn new(name: &str, bean: QuadDecBean) -> Self {
+        PeQuadDec { bean, name: name.into(), last_rev: 0 }
+    }
+
+    /// The bean this block mirrors.
+    pub fn bean_config(&self) -> BeanConfig {
+        BeanConfig::QuadDec(self.bean.clone())
+    }
+}
+
+impl Block for PeQuadDec {
+    fn type_name(&self) -> &'static str {
+        "PE_QuadDecoder"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![
+            ("bean", ParamValue::S(self.name.clone())),
+            ("counts_per_rev", ParamValue::I(self.bean.counts_per_rev() as i64)),
+        ]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::with_events(1, 1, 1)
+    }
+    fn reset(&mut self) {
+        self.last_rev = 0;
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let angle = ctx.in_f64(0);
+        let cpr = self.bean.counts_per_rev() as f64;
+        let count = (angle / std::f64::consts::TAU * cpr).floor() as i64;
+        ctx.set_output(0, (count as u16 as u64 % 65_536) as u16);
+        let rev = (angle / std::f64::consts::TAU).floor() as i64;
+        if rev != self.last_rev && self.bean.index_interrupt {
+            ctx.emit_event(0);
+        }
+        self.last_rev = rev;
+    }
+}
+
+/// BitIO input block (a button): input = external pin level from the test
+/// bench (bool), output = `GetVal` result. Event 0 is the edge interrupt.
+pub struct PeBitIn {
+    /// The mirrored bean.
+    pub bean: BitIoBean,
+    /// Instance name.
+    pub name: String,
+    last: bool,
+}
+
+impl PeBitIn {
+    /// New input-pin block mirroring `bean`.
+    pub fn new(name: &str, bean: BitIoBean) -> Self {
+        PeBitIn { bean, name: name.into(), last: false }
+    }
+
+    /// The bean this block mirrors.
+    pub fn bean_config(&self) -> BeanConfig {
+        BeanConfig::BitIo(self.bean.clone())
+    }
+}
+
+impl Block for PeBitIn {
+    fn type_name(&self) -> &'static str {
+        "PE_BitIO_In"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![("bean", ParamValue::S(self.name.clone()))]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::with_events(1, 1, 1)
+    }
+    fn reset(&mut self) {
+        self.last = false;
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let level = ctx.in_bool(0);
+        ctx.set_output(0, level);
+        use peert_beans::catalog::PinEdge;
+        let fires = match self.bean.edge {
+            PinEdge::None => false,
+            PinEdge::Rising => level && !self.last,
+            PinEdge::Falling => !level && self.last,
+            PinEdge::Both => level != self.last,
+        };
+        if fires {
+            ctx.emit_event(0);
+        }
+        self.last = level;
+    }
+}
+
+/// TimerInt block: the control-loop time base. No data ports; event 0
+/// fires once per configured period (the OnInterrupt event the periodic
+/// function-call subsystem hangs off).
+pub struct PeTimerInt {
+    /// The mirrored bean.
+    pub bean: TimerIntBean,
+    /// Instance name.
+    pub name: String,
+}
+
+impl PeTimerInt {
+    /// New timer block mirroring `bean`.
+    pub fn new(name: &str, bean: TimerIntBean) -> Self {
+        PeTimerInt { bean, name: name.into() }
+    }
+
+    /// The bean this block mirrors.
+    pub fn bean_config(&self) -> BeanConfig {
+        BeanConfig::TimerInt(self.bean.clone())
+    }
+}
+
+impl Block for PeTimerInt {
+    fn type_name(&self) -> &'static str {
+        "PE_TimerInt"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![
+            ("bean", ParamValue::S(self.name.clone())),
+            ("period", ParamValue::F(self.bean.period_s)),
+        ]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::with_events(0, 0, 1)
+    }
+    fn sample(&self) -> SampleTime {
+        SampleTime::every(self.bean.period_s)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        ctx.emit_event(0);
+    }
+}
+
+/// Wrap-aware speed estimation from encoder counts — the controller-side
+/// helper the generated feedback path uses (counts → rad/s).
+pub struct SpeedFromCounts {
+    /// Encoder counts per revolution (4× line count).
+    pub counts_per_rev: u32,
+    /// Sample time in seconds.
+    pub ts: f64,
+    prev: u16,
+    primed: bool,
+}
+
+impl SpeedFromCounts {
+    /// New estimator.
+    pub fn new(counts_per_rev: u32, ts: f64) -> Self {
+        SpeedFromCounts { counts_per_rev, ts, prev: 0, primed: false }
+    }
+}
+
+impl Block for SpeedFromCounts {
+    fn type_name(&self) -> &'static str {
+        "SpeedFromCounts"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![
+            ("counts_per_rev", ParamValue::I(self.counts_per_rev as i64)),
+            ("ts", ParamValue::F(self.ts)),
+        ]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(1, 1)
+    }
+    fn reset(&mut self) {
+        self.prev = 0;
+        self.primed = false;
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let pos = ctx.input(0).cast(peert_model::DataType::U16);
+        let pos = match pos {
+            peert_model::Value::U16(v) => v,
+            _ => 0,
+        };
+        if !self.primed {
+            self.prev = pos;
+            self.primed = true;
+            ctx.set_output(0, 0.0);
+            return;
+        }
+        let delta = pos.wrapping_sub(self.prev) as i16 as f64;
+        self.prev = pos;
+        let speed = delta / self.counts_per_rev as f64 * std::f64::consts::TAU / self.ts;
+        ctx.set_output(0, speed);
+    }
+}
+
+/// Arithmetic the PID block simulates with — mirrors the §7 data-type
+/// choice ("choosing and validating an appropriate fix-point
+/// representation").
+pub enum PidArith {
+    /// Reference double implementation.
+    Float(PidF64),
+    /// Q15 implementation (what ships to the 16-bit target).
+    Fixed(PidQ15),
+}
+
+/// Discrete PID block: inputs (setpoint, measurement), output actuation.
+pub struct DiscretePid {
+    /// Shared configuration (also read by the codegen template).
+    pub config: PidConfig,
+    arith: PidArith,
+    /// Input normalization scale for the fixed-point variant.
+    pub scale: f64,
+}
+
+impl DiscretePid {
+    /// Float-arithmetic PID.
+    pub fn float(config: PidConfig) -> Result<Self, String> {
+        Ok(DiscretePid { arith: PidArith::Float(PidF64::new(config)?), config, scale: 1.0 })
+    }
+
+    /// Q15-arithmetic PID with input scale `scale` and output scale
+    /// `out_scale` (see [`PidQ15::new`]).
+    pub fn fixed(config: PidConfig, scale: f64, out_scale: f64) -> Result<Self, String> {
+        Ok(DiscretePid {
+            arith: PidArith::Fixed(PidQ15::new(config, scale, out_scale)?),
+            config,
+            scale,
+        })
+    }
+
+    /// Whether this instance runs fixed-point arithmetic.
+    pub fn is_fixed(&self) -> bool {
+        matches!(self.arith, PidArith::Fixed(_))
+    }
+}
+
+impl Block for DiscretePid {
+    fn type_name(&self) -> &'static str {
+        "DiscretePid"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![
+            ("kp", ParamValue::F(self.config.kp)),
+            ("ki", ParamValue::F(self.config.ki)),
+            ("kd", ParamValue::F(self.config.kd)),
+            ("ts", ParamValue::F(self.config.ts)),
+            ("umin", ParamValue::F(self.config.umin)),
+            ("umax", ParamValue::F(self.config.umax)),
+            ("fixed", ParamValue::I(self.is_fixed() as i64)),
+        ]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(2, 1)
+    }
+    fn reset(&mut self) {
+        match &mut self.arith {
+            PidArith::Float(p) => p.reset(),
+            PidArith::Fixed(p) => p.reset(),
+        }
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let (r, y) = (ctx.in_f64(0), ctx.in_f64(1));
+        let u = match &mut self.arith {
+            PidArith::Float(p) => p.step(r, y),
+            PidArith::Fixed(p) => {
+                let rq = Q15::from_f64(r / p.scale);
+                let yq = Q15::from_f64(y / p.scale);
+                p.step(rq, yq).to_f64()
+            }
+        };
+        ctx.set_output(0, u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peert_model::block::step_block;
+    use peert_model::Value;
+
+    #[test]
+    fn adc_block_quantizes_like_the_hardware() {
+        // the §5 example: 12-bit converter really limits the resolution
+        let mut adc = PeAdc::new("AD1", AdcBean::new(12, 0));
+        let (o, ev) = step_block(&mut adc, 0.0, 1e-3, &[Value::F64(1.65)]);
+        let code = match o[0] {
+            Value::U16(c) => c,
+            other => panic!("ADC must output uint16, got {other:?}"),
+        };
+        assert!((code as i32 - 2048).abs() <= 1);
+        assert!(ev.is_empty(), "no EOC event unless enabled");
+        // an 8-bit bean cannot tell 1.650 V from 1.655 V
+        let mut adc8 = PeAdc::new("AD1", AdcBean::new(8, 0));
+        let a = step_block(&mut adc8, 0.0, 1e-3, &[Value::F64(1.650)]).0[0];
+        let b = step_block(&mut adc8, 0.0, 1e-3, &[Value::F64(1.655)]).0[0];
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adc_event_fires_when_interrupt_enabled() {
+        let mut bean = AdcBean::new(12, 0);
+        bean.eoc_interrupt = true;
+        let mut adc = PeAdc::new("AD1", bean);
+        let (_, ev) = step_block(&mut adc, 0.0, 1e-3, &[Value::F64(1.0)]);
+        assert_eq!(ev, vec![0]);
+    }
+
+    #[test]
+    fn pwm_block_quantizes_duty_to_period_counts() {
+        let mut bean = PwmBean::new(20_000.0);
+        // resolve against the case-study part for realistic counts
+        let spec = peert_mcu::McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        bean.resolve(&spec).unwrap();
+        let mut pwm = PePwm::new("PWM1", bean);
+        let (o, _) = step_block(&mut pwm, 0.0, 1e-3, &[Value::F64(0.5)]);
+        assert!((o[0].as_f64() - 0.5).abs() < 1e-3);
+        // duties separated by less than one count collapse
+        let a = step_block(&mut pwm, 0.0, 1e-3, &[Value::F64(0.50001)]).0[0];
+        let b = step_block(&mut pwm, 0.0, 1e-3, &[Value::F64(0.50002)]).0[0];
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn qdec_block_wraps_at_16_bits() {
+        let mut qd = PeQuadDec::new("QD1", QuadDecBean::new(100));
+        // 200 revolutions = 80 000 counts
+        let (o, _) =
+            step_block(&mut qd, 0.0, 1e-3, &[Value::F64(200.0 * std::f64::consts::TAU)]);
+        assert_eq!(o[0], Value::U16((80_000u32 % 65_536) as u16));
+    }
+
+    #[test]
+    fn qdec_index_event_once_per_revolution() {
+        let mut bean = QuadDecBean::new(100);
+        bean.index_interrupt = true;
+        let mut qd = PeQuadDec::new("QD1", bean);
+        let (_, e1) = step_block(&mut qd, 0.0, 1e-3, &[Value::F64(0.5 * std::f64::consts::TAU)]);
+        assert!(e1.is_empty());
+        let (_, e2) = step_block(&mut qd, 0.0, 1e-3, &[Value::F64(1.2 * std::f64::consts::TAU)]);
+        assert_eq!(e2, vec![0]);
+    }
+
+    #[test]
+    fn bit_in_edge_events() {
+        let mut bean = BitIoBean::input(0, 3);
+        bean.edge = peert_beans::catalog::PinEdge::Rising;
+        let mut btn = PeBitIn::new("BTN1", bean);
+        let (_, e) = step_block(&mut btn, 0.0, 1e-3, &[Value::Bool(true)]);
+        assert_eq!(e, vec![0], "press fires");
+        let (_, e) = step_block(&mut btn, 0.0, 1e-3, &[Value::Bool(true)]);
+        assert!(e.is_empty(), "held does not re-fire");
+        let (_, e) = step_block(&mut btn, 0.0, 1e-3, &[Value::Bool(false)]);
+        assert!(e.is_empty(), "release ignored for rising");
+    }
+
+    #[test]
+    fn timer_block_is_periodic_and_eventful() {
+        let mut ti = PeTimerInt::new("TI1", TimerIntBean::new(1e-3));
+        assert_eq!(ti.sample(), SampleTime::every(1e-3));
+        let (_, e) = step_block(&mut ti, 0.0, 1e-3, &[]);
+        assert_eq!(e, vec![0]);
+    }
+
+    #[test]
+    fn speed_from_counts_handles_wrap() {
+        let mut s = SpeedFromCounts::new(400, 1e-3);
+        step_block(&mut s, 0.0, 1e-3, &[Value::U16(65_530)]);
+        let (o, _) = step_block(&mut s, 1e-3, 1e-3, &[Value::U16(4)]);
+        assert!(o[0].as_f64() > 0.0, "wrap reads as forward rotation");
+    }
+
+    #[test]
+    fn pid_block_variants_agree_on_small_signals() {
+        let cfg = PidConfig { kp: 0.3, ki: 1.0, kd: 0.0, ts: 1e-3, umin: -1.0, umax: 1.0 };
+        let mut f = DiscretePid::float(cfg).unwrap();
+        let mut q = DiscretePid::fixed(cfg, 1.0, 1.0).unwrap();
+        for k in 0..100 {
+            let t = k as f64 * 1e-3;
+            let uf = step_block(&mut f, t, 1e-3, &[Value::F64(0.4), Value::F64(0.1)]).0[0].as_f64();
+            let uq = step_block(&mut q, t, 1e-3, &[Value::F64(0.4), Value::F64(0.1)]).0[0].as_f64();
+            assert!((uf - uq).abs() < 0.01, "k={k}: {uf} vs {uq}");
+        }
+        assert!(q.is_fixed() && !f.is_fixed());
+    }
+
+    #[test]
+    fn bean_configs_round_trip_to_the_project_side() {
+        let adc = PeAdc::new("AD1", AdcBean::new(12, 0));
+        assert!(matches!(adc.bean_config(), BeanConfig::Adc(_)));
+        let ti = PeTimerInt::new("TI1", TimerIntBean::new(1e-3));
+        assert!(matches!(ti.bean_config(), BeanConfig::TimerInt(_)));
+    }
+}

@@ -1,0 +1,325 @@
+//! Model ⇄ PE-project synchronization — the PES_COM equivalent (§5).
+//!
+//! "The synchronization of the Simulink model with the PE project and the
+//! communication of both these tools through the Microsoft Component
+//! Object Model (COM) interface is provided by the PES_COM library. ...
+//! User changes in the model (PE block insertion, erasure, rename etc.)
+//! are propagated to the PE project and opposite."
+//!
+//! COM is Windows-only and unavailable here; the substitute keeps the same
+//! observable contract: two stateful sides (the model's PE-block inventory
+//! and the PE project's bean list) plus a change journal in each
+//! direction, with [`SyncedProject::sync`] draining both journals so the
+//! sides converge. E9 property-tests convergence under random edit
+//! interleavings.
+
+use peert_beans::bean::{Bean, BeanConfig};
+use peert_beans::PeProject;
+use std::collections::BTreeMap;
+
+/// One side's pending change.
+#[derive(Clone, Debug)]
+pub enum Change {
+    /// Instance added.
+    Add {
+        /// Instance name.
+        name: String,
+        /// Bean configuration.
+        config: Box<BeanConfig>,
+    },
+    /// Instance removed.
+    Remove {
+        /// Instance name.
+        name: String,
+    },
+    /// Instance renamed.
+    Rename {
+        /// Old name.
+        old: String,
+        /// New name.
+        new: String,
+    },
+}
+
+/// The synchronized pair: the model-side PE-block inventory and the
+/// project-side bean list.
+pub struct SyncedProject {
+    /// Model side: block name → bean config (what the PE blocks carry).
+    model: BTreeMap<String, BeanConfig>,
+    /// Project side.
+    project: PeProject,
+    /// Changes made on the model side, not yet propagated.
+    from_model: Vec<Change>,
+    /// Changes made on the project side, not yet propagated.
+    from_project: Vec<Change>,
+    conflicts: Vec<String>,
+}
+
+impl SyncedProject {
+    /// New pair targeting `cpu`.
+    pub fn new(cpu: &str) -> Self {
+        SyncedProject {
+            model: BTreeMap::new(),
+            project: PeProject::new(cpu),
+            from_model: Vec::new(),
+            from_project: Vec::new(),
+            conflicts: Vec::new(),
+        }
+    }
+
+    /// The project side (read access).
+    pub fn project(&self) -> &PeProject {
+        &self.project
+    }
+
+    /// The model side's inventory (read access).
+    pub fn model_inventory(&self) -> &BTreeMap<String, BeanConfig> {
+        &self.model
+    }
+
+    /// Conflicts detected during sync (duplicate names etc.).
+    pub fn conflicts(&self) -> &[String] {
+        &self.conflicts
+    }
+
+    // --- model-side edits (a PE block dropped into / removed from the
+    //     Simulink model) ---
+
+    /// A PE block was inserted into the model.
+    pub fn model_add(&mut self, name: &str, config: BeanConfig) -> Result<(), String> {
+        if self.model.contains_key(name) {
+            return Err(format!("model already has a block '{name}'"));
+        }
+        self.model.insert(name.into(), config.clone());
+        self.from_model.push(Change::Add { name: name.into(), config: Box::new(config) });
+        Ok(())
+    }
+
+    /// A PE block was erased from the model.
+    pub fn model_remove(&mut self, name: &str) -> Result<(), String> {
+        self.model
+            .remove(name)
+            .ok_or_else(|| format!("model has no block '{name}'"))?;
+        self.from_model.push(Change::Remove { name: name.into() });
+        Ok(())
+    }
+
+    /// A PE block was renamed in the model.
+    pub fn model_rename(&mut self, old: &str, new: &str) -> Result<(), String> {
+        if self.model.contains_key(new) {
+            return Err(format!("model already has a block '{new}'"));
+        }
+        let cfg = self
+            .model
+            .remove(old)
+            .ok_or_else(|| format!("model has no block '{old}'"))?;
+        self.model.insert(new.into(), cfg);
+        self.from_model.push(Change::Rename { old: old.into(), new: new.into() });
+        Ok(())
+    }
+
+    // --- project-side edits (a bean added in the PE project window) ---
+
+    /// A bean was added in the PE project.
+    pub fn project_add(&mut self, name: &str, config: BeanConfig) -> Result<(), String> {
+        self.project.add(Bean { name: name.into(), config: config.clone() })?;
+        self.from_project.push(Change::Add { name: name.into(), config: Box::new(config) });
+        Ok(())
+    }
+
+    /// A bean was removed in the PE project.
+    pub fn project_remove(&mut self, name: &str) -> Result<(), String> {
+        self.project.remove(name)?;
+        self.from_project.push(Change::Remove { name: name.into() });
+        Ok(())
+    }
+
+    /// A bean was renamed in the PE project.
+    pub fn project_rename(&mut self, old: &str, new: &str) -> Result<(), String> {
+        self.project.rename(old, new)?;
+        self.from_project.push(Change::Rename { old: old.into(), new: new.into() });
+        Ok(())
+    }
+
+    /// Reconcile residual divergence after journal replay. Concurrent
+    /// edits can conflict (both sides created the same name, then one
+    /// removed it); the model side wins, because the Simulink model "still
+    /// remains the actual documentation" (§2). Every forced change is
+    /// recorded as a conflict.
+    fn reconcile(&mut self) {
+        // project beans with no model counterpart are dropped
+        let orphaned: Vec<String> = self
+            .project
+            .beans()
+            .iter()
+            .map(|b| b.name.clone())
+            .filter(|n| !self.model.contains_key(n))
+            .collect();
+        for name in orphaned {
+            let _ = self.project.remove(&name);
+            self.conflicts.push(format!("reconcile: dropped project-only bean '{name}'"));
+        }
+        // model blocks missing or mistyped on the project side are forced
+        for (name, cfg) in &self.model {
+            match self.project.find(name) {
+                None => {
+                    let _ = self
+                        .project
+                        .add(Bean { name: name.clone(), config: cfg.clone() });
+                    self.conflicts.push(format!("reconcile: recreated bean '{name}'"));
+                }
+                Some(b) if b.config.type_name() != cfg.type_name() => {
+                    let _ = self.project.remove(name);
+                    let _ = self
+                        .project
+                        .add(Bean { name: name.clone(), config: cfg.clone() });
+                    self.conflicts.push(format!("reconcile: retyped bean '{name}'"));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Drain both journals, applying each side's changes to the other.
+    /// Conflicting operations are recorded rather than failing the sync;
+    /// any residual divergence is reconciled toward the model side.
+    pub fn sync(&mut self) {
+        let from_model = std::mem::take(&mut self.from_model);
+        for ch in from_model {
+            let res = match &ch {
+                Change::Add { name, config } => {
+                    self.project.add(Bean { name: name.clone(), config: (**config).clone() })
+                }
+                Change::Remove { name } => self.project.remove(name).map(|_| ()),
+                Change::Rename { old, new } => self.project.rename(old, new),
+            };
+            if let Err(e) = res {
+                self.conflicts.push(format!("model→project {ch:?}: {e}"));
+            }
+        }
+        let from_project = std::mem::take(&mut self.from_project);
+        for ch in from_project {
+            let res: Result<(), String> = match &ch {
+                Change::Add { name, config } => {
+                    if self.model.contains_key(name) {
+                        Err(format!("model already has '{name}'"))
+                    } else {
+                        self.model.insert(name.clone(), (**config).clone());
+                        Ok(())
+                    }
+                }
+                Change::Remove { name } => {
+                    self.model.remove(name).map(|_| ()).ok_or(format!("no '{name}'"))
+                }
+                Change::Rename { old, new } => match self.model.remove(old) {
+                    Some(cfg) => {
+                        self.model.insert(new.clone(), cfg);
+                        Ok(())
+                    }
+                    None => Err(format!("no '{old}'")),
+                },
+            };
+            if let Err(e) = res {
+                self.conflicts.push(format!("project→model {ch:?}: {e}"));
+            }
+        }
+        if !self.is_consistent() {
+            self.reconcile();
+        }
+    }
+
+    /// Whether the two sides currently agree (names and bean types).
+    pub fn is_consistent(&self) -> bool {
+        if self.model.len() != self.project.beans().len() {
+            return false;
+        }
+        self.model.iter().all(|(name, cfg)| {
+            self.project
+                .find(name)
+                .is_some_and(|b| b.config.type_name() == cfg.type_name())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peert_beans::catalog::{AdcBean, PwmBean, TimerIntBean};
+
+    fn timer() -> BeanConfig {
+        BeanConfig::TimerInt(TimerIntBean::new(1e-3))
+    }
+
+    fn adc() -> BeanConfig {
+        BeanConfig::Adc(AdcBean::new(12, 0))
+    }
+
+    #[test]
+    fn model_edits_propagate_to_the_project() {
+        let mut s = SyncedProject::new("MC56F8367");
+        s.model_add("TI1", timer()).unwrap();
+        s.model_add("AD1", adc()).unwrap();
+        assert!(!s.is_consistent(), "not synced yet");
+        s.sync();
+        assert!(s.is_consistent());
+        assert!(s.project().find("TI1").is_some());
+        s.model_rename("AD1", "Sensor").unwrap();
+        s.model_remove("TI1").unwrap();
+        s.sync();
+        assert!(s.is_consistent());
+        assert!(s.project().find("Sensor").is_some());
+        assert!(s.project().find("TI1").is_none());
+        assert!(s.conflicts().is_empty());
+    }
+
+    #[test]
+    fn project_edits_propagate_to_the_model() {
+        let mut s = SyncedProject::new("MC56F8367");
+        s.project_add("PWM1", BeanConfig::Pwm(PwmBean::new(20_000.0))).unwrap();
+        s.sync();
+        assert!(s.is_consistent());
+        assert!(s.model_inventory().contains_key("PWM1"));
+        s.project_rename("PWM1", "Drive").unwrap();
+        s.sync();
+        assert!(s.model_inventory().contains_key("Drive"));
+    }
+
+    #[test]
+    fn both_sides_edited_between_syncs_converge() {
+        let mut s = SyncedProject::new("MC56F8367");
+        s.model_add("TI1", timer()).unwrap();
+        s.project_add("AD1", adc()).unwrap();
+        s.sync();
+        assert!(s.is_consistent());
+        assert_eq!(s.model_inventory().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_at_the_edit() {
+        let mut s = SyncedProject::new("MC56F8367");
+        s.model_add("X", timer()).unwrap();
+        assert!(s.model_add("X", adc()).is_err());
+        s.sync();
+        assert!(s.project_add("X", adc()).is_err(), "name is taken project-side after sync");
+    }
+
+    #[test]
+    fn conflicting_concurrent_adds_are_recorded_not_fatal() {
+        let mut s = SyncedProject::new("MC56F8367");
+        s.model_add("X", timer()).unwrap();
+        s.project_add("X", adc()).unwrap(); // same name on both sides pre-sync
+        s.sync();
+        assert!(!s.conflicts().is_empty());
+    }
+
+    #[test]
+    fn double_click_opens_the_inspector_of_the_synced_bean() {
+        // §5: block properties are set via the PE bean inspector
+        let mut s = SyncedProject::new("MC56F8367");
+        s.model_add("AD1", adc()).unwrap();
+        s.sync();
+        let bean = s.project().find("AD1").unwrap();
+        let rows = peert_beans::Inspector::rows(bean);
+        assert!(rows.iter().any(|r| r.name == "resolution [bits]"));
+    }
+}

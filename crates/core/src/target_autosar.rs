@@ -1,0 +1,197 @@
+//! The AUTOSAR block-set variant (§8).
+//!
+//! "There are two variants of the block sets. In the first variant the
+//! blocks represent the PE beans while in the second variant the blocks
+//! represent AUTOSAR peripherals. The blocks of both variants are the same
+//! from the functional point of view, but they differ in HW settings and
+//! the API of generated code."
+//!
+//! This target reuses the *same* PE blocks (identical MIL behaviour) and
+//! swaps only the code templates: the generated controller calls the
+//! AUTOSAR MCAL driver API (`Adc_ReadGroup`, `Pwm_SetDutyCycle`,
+//! `Icu_GetEdgeNumbers`, `Dio_ReadChannel`) instead of the bean methods —
+//! the §1 remark that the generated interface "can be compliant with
+//! common standards (e.g. HIS or AUTOSAR)" made concrete.
+
+use peert_codegen::target::Target;
+use peert_codegen::tlc::{Arithmetic, BlockCode, CodegenOptions, TlcContext, TlcRegistry};
+use peert_codegen::{generate_controller, CodegenError, ControllerCode, TaskImage};
+use peert_mcu::{McuSpec, Op};
+use peert_model::subsystem::Subsystem;
+
+fn tpl_autosar_adc(c: &TlcContext) -> Result<BlockCode, String> {
+    let bean = c.s("bean")?.to_string();
+    Ok(BlockCode {
+        output: vec![
+            format!("Adc_StartGroupConversion(AdcGroup_{bean});"),
+            format!("Adc_ReadGroup(AdcGroup_{bean}, &{});", c.outputs[0]),
+        ],
+        ops_output: vec![Op::Call, Op::IoAccess, Op::Return, Op::Call, Op::IoAccess, Op::Return],
+        ..Default::default()
+    })
+}
+
+fn tpl_autosar_pwm(c: &TlcContext) -> Result<BlockCode, String> {
+    let bean = c.s("bean")?.to_string();
+    let convert = match c.arith {
+        Arithmetic::Float => format!("(uint16)({} * 0x8000U)", c.inputs[0]),
+        Arithmetic::FixedQ15 => format!("frac16_to_duty({})", c.inputs[0]),
+    };
+    Ok(BlockCode {
+        output: vec![
+            format!("{} = {};", c.outputs[0], c.inputs[0]),
+            format!("Pwm_SetDutyCycle(PwmChannel_{bean}, {convert});"),
+        ],
+        ops_output: match c.arith {
+            Arithmetic::Float => vec![Op::FMul, Op::Call, Op::IoAccess, Op::Return],
+            Arithmetic::FixedQ15 => vec![Op::Mul16, Op::Call, Op::IoAccess, Op::Return],
+        },
+        ..Default::default()
+    })
+}
+
+fn tpl_autosar_qdec(c: &TlcContext) -> Result<BlockCode, String> {
+    let bean = c.s("bean")?.to_string();
+    Ok(BlockCode {
+        output: vec![format!("{} = Icu_GetEdgeNumbers(IcuChannel_{bean});", c.outputs[0])],
+        ops_output: vec![Op::Call, Op::IoAccess, Op::Return],
+        ..Default::default()
+    })
+}
+
+fn tpl_autosar_bit_in(c: &TlcContext) -> Result<BlockCode, String> {
+    let bean = c.s("bean")?.to_string();
+    Ok(BlockCode {
+        output: vec![format!("{} = Dio_ReadChannel(DioChannel_{bean});", c.outputs[0])],
+        ops_output: vec![Op::Call, Op::IoAccess, Op::Return],
+        ..Default::default()
+    })
+}
+
+fn tpl_autosar_timer(_c: &TlcContext) -> Result<BlockCode, String> {
+    // Gpt notification paces the step; no inline code
+    Ok(BlockCode::default())
+}
+
+/// The AUTOSAR-variant target.
+pub struct AutosarTarget {
+    registry: TlcRegistry,
+}
+
+impl Default for AutosarTarget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AutosarTarget {
+    /// Standard templates + the AUTOSAR MCAL overrides for the PE blocks.
+    pub fn new() -> Self {
+        let mut registry = TlcRegistry::standard();
+        registry.register("PE_ADC", tpl_autosar_adc);
+        registry.register("PE_PWM", tpl_autosar_pwm);
+        registry.register("PE_QuadDecoder", tpl_autosar_qdec);
+        registry.register("PE_BitIO_In", tpl_autosar_bit_in);
+        registry.register("PE_TimerInt", tpl_autosar_timer);
+        registry.register("SpeedFromCounts", crate::target_peert::SPEED_TPL);
+        registry.register("DiscretePid", crate::target_peert::PID_TPL);
+        AutosarTarget { registry }
+    }
+
+    /// Generate and price an AUTOSAR-variant build.
+    pub fn build(
+        &self,
+        controller: &Subsystem,
+        model: &str,
+        spec: &McuSpec,
+        opts: &CodegenOptions,
+    ) -> Result<(ControllerCode, TaskImage), CodegenError> {
+        let code = generate_controller(controller, model, opts, &self.registry)?;
+        let image = TaskImage::build(&code, spec);
+        Ok((code, image))
+    }
+}
+
+impl Target for AutosarTarget {
+    fn name(&self) -> &str {
+        "peert_autosar"
+    }
+    fn registry(&self) -> &TlcRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servo::{build_controller, ServoOptions};
+    use peert_mcu::McuCatalog;
+
+    fn spec() -> McuSpec {
+        McuCatalog::standard().find("MC56F8367").unwrap().clone()
+    }
+
+    #[test]
+    fn autosar_build_emits_mcal_api() {
+        let target = AutosarTarget::new();
+        let controller = build_controller(&ServoOptions::default()).unwrap();
+        let (code, image) =
+            target.build(&controller, "servo_ar", &spec(), &CodegenOptions::default()).unwrap();
+        let text = &code.source.file("servo_ar.c").unwrap().text;
+        assert!(text.contains("Icu_GetEdgeNumbers(IcuChannel_QD1)"));
+        assert!(text.contains("Pwm_SetDutyCycle(PwmChannel_PWM1"));
+        assert!(!text.contains("QD1_GetPosition"), "no bean API in the AUTOSAR variant");
+        assert!(image.step_cycles > 0);
+    }
+
+    #[test]
+    fn both_variants_share_the_controller_logic() {
+        // §8: "the same from the functional point of view" — the PID body
+        // is identical; only the peripheral-access lines differ
+        let pe = crate::target_peert::PeertTarget::new();
+        let ar = AutosarTarget::new();
+        let controller = build_controller(&ServoOptions::default()).unwrap();
+        let opts = CodegenOptions::default();
+        let pe_code = generate_controller(
+            &controller,
+            "m",
+            &opts,
+            peert_codegen::target::Target::registry(&pe),
+        )
+        .unwrap();
+        let ar_code = generate_controller(&controller, "m", &opts, ar.registry()).unwrap();
+        let pid_lines = |text: &str| {
+            text.lines().filter(|l| l.contains("pid_")).map(str::to_string).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            pid_lines(&pe_code.source.file("m.c").unwrap().text),
+            pid_lines(&ar_code.source.file("m.c").unwrap().text)
+        );
+    }
+
+    #[test]
+    fn both_variants_cost_the_same_on_the_target() {
+        // same abstract operations → same priced image: the API flavour is
+        // free at run time
+        let pe = crate::target_peert::PeertTarget::new();
+        let ar = AutosarTarget::new();
+        let controller = build_controller(&ServoOptions::default()).unwrap();
+        let opts = CodegenOptions::default();
+        let pe_code = generate_controller(
+            &controller,
+            "m",
+            &opts,
+            peert_codegen::target::Target::registry(&pe),
+        )
+        .unwrap();
+        let ar_code = generate_controller(&controller, "m", &opts, ar.registry()).unwrap();
+        let pe_img = TaskImage::build(&pe_code, &spec());
+        let ar_img = TaskImage::build(&ar_code, &spec());
+        assert_eq!(pe_img.step_cycles, ar_img.step_cycles);
+    }
+
+    #[test]
+    fn target_name_is_distinct() {
+        assert_eq!(AutosarTarget::new().name(), "peert_autosar");
+    }
+}

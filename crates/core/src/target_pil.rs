@@ -1,0 +1,187 @@
+//! The PEERT_PIL target (§6).
+//!
+//! "A special version of the code is used in the PIL simulation. The
+//! inputs are not measured by the hardware peripherals but their values
+//! are obtained via the communication line, similarly the outputs are not
+//! written to the hardware peripherals but to the communication line ...
+//! Therefore, a support for PIL simulation is required in the code
+//! generation target."
+//!
+//! [`PilTarget`] overrides exactly the PE-block templates: every
+//! peripheral access becomes a communication-buffer access, the rest of
+//! the controller code is byte-identical to the production build.
+
+use peert_codegen::target::Target;
+use peert_codegen::tlc::{BlockCode, CodegenOptions, TlcContext, TlcRegistry};
+use peert_codegen::{generate_controller, CodegenError, ControllerCode, TaskImage};
+use peert_mcu::{McuSpec, Op};
+use peert_model::subsystem::Subsystem;
+use peert_pil::cosim::{ControllerFn, PilConfig, PilSession, PlantFn};
+
+fn tpl_pil_adc(c: &TlcContext) -> Result<BlockCode, String> {
+    let bean = c.s("bean")?.to_string();
+    Ok(BlockCode {
+        output: vec![format!("{} = pil_rx_sample(\"{bean}\"); /* redirected peripheral input */", c.outputs[0])],
+        ops_output: vec![Op::Call, Op::Load, Op::Return],
+        ..Default::default()
+    })
+}
+
+fn tpl_pil_qdec(c: &TlcContext) -> Result<BlockCode, String> {
+    let bean = c.s("bean")?.to_string();
+    Ok(BlockCode {
+        output: vec![format!("{} = pil_rx_sample(\"{bean}\"); /* redirected peripheral input */", c.outputs[0])],
+        ops_output: vec![Op::Call, Op::Load, Op::Return],
+        ..Default::default()
+    })
+}
+
+fn tpl_pil_pwm(c: &TlcContext) -> Result<BlockCode, String> {
+    let bean = c.s("bean")?.to_string();
+    Ok(BlockCode {
+        output: vec![
+            format!("{} = {};", c.outputs[0], c.inputs[0]),
+            format!("pil_tx_sample(\"{bean}\", {}); /* redirected peripheral output */", c.inputs[0]),
+        ],
+        ops_output: vec![Op::Call, Op::Store, Op::Return],
+        ..Default::default()
+    })
+}
+
+fn tpl_pil_bit_in(c: &TlcContext) -> Result<BlockCode, String> {
+    let bean = c.s("bean")?.to_string();
+    Ok(BlockCode {
+        output: vec![format!("{} = pil_rx_sample(\"{bean}\"); /* redirected peripheral input */", c.outputs[0])],
+        ops_output: vec![Op::Call, Op::Load, Op::Return],
+        ..Default::default()
+    })
+}
+
+fn tpl_pil_timer(_c: &TlcContext) -> Result<BlockCode, String> {
+    // the control period is paced by the packet arrival in PIL (§6: ISRs
+    // "invoked by the communication interrupt service routine")
+    Ok(BlockCode::default())
+}
+
+/// The PIL code-generation target.
+pub struct PilTarget {
+    registry: TlcRegistry,
+}
+
+impl Default for PilTarget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PilTarget {
+    /// Standard templates + the comm-buffer PE overrides.
+    pub fn new() -> Self {
+        let mut registry = TlcRegistry::standard();
+        registry.register("PE_ADC", tpl_pil_adc);
+        registry.register("PE_PWM", tpl_pil_pwm);
+        registry.register("PE_QuadDecoder", tpl_pil_qdec);
+        registry.register("PE_BitIO_In", tpl_pil_bit_in);
+        registry.register("PE_TimerInt", tpl_pil_timer);
+        registry.register("SpeedFromCounts", crate::target_peert::SPEED_TPL);
+        registry.register("DiscretePid", crate::target_peert::PID_TPL);
+        PilTarget { registry }
+    }
+
+    /// Generate the PIL build of a controller and price it.
+    pub fn build(
+        &self,
+        controller: &Subsystem,
+        model: &str,
+        spec: &McuSpec,
+        opts: &CodegenOptions,
+    ) -> Result<(ControllerCode, TaskImage), CodegenError> {
+        let code = generate_controller(controller, model, opts, &self.registry)?;
+        let image = TaskImage::build(&code, spec);
+        Ok((code, image))
+    }
+
+    /// Assemble the full PIL session (Fig 6.2): the image on the board,
+    /// the plant on the host, the RS-232 line in between.
+    pub fn make_session(
+        &self,
+        spec: &McuSpec,
+        image: &TaskImage,
+        cfg: PilConfig,
+        controller: ControllerFn,
+        plant: PlantFn,
+    ) -> Result<PilSession, String> {
+        PilSession::new(spec, image, cfg, controller, plant)
+    }
+}
+
+impl Target for PilTarget {
+    fn name(&self) -> &str {
+        "peert_pil"
+    }
+    fn registry(&self) -> &TlcRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servo::{build_controller, ServoOptions};
+    use peert_mcu::McuCatalog;
+
+    fn spec() -> McuSpec {
+        McuCatalog::standard().find("MC56F8367").unwrap().clone()
+    }
+
+    #[test]
+    fn pil_build_redirects_peripherals_to_the_comm_buffer() {
+        let target = PilTarget::new();
+        let controller = build_controller(&ServoOptions::default()).unwrap();
+        let (code, image) =
+            target.build(&controller, "servo_pil", &spec(), &CodegenOptions::default()).unwrap();
+        let text = &code.source.file("servo_pil.c").unwrap().text;
+        assert!(text.contains("pil_rx_sample(\"QD1\")"));
+        assert!(text.contains("pil_tx_sample(\"PWM1\""));
+        assert!(!text.contains("QD1_GetPosition"), "no hardware access in the PIL build");
+        assert!(image.step_cycles > 0);
+    }
+
+    #[test]
+    fn controller_logic_is_identical_between_targets() {
+        // §6: "minor changes in the code required for the input and output
+        // data redirection" — the PID body itself must be byte-identical
+        let production = crate::target_peert::PeertTarget::new();
+        let pil = PilTarget::new();
+        let controller = build_controller(&ServoOptions::default()).unwrap();
+        let opts = CodegenOptions::default();
+        let prod_code = peert_codegen::generate_controller(
+            &controller,
+            "m",
+            &opts,
+            peert_codegen::target::Target::registry(&production),
+        )
+        .unwrap();
+        let pil_code =
+            peert_codegen::generate_controller(&controller, "m", &opts, pil.registry()).unwrap();
+        let body = |text: &str| {
+            text.lines()
+                .filter(|l| l.contains("pid_") && !l.contains("pil_"))
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            body(&prod_code.source.file("m.c").unwrap().text),
+            body(&pil_code.source.file("m.c").unwrap().text)
+        );
+    }
+
+    #[test]
+    fn target_names_match_the_paper() {
+        assert_eq!(PilTarget::new().name(), "peert_pil");
+        assert_eq!(
+            peert_codegen::target::Target::name(&crate::target_peert::PeertTarget::new()),
+            "peert"
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! The development cycle of Fig 6.1: single model → MIL simulation →
+//! synchronization → code generation → PIL simulation.
+//!
+//! "The validation of each development phase is done by the simulation in
+//! the Matlab Simulink. First Model in the Loop validates the model of the
+//! controller. After the code generation, the Processor in the Loop
+//! simulation can be used to validate the real-time execution of the
+//! controller on the MCU in the loop with the plant model in Simulink."
+//! (§2)
+
+use crate::servo::{
+    build_controller, build_servo_model, pil_controller, servo_project, ControllerArithmetic,
+    ServoOptions,
+};
+use crate::target_peert::{BuildOutput, PeertTarget};
+use crate::target_pil::PilTarget;
+use peert_codegen::tlc::{Arithmetic, CodegenOptions};
+use peert_codegen::CodegenReport;
+use peert_control::metrics::StepMetrics;
+use peert_mcu::McuCatalog;
+use peert_model::log::SignalLog;
+use peert_pil::cosim::{LinkKind, PilConfig, PilStats, PlantFn};
+use peert_plant::dcmotor::DcMotor;
+use serde::{Deserialize, Serialize};
+
+/// Result of the MIL phase.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MilResult {
+    /// Logged speed trajectory.
+    pub speed: SignalLog,
+    /// Logged duty trajectory.
+    pub duty: SignalLog,
+    /// Step-response metrics toward the first setpoint plateau.
+    pub metrics: StepMetrics,
+}
+
+/// Result of the whole cycle.
+#[derive(Serialize, Deserialize)]
+pub struct CycleReport {
+    /// MIL phase.
+    pub mil: MilResult,
+    /// Code-generation metrics.
+    pub codegen: CodegenReport,
+    /// PIL phase statistics.
+    pub pil: PilStats,
+    /// RMS deviation of the PIL speed trajectory from MIL (rad/s).
+    pub pil_vs_mil_rms: f64,
+}
+
+/// The arithmetic option mapped into codegen terms.
+fn codegen_opts(opts: &ServoOptions) -> CodegenOptions {
+    CodegenOptions {
+        arithmetic: match opts.arithmetic {
+            ControllerArithmetic::Float => Arithmetic::Float,
+            ControllerArithmetic::FixedQ15 { .. } => Arithmetic::FixedQ15,
+        },
+        dt: opts.control_period_s,
+    }
+}
+
+/// Phase 1 — MIL: simulate the single model for `t_end` seconds.
+pub fn run_mil(opts: &ServoOptions, t_end: f64) -> Result<MilResult, String> {
+    let mut model = build_servo_model(opts)?;
+    model.run(t_end)?;
+    let speed = model.speed_log.lock().clone();
+    let duty = model.duty_log.lock().clone();
+    let plateau = opts.setpoint.abs_max();
+    let t0 = opts
+        .setpoint
+        .breakpoints()
+        .first()
+        .map(|&(t, _)| t)
+        .unwrap_or(0.0);
+    let metrics = StepMetrics::from_response(&speed.t, &speed.y, plateau, t0);
+    Ok(MilResult { speed, duty, metrics })
+}
+
+/// The §7 fixed-point advisor step: observe the MIL signal ranges and
+/// propose the Q15 normalization scale for the speed channels — "Simulink
+/// allows choosing and validating an appropriate fix-point representation
+/// of real numbers in the controller model."
+///
+/// The returned scale is the smallest power of two covering the observed
+/// speed range with 25 % headroom (transients beyond the recorded run).
+pub fn propose_q15_scale(mil: &MilResult) -> f64 {
+    let mut tracker = peert_fixedpoint::RangeTracker::new();
+    for &y in &mil.speed.y {
+        tracker.observe(y);
+    }
+    let needed = tracker.abs_max().unwrap_or(1.0) * 1.25;
+    let mut scale = 1.0f64;
+    while scale < needed {
+        scale *= 2.0;
+    }
+    scale
+}
+
+/// Phase 2 — code generation through the PEERT target.
+pub fn run_codegen(opts: &ServoOptions, cpu: &str) -> Result<BuildOutput, String> {
+    let controller = build_controller(opts)?;
+    let mut project = servo_project(opts, cpu);
+    let target = PeertTarget::new();
+    target
+        .build_application(
+            &controller,
+            "servo",
+            &mut project,
+            &McuCatalog::standard(),
+            &codegen_opts(opts),
+            "TI1",
+        )
+        .map_err(|e| e.to_string())
+}
+
+/// A PIL plant that also logs the motor speed for MIL comparison.
+fn pil_plant_logged(opts: &ServoOptions) -> (PlantFn, std::sync::Arc<parking_lot::Mutex<SignalLog>>) {
+    let lines = match opts.feedback {
+        crate::servo::Feedback::Encoder { lines } => lines,
+        _ => 100,
+    };
+    let cpr = (lines * 4) as f64;
+    let mut motor = DcMotor::new(opts.motor);
+    let profile = opts.setpoint.clone();
+    let load = opts.load_step;
+    let log = peert_model::log::shared_log();
+    let log2 = log.clone();
+    let mut t = 0.0f64;
+    let plant: PlantFn = Box::new(move |actuation: &[f64], dt: f64| {
+        let duty = actuation.first().copied().unwrap_or(0.0).clamp(0.0, 1.0);
+        let torque = match load {
+            Some((t0, tau)) if t >= t0 => tau,
+            _ => 0.0,
+        };
+        if dt > 0.0 {
+            motor.advance(duty, torque, 1.0, dt);
+            t += dt;
+            log2.lock().push(t, motor.speed());
+        }
+        let counts =
+            (motor.angle() / std::f64::consts::TAU * cpr).floor() as i64 as u16 as i16 as f64;
+        vec![counts, profile.value(t)]
+    });
+    (plant, log)
+}
+
+/// Phase 3 — PIL: run the generated image against the host plant over the
+/// RS-232 line for `steps` control periods.
+pub fn run_pil(
+    opts: &ServoOptions,
+    cpu: &str,
+    baud: u32,
+    steps: u64,
+) -> Result<(PilStats, SignalLog), String> {
+    run_pil_link(opts, cpu, LinkKind::Rs232 { baud }, steps)
+}
+
+/// Like [`run_pil`] but over an arbitrary link — the §8 open-target
+/// extension (RS-232 or SPI).
+pub fn run_pil_link(
+    opts: &ServoOptions,
+    cpu: &str,
+    link: LinkKind,
+    steps: u64,
+) -> Result<(PilStats, SignalLog), String> {
+    run_pil_noisy(opts, cpu, link, 0.0, steps)
+}
+
+/// Like [`run_pil_link`] with line-noise fault injection: each wire byte
+/// flips a bit with probability `corruption_prob`; corrupted frames fail
+/// CRC and the board holds its last actuation for that period.
+pub fn run_pil_noisy(
+    opts: &ServoOptions,
+    cpu: &str,
+    link: LinkKind,
+    corruption_prob: f64,
+    steps: u64,
+) -> Result<(PilStats, SignalLog), String> {
+    let spec = McuCatalog::standard()
+        .find(cpu)
+        .cloned()
+        .ok_or_else(|| format!("unknown CPU '{cpu}'"))?;
+    let pil_target = PilTarget::new();
+    let controller_sub = build_controller(opts)?;
+    let (_code, image) = pil_target
+        .build(&controller_sub, "servo_pil", &spec, &codegen_opts(opts))
+        .map_err(|e| e.to_string())?;
+    let cfg = PilConfig {
+        link,
+        control_period_s: opts.control_period_s,
+        sensor_channels: 2, // encoder register + setpoint
+        actuation_channels: 1,
+        sensor_scale: 32_768.0, // raw 16-bit patterns travel unscaled
+        actuation_scale: 1.0,
+        rx_isr_cycles: 60,
+        corruption_prob,
+        noise_seed: 0x5EED,
+    };
+    let (plant, log) = pil_plant_logged(opts);
+    let mut session =
+        pil_target.make_session(&spec, &image, cfg, pil_controller(opts)?, plant)?;
+    session.run(steps)?;
+    let stats = session.stats().clone();
+    let speed = log.lock().clone();
+    Ok((stats, speed))
+}
+
+/// The full Fig 6.1 development cycle for the servo case study.
+pub fn run_development_cycle(
+    opts: &ServoOptions,
+    cpu: &str,
+    baud: u32,
+    t_end: f64,
+) -> Result<CycleReport, String> {
+    let mil = run_mil(opts, t_end)?;
+    let build = run_codegen(opts, cpu)?;
+    let steps = (t_end / opts.control_period_s) as u64;
+    let (pil, pil_speed) = run_pil(opts, cpu, baud, steps)?;
+    let pil_vs_mil_rms = pil_speed.rms_diff(&mil.speed);
+    Ok(CycleReport { mil, codegen: build.report, pil, pil_vs_mil_rms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_opts() -> ServoOptions {
+        ServoOptions {
+            setpoint: peert_control::setpoint::SetpointProfile::from(0.0).at(0.02, 150.0),
+            load_step: None,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mil_phase_produces_metrics() {
+        let mil = run_mil(&fast_opts(), 0.4).unwrap();
+        assert!(mil.speed.len() > 100);
+        assert!(mil.metrics.rise_time > 0.0);
+        assert!(mil.metrics.steady_state_error.abs() < 3.0);
+    }
+
+    #[test]
+    fn codegen_phase_builds_for_the_case_study_part() {
+        let out = run_codegen(&fast_opts(), "MC56F8367").unwrap();
+        assert!(out.report.loc > 30);
+        assert!(out.image.utilization(&out.spec, 1e-3) < 0.2);
+    }
+
+    #[test]
+    fn fixed_point_advisor_proposes_a_covering_scale() {
+        let mil = run_mil(&fast_opts(), 0.4).unwrap();
+        let scale = propose_q15_scale(&mil);
+        let max_speed = mil.speed.y.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(scale >= max_speed, "scale {scale} covers the range {max_speed}");
+        assert!(scale <= 4.0 * max_speed.max(1.0), "not absurdly conservative");
+        assert!(scale.log2().fract().abs() < 1e-12, "power of two");
+        // ...and the advised scale actually builds and runs a Q15 loop
+        let opts = ServoOptions {
+            arithmetic: crate::servo::ControllerArithmetic::FixedQ15 { scale },
+            ..fast_opts()
+        };
+        let mil_q = run_mil(&opts, 0.4).unwrap();
+        assert!(mil_q.speed.rms_diff(&mil.speed) < 5.0);
+    }
+
+    #[test]
+    fn pil_phase_exchanges_and_logs() {
+        let (stats, speed) = run_pil(&fast_opts(), "MC56F8367", 115_200, 300).unwrap();
+        assert_eq!(stats.steps, 300);
+        assert_eq!(stats.crc_errors, 0);
+        assert!(speed.len() > 100);
+    }
+
+    #[test]
+    fn pil_reveals_that_rs232_cannot_sustain_1khz() {
+        // the §6 question "whether the computation power ... is sufficient"
+        // — here the bottleneck is the line: 16 bytes at 115200 baud take
+        // 1.39 ms, more than the 1 ms control period
+        let report = run_development_cycle(&fast_opts(), "MC56F8367", 115_200, 0.2).unwrap();
+        assert!(report.pil.deadline_misses > 0);
+        assert!(report.pil.min_feasible_period_s(60e6) > 1e-3);
+    }
+
+    #[test]
+    fn full_cycle_pil_tracks_mil_at_a_feasible_period() {
+        let mut opts = fast_opts();
+        opts.control_period_s = 2e-3; // 500 Hz fits the line budget
+        opts.pid.ts = 2e-3;
+        let report = run_development_cycle(&opts, "MC56F8367", 115_200, 0.4).unwrap();
+        assert_eq!(report.pil.deadline_misses, 0, "500 Hz fits 115200 baud");
+        assert!(
+            report.pil_vs_mil_rms < 20.0,
+            "PIL trajectory close to MIL (quantization + comm delay only): {}",
+            report.pil_vs_mil_rms
+        );
+        assert!(report.pil.comm_fraction() > 0.5, "RS-232 still dominates the step");
+    }
+}

@@ -1,0 +1,240 @@
+//! Range-driven automatic scaling and quantization-error accounting.
+//!
+//! Simulink's fixed-point tooling (which the paper's §7 workflow relies on to
+//! "choose and validate an appropriate fix-point representation") observes
+//! signal ranges during simulation and proposes a format that covers the
+//! range with maximal precision. [`RangeTracker`] + [`autoscale`] reproduce
+//! that loop; [`QuantizationStats`] accumulates the error actually incurred
+//! so experiments can report it (E4).
+
+use crate::qformat::QFormat;
+use serde::{Deserialize, Serialize};
+
+/// Observes the dynamic range of a signal during a simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RangeTracker {
+    min: f64,
+    max: f64,
+    samples: u64,
+}
+
+impl Default for RangeTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeTracker {
+    /// New tracker with an empty range.
+    pub fn new() -> Self {
+        RangeTracker { min: f64::INFINITY, max: f64::NEG_INFINITY, samples: 0 }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.samples += 1;
+    }
+
+    /// Observed minimum (None before any sample).
+    pub fn min(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.min)
+    }
+
+    /// Observed maximum (None before any sample).
+    pub fn max(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.max)
+    }
+
+    /// Number of samples observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest absolute value observed.
+    pub fn abs_max(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.min.abs().max(self.max.abs()))
+    }
+}
+
+/// Choose the signed format of `word_bits` total bits that covers
+/// `[-abs_max, abs_max]` with as many fraction bits as possible.
+///
+/// This is the core rule of Simulink's autoscaler: maximize `frac_bits`
+/// subject to `2^(word_bits-1-frac_bits) > abs_max` (leaving the integer
+/// part enough headroom). A zero/empty range yields the all-fractional
+/// format.
+pub fn autoscale(word_bits: u8, tracker: &RangeTracker) -> QFormat {
+    let abs_max = tracker.abs_max().unwrap_or(0.0);
+    let max_frac = word_bits.saturating_sub(1);
+    if abs_max <= 0.0 {
+        return QFormat { word_bits, frac_bits: max_frac, signed: true };
+    }
+    // need: abs_max <= (2^(word-1) - 1) * 2^-frac  =>  frac <= word-1 - log2(abs_max) (approx)
+    let mut frac = max_frac as i32;
+    while frac >= 0 {
+        let f = QFormat { word_bits, frac_bits: frac as u8, signed: true };
+        if f.real_max() >= abs_max && f.real_min() <= -abs_max {
+            return f;
+        }
+        frac -= 1;
+    }
+    // Range exceeds even the pure-integer format; return it anyway — the
+    // caller's validation step will flag saturation.
+    QFormat { word_bits, frac_bits: 0, signed: true }
+}
+
+/// Accumulates quantization error statistics for one signal.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QuantizationStats {
+    count: u64,
+    sum_abs: f64,
+    sum_sq: f64,
+    max_abs: f64,
+    saturations: u64,
+}
+
+impl QuantizationStats {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pass `v` through `format`, recording the incurred error; returns the
+    /// quantized value.
+    pub fn pass(&mut self, format: &QFormat, v: f64) -> f64 {
+        let q = format.pass(v);
+        let err = (q - v).abs();
+        self.count += 1;
+        self.sum_abs += err;
+        self.sum_sq += err * err;
+        if err > self.max_abs {
+            self.max_abs = err;
+        }
+        if v > format.real_max() || v < format.real_min() {
+            self.saturations += 1;
+        }
+        q
+    }
+
+    /// Number of samples passed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean absolute quantization error.
+    pub fn mean_abs_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_abs / self.count as f64
+        }
+    }
+
+    /// Root-mean-square quantization error.
+    pub fn rms_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_sq / self.count as f64).sqrt()
+        }
+    }
+
+    /// Largest single-sample error.
+    pub fn max_abs_error(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// How many samples fell outside the representable range.
+    pub fn saturations(&self) -> u64 {
+        self.saturations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracked(values: &[f64]) -> RangeTracker {
+        let mut t = RangeTracker::new();
+        for &v in values {
+            t.observe(v);
+        }
+        t
+    }
+
+    #[test]
+    fn tracker_records_extremes_and_ignores_nan() {
+        let t = tracked(&[1.0, -3.0, 2.0, f64::NAN]);
+        assert_eq!(t.min(), Some(-3.0));
+        assert_eq!(t.max(), Some(2.0));
+        assert_eq!(t.samples(), 3);
+        assert_eq!(t.abs_max(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_tracker_reports_none() {
+        let t = RangeTracker::new();
+        assert_eq!(t.min(), None);
+        assert_eq!(t.abs_max(), None);
+    }
+
+    #[test]
+    fn autoscale_fractional_signal_picks_q15() {
+        let t = tracked(&[0.5, -0.9, 0.3]);
+        let f = autoscale(16, &t);
+        assert_eq!(f.frac_bits, 15);
+        assert!(f.real_max() >= 0.9);
+    }
+
+    #[test]
+    fn autoscale_leaves_headroom_for_large_signals() {
+        let t = tracked(&[100.0, -250.0]);
+        let f = autoscale(16, &t);
+        assert!(f.real_max() >= 250.0, "format {f} must cover 250");
+        assert!(f.real_min() <= -250.0);
+        // and the next-finer format must NOT cover it (maximality)
+        if f.frac_bits < 15 {
+            let finer = QFormat { frac_bits: f.frac_bits + 1, ..f };
+            assert!(finer.real_max() < 250.0 || finer.real_min() > -250.0);
+        }
+    }
+
+    #[test]
+    fn autoscale_empty_range_is_all_fractional() {
+        let f = autoscale(16, &RangeTracker::new());
+        assert_eq!(f.frac_bits, 15);
+    }
+
+    #[test]
+    fn stats_accumulate_and_bound_by_half_lsb() {
+        let f = QFormat::Q15;
+        let mut s = QuantizationStats::new();
+        for i in 0..1000 {
+            s.pass(&f, -0.9 + i as f64 * 0.0018);
+        }
+        assert_eq!(s.count(), 1000);
+        assert!(s.max_abs_error() <= f.max_quantization_error() + 1e-15);
+        assert!(s.rms_error() <= s.max_abs_error());
+        assert!(s.mean_abs_error() <= s.rms_error() + 1e-15);
+        assert_eq!(s.saturations(), 0);
+    }
+
+    #[test]
+    fn stats_count_saturations() {
+        let f = QFormat::Q15;
+        let mut s = QuantizationStats::new();
+        s.pass(&f, 5.0);
+        s.pass(&f, 0.1);
+        assert_eq!(s.saturations(), 1);
+    }
+}

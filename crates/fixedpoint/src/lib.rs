@@ -1,0 +1,55 @@
+//! Fixed-point (Q-format) arithmetic for controllers on FPU-less MCUs.
+//!
+//! The paper's case study (§7) targets the 16-bit Freescale MC56F8367 hybrid
+//! DSP/MCU, which has no floating-point unit: "The default data type used in
+//! Simulink is double. This type is, however, not appropriate for the
+//! implementation in the 16-bit microcontroller without the floating point
+//! unit. Simulink allows choosing and validating an appropriate fix-point
+//! representation of real numbers in the controller model."
+//!
+//! This crate is the Rust equivalent of that Simulink fixed-point support:
+//!
+//! * [`Q15`] / [`Q31`] — the two canonical signed fractional formats used by
+//!   16-bit DSP controllers, with saturating arithmetic and rounding on
+//!   multiplication (matching DSP56800E MAC semantics).
+//! * [`QFormat`] — a *runtime-described* fixed-point format (word length,
+//!   fraction length, signedness), used by the ADC/PWM blocks to quantize
+//!   ideal plant signals to hardware resolution, and by the autoscaler.
+//! * [`analysis`] — range-driven automatic scaling (pick the Q format that
+//!   covers an observed signal range with maximum precision) and
+//!   quantization-error accounting, the equivalent of Simulink's
+//!   fixed-point advisor the paper relies on.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod qformat;
+mod qtypes;
+
+pub use analysis::{autoscale, QuantizationStats, RangeTracker};
+pub use qformat::QFormat;
+pub use qtypes::{Q15, Q31};
+
+/// Saturate a wide intermediate value into `[min, max]`.
+#[inline(always)]
+pub fn saturate_i64(v: i64, min: i64, max: i64) -> i64 {
+    if v < min {
+        min
+    } else if v > max {
+        max
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturate_clamps_both_ends() {
+        assert_eq!(saturate_i64(5, -2, 3), 3);
+        assert_eq!(saturate_i64(-5, -2, 3), -2);
+        assert_eq!(saturate_i64(1, -2, 3), 1);
+    }
+}

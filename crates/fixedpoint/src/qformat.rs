@@ -1,0 +1,211 @@
+//! Runtime-described fixed-point formats.
+//!
+//! The PE block set simulates the *actual* resolution of peripherals during
+//! MIL simulation (§5: "the ADC block representing the 12 bits AD converter
+//! on the MCU chip really provides the controller model with values with the
+//! 12 bits resolution"). [`QFormat`] is the machinery behind that: a word
+//! length / fraction length / signedness triple that can quantize an ideal
+//! `f64` plant signal to what the hardware would deliver.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-point number format described at runtime.
+///
+/// `word_bits` is the total storage width (1..=64), `frac_bits` the number of
+/// bits to the right of the binary point (may exceed `word_bits` for purely
+/// fractional scalings, or be negative-equivalent via `0` for integers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    /// Total word length in bits (including sign bit if signed).
+    pub word_bits: u8,
+    /// Fraction length in bits.
+    pub frac_bits: u8,
+    /// Two's-complement signed if true, else unsigned.
+    pub signed: bool,
+}
+
+impl QFormat {
+    /// Signed Q1.15 (the MC56F8367 native fractional format).
+    pub const Q15: QFormat = QFormat { word_bits: 16, frac_bits: 15, signed: true };
+    /// Signed Q1.31.
+    pub const Q31: QFormat = QFormat { word_bits: 32, frac_bits: 31, signed: true };
+    /// Unsigned 12-bit integer (a 12-bit ADC result register).
+    pub const U12: QFormat = QFormat { word_bits: 12, frac_bits: 0, signed: false };
+    /// Unsigned 16-bit integer.
+    pub const U16: QFormat = QFormat { word_bits: 16, frac_bits: 0, signed: false };
+
+    /// Construct a format, validating the widths.
+    pub fn new(word_bits: u8, frac_bits: u8, signed: bool) -> Result<Self, String> {
+        if word_bits == 0 || word_bits > 64 {
+            return Err(format!("word length {word_bits} out of range 1..=64"));
+        }
+        if frac_bits as u32 >= 64 {
+            return Err(format!("fraction length {frac_bits} out of range 0..64"));
+        }
+        Ok(QFormat { word_bits, frac_bits, signed })
+    }
+
+    /// An unsigned integer format of `bits` bits — the result register of a
+    /// `bits`-bit ADC.
+    pub fn adc(bits: u8) -> Self {
+        QFormat { word_bits: bits, frac_bits: 0, signed: false }
+    }
+
+    /// Smallest representable raw value.
+    #[inline]
+    pub fn raw_min(&self) -> i64 {
+        if self.signed {
+            if self.word_bits == 64 {
+                i64::MIN
+            } else {
+                -(1i64 << (self.word_bits - 1))
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable raw value.
+    #[inline]
+    pub fn raw_max(&self) -> i64 {
+        if self.signed {
+            if self.word_bits == 64 {
+                i64::MAX
+            } else {
+                (1i64 << (self.word_bits - 1)) - 1
+            }
+        } else if self.word_bits == 64 {
+            i64::MAX
+        } else {
+            (1i64 << self.word_bits) - 1
+        }
+    }
+
+    /// Resolution of one LSB in real-world units: `2^-frac`.
+    #[inline]
+    pub fn resolution(&self) -> f64 {
+        (2.0f64).powi(-(self.frac_bits as i32))
+    }
+
+    /// Smallest representable real value.
+    #[inline]
+    pub fn real_min(&self) -> f64 {
+        self.raw_min() as f64 * self.resolution()
+    }
+
+    /// Largest representable real value.
+    #[inline]
+    pub fn real_max(&self) -> f64 {
+        self.raw_max() as f64 * self.resolution()
+    }
+
+    /// Quantize a real value to the nearest representable raw code,
+    /// saturating at the format bounds.
+    #[inline]
+    pub fn quantize(&self, v: f64) -> i64 {
+        let scaled = (v / self.resolution()).round();
+        if scaled.is_nan() {
+            return 0;
+        }
+        let lo = self.raw_min() as f64;
+        let hi = self.raw_max() as f64;
+        let clamped = scaled.clamp(lo, hi);
+        clamped as i64
+    }
+
+    /// Real value of a raw code.
+    #[inline]
+    pub fn dequantize(&self, raw: i64) -> f64 {
+        raw as f64 * self.resolution()
+    }
+
+    /// Quantize and immediately dequantize — what the controller "sees"
+    /// of an ideal signal after it passed through this format.
+    #[inline]
+    pub fn pass(&self, v: f64) -> f64 {
+        self.dequantize(self.quantize(v))
+    }
+
+    /// Worst-case quantization error inside the representable range:
+    /// half an LSB.
+    #[inline]
+    pub fn max_quantization_error(&self) -> f64 {
+        self.resolution() / 2.0
+    }
+
+    /// Number of distinct codes.
+    #[inline]
+    pub fn code_count(&self) -> u64 {
+        if self.word_bits == 64 {
+            u64::MAX
+        } else {
+            1u64 << self.word_bits
+        }
+    }
+}
+
+impl core::fmt::Display for QFormat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = if self.signed { "s" } else { "u" };
+        write!(f, "{}fix{}_En{}", s, self.word_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_bad_widths() {
+        assert!(QFormat::new(0, 0, false).is_err());
+        assert!(QFormat::new(65, 0, false).is_err());
+        assert!(QFormat::new(16, 15, true).is_ok());
+    }
+
+    #[test]
+    fn q15_bounds_match_dedicated_type() {
+        let f = QFormat::Q15;
+        assert_eq!(f.raw_min(), i16::MIN as i64);
+        assert_eq!(f.raw_max(), i16::MAX as i64);
+        assert!((f.real_min() - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adc12_covers_0_to_4095() {
+        let f = QFormat::adc(12);
+        assert_eq!(f.raw_min(), 0);
+        assert_eq!(f.raw_max(), 4095);
+        assert_eq!(f.code_count(), 4096);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let f = QFormat::adc(12);
+        assert_eq!(f.quantize(1e9), 4095);
+        assert_eq!(f.quantize(-5.0), 0);
+        assert_eq!(f.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn pass_error_is_at_most_half_lsb() {
+        let f = QFormat::Q15;
+        for i in 0..100 {
+            let v = -0.99 + i as f64 * 0.0198;
+            assert!((f.pass(v) - v).abs() <= f.max_quantization_error() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn display_uses_simulink_style_name() {
+        assert_eq!(QFormat::Q15.to_string(), "sfix16_En15");
+        assert_eq!(QFormat::adc(12).to_string(), "ufix12_En0");
+    }
+
+    #[test]
+    fn sixty_four_bit_formats_do_not_overflow() {
+        let f = QFormat::new(64, 0, false).unwrap();
+        assert_eq!(f.raw_max(), i64::MAX);
+        let s = QFormat::new(64, 0, true).unwrap();
+        assert_eq!(s.raw_min(), i64::MIN);
+    }
+}

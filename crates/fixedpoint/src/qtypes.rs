@@ -1,0 +1,313 @@
+//! Concrete Q1.15 and Q1.31 signed fractional types.
+//!
+//! Both represent values in `[-1.0, 1.0 - 2^-frac]` and saturate on overflow,
+//! which is what the DSP56800E core of the paper's MC56F8367 does in its
+//! default arithmetic mode. Multiplication rounds to nearest (round-half-up
+//! on the dropped bits), matching the core's `RND`-style MAC behaviour
+//! closely enough for control-quality comparisons.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_q {
+    ($(#[$doc:meta])* $name:ident, $raw:ty, $wide:ty, $frac:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+                 Serialize, Deserialize)]
+        pub struct $name(pub $raw);
+
+        impl $name {
+            /// Number of fractional bits.
+            pub const FRAC_BITS: u32 = $frac;
+            /// Smallest representable value (−1.0).
+            pub const MIN: $name = $name(<$raw>::MIN);
+            /// Largest representable value (1.0 − 2^−frac).
+            pub const MAX: $name = $name(<$raw>::MAX);
+            /// Zero.
+            pub const ZERO: $name = $name(0);
+            /// One LSB (the format's resolution, 2^−frac).
+            pub const EPSILON: $name = $name(1);
+            /// Scale factor 2^frac as f64.
+            pub const SCALE: f64 = (1u64 << $frac) as f64;
+
+            /// Construct from the raw two's-complement representation.
+            #[inline(always)]
+            pub const fn from_raw(raw: $raw) -> Self {
+                $name(raw)
+            }
+
+            /// Raw two's-complement representation.
+            #[inline(always)]
+            pub const fn raw(self) -> $raw {
+                self.0
+            }
+
+            /// Quantize a float into the format, saturating to `[-1, 1)`.
+            #[inline]
+            pub fn from_f64(v: f64) -> Self {
+                let scaled = (v * Self::SCALE).round();
+                if scaled >= <$raw>::MAX as f64 {
+                    Self::MAX
+                } else if scaled <= <$raw>::MIN as f64 {
+                    Self::MIN
+                } else {
+                    $name(scaled as $raw)
+                }
+            }
+
+            /// Exact float value of the stored representation.
+            #[inline]
+            pub fn to_f64(self) -> f64 {
+                self.0 as f64 / Self::SCALE
+            }
+
+            /// Saturating addition.
+            #[inline(always)]
+            pub fn sat_add(self, rhs: Self) -> Self {
+                $name(self.0.saturating_add(rhs.0))
+            }
+
+            /// Saturating subtraction.
+            #[inline(always)]
+            pub fn sat_sub(self, rhs: Self) -> Self {
+                $name(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Fractional multiply with rounding and saturation.
+            ///
+            /// The only overflow case of the wide product is
+            /// `MIN × MIN` (−1 × −1 = +1, not representable), which saturates.
+            #[inline(always)]
+            pub fn sat_mul(self, rhs: Self) -> Self {
+                let wide = self.0 as $wide * rhs.0 as $wide;
+                // round half up on the dropped fractional bits
+                let rounded = wide + (1 as $wide << ($frac - 1));
+                let shifted = rounded >> $frac;
+                if shifted > <$raw>::MAX as $wide {
+                    Self::MAX
+                } else if shifted < <$raw>::MIN as $wide {
+                    Self::MIN
+                } else {
+                    $name(shifted as $raw)
+                }
+            }
+
+            /// Fractional divide with saturation. Division by zero saturates
+            /// to the sign of the numerator (±MAX), mirroring the behaviour
+            /// of a guard-checked DSP division routine.
+            #[inline]
+            pub fn sat_div(self, rhs: Self) -> Self {
+                if rhs.0 == 0 {
+                    return if self.0 >= 0 { Self::MAX } else { Self::MIN };
+                }
+                let wide = ((self.0 as $wide) << $frac) / rhs.0 as $wide;
+                if wide > <$raw>::MAX as $wide {
+                    Self::MAX
+                } else if wide < <$raw>::MIN as $wide {
+                    Self::MIN
+                } else {
+                    $name(wide as $raw)
+                }
+            }
+
+            /// Saturating negation (−MIN saturates to MAX).
+            #[inline(always)]
+            pub fn sat_neg(self) -> Self {
+                $name(self.0.checked_neg().unwrap_or(<$raw>::MAX))
+            }
+
+            /// Saturating absolute value.
+            #[inline(always)]
+            pub fn sat_abs(self) -> Self {
+                if self.0 < 0 {
+                    self.sat_neg()
+                } else {
+                    self
+                }
+            }
+
+            /// Multiply-accumulate: `self + a*b`, saturating once at the end.
+            #[inline(always)]
+            pub fn mac(self, a: Self, b: Self) -> Self {
+                self.sat_add(a.sat_mul(b))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                self.sat_add(rhs)
+            }
+        }
+        impl AddAssign for $name {
+            #[inline(always)]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = self.sat_add(rhs);
+            }
+        }
+        impl Sub for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                self.sat_sub(rhs)
+            }
+        }
+        impl SubAssign for $name {
+            #[inline(always)]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = self.sat_sub(rhs);
+            }
+        }
+        impl Mul for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                self.sat_mul(rhs)
+            }
+        }
+        impl Div for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn div(self, rhs: Self) -> Self {
+                self.sat_div(rhs)
+            }
+        }
+        impl Neg for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn neg(self) -> Self {
+                self.sat_neg()
+            }
+        }
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:.6})"), self.to_f64())
+            }
+        }
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.6}", self.to_f64())
+            }
+        }
+    };
+}
+
+define_q!(
+    /// Signed Q1.15 fractional value stored in an `i16` — the native data
+    /// type of the 16-bit MC56F8367 used in the paper's servo case study.
+    Q15,
+    i16,
+    i32,
+    15
+);
+
+define_q!(
+    /// Signed Q1.31 fractional value stored in an `i32` — used for
+    /// integrator states that need more headroom than Q15 offers.
+    Q31,
+    i32,
+    i64,
+    31
+);
+
+impl Q15 {
+    /// Widen to Q31 (exact).
+    #[inline(always)]
+    pub fn widen(self) -> Q31 {
+        Q31((self.0 as i32) << 16)
+    }
+}
+
+impl Q31 {
+    /// Narrow to Q15 with rounding and saturation.
+    #[inline(always)]
+    pub fn narrow(self) -> Q15 {
+        let rounded = (self.0 as i64 + (1 << 15)) >> 16;
+        Q15(crate::saturate_i64(rounded, i16::MIN as i64, i16::MAX as i64) as i16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip_is_within_half_lsb() {
+        for &v in &[0.0, 0.5, -0.5, 0.123456, -0.999, 0.99996] {
+            let q = Q15::from_f64(v);
+            assert!((q.to_f64() - v).abs() <= 0.5 / Q15::SCALE + 1e-12, "v={v}");
+        }
+    }
+
+    #[test]
+    fn from_f64_saturates_out_of_range() {
+        assert_eq!(Q15::from_f64(2.0), Q15::MAX);
+        assert_eq!(Q15::from_f64(-2.0), Q15::MIN);
+        assert_eq!(Q31::from_f64(1.0), Q31::MAX);
+        assert_eq!(Q31::from_f64(-1.0), Q31::MIN);
+    }
+
+    #[test]
+    fn addition_saturates() {
+        assert_eq!(Q15::MAX + Q15::MAX, Q15::MAX);
+        assert_eq!(Q15::MIN + Q15::MIN, Q15::MIN);
+        assert_eq!(Q15::from_f64(0.25) + Q15::from_f64(0.25), Q15::from_f64(0.5));
+    }
+
+    #[test]
+    fn min_times_min_saturates_to_max() {
+        assert_eq!(Q15::MIN * Q15::MIN, Q15::MAX);
+        assert_eq!(Q31::MIN * Q31::MIN, Q31::MAX);
+    }
+
+    #[test]
+    fn multiplication_matches_float_within_lsb() {
+        let a = Q15::from_f64(0.3);
+        let b = Q15::from_f64(-0.7);
+        let exact = a.to_f64() * b.to_f64();
+        assert!((a.sat_mul(b).to_f64() - exact).abs() <= 1.0 / Q15::SCALE);
+    }
+
+    #[test]
+    fn division_by_zero_saturates_with_numerator_sign() {
+        assert_eq!(Q15::from_f64(0.5) / Q15::ZERO, Q15::MAX);
+        assert_eq!(Q15::from_f64(-0.5) / Q15::ZERO, Q15::MIN);
+    }
+
+    #[test]
+    fn division_inverts_multiplication_roughly() {
+        let a = Q15::from_f64(0.24);
+        let b = Q15::from_f64(0.6);
+        let q = a / b;
+        assert!((q.to_f64() - 0.4).abs() < 2.0 / Q15::SCALE);
+    }
+
+    #[test]
+    fn neg_min_saturates() {
+        assert_eq!(-Q15::MIN, Q15::MAX);
+        assert_eq!(Q15::MIN.sat_abs(), Q15::MAX);
+        assert_eq!(Q15::from_f64(-0.5).sat_abs(), Q15::from_f64(0.5));
+    }
+
+    #[test]
+    fn widen_narrow_round_trip_is_exact() {
+        for raw in [-32768i16, -1, 0, 1, 12345, 32767] {
+            let q = Q15::from_raw(raw);
+            assert_eq!(q.widen().narrow(), q);
+        }
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        let acc = Q15::from_f64(0.1);
+        let r = acc.mac(Q15::from_f64(0.5), Q15::from_f64(0.5));
+        assert!((r.to_f64() - 0.35).abs() < 2.0 / Q15::SCALE);
+    }
+
+    #[test]
+    fn display_formats_as_float() {
+        assert_eq!(format!("{}", Q15::from_f64(0.5)), "0.500000");
+    }
+}

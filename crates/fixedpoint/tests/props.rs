@@ -1,0 +1,101 @@
+//! Property-based tests for the fixed-point algebra.
+
+use peert_fixedpoint::{autoscale, QFormat, RangeTracker, Q15, Q31};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn q15_add_is_commutative(a in any::<i16>(), b in any::<i16>()) {
+        let (a, b) = (Q15::from_raw(a), Q15::from_raw(b));
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn q15_mul_is_commutative(a in any::<i16>(), b in any::<i16>()) {
+        let (a, b) = (Q15::from_raw(a), Q15::from_raw(b));
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn q15_result_always_in_range(a in any::<i16>(), b in any::<i16>()) {
+        let (a, b) = (Q15::from_raw(a), Q15::from_raw(b));
+        for r in [a + b, a - b, a * b, a / b, -a, a.sat_abs()] {
+            prop_assert!(r.to_f64() >= -1.0 && r.to_f64() < 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn q15_mul_error_bounded_by_one_lsb(a in any::<i16>(), b in any::<i16>()) {
+        let (a, b) = (Q15::from_raw(a), Q15::from_raw(b));
+        let exact = (a.to_f64() * b.to_f64()).clamp(-1.0, Q15::MAX.to_f64());
+        prop_assert!((a.sat_mul(b).to_f64() - exact).abs() <= 1.0 / Q15::SCALE);
+    }
+
+    #[test]
+    fn q15_from_f64_round_trip(v in -0.999f64..0.999) {
+        let q = Q15::from_f64(v);
+        prop_assert!((q.to_f64() - v).abs() <= 0.5 / Q15::SCALE + 1e-12);
+    }
+
+    #[test]
+    fn q31_widen_narrow_identity(raw in any::<i16>()) {
+        let q = Q15::from_raw(raw);
+        prop_assert_eq!(q.widen().narrow(), q);
+    }
+
+    #[test]
+    fn q31_add_matches_f64_when_no_overflow(a in -0.4f64..0.4, b in -0.4f64..0.4) {
+        let r = Q31::from_f64(a) + Q31::from_f64(b);
+        prop_assert!((r.to_f64() - (a + b)).abs() <= 2.0 / Q31::SCALE);
+    }
+
+    #[test]
+    fn qformat_quantize_stays_in_range(bits in 1u8..=16, v in -1e6f64..1e6) {
+        let f = QFormat::adc(bits);
+        let raw = f.quantize(v);
+        prop_assert!(raw >= f.raw_min() && raw <= f.raw_max());
+    }
+
+    #[test]
+    fn qformat_pass_error_bounded_inside_range(
+        frac in 0u8..=15, v in -0.9f64..0.9,
+    ) {
+        let f = QFormat::new(16, frac, true).unwrap();
+        if v <= f.real_max() && v >= f.real_min() {
+            prop_assert!((f.pass(v) - v).abs() <= f.max_quantization_error() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn autoscale_always_covers_observed_range(
+        values in prop::collection::vec(-1e4f64..1e4, 1..50),
+    ) {
+        let mut t = RangeTracker::new();
+        for &v in &values {
+            t.observe(v);
+        }
+        let f = autoscale(16, &t);
+        let m = t.abs_max().unwrap();
+        // pure-integer fallback may saturate for |v| >= 2^15
+        if m < 32767.0 {
+            prop_assert!(f.real_max() >= m && f.real_min() <= -m,
+                "format {} does not cover ±{}", f, m);
+        }
+    }
+
+    #[test]
+    fn autoscale_is_maximally_precise(
+        values in prop::collection::vec(-1e4f64..1e4, 1..50),
+    ) {
+        let mut t = RangeTracker::new();
+        for &v in &values {
+            t.observe(v);
+        }
+        let f = autoscale(16, &t);
+        let m = t.abs_max().unwrap();
+        if f.frac_bits < 15 && m > 0.0 {
+            let finer = QFormat::new(16, f.frac_bits + 1, true).unwrap();
+            prop_assert!(finer.real_max() < m || finer.real_min() > -m);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Clock tree: crystal → PLL → system/bus clock → peripheral prescalers.
+//!
+//! Processor Expert's expert system (§4) "calculates settings of common
+//! prescalers" and verifies that a requested peripheral rate (a timer period,
+//! an ADC clock, a UART baud rate) is reachable from the bus clock. This
+//! module provides both the clock arithmetic and the exhaustive prescaler
+//! search the beans' expert system uses.
+
+use crate::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// The chip's clock configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClockTree {
+    /// External crystal frequency in Hz.
+    pub crystal_hz: f64,
+    /// PLL multiplier (1 = PLL bypassed).
+    pub pll_mult: u32,
+    /// PLL output divider.
+    pub pll_div: u32,
+    /// Divider from system clock to the peripheral bus clock.
+    pub bus_div: u32,
+}
+
+impl ClockTree {
+    /// Build a tree, validating divider sanity.
+    pub fn new(crystal_hz: f64, pll_mult: u32, pll_div: u32, bus_div: u32) -> Result<Self, String> {
+        if crystal_hz <= 0.0 {
+            return Err("crystal frequency must be positive".into());
+        }
+        if pll_mult == 0 || pll_div == 0 || bus_div == 0 {
+            return Err("PLL/bus dividers must be nonzero".into());
+        }
+        Ok(ClockTree { crystal_hz, pll_mult, pll_div, bus_div })
+    }
+
+    /// System (core) clock in Hz.
+    #[inline]
+    pub fn system_hz(&self) -> f64 {
+        self.crystal_hz * self.pll_mult as f64 / self.pll_div as f64
+    }
+
+    /// Peripheral bus clock in Hz — the time base all peripherals and the
+    /// cycle-cost CPU model run on.
+    #[inline]
+    pub fn bus_hz(&self) -> f64 {
+        self.system_hz() / self.bus_div as f64
+    }
+
+    /// Convert a duration in seconds to bus cycles (rounded to nearest).
+    #[inline]
+    pub fn secs_to_cycles(&self, secs: f64) -> Cycles {
+        (secs * self.bus_hz()).round().max(0.0) as Cycles
+    }
+
+    /// Convert bus cycles to seconds.
+    #[inline]
+    pub fn cycles_to_secs(&self, cycles: Cycles) -> f64 {
+        cycles as f64 / self.bus_hz()
+    }
+}
+
+/// One solution of the prescaler search: `bus_hz / prescaler / modulo`
+/// approximates the requested event rate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrescalerSolution {
+    /// Chosen prescaler (one of the hardware-supported values).
+    pub prescaler: u32,
+    /// Chosen counter modulo (1..=counter_max+1, the reload value + 1).
+    pub modulo: u32,
+    /// Achieved event frequency in Hz.
+    pub achieved_hz: f64,
+    /// Relative error vs. the request, `|achieved-requested|/requested`.
+    pub rel_error: f64,
+}
+
+/// Search the `(prescaler, modulo)` space of a counter for the combination
+/// whose event rate best matches `requested_hz`.
+///
+/// `prescalers` is the hardware-supported prescaler set (e.g. powers of two
+/// on the 56F8xxx quad timers), `counter_bits` the counter width. Returns
+/// `None` when the requested rate is unreachable even at the extremes —
+/// exactly the situation Processor Expert flags in the Bean Inspector as a
+/// timing error (E1).
+pub fn solve_prescaler(
+    bus_hz: f64,
+    requested_hz: f64,
+    prescalers: &[u32],
+    counter_bits: u8,
+) -> Option<PrescalerSolution> {
+    if requested_hz <= 0.0 || bus_hz <= 0.0 || prescalers.is_empty() {
+        return None;
+    }
+    let max_modulo = if counter_bits >= 32 { u32::MAX } else { (1u32 << counter_bits) - 1 } as f64;
+    let mut best: Option<PrescalerSolution> = None;
+    for &ps in prescalers {
+        if ps == 0 {
+            continue;
+        }
+        let ticks_hz = bus_hz / ps as f64;
+        let ideal_modulo = ticks_hz / requested_hz;
+        for cand in [ideal_modulo.floor(), ideal_modulo.ceil()] {
+            let m = cand.clamp(1.0, max_modulo);
+            let achieved = ticks_hz / m;
+            let rel = (achieved - requested_hz).abs() / requested_hz;
+            let sol = PrescalerSolution {
+                prescaler: ps,
+                modulo: m as u32,
+                achieved_hz: achieved,
+                rel_error: rel,
+            };
+            if best.as_ref().is_none_or(|b| rel < b.rel_error) {
+                best = Some(sol);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc56f_clock() -> ClockTree {
+        // 8 MHz crystal, PLL ×15, /2 → 60 MHz core, bus = core on 56F8xxx
+        ClockTree::new(8.0e6, 15, 2, 1).unwrap()
+    }
+
+    #[test]
+    fn clock_math() {
+        let c = mc56f_clock();
+        assert!((c.system_hz() - 60.0e6).abs() < 1.0);
+        assert!((c.bus_hz() - 60.0e6).abs() < 1.0);
+        assert_eq!(c.secs_to_cycles(1e-3), 60_000);
+        assert!((c.cycles_to_secs(60_000) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_rejects_degenerate_trees() {
+        assert!(ClockTree::new(0.0, 1, 1, 1).is_err());
+        assert!(ClockTree::new(8e6, 0, 1, 1).is_err());
+        assert!(ClockTree::new(8e6, 1, 0, 1).is_err());
+        assert!(ClockTree::new(8e6, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn prescaler_finds_exact_1khz_on_60mhz() {
+        let sol = solve_prescaler(60e6, 1000.0, &[1, 2, 4, 8, 16, 32, 64, 128], 16).unwrap();
+        assert!(sol.rel_error < 1e-9, "1 kHz is exactly reachable: {sol:?}");
+        assert!((sol.achieved_hz - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prescaler_rejects_unreachably_slow_rates() {
+        // 16-bit counter, max prescaler 128 on 60 MHz bus: slowest rate is
+        // 60e6/128/65535 ≈ 7.2 Hz. Request 0.001 Hz → large error remains.
+        let sol = solve_prescaler(60e6, 0.001, &[1, 2, 4, 8, 16, 32, 64, 128], 16).unwrap();
+        assert!(sol.rel_error > 100.0, "0.001 Hz must be unreachable: {sol:?}");
+    }
+
+    #[test]
+    fn prescaler_rejects_unreachably_fast_rates() {
+        // fastest event rate is bus_hz (prescaler 1, modulo 1)
+        let sol = solve_prescaler(60e6, 1e9, &[1, 2], 16);
+        // modulo 1 at prescaler 1 gives 60 MHz, rel error vs 1 GHz ≈ 0.94
+        let sol = sol.unwrap();
+        assert!(sol.rel_error > 0.9);
+    }
+
+    #[test]
+    fn prescaler_none_on_empty_hardware_set() {
+        assert!(solve_prescaler(60e6, 1000.0, &[], 16).is_none());
+        assert!(solve_prescaler(60e6, -3.0, &[1], 16).is_none());
+    }
+
+    #[test]
+    fn prescaler_prefers_small_error_over_small_prescaler() {
+        // 7 Hz from 60 MHz with a 16-bit counter needs prescaler ≥ 131;
+        // the solver must pick a feasible (larger) prescaler over an
+        // infeasible small one.
+        let sol = solve_prescaler(60e6, 7.0, &[1, 256], 16).unwrap();
+        assert_eq!(sol.prescaler, 256);
+        assert!(sol.rel_error < 0.01);
+    }
+}

@@ -1,0 +1,378 @@
+//! CPU cycle-cost and stack model.
+//!
+//! PIL simulation "shows the execution times of the implemented controller
+//! code, interrupts response times, sampling jitters, memory and stack
+//! requirements" (§6). To expose those quantities without a full ISA
+//! simulator, generated code is lowered to a stream of abstract operations
+//! ([`Op`]) and each catalog MCU carries a [`CostTable`] assigning a cycle
+//! cost to every operation. The ratios follow the family datasheets: a
+//! DSP56800E multiplies 16-bit fractions in one cycle (hardware MAC) but
+//! needs library calls of hundreds of cycles for software floating point; a
+//! 32-bit ColdFire narrows that gap; an 8-bit S08 pays heavily for any
+//! 32-bit arithmetic.
+
+use crate::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// Abstract machine operations the code generator lowers blocks into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// 16-bit integer/fractional add or subtract.
+    Add16,
+    /// 16-bit multiply (fractional MAC on DSP cores).
+    Mul16,
+    /// 16-bit divide.
+    Div16,
+    /// 32-bit add/subtract.
+    Add32,
+    /// 32-bit multiply.
+    Mul32,
+    /// 32-bit divide.
+    Div32,
+    /// Floating-point add (software-emulated on FPU-less cores).
+    FAdd,
+    /// Floating-point multiply.
+    FMul,
+    /// Floating-point divide.
+    FDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional or unconditional branch.
+    Branch,
+    /// Subroutine call (also pushes a stack frame).
+    Call,
+    /// Subroutine return (pops a stack frame).
+    Return,
+    /// Peripheral register access (volatile load/store over the IP bus).
+    IoAccess,
+    /// Saturation / limiter operation.
+    Saturate,
+}
+
+/// Per-operation cycle costs for one core family.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostTable {
+    /// 16-bit add/subtract cost in bus cycles.
+    pub add16: u32,
+    /// 16-bit multiply cost.
+    pub mul16: u32,
+    /// 16-bit divide cost.
+    pub div16: u32,
+    /// 32-bit add/subtract cost.
+    pub add32: u32,
+    /// 32-bit multiply cost.
+    pub mul32: u32,
+    /// 32-bit divide cost.
+    pub div32: u32,
+    /// Floating add cost (software library on FPU-less cores).
+    pub fadd: u32,
+    /// Floating multiply cost.
+    pub fmul: u32,
+    /// Floating divide cost.
+    pub fdiv: u32,
+    /// Memory load cost.
+    pub load: u32,
+    /// Memory store cost.
+    pub store: u32,
+    /// Branch cost.
+    pub branch: u32,
+    /// Subroutine call cost.
+    pub call: u32,
+    /// Subroutine return cost.
+    pub ret: u32,
+    /// Peripheral register access cost (IP-bus stall).
+    pub io_access: u32,
+    /// Saturation/limiter operation cost.
+    pub saturate: u32,
+    /// Fixed cost of entering an interrupt service routine (context save).
+    pub isr_entry: u32,
+    /// Fixed cost of leaving an ISR (context restore, RTI).
+    pub isr_exit: u32,
+    /// Bytes pushed on the stack per call frame.
+    pub frame_bytes: u32,
+    /// Bytes pushed for an interrupt context.
+    pub isr_frame_bytes: u32,
+}
+
+impl CostTable {
+    /// Cycle cost of one abstract operation.
+    #[inline]
+    pub fn cost(&self, op: Op) -> Cycles {
+        (match op {
+            Op::Add16 => self.add16,
+            Op::Mul16 => self.mul16,
+            Op::Div16 => self.div16,
+            Op::Add32 => self.add32,
+            Op::Mul32 => self.mul32,
+            Op::Div32 => self.div32,
+            Op::FAdd => self.fadd,
+            Op::FMul => self.fmul,
+            Op::FDiv => self.fdiv,
+            Op::Load => self.load,
+            Op::Store => self.store,
+            Op::Branch => self.branch,
+            Op::Call => self.call,
+            Op::Return => self.ret,
+            Op::IoAccess => self.io_access,
+            Op::Saturate => self.saturate,
+        }) as Cycles
+    }
+
+    /// Total cost of an operation sequence.
+    pub fn sequence_cost(&self, ops: &[Op]) -> Cycles {
+        ops.iter().map(|&op| self.cost(op)).sum()
+    }
+
+    /// DSP56800E hybrid core (MC56F83xx): single-cycle fractional MAC,
+    /// expensive software float.
+    pub fn dsp56800e() -> Self {
+        CostTable {
+            add16: 1,
+            mul16: 1,
+            div16: 20,
+            add32: 2,
+            mul32: 4,
+            div32: 40,
+            fadd: 90,
+            fmul: 110,
+            fdiv: 380,
+            load: 1,
+            store: 1,
+            branch: 3,
+            call: 5,
+            ret: 5,
+            io_access: 2,
+            saturate: 1,
+            isr_entry: 12,
+            isr_exit: 10,
+            frame_bytes: 8,
+            isr_frame_bytes: 20,
+        }
+    }
+
+    /// ColdFire V2 (MCF52xx): 32-bit core, hardware 32-bit multiply,
+    /// software float still costly but cheaper than on the 16-bit DSP.
+    pub fn coldfire_v2() -> Self {
+        CostTable {
+            add16: 1,
+            mul16: 3,
+            div16: 18,
+            add32: 1,
+            mul32: 3,
+            div32: 35,
+            fadd: 55,
+            fmul: 70,
+            fdiv: 240,
+            load: 1,
+            store: 1,
+            branch: 2,
+            call: 4,
+            ret: 5,
+            io_access: 2,
+            saturate: 3,
+            isr_entry: 15,
+            isr_exit: 12,
+            frame_bytes: 12,
+            isr_frame_bytes: 28,
+        }
+    }
+
+    /// HCS12 16-bit core: slower multiply, no MAC.
+    pub fn hcs12() -> Self {
+        CostTable {
+            add16: 2,
+            mul16: 3,
+            div16: 12,
+            add32: 4,
+            mul32: 10,
+            div32: 34,
+            fadd: 140,
+            fmul: 170,
+            fdiv: 520,
+            load: 3,
+            store: 3,
+            branch: 3,
+            call: 8,
+            ret: 8,
+            io_access: 3,
+            saturate: 4,
+            isr_entry: 18,
+            isr_exit: 16,
+            frame_bytes: 10,
+            isr_frame_bytes: 18,
+        }
+    }
+
+    /// HCS08 8-bit core: everything wider than 8 bits is a library call.
+    pub fn hcs08() -> Self {
+        CostTable {
+            add16: 6,
+            mul16: 14,
+            div16: 40,
+            add32: 14,
+            mul32: 48,
+            div32: 140,
+            fadd: 320,
+            fmul: 420,
+            fdiv: 1300,
+            load: 3,
+            store: 3,
+            branch: 3,
+            call: 6,
+            ret: 6,
+            io_access: 3,
+            saturate: 8,
+            isr_entry: 11,
+            isr_exit: 9,
+            frame_bytes: 6,
+            isr_frame_bytes: 10,
+        }
+    }
+
+    /// PowerPC e200 (MPC55xx): 32-bit core *with* hardware FPU.
+    pub fn ppc_e200() -> Self {
+        CostTable {
+            add16: 1,
+            mul16: 2,
+            div16: 12,
+            add32: 1,
+            mul32: 2,
+            div32: 14,
+            fadd: 4,
+            fmul: 4,
+            fdiv: 18,
+            load: 1,
+            store: 1,
+            branch: 2,
+            call: 3,
+            ret: 3,
+            io_access: 3,
+            saturate: 2,
+            isr_entry: 20,
+            isr_exit: 18,
+            frame_bytes: 16,
+            isr_frame_bytes: 40,
+        }
+    }
+}
+
+/// Stack usage model: depth tracking with a high-water mark.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StackModel {
+    depth: u32,
+    high_water: u32,
+    capacity: u32,
+    overflowed: bool,
+}
+
+impl StackModel {
+    /// A stack of `capacity` bytes.
+    pub fn new(capacity: u32) -> Self {
+        StackModel { depth: 0, high_water: 0, capacity, overflowed: false }
+    }
+
+    /// Push `bytes` (call frame or ISR context).
+    pub fn push(&mut self, bytes: u32) {
+        self.depth += bytes;
+        if self.depth > self.high_water {
+            self.high_water = self.depth;
+        }
+        if self.depth > self.capacity {
+            self.overflowed = true;
+        }
+    }
+
+    /// Pop `bytes`. Popping more than the current depth clamps to zero
+    /// (and would be a code-generation bug caught by tests).
+    pub fn pop(&mut self, bytes: u32) {
+        self.depth = self.depth.saturating_sub(bytes);
+    }
+
+    /// Current depth in bytes.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Deepest point reached — the figure PIL profiling reports.
+    pub fn high_water(&self) -> u32 {
+        self.high_water
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Whether the stack ever exceeded its capacity.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_is_much_slower_than_fixed_on_dsp() {
+        let t = CostTable::dsp56800e();
+        assert!(t.cost(Op::FMul) >= 50 * t.cost(Op::Mul16));
+        assert!(t.cost(Op::FDiv) > t.cost(Op::FMul));
+    }
+
+    #[test]
+    fn fpu_core_has_cheap_float() {
+        let t = CostTable::ppc_e200();
+        assert!(t.cost(Op::FMul) <= 4);
+        assert!(t.cost(Op::FMul) < CostTable::dsp56800e().cost(Op::FMul) / 10);
+    }
+
+    #[test]
+    fn eight_bit_core_pays_for_wide_math() {
+        let t8 = CostTable::hcs08();
+        let t16 = CostTable::dsp56800e();
+        assert!(t8.cost(Op::Mul16) > t16.cost(Op::Mul16));
+        assert!(t8.cost(Op::Mul32) > t8.cost(Op::Mul16));
+    }
+
+    #[test]
+    fn sequence_cost_sums() {
+        let t = CostTable::dsp56800e();
+        let ops = [Op::Load, Op::Mul16, Op::Add16, Op::Store];
+        assert_eq!(t.sequence_cost(&ops), 1 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn stack_high_water_is_monotone() {
+        let mut s = StackModel::new(256);
+        s.push(100);
+        s.push(50);
+        assert_eq!(s.depth(), 150);
+        assert_eq!(s.high_water(), 150);
+        s.pop(120);
+        assert_eq!(s.depth(), 30);
+        assert_eq!(s.high_water(), 150);
+        s.push(10);
+        assert_eq!(s.high_water(), 150);
+        assert!(!s.overflowed());
+    }
+
+    #[test]
+    fn stack_overflow_is_latched() {
+        let mut s = StackModel::new(64);
+        s.push(100);
+        assert!(s.overflowed());
+        s.pop(100);
+        assert!(s.overflowed(), "overflow flag must latch");
+    }
+
+    #[test]
+    fn pop_clamps_at_zero() {
+        let mut s = StackModel::new(64);
+        s.push(8);
+        s.pop(100);
+        assert_eq!(s.depth(), 0);
+    }
+}

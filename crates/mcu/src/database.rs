@@ -1,0 +1,310 @@
+//! The MCU catalog — the reproduction's stand-in for Processor Expert's
+//! knowledge base of "several hundreds of microcontrollers" (§1).
+//!
+//! Six representative Freescale-style parts spanning the families the paper
+//! names ("covering the Freescale production line"): two 56F8xxx hybrid
+//! DSP/MCUs (including the case study's MC56F8367), a ColdFire V2, an HCS12,
+//! an HCS08 and a PowerPC MPC55xx. Each entry records exactly the design
+//! facts the beans' expert system validates against: clocking limits,
+//! peripheral inventory, supported ADC resolutions, timer prescaler sets,
+//! memory sizes and the cycle-cost table of its core.
+
+use crate::clock::ClockTree;
+use crate::cpu::CostTable;
+use serde::{Deserialize, Serialize};
+
+/// Processor core family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreFamily {
+    /// 16-bit hybrid DSP/MCU core (56F8xxx).
+    Dsp56800E,
+    /// 32-bit ColdFire V2.
+    ColdFireV2,
+    /// 16-bit HCS12.
+    Hcs12,
+    /// 8-bit HCS08.
+    Hcs08,
+    /// 32-bit PowerPC e200 with FPU.
+    PpcE200,
+}
+
+impl CoreFamily {
+    /// Natural word size in bits.
+    pub fn word_bits(&self) -> u8 {
+        match self {
+            CoreFamily::Dsp56800E | CoreFamily::Hcs12 => 16,
+            CoreFamily::ColdFireV2 | CoreFamily::PpcE200 => 32,
+            CoreFamily::Hcs08 => 8,
+        }
+    }
+
+    /// Whether the core has a hardware floating-point unit.
+    pub fn has_fpu(&self) -> bool {
+        matches!(self, CoreFamily::PpcE200)
+    }
+
+    /// The family's cycle-cost table.
+    pub fn cost_table(&self) -> CostTable {
+        match self {
+            CoreFamily::Dsp56800E => CostTable::dsp56800e(),
+            CoreFamily::ColdFireV2 => CostTable::coldfire_v2(),
+            CoreFamily::Hcs12 => CostTable::hcs12(),
+            CoreFamily::Hcs08 => CostTable::hcs08(),
+            CoreFamily::PpcE200 => CostTable::ppc_e200(),
+        }
+    }
+}
+
+/// ADC capability description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdcCaps {
+    /// Number of converter modules.
+    pub count: usize,
+    /// Resolutions the converter supports, in bits.
+    pub resolutions: Vec<u8>,
+    /// Conversion time in bus cycles (at the default ADC clock).
+    pub conversion_cycles: u64,
+}
+
+/// Timer capability description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimerCaps {
+    /// Number of general-purpose timer channels.
+    pub count: usize,
+    /// Counter width in bits.
+    pub counter_bits: u8,
+    /// Hardware-supported prescaler values.
+    pub prescalers: Vec<u32>,
+}
+
+/// PWM capability description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PwmCaps {
+    /// Number of PWM generators.
+    pub count: usize,
+    /// Maximum period register value (counts).
+    pub max_period_counts: u32,
+    /// Whether hardware dead-time insertion exists.
+    pub dead_time: bool,
+}
+
+/// One catalog entry — everything the expert system knows about a part.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McuSpec {
+    /// Part number, e.g. "MC56F8367".
+    pub name: String,
+    /// Core family.
+    pub family: CoreFamily,
+    /// Default (maximum-performance) clock tree.
+    pub clock: ClockTree,
+    /// Flash size in bytes.
+    pub flash_bytes: u32,
+    /// RAM size in bytes.
+    pub ram_bytes: u32,
+    /// Default stack allocation in bytes.
+    pub stack_bytes: u32,
+    /// ADC capabilities.
+    pub adc: AdcCaps,
+    /// Timer capabilities.
+    pub timers: TimerCaps,
+    /// PWM capabilities.
+    pub pwm: PwmCaps,
+    /// Number of quadrature-decoder modules (0 = family lacks the block).
+    pub qdec_count: usize,
+    /// Number of SCI (UART) modules.
+    pub sci_count: usize,
+    /// Number of 16-pin GPIO ports.
+    pub gpio_ports: usize,
+}
+
+impl McuSpec {
+    /// Peripheral bus frequency in Hz.
+    pub fn bus_hz(&self) -> f64 {
+        self.clock.bus_hz()
+    }
+
+    /// Cycle-cost table of the core.
+    pub fn cost_table(&self) -> CostTable {
+        self.family.cost_table()
+    }
+}
+
+/// The catalog of known MCUs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct McuCatalog {
+    specs: Vec<McuSpec>,
+}
+
+impl Default for McuCatalog {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl McuCatalog {
+    /// The standard six-part catalog.
+    pub fn standard() -> Self {
+        let pow2 = |n: u32| (0..n).map(|i| 1u32 << i).collect::<Vec<_>>();
+        McuCatalog {
+            specs: vec![
+                McuSpec {
+                    name: "MC56F8367".into(),
+                    family: CoreFamily::Dsp56800E,
+                    clock: ClockTree::new(8.0e6, 15, 2, 1).unwrap(), // 60 MHz
+                    flash_bytes: 512 * 1024,
+                    ram_bytes: 32 * 1024,
+                    stack_bytes: 2048,
+                    adc: AdcCaps { count: 2, resolutions: vec![8, 10, 12], conversion_cycles: 102 },
+                    timers: TimerCaps { count: 8, counter_bits: 16, prescalers: pow2(8) },
+                    pwm: PwmCaps { count: 2, max_period_counts: 0x7FFF, dead_time: true },
+                    qdec_count: 2,
+                    sci_count: 2,
+                    gpio_ports: 4,
+                },
+                McuSpec {
+                    name: "MC56F8323".into(),
+                    family: CoreFamily::Dsp56800E,
+                    clock: ClockTree::new(8.0e6, 15, 2, 1).unwrap(), // 60 MHz
+                    flash_bytes: 32 * 1024,
+                    ram_bytes: 8 * 1024,
+                    stack_bytes: 1024,
+                    adc: AdcCaps { count: 1, resolutions: vec![8, 10, 12], conversion_cycles: 102 },
+                    timers: TimerCaps { count: 4, counter_bits: 16, prescalers: pow2(8) },
+                    pwm: PwmCaps { count: 1, max_period_counts: 0x7FFF, dead_time: true },
+                    qdec_count: 1,
+                    sci_count: 1,
+                    gpio_ports: 2,
+                },
+                McuSpec {
+                    name: "MCF5213".into(),
+                    family: CoreFamily::ColdFireV2,
+                    clock: ClockTree::new(8.0e6, 10, 1, 1).unwrap(), // 80 MHz
+                    flash_bytes: 256 * 1024,
+                    ram_bytes: 32 * 1024,
+                    stack_bytes: 4096,
+                    adc: AdcCaps { count: 1, resolutions: vec![12], conversion_cycles: 80 },
+                    timers: TimerCaps { count: 4, counter_bits: 32, prescalers: pow2(16) },
+                    pwm: PwmCaps { count: 1, max_period_counts: 0xFFFF, dead_time: false },
+                    qdec_count: 1,
+                    sci_count: 3,
+                    gpio_ports: 6,
+                },
+                McuSpec {
+                    name: "MC9S12DP256".into(),
+                    family: CoreFamily::Hcs12,
+                    clock: ClockTree::new(16.0e6, 3, 2, 1).unwrap(), // 24 MHz
+                    flash_bytes: 256 * 1024,
+                    ram_bytes: 12 * 1024,
+                    stack_bytes: 1024,
+                    adc: AdcCaps { count: 2, resolutions: vec![8, 10], conversion_cycles: 140 },
+                    timers: TimerCaps { count: 8, counter_bits: 16, prescalers: pow2(8) },
+                    pwm: PwmCaps { count: 1, max_period_counts: 0xFF, dead_time: false },
+                    qdec_count: 1,
+                    sci_count: 2,
+                    gpio_ports: 6,
+                },
+                McuSpec {
+                    name: "MC9S08GB60".into(),
+                    family: CoreFamily::Hcs08,
+                    clock: ClockTree::new(4.0e6, 10, 2, 1).unwrap(), // 20 MHz
+                    flash_bytes: 60 * 1024,
+                    ram_bytes: 4 * 1024,
+                    stack_bytes: 512,
+                    adc: AdcCaps { count: 1, resolutions: vec![8, 10], conversion_cycles: 180 },
+                    timers: TimerCaps { count: 2, counter_bits: 16, prescalers: pow2(8) },
+                    pwm: PwmCaps { count: 1, max_period_counts: 0xFFFF, dead_time: false },
+                    qdec_count: 0, // the S08 has no quadrature-decoder block
+                    sci_count: 2,
+                    gpio_ports: 4,
+                },
+                McuSpec {
+                    name: "MPC5554".into(),
+                    family: CoreFamily::PpcE200,
+                    clock: ClockTree::new(8.0e6, 33, 2, 1).unwrap(), // 132 MHz
+                    flash_bytes: 2 * 1024 * 1024,
+                    ram_bytes: 64 * 1024,
+                    stack_bytes: 8192,
+                    adc: AdcCaps { count: 2, resolutions: vec![8, 10, 12], conversion_cycles: 64 },
+                    timers: TimerCaps { count: 16, counter_bits: 24, prescalers: pow2(8) },
+                    pwm: PwmCaps { count: 2, max_period_counts: 0xFFFFFF, dead_time: true },
+                    qdec_count: 2,
+                    sci_count: 2,
+                    gpio_ports: 8,
+                },
+            ],
+        }
+    }
+
+    /// Look a part up by name.
+    pub fn find(&self, name: &str) -> Option<&McuSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// All catalog entries.
+    pub fn specs(&self) -> &[McuSpec] {
+        &self.specs
+    }
+
+    /// Part names in catalog order.
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.iter().map(|s| s.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_contains_the_case_study_part() {
+        let cat = McuCatalog::standard();
+        let spec = cat.find("MC56F8367").expect("case-study MCU present");
+        assert_eq!(spec.family, CoreFamily::Dsp56800E);
+        assert_eq!(spec.family.word_bits(), 16);
+        assert!(!spec.family.has_fpu(), "the paper's point: no FPU");
+        assert!((spec.bus_hz() - 60.0e6).abs() < 1.0);
+        assert!(spec.adc.resolutions.contains(&12));
+        assert!(spec.qdec_count >= 1);
+    }
+
+    #[test]
+    fn catalog_has_six_distinct_parts() {
+        let cat = McuCatalog::standard();
+        assert_eq!(cat.specs().len(), 6);
+        let mut names = cat.names();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn find_unknown_part_is_none() {
+        assert!(McuCatalog::standard().find("AT91SAM7").is_none());
+    }
+
+    #[test]
+    fn only_the_ppc_has_an_fpu() {
+        let cat = McuCatalog::standard();
+        let fpu: Vec<_> = cat.specs().iter().filter(|s| s.family.has_fpu()).collect();
+        assert_eq!(fpu.len(), 1);
+        assert_eq!(fpu[0].name, "MPC5554");
+    }
+
+    #[test]
+    fn the_s08_lacks_a_quadrature_decoder() {
+        let cat = McuCatalog::standard();
+        assert_eq!(cat.find("MC9S08GB60").unwrap().qdec_count, 0);
+    }
+
+    #[test]
+    fn word_bits_per_family() {
+        assert_eq!(CoreFamily::Hcs08.word_bits(), 8);
+        assert_eq!(CoreFamily::Dsp56800E.word_bits(), 16);
+        assert_eq!(CoreFamily::ColdFireV2.word_bits(), 32);
+    }
+
+    #[test]
+    fn cost_tables_differ_across_families() {
+        assert_ne!(CoreFamily::Dsp56800E.cost_table(), CoreFamily::Hcs08.cost_table());
+    }
+}

@@ -1,0 +1,238 @@
+//! Prioritized interrupt controller with latency accounting.
+//!
+//! PEERT deploys the periodic model code "non-preemptively in a timer
+//! interrupt" and function-call subsystems "within interrupt service routines
+//! of triggering events" (§5). PIL simulation exists to measure "interrupts
+//! response times" and "sampling jitters" (§6). Those measurements require a
+//! controller model that records *when* an IRQ was asserted and *when* it was
+//! dispatched — the difference is the response latency the experiments report.
+
+use crate::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// Identifies an interrupt vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IrqVector(pub u16);
+
+/// A single pending interrupt request.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+struct Pending {
+    vector: IrqVector,
+    priority: u8,
+    asserted_at: Cycles,
+    /// Monotone sequence number, used to break priority ties FIFO.
+    seq: u64,
+}
+
+/// A dispatched interrupt handed to the CPU loop.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dispatched {
+    /// Which vector fired.
+    pub vector: IrqVector,
+    /// Its configured priority (higher number = higher priority).
+    pub priority: u8,
+    /// Cycle at which the peripheral asserted the request.
+    pub asserted_at: Cycles,
+    /// Cycle at which the CPU accepted it.
+    pub dispatched_at: Cycles,
+}
+
+impl Dispatched {
+    /// Interrupt response latency in cycles.
+    pub fn latency(&self) -> Cycles {
+        self.dispatched_at - self.asserted_at
+    }
+}
+
+/// Vector configuration entry.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct VectorCfg {
+    priority: u8,
+    enabled: bool,
+}
+
+/// The interrupt controller: vector table, pending queue, global mask.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct InterruptController {
+    vectors: std::collections::BTreeMap<u16, VectorCfg>,
+    pending: Vec<Pending>,
+    global_enable: bool,
+    next_seq: u64,
+    lost: u64,
+}
+
+impl InterruptController {
+    /// New controller with interrupts globally disabled (reset state).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or reconfigure) a vector with a priority.
+    pub fn configure(&mut self, vector: IrqVector, priority: u8) {
+        self.vectors.insert(vector.0, VectorCfg { priority, enabled: true });
+    }
+
+    /// Enable or disable one vector.
+    pub fn set_enabled(&mut self, vector: IrqVector, enabled: bool) {
+        if let Some(cfg) = self.vectors.get_mut(&vector.0) {
+            cfg.enabled = enabled;
+        }
+    }
+
+    /// Globally enable/disable interrupt acceptance (the EI/DI instruction).
+    pub fn set_global_enable(&mut self, on: bool) {
+        self.global_enable = on;
+    }
+
+    /// Whether interrupts are globally enabled.
+    pub fn global_enabled(&self) -> bool {
+        self.global_enable
+    }
+
+    /// A peripheral asserts a request at time `now`.
+    ///
+    /// A request on a vector that already has one pending is *lost* (the
+    /// hardware flag is already set) — this models missed timer overflows
+    /// under overload, which E7 provokes deliberately.
+    pub fn request(&mut self, vector: IrqVector, now: Cycles) {
+        let Some(cfg) = self.vectors.get(&vector.0) else {
+            return; // unconfigured vector: spurious, dropped
+        };
+        if !cfg.enabled {
+            return;
+        }
+        if self.pending.iter().any(|p| p.vector == vector) {
+            self.lost += 1;
+            return;
+        }
+        self.pending.push(Pending {
+            vector,
+            priority: cfg.priority,
+            asserted_at: now,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+    }
+
+    /// CPU asks at an instruction boundary: the highest-priority pending
+    /// request (FIFO within equal priority), if interrupts are enabled.
+    pub fn dispatch(&mut self, now: Cycles) -> Option<Dispatched> {
+        if !self.global_enable || self.pending.is_empty() {
+            return None;
+        }
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)))
+            .map(|(i, _)| i)?;
+        let p = self.pending.swap_remove(best);
+        Some(Dispatched {
+            vector: p.vector,
+            priority: p.priority,
+            asserted_at: p.asserted_at,
+            dispatched_at: now,
+        })
+    }
+
+    /// Number of requests currently pending.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether a specific vector is pending.
+    pub fn is_pending(&self, vector: IrqVector) -> bool {
+        self.pending.iter().any(|p| p.vector == vector)
+    }
+
+    /// Requests dropped because their vector was already pending.
+    pub fn lost_count(&self) -> u64 {
+        self.lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIM: IrqVector = IrqVector(10);
+    const ADC: IrqVector = IrqVector(20);
+    const SCI: IrqVector = IrqVector(30);
+
+    fn ctl() -> InterruptController {
+        let mut c = InterruptController::new();
+        c.configure(TIM, 5);
+        c.configure(ADC, 3);
+        c.configure(SCI, 3);
+        c.set_global_enable(true);
+        c
+    }
+
+    #[test]
+    fn dispatch_honours_priority() {
+        let mut c = ctl();
+        c.request(ADC, 100);
+        c.request(TIM, 101);
+        let d = c.dispatch(110).unwrap();
+        assert_eq!(d.vector, TIM);
+        let d2 = c.dispatch(120).unwrap();
+        assert_eq!(d2.vector, ADC);
+        assert!(c.dispatch(130).is_none());
+    }
+
+    #[test]
+    fn equal_priority_is_fifo() {
+        let mut c = ctl();
+        c.request(SCI, 100);
+        c.request(ADC, 101);
+        assert_eq!(c.dispatch(110).unwrap().vector, SCI);
+        assert_eq!(c.dispatch(111).unwrap().vector, ADC);
+    }
+
+    #[test]
+    fn latency_is_dispatch_minus_assert() {
+        let mut c = ctl();
+        c.request(TIM, 100);
+        let d = c.dispatch(175).unwrap();
+        assert_eq!(d.latency(), 75);
+    }
+
+    #[test]
+    fn globally_disabled_holds_requests() {
+        let mut c = ctl();
+        c.set_global_enable(false);
+        c.request(TIM, 100);
+        assert!(c.dispatch(110).is_none());
+        c.set_global_enable(true);
+        assert_eq!(c.dispatch(120).unwrap().vector, TIM);
+    }
+
+    #[test]
+    fn duplicate_request_is_counted_lost() {
+        let mut c = ctl();
+        c.request(TIM, 100);
+        c.request(TIM, 105);
+        assert_eq!(c.lost_count(), 1);
+        assert_eq!(c.pending_count(), 1);
+    }
+
+    #[test]
+    fn unconfigured_or_disabled_vectors_are_dropped() {
+        let mut c = ctl();
+        c.request(IrqVector(99), 100);
+        assert_eq!(c.pending_count(), 0);
+        c.set_enabled(ADC, false);
+        c.request(ADC, 100);
+        assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn is_pending_tracks_state() {
+        let mut c = ctl();
+        assert!(!c.is_pending(TIM));
+        c.request(TIM, 1);
+        assert!(c.is_pending(TIM));
+        c.dispatch(2);
+        assert!(!c.is_pending(TIM));
+    }
+}

@@ -1,0 +1,52 @@
+//! Cycle-cost MCU simulator — the "silicon" under the PEERT reproduction.
+//!
+//! The paper's environment (Processor Expert + PEERT) targets real Freescale
+//! microcontrollers, most prominently the 16-bit hybrid DSP/MCU **MC56F8367**
+//! of the servo case study (§7). No such hardware is available here, so this
+//! crate implements the closest synthetic equivalent that exercises the same
+//! code paths:
+//!
+//! * a **clock tree** with crystal/PLL/bus-clock and peripheral prescalers
+//!   ([`clock`]) — the quantities Processor Expert's expert system solves
+//!   over when it "calculates settings of common prescalers" (§4);
+//! * an **interrupt controller** with prioritized vectors and latency
+//!   accounting ([`interrupt`]) — needed for the event-driven blocks (§5)
+//!   and the PIL response-time measurements (§6);
+//! * register-level models of the **on-chip peripherals** the PE block set
+//!   wraps: timer, ADC, PWM, GPIO, quadrature decoder, SCI/RS-232
+//!   ([`peripherals`]);
+//! * a **CPU cycle-cost model** ([`cpu`]) so generated controller code has a
+//!   measurable execution time, stack usage and memory footprint on each
+//!   catalog MCU — the profiling data PIL simulation exists to expose;
+//! * a small **MCU catalog** ([`database`]) standing in for Processor
+//!   Expert's knowledge base of "several hundreds of microcontrollers":
+//!   six representative Freescale-style parts with differing word sizes,
+//!   clocks, peripheral counts and instruction costs;
+//! * a **development board** ([`board`]) wiring an MCU to analog inputs,
+//!   buttons, PWM power-stage outputs and an encoder shaft — the "universal
+//!   development board" of the PIL setup (Fig 6.2).
+//!
+//! Absolute cycle counts do not match real silicon (that is impossible
+//! without the vendor's pipeline model), but *relative* costs — float vs.
+//! fixed point on an FPU-less part, 32-bit math on a 16-bit core, ISR
+//! entry/exit overhead, serial bit times — follow the datasheet ratios, so
+//! every ordering and crossover the paper's workflow is designed to expose
+//! survives the substitution.
+
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod clock;
+pub mod cpu;
+pub mod database;
+pub mod interrupt;
+pub mod peripherals;
+
+pub use board::Board;
+pub use clock::ClockTree;
+pub use cpu::{CostTable, Op, StackModel};
+pub use database::{CoreFamily, McuCatalog, McuSpec};
+pub use interrupt::{InterruptController, IrqVector};
+
+/// Simulation time expressed in bus-clock cycles.
+pub type Cycles = u64;

@@ -1,0 +1,404 @@
+//! State charts — the reproduction's Stateflow (§3, §5).
+//!
+//! A Moore-style finite state machine block: each state carries a fixed
+//! output vector, transitions carry guard predicates over the chart's
+//! inputs. A chart can execute periodically or be *triggered* — the paper
+//! wires PE block events to the "asynchronous change of a Stateflow chart
+//! state" (§5), which is exactly a triggered chart. The case study's
+//! manual/automatic mode logic (§7) is a two-state chart over the button
+//! inputs.
+
+use crate::block::{Block, BlockCtx, PortCount, SampleTime};
+use crate::signal::Value;
+
+/// Transition guard over the chart's current inputs.
+pub type Guard = Box<dyn Fn(&[Value]) -> bool + Send>;
+
+/// Structured guard expression — evaluable in simulation *and*
+/// translatable to C by the code generator (opaque closures are not).
+/// StateFlow Coder (§3) generates exactly this kind of condition code.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GuardExpr {
+    /// Always true (unconditional transition).
+    True,
+    /// Input `i` reads true.
+    InputTrue(usize),
+    /// Input `i` reads false.
+    InputFalse(usize),
+    /// Input `i` is strictly above a threshold.
+    Above(usize, f64),
+    /// Input `i` is strictly below a threshold.
+    Below(usize, f64),
+    /// Both operands hold.
+    And(Box<GuardExpr>, Box<GuardExpr>),
+    /// Either operand holds.
+    Or(Box<GuardExpr>, Box<GuardExpr>),
+}
+
+impl GuardExpr {
+    /// Evaluate against the chart's current inputs.
+    pub fn eval(&self, inputs: &[Value]) -> bool {
+        let val = |i: usize| inputs.get(i).copied().unwrap_or_default();
+        match self {
+            GuardExpr::True => true,
+            GuardExpr::InputTrue(i) => val(*i).as_bool(),
+            GuardExpr::InputFalse(i) => !val(*i).as_bool(),
+            GuardExpr::Above(i, th) => val(*i).as_f64() > *th,
+            GuardExpr::Below(i, th) => val(*i).as_f64() < *th,
+            GuardExpr::And(a, b) => a.eval(inputs) && b.eval(inputs),
+            GuardExpr::Or(a, b) => a.eval(inputs) || b.eval(inputs),
+        }
+    }
+
+    /// Render as a C expression with `u{i}` input placeholders (the code
+    /// generator substitutes the actual wire names).
+    pub fn to_c(&self) -> String {
+        match self {
+            GuardExpr::True => "1".into(),
+            GuardExpr::InputTrue(i) => format!("u{i}"),
+            GuardExpr::InputFalse(i) => format!("!u{i}"),
+            GuardExpr::Above(i, th) => format!("(u{i} > {th:?})"),
+            GuardExpr::Below(i, th) => format!("(u{i} < {th:?})"),
+            GuardExpr::And(a, b) => format!("({} && {})", a.to_c(), b.to_c()),
+            GuardExpr::Or(a, b) => format!("({} || {})", a.to_c(), b.to_c()),
+        }
+    }
+}
+
+enum GuardKind {
+    Closure(Guard),
+    Expr(GuardExpr),
+}
+
+/// One state of the chart.
+pub struct StateDef {
+    /// State name (diagnostics, codegen comments).
+    pub name: String,
+    /// Output values emitted while this state is active (ports 1..).
+    pub outputs: Vec<f64>,
+}
+
+struct Transition {
+    from: usize,
+    to: usize,
+    guard: GuardKind,
+}
+
+/// The state chart block. Output port 0 is the active state index; ports
+/// 1.. are the active state's output vector.
+pub struct StateChart {
+    states: Vec<StateDef>,
+    transitions: Vec<Transition>,
+    inputs: usize,
+    out_dim: usize,
+    sample: SampleTime,
+    initial: usize,
+    current: usize,
+    transitions_taken: u64,
+}
+
+impl StateChart {
+    /// New chart with `inputs` input ports, executing at `sample`.
+    /// All states must share one output dimension.
+    pub fn new(states: Vec<StateDef>, inputs: usize, sample: SampleTime) -> Result<Self, String> {
+        if states.is_empty() {
+            return Err("chart needs at least one state".into());
+        }
+        let out_dim = states[0].outputs.len();
+        if states.iter().any(|s| s.outputs.len() != out_dim) {
+            return Err("all states must have the same output dimension".into());
+        }
+        Ok(StateChart {
+            states,
+            transitions: Vec::new(),
+            inputs,
+            out_dim,
+            sample,
+            initial: 0,
+            current: 0,
+            transitions_taken: 0,
+        })
+    }
+
+    /// Add a transition `from → to` with a guard. Transitions are evaluated
+    /// in insertion order; the first enabled one fires (at most one per
+    /// execution).
+    pub fn transition(
+        mut self,
+        from: usize,
+        to: usize,
+        guard: impl Fn(&[Value]) -> bool + Send + 'static,
+    ) -> Result<Self, String> {
+        if from >= self.states.len() || to >= self.states.len() {
+            return Err(format!("transition {from}->{to} references unknown state"));
+        }
+        self.transitions.push(Transition { from, to, guard: GuardKind::Closure(Box::new(guard)) });
+        Ok(self)
+    }
+
+    /// Add a transition with a *structured* guard — the code-generatable
+    /// form (closures simulate but cannot be translated to C).
+    pub fn transition_expr(
+        mut self,
+        from: usize,
+        to: usize,
+        guard: GuardExpr,
+    ) -> Result<Self, String> {
+        if from >= self.states.len() || to >= self.states.len() {
+            return Err(format!("transition {from}->{to} references unknown state"));
+        }
+        self.transitions.push(Transition { from, to, guard: GuardKind::Expr(guard) });
+        Ok(self)
+    }
+
+    /// Whether every transition carries a structured (code-generatable)
+    /// guard.
+    pub fn fully_structured(&self) -> bool {
+        self.transitions.iter().all(|t| matches!(t.guard, GuardKind::Expr(_)))
+    }
+
+    /// Serialize the structured transitions for the code generator:
+    /// `from>to:guard_c;...` with `u{i}` input placeholders. Closure-
+    /// guarded transitions are omitted (the template falls back to the
+    /// extern-guard skeleton for them).
+    pub fn transitions_spec(&self) -> String {
+        self.transitions
+            .iter()
+            .filter_map(|t| match &t.guard {
+                GuardKind::Expr(e) => Some(format!("{}>{}:{}", t.from, t.to, e.to_c())),
+                GuardKind::Closure(_) => None,
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Active state index.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Name of the active state.
+    pub fn current_name(&self) -> &str {
+        &self.states[self.current].name
+    }
+
+    /// Total transitions taken.
+    pub fn transitions_taken(&self) -> u64 {
+        self.transitions_taken
+    }
+
+    /// All states (for the code generator).
+    pub fn states(&self) -> &[StateDef] {
+        &self.states
+    }
+}
+
+impl Block for StateChart {
+    fn type_name(&self) -> &'static str {
+        "StateChart"
+    }
+    fn params(&self) -> Vec<(&'static str, crate::block::ParamValue)> {
+        let mut p = vec![
+            ("states", crate::block::ParamValue::I(self.states.len() as i64)),
+            ("transitions", crate::block::ParamValue::I(self.transitions.len() as i64)),
+            ("out_dim", crate::block::ParamValue::I(self.out_dim as i64)),
+            ("outputs_table", crate::block::ParamValue::S(
+                self.states
+                    .iter()
+                    .map(|st| st.outputs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(","))
+                    .collect::<Vec<_>>()
+                    .join("|"),
+            )),
+        ];
+        if self.fully_structured() {
+            p.push(("spec", crate::block::ParamValue::S(self.transitions_spec())));
+        }
+        p
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(self.inputs, 1 + self.out_dim)
+    }
+    fn sample(&self) -> SampleTime {
+        self.sample
+    }
+    fn reset(&mut self) {
+        self.current = self.initial;
+        self.transitions_taken = 0;
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        // evaluate transitions out of the current state
+        let inputs: Vec<Value> = (0..self.inputs).map(|i| ctx.input(i)).collect();
+        for t in &self.transitions {
+            let enabled = match &t.guard {
+                GuardKind::Closure(f) => f(&inputs),
+                GuardKind::Expr(e) => e.eval(&inputs),
+            };
+            if t.from == self.current && enabled {
+                self.current = t.to;
+                self.transitions_taken += 1;
+                break;
+            }
+        }
+        ctx.set_output(0, self.current as f64);
+        for (i, &v) in self.states[self.current].outputs.iter().enumerate() {
+            ctx.set_output(1 + i, v);
+        }
+    }
+}
+
+/// Convenience constructor for the case-study's two-state manual/automatic
+/// mode chart: input 0 = "auto button", input 1 = "manual button"; output 1
+/// is 1.0 in automatic mode, 0.0 in manual mode. Starts in manual.
+pub fn mode_chart(sample: SampleTime) -> StateChart {
+    StateChart::new(
+        vec![
+            StateDef { name: "Manual".into(), outputs: vec![0.0] },
+            StateDef { name: "Automatic".into(), outputs: vec![1.0] },
+        ],
+        2,
+        sample,
+    )
+    .expect("static chart")
+    .transition_expr(0, 1, GuardExpr::InputTrue(0))
+    .expect("valid states")
+    .transition_expr(1, 0, GuardExpr::InputTrue(1))
+    .expect("valid states")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::step_block;
+
+    #[test]
+    fn chart_requires_states_and_consistent_outputs() {
+        assert!(StateChart::new(vec![], 0, SampleTime::Continuous).is_err());
+        let bad = StateChart::new(
+            vec![
+                StateDef { name: "a".into(), outputs: vec![1.0] },
+                StateDef { name: "b".into(), outputs: vec![] },
+            ],
+            0,
+            SampleTime::Continuous,
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn transition_validates_state_indices() {
+        let c = StateChart::new(
+            vec![StateDef { name: "only".into(), outputs: vec![] }],
+            1,
+            SampleTime::Continuous,
+        )
+        .unwrap();
+        assert!(c.transition(0, 5, |_| true).is_err());
+    }
+
+    #[test]
+    fn mode_chart_switches_on_buttons() {
+        let mut c = mode_chart(SampleTime::Continuous);
+        assert_eq!(c.current_name(), "Manual");
+        // no buttons: stays manual
+        let (o, _) = step_block(&mut c, 0.0, 0.01, &[false.into(), false.into()]);
+        assert_eq!(o[1].as_f64(), 0.0);
+        // auto button pressed
+        let (o, _) = step_block(&mut c, 0.01, 0.01, &[true.into(), false.into()]);
+        assert_eq!(o[1].as_f64(), 1.0);
+        assert_eq!(c.current_name(), "Automatic");
+        // manual button returns
+        let (o, _) = step_block(&mut c, 0.02, 0.01, &[false.into(), true.into()]);
+        assert_eq!(o[1].as_f64(), 0.0);
+        assert_eq!(c.transitions_taken(), 2);
+    }
+
+    #[test]
+    fn first_enabled_transition_wins() {
+        let mut c = StateChart::new(
+            vec![
+                StateDef { name: "s0".into(), outputs: vec![] },
+                StateDef { name: "s1".into(), outputs: vec![] },
+                StateDef { name: "s2".into(), outputs: vec![] },
+            ],
+            0,
+            SampleTime::Continuous,
+        )
+        .unwrap()
+        .transition(0, 1, |_| true)
+        .unwrap()
+        .transition(0, 2, |_| true)
+        .unwrap();
+        step_block(&mut c, 0.0, 0.01, &[]);
+        assert_eq!(c.current(), 1);
+    }
+
+    #[test]
+    fn at_most_one_transition_per_execution() {
+        let mut c = StateChart::new(
+            vec![
+                StateDef { name: "s0".into(), outputs: vec![] },
+                StateDef { name: "s1".into(), outputs: vec![] },
+            ],
+            0,
+            SampleTime::Continuous,
+        )
+        .unwrap()
+        .transition(0, 1, |_| true)
+        .unwrap()
+        .transition(1, 0, |_| true)
+        .unwrap();
+        step_block(&mut c, 0.0, 0.01, &[]);
+        assert_eq!(c.current(), 1, "did not chain to s0 in one step");
+    }
+
+    #[test]
+    fn guard_expressions_evaluate_and_render() {
+        use GuardExpr::*;
+        let g = And(Box::new(InputTrue(0)), Box::new(Above(1, 0.5)));
+        assert!(g.eval(&[Value::Bool(true), Value::F64(0.7)]));
+        assert!(!g.eval(&[Value::Bool(true), Value::F64(0.3)]));
+        assert!(!g.eval(&[Value::Bool(false), Value::F64(0.7)]));
+        assert_eq!(g.to_c(), "(u0 && (u1 > 0.5))");
+        let o = Or(Box::new(InputFalse(0)), Box::new(Below(1, -1.0)));
+        assert!(o.eval(&[Value::Bool(false), Value::F64(0.0)]));
+        assert_eq!(o.to_c(), "(!u0 || (u1 < -1.0))");
+        assert!(True.eval(&[]));
+    }
+
+    #[test]
+    fn structured_charts_expose_their_spec() {
+        let c = mode_chart(SampleTime::Continuous);
+        assert!(c.fully_structured());
+        assert_eq!(c.transitions_spec(), "0>1:u0;1>0:u1");
+        let params = peert_model_params(&c);
+        assert!(params.iter().any(|(k, _)| *k == "spec"));
+        // a closure-guarded chart is not fully structured
+        let mixed = StateChart::new(
+            vec![
+                StateDef { name: "a".into(), outputs: vec![] },
+                StateDef { name: "b".into(), outputs: vec![] },
+            ],
+            1,
+            SampleTime::Continuous,
+        )
+        .unwrap()
+        .transition(0, 1, |_| true)
+        .unwrap();
+        assert!(!mixed.fully_structured());
+    }
+
+    fn peert_model_params(c: &StateChart) -> Vec<(&'static str, crate::block::ParamValue)> {
+        use crate::block::Block;
+        c.params()
+    }
+
+    #[test]
+    fn reset_returns_to_initial_state() {
+        let mut c = mode_chart(SampleTime::Continuous);
+        step_block(&mut c, 0.0, 0.01, &[true.into(), false.into()]);
+        assert_eq!(c.current(), 1);
+        c.reset();
+        assert_eq!(c.current(), 0);
+        assert_eq!(c.transitions_taken(), 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! Fixed-step simulation engine.
+//!
+//! Executes a [`Diagram`] with Simulink's two-phase fixed-step semantics:
+//! per major step, all due blocks run their *output* method in
+//! feedthrough-compatible order, function-call events fire their triggered
+//! subsystems immediately, then all due blocks run their *update* method.
+//! This is the "Model in the Loop" vehicle of the development cycle (§2, §6)
+//! — the closed-loop single model of plant and controller runs here before
+//! any code is generated.
+
+use crate::block::{BlockCtx, SampleTime};
+use crate::graph::{BlockId, Diagram, GraphError, Source};
+use crate::signal::Value;
+use std::collections::VecDeque;
+
+/// Simulation errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The diagram failed to sort (bad wiring / algebraic loop).
+    Graph(GraphError),
+    /// A single step dispatched more triggered executions than the safety
+    /// cap — an event livelock (a triggered subsystem re-triggering itself).
+    EventStorm {
+        /// The step's time.
+        t: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Graph(g) => write!(f, "{g}"),
+            SimError::EventStorm { t } => write!(f, "event livelock at t={t}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<GraphError> for SimError {
+    fn from(e: GraphError) -> Self {
+        SimError::Graph(e)
+    }
+}
+
+/// Safety cap on triggered dispatches within one major step.
+const EVENT_CAP: usize = 10_000;
+
+/// The fixed-step engine.
+pub struct Engine {
+    diagram: Diagram,
+    dt: f64,
+    t: f64,
+    step_index: u64,
+    order: Vec<BlockId>,
+    /// Last output values: `values[block][port]`.
+    values: Vec<Vec<Value>>,
+    /// Next sample-hit time per block (for discrete blocks).
+    next_hit: Vec<f64>,
+    triggered_execs: u64,
+}
+
+impl Engine {
+    /// Build an engine over `diagram` with fundamental step `dt` seconds.
+    pub fn new(diagram: Diagram, dt: f64) -> Result<Self, SimError> {
+        assert!(dt > 0.0, "fundamental step must be positive");
+        let order = diagram.sorted_order()?;
+        let values = diagram
+            .blocks
+            .iter()
+            .map(|b| vec![Value::default(); b.ports().outputs])
+            .collect();
+        let next_hit = diagram
+            .blocks
+            .iter()
+            .map(|b| match b.sample() {
+                SampleTime::Discrete { offset, .. } => offset,
+                _ => 0.0,
+            })
+            .collect();
+        Ok(Engine { diagram, dt, t: 0.0, step_index: 0, order, values, next_hit, triggered_execs: 0 })
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Fundamental step.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of major steps taken.
+    pub fn steps(&self) -> u64 {
+        self.step_index
+    }
+
+    /// Total triggered-subsystem executions dispatched.
+    pub fn triggered_execs(&self) -> u64 {
+        self.triggered_execs
+    }
+
+    /// The diagram (to inspect blocks, e.g. read a Scope).
+    pub fn diagram(&self) -> &Diagram {
+        &self.diagram
+    }
+
+    /// Mutable diagram access between runs (parameter tweaks).
+    pub fn diagram_mut(&mut self) -> &mut Diagram {
+        &mut self.diagram
+    }
+
+    /// Read the last value of output `src`.
+    pub fn probe(&self, src: Source) -> Value {
+        self.values[src.0 .0][src.1]
+    }
+
+    /// Inject an external function-call event into a triggered block —
+    /// used by co-simulation harnesses that map hardware interrupts onto
+    /// model events.
+    pub fn fire(&mut self, target: BlockId) -> Result<(), SimError> {
+        let mut queue = VecDeque::new();
+        queue.push_back(target);
+        self.drain_events(queue)
+    }
+
+    fn due(&self, idx: usize) -> bool {
+        match self.diagram.blocks[idx].sample() {
+            SampleTime::Continuous => true,
+            SampleTime::Discrete { .. } => self.t >= self.next_hit[idx] - self.dt * 1e-6,
+            SampleTime::Triggered => false,
+        }
+    }
+
+    fn gather_inputs(&self, idx: usize) -> Vec<Value> {
+        let n = self.diagram.blocks[idx].ports().inputs;
+        (0..n)
+            .map(|p| {
+                self.diagram
+                    .wires
+                    .get(&(idx, p))
+                    .map(|&(src, sp)| self.values[src.0][sp])
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+
+    /// Run one block phase; returns asserted event ports (output phase only).
+    fn exec_phase(&mut self, idx: usize, output_phase: bool) -> Vec<usize> {
+        let inputs = self.gather_inputs(idx);
+        let mut events = Vec::new();
+        let mut outputs = std::mem::take(&mut self.values[idx]);
+        {
+            let mut ctx = BlockCtx::new(self.t, self.dt, &inputs, &mut outputs, &mut events);
+            if output_phase {
+                self.diagram.blocks[idx].output(&mut ctx);
+            } else {
+                self.diagram.blocks[idx].update(&mut ctx);
+            }
+        }
+        self.values[idx] = outputs;
+        if output_phase {
+            events
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn drain_events(&mut self, mut queue: VecDeque<BlockId>) -> Result<(), SimError> {
+        let mut dispatched = 0usize;
+        while let Some(target) = queue.pop_front() {
+            dispatched += 1;
+            if dispatched > EVENT_CAP {
+                return Err(SimError::EventStorm { t: self.t });
+            }
+            self.triggered_execs += 1;
+            let evs = self.exec_phase(target.0, true);
+            self.exec_phase(target.0, false);
+            for e in evs {
+                if let Some(&next) = self.diagram.event_wires.get(&(target.0, e)) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one major step.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        // output phase + event dispatch (index loop: BlockId is Copy, so no
+        // per-step clone of the order vector)
+        for k in 0..self.order.len() {
+            let idx = self.order[k].0;
+            if !self.due(idx) {
+                continue;
+            }
+            let events = self.exec_phase(idx, true);
+            if !events.is_empty() {
+                let mut queue = VecDeque::new();
+                for e in events {
+                    if let Some(&target) = self.diagram.event_wires.get(&(idx, e)) {
+                        queue.push_back(target);
+                    }
+                }
+                self.drain_events(queue)?;
+            }
+        }
+        // update phase + sample-hit bookkeeping
+        for k in 0..self.order.len() {
+            let idx = self.order[k].0;
+            if !self.due(idx) {
+                continue;
+            }
+            self.exec_phase(idx, false);
+            if let SampleTime::Discrete { period, .. } = self.diagram.blocks[idx].sample() {
+                self.next_hit[idx] += period;
+            }
+        }
+        self.step_index += 1;
+        self.t = self.step_index as f64 * self.dt;
+        Ok(())
+    }
+
+    /// Run until `t_end` (exclusive of a final partial step).
+    pub fn run_until(&mut self, t_end: f64) -> Result<(), SimError> {
+        while self.t < t_end - self.dt * 1e-9 {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Reset time, state and logs for a fresh run.
+    pub fn reset(&mut self) {
+        self.t = 0.0;
+        self.step_index = 0;
+        self.triggered_execs = 0;
+        for b in &mut self.diagram.blocks {
+            b.reset();
+        }
+        for (i, b) in self.diagram.blocks.iter().enumerate() {
+            self.next_hit[i] = match b.sample() {
+                SampleTime::Discrete { offset, .. } => offset,
+                _ => 0.0,
+            };
+            let _ = b;
+        }
+        for v in &mut self.values {
+            for slot in v.iter_mut() {
+                *slot = Value::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, PortCount};
+
+    /// Counts its executions; optionally emits event 0 each output.
+    struct Counter {
+        period: Option<f64>,
+        count: u64,
+        emit: bool,
+    }
+    impl Block for Counter {
+        fn type_name(&self) -> &'static str {
+            "Counter"
+        }
+        fn ports(&self) -> PortCount {
+            PortCount::with_events(0, 1, 1)
+        }
+        fn sample(&self) -> SampleTime {
+            match self.period {
+                Some(p) => SampleTime::every(p),
+                None => SampleTime::Continuous,
+            }
+        }
+        fn reset(&mut self) {
+            self.count = 0;
+        }
+        fn output(&mut self, ctx: &mut BlockCtx) {
+            self.count += 1;
+            ctx.set_output(0, self.count as f64);
+            if self.emit {
+                ctx.emit_event(0);
+            }
+        }
+    }
+
+    /// Triggered sink recording how often it ran.
+    struct TrigSink {
+        runs: u64,
+    }
+    impl Block for TrigSink {
+        fn type_name(&self) -> &'static str {
+            "TrigSink"
+        }
+        fn ports(&self) -> PortCount {
+            PortCount::new(1, 1)
+        }
+        fn sample(&self) -> SampleTime {
+            SampleTime::Triggered
+        }
+        fn reset(&mut self) {
+            self.runs = 0;
+        }
+        fn output(&mut self, ctx: &mut BlockCtx) {
+            self.runs += 1;
+            let v = ctx.input(0);
+            ctx.set_output(0, v);
+        }
+    }
+
+    #[test]
+    fn continuous_blocks_run_every_step() {
+        let mut d = Diagram::new();
+        let c = d.add("c", Counter { period: None, count: 0, emit: false }).unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        e.run_until(0.01).unwrap();
+        assert_eq!(e.steps(), 10);
+        assert_eq!(e.probe((c, 0)).as_f64(), 10.0);
+    }
+
+    #[test]
+    fn discrete_blocks_run_at_their_rate() {
+        let mut d = Diagram::new();
+        let c = d.add("c", Counter { period: Some(0.005), count: 0, emit: false }).unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        e.run_until(0.02).unwrap();
+        // hits at t = 0, 5, 10, 15 ms
+        assert_eq!(e.probe((c, 0)).as_f64(), 4.0);
+    }
+
+    #[test]
+    fn events_run_triggered_blocks_immediately() {
+        let mut d = Diagram::new();
+        let src = d.add("src", Counter { period: Some(0.004), count: 0, emit: true }).unwrap();
+        let snk = d.add("snk", TrigSink { runs: 0 }).unwrap();
+        d.connect((src, 0), (snk, 0)).unwrap();
+        d.connect_event(src, 0, snk).unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        e.run_until(0.012).unwrap(); // source hits at 0, 4, 8 ms
+        assert_eq!(e.probe((snk, 0)).as_f64(), 3.0, "sink saw the value at trigger time");
+        assert_eq!(e.triggered_execs(), 3);
+    }
+
+    #[test]
+    fn triggered_blocks_do_not_run_periodically() {
+        let mut d = Diagram::new();
+        let snk = d.add("snk", TrigSink { runs: 0 }).unwrap();
+        let _ = snk;
+        let mut e = Engine::new(d, 0.001).unwrap();
+        e.run_until(0.01).unwrap();
+        assert_eq!(e.triggered_execs(), 0);
+    }
+
+    #[test]
+    fn fire_injects_an_external_event() {
+        let mut d = Diagram::new();
+        let snk = d.add("snk", TrigSink { runs: 0 }).unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        e.fire(snk).unwrap();
+        e.fire(snk).unwrap();
+        assert_eq!(e.triggered_execs(), 2);
+    }
+
+    #[test]
+    fn reset_restores_initial_conditions() {
+        let mut d = Diagram::new();
+        let c = d.add("c", Counter { period: None, count: 0, emit: false }).unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        e.run_until(0.005).unwrap();
+        e.reset();
+        assert_eq!(e.time(), 0.0);
+        e.run_until(0.003).unwrap();
+        assert_eq!(e.probe((c, 0)).as_f64(), 3.0);
+    }
+
+    #[test]
+    fn self_triggering_loop_is_caught() {
+        struct SelfTrig;
+        impl Block for SelfTrig {
+            fn type_name(&self) -> &'static str {
+                "SelfTrig"
+            }
+            fn ports(&self) -> PortCount {
+                PortCount::with_events(0, 0, 1)
+            }
+            fn sample(&self) -> SampleTime {
+                SampleTime::Triggered
+            }
+            fn output(&mut self, ctx: &mut BlockCtx) {
+                ctx.emit_event(0);
+            }
+        }
+        let mut d = Diagram::new();
+        let a = d.add("a", SelfTrig).unwrap();
+        d.connect_event(a, 0, a).unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        assert!(matches!(e.fire(a), Err(SimError::EventStorm { .. })));
+    }
+}

@@ -1,0 +1,160 @@
+//! Logic blocks: Compare, LogicGate, Switch.
+
+use crate::block::{Block, BlockCtx, ParamValue, PortCount};
+
+/// Relational operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Compares input 0 against input 1.
+pub struct Compare {
+    /// The operator.
+    pub op: CompareOp,
+}
+
+impl Block for Compare {
+    fn type_name(&self) -> &'static str {
+        "Compare"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![("op", ParamValue::S(format!("{:?}", self.op)))]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(2, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let (a, b) = (ctx.in_f64(0), ctx.in_f64(1));
+        let r = match self.op {
+            CompareOp::Lt => a < b,
+            CompareOp::Le => a <= b,
+            CompareOp::Gt => a > b,
+            CompareOp::Ge => a >= b,
+            CompareOp::Eq => a == b,
+            CompareOp::Ne => a != b,
+        };
+        ctx.set_output(0, r);
+    }
+}
+
+/// Boolean operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogicOp {
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+    /// Negation (single input).
+    Not,
+}
+
+/// N-input logic gate.
+pub struct LogicGate {
+    /// The operator.
+    pub op: LogicOp,
+    /// Number of inputs (1 for Not).
+    pub inputs: usize,
+}
+
+impl Block for LogicGate {
+    fn type_name(&self) -> &'static str {
+        "LogicGate"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![("op", ParamValue::S(format!("{:?}", self.op))), ("inputs", ParamValue::I(self.inputs as i64))]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(self.inputs, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let mut vals = (0..self.inputs).map(|i| ctx.in_bool(i));
+        let r = match self.op {
+            LogicOp::And => vals.all(|b| b),
+            LogicOp::Or => vals.any(|b| b),
+            LogicOp::Xor => vals.fold(false, |a, b| a ^ b),
+            LogicOp::Not => !ctx.in_bool(0),
+        };
+        ctx.set_output(0, r);
+    }
+}
+
+/// Three-input switch: passes input 0 when the control (input 1) is true,
+/// else input 2 — the manual/automatic mode selector of the case study.
+pub struct Switch;
+
+impl Block for Switch {
+    fn type_name(&self) -> &'static str {
+        "Switch"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(3, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let v = if ctx.in_bool(1) { ctx.input(0) } else { ctx.input(2) };
+        ctx.set_output(0, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::step_block;
+    use crate::signal::Value;
+
+    fn cmp(op: CompareOp, a: f64, b: f64) -> bool {
+        step_block(&mut Compare { op }, 0.0, 0.1, &[Value::F64(a), Value::F64(b)]).0[0].as_bool()
+    }
+
+    #[test]
+    fn compare_all_operators() {
+        assert!(cmp(CompareOp::Lt, 1.0, 2.0));
+        assert!(cmp(CompareOp::Le, 2.0, 2.0));
+        assert!(cmp(CompareOp::Gt, 3.0, 2.0));
+        assert!(cmp(CompareOp::Ge, 2.0, 2.0));
+        assert!(cmp(CompareOp::Eq, 2.0, 2.0));
+        assert!(cmp(CompareOp::Ne, 2.0, 3.0));
+        assert!(!cmp(CompareOp::Lt, 2.0, 1.0));
+    }
+
+    fn gate(op: LogicOp, n: usize, ins: &[bool]) -> bool {
+        let vals: Vec<Value> = ins.iter().map(|&b| Value::Bool(b)).collect();
+        step_block(&mut LogicGate { op, inputs: n }, 0.0, 0.1, &vals).0[0].as_bool()
+    }
+
+    #[test]
+    fn logic_gates() {
+        assert!(gate(LogicOp::And, 2, &[true, true]));
+        assert!(!gate(LogicOp::And, 2, &[true, false]));
+        assert!(gate(LogicOp::Or, 2, &[false, true]));
+        assert!(gate(LogicOp::Xor, 2, &[true, false]));
+        assert!(!gate(LogicOp::Xor, 2, &[true, true]));
+        assert!(gate(LogicOp::Not, 1, &[false]));
+    }
+
+    #[test]
+    fn switch_selects_by_control() {
+        let ins = [Value::F64(1.0), Value::Bool(true), Value::F64(2.0)];
+        let (o, _) = step_block(&mut Switch, 0.0, 0.1, &ins);
+        assert_eq!(o[0].as_f64(), 1.0);
+        let ins = [Value::F64(1.0), Value::Bool(false), Value::F64(2.0)];
+        let (o, _) = step_block(&mut Switch, 0.0, 0.1, &ins);
+        assert_eq!(o[0].as_f64(), 2.0);
+    }
+}

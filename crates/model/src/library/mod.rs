@@ -1,0 +1,21 @@
+//! The standard block library — the subset of Simulink's palette the
+//! paper's models are built from (Fig 7.1/7.2): sources, sinks, math,
+//! discrete, continuous, nonlinear and logic blocks.
+
+pub mod continuous;
+pub mod discrete;
+pub mod logic;
+pub mod lookup;
+pub mod math;
+pub mod nonlinear;
+pub mod sinks;
+pub mod sources;
+
+pub use continuous::{Integrator, TransferFcn1};
+pub use discrete::{DiscreteDerivative, DiscreteIntegrator, DiscreteTransferFcn, UnitDelay, ZeroOrderHold};
+pub use logic::{Compare, CompareOp, LogicGate, LogicOp, Switch};
+pub use lookup::Lookup1D;
+pub use math::{Abs, Gain, MinMax, Product, Sum, TrigFn, TrigOp};
+pub use nonlinear::{DeadZone, Quantizer, RateLimiter, Relay, Saturation};
+pub use sinks::{Display, Scope, Terminator};
+pub use sources::{Constant, PulseGenerator, Ramp, SineWave, Step};

@@ -1,0 +1,133 @@
+//! Sink blocks: Scope (logging), Display, Terminator.
+
+use crate::block::{Block, BlockCtx, PortCount};
+use crate::log::{shared_log, SharedLog};
+
+/// Logs its input against time — the experiment harness reads the shared
+/// log after the run.
+pub struct Scope {
+    log: SharedLog,
+}
+
+impl Default for Scope {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scope {
+    /// New scope with a fresh shared log.
+    pub fn new() -> Self {
+        Scope { log: shared_log() }
+    }
+
+    /// Handle to the log (clone and keep before handing the block to a
+    /// diagram).
+    pub fn log(&self) -> SharedLog {
+        self.log.clone()
+    }
+}
+
+impl Block for Scope {
+    fn type_name(&self) -> &'static str {
+        "Scope"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(1, 0)
+    }
+    fn reset(&mut self) {
+        self.log.lock().clear();
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let v = ctx.in_f64(0);
+        self.log.lock().push(ctx.t, v);
+    }
+}
+
+/// Holds the most recent input value for inspection.
+#[derive(Default)]
+pub struct Display {
+    last: f64,
+}
+
+impl Display {
+    /// New display.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The last value shown.
+    pub fn value(&self) -> f64 {
+        self.last
+    }
+}
+
+impl Block for Display {
+    fn type_name(&self) -> &'static str {
+        "Display"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(1, 1)
+    }
+    fn reset(&mut self) {
+        self.last = 0.0;
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        self.last = ctx.in_f64(0);
+        ctx.set_output(0, self.last);
+    }
+}
+
+/// Swallows its input (caps unused outputs).
+pub struct Terminator;
+
+impl Block for Terminator {
+    fn type_name(&self) -> &'static str {
+        "Terminator"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(1, 0)
+    }
+    fn output(&mut self, _ctx: &mut BlockCtx) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::step_block;
+    use crate::signal::Value;
+
+    #[test]
+    fn scope_logs_time_series() {
+        let mut s = Scope::new();
+        let log = s.log();
+        step_block(&mut s, 0.0, 0.1, &[Value::F64(1.0)]);
+        step_block(&mut s, 0.1, 0.1, &[Value::F64(2.0)]);
+        let l = log.lock();
+        assert_eq!(l.t, vec![0.0, 0.1]);
+        assert_eq!(l.y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn scope_reset_clears_log() {
+        let mut s = Scope::new();
+        let log = s.log();
+        step_block(&mut s, 0.0, 0.1, &[Value::F64(1.0)]);
+        s.reset();
+        assert!(log.lock().is_empty());
+    }
+
+    #[test]
+    fn display_holds_last_and_passes_through() {
+        let mut d = Display::new();
+        let (out, _) = step_block(&mut d, 0.0, 0.1, &[Value::F64(7.0)]);
+        assert_eq!(d.value(), 7.0);
+        assert_eq!(out[0].as_f64(), 7.0);
+    }
+
+    #[test]
+    fn terminator_has_no_outputs() {
+        let (out, _) = step_block(&mut Terminator, 0.0, 0.1, &[Value::F64(1.0)]);
+        assert!(out.is_empty());
+    }
+}

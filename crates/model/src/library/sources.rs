@@ -1,0 +1,238 @@
+//! Source blocks: Constant, Step, Ramp, SineWave, PulseGenerator.
+
+use crate::block::{Block, BlockCtx, ParamValue, PortCount, SampleTime};
+use crate::signal::Value;
+
+/// Constant output.
+pub struct Constant {
+    /// The emitted value.
+    pub value: Value,
+}
+
+impl Constant {
+    /// Constant f64 source.
+    pub fn new(v: f64) -> Self {
+        Constant { value: Value::F64(v) }
+    }
+}
+
+impl Block for Constant {
+    fn type_name(&self) -> &'static str {
+        "Constant"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![("value", ParamValue::F(self.value.as_f64()))]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(0, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        ctx.set_output(0, self.value);
+    }
+}
+
+/// Step from `initial` to `fin` at `step_time`.
+pub struct Step {
+    /// Step instant in seconds.
+    pub step_time: f64,
+    /// Value before the step.
+    pub initial: f64,
+    /// Value after the step.
+    pub fin: f64,
+}
+
+impl Step {
+    /// A 0→`level` step at `step_time`.
+    pub fn new(step_time: f64, level: f64) -> Self {
+        Step { step_time, initial: 0.0, fin: level }
+    }
+}
+
+impl Block for Step {
+    fn type_name(&self) -> &'static str {
+        "Step"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![("step_time", ParamValue::F(self.step_time)), ("initial", ParamValue::F(self.initial)), ("final", ParamValue::F(self.fin))]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(0, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let v = if ctx.t >= self.step_time { self.fin } else { self.initial };
+        ctx.set_output(0, v);
+    }
+}
+
+/// Ramp with a given slope starting at `start_time`.
+pub struct Ramp {
+    /// Slope in units per second.
+    pub slope: f64,
+    /// Ramp onset in seconds.
+    pub start_time: f64,
+}
+
+impl Block for Ramp {
+    fn type_name(&self) -> &'static str {
+        "Ramp"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(0, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let v = if ctx.t >= self.start_time { self.slope * (ctx.t - self.start_time) } else { 0.0 };
+        ctx.set_output(0, v);
+    }
+}
+
+/// Sine wave `amp * sin(2π f t + phase) + bias`.
+pub struct SineWave {
+    /// Amplitude.
+    pub amplitude: f64,
+    /// Frequency in Hz.
+    pub freq_hz: f64,
+    /// Phase in radians.
+    pub phase: f64,
+    /// DC offset.
+    pub bias: f64,
+}
+
+impl SineWave {
+    /// Unit sine at `freq_hz`.
+    pub fn new(amplitude: f64, freq_hz: f64) -> Self {
+        SineWave { amplitude, freq_hz, phase: 0.0, bias: 0.0 }
+    }
+}
+
+impl Block for SineWave {
+    fn type_name(&self) -> &'static str {
+        "SineWave"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(0, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let v = self.amplitude * (std::f64::consts::TAU * self.freq_hz * ctx.t + self.phase).sin()
+            + self.bias;
+        ctx.set_output(0, v);
+    }
+}
+
+/// Rectangular pulse train.
+pub struct PulseGenerator {
+    /// Pulse amplitude.
+    pub amplitude: f64,
+    /// Period in seconds.
+    pub period: f64,
+    /// Duty ratio in (0, 1).
+    pub duty: f64,
+    /// Phase delay in seconds.
+    pub delay: f64,
+}
+
+impl Block for PulseGenerator {
+    fn type_name(&self) -> &'static str {
+        "PulseGenerator"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(0, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let t = ctx.t - self.delay;
+        let v = if t >= 0.0 {
+            let phase = (t / self.period).fract();
+            if phase < self.duty {
+                self.amplitude
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+        ctx.set_output(0, v);
+    }
+}
+
+/// Replays a prerecorded sequence at a fixed rate (Simulink's
+/// FromWorkspace), holding the last sample afterwards.
+pub struct FromWorkspace {
+    /// Sample period of the recording.
+    pub period: f64,
+    /// The samples.
+    pub samples: Vec<f64>,
+}
+
+impl Block for FromWorkspace {
+    fn type_name(&self) -> &'static str {
+        "FromWorkspace"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(0, 1)
+    }
+    fn sample(&self) -> SampleTime {
+        SampleTime::every(self.period)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let idx = (ctx.t / self.period).round() as usize;
+        let v = self
+            .samples
+            .get(idx.min(self.samples.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(0.0);
+        ctx.set_output(0, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::step_block;
+
+    fn out_at(b: &mut dyn Block, t: f64) -> f64 {
+        step_block(b, t, 0.001, &[]).0[0].as_f64()
+    }
+
+    #[test]
+    fn constant_emits_its_value() {
+        let mut c = Constant::new(3.5);
+        assert_eq!(out_at(&mut c, 0.0), 3.5);
+        assert_eq!(out_at(&mut c, 9.0), 3.5);
+    }
+
+    #[test]
+    fn step_switches_at_step_time() {
+        let mut s = Step::new(1.0, 5.0);
+        assert_eq!(out_at(&mut s, 0.999), 0.0);
+        assert_eq!(out_at(&mut s, 1.0), 5.0);
+    }
+
+    #[test]
+    fn ramp_rises_after_start() {
+        let mut r = Ramp { slope: 2.0, start_time: 1.0 };
+        assert_eq!(out_at(&mut r, 0.5), 0.0);
+        assert!((out_at(&mut r, 2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sine_peaks_at_quarter_period() {
+        let mut s = SineWave::new(2.0, 1.0);
+        assert!((out_at(&mut s, 0.25) - 2.0).abs() < 1e-9);
+        assert!(out_at(&mut s, 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pulse_train_duty() {
+        let mut p = PulseGenerator { amplitude: 1.0, period: 1.0, duty: 0.25, delay: 0.0 };
+        assert_eq!(out_at(&mut p, 0.1), 1.0);
+        assert_eq!(out_at(&mut p, 0.3), 0.0);
+        assert_eq!(out_at(&mut p, 1.1), 1.0, "periodic");
+    }
+
+    #[test]
+    fn from_workspace_replays_and_holds() {
+        let mut w = FromWorkspace { period: 0.1, samples: vec![1.0, 2.0, 3.0] };
+        assert_eq!(out_at(&mut w, 0.0), 1.0);
+        assert_eq!(out_at(&mut w, 0.1), 2.0);
+        assert_eq!(out_at(&mut w, 5.0), 3.0, "holds last");
+    }
+}

@@ -1,0 +1,211 @@
+//! Typed scalar signal values.
+//!
+//! §7: "It is also important to specify data types of all the signals and
+//! the parameters in the controller model" — Simulink models carry explicit
+//! data types on every wire so the code generator can emit integer/fixed
+//! arithmetic. [`Value`] is the dynamically-typed sample flowing on a wire
+//! during simulation; [`DataType`] is the static wire type the code
+//! generator reads.
+
+use peert_fixedpoint::Q15;
+use serde::{Deserialize, Serialize};
+
+/// Static type of a signal wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit float — Simulink's default `double`.
+    F64,
+    /// Signed 32-bit integer.
+    I32,
+    /// Signed 16-bit integer.
+    I16,
+    /// Unsigned 16-bit integer (e.g. ADC result registers).
+    U16,
+    /// Boolean.
+    Bool,
+    /// Signed Q1.15 fixed point.
+    Q15,
+}
+
+impl DataType {
+    /// Storage width in bytes on the target.
+    pub fn bytes(&self) -> u32 {
+        match self {
+            DataType::F64 => 8,
+            DataType::I32 => 4,
+            DataType::I16 | DataType::U16 | DataType::Q15 => 2,
+            DataType::Bool => 1,
+        }
+    }
+
+    /// The C type name the code generator emits.
+    pub fn c_name(&self) -> &'static str {
+        match self {
+            DataType::F64 => "real_T",
+            DataType::I32 => "int32_T",
+            DataType::I16 => "int16_T",
+            DataType::U16 => "uint16_T",
+            DataType::Bool => "boolean_T",
+            DataType::Q15 => "frac16_T",
+        }
+    }
+}
+
+/// One sample on a wire.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit float.
+    F64(f64),
+    /// Signed 32-bit integer.
+    I32(i32),
+    /// Signed 16-bit integer.
+    I16(i16),
+    /// Unsigned 16-bit integer.
+    U16(u16),
+    /// Boolean.
+    Bool(bool),
+    /// Q1.15 fixed point.
+    Q15(Q15),
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::F64(0.0)
+    }
+}
+
+impl Value {
+    /// The value's dynamic type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::F64(_) => DataType::F64,
+            Value::I32(_) => DataType::I32,
+            Value::I16(_) => DataType::I16,
+            Value::U16(_) => DataType::U16,
+            Value::Bool(_) => DataType::Bool,
+            Value::Q15(_) => DataType::Q15,
+        }
+    }
+
+    /// Numeric view as f64 (Bool → 0.0/1.0).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Value::F64(v) => v,
+            Value::I32(v) => v as f64,
+            Value::I16(v) => v as f64,
+            Value::U16(v) => v as f64,
+            Value::Bool(v) => v as u8 as f64,
+            Value::Q15(v) => v.to_f64(),
+        }
+    }
+
+    /// Boolean view (numeric types: nonzero = true).
+    pub fn as_bool(&self) -> bool {
+        match *self {
+            Value::Bool(v) => v,
+            other => other.as_f64() != 0.0,
+        }
+    }
+
+    /// Cast to `ty` with Simulink semantics: round-to-nearest, saturate at
+    /// the integer bounds (the safe casts PE/RTW emit).
+    pub fn cast(&self, ty: DataType) -> Value {
+        let v = self.as_f64();
+        match ty {
+            DataType::F64 => Value::F64(v),
+            DataType::I32 => Value::I32(v.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32),
+            DataType::I16 => Value::I16(v.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16),
+            DataType::U16 => Value::U16(v.round().clamp(0.0, u16::MAX as f64) as u16),
+            DataType::Bool => Value::Bool(self.as_bool()),
+            DataType::Q15 => Value::Q15(Q15::from_f64(v)),
+        }
+    }
+
+    /// Zero of a given type.
+    pub fn zero(ty: DataType) -> Value {
+        match ty {
+            DataType::F64 => Value::F64(0.0),
+            DataType::I32 => Value::I32(0),
+            DataType::I16 => Value::I16(0),
+            DataType::U16 => Value::U16(0),
+            DataType::Bool => Value::Bool(false),
+            DataType::Q15 => Value::Q15(Q15::ZERO),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::U16(v)
+    }
+}
+impl From<i16> for Value {
+    fn from(v: i16) -> Self {
+        Value::I16(v)
+    }
+}
+impl From<Q15> for Value {
+    fn from(v: Q15) -> Self {
+        Value::Q15(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_f64_views() {
+        assert_eq!(Value::F64(1.5).as_f64(), 1.5);
+        assert_eq!(Value::I16(-3).as_f64(), -3.0);
+        assert_eq!(Value::U16(7).as_f64(), 7.0);
+        assert_eq!(Value::Bool(true).as_f64(), 1.0);
+        assert!((Value::Q15(Q15::from_f64(0.5)).as_f64() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cast_rounds_and_saturates() {
+        assert_eq!(Value::F64(1.6).cast(DataType::I16), Value::I16(2));
+        assert_eq!(Value::F64(1e9).cast(DataType::I16), Value::I16(i16::MAX));
+        assert_eq!(Value::F64(-5.0).cast(DataType::U16), Value::U16(0));
+        assert_eq!(Value::F64(0.0).cast(DataType::Bool), Value::Bool(false));
+        assert_eq!(Value::F64(2.0).cast(DataType::Q15), Value::Q15(Q15::MAX));
+    }
+
+    #[test]
+    fn bool_view_of_numbers() {
+        assert!(Value::F64(0.1).as_bool());
+        assert!(!Value::I32(0).as_bool());
+    }
+
+    #[test]
+    fn type_bytes_for_footprint_accounting() {
+        assert_eq!(DataType::F64.bytes(), 8);
+        assert_eq!(DataType::Q15.bytes(), 2);
+        assert_eq!(DataType::Bool.bytes(), 1);
+    }
+
+    #[test]
+    fn zero_of_each_type() {
+        for ty in [DataType::F64, DataType::I32, DataType::I16, DataType::U16, DataType::Bool, DataType::Q15] {
+            assert_eq!(Value::zero(ty).as_f64(), 0.0);
+            assert_eq!(Value::zero(ty).data_type(), ty);
+        }
+    }
+
+    #[test]
+    fn c_names_are_rtw_style() {
+        assert_eq!(DataType::F64.c_name(), "real_T");
+        assert_eq!(DataType::U16.c_name(), "uint16_T");
+    }
+}

@@ -1,0 +1,539 @@
+//! Lockstep PIL co-simulation of the development board and the host plant
+//! simulator (Fig 6.2).
+//!
+//! Per control period: the host composes a packet of plant outputs and
+//! ships it down the RS-232 line (baud-accurate byte times through the
+//! board's SCI model); the board's communication ISR receives it byte by
+//! byte, the controller step executes (priced by its [`TaskImage`] cycle
+//! cost), the actuation packet is serialized back, and the host advances
+//! the plant model by one control period. The measured quantities are the
+//! §6 list: per-step communication and execution times, response/jitter,
+//! stack, plus deadline misses whenever a step overruns the control
+//! period — the data answering "whether the computation power of the
+//! processor is sufficient".
+
+use crate::packet::{from_sample, to_sample, Packet, PacketParser};
+use peert_codegen::TaskImage;
+use peert_mcu::board::vectors;
+use peert_mcu::board::Mcu;
+use peert_mcu::{Cycles, McuSpec};
+use peert_rtexec::Executive;
+use serde::{Deserialize, Serialize};
+
+/// The controller side: sensor samples in, actuation samples out
+/// (functionally the generated step function).
+pub type ControllerFn = Box<dyn FnMut(&[f64]) -> Vec<f64> + Send>;
+/// The plant side: actuations + dt in, next sensor samples out
+/// (the xPC-simulator stand-in).
+pub type PlantFn = Box<dyn FnMut(&[f64], f64) -> Vec<f64> + Send>;
+
+/// The physical link carrying the PIL exchange.
+///
+/// RS-232 is the paper's choice (§6, universally available but slow); SPI
+/// is its §8 future work ("The disadvantages of the currently used xPC
+/// target are that it is closed and does not allow us to implement a
+/// support for new communications (e.g. SPI)") — the open simulator
+/// target here supports both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Asynchronous serial (8N1 framing) at `baud`.
+    Rs232 {
+        /// Baud rate.
+        baud: u32,
+    },
+    /// Synchronous serial (bare 8-bit frames) at `clock_hz`.
+    Spi {
+        /// Clock rate in Hz.
+        clock_hz: u32,
+    },
+}
+
+/// PIL run configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PilConfig {
+    /// The communication link.
+    pub link: LinkKind,
+    /// Control period in seconds.
+    pub control_period_s: f64,
+    /// Number of plant→board channels.
+    pub sensor_channels: usize,
+    /// Number of board→host channels.
+    pub actuation_channels: usize,
+    /// Engineering full-scale per sensor channel (for i16 wire samples).
+    pub sensor_scale: f64,
+    /// Engineering full-scale per actuation channel.
+    pub actuation_scale: f64,
+    /// Cycles charged per received byte in the communication ISR.
+    pub rx_isr_cycles: Cycles,
+    /// Per-byte corruption probability on the wire (line-noise fault
+    /// injection; 0.0 = clean line). Corrupted frames fail CRC and the
+    /// exchange degrades to hold-last-output.
+    pub corruption_prob: f64,
+    /// Seed for the deterministic noise source.
+    pub noise_seed: u64,
+}
+
+impl Default for PilConfig {
+    fn default() -> Self {
+        PilConfig {
+            link: LinkKind::Rs232 { baud: 115_200 },
+            control_period_s: 1e-3,
+            sensor_channels: 1,
+            actuation_channels: 1,
+            sensor_scale: 1.0,
+            actuation_scale: 1.0,
+            rx_isr_cycles: 60,
+            corruption_prob: 0.0,
+            noise_seed: 0x5EED,
+        }
+    }
+}
+
+/// Deterministic xorshift noise source for line-fault injection.
+struct Noise {
+    state: u64,
+    prob: f64,
+}
+
+impl Noise {
+    fn new(seed: u64, prob: f64) -> Self {
+        Noise { state: seed.max(1), prob }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Maybe flip one bit of `byte`.
+    fn corrupt(&mut self, byte: u8) -> u8 {
+        if self.prob > 0.0 && (self.next_u64() as f64 / u64::MAX as f64) < self.prob {
+            byte ^ (1 << (self.next_u64() % 8))
+        } else {
+            byte
+        }
+    }
+}
+
+/// Per-run statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PilStats {
+    /// Completed exchange steps.
+    pub steps: u64,
+    /// Inbound (host→board) communication cycles per step.
+    pub comm_in_cycles: Vec<Cycles>,
+    /// Controller compute cycles per step (entry + body + exit).
+    pub compute_cycles: Vec<Cycles>,
+    /// Outbound communication cycles per step.
+    pub comm_out_cycles: Vec<Cycles>,
+    /// Total step durations in cycles.
+    pub step_cycles: Vec<Cycles>,
+    /// Steps whose duration exceeded the control period.
+    pub deadline_misses: u64,
+    /// CRC errors seen by the board parser.
+    pub crc_errors: u64,
+    /// Exchanges lost to line noise (controller held its last output).
+    pub dropped_exchanges: u64,
+    /// Host-side trajectory: (time s, first sensor channel).
+    pub trajectory_t: Vec<f64>,
+    /// Host-side trajectory values.
+    pub trajectory_y: Vec<f64>,
+}
+
+impl PilStats {
+    fn mean(v: &[Cycles]) -> f64 {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<Cycles>() as f64 / v.len() as f64
+        }
+    }
+
+    /// Mean total step duration in cycles.
+    pub fn mean_step_cycles(&self) -> f64 {
+        Self::mean(&self.step_cycles)
+    }
+
+    /// Mean communication share of a step (both directions).
+    pub fn comm_fraction(&self) -> f64 {
+        let comm = Self::mean(&self.comm_in_cycles) + Self::mean(&self.comm_out_cycles);
+        let total = self.mean_step_cycles();
+        if total == 0.0 {
+            0.0
+        } else {
+            comm / total
+        }
+    }
+
+    /// Smallest control period (seconds) this setup could sustain.
+    pub fn min_feasible_period_s(&self, bus_hz: f64) -> f64 {
+        self.step_cycles.iter().copied().max().unwrap_or(0) as f64 / bus_hz
+    }
+}
+
+/// One PIL session.
+pub struct PilSession {
+    exec: Executive,
+    cfg: PilConfig,
+    controller: ControllerFn,
+    plant: PlantFn,
+    image_step_cycles: Cycles,
+    seq: u8,
+    parser: PacketParser,
+    stats: PilStats,
+    noise: Noise,
+    last_actuation: Vec<f64>,
+}
+
+impl PilSession {
+    /// Assemble a session: board MCU from `spec`, controller priced by
+    /// `image`, plant on the host side.
+    pub fn new(
+        spec: &McuSpec,
+        image: &TaskImage,
+        cfg: PilConfig,
+        controller: ControllerFn,
+        plant: PlantFn,
+    ) -> Result<Self, String> {
+        if spec.sci_count == 0 {
+            return Err(format!("{} has no SCI for the PIL link", spec.name));
+        }
+        let mut mcu = Mcu::new(spec);
+        match cfg.link {
+            LinkKind::Rs232 { baud } => mcu.scis[0].configure(baud, 1, false)?,
+            LinkKind::Spi { clock_hz } => mcu.scis[0].configure_sync(clock_hz)?,
+        }
+        mcu.scis[0].set_irqs(true, false);
+        mcu.intc.configure(vectors::sci_rx(0), 6);
+        let mut exec = Executive::new(mcu);
+        // the communication ISR: charged per received byte
+        exec.attach(vectors::sci_rx(0), "comm_rx", cfg.rx_isr_cycles, 16, None);
+        exec.start();
+        Ok(PilSession {
+            noise: Noise::new(cfg.noise_seed, cfg.corruption_prob),
+            last_actuation: vec![0.0; cfg.actuation_channels],
+            exec,
+            cfg,
+            controller,
+            plant,
+            image_step_cycles: image.step_cycles,
+            seq: 0,
+            parser: PacketParser::new(),
+            stats: PilStats::default(),
+        })
+    }
+
+    /// Run `steps` control periods; returns the stats.
+    pub fn run(&mut self, steps: u64) -> Result<&PilStats, String> {
+        let byte_cycles = self.exec.mcu.scis[0].byte_time_cycles();
+        let mut sensors = (self.plant)(&vec![0.0; self.cfg.actuation_channels], 0.0);
+        if sensors.len() != self.cfg.sensor_channels {
+            return Err(format!(
+                "plant produced {} channels, config says {}",
+                sensors.len(),
+                self.cfg.sensor_channels
+            ));
+        }
+
+        for step in 0..steps {
+            let t0 = self.exec.mcu.now();
+            let mut dropped_this_step = false;
+
+            // --- host → board: sensor packet, serialized on the wire ---
+            let samples: Vec<i16> =
+                sensors.iter().map(|&v| to_sample(v, self.cfg.sensor_scale)).collect();
+            let pkt = Packet::new(self.seq, samples)?;
+            let bytes = pkt.encode();
+            for (j, &b) in bytes.iter().enumerate() {
+                let arrives = t0 + (j as Cycles + 1) * byte_cycles;
+                let wire_byte = self.noise.corrupt(b);
+                self.exec.mcu.scis[0].inject_rx(wire_byte, arrives);
+            }
+            let rx_done = t0 + bytes.len() as Cycles * byte_cycles;
+            // run the board through the reception (comm ISR per byte)
+            self.exec.run_until(rx_done + 1);
+            let comm_in = self.exec.mcu.now() - t0;
+
+            // drain the SCI FIFO through the parser
+            let mut request = None;
+            while let Some(b) = self.exec.mcu.scis[0].recv() {
+                if let Some(p) = self.parser.push(b) {
+                    request = Some(p);
+                }
+            }
+            // a corrupted frame fails CRC: the controller step does not run
+            // this period and the board holds its last actuation (§6's
+            // redirected-peripheral semantics under line faults)
+            let actuation = match request {
+                Some(request) => {
+                    // --- controller step (the generated code, priced) ---
+                    let table = self.exec.mcu.spec.cost_table();
+                    let compute = table.isr_entry as Cycles
+                        + self.image_step_cycles
+                        + table.isr_exit as Cycles;
+                    self.exec.mcu.advance(compute);
+                    let sensor_vals: Vec<f64> = request
+                        .samples
+                        .iter()
+                        .map(|&s| from_sample(s, self.cfg.sensor_scale))
+                        .collect();
+                    let actuation = (self.controller)(&sensor_vals);
+                    if actuation.len() != self.cfg.actuation_channels {
+                        return Err(format!(
+                            "controller produced {} channels, config says {}",
+                            actuation.len(),
+                            self.cfg.actuation_channels
+                        ));
+                    }
+                    self.last_actuation.clone_from(&actuation);
+                    actuation
+                }
+                None => {
+                    if self.cfg.corruption_prob == 0.0 {
+                        return Err(format!("step {step}: no complete packet on the board"));
+                    }
+                    self.stats.dropped_exchanges += 1;
+                    dropped_this_step = true;
+                    self.last_actuation.clone()
+                }
+            };
+
+            // --- board → host: actuation packet ---
+            let reply_samples: Vec<i16> =
+                actuation.iter().map(|&v| to_sample(v, self.cfg.actuation_scale)).collect();
+            let reply = Packet::new(self.seq, reply_samples)?;
+            let tx_start = self.exec.mcu.now();
+            for &b in &reply.encode() {
+                let now = self.exec.mcu.now();
+                if !self.exec.mcu.scis[0].send(b, now) {
+                    return Err(format!("step {step}: board TX FIFO overflow"));
+                }
+            }
+            // run until the line drained
+            while self.exec.mcu.scis[0].tx_backlog() > 0 {
+                let now = self.exec.mcu.now();
+                self.exec.run_until(now + byte_cycles);
+            }
+            let step_end = self.exec.mcu.now();
+            let comm_out = step_end - tx_start;
+
+            // host receives, applies actuation, advances the plant
+            let actuation_rx: Vec<f64> = reply
+                .samples
+                .iter()
+                .map(|&s| from_sample(s, self.cfg.actuation_scale))
+                .collect();
+            sensors = (self.plant)(&actuation_rx, self.cfg.control_period_s);
+
+            // bookkeeping
+            let total = step_end - t0;
+            let period_cycles = self.exec.mcu.clock.secs_to_cycles(self.cfg.control_period_s);
+            if total > period_cycles {
+                self.stats.deadline_misses += 1;
+            } else {
+                // board idles until the next period boundary (real time)
+                self.exec.run_until(t0 + period_cycles);
+            }
+            self.stats.steps += 1;
+            self.stats.comm_in_cycles.push(comm_in);
+            // a dropped exchange never ran the controller: its compute cost
+            // is zero in the per-step accounting
+            let table = self.exec.mcu.spec.cost_table();
+            let step_compute = if dropped_this_step {
+                0
+            } else {
+                table.isr_entry as Cycles + self.image_step_cycles + table.isr_exit as Cycles
+            };
+            self.stats.compute_cycles.push(step_compute);
+            self.stats.comm_out_cycles.push(comm_out);
+            self.stats.step_cycles.push(total);
+            let t_s = step as f64 * self.cfg.control_period_s;
+            self.stats.trajectory_t.push(t_s);
+            self.stats.trajectory_y.push(sensors.first().copied().unwrap_or(0.0));
+            self.seq = self.seq.wrapping_add(1);
+        }
+        self.stats.crc_errors = self.parser.crc_errors();
+        Ok(&self.stats)
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &PilStats {
+        &self.stats
+    }
+
+    /// The board executive (for profiling inspection).
+    pub fn executive(&self) -> &Executive {
+        &self.exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peert_codegen::{generate_controller, CodegenOptions, TaskImage, TlcRegistry};
+    use peert_mcu::McuCatalog;
+    use peert_model::block::SampleTime;
+    use peert_model::graph::Diagram;
+    use peert_model::library::math::Gain;
+    use peert_model::subsystem::{Inport, Outport, Subsystem};
+
+    fn spec() -> McuSpec {
+        McuCatalog::standard().find("MC56F8367").unwrap().clone()
+    }
+
+    fn image() -> TaskImage {
+        let mut d = Diagram::new();
+        let i = d.add("u", Inport).unwrap();
+        let g = d.add("g", Gain::new(0.5)).unwrap();
+        let o = d.add("y", Outport).unwrap();
+        d.connect((i, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (o, 0)).unwrap();
+        let sub = Subsystem::new(d, vec![i], vec![o], SampleTime::every(1e-3)).unwrap();
+        let code = generate_controller(
+            &sub,
+            "p_ctl",
+            &CodegenOptions::default(),
+            &TlcRegistry::standard(),
+        )
+        .unwrap();
+        TaskImage::build(&code, &spec())
+    }
+
+    /// first-order plant y' = u - y, sensors = [y]
+    fn plant() -> PlantFn {
+        let mut y = 0.0f64;
+        Box::new(move |u: &[f64], dt: f64| {
+            y += dt * (u[0] - y) * 50.0;
+            vec![y]
+        })
+    }
+
+    fn session(cfg: PilConfig) -> PilSession {
+        // P controller toward setpoint 0.5
+        let controller: ControllerFn = Box::new(|s: &[f64]| vec![(0.5 - s[0]).clamp(0.0, 0.9)]);
+        PilSession::new(&spec(), &image(), cfg, controller, plant()).unwrap()
+    }
+
+    #[test]
+    fn lockstep_exchanges_complete() {
+        let mut s = session(PilConfig::default());
+        let stats = s.run(50).unwrap();
+        assert_eq!(stats.steps, 50);
+        assert_eq!(stats.crc_errors, 0);
+        assert_eq!(stats.trajectory_y.len(), 50);
+        // the closed loop's P-only fixed point is y = 0.25
+        assert!((stats.trajectory_y.last().unwrap() - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn comm_dominates_at_low_baud() {
+        let mut slow = session(PilConfig { link: LinkKind::Rs232 { baud: 9600 }, control_period_s: 0.02, ..Default::default() });
+        slow.run(20).unwrap();
+        assert!(
+            slow.stats().comm_fraction() > 0.9,
+            "9600 baud is all wire time: {}",
+            slow.stats().comm_fraction()
+        );
+    }
+
+    #[test]
+    fn step_time_scales_with_baud() {
+        let mut fast = session(PilConfig { link: LinkKind::Rs232 { baud: 115_200 }, ..Default::default() });
+        fast.run(20).unwrap();
+        let mut slow = session(PilConfig { link: LinkKind::Rs232 { baud: 9600 }, control_period_s: 0.02, ..Default::default() });
+        slow.run(20).unwrap();
+        let r = slow.stats().mean_step_cycles() / fast.stats().mean_step_cycles();
+        assert!(r > 8.0, "12× baud ratio shows in step time, got {r}");
+    }
+
+    #[test]
+    fn too_short_period_misses_deadlines() {
+        // at 9600 baud a packet pair takes ~15 ms; a 1 ms period must fail
+        let mut s = session(PilConfig { link: LinkKind::Rs232 { baud: 9600 }, control_period_s: 1e-3, ..Default::default() });
+        s.run(10).unwrap();
+        assert_eq!(s.stats().deadline_misses, 10);
+        let feasible = s.stats().min_feasible_period_s(60e6);
+        assert!(feasible > 1e-3);
+    }
+
+    #[test]
+    fn part_without_sci_is_rejected() {
+        let mut bad = spec();
+        bad.sci_count = 0;
+        let controller: ControllerFn = Box::new(|_| vec![0.0]);
+        assert!(PilSession::new(&bad, &image(), PilConfig::default(), controller, plant()).is_err());
+    }
+
+    #[test]
+    fn channel_count_mismatches_are_errors() {
+        let controller: ControllerFn = Box::new(|_| vec![0.0, 0.0]); // 2 channels, cfg says 1
+        let mut s =
+            PilSession::new(&spec(), &image(), PilConfig::default(), controller, plant()).unwrap();
+        assert!(s.run(1).is_err());
+    }
+
+    #[test]
+    fn spi_link_is_an_order_of_magnitude_faster() {
+        // §8 future work: the open simulator target supports SPI
+        let mut rs = session(PilConfig { link: LinkKind::Rs232 { baud: 115_200 }, ..Default::default() });
+        rs.run(20).unwrap();
+        let mut spi = session(PilConfig { link: LinkKind::Spi { clock_hz: 2_000_000 }, ..Default::default() });
+        spi.run(20).unwrap();
+        let ratio = rs.stats().mean_step_cycles() / spi.stats().mean_step_cycles();
+        assert!(ratio > 8.0, "2 MHz SPI ≫ 115200 RS-232: ratio {ratio}");
+        assert_eq!(spi.stats().crc_errors, 0);
+    }
+
+    #[test]
+    fn line_noise_drops_exchanges_but_the_loop_survives() {
+        let cfg = PilConfig {
+            corruption_prob: 0.02, // 2 % of bytes flip a bit
+            control_period_s: 2e-3,
+            ..Default::default()
+        };
+        let mut s = session(cfg);
+        let stats = s.run(200).unwrap();
+        assert!(stats.dropped_exchanges > 0, "noise must bite at 2 %/byte");
+        assert!(stats.crc_errors > 0, "drops are CRC-detected, never silent");
+        assert_eq!(stats.steps, 200, "the session completes despite the noise");
+        // the held-output policy keeps the loop near its fixed point
+        let y = *stats.trajectory_y.last().unwrap();
+        assert!((y - 0.25).abs() < 0.1, "loop still regulating: {y}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let cfg = PilConfig {
+                corruption_prob: 0.05,
+                noise_seed: seed,
+                control_period_s: 2e-3,
+                ..Default::default()
+            };
+            let mut s = session(cfg);
+            s.run(100).unwrap().dropped_exchanges
+        };
+        assert_eq!(run(42), run(42), "same seed, same drops");
+    }
+
+    #[test]
+    fn clean_line_drops_nothing() {
+        let mut s = session(PilConfig { control_period_s: 2e-3, ..Default::default() });
+        let stats = s.run(100).unwrap();
+        assert_eq!(stats.dropped_exchanges, 0);
+        assert_eq!(stats.crc_errors, 0);
+    }
+
+    #[test]
+    fn comm_isr_shows_in_the_board_profile() {
+        let mut s = session(PilConfig::default());
+        s.run(5).unwrap();
+        let p = s.executive().profile("comm_rx").unwrap();
+        // 5 steps × (5 overhead + 2 payload) bytes inbound
+        assert_eq!(p.activations, 5 * 7);
+    }
+}

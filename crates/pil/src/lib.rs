@@ -1,0 +1,29 @@
+//! Processor-in-the-loop simulation (§6).
+//!
+//! "The implemented code of the control algorithm is executed on a
+//! universal development board, the model of the controlled plant is
+//! simulated by a simulator and the input and output data are interchanged
+//! by a communication line. ... Both, the plant and the controller codes
+//! are executed in the real-time on the simulator PC and the development
+//! board respectively and they exchange the simulation data at the end of
+//! each simulation step (control period). The communication between the
+//! simulator PC and the development board is provided by RS232
+//! asynchronous serial line."
+//!
+//! * [`packet`] — the framed sample-exchange protocol (SOF / sequence /
+//!   payload of 16-bit samples / CRC) with an incremental parser robust to
+//!   byte-at-a-time arrival;
+//! * [`cosim`] — the lockstep co-simulation of the development board
+//!   (an [`peert_rtexec::Executive`] on the simulated MCU, communicating
+//!   through its SCI peripheral at baud-accurate byte times) and the host
+//!   plant runner (the xPC-simulator stand-in). Produces the per-step
+//!   timing decomposition (inbound comm / compute / outbound comm),
+//!   deadline misses and the plant trajectory E6 compares against MIL.
+
+#![warn(missing_docs)]
+
+pub mod cosim;
+pub mod packet;
+
+pub use cosim::{LinkKind, PilConfig, PilSession, PilStats};
+pub use packet::{Packet, PacketParser, MAX_SAMPLES};

@@ -1,0 +1,241 @@
+//! Brushed DC motor model — the case-study plant (§7).
+//!
+//! Standard armature model:
+//!
+//! ```text
+//! L di/dt = V − R i − Ke ω
+//! J dω/dt = Kt i − b ω − τ_load
+//! dθ/dt   = ω
+//! ```
+//!
+//! The input is the PWM duty ratio (the power stage applies
+//! `V = duty · V_supply`); outputs are shaft speed, angle and armature
+//! current. As a [`Block`] it integrates with RK4 sub-steps inside each
+//! engine step, so the plant side of the single model stays accurate even
+//! at the controller's 1 kHz fundamental rate.
+
+use crate::integrators::rk4_span;
+use peert_model::block::{Block, BlockCtx, PortCount};
+use serde::{Deserialize, Serialize};
+
+/// Physical parameters of the motor.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DcMotorParams {
+    /// Armature resistance in ohms.
+    pub resistance: f64,
+    /// Armature inductance in henries.
+    pub inductance: f64,
+    /// Back-EMF constant in V·s/rad.
+    pub ke: f64,
+    /// Torque constant in N·m/A.
+    pub kt: f64,
+    /// Rotor inertia in kg·m².
+    pub inertia: f64,
+    /// Viscous friction in N·m·s/rad.
+    pub friction: f64,
+    /// Supply voltage of the power stage in volts.
+    pub supply_volts: f64,
+}
+
+impl Default for DcMotorParams {
+    /// A small 24 V servo motor of the class the case study drives
+    /// (no-load speed ≈ 230 rad/s, mechanical time constant ≈ 60 ms).
+    fn default() -> Self {
+        DcMotorParams {
+            resistance: 2.0,
+            inductance: 2.0e-3,
+            ke: 0.1,
+            kt: 0.1,
+            inertia: 3.0e-4,
+            friction: 1.0e-4,
+            supply_volts: 24.0,
+        }
+    }
+}
+
+impl DcMotorParams {
+    /// Steady-state speed for a constant applied voltage and load torque.
+    pub fn steady_speed(&self, volts: f64, load: f64) -> f64 {
+        // 0 = V - R i - Ke w ; 0 = Kt i - b w - tau
+        // => w = (Kt V - R tau) / (R b + Ke Kt)
+        (self.kt * volts - self.resistance * load)
+            / (self.resistance * self.friction + self.ke * self.kt)
+    }
+
+    /// Mechanical time constant `J R / (R b + Ke Kt)` in seconds.
+    pub fn mech_time_constant(&self) -> f64 {
+        self.inertia * self.resistance / (self.resistance * self.friction + self.ke * self.kt)
+    }
+}
+
+/// The DC motor block.
+///
+/// Inputs: 0 = PWM duty ratio `[0, 1]` (sign via input 2 if bidirectional),
+/// 1 = load torque in N·m, 2 = direction (+1/−1, optional; default +1).
+/// Outputs: 0 = speed ω (rad/s), 1 = angle θ (rad), 2 = current i (A).
+pub struct DcMotor {
+    /// Motor parameters.
+    pub params: DcMotorParams,
+    /// Maximum RK4 sub-step in seconds.
+    pub max_substep: f64,
+    state: [f64; 3], // [i, w, theta]
+}
+
+impl DcMotor {
+    /// Motor at rest with the given parameters.
+    pub fn new(params: DcMotorParams) -> Self {
+        DcMotor { params, max_substep: 50e-6, state: [0.0; 3] }
+    }
+
+    /// Current shaft speed in rad/s.
+    pub fn speed(&self) -> f64 {
+        self.state[1]
+    }
+
+    /// Current shaft angle in rad.
+    pub fn angle(&self) -> f64 {
+        self.state[2]
+    }
+
+    /// Current armature current in A.
+    pub fn current(&self) -> f64 {
+        self.state[0]
+    }
+
+    /// Advance the physics by `dt` seconds under (`duty`, `load`, `dir`).
+    pub fn advance(&mut self, duty: f64, load: f64, dir: f64, dt: f64) {
+        let p = self.params;
+        let volts = duty.clamp(0.0, 1.0) * p.supply_volts * if dir < 0.0 { -1.0 } else { 1.0 };
+        let f = move |_t: f64, s: &[f64; 3]| {
+            let (i, w) = (s[0], s[1]);
+            [
+                (volts - p.resistance * i - p.ke * w) / p.inductance,
+                (p.kt * i - p.friction * w - load) / p.inertia,
+                w,
+            ]
+        };
+        self.state = rk4_span(f, 0.0, self.state, dt, self.max_substep);
+    }
+}
+
+impl Block for DcMotor {
+    fn type_name(&self) -> &'static str {
+        "DcMotor"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(3, 3)
+    }
+    fn feedthrough(&self) -> bool {
+        false
+    }
+    fn reset(&mut self) {
+        self.state = [0.0; 3];
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        ctx.set_output(0, self.state[1]);
+        ctx.set_output(1, self.state[2]);
+        ctx.set_output(2, self.state[0]);
+    }
+    fn update(&mut self, ctx: &mut BlockCtx) {
+        let duty = ctx.in_f64(0);
+        let load = ctx.in_f64(1);
+        let dir = if ctx.input_count() > 2 && ctx.in_f64(2) < 0.0 { -1.0 } else { 1.0 };
+        self.advance(duty, load, dir, ctx.dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle(motor: &mut DcMotor, duty: f64, load: f64, secs: f64) {
+        let dt = 1e-3;
+        for _ in 0..(secs / dt) as usize {
+            motor.advance(duty, load, 1.0, dt);
+        }
+    }
+
+    #[test]
+    fn no_load_speed_matches_closed_form() {
+        let p = DcMotorParams::default();
+        let mut m = DcMotor::new(p);
+        settle(&mut m, 1.0, 0.0, 1.0);
+        let expect = p.steady_speed(p.supply_volts, 0.0);
+        assert!(
+            (m.speed() - expect).abs() / expect < 1e-3,
+            "speed {} vs closed form {}",
+            m.speed(),
+            expect
+        );
+    }
+
+    #[test]
+    fn speed_scales_with_duty() {
+        let mut m = DcMotor::new(DcMotorParams::default());
+        settle(&mut m, 0.5, 0.0, 1.0);
+        let half = m.speed();
+        let mut m2 = DcMotor::new(DcMotorParams::default());
+        settle(&mut m2, 1.0, 0.0, 1.0);
+        assert!((half / m2.speed() - 0.5).abs() < 0.01, "linear in voltage at no load");
+    }
+
+    #[test]
+    fn load_torque_slows_the_motor() {
+        let mut free = DcMotor::new(DcMotorParams::default());
+        let mut loaded = DcMotor::new(DcMotorParams::default());
+        settle(&mut free, 1.0, 0.0, 1.0);
+        settle(&mut loaded, 1.0, 0.05, 1.0);
+        assert!(loaded.speed() < free.speed() - 1.0);
+    }
+
+    #[test]
+    fn angle_integrates_speed() {
+        let mut m = DcMotor::new(DcMotorParams::default());
+        settle(&mut m, 1.0, 0.0, 2.0);
+        let w = m.speed();
+        let a0 = m.angle();
+        m.advance(1.0, 0.0, 1.0, 0.1);
+        assert!((m.angle() - a0 - w * 0.1).abs() / (w * 0.1) < 0.01);
+    }
+
+    #[test]
+    fn reverse_direction_spins_negative() {
+        let mut m = DcMotor::new(DcMotorParams::default());
+        let dt = 1e-3;
+        for _ in 0..1000 {
+            m.advance(1.0, 0.0, -1.0, dt);
+        }
+        assert!(m.speed() < 0.0);
+    }
+
+    #[test]
+    fn duty_is_clamped_to_unit_range() {
+        let mut a = DcMotor::new(DcMotorParams::default());
+        let mut b = DcMotor::new(DcMotorParams::default());
+        settle(&mut a, 5.0, 0.0, 0.5);
+        settle(&mut b, 1.0, 0.0, 0.5);
+        assert!((a.speed() - b.speed()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_constant_is_sane_for_default_params() {
+        let p = DcMotorParams::default();
+        let tc = p.mech_time_constant();
+        assert!(tc > 0.01 && tc < 0.2, "default motor τ_m = {tc}");
+    }
+
+    #[test]
+    fn block_interface_exposes_three_outputs() {
+        use peert_model::block::step_block;
+        use peert_model::signal::Value;
+        let mut m = DcMotor::new(DcMotorParams::default());
+        // apply full duty for many block steps
+        for k in 0..1000 {
+            step_block(&mut m, k as f64 * 1e-3, 1e-3, &[Value::F64(1.0), Value::F64(0.0)]);
+        }
+        let (o, _) = step_block(&mut m, 1.0, 1e-3, &[Value::F64(1.0), Value::F64(0.0)]);
+        assert!(o[0].as_f64() > 100.0, "speed output");
+        assert!(o[1].as_f64() > 0.0, "angle output");
+        assert!(o[2].as_f64() > 0.0, "current output");
+    }
+}

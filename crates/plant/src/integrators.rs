@@ -1,0 +1,85 @@
+//! Fixed-step ODE integrators used inside the plant models.
+
+/// One classical Runge–Kutta (RK4) step of `dy/dt = f(t, y)` for a state
+/// vector of `N` elements.
+pub fn rk4_step<const N: usize>(
+    f: impl Fn(f64, &[f64; N]) -> [f64; N],
+    t: f64,
+    y: &[f64; N],
+    dt: f64,
+) -> [f64; N] {
+    let k1 = f(t, y);
+    let mut y2 = *y;
+    for i in 0..N {
+        y2[i] = y[i] + 0.5 * dt * k1[i];
+    }
+    let k2 = f(t + 0.5 * dt, &y2);
+    let mut y3 = *y;
+    for i in 0..N {
+        y3[i] = y[i] + 0.5 * dt * k2[i];
+    }
+    let k3 = f(t + 0.5 * dt, &y3);
+    let mut y4 = *y;
+    for i in 0..N {
+        y4[i] = y[i] + dt * k3[i];
+    }
+    let k4 = f(t + dt, &y4);
+    let mut out = *y;
+    for i in 0..N {
+        out[i] = y[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    out
+}
+
+/// Integrate over `[t, t+span]` with at most `max_dt` per RK4 sub-step.
+pub fn rk4_span<const N: usize>(
+    f: impl Fn(f64, &[f64; N]) -> [f64; N] + Copy,
+    mut t: f64,
+    mut y: [f64; N],
+    span: f64,
+    max_dt: f64,
+) -> [f64; N] {
+    assert!(max_dt > 0.0, "max_dt must be positive");
+    let steps = (span / max_dt).ceil().max(1.0) as usize;
+    let dt = span / steps as f64;
+    for _ in 0..steps {
+        y = rk4_step(f, t, &y, dt);
+        t += dt;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_integrates_exponential_decay_accurately() {
+        // dy/dt = -y, y(0)=1, y(1)=e^-1
+        let y = rk4_span(|_, y: &[f64; 1]| [-y[0]], 0.0, [1.0], 1.0, 0.01);
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rk4_integrates_harmonic_oscillator() {
+        // y'' = -y → states [y, v]; after 2π returns to start
+        let f = |_: f64, s: &[f64; 2]| [s[1], -s[0]];
+        let y = rk4_span(f, 0.0, [1.0, 0.0], std::f64::consts::TAU, 0.001);
+        assert!((y[0] - 1.0).abs() < 1e-6);
+        assert!(y[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn span_handles_non_divisible_steps() {
+        let y = rk4_span(|_, y: &[f64; 1]| [-y[0]], 0.0, [1.0], 0.7, 0.3);
+        assert!((y[0] - (-0.7f64).exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn single_step_matches_taylor_to_fourth_order() {
+        // dy/dt = y at y=1: exact e^h; RK4 error O(h^5)
+        let h = 0.1;
+        let y = rk4_step(|_, y: &[f64; 1]| [y[0]], 0.0, &[1.0], h);
+        assert!((y[0] - h.exp()).abs() < 1e-7);
+    }
+}

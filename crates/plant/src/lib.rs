@@ -1,0 +1,21 @@
+//! Plant models for the closed-loop single model (§5, §7).
+//!
+//! The case study controls "a mechanically commutated DC motor ... actuated
+//! by a power transistor switched by a pulse width modulated (PWM) signal".
+//! No motor is available here, so [`dcmotor`] implements the standard
+//! two-state armature model (electrical + mechanical) the control community
+//! uses for exactly this class of servo; [`pendulum`] and [`thermal`] add
+//! two more plants so the examples cover more than one scenario. All models
+//! integrate internally with RK4 ([`integrators`]) at a sub-step fine enough
+//! to be insensitive to the model engine's fundamental step.
+
+#![warn(missing_docs)]
+
+pub mod dcmotor;
+pub mod integrators;
+pub mod pendulum;
+pub mod thermal;
+
+pub use dcmotor::{DcMotor, DcMotorParams};
+pub use pendulum::Pendulum;
+pub use thermal::ThermalPlant;

@@ -1,0 +1,144 @@
+//! Damped pendulum plant — a second domain-specific example scenario
+//! (position control with gravity nonlinearity).
+//!
+//! ```text
+//! J θ'' = τ − m g l sin(θ) − b θ'
+//! ```
+
+use crate::integrators::rk4_span;
+use peert_model::block::{Block, BlockCtx, PortCount};
+use serde::{Deserialize, Serialize};
+
+/// Pendulum parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PendulumParams {
+    /// Bob mass in kg.
+    pub mass: f64,
+    /// Rod length in m.
+    pub length: f64,
+    /// Viscous damping in N·m·s/rad.
+    pub damping: f64,
+    /// Gravity in m/s².
+    pub gravity: f64,
+}
+
+impl Default for PendulumParams {
+    fn default() -> Self {
+        PendulumParams { mass: 0.2, length: 0.3, damping: 0.01, gravity: 9.81 }
+    }
+}
+
+/// The pendulum block. Input 0: applied torque (N·m). Outputs: 0 = angle θ
+/// (rad, 0 = hanging down), 1 = angular velocity (rad/s).
+pub struct Pendulum {
+    /// Parameters.
+    pub params: PendulumParams,
+    /// Maximum RK4 sub-step in seconds.
+    pub max_substep: f64,
+    state: [f64; 2],
+}
+
+impl Pendulum {
+    /// Pendulum at rest, hanging down.
+    pub fn new(params: PendulumParams) -> Self {
+        Pendulum { params, max_substep: 100e-6, state: [0.0; 2] }
+    }
+
+    /// Current angle in rad.
+    pub fn angle(&self) -> f64 {
+        self.state[0]
+    }
+
+    /// Current angular velocity in rad/s.
+    pub fn velocity(&self) -> f64 {
+        self.state[1]
+    }
+
+    /// Advance by `dt` under applied torque `tau`.
+    pub fn advance(&mut self, tau: f64, dt: f64) {
+        let p = self.params;
+        let inertia = p.mass * p.length * p.length;
+        let f = move |_t: f64, s: &[f64; 2]| {
+            let (th, w) = (s[0], s[1]);
+            [w, (tau - p.mass * p.gravity * p.length * th.sin() - p.damping * w) / inertia]
+        };
+        self.state = rk4_span(f, 0.0, self.state, dt, self.max_substep);
+    }
+}
+
+impl Block for Pendulum {
+    fn type_name(&self) -> &'static str {
+        "Pendulum"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(1, 2)
+    }
+    fn feedthrough(&self) -> bool {
+        false
+    }
+    fn reset(&mut self) {
+        self.state = [0.0; 2];
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        ctx.set_output(0, self.state[0]);
+        ctx.set_output(1, self.state[1]);
+    }
+    fn update(&mut self, ctx: &mut BlockCtx) {
+        let tau = ctx.in_f64(0);
+        self.advance(tau, ctx.dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hangs_at_zero_without_torque() {
+        let mut p = Pendulum::new(PendulumParams::default());
+        for _ in 0..1000 {
+            p.advance(0.0, 1e-3);
+        }
+        assert!(p.angle().abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_torque_settles_at_equilibrium_angle() {
+        let params = PendulumParams::default();
+        let mut p = Pendulum::new(params);
+        // τ = m g l sin(θ*) → choose θ* = 30°
+        let theta_star = 30.0f64.to_radians();
+        let tau = params.mass * params.gravity * params.length * theta_star.sin();
+        for _ in 0..60_000 {
+            p.advance(tau, 1e-3);
+        }
+        assert!((p.angle() - theta_star).abs() < 1e-3, "settled at {}", p.angle());
+    }
+
+    #[test]
+    fn small_oscillation_frequency_matches_sqrt_g_over_l() {
+        let params = PendulumParams { damping: 0.0, ..Default::default() };
+        let mut p = Pendulum::new(params);
+        p.state = [0.05, 0.0]; // small release
+        // count the first zero crossing: quarter period
+        let dt = 1e-4;
+        let mut t = 0.0;
+        while p.angle() > 0.0 {
+            p.advance(0.0, dt);
+            t += dt;
+        }
+        let period = 4.0 * t;
+        let expect = std::f64::consts::TAU / (params.gravity / params.length).sqrt();
+        assert!((period - expect).abs() / expect < 0.01, "T={period} vs {expect}");
+    }
+
+    #[test]
+    fn damping_dissipates_energy() {
+        let mut p = Pendulum::new(PendulumParams::default());
+        p.state = [1.0, 0.0];
+        for _ in 0..20_000 {
+            p.advance(0.0, 1e-3);
+        }
+        assert!(p.angle().abs() < 0.05 && p.velocity().abs() < 0.05);
+    }
+}

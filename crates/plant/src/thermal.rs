@@ -1,0 +1,126 @@
+//! First-order thermal plant — a slow process for the event-driven /
+//! multi-rate example scenario.
+//!
+//! ```text
+//! C dT/dt = P_heater − (T − T_ambient) / R_th
+//! ```
+
+use crate::integrators::rk4_span;
+use peert_model::block::{Block, BlockCtx, PortCount};
+use serde::{Deserialize, Serialize};
+
+/// Thermal parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Heat capacity in J/K.
+    pub capacity: f64,
+    /// Thermal resistance to ambient in K/W.
+    pub resistance: f64,
+    /// Ambient temperature in °C.
+    pub ambient: f64,
+    /// Maximum heater power in W.
+    pub max_power: f64,
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        ThermalParams { capacity: 150.0, resistance: 2.0, ambient: 22.0, max_power: 50.0 }
+    }
+}
+
+/// The thermal plant block. Input 0: heater command `[0, 1]`.
+/// Output 0: temperature in °C.
+pub struct ThermalPlant {
+    /// Parameters.
+    pub params: ThermalParams,
+    temp: f64,
+}
+
+impl ThermalPlant {
+    /// Plant starting at ambient.
+    pub fn new(params: ThermalParams) -> Self {
+        ThermalPlant { temp: params.ambient, params }
+    }
+
+    /// Current temperature in °C.
+    pub fn temperature(&self) -> f64 {
+        self.temp
+    }
+
+    /// Advance by `dt` seconds with heater command `u ∈ [0, 1]`.
+    pub fn advance(&mut self, u: f64, dt: f64) {
+        let p = self.params;
+        let power = u.clamp(0.0, 1.0) * p.max_power;
+        let f = move |_t: f64, s: &[f64; 1]| [(power - (s[0] - p.ambient) / p.resistance) / p.capacity];
+        self.temp = rk4_span(f, 0.0, [self.temp], dt, 1.0)[0];
+    }
+
+    /// Steady-state temperature for a constant heater command.
+    pub fn steady_temp(&self, u: f64) -> f64 {
+        self.params.ambient + u.clamp(0.0, 1.0) * self.params.max_power * self.params.resistance
+    }
+}
+
+impl Block for ThermalPlant {
+    fn type_name(&self) -> &'static str {
+        "ThermalPlant"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(1, 1)
+    }
+    fn feedthrough(&self) -> bool {
+        false
+    }
+    fn reset(&mut self) {
+        self.temp = self.params.ambient;
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        ctx.set_output(0, self.temp);
+    }
+    fn update(&mut self, ctx: &mut BlockCtx) {
+        let u = ctx.in_f64(0);
+        self.advance(u, ctx.dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_at_ambient_without_power() {
+        let mut p = ThermalPlant::new(ThermalParams::default());
+        p.advance(0.0, 100.0);
+        assert!((p.temperature() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_power_approaches_steady_state() {
+        let mut p = ThermalPlant::new(ThermalParams::default());
+        let target = p.steady_temp(1.0);
+        for _ in 0..100 {
+            p.advance(1.0, 60.0); // 100 minutes
+        }
+        assert!((p.temperature() - target).abs() < 0.1, "{} vs {}", p.temperature(), target);
+    }
+
+    #[test]
+    fn time_constant_behaviour() {
+        let params = ThermalParams::default();
+        let tau = params.capacity * params.resistance;
+        let mut p = ThermalPlant::new(params);
+        p.advance(1.0, tau);
+        let target = p.steady_temp(1.0);
+        let frac = (p.temperature() - params.ambient) / (target - params.ambient);
+        assert!((frac - 0.632).abs() < 0.01, "63.2 % at one τ, got {frac}");
+    }
+
+    #[test]
+    fn heater_command_is_clamped() {
+        let mut a = ThermalPlant::new(ThermalParams::default());
+        let mut b = ThermalPlant::new(ThermalParams::default());
+        a.advance(9.0, 60.0);
+        b.advance(1.0, 60.0);
+        assert!((a.temperature() - b.temperature()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the plant models: physics invariants against
+//! closed-form solutions.
+
+use peert_plant::dcmotor::{DcMotor, DcMotorParams};
+use peert_plant::integrators::rk4_span;
+use peert_plant::pendulum::{Pendulum, PendulumParams};
+use peert_plant::thermal::{ThermalPlant, ThermalParams};
+use proptest::prelude::*;
+
+proptest! {
+    /// For any constant duty, the motor settles at the closed-form
+    /// steady-state speed.
+    #[test]
+    fn motor_settles_at_closed_form_speed(duty in 0.05f64..1.0, load in 0.0f64..0.03) {
+        let p = DcMotorParams::default();
+        let mut m = DcMotor::new(p);
+        for _ in 0..1500 {
+            m.advance(duty, load, 1.0, 1e-3);
+        }
+        let expect = p.steady_speed(duty * p.supply_volts, load);
+        prop_assert!(
+            (m.speed() - expect).abs() <= expect.abs().max(1.0) * 5e-3,
+            "duty {duty}: {} vs {}", m.speed(), expect
+        );
+    }
+
+    /// The motor's response is invariant to how the time span is chopped
+    /// (internal RK4 sub-stepping hides the caller's step size).
+    #[test]
+    fn motor_is_step_size_invariant(duty in 0.1f64..1.0, chunks in 1usize..20) {
+        let mut a = DcMotor::new(DcMotorParams::default());
+        let mut b = DcMotor::new(DcMotorParams::default());
+        a.advance(duty, 0.0, 1.0, 0.1);
+        for _ in 0..chunks {
+            b.advance(duty, 0.0, 1.0, 0.1 / chunks as f64);
+        }
+        prop_assert!((a.speed() - b.speed()).abs() < 1e-6);
+        prop_assert!((a.angle() - b.angle()).abs() < 1e-6);
+    }
+
+    /// The undriven, undamped pendulum conserves energy.
+    #[test]
+    fn undamped_pendulum_conserves_energy(theta0 in -2.0f64..2.0) {
+        let params = PendulumParams { damping: 0.0, ..Default::default() };
+        let mut p = Pendulum::new(params);
+        // release from rest at theta0 via a torque-free state hack:
+        // advance with the state set through small kicks is not exposed, so
+        // use the energy of the trajectory starting at rest: drive briefly
+        // to theta0 with a strong servo then release
+        let inertia = params.mass * params.length * params.length;
+        let energy = |p: &Pendulum| {
+            0.5 * inertia * p.velocity() * p.velocity()
+                + params.mass * params.gravity * params.length * (1.0 - p.angle().cos())
+        };
+        // kick the pendulum with an impulse to set initial energy
+        p.advance(theta0.signum() * 0.5, 0.05);
+        let e0 = energy(&p);
+        prop_assume!(e0 > 1e-6);
+        for _ in 0..200 {
+            p.advance(0.0, 5e-3);
+        }
+        let e1 = energy(&p);
+        prop_assert!((e1 - e0).abs() / e0 < 1e-3, "energy drift: {e0} -> {e1}");
+    }
+
+    /// The thermal plant's trajectory is a first-order exponential: its
+    /// value at time t matches the analytic solution.
+    #[test]
+    fn thermal_matches_the_analytic_exponential(u in 0.1f64..1.0, t in 10.0f64..600.0) {
+        let params = ThermalParams::default();
+        let mut plant = ThermalPlant::new(params);
+        plant.advance(u, t);
+        let tau = params.capacity * params.resistance;
+        let target = plant.steady_temp(u);
+        let analytic = target + (params.ambient - target) * (-t / tau).exp();
+        prop_assert!((plant.temperature() - analytic).abs() < 0.01,
+            "{} vs {}", plant.temperature(), analytic);
+    }
+
+    /// RK4 reproduces exponential decay to 1e-6 for any rate in range.
+    #[test]
+    fn rk4_decay_accuracy(rate in 0.1f64..5.0) {
+        let y = rk4_span(move |_, s: &[f64; 1]| [-rate * s[0]], 0.0, [1.0], 1.0, 0.01);
+        prop_assert!((y[0] - (-rate).exp()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,21 @@
+//! Real-time execution infrastructure — the runtime the PEERT target
+//! deploys generated code into (§5):
+//!
+//! "Periodic parts of the model code are executed nonpreemptively in a
+//! timer interrupt. Function-call subsystems that are executed
+//! asynchronously are executed within interrupt service routines of
+//! triggering events. The initialization is done in the main function.
+//! There can also be executed a manually written background task."
+//!
+//! [`sched`] implements exactly that task architecture on the simulated
+//! MCU; [`profile`] collects the quantities PIL simulation reports (§6):
+//! execution times, interrupt response times, sampling jitter, stack
+//! high-water marks and lost activations.
+
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod sched;
+
+pub use profile::{ProfileReport, TaskProfile};
+pub use sched::{Executive, TaskWork};

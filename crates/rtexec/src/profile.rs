@@ -1,0 +1,203 @@
+//! Execution profiling: the measurements PIL simulation surfaces (§6).
+
+use peert_mcu::Cycles;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Statistics of one task (periodic or event-driven).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TaskProfile {
+    /// Completed activations.
+    pub activations: u64,
+    /// Execution-time minimum in cycles.
+    pub exec_min: Cycles,
+    /// Execution-time maximum in cycles.
+    pub exec_max: Cycles,
+    /// Execution-time sum (for the mean).
+    pub exec_sum: Cycles,
+    /// Interrupt response (assert → start) minimum in cycles.
+    pub response_min: Cycles,
+    /// Interrupt response maximum in cycles.
+    pub response_max: Cycles,
+    /// Response sum.
+    pub response_sum: Cycles,
+    /// Start times of each activation (for jitter analysis; capped).
+    pub starts: Vec<Cycles>,
+}
+
+/// Cap on recorded start timestamps (enough for jitter statistics without
+/// unbounded growth on long runs).
+const MAX_STARTS: usize = 100_000;
+
+impl TaskProfile {
+    /// Record one completed activation.
+    pub fn record(&mut self, asserted: Cycles, started: Cycles, finished: Cycles) {
+        let exec = finished.saturating_sub(started);
+        let resp = started.saturating_sub(asserted);
+        if self.activations == 0 {
+            self.exec_min = exec;
+            self.exec_max = exec;
+            self.response_min = resp;
+            self.response_max = resp;
+        } else {
+            self.exec_min = self.exec_min.min(exec);
+            self.exec_max = self.exec_max.max(exec);
+            self.response_min = self.response_min.min(resp);
+            self.response_max = self.response_max.max(resp);
+        }
+        self.exec_sum += exec;
+        self.response_sum += resp;
+        self.activations += 1;
+        if self.starts.len() < MAX_STARTS {
+            self.starts.push(started);
+        }
+    }
+
+    /// Mean execution time in cycles.
+    pub fn exec_mean(&self) -> f64 {
+        if self.activations == 0 {
+            0.0
+        } else {
+            self.exec_sum as f64 / self.activations as f64
+        }
+    }
+
+    /// Mean response time in cycles.
+    pub fn response_mean(&self) -> f64 {
+        if self.activations == 0 {
+            0.0
+        } else {
+            self.response_sum as f64 / self.activations as f64
+        }
+    }
+
+    /// Peak-to-peak start jitter relative to the nominal `period`:
+    /// `max_i |Δstart_i − period|` over successive activations.
+    pub fn start_jitter(&self, period: Cycles) -> Cycles {
+        self.starts
+            .windows(2)
+            .map(|w| {
+                let delta = w[1] - w[0];
+                delta.abs_diff(period)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The full run report.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Per-task statistics, keyed by task name.
+    pub tasks: BTreeMap<String, TaskProfile>,
+    /// Stack high-water mark in bytes.
+    pub stack_high_water: u32,
+    /// Whether the stack overflowed.
+    pub stack_overflow: bool,
+    /// Interrupt requests lost (vector already pending).
+    pub lost_interrupts: u64,
+    /// Cycles spent idle.
+    pub idle_cycles: Cycles,
+    /// Cycles spent in the background task.
+    pub background_cycles: Cycles,
+    /// Total simulated cycles.
+    pub total_cycles: Cycles,
+}
+
+impl ProfileReport {
+    /// CPU utilization (non-idle fraction).
+    pub fn utilization(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        1.0 - self.idle_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Text rendering (the PIL console output).
+    pub fn render(&self, bus_hz: f64) -> String {
+        let us = |c: Cycles| c as f64 / bus_hz * 1e6;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run: {} cycles, utilization {:.1} %, stack high water {} B{}, lost IRQs {}\n",
+            self.total_cycles,
+            self.utilization() * 100.0,
+            self.stack_high_water,
+            if self.stack_overflow { " (OVERFLOW)" } else { "" },
+            self.lost_interrupts
+        ));
+        for (name, t) in &self.tasks {
+            out.push_str(&format!(
+                "  {name:<16} n={:<7} exec [{:.1}..{:.1}] µs mean {:.1} µs   response [{:.1}..{:.1}] µs\n",
+                t.activations,
+                us(t.exec_min),
+                us(t.exec_max),
+                t.exec_mean() / bus_hz * 1e6,
+                us(t.response_min),
+                us(t.response_max),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_min_max_mean() {
+        let mut p = TaskProfile::default();
+        p.record(0, 10, 110); // resp 10, exec 100
+        p.record(200, 230, 280); // resp 30, exec 50
+        assert_eq!(p.activations, 2);
+        assert_eq!(p.exec_min, 50);
+        assert_eq!(p.exec_max, 100);
+        assert_eq!(p.exec_mean(), 75.0);
+        assert_eq!(p.response_min, 10);
+        assert_eq!(p.response_max, 30);
+        assert_eq!(p.response_mean(), 20.0);
+    }
+
+    #[test]
+    fn jitter_of_a_perfect_grid_is_zero() {
+        let mut p = TaskProfile::default();
+        for i in 0..10u64 {
+            p.record(i * 1000, i * 1000 + 5, i * 1000 + 50);
+        }
+        assert_eq!(p.start_jitter(1000), 0);
+    }
+
+    #[test]
+    fn jitter_detects_a_late_start() {
+        let mut p = TaskProfile::default();
+        p.record(0, 0, 10);
+        p.record(1000, 1300, 1310); // 300 late
+        p.record(2000, 2000, 2010); // back on grid: delta 700
+        assert_eq!(p.start_jitter(1000), 300);
+    }
+
+    #[test]
+    fn empty_profile_is_benign() {
+        let p = TaskProfile::default();
+        assert_eq!(p.exec_mean(), 0.0);
+        assert_eq!(p.start_jitter(100), 0);
+    }
+
+    #[test]
+    fn report_utilization_and_render() {
+        let mut r = ProfileReport {
+            total_cycles: 1000,
+            idle_cycles: 600,
+            ..Default::default()
+        };
+        r.tasks.insert("ctl".into(), {
+            let mut t = TaskProfile::default();
+            t.record(0, 5, 105);
+            t
+        });
+        assert!((r.utilization() - 0.4).abs() < 1e-12);
+        let text = r.render(60.0e6);
+        assert!(text.contains("utilization 40.0 %"));
+        assert!(text.contains("ctl"));
+    }
+}

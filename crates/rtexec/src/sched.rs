@@ -1,0 +1,293 @@
+//! The PEERT runtime scheduler on the simulated MCU.
+//!
+//! §5's task architecture, verbatim: periodic model code runs
+//! *non-preemptively* inside the timer interrupt; asynchronous
+//! function-call subsystems run inside the ISRs of their triggering
+//! events; a manually written background task consumes the remaining CPU.
+//! Because execution is non-preemptive, any running task delays the
+//! dispatch of the next interrupt — the source of the response-time and
+//! jitter effects E7 measures.
+
+use crate::profile::{ProfileReport, TaskProfile};
+use peert_mcu::board::Mcu;
+use peert_mcu::interrupt::IrqVector;
+use peert_mcu::Cycles;
+use std::collections::HashMap;
+
+/// Functional work attached to a task: called once per completed
+/// activation with the completion time. This is where the co-simulation
+/// harness steps the controller model — semantically the generated code.
+pub type TaskWork = Box<dyn FnMut(Cycles) + Send>;
+
+struct IsrTask {
+    name: String,
+    cycles: Cycles,
+    stack_bytes: u32,
+    work: Option<TaskWork>,
+}
+
+/// The executive: ISR task table + optional background task on one MCU.
+pub struct Executive {
+    /// The chip this executive runs on.
+    pub mcu: Mcu,
+    tasks: HashMap<u16, IsrTask>,
+    /// Background task burst length in cycles (None = pure idle loop).
+    background_burst: Option<Cycles>,
+    /// Dispatch granularity while idle (models the main-loop poll length).
+    idle_quantum: Cycles,
+    profiles: HashMap<String, TaskProfile>,
+    idle_cycles: Cycles,
+    background_cycles: Cycles,
+    started_at: Cycles,
+}
+
+impl Executive {
+    /// New executive over a configured MCU.
+    pub fn new(mcu: Mcu) -> Self {
+        Executive {
+            mcu,
+            tasks: HashMap::new(),
+            background_burst: None,
+            idle_quantum: 20,
+            profiles: HashMap::new(),
+            idle_cycles: 0,
+            background_cycles: 0,
+            started_at: 0,
+        }
+    }
+
+    /// Attach an ISR task to an interrupt vector. `cycles` is the task
+    /// body cost (ISR entry/exit overhead is charged by the executive),
+    /// `work` the functional side effect per activation.
+    pub fn attach(
+        &mut self,
+        vector: IrqVector,
+        name: &str,
+        cycles: Cycles,
+        stack_bytes: u32,
+        work: Option<TaskWork>,
+    ) {
+        self.tasks.insert(
+            vector.0,
+            IsrTask { name: name.to_string(), cycles, stack_bytes, work },
+        );
+        self.profiles.entry(name.to_string()).or_default();
+    }
+
+    /// Configure the background task: each iteration runs `burst` cycles
+    /// with interrupts held off (non-preemptive §5) — the knob E7 sweeps.
+    pub fn set_background_burst(&mut self, burst: Option<Cycles>) {
+        self.background_burst = burst;
+    }
+
+    /// Set the idle-loop poll granularity in cycles.
+    pub fn set_idle_quantum(&mut self, q: Cycles) {
+        self.idle_quantum = q.max(1);
+    }
+
+    /// Enable interrupts and mark the profiling epoch (the end of the
+    /// generated `main()` init section).
+    pub fn start(&mut self) {
+        self.mcu.intc.set_global_enable(true);
+        self.started_at = self.mcu.now();
+    }
+
+    /// Run the CPU loop until absolute cycle `until`.
+    pub fn run_until(&mut self, until: Cycles) {
+        while self.mcu.now() < until {
+            let now = self.mcu.now();
+            if let Some(d) = self.mcu.intc.dispatch(now) {
+                let table = self.mcu.spec.cost_table();
+                let Some(task) = self.tasks.get_mut(&d.vector.0) else {
+                    // spurious vector: charge entry/exit only
+                    self.mcu.advance((table.isr_entry + table.isr_exit) as Cycles);
+                    continue;
+                };
+                self.mcu.stack.push(table.isr_frame_bytes + task.stack_bytes);
+                let start = now + table.isr_entry as Cycles;
+                let finish = start + task.cycles;
+                // the ISR body runs with further dispatch held off
+                self.mcu.advance_to(finish + table.isr_exit as Cycles);
+                if let Some(work) = task.work.as_mut() {
+                    work(finish);
+                }
+                self.mcu.stack.pop(table.isr_frame_bytes + task.stack_bytes);
+                self.profiles
+                    .get_mut(&task.name)
+                    .expect("profile registered with the task")
+                    .record(d.asserted_at, start, finish);
+            } else if let Some(burst) = self.background_burst {
+                // one non-preemptible background iteration
+                self.mcu.advance(burst);
+                self.background_cycles += burst;
+            } else {
+                self.mcu.advance(self.idle_quantum);
+                self.idle_cycles += self.idle_quantum;
+            }
+        }
+    }
+
+    /// Run for a duration in seconds.
+    pub fn run_for_secs(&mut self, secs: f64) {
+        let cycles = self.mcu.clock.secs_to_cycles(secs);
+        let until = self.mcu.now() + cycles;
+        self.run_until(until);
+    }
+
+    /// Profiling report for the run so far.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            tasks: self.profiles.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            stack_high_water: self.mcu.stack.high_water(),
+            stack_overflow: self.mcu.stack.overflowed(),
+            lost_interrupts: self.mcu.intc.lost_count(),
+            idle_cycles: self.idle_cycles,
+            background_cycles: self.background_cycles,
+            total_cycles: self.mcu.now() - self.started_at,
+        }
+    }
+
+    /// The profile of one task.
+    pub fn profile(&self, name: &str) -> Option<&TaskProfile> {
+        self.profiles.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peert_mcu::board::vectors;
+    use peert_mcu::McuCatalog;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn mcu_1khz_timer() -> Mcu {
+        let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        let mut mcu = Mcu::new(&spec);
+        mcu.intc.configure(vectors::timer(0), 5);
+        mcu.timers[0].configure(1, 60_000).unwrap(); // 1 kHz at 60 MHz
+        mcu.timers[0].start(0);
+        mcu
+    }
+
+    #[test]
+    fn periodic_task_runs_at_the_timer_rate() {
+        let mut exec = Executive::new(mcu_1khz_timer());
+        let count = Arc::new(AtomicU64::new(0));
+        let c = count.clone();
+        exec.attach(
+            vectors::timer(0),
+            "ctl",
+            3000, // 50 µs body
+            64,
+            Some(Box::new(move |_t| {
+                c.fetch_add(1, Ordering::SeqCst);
+            })),
+        );
+        exec.start();
+        exec.run_for_secs(0.1);
+        let n = count.load(Ordering::SeqCst);
+        assert!((99..=101).contains(&n), "≈100 activations in 100 ms, got {n}");
+        let p = exec.profile("ctl").unwrap();
+        assert_eq!(p.exec_min, 3000);
+        assert_eq!(p.exec_max, 3000);
+    }
+
+    #[test]
+    fn idle_system_has_low_response_latency_and_jitter() {
+        let mut exec = Executive::new(mcu_1khz_timer());
+        exec.attach(vectors::timer(0), "ctl", 3000, 64, None);
+        exec.start();
+        exec.run_for_secs(0.05);
+        let p = exec.profile("ctl").unwrap();
+        let entry = exec.mcu.spec.cost_table().isr_entry as u64;
+        assert!(p.response_max <= exec.mcu.spec.cost_table().isr_entry as u64 + 20 + 1,
+            "idle response bounded by quantum+entry, got {}", p.response_max);
+        assert!(p.start_jitter(60_000) <= 20 + entry);
+    }
+
+    #[test]
+    fn background_load_inflates_response_and_jitter() {
+        let mut quiet = Executive::new(mcu_1khz_timer());
+        quiet.attach(vectors::timer(0), "ctl", 3000, 64, None);
+        quiet.start();
+        quiet.run_for_secs(0.05);
+
+        let mut busy = Executive::new(mcu_1khz_timer());
+        busy.attach(vectors::timer(0), "ctl", 3000, 64, None);
+        busy.set_background_burst(Some(30_000)); // 0.5 ms non-preemptible bursts
+        busy.start();
+        busy.run_for_secs(0.05);
+
+        let rq = quiet.profile("ctl").unwrap().response_max;
+        let rb = busy.profile("ctl").unwrap().response_max;
+        assert!(rb > 10 * rq, "long bursts delay the timer ISR: {rb} vs {rq}");
+        assert!(
+            busy.profile("ctl").unwrap().start_jitter(60_000)
+                > quiet.profile("ctl").unwrap().start_jitter(60_000)
+        );
+    }
+
+    #[test]
+    fn overload_loses_activations() {
+        let mut exec = Executive::new(mcu_1khz_timer());
+        // 1.5 ms body on a 1 ms period: permanent overrun
+        exec.attach(vectors::timer(0), "ctl", 90_000, 64, None);
+        exec.start();
+        exec.run_for_secs(0.05);
+        let report = exec.report();
+        assert!(report.lost_interrupts > 0, "missed rollovers under overload");
+        let p = exec.profile("ctl").unwrap();
+        assert!(p.activations < 50);
+    }
+
+    #[test]
+    fn event_task_runs_on_its_interrupt() {
+        let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        let mut mcu = Mcu::new(&spec);
+        mcu.intc.configure(vectors::adc(0), 4);
+        let mut exec = Executive::new(mcu);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        exec.attach(
+            vectors::adc(0),
+            "adc_eoc",
+            500,
+            32,
+            Some(Box::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            })),
+        );
+        exec.start();
+        exec.run_until(100);
+        // fire the ADC end-of-conversion by hand at t=100
+        exec.mcu.intc.request(vectors::adc(0), 100);
+        exec.run_until(10_000);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stack_accounting_reaches_the_report() {
+        let mut exec = Executive::new(mcu_1khz_timer());
+        exec.attach(vectors::timer(0), "ctl", 1000, 100, None);
+        exec.start();
+        exec.run_for_secs(0.01);
+        let report = exec.report();
+        let expect = exec.mcu.spec.cost_table().isr_frame_bytes + 100;
+        assert_eq!(report.stack_high_water, expect);
+        assert!(!report.stack_overflow);
+    }
+
+    #[test]
+    fn utilization_grows_with_task_cost() {
+        let mut light = Executive::new(mcu_1khz_timer());
+        light.attach(vectors::timer(0), "ctl", 600, 16, None);
+        light.start();
+        light.run_for_secs(0.05);
+        let mut heavy = Executive::new(mcu_1khz_timer());
+        heavy.attach(vectors::timer(0), "ctl", 30_000, 16, None);
+        heavy.start();
+        heavy.run_for_secs(0.05);
+        assert!(heavy.report().utilization() > light.report().utilization() + 0.3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the executive: activation accounting and
+//! profiling invariants under random loads.
+
+use peert_mcu::board::{vectors, Mcu};
+use peert_mcu::McuCatalog;
+use peert_rtexec::Executive;
+use proptest::prelude::*;
+
+fn mcu_with_timer(period_cycles: u32) -> Mcu {
+    let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+    let mut mcu = Mcu::new(&spec);
+    mcu.intc.configure(vectors::timer(0), 5);
+    mcu.timers[0].configure(1, period_cycles).unwrap();
+    mcu.timers[0].start(0);
+    mcu
+}
+
+proptest! {
+    // each case simulates tens of ms of MCU time; keep the suite quick
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No activation is ever unaccounted: rollovers = completed + lost +
+    /// (≤1 still pending).
+    #[test]
+    fn activations_plus_losses_equal_rollovers(
+        period in 5_000u32..120_000,
+        body in 100u64..150_000,
+        burst in prop::option::of(1_000u64..200_000),
+        run_ms in 10u64..80,
+    ) {
+        let mut exec = Executive::new(mcu_with_timer(period));
+        exec.attach(vectors::timer(0), "t", body, 32, None);
+        exec.set_background_burst(burst);
+        exec.start();
+        exec.run_for_secs(run_ms as f64 * 1e-3);
+        let rollovers = exec.mcu.timers[0].rollovers();
+        let done = exec.profile("t").unwrap().activations;
+        let lost = exec.mcu.intc.lost_count();
+        let pending = exec.mcu.intc.pending_count() as u64;
+        prop_assert_eq!(rollovers, done + lost + pending,
+            "rollovers {} = done {} + lost {} + pending {}", rollovers, done, lost, pending);
+    }
+
+    /// Execution time is always exactly the configured body cost, and the
+    /// response time is never less than the ISR entry cost.
+    #[test]
+    fn profile_invariants_hold(
+        body in 100u64..50_000,
+        burst in prop::option::of(1_000u64..100_000),
+    ) {
+        let mut exec = Executive::new(mcu_with_timer(60_000));
+        exec.attach(vectors::timer(0), "t", body, 32, None);
+        exec.set_background_burst(burst);
+        exec.start();
+        exec.run_for_secs(0.03);
+        let p = exec.profile("t").unwrap();
+        prop_assume!(p.activations > 0);
+        prop_assert_eq!(p.exec_min, body);
+        prop_assert_eq!(p.exec_max, body);
+        let entry = exec.mcu.spec.cost_table().isr_entry as u64;
+        prop_assert!(p.response_min >= entry);
+        if let Some(b) = burst {
+            // non-preemption bound: response ≤ entry + burst (+ quantum slack)
+            prop_assert!(p.response_max <= entry + b + 1);
+        }
+    }
+
+    /// Utilization is in [0, 1] and grows monotonically with body cost at
+    /// a fixed period.
+    #[test]
+    fn utilization_is_bounded_and_monotone(b1 in 500u64..20_000, extra in 1_000u64..30_000) {
+        let util = |body: u64| {
+            let mut exec = Executive::new(mcu_with_timer(60_000));
+            exec.attach(vectors::timer(0), "t", body, 32, None);
+            exec.start();
+            exec.run_for_secs(0.02);
+            exec.report().utilization()
+        };
+        let u1 = util(b1);
+        let u2 = util(b1 + extra);
+        prop_assert!((0.0..=1.0).contains(&u1));
+        prop_assert!((0.0..=1.0).contains(&u2));
+        prop_assert!(u2 >= u1 - 1e-9, "more work, more utilization: {u1} vs {u2}");
+    }
+
+    /// The stack never overflows for loads within capacity, and its
+    /// high-water mark equals isr frame + task bytes.
+    #[test]
+    fn stack_high_water_is_exact(task_bytes in 0u32..500) {
+        let mut exec = Executive::new(mcu_with_timer(60_000));
+        exec.attach(vectors::timer(0), "t", 1_000, task_bytes, None);
+        exec.start();
+        exec.run_for_secs(0.01);
+        let expect = exec.mcu.spec.cost_table().isr_frame_bytes + task_bytes;
+        let report = exec.report();
+        prop_assert_eq!(report.stack_high_water, expect);
+        prop_assert_eq!(report.stack_overflow, expect > exec.mcu.stack.capacity());
+    }
+}

@@ -1,0 +1,52 @@
+//! The Bean Inspector (Fig 4.1): configure beans at high level, let the
+//! expert system validate each edit against the MCU knowledge base, and
+//! watch the prescaler solver auto-complete the hardware settings.
+//!
+//! ```sh
+//! cargo run --example bean_inspector
+//! ```
+
+use peert_beans::bean::{Bean, BeanConfig};
+use peert_beans::catalog::{AdcBean, PwmBean, TimerIntBean};
+use peert_beans::{Inspector, PropertyValue};
+use peert_mcu::McuCatalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = McuCatalog::standard();
+    let mc56 = catalog.find("MC56F8367").unwrap().clone();
+    let hcs12 = catalog.find("MC9S12DP256").unwrap().clone();
+
+    // --- a TimerInt bean: the expert system solves the prescaler ---
+    let mut ti = TimerIntBean::new(1e-3);
+    let sol = ti.resolve(&mc56)?;
+    println!("TimerInt: requested 1 ms on the {} → prescaler {} × modulo {} = {} bus cycles\n",
+        mc56.name, sol.prescaler, sol.modulo, sol.prescaler as u64 * sol.modulo as u64);
+
+    let mut bean = Bean { name: "TI1".into(), config: BeanConfig::TimerInt(ti) };
+    println!("{}", Inspector::render(&bean, Some(&mc56)));
+
+    // --- edits validate immediately ---
+    println!("setting an out-of-range priority (9):");
+    match Inspector::set(&mut bean, "interrupt priority", PropertyValue::Int(9), Some(&mc56)) {
+        Err(e) => println!("  refused: {e}\n"),
+        Ok(_) => unreachable!("priority 9 must be refused"),
+    }
+
+    // --- an ADC bean ported to a part that cannot do 12 bits ---
+    let mut adc = Bean { name: "AD1".into(), config: BeanConfig::Adc(AdcBean::new(10, 0)) };
+    println!("raising the ADC to 12 bits while targeting the {}:", hcs12.name);
+    match Inspector::set(&mut adc, "resolution [bits]", PropertyValue::Int(12), Some(&hcs12)) {
+        Err(e) => println!("  refused and rolled back: {e}"),
+        Ok(_) => unreachable!("12 bits must be refused on the HCS12"),
+    }
+    println!("  ...but the same edit targeting the {} succeeds:", mc56.name);
+    Inspector::set(&mut adc, "resolution [bits]", PropertyValue::Int(12), Some(&mc56))?;
+    println!("  accepted.\n");
+
+    // --- a PWM bean with a warning-level finding ---
+    let pwm = Bean { name: "PWM1".into(), config: BeanConfig::Pwm(PwmBean::new(20_000.0)) };
+    println!("{}", Inspector::render(&pwm, Some(&hcs12)));
+    println!("(the HCS12's 8-bit PWM register leaves few duty levels at 20 kHz — a warning,\n \
+              exactly the kind of silent quality loss §3.1 says unvalidated targets miss)");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! The full Fig 6.1 development cycle: MIL simulation → model/project
+//! synchronization → PEERT code generation (with the expert system in the
+//! loop) → PIL simulation over the RS-232 line — and the validation data
+//! each phase produces.
+//!
+//! ```sh
+//! cargo run --example development_cycle
+//! ```
+
+use peert::servo::{servo_project, ServoOptions};
+use peert::workflow::run_codegen;
+use peert::sync::SyncedProject;
+use peert::hil::run_hil;
+use peert::workflow::run_development_cycle;
+use peert_beans::Inspector;
+use peert_control::setpoint::SetpointProfile;
+use peert_mcu::McuCatalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut opts = ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+        load_step: None,
+        ..Default::default()
+    };
+    // 500 Hz so the 115200-baud PIL link fits the period (see E6)
+    opts.control_period_s = 2e-3;
+    opts.pid.ts = 2e-3;
+
+    println!("=== Phase 0: the model's PE blocks sync into the PE project ===");
+    let mut synced = SyncedProject::new("MC56F8367");
+    for (name, bean) in servo_project(&opts, "MC56F8367")
+        .beans()
+        .iter()
+        .map(|b| (b.name.clone(), b.config.clone()))
+    {
+        synced.model_add(&name, bean)?;
+    }
+    synced.sync();
+    assert!(synced.is_consistent());
+    println!("model and PE project consistent: {} beans\n", synced.project().beans().len());
+
+    let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+    let qd = synced.project().find("QD1").unwrap();
+    println!("{}", Inspector::render(qd, Some(&spec)));
+
+    println!("=== Phases 1-3: MIL → codegen → PIL ===");
+    let report = run_development_cycle(&opts, "MC56F8367", 115_200, 0.5)?;
+
+    println!("\n[MIL]  rise {:.3} s, overshoot {:.1} %, steady error {:.2} rad/s",
+        report.mil.metrics.rise_time,
+        report.mil.metrics.overshoot * 100.0,
+        report.mil.metrics.steady_state_error);
+
+    println!("\n[codegen] {}", report.codegen.row());
+    let build = run_codegen(&opts, "MC56F8367")?;
+    let out_dir = std::path::Path::new("target/generated/servo");
+    let written = build.code.source.write_to(out_dir)?;
+    println!("          sources written to {}:", out_dir.display());
+    for p in &written {
+        println!("            {}", p.file_name().unwrap().to_string_lossy());
+    }
+    println!("          generation took {} µs; the §2 manual rate (6 LoC/day) would need {:.1} working days",
+        report.codegen.gen_micros, report.codegen.manual_days_equivalent);
+
+    let bus = spec.bus_hz();
+    println!("\n[PIL]  {} exchanges over RS-232 at 115200 baud", report.pil.steps);
+    println!("       mean step {:.3} ms ({:.1} % communication)",
+        report.pil.mean_step_cycles() / bus * 1e3,
+        report.pil.comm_fraction() * 100.0);
+    println!("       minimum feasible control period: {:.3} ms",
+        report.pil.min_feasible_period_s(bus) * 1e3);
+    println!("       deadline misses: {}", report.pil.deadline_misses);
+    println!("\n[PIL vs MIL] speed-trajectory RMS deviation: {:.3} rad/s", report.pil_vs_mil_rms);
+
+    println!("\n=== Phase 4: HIL — the production configuration on the chip registers ===");
+    let hil = run_hil(&opts, "MC56F8367", 0.5)?;
+    let ctl = &hil.profile.tasks["ctl_step"];
+    println!("[HIL]  {} timer-ISR activations, exec {:.1} µs, start jitter {:.2} µs",
+        ctl.activations,
+        ctl.exec_mean() / bus * 1e6,
+        ctl.start_jitter(spec.clock.secs_to_cycles(opts.control_period_s)) as f64 / bus * 1e6);
+    println!("       stack high water {} B of {} B", hil.profile.stack_high_water, spec.stack_bytes);
+    println!("       HIL vs MIL speed RMS: {:.3} rad/s", hil.speed.rms_diff(&report.mil.speed));
+    println!("\ndevelopment cycle complete — no gap between the model and the implementation");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Portability (§1): "The model with the PE blocks can be moreover
+//! extremely simply ported to another MCU by selecting another CPU bean in
+//! the PE project window." — retarget the unchanged servo model across the
+//! whole catalog and compare the resulting applications.
+//!
+//! ```sh
+//! cargo run --example multi_mcu_port
+//! ```
+
+use peert::servo::ServoOptions;
+use peert::workflow::run_codegen;
+use peert_control::setpoint::SetpointProfile;
+use peert_mcu::McuCatalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+        load_step: None,
+        ..Default::default()
+    };
+
+    println!("retargeting the unchanged servo model across the MCU catalog:\n");
+    println!(
+        "{:<12} {:<22} {:>9} {:>10} {:>9} {:>9}",
+        "CPU bean", "core", "µs/step", "util@1kHz", "flash[B]", "fits?"
+    );
+
+    let mut reference_source: Option<String> = None;
+    for spec in McuCatalog::standard().specs() {
+        match run_codegen(&opts, &spec.name) {
+            Ok(out) => {
+                let src = out.code.source.file("servo.c").unwrap().text.clone();
+                if let Some(reference) = &reference_source {
+                    assert_eq!(
+                        reference, &src,
+                        "the generated controller C must be identical on every target"
+                    );
+                } else {
+                    reference_source = Some(src);
+                }
+                println!(
+                    "{:<12} {:<22} {:>9.2} {:>9.2}% {:>9} {:>9}",
+                    spec.name,
+                    format!("{:?}", spec.family),
+                    out.image.step_time_secs(&out.spec) * 1e6,
+                    out.image.utilization(&out.spec, 1e-3) * 100.0,
+                    out.image.flash_bytes,
+                    out.image.fits(&out.spec),
+                );
+            }
+            Err(e) => {
+                println!("{:<12} {:<22} {}", spec.name, format!("{:?}", spec.family), e);
+            }
+        }
+    }
+
+    println!("\nthe controller C source was byte-identical on every successful target —");
+    println!("only the PE hardware-abstraction layer differs (§5: tlc files use only the");
+    println!("uniform bean API). The MC9S08GB60 port is *rejected by the expert system*,");
+    println!("not silently broken: it has no quadrature-decoder block for the encoder.");
+    Ok(())
+}

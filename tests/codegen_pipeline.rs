@@ -1,0 +1,99 @@
+//! Integration: code generation across crates — controller subsystem →
+//! PEERT target (expert system, TLC templates, main.c) → task image.
+
+use peert::servo::{servo_project, ControllerArithmetic, ServoOptions};
+use peert::workflow::run_codegen;
+use peert_beans::ExpertSystem;
+use peert_codegen::report::MANUAL_LOC_PER_DAY;
+use peert_control::setpoint::SetpointProfile;
+use peert_mcu::McuCatalog;
+
+fn quick() -> ServoOptions {
+    ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+        load_step: None,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn generated_sources_contain_the_whole_application() {
+    let out = run_codegen(&quick(), "MC56F8367").unwrap();
+    let names: Vec<&str> = out.code.source.files.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, vec!["peert_types.h", "servo.h", "servo.c", "main.c"]);
+    let c = &out.code.source.file("servo.c").unwrap().text;
+    // every PE block turned into its bean API call
+    assert!(c.contains("QD1_GetPosition"));
+    assert!(c.contains("PWM1_SetRatio16"));
+    // the PID body is there
+    assert!(c.contains("pid_i"));
+    // main.c deploys the periodic step in the timer ISR (§5)
+    let main_c = &out.code.source.file("main.c").unwrap().text;
+    assert!(main_c.contains("TI1_OnInterrupt"));
+    assert!(main_c.contains("background task"));
+}
+
+#[test]
+fn the_expert_system_allocated_every_bean() {
+    let out = run_codegen(&quick(), "MC56F8367").unwrap();
+    for bean in ["TI1", "QD1", "PWM1"] {
+        assert!(out.allocation.instance_of(bean).is_some(), "{bean} allocated");
+    }
+}
+
+#[test]
+fn image_resources_scale_sensibly_across_cores() {
+    let dsp = run_codegen(&quick(), "MC56F8367").unwrap();
+    let ppc = run_codegen(&quick(), "MPC5554").unwrap();
+    let hcs12 = run_codegen(&quick(), "MC9S12DP256").unwrap();
+    // float controller: FPU part much faster than the software-float DSP
+    assert!(ppc.image.step_time_secs(&ppc.spec) < dsp.image.step_time_secs(&dsp.spec) / 5.0);
+    // the slow 24 MHz 16-bit part is the slowest of the three
+    assert!(hcs12.image.step_time_secs(&hcs12.spec) > dsp.image.step_time_secs(&dsp.spec));
+    // all fit their parts
+    for out in [&dsp, &ppc, &hcs12] {
+        assert!(out.image.fits(&out.spec));
+        assert!(out.image.utilization(&out.spec, 1e-3) < 0.5);
+    }
+}
+
+#[test]
+fn fixed_point_build_is_leaner_on_the_dsp() {
+    let float_build = run_codegen(&quick(), "MC56F8367").unwrap();
+    let q15_build = run_codegen(
+        &ServoOptions { arithmetic: ControllerArithmetic::FixedQ15 { scale: 250.0 }, ..quick() },
+        "MC56F8367",
+    )
+    .unwrap();
+    assert!(q15_build.image.step_cycles * 2 < float_build.image.step_cycles);
+    assert!(q15_build.image.ram_bytes <= float_build.image.ram_bytes);
+}
+
+#[test]
+fn productivity_contrast_matches_section_2() {
+    let out = run_codegen(&quick(), "MC56F8367").unwrap();
+    // generation runs in microseconds; §2's manual process would take days
+    assert!(out.report.gen_micros < 5_000_000);
+    assert!(out.report.manual_days_equivalent > 5.0);
+    assert!((out.report.manual_days_equivalent - out.report.loc as f64 / MANUAL_LOC_PER_DAY).abs() < 1e-9);
+}
+
+#[test]
+fn mode_logic_variant_generates_the_chart_and_buttons() {
+    let opts = ServoOptions { mode_logic: true, ..quick() };
+    let out = run_codegen(&opts, "MC56F8367").unwrap();
+    let c = &out.code.source.file("servo.c").unwrap().text;
+    assert!(c.contains("BTN_AUTO_GetVal"), "button bean API generated");
+    assert!(c.contains("switch (mode_state)"), "chart switch skeleton generated");
+}
+
+#[test]
+fn project_validation_is_idempotent() {
+    let opts = quick();
+    let project = servo_project(&opts, "MC56F8367");
+    let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+    let (f1, a1) = ExpertSystem::check(&project, &spec);
+    let (f2, a2) = ExpertSystem::check(&project, &spec);
+    assert_eq!(f1, f2);
+    assert_eq!(a1.is_some(), a2.is_some());
+}

@@ -1,0 +1,102 @@
+//! Integration: the MIL phase across crates — model engine + PE blocks +
+//! plant + controller, on the paper's single-model approach (§5).
+
+use peert::servo::{
+    build_servo_model, ControllerArithmetic, Feedback, ServoOptions,
+};
+use peert_control::metrics::StepMetrics;
+use peert_control::setpoint::SetpointProfile;
+
+fn quick() -> ServoOptions {
+    ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+        load_step: None,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn the_case_study_loop_settles_within_spec() {
+    let mut model = build_servo_model(&quick()).unwrap();
+    model.run(0.8).unwrap();
+    let log = model.speed_log.lock().clone();
+    let m = StepMetrics::from_response(&log.t, &log.y, 150.0, 0.02);
+    assert!(m.rise_time > 0.05 && m.rise_time < 0.4, "rise {:.3}", m.rise_time);
+    assert!(m.overshoot < 0.10, "overshoot {:.3}", m.overshoot);
+    assert!(m.steady_state_error.abs() < 1.0, "ss err {:.3}", m.steady_state_error);
+}
+
+#[test]
+fn duty_commands_stay_in_the_actuator_range() {
+    let mut model = build_servo_model(&quick()).unwrap();
+    model.run(0.5).unwrap();
+    let duty = model.duty_log.lock().clone();
+    assert!(!duty.is_empty());
+    assert!(duty.y.iter().all(|&u| (0.0..=1.0).contains(&u)), "PWM duty bounded");
+}
+
+#[test]
+fn q15_and_float_controllers_agree_in_closed_loop() {
+    let mut float_model = build_servo_model(&quick()).unwrap();
+    float_model.run(0.6).unwrap();
+    let mut q15_model = build_servo_model(&ServoOptions {
+        arithmetic: ControllerArithmetic::FixedQ15 { scale: 250.0 },
+        ..quick()
+    })
+    .unwrap();
+    q15_model.run(0.6).unwrap();
+    let f = float_model.speed_log.lock().clone();
+    let q = q15_model.speed_log.lock().clone();
+    let rms = f.rms_diff(&q);
+    assert!(rms < 3.0, "Q15 within 2 % of full scale of f64: {rms}");
+}
+
+#[test]
+fn encoder_and_tacho_feedback_agree_at_high_resolution() {
+    let mut enc = build_servo_model(&quick()).unwrap();
+    enc.run(0.6).unwrap();
+    let mut tacho = build_servo_model(&ServoOptions {
+        feedback: Feedback::AnalogTacho { resolution_bits: 16, full_scale: 250.0 },
+        ..quick()
+    })
+    .unwrap();
+    tacho.run(0.6).unwrap();
+    let a = enc.speed_log.lock().clone();
+    let b = tacho.speed_log.lock().clone();
+    assert!(a.rms_diff(&b) < 5.0, "both feedback paths close the same loop");
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let run = || {
+        let mut m = build_servo_model(&quick()).unwrap();
+        m.run(0.3).unwrap();
+        let log = m.speed_log.lock().clone();
+        log.y
+    };
+    assert_eq!(run(), run(), "simulation is bit-reproducible");
+}
+
+#[test]
+fn engine_reset_reproduces_the_first_run() {
+    let mut m = build_servo_model(&quick()).unwrap();
+    m.run(0.3).unwrap();
+    let first = m.speed_log.lock().clone();
+    m.engine.reset();
+    m.run(0.3).unwrap();
+    let second = m.speed_log.lock().clone();
+    assert_eq!(first.y, second.y);
+}
+
+#[test]
+fn setpoint_profile_changes_are_followed() {
+    let opts = ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 100.0).at(0.5, 180.0),
+        ..quick()
+    };
+    let mut m = build_servo_model(&opts).unwrap();
+    m.run(1.1).unwrap();
+    let log = m.speed_log.lock().clone();
+    assert!((log.sample_at(0.45).unwrap() - 100.0).abs() < 2.0);
+    assert!((log.sample_at(1.05).unwrap() - 180.0).abs() < 2.0);
+}

@@ -1,0 +1,77 @@
+//! E8 integration: one-click retargeting of the unchanged model across the
+//! MCU catalog (§1), with the expert system guarding resource gaps.
+
+use peert::servo::ServoOptions;
+use peert::workflow::run_codegen;
+use peert_control::setpoint::SetpointProfile;
+use peert_mcu::McuCatalog;
+
+fn quick() -> ServoOptions {
+    ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+        load_step: None,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn five_of_six_catalog_parts_build_without_model_changes() {
+    let catalog = McuCatalog::standard();
+    let results: Vec<(String, Result<_, _>)> = catalog
+        .specs()
+        .iter()
+        .map(|s| (s.name.clone(), run_codegen(&quick(), &s.name)))
+        .collect();
+    let built: Vec<&str> = results
+        .iter()
+        .filter(|(_, r)| r.is_ok())
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert_eq!(built.len(), 5, "built: {built:?}");
+    let (failed, err) = results
+        .iter()
+        .find_map(|(n, r)| r.as_ref().err().map(|e| (n.clone(), e.clone())))
+        .unwrap();
+    assert_eq!(failed, "MC9S08GB60");
+    assert!(err.contains("no quadrature decoder"));
+}
+
+#[test]
+fn controller_source_is_identical_on_every_target() {
+    let mut sources = Vec::new();
+    for name in ["MC56F8367", "MC56F8323", "MCF5213", "MC9S12DP256", "MPC5554"] {
+        let out = run_codegen(&quick(), name).unwrap();
+        sources.push(out.code.source.file("servo.c").unwrap().text.clone());
+    }
+    assert!(sources.windows(2).all(|w| w[0] == w[1]), "§5: tlc files are MCU independent");
+}
+
+#[test]
+fn per_target_costs_order_by_core_capability() {
+    let micros = |name: &str| {
+        let out = run_codegen(&quick(), name).unwrap();
+        out.image.step_time_secs(&out.spec) * 1e6
+    };
+    let ppc = micros("MPC5554"); // FPU, 132 MHz
+    let cf = micros("MCF5213"); // 32-bit, 80 MHz
+    let dsp = micros("MC56F8367"); // 16-bit software float, 60 MHz
+    let hcs12 = micros("MC9S12DP256"); // 16-bit, 24 MHz
+    assert!(ppc < cf && cf < dsp && dsp < hcs12, "{ppc} < {cf} < {dsp} < {hcs12}");
+}
+
+#[test]
+fn timer_resolution_differs_but_the_period_is_met_everywhere() {
+    // the expert system solves a different prescaler per part, all hitting
+    // the same 1 ms control period
+    use peert_beans::catalog::TimerIntBean;
+    for spec in McuCatalog::standard().specs() {
+        let mut ti = TimerIntBean::new(1e-3);
+        let sol = ti.resolve(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let achieved = 1.0 / sol.achieved_hz;
+        assert!(
+            (achieved - 1e-3).abs() / 1e-3 < 1e-3,
+            "{}: achieved {achieved}",
+            spec.name
+        );
+    }
+}

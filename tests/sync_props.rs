@@ -1,0 +1,89 @@
+//! E9 property tests: PES_COM-style sync converges under arbitrary edit
+//! interleavings (§5).
+
+use peert::sync::SyncedProject;
+use peert_beans::bean::BeanConfig;
+use peert_beans::catalog::{AdcBean, PwmBean, TimerIntBean};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    AddModel(u8),
+    AddProject(u8),
+    RemoveModel(u8),
+    RemoveProject(u8),
+    RenameModel(u8, u8),
+    RenameProject(u8, u8),
+    Sync,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::AddModel),
+        any::<u8>().prop_map(Op::AddProject),
+        any::<u8>().prop_map(Op::RemoveModel),
+        any::<u8>().prop_map(Op::RemoveProject),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::RenameModel(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::RenameProject(a, b)),
+        Just(Op::Sync),
+    ]
+}
+
+fn config_for(id: u8) -> BeanConfig {
+    match id % 3 {
+        0 => BeanConfig::TimerInt(TimerIntBean::new(1e-3)),
+        1 => BeanConfig::Adc(AdcBean::new(12, 0)),
+        _ => BeanConfig::Pwm(PwmBean::new(20_000.0)),
+    }
+}
+
+proptest! {
+    /// After the final sync, model and project agree, no matter how the
+    /// edits interleaved. Individual edits may legitimately fail (removing
+    /// a name that never synced); convergence must hold regardless.
+    #[test]
+    fn sync_always_converges(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut s = SyncedProject::new("MC56F8367");
+        for op in ops {
+            match op {
+                Op::AddModel(id) => {
+                    let _ = s.model_add(&format!("B{id}"), config_for(id));
+                }
+                Op::AddProject(id) => {
+                    let _ = s.project_add(&format!("B{id}"), config_for(id));
+                }
+                Op::RemoveModel(id) => {
+                    let _ = s.model_remove(&format!("B{id}"));
+                }
+                Op::RemoveProject(id) => {
+                    let _ = s.project_remove(&format!("B{id}"));
+                }
+                Op::RenameModel(a, b) => {
+                    let _ = s.model_rename(&format!("B{a}"), &format!("B{b}"));
+                }
+                Op::RenameProject(a, b) => {
+                    let _ = s.project_rename(&format!("B{a}"), &format!("B{b}"));
+                }
+                Op::Sync => s.sync(),
+            }
+        }
+        s.sync();
+        prop_assert!(s.is_consistent(),
+            "model {:?} vs project {:?} (conflicts: {:?})",
+            s.model_inventory().keys().collect::<Vec<_>>(),
+            s.project().beans().iter().map(|b| &b.name).collect::<Vec<_>>(),
+            s.conflicts());
+    }
+
+    /// Model-only edit streams never produce conflicts.
+    #[test]
+    fn one_sided_edits_are_conflict_free(ids in prop::collection::vec(any::<u8>(), 1..40)) {
+        let mut s = SyncedProject::new("MC56F8367");
+        for id in ids {
+            let _ = s.model_add(&format!("B{id}"), config_for(id));
+        }
+        s.sync();
+        prop_assert!(s.is_consistent());
+        prop_assert!(s.conflicts().is_empty());
+    }
+}
