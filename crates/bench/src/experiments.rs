@@ -22,6 +22,24 @@ fn catalog() -> McuCatalog {
     McuCatalog::standard()
 }
 
+/// Map `f` over `items` on one scoped thread each — one engine per
+/// configuration — joining in spawn order, so the result vector (and any
+/// JSON serialized from it) is byte-identical to the serial
+/// `items.into_iter().map(f).collect()`.
+fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = items.into_iter().map(|item| s.spawn(move |_| f(item))).collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    })
+    .expect("sweep scope panicked")
+}
+
 fn mc56() -> McuSpec {
     catalog().find("MC56F8367").unwrap().clone()
 }
@@ -189,37 +207,48 @@ pub struct E3Row {
     pub ripple_rms: f64,
 }
 
-/// E3 — single-model hardware fidelity (§5): MIL with the real peripheral
-/// resolution differs measurably from idealized MIL.
-pub fn e3_adc_resolution() -> Vec<E3Row> {
-    let mut rows = Vec::new();
-    for bits in [4u8, 6, 8, 10, 12, 16] {
-        let opts = ServoOptions {
+/// The ADC resolutions E3 sweeps; `0` is the ideal-encoder reference.
+const E3_BITS: [u8; 7] = [4, 6, 8, 10, 12, 16, 0];
+
+/// One E3 configuration: its own servo model and engine, end to end.
+fn e3_case(bits: u8) -> E3Row {
+    let opts = if bits == 0 {
+        quick_servo()
+    } else {
+        ServoOptions {
             feedback: Feedback::AnalogTacho { resolution_bits: bits, full_scale: 250.0 },
             ..quick_servo()
-        };
-        let mut model = build_servo_model(&opts).unwrap();
-        model.run(0.8).unwrap();
-        let log = model.speed_log.lock().clone();
-        let m = StepMetrics::from_response(&log.t, &log.y, 150.0, 0.02);
-        // steady-state ripple over the last 0.2 s
-        let tail: Vec<f64> = log
-            .t
-            .iter()
-            .zip(&log.y)
-            .filter(|(t, _)| **t > 0.6)
-            .map(|(_, y)| *y - 150.0)
-            .collect();
-        let ripple = (tail.iter().map(|e| e * e).sum::<f64>() / tail.len() as f64).sqrt();
-        rows.push(E3Row { bits, iae: m.iae, ripple_rms: ripple });
-    }
-    // ideal (encoder) reference
-    let mut model = build_servo_model(&quick_servo()).unwrap();
+        }
+    };
+    let mut model = build_servo_model(&opts).unwrap();
     model.run(0.8).unwrap();
     let log = model.speed_log.lock().clone();
     let m = StepMetrics::from_response(&log.t, &log.y, 150.0, 0.02);
-    rows.push(E3Row { bits: 0, iae: m.iae, ripple_rms: 0.0 });
-    rows
+    if bits == 0 {
+        return E3Row { bits, iae: m.iae, ripple_rms: 0.0 };
+    }
+    // steady-state ripple over the last 0.2 s
+    let tail: Vec<f64> = log
+        .t
+        .iter()
+        .zip(&log.y)
+        .filter(|(t, _)| **t > 0.6)
+        .map(|(_, y)| *y - 150.0)
+        .collect();
+    let ripple = (tail.iter().map(|e| e * e).sum::<f64>() / tail.len() as f64).sqrt();
+    E3Row { bits, iae: m.iae, ripple_rms: ripple }
+}
+
+/// E3 — single-model hardware fidelity (§5): MIL with the real peripheral
+/// resolution differs measurably from idealized MIL. The configurations
+/// are independent, so the sweep fans out one engine per thread.
+pub fn e3_adc_resolution() -> Vec<E3Row> {
+    par_map(E3_BITS.to_vec(), e3_case)
+}
+
+/// Serial reference path of [`e3_adc_resolution`] (determinism tests).
+pub fn e3_adc_resolution_serial() -> Vec<E3Row> {
+    E3_BITS.into_iter().map(e3_case).collect()
 }
 
 // ---------------------------------------------------------------- E4 ----
@@ -365,13 +394,10 @@ pub struct E6Row {
     pub rms_vs_mil: f64,
 }
 
-/// E6 — PIL simulation (Fig 6.2, §6): RS-232 time dominates, overhead
-/// scales with 1/baud, the trajectory matches MIL within quantization.
-pub fn e6_pil(steps: u64) -> Vec<E6Row> {
+/// The links E6 sweeps: label, link kind, control period.
+fn e6_cases() -> Vec<(String, peert_pil::cosim::LinkKind, f64)> {
     use peert_pil::cosim::LinkKind;
-    let bus_hz = mc56().bus_hz();
-    let mut rows = Vec::new();
-    let cases: Vec<(String, LinkKind, f64)> = vec![
+    vec![
         ("RS-232 9600".into(), LinkKind::Rs232 { baud: 9_600 }, 0.02),
         ("RS-232 19200".into(), LinkKind::Rs232 { baud: 19_200 }, 0.01),
         ("RS-232 57600".into(), LinkKind::Rs232 { baud: 57_600 }, 0.004),
@@ -379,24 +405,39 @@ pub fn e6_pil(steps: u64) -> Vec<E6Row> {
         ("RS-232 460800".into(), LinkKind::Rs232 { baud: 460_800 }, 0.001),
         // the §8 future-work link on the open simulator target
         ("SPI 2 MHz".into(), LinkKind::Spi { clock_hz: 2_000_000 }, 0.001),
-    ];
-    for (label, link, period) in cases {
-        let mut opts = quick_servo();
-        opts.control_period_s = period;
-        opts.pid.ts = period;
-        let mil = run_mil(&opts, steps as f64 * period).unwrap();
-        let (stats, speed) = run_pil_link(&opts, "MC56F8367", link, steps).unwrap();
-        rows.push(E6Row {
-            link: label,
-            period_s: period,
-            mean_step_ms: stats.mean_step_cycles() / bus_hz * 1e3,
-            comm_fraction: stats.comm_fraction(),
-            min_period_ms: stats.min_feasible_period_s(bus_hz) * 1e3,
-            deadline_misses: stats.deadline_misses,
-            rms_vs_mil: speed.rms_diff(&mil.speed),
-        });
+    ]
+}
+
+/// One E6 link case: its own MIL engine and PIL co-simulation session.
+fn e6_case(label: String, link: peert_pil::cosim::LinkKind, period: f64, steps: u64) -> E6Row {
+    let bus_hz = mc56().bus_hz();
+    let mut opts = quick_servo();
+    opts.control_period_s = period;
+    opts.pid.ts = period;
+    let mil = run_mil(&opts, steps as f64 * period).unwrap();
+    let (stats, speed) = run_pil_link(&opts, "MC56F8367", link, steps).unwrap();
+    E6Row {
+        link: label,
+        period_s: period,
+        mean_step_ms: stats.mean_step_cycles() / bus_hz * 1e3,
+        comm_fraction: stats.comm_fraction(),
+        min_period_ms: stats.min_feasible_period_s(bus_hz) * 1e3,
+        deadline_misses: stats.deadline_misses,
+        rms_vs_mil: speed.rms_diff(&mil.speed),
     }
-    rows
+}
+
+/// E6 — PIL simulation (Fig 6.2, §6): RS-232 time dominates, overhead
+/// scales with 1/baud, the trajectory matches MIL within quantization.
+/// Every link case is an independent MIL + PIL pair, so the sweep fans
+/// out one case per thread.
+pub fn e6_pil(steps: u64) -> Vec<E6Row> {
+    par_map(e6_cases(), move |(label, link, period)| e6_case(label, link, period, steps))
+}
+
+/// Serial reference path of [`e6_pil`] (determinism tests).
+pub fn e6_pil_serial(steps: u64) -> Vec<E6Row> {
+    e6_cases().into_iter().map(|(label, link, period)| e6_case(label, link, period, steps)).collect()
 }
 
 // ---------------------------------------------------------------- E7 ----
@@ -481,33 +522,45 @@ pub struct E8Row {
     pub reason: Option<String>,
 }
 
+/// One E8 retarget attempt: full codegen against a single catalog part.
+fn e8_case(target: String) -> E8Row {
+    let opts = quick_servo();
+    match peert::workflow::run_codegen(&opts, &target) {
+        Ok(out) => E8Row {
+            target,
+            built: true,
+            step_micros: out.image.step_time_secs(&out.spec) * 1e6,
+            utilization: out.image.utilization(&out.spec, 1e-3),
+            flash_bytes: out.image.flash_bytes,
+            reason: None,
+        },
+        Err(e) => E8Row {
+            target,
+            built: false,
+            step_micros: f64::NAN,
+            utilization: f64::NAN,
+            flash_bytes: 0,
+            reason: Some(e),
+        },
+    }
+}
+
+/// The catalog parts E8 retargets to.
+fn e8_targets() -> Vec<String> {
+    catalog().specs().iter().map(|s| s.name.clone()).collect()
+}
+
 /// E8 — portability (§1, §3.1): the unchanged servo model retargets by
 /// swapping the CPU bean; parts lacking a required peripheral are rejected
-/// by the expert system with a named finding.
+/// by the expert system with a named finding. Each retarget is an
+/// independent codegen run, so the sweep fans out one part per thread.
 pub fn e8_portability() -> Vec<E8Row> {
-    let opts = quick_servo();
-    let mut rows = Vec::new();
-    for spec in catalog().specs() {
-        match peert::workflow::run_codegen(&opts, &spec.name) {
-            Ok(out) => rows.push(E8Row {
-                target: spec.name.clone(),
-                built: true,
-                step_micros: out.image.step_time_secs(&out.spec) * 1e6,
-                utilization: out.image.utilization(&out.spec, 1e-3),
-                flash_bytes: out.image.flash_bytes,
-                reason: None,
-            }),
-            Err(e) => rows.push(E8Row {
-                target: spec.name.clone(),
-                built: false,
-                step_micros: f64::NAN,
-                utilization: f64::NAN,
-                flash_bytes: 0,
-                reason: Some(e),
-            }),
-        }
-    }
-    rows
+    par_map(e8_targets(), e8_case)
+}
+
+/// Serial reference path of [`e8_portability`] (determinism tests).
+pub fn e8_portability_serial() -> Vec<E8Row> {
+    e8_targets().into_iter().map(e8_case).collect()
 }
 
 // ---------------------------------------------------------------- E9 ----
@@ -804,6 +857,19 @@ mod tests {
                 assert!(r.built, "{} should build: {:?}", r.target, r.reason);
             }
         }
+    }
+
+    #[test]
+    fn parallel_sweeps_are_byte_identical_to_serial() {
+        let e3 = serde_json::to_string(&e3_adc_resolution()).unwrap();
+        let e3_serial = serde_json::to_string(&e3_adc_resolution_serial()).unwrap();
+        assert_eq!(e3, e3_serial, "E3 parallel JSON ≡ serial JSON");
+        let e6 = serde_json::to_string(&e6_pil(40)).unwrap();
+        let e6_serial = serde_json::to_string(&e6_pil_serial(40)).unwrap();
+        assert_eq!(e6, e6_serial, "E6 parallel JSON ≡ serial JSON");
+        let e8 = serde_json::to_string(&e8_portability()).unwrap();
+        let e8_serial = serde_json::to_string(&e8_portability_serial()).unwrap();
+        assert_eq!(e8, e8_serial, "E8 parallel JSON ≡ serial JSON");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use peert_beans::bean::{Bean, BeanConfig};
 use peert_beans::PeProject;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 /// One side's pending change.
@@ -39,6 +40,17 @@ pub enum Change {
         /// New name.
         new: String,
     },
+}
+
+/// Net effect of one side's journal after cancelling add-then-remove
+/// pairs and collapsing rename chains.
+struct NetChanges {
+    /// Entities to remove, by their name at journal start.
+    removed: Vec<String>,
+    /// Surviving renames, `(name at journal start, final name)`.
+    renamed: Vec<(String, String)>,
+    /// Entities created by the journal, under their final names.
+    added: Vec<(String, BeanConfig)>,
 }
 
 /// The synchronized pair: the model-side PE-block inventory and the
@@ -141,6 +153,63 @@ impl SyncedProject {
         Ok(())
     }
 
+    /// Collapse a journal to its net effect. An entity added and removed
+    /// between syncs never existed as far as the other side is concerned,
+    /// and rename chains (`A→B`, `B→C`) reduce to their endpoints. Without
+    /// this, a project-side add-then-remove of `B87` would replay as a
+    /// bare `Remove{B87}` and delete a block the *model* created
+    /// independently under the same name (the checked-in proptest
+    /// regression).
+    fn net_changes(journal: Vec<Change>) -> NetChanges {
+        // current-name → entity being tracked through the journal
+        #[derive(Clone)]
+        struct Live {
+            /// Name at journal start; `None` if created inside the journal.
+            origin: Option<String>,
+            /// Config if created inside the journal.
+            config: Option<BeanConfig>,
+        }
+        let mut live: BTreeMap<String, Live> = BTreeMap::new();
+        let mut removed: Vec<String> = Vec::new();
+        for ch in journal {
+            match ch {
+                Change::Add { name, config } => {
+                    live.insert(name, Live { origin: None, config: Some(*config) });
+                }
+                Change::Remove { name } => match live.remove(&name) {
+                    // entity the journal itself created: cancels out
+                    Some(Live { origin: None, .. }) => {}
+                    // pre-existing entity, possibly renamed along the way
+                    Some(Live { origin: Some(orig), .. }) => removed.push(orig),
+                    // untouched pre-existing entity
+                    None => removed.push(name),
+                },
+                Change::Rename { old, new } => {
+                    let entry = live
+                        .remove(&old)
+                        .unwrap_or(Live { origin: Some(old), config: None });
+                    live.insert(new, entry);
+                }
+            }
+        }
+        let mut renamed = Vec::new();
+        let mut added = Vec::new();
+        for (name, entry) in live {
+            match entry {
+                Live { origin: None, config: Some(cfg) } => added.push((name, cfg)),
+                // created in-journal but config lost (rename of an unknown
+                // name): nothing sensible to add
+                Live { origin: None, config: None } => {}
+                Live { origin: Some(orig), .. } => {
+                    if orig != name {
+                        renamed.push((orig, name));
+                    }
+                }
+            }
+        }
+        NetChanges { removed, renamed, added }
+    }
+
     /// Reconcile residual divergence after journal replay. Concurrent
     /// edits can conflict (both sides created the same name, then one
     /// removed it); the model side wins, because the Simulink model "still
@@ -180,49 +249,86 @@ impl SyncedProject {
         }
     }
 
-    /// Drain both journals, applying each side's changes to the other.
-    /// Conflicting operations are recorded rather than failing the sync;
-    /// any residual divergence is reconciled toward the model side.
+    /// Apply the model journal's net changes to the project side.
+    fn apply_to_project(&mut self, net: NetChanges) {
+        for name in &net.removed {
+            if let Err(e) = self.project.remove(name) {
+                self.conflicts.push(format!("model→project Remove '{name}': {e}"));
+            }
+        }
+        // renames in two phases so chains and swaps (A→B while B→A) can
+        // never collide with a name they themselves free up
+        let mut in_flight: Vec<(Bean, String)> = Vec::new();
+        for (old, new) in net.renamed {
+            match self.project.remove(&old) {
+                Ok(bean) => in_flight.push((bean, new)),
+                Err(e) => self.conflicts.push(format!("model→project Rename '{old}'→'{new}': {e}")),
+            }
+        }
+        for (mut bean, new) in in_flight {
+            let old = std::mem::replace(&mut bean.name, new.clone());
+            if let Err(e) = self.project.add(bean) {
+                self.conflicts.push(format!("model→project Rename '{old}'→'{new}': {e}"));
+            }
+        }
+        for (name, config) in net.added {
+            if let Err(e) = self.project.add(Bean { name: name.clone(), config }) {
+                self.conflicts.push(format!("model→project Add '{name}': {e}"));
+            }
+        }
+    }
+
+    /// Apply the project journal's net changes to the model side.
+    fn apply_to_model(&mut self, net: NetChanges) {
+        for name in &net.removed {
+            if self.model.remove(name).is_none() {
+                self.conflicts.push(format!("project→model Remove '{name}': no '{name}'"));
+            }
+        }
+        let mut in_flight: Vec<(BeanConfig, String)> = Vec::new();
+        for (old, new) in net.renamed {
+            match self.model.remove(&old) {
+                Some(cfg) => in_flight.push((cfg, new)),
+                None => self
+                    .conflicts
+                    .push(format!("project→model Rename '{old}'→'{new}': no '{old}'")),
+            }
+        }
+        for (cfg, new) in in_flight {
+            match self.model.entry(new) {
+                Entry::Occupied(e) => {
+                    let new = e.key();
+                    self.conflicts
+                        .push(format!("project→model Rename →'{new}': model already has '{new}'"));
+                }
+                Entry::Vacant(e) => {
+                    e.insert(cfg);
+                }
+            }
+        }
+        for (name, config) in net.added {
+            match self.model.entry(name) {
+                Entry::Occupied(e) => {
+                    let name = e.key();
+                    self.conflicts
+                        .push(format!("project→model Add '{name}': model already has '{name}'"));
+                }
+                Entry::Vacant(e) => {
+                    e.insert(config);
+                }
+            }
+        }
+    }
+
+    /// Drain both journals, applying each side's *net* changes to the
+    /// other (see [`Self::net_changes`]). Conflicting operations are
+    /// recorded rather than failing the sync; any residual divergence is
+    /// reconciled toward the model side.
     pub fn sync(&mut self) {
-        let from_model = std::mem::take(&mut self.from_model);
-        for ch in from_model {
-            let res = match &ch {
-                Change::Add { name, config } => {
-                    self.project.add(Bean { name: name.clone(), config: (**config).clone() })
-                }
-                Change::Remove { name } => self.project.remove(name).map(|_| ()),
-                Change::Rename { old, new } => self.project.rename(old, new),
-            };
-            if let Err(e) = res {
-                self.conflicts.push(format!("model→project {ch:?}: {e}"));
-            }
-        }
-        let from_project = std::mem::take(&mut self.from_project);
-        for ch in from_project {
-            let res: Result<(), String> = match &ch {
-                Change::Add { name, config } => {
-                    if self.model.contains_key(name) {
-                        Err(format!("model already has '{name}'"))
-                    } else {
-                        self.model.insert(name.clone(), (**config).clone());
-                        Ok(())
-                    }
-                }
-                Change::Remove { name } => {
-                    self.model.remove(name).map(|_| ()).ok_or(format!("no '{name}'"))
-                }
-                Change::Rename { old, new } => match self.model.remove(old) {
-                    Some(cfg) => {
-                        self.model.insert(new.clone(), cfg);
-                        Ok(())
-                    }
-                    None => Err(format!("no '{old}'")),
-                },
-            };
-            if let Err(e) = res {
-                self.conflicts.push(format!("project→model {ch:?}: {e}"));
-            }
-        }
+        let from_model = Self::net_changes(std::mem::take(&mut self.from_model));
+        let from_project = Self::net_changes(std::mem::take(&mut self.from_project));
+        self.apply_to_project(from_model);
+        self.apply_to_model(from_project);
         if !self.is_consistent() {
             self.reconcile();
         }
@@ -310,6 +416,53 @@ mod tests {
         s.project_add("X", adc()).unwrap(); // same name on both sides pre-sync
         s.sync();
         assert!(!s.conflicts().is_empty());
+    }
+
+    #[test]
+    fn concurrent_add_then_remove_keeps_the_model_block() {
+        // the checked-in proptest regression, shrunk to
+        // [AddProject(87), AddModel(87), RemoveProject(87)]: the project's
+        // add-then-remove of B87 must cancel out instead of replaying as a
+        // bare Remove that deletes the model's independent B87
+        let mut s = SyncedProject::new("MC56F8367");
+        s.project_add("B87", timer()).unwrap();
+        s.model_add("B87", timer()).unwrap();
+        s.project_remove("B87").unwrap();
+        s.sync();
+        assert!(s.is_consistent());
+        assert!(s.model_inventory().contains_key("B87"), "model's block survives the sync");
+        assert!(s.project().find("B87").is_some(), "…and is recreated project-side");
+        assert!(s.conflicts().is_empty(), "nothing conflicted: {:?}", s.conflicts());
+    }
+
+    #[test]
+    fn rename_chains_collapse_to_their_endpoints() {
+        let mut s = SyncedProject::new("MC56F8367");
+        s.model_add("A", timer()).unwrap();
+        s.sync();
+        s.model_rename("A", "B").unwrap();
+        s.model_rename("B", "C").unwrap();
+        s.sync();
+        assert!(s.is_consistent());
+        assert!(s.project().find("C").is_some());
+        assert!(s.project().find("A").is_none());
+        assert!(s.conflicts().is_empty(), "{:?}", s.conflicts());
+    }
+
+    #[test]
+    fn swapped_names_sync_without_conflicts() {
+        let mut s = SyncedProject::new("MC56F8367");
+        s.model_add("A", timer()).unwrap();
+        s.model_add("B", adc()).unwrap();
+        s.sync();
+        s.model_rename("A", "Tmp").unwrap();
+        s.model_rename("B", "A").unwrap();
+        s.model_rename("Tmp", "B").unwrap();
+        s.sync();
+        assert!(s.is_consistent());
+        assert_eq!(s.project().find("A").unwrap().config.type_name(), adc().type_name());
+        assert_eq!(s.project().find("B").unwrap().config.type_name(), timer().type_name());
+        assert!(s.conflicts().is_empty(), "{:?}", s.conflicts());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub struct MilResult {
 }
 
 /// Result of the whole cycle.
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CycleReport {
     /// MIL phase.
     pub mil: MilResult,

@@ -7,9 +7,16 @@
 //! This is the "Model in the Loop" vehicle of the development cycle (§2, §6)
 //! — the closed-loop single model of plant and controller runs here before
 //! any code is generated.
+//!
+//! [`Engine::new`] compiles the diagram into an [`ExecutionPlan`] once;
+//! after warm-up the step loop performs no heap allocation: inputs are
+//! gathered through the plan's dense resolution table into a reusable
+//! scratch buffer, outputs land in a flat value arena, and discrete sample
+//! hits are integer comparisons against precomputed rate buckets.
 
-use crate::block::{BlockCtx, SampleTime};
+use crate::block::BlockCtx;
 use crate::graph::{BlockId, Diagram, GraphError, Source};
+use crate::plan::{ExecutionPlan, Sched, NO_EVENT_TARGET, UNCONNECTED};
 use crate::signal::Value;
 use std::collections::VecDeque;
 
@@ -49,36 +56,52 @@ const EVENT_CAP: usize = 10_000;
 /// The fixed-step engine.
 pub struct Engine {
     diagram: Diagram,
+    plan: ExecutionPlan,
     dt: f64,
     t: f64,
     step_index: u64,
-    order: Vec<BlockId>,
-    /// Last output values: `values[block][port]`.
-    values: Vec<Vec<Value>>,
-    /// Next sample-hit time per block (for discrete blocks).
-    next_hit: Vec<f64>,
+    /// Flat output-value arena, indexed by the plan's `out_base` offsets.
+    values: Vec<Value>,
+    /// Per-bucket due flag, refreshed once per major step.
+    bucket_due: Vec<bool>,
+    /// Reusable input buffer for the currently executing block.
+    scratch_in: Vec<Value>,
+    /// Reusable event-port buffer for the currently executing block.
+    scratch_events: Vec<usize>,
+    /// Persistent function-call dispatch queue.
+    event_queue: VecDeque<u32>,
     triggered_execs: u64,
 }
 
 impl Engine {
     /// Build an engine over `diagram` with fundamental step `dt` seconds.
+    ///
+    /// Compiles the diagram into an [`ExecutionPlan`]; the plan caches the
+    /// blocks' `ports()` and `sample()` metadata, so structural edits
+    /// through [`Engine::diagram_mut`] (rewiring, port or rate changes)
+    /// require a new engine — parameter tweaks are fine.
     pub fn new(diagram: Diagram, dt: f64) -> Result<Self, SimError> {
         assert!(dt > 0.0, "fundamental step must be positive");
         let order = diagram.sorted_order()?;
-        let values = diagram
-            .blocks
-            .iter()
-            .map(|b| vec![Value::default(); b.ports().outputs])
-            .collect();
-        let next_hit = diagram
-            .blocks
-            .iter()
-            .map(|b| match b.sample() {
-                SampleTime::Discrete { offset, .. } => offset,
-                _ => 0.0,
-            })
-            .collect();
-        Ok(Engine { diagram, dt, t: 0.0, step_index: 0, order, values, next_hit, triggered_execs: 0 })
+        let plan = ExecutionPlan::compile(&diagram, dt, &order);
+        let values = vec![Value::default(); plan.arena_len];
+        let bucket_due = vec![false; plan.buckets.len()];
+        let scratch_in = Vec::with_capacity(plan.max_inputs);
+        let scratch_events = Vec::with_capacity(plan.max_events);
+        let event_queue = VecDeque::with_capacity(16);
+        Ok(Engine {
+            diagram,
+            plan,
+            dt,
+            t: 0.0,
+            step_index: 0,
+            values,
+            bucket_due,
+            scratch_in,
+            scratch_events,
+            event_queue,
+            triggered_execs: 0,
+        })
     }
 
     /// Current simulation time.
@@ -101,121 +124,153 @@ impl Engine {
         self.triggered_execs
     }
 
+    /// The compiled execution plan.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
     /// The diagram (to inspect blocks, e.g. read a Scope).
     pub fn diagram(&self) -> &Diagram {
         &self.diagram
     }
 
-    /// Mutable diagram access between runs (parameter tweaks).
+    /// Mutable diagram access between runs (parameter tweaks; see
+    /// [`Engine::new`] for what requires recompiling).
     pub fn diagram_mut(&mut self) -> &mut Diagram {
         &mut self.diagram
     }
 
     /// Read the last value of output `src`.
+    ///
+    /// Panics with a descriptive message if the block or port does not
+    /// exist — a probe of a mis-built harness should fail loudly, not
+    /// index arbitrary memory.
     pub fn probe(&self, src: Source) -> Value {
-        self.values[src.0 .0][src.1]
+        let (id, port) = src;
+        let b = id.index();
+        assert!(
+            b < self.plan.out_count.len(),
+            "probe: block #{b} out of range (diagram has {} blocks)",
+            self.plan.out_count.len()
+        );
+        let outputs = self.plan.out_count[b] as usize;
+        assert!(
+            port < outputs,
+            "probe: block '{}' has {outputs} output port(s), asked for port {port}",
+            self.diagram.names[b]
+        );
+        self.values[self.plan.out_base[b] as usize + port]
     }
 
     /// Inject an external function-call event into a triggered block —
     /// used by co-simulation harnesses that map hardware interrupts onto
     /// model events.
     pub fn fire(&mut self, target: BlockId) -> Result<(), SimError> {
-        let mut queue = VecDeque::new();
-        queue.push_back(target);
-        self.drain_events(queue)
+        self.event_queue.push_back(target.index() as u32);
+        self.drain_events()
     }
 
+    #[inline]
     fn due(&self, idx: usize) -> bool {
-        match self.diagram.blocks[idx].sample() {
-            SampleTime::Continuous => true,
-            SampleTime::Discrete { .. } => self.t >= self.next_hit[idx] - self.dt * 1e-6,
-            SampleTime::Triggered => false,
+        match self.plan.sched[idx] {
+            Sched::EveryStep => true,
+            Sched::Bucket(b) => self.bucket_due[b as usize],
+            Sched::Never => false,
         }
     }
 
-    fn gather_inputs(&self, idx: usize) -> Vec<Value> {
-        let n = self.diagram.blocks[idx].ports().inputs;
-        (0..n)
-            .map(|p| {
-                self.diagram
-                    .wires
-                    .get(&(idx, p))
-                    .map(|&(src, sp)| self.values[src.0][sp])
-                    .unwrap_or_default()
-            })
-            .collect()
+    /// Run one block phase. Inputs are gathered into `scratch_in` via the
+    /// plan's resolution table; asserted event ports (output phase only)
+    /// are left in `scratch_events` for the caller to consume.
+    fn exec_phase(&mut self, idx: usize, output_phase: bool) {
+        let in_base = self.plan.in_base[idx] as usize;
+        let in_count = self.plan.in_count[idx] as usize;
+        self.scratch_in.clear();
+        for &slot in &self.plan.in_src[in_base..in_base + in_count] {
+            self.scratch_in.push(if slot == UNCONNECTED {
+                Value::default()
+            } else {
+                self.values[slot as usize]
+            });
+        }
+        let out_base = self.plan.out_base[idx] as usize;
+        let out_count = self.plan.out_count[idx] as usize;
+        let outputs = &mut self.values[out_base..out_base + out_count];
+        self.scratch_events.clear();
+        let mut ctx =
+            BlockCtx::new(self.t, self.dt, &self.scratch_in, outputs, &mut self.scratch_events);
+        if output_phase {
+            self.diagram.blocks[idx].output(&mut ctx);
+        } else {
+            self.diagram.blocks[idx].update(&mut ctx);
+            // update-phase events are not dispatched (same as output-order
+            // semantics in Simulink: function calls fire at output time)
+            self.scratch_events.clear();
+        }
     }
 
-    /// Run one block phase; returns asserted event ports (output phase only).
-    fn exec_phase(&mut self, idx: usize, output_phase: bool) -> Vec<usize> {
-        let inputs = self.gather_inputs(idx);
-        let mut events = Vec::new();
-        let mut outputs = std::mem::take(&mut self.values[idx]);
-        {
-            let mut ctx = BlockCtx::new(self.t, self.dt, &inputs, &mut outputs, &mut events);
-            if output_phase {
-                self.diagram.blocks[idx].output(&mut ctx);
-            } else {
-                self.diagram.blocks[idx].update(&mut ctx);
+    /// Enqueue the targets of the events `exec_phase` just left in
+    /// `scratch_events` (must be consumed before the next `exec_phase`).
+    fn enqueue_emitted(&mut self, idx: usize) {
+        let ev_base = self.plan.ev_base[idx] as usize;
+        for k in 0..self.scratch_events.len() {
+            let port = self.scratch_events[k];
+            debug_assert!(
+                port < self.plan.ev_count[idx] as usize,
+                "block '{}' emitted on event port {port} but declares only {} event port(s)",
+                self.diagram.names[idx],
+                self.plan.ev_count[idx]
+            );
+            let target = self.plan.ev_target[ev_base + port];
+            if target != NO_EVENT_TARGET {
+                self.event_queue.push_back(target);
             }
         }
-        self.values[idx] = outputs;
-        if output_phase {
-            events
-        } else {
-            Vec::new()
-        }
+        self.scratch_events.clear();
     }
 
-    fn drain_events(&mut self, mut queue: VecDeque<BlockId>) -> Result<(), SimError> {
+    fn drain_events(&mut self) -> Result<(), SimError> {
         let mut dispatched = 0usize;
-        while let Some(target) = queue.pop_front() {
+        while let Some(target) = self.event_queue.pop_front() {
             dispatched += 1;
             if dispatched > EVENT_CAP {
+                self.event_queue.clear();
                 return Err(SimError::EventStorm { t: self.t });
             }
             self.triggered_execs += 1;
-            let evs = self.exec_phase(target.0, true);
-            self.exec_phase(target.0, false);
-            for e in evs {
-                if let Some(&next) = self.diagram.event_wires.get(&(target.0, e)) {
-                    queue.push_back(next);
-                }
-            }
+            let idx = target as usize;
+            self.exec_phase(idx, true);
+            self.enqueue_emitted(idx);
+            self.exec_phase(idx, false);
         }
         Ok(())
     }
 
     /// Execute one major step.
     pub fn step(&mut self) -> Result<(), SimError> {
-        // output phase + event dispatch (index loop: BlockId is Copy, so no
-        // per-step clone of the order vector)
-        for k in 0..self.order.len() {
-            let idx = self.order[k].0;
+        // refresh the due flag of each discrete rate once per step
+        for (flag, bucket) in self.bucket_due.iter_mut().zip(&self.plan.buckets) {
+            *flag = bucket.due(self.step_index);
+        }
+        // output phase + event dispatch
+        for k in 0..self.plan.order.len() {
+            let idx = self.plan.order[k] as usize;
             if !self.due(idx) {
                 continue;
             }
-            let events = self.exec_phase(idx, true);
-            if !events.is_empty() {
-                let mut queue = VecDeque::new();
-                for e in events {
-                    if let Some(&target) = self.diagram.event_wires.get(&(idx, e)) {
-                        queue.push_back(target);
-                    }
-                }
-                self.drain_events(queue)?;
+            self.exec_phase(idx, true);
+            if !self.scratch_events.is_empty() {
+                self.enqueue_emitted(idx);
+                self.drain_events()?;
             }
         }
-        // update phase + sample-hit bookkeeping
-        for k in 0..self.order.len() {
-            let idx = self.order[k].0;
+        // update phase
+        for k in 0..self.plan.order.len() {
+            let idx = self.plan.order[k] as usize;
             if !self.due(idx) {
                 continue;
             }
             self.exec_phase(idx, false);
-            if let SampleTime::Discrete { period, .. } = self.diagram.blocks[idx].sample() {
-                self.next_hit[idx] += period;
-            }
         }
         self.step_index += 1;
         self.t = self.step_index as f64 * self.dt;
@@ -230,25 +285,19 @@ impl Engine {
         Ok(())
     }
 
-    /// Reset time, state and logs for a fresh run.
+    /// Reset time, state and logs for a fresh run. The compiled plan is
+    /// reused as-is: scheduling derives from the immutable rate buckets,
+    /// so a rerun reproduces the identical trajectory.
     pub fn reset(&mut self) {
         self.t = 0.0;
         self.step_index = 0;
         self.triggered_execs = 0;
+        self.event_queue.clear();
         for b in &mut self.diagram.blocks {
             b.reset();
         }
-        for (i, b) in self.diagram.blocks.iter().enumerate() {
-            self.next_hit[i] = match b.sample() {
-                SampleTime::Discrete { offset, .. } => offset,
-                _ => 0.0,
-            };
-            let _ = b;
-        }
         for v in &mut self.values {
-            for slot in v.iter_mut() {
-                *slot = Value::default();
-            }
+            *v = Value::default();
         }
     }
 }
@@ -256,7 +305,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::block::{Block, PortCount};
+    use crate::block::{Block, PortCount, SampleTime};
 
     /// Counts its executions; optionally emits event 0 each output.
     struct Counter {
@@ -286,6 +335,30 @@ mod tests {
             if self.emit {
                 ctx.emit_event(0);
             }
+        }
+    }
+
+    /// Counter with an explicit sample time (offset tests).
+    struct Sampled {
+        sample: SampleTime,
+        count: u64,
+    }
+    impl Block for Sampled {
+        fn type_name(&self) -> &'static str {
+            "Sampled"
+        }
+        fn ports(&self) -> PortCount {
+            PortCount::new(0, 1)
+        }
+        fn sample(&self) -> SampleTime {
+            self.sample
+        }
+        fn reset(&mut self) {
+            self.count = 0;
+        }
+        fn output(&mut self, ctx: &mut BlockCtx) {
+            self.count += 1;
+            ctx.set_output(0, self.count as f64);
         }
     }
 
@@ -400,5 +473,65 @@ mod tests {
         d.connect_event(a, 0, a).unwrap();
         let mut e = Engine::new(d, 0.001).unwrap();
         assert!(matches!(e.fire(a), Err(SimError::EventStorm { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "probe: block")]
+    fn probe_of_a_missing_port_panics_with_context() {
+        let mut d = Diagram::new();
+        let c = d.add("c", Counter { period: None, count: 0, emit: false }).unwrap();
+        let e = Engine::new(d, 0.001).unwrap();
+        let _ = e.probe((c, 7));
+    }
+
+    #[test]
+    fn million_step_multirate_hit_counts_are_exact() {
+        // periods 1, 4, 7 ms with non-zero offsets over 10^6 steps of 1 ms:
+        // the integer schedule must hit exactly, with no float drift
+        let mut d = Diagram::new();
+        let a = d
+            .add("a", Sampled { sample: SampleTime::every(0.001), count: 0 })
+            .unwrap();
+        let b = d
+            .add("b", Sampled { sample: SampleTime::Discrete { period: 0.004, offset: 0.002 }, count: 0 })
+            .unwrap();
+        let c = d
+            .add("c", Sampled { sample: SampleTime::Discrete { period: 0.007, offset: 0.003 }, count: 0 })
+            .unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        const N: u64 = 1_000_000;
+        for _ in 0..N {
+            e.step().unwrap();
+        }
+        // hits at step s: s >= offset && (s - offset) % period == 0, s < N
+        assert_eq!(e.probe((a, 0)).as_f64(), 1_000_000.0);
+        assert_eq!(e.probe((b, 0)).as_f64(), 250_000.0, "(10^6 - 2 + 3) / 4 hits");
+        assert_eq!(e.probe((c, 0)).as_f64(), 142_857.0, "(10^6 - 3 + 6) / 7 hits");
+        assert_eq!(e.plan().rate_count(), 3);
+    }
+
+    #[test]
+    fn reset_and_rerun_reproduce_the_identical_trajectory() {
+        let mut d = Diagram::new();
+        let src = d.add("src", Counter { period: Some(0.003), count: 0, emit: true }).unwrap();
+        let snk = d.add("snk", TrigSink { runs: 0 }).unwrap();
+        let fast = d.add("fast", Counter { period: None, count: 0, emit: false }).unwrap();
+        d.connect((src, 0), (snk, 0)).unwrap();
+        d.connect_event(src, 0, snk).unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        let record = |e: &mut Engine| -> Vec<(f64, f64, f64)> {
+            (0..500)
+                .map(|_| {
+                    e.step().unwrap();
+                    (e.probe((src, 0)).as_f64(), e.probe((snk, 0)).as_f64(), e.probe((fast, 0)).as_f64())
+                })
+                .collect()
+        };
+        let first = record(&mut e);
+        let execs = e.triggered_execs();
+        e.reset();
+        let second = record(&mut e);
+        assert_eq!(first, second, "reused plan reproduces the trajectory exactly");
+        assert_eq!(e.triggered_execs(), execs);
     }
 }

@@ -22,8 +22,11 @@
 //!   a peripheral interrupt fires ("The events are represented as
 //!   function-call ports in the PE blocks", §5);
 //! * a **diagram graph** ([`graph`]) with topological sorting and algebraic
-//!   loop detection, and a fixed-step **engine** ([`engine`]) executing the
-//!   closed-loop single model (plant + controller, §5) in MIL simulation;
+//!   loop detection, a precompiled **execution plan** ([`plan`]) with a
+//!   flat value arena, dense input-resolution tables and integer-step rate
+//!   buckets, and a fixed-step **engine** ([`engine`]) executing the
+//!   closed-loop single model (plant + controller, §5) in MIL simulation
+//!   with an allocation-free step loop;
 //! * **signal logging** ([`log`]) — the Scope data every experiment
 //!   post-processes.
 
@@ -35,6 +38,7 @@ pub mod engine;
 pub mod graph;
 pub mod library;
 pub mod log;
+pub mod plan;
 pub mod signal;
 pub mod subsystem;
 
@@ -42,4 +46,5 @@ pub use block::{Block, BlockCtx, PortCount, SampleTime};
 pub use engine::{Engine, SimError};
 pub use graph::{BlockId, Diagram, GraphError};
 pub use log::SignalLog;
+pub use plan::ExecutionPlan;
 pub use signal::{DataType, Value};

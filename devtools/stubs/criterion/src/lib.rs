@@ -1,0 +1,147 @@
+//! Offline development stub for `criterion` (see devtools/stubs/README.md).
+//!
+//! A real (if simple) wall-clock benchmark runner: warms up, then times
+//! enough iterations to cover ~200 ms and prints mean ns/iteration. No
+//! statistics, plots, or baselines — but the numbers are honest, which is
+//! all the offline container needs to compare engine variants.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque blackbox.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark id (name or parameter label).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), param) }
+    }
+
+    /// Id from a parameter only.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { label: param.to_string() }
+    }
+}
+
+/// Per-iteration timing harness.
+pub struct Bencher {
+    /// Measured mean ns/iter, filled by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time the closure: warm up ~3 runs, then batches until ~200 ms total.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        // estimate single-run cost
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let budget = Duration::from_millis(200);
+        let iters = (budget.as_nanos() / probe.as_nanos()).clamp(1, 50_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: f64::NAN };
+    f(&mut b);
+    if b.ns_per_iter >= 1e6 {
+        println!("{label:<40} {:>12.3} ms/iter", b.ns_per_iter / 1e6);
+    } else if b.ns_per_iter >= 1e3 {
+        println!("{label:<40} {:>12.3} µs/iter", b.ns_per_iter / 1e3);
+    } else {
+        println!("{label:<40} {:>12.1} ns/iter", b.ns_per_iter);
+    }
+}
+
+/// Benchmark registry.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Run a single benchmark immediately.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Criterion-compatible sample-size knob (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion-compatible measurement-time knob (ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a parameterized benchmark immediately.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Run an unparameterized benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Group benchmark functions into a runnable set.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,61 @@
+//! Offline development stub for `crossbeam` 0.8 (see devtools/stubs/README.md).
+//!
+//! Implements `crossbeam::thread::scope` / `crossbeam::scope` on top of
+//! `std::thread::scope` with crossbeam's API shape (spawn closures take a
+//! `&Scope` argument, `scope` returns `thread::Result`).
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    /// Result of a scope: `Err` only if a child panicked and the panic was
+    /// not otherwise propagated (the std backend always propagates, so the
+    /// stub returns `Ok` or unwinds).
+    pub type ScopeResult<T> = std::thread::Result<T>;
+
+    /// Handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (unused
+        /// by the workspace, present for crossbeam signature parity).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let scope = Scope { inner: inner_scope };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads join before return.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+pub use thread::scope;

@@ -1,0 +1,29 @@
+//! Offline development stub for `parking_lot` (see devtools/stubs/README.md).
+//!
+//! Wraps `std::sync::Mutex` with the poison-free `lock()` signature.
+
+use std::sync::MutexGuard as StdGuard;
+
+/// Poison-free mutex over `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Lock, ignoring poisoning like parking_lot does.
+    pub fn lock(&self) -> StdGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Guard alias matching parking_lot's name.
+pub type MutexGuard<'a, T> = StdGuard<'a, T>;

@@ -1,0 +1,60 @@
+//! Offline development stub for `serde` (see devtools/stubs/README.md).
+//!
+//! Provides just the trait names and derive macros the workspace uses so
+//! the code type-checks and runs in a container without crates.io access.
+//! Not a serializer: `serde_json`'s stub renders debug-ish output.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {
+    /// Debug-based rendering used by the `serde_json` stub.
+    fn stub_json(&self) -> String;
+}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_via_debug {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn stub_json(&self) -> String { format!("{:?}", self) }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_via_debug!(
+    bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String
+);
+
+impl Serialize for &str {
+    fn stub_json(&self) -> String {
+        format!("{:?}", self)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn stub_json(&self) -> String {
+        let items: Vec<String> = self.iter().map(|x| x.stub_json()).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+impl<'de, T> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn stub_json(&self) -> String {
+        match self {
+            Some(v) => v.stub_json(),
+            None => "null".into(),
+        }
+    }
+}
+impl<'de, T> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for &T {
+    fn stub_json(&self) -> String {
+        (**self).stub_json()
+    }
+}

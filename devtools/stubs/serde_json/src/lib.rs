@@ -1,0 +1,82 @@
+//! Offline development stub for `serde_json` (see devtools/stubs/README.md).
+//!
+//! Renders Debug-backed pseudo-JSON — deterministic, but NOT real JSON.
+//! Good enough for the offline container to exercise code paths that
+//! serialize experiment rows.
+
+/// Minimal JSON value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Null.
+    Null,
+    /// Pre-rendered content.
+    Raw(String),
+    /// Key → value object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Capture any stub-serializable value.
+    pub fn from_serialize<T: serde::Serialize>(v: &T) -> Value {
+        Value::Raw(v.stub_json())
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Raw(s) => out.push_str(s),
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{k:?}:"));
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl serde::Serialize for Value {
+    fn stub_json(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s);
+        s
+    }
+}
+
+/// Error type (never produced by the stub).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render a value (not actually pretty, but deterministic).
+pub fn to_string_pretty<T: serde::Serialize>(v: &T) -> Result<String, Error> {
+    Ok(v.stub_json())
+}
+
+/// Render a value compactly.
+pub fn to_string<T: serde::Serialize>(v: &T) -> Result<String, Error> {
+    Ok(v.stub_json())
+}
+
+/// Subset of `serde_json::json!` accepting one object literal.
+#[macro_export]
+macro_rules! json {
+    ({ $($k:literal : $v:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($k.to_string(), $crate::Value::from_serialize(&$v))),*
+        ])
+    };
+    (null) => { $crate::Value::Null };
+}

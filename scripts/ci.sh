@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local CI gate for the PEERT workspace: release build, tests,
+# clippy (warnings are errors), and a compile check of every benchmark.
+# Usage: scripts/ci.sh [--offline]
+#
+# Pass --offline (or set CARGO_ARGS) when building inside a container
+# that patches crates.io with devtools/stubs (see devtools/stubs/README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_ARGS="${CARGO_ARGS:-}"
+if [[ "${1:-}" == "--offline" ]]; then
+    CARGO_ARGS="$CARGO_ARGS --offline"
+fi
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+# shellcheck disable=SC2086  # CARGO_ARGS is intentionally word-split
+run cargo build --release $CARGO_ARGS
+# shellcheck disable=SC2086
+run cargo test -q $CARGO_ARGS
+# shellcheck disable=SC2086
+run cargo clippy --all-targets $CARGO_ARGS -- -D warnings
+# shellcheck disable=SC2086
+run cargo bench --no-run $CARGO_ARGS
+
+echo "==> ci.sh: all gates passed"
