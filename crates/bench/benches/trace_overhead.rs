@@ -1,0 +1,42 @@
+//! Trace-overhead ablation: the PR-1 400-block chain stepped with the
+//! tracer disabled (the default — one predictable branch per step) vs
+//! enabled (ring writes + counter updates). The disabled case is the
+//! number that must stay within 2 % of the untraced baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peert_model::graph::Diagram;
+use peert_model::library::math::Gain;
+use peert_model::library::sources::SineWave;
+use peert_model::Engine;
+
+fn chain_engine(n: usize) -> Engine {
+    let mut d = Diagram::new();
+    let mut prev = d.add("src", SineWave::new(1.0, 10.0)).unwrap();
+    for i in 0..n {
+        let blk = d.add(format!("g{i}"), Gain::new(1.0001)).unwrap();
+        d.connect((prev, 0), (blk, 0)).unwrap();
+        prev = blk;
+    }
+    Engine::new(d, 1e-3).unwrap()
+}
+
+fn trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead_400_blocks");
+    for traced in [false, true] {
+        let label = if traced { "enabled" } else { "disabled" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &traced, |b, &traced| {
+            let mut e = chain_engine(400);
+            if traced {
+                e.enable_trace(1 << 12);
+            }
+            b.iter(|| {
+                e.step().unwrap();
+                e.time()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, trace_overhead);
+criterion_main!(benches);

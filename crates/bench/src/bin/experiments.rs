@@ -174,10 +174,34 @@ fn main() {
         );
     }
 
+    println!("\n## E12 — tracing overhead (400-block chain)\n");
+    let e12 = e12_trace_overhead(20_000);
+    println!("{:<10} {:>12} {:>10}", "tracer", "ns/step", "µs/step");
+    for r in &e12 {
+        println!("{:<10} {:>12.1} {:>10.2}", r.mode, r.ns_per_step, r.ns_per_step / 1e3);
+    }
+    let off = e12[0].ns_per_step;
+    let on = e12[1].ns_per_step;
+    let trace_blob = serde_json::json!({
+        "experiment": "trace_overhead_400_block_chain",
+        "steps": e12[0].steps,
+        "disabled_ns_per_step": off,
+        "enabled_ns_per_step": on,
+        "enabled_overhead_pct": (on - off) / off * 100.0,
+    });
+    let trace_text =
+        serde_json::to_string_pretty(&trace_blob).expect("overhead rows are serializable");
+    if let Err(e) = fs::write("BENCH_trace.json", trace_text) {
+        eprintln!("error: cannot write BENCH_trace.json: {e}");
+        std::process::exit(1);
+    }
+    println!("\ntrace-overhead summary written to BENCH_trace.json");
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
             "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
+            "e12": e12,
         });
         let text = serde_json::to_string_pretty(&blob).expect("rows are serializable");
         if let Err(e) = fs::write(&path, text) {

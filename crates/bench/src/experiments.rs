@@ -493,7 +493,7 @@ pub fn e7_scheduling() -> Vec<E7Row> {
         let hil_iae = StepMetrics::from_response(&hil.speed.t, &hil.speed.y, 150.0, 0.02).iae;
         rows.push(E7Row {
             burst_micros: burst_us,
-            response_max_us: p.response_max as f64 / bus * 1e6,
+            response_max_us: p.response_max() as f64 / bus * 1e6,
             jitter_us: p.start_jitter(60_000) as f64 / bus * 1e6,
             lost: report.lost_interrupts,
             utilization: report.utilization(),
@@ -721,7 +721,7 @@ pub fn e10_validation_ladder() -> Vec<E10Row> {
 
     let hil = run_hil(&opts, "MC56F8367", horizon).unwrap();
     let hil_iae = StepMetrics::from_response(&hil.speed.t, &hil.speed.y, 150.0, 0.02).iae;
-    let hil_worst = hil.profile.tasks["ctl_step"].exec_max as f64 / bus * 1e6;
+    let hil_worst = hil.profile.tasks["ctl_step"].exec_max() as f64 / bus * 1e6;
 
     vec![
         E10Row { level: "MIL".into(), iae: mil_iae, rms_vs_mil: 0.0, worst_step_us: f64::NAN },
@@ -738,6 +738,65 @@ pub fn e10_validation_ladder() -> Vec<E10Row> {
             rms_vs_mil: hil.speed.rms_diff(&mil.speed),
             worst_step_us: hil_worst,
         },
+    ]
+}
+
+// ---------------------------------------------------------------- E12 ----
+
+/// One trace-overhead measurement on the 400-block ablation chain.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E12Row {
+    /// Tracer state: "disabled" or "enabled".
+    pub mode: String,
+    /// Steps timed (after a 10 % warmup).
+    pub steps: u64,
+    /// Mean wall-clock nanoseconds per engine step.
+    pub ns_per_step: f64,
+}
+
+/// E12 — tracing overhead: the PR-1 400-block chain stepped with the
+/// tracer disabled (one predictable branch per step, the configuration
+/// every MIL run ships with) vs enabled (ring writes + counters).
+pub fn e12_trace_overhead(steps: u64) -> Vec<E12Row> {
+    use peert_model::graph::Diagram;
+    use peert_model::library::math::Gain;
+    use peert_model::library::sources::SineWave;
+    use peert_model::Engine;
+
+    let build = || {
+        let mut d = Diagram::new();
+        let mut prev = d.add("src", SineWave::new(1.0, 10.0)).unwrap();
+        for i in 0..400 {
+            let blk = d.add(format!("g{i}"), Gain::new(1.0001)).unwrap();
+            d.connect((prev, 0), (blk, 0)).unwrap();
+            prev = blk;
+        }
+        Engine::new(d, 1e-3).unwrap()
+    };
+    let mut plain = build();
+    let mut traced = build();
+    traced.enable_trace(1 << 12);
+    let chunk = |e: &mut Engine, n: u64| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            e.step().unwrap();
+        }
+        t0.elapsed().as_nanos() as f64 / n as f64
+    };
+    // interleave the two configurations and keep the per-mode minimum, so
+    // frequency scaling or a transient background load hits both equally
+    let rounds = 10;
+    let per_round = (steps / rounds).max(1);
+    chunk(&mut plain, per_round); // warmup
+    chunk(&mut traced, per_round);
+    let (mut disabled, mut enabled) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        disabled = disabled.min(chunk(&mut plain, per_round));
+        enabled = enabled.min(chunk(&mut traced, per_round));
+    }
+    vec![
+        E12Row { mode: "disabled".into(), steps, ns_per_step: disabled },
+        E12Row { mode: "enabled".into(), steps, ns_per_step: enabled },
     ]
 }
 

@@ -195,7 +195,7 @@ mod tests {
         let ctl = &r.profile.tasks["ctl_step"];
         assert!((295..=301).contains(&ctl.activations), "1 kHz for 0.3 s: {}", ctl.activations);
         // every activation costs the image's priced step
-        assert_eq!(ctl.exec_min, ctl.exec_max);
+        assert_eq!(ctl.exec_min(), ctl.exec_max());
         // idle system: low jitter on the real timer grid
         assert!(ctl.start_jitter(60_000) < 100);
         assert!(!r.profile.stack_overflow);

@@ -321,7 +321,8 @@ impl SyncedProject {
     }
 
     /// Drain both journals, applying each side's *net* changes to the
-    /// other (see [`Self::net_changes`]). Conflicting operations are
+    /// other (collapsed to net changes first: add-then-remove cancels,
+    /// rename chains fold into one). Conflicting operations are
     /// recorded rather than failing the sync; any residual divergence is
     /// reconciled toward the model side.
     pub fn sync(&mut self) {

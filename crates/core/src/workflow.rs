@@ -19,8 +19,9 @@ use peert_codegen::CodegenReport;
 use peert_control::metrics::StepMetrics;
 use peert_mcu::McuCatalog;
 use peert_model::log::SignalLog;
-use peert_pil::cosim::{LinkKind, PilConfig, PilStats, PlantFn};
+use peert_pil::cosim::{LinkKind, PilConfig, PilSession, PilStats, PlantFn};
 use peert_plant::dcmotor::DcMotor;
+use peert_trace::{chrome_trace_json, ClockDomain, JsonValue, MetricsReport, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Result of the MIL phase.
@@ -175,6 +176,23 @@ pub fn run_pil_noisy(
     corruption_prob: f64,
     steps: u64,
 ) -> Result<(PilStats, SignalLog), String> {
+    let (mut session, log) = make_pil_session(opts, cpu, link, corruption_prob, 0)?;
+    session.run(steps)?;
+    let stats = session.stats().clone();
+    let speed = log.lock().clone();
+    Ok((stats, speed))
+}
+
+/// Assemble the servo PIL session: generate the PIL build of the
+/// controller, price it on `cpu`, wire the logged plant. `trace_capacity`
+/// > 0 turns the board tracer on.
+pub fn make_pil_session(
+    opts: &ServoOptions,
+    cpu: &str,
+    link: LinkKind,
+    corruption_prob: f64,
+    trace_capacity: usize,
+) -> Result<(PilSession, std::sync::Arc<parking_lot::Mutex<SignalLog>>), String> {
     let spec = McuCatalog::standard()
         .find(cpu)
         .cloned()
@@ -194,14 +212,12 @@ pub fn run_pil_noisy(
         rx_isr_cycles: 60,
         corruption_prob,
         noise_seed: 0x5EED,
+        corrupt_steps: Vec::new(),
+        trace_capacity,
     };
     let (plant, log) = pil_plant_logged(opts);
-    let mut session =
-        pil_target.make_session(&spec, &image, cfg, pil_controller(opts)?, plant)?;
-    session.run(steps)?;
-    let stats = session.stats().clone();
-    let speed = log.lock().clone();
-    Ok((stats, speed))
+    let session = pil_target.make_session(&spec, &image, cfg, pil_controller(opts)?, plant)?;
+    Ok((session, log))
 }
 
 /// The full Fig 6.1 development cycle for the servo case study.
@@ -217,6 +233,106 @@ pub fn run_development_cycle(
     let (pil, pil_speed) = run_pil(opts, cpu, baud, steps)?;
     let pil_vs_mil_rms = pil_speed.rms_diff(&mil.speed);
     Ok(CycleReport { mil, codegen: build.report, pil, pil_vs_mil_rms })
+}
+
+/// Trace artifacts from a traced development cycle — the observability
+/// view of Fig 6.1.
+#[derive(Clone, Debug)]
+pub struct CycleTrace {
+    /// Chrome `trace_event` JSON array: the workflow phases, the MIL
+    /// engine's step loop, and the PIL board timeline as three trace
+    /// processes. Loadable in `chrome://tracing` or Perfetto.
+    pub chrome_json: String,
+    /// Machine-readable metrics JSON: quantile summaries (controller
+    /// exec/response/sampling-jitter in µs) plus every trace counter.
+    pub metrics_json: String,
+}
+
+/// [`run_development_cycle`] with the tracing subsystem attached to all
+/// three phases: wall-clock phase spans on the workflow, step spans on the
+/// MIL engine, cycle-stamped packet/task spans on the PIL board.
+pub fn run_development_cycle_traced(
+    opts: &ServoOptions,
+    cpu: &str,
+    baud: u32,
+    t_end: f64,
+) -> Result<(CycleReport, CycleTrace), String> {
+    let mut wf = Tracer::new(16, ClockDomain::WallNanos);
+    let mil_id = wf.register("phase.mil");
+    let cg_id = wf.register("phase.codegen");
+    let pil_id = wf.register("phase.pil");
+
+    // --- phase 1: MIL, with the engine's step loop traced ---
+    let ts = wf.now();
+    wf.begin(mil_id, ts);
+    let mut model = build_servo_model(opts)?;
+    model.engine.enable_trace(1 << 12);
+    model.run(t_end)?;
+    let speed = model.speed_log.lock().clone();
+    let duty = model.duty_log.lock().clone();
+    let plateau = opts.setpoint.abs_max();
+    let t0 = opts
+        .setpoint
+        .breakpoints()
+        .first()
+        .map(|&(t, _)| t)
+        .unwrap_or(0.0);
+    let metrics = StepMetrics::from_response(&speed.t, &speed.y, plateau, t0);
+    let mil = MilResult { speed, duty, metrics };
+    let ts = wf.now();
+    wf.end(mil_id, ts);
+
+    // --- phase 2: code generation ---
+    let ts = wf.now();
+    wf.begin(cg_id, ts);
+    let build = run_codegen(opts, cpu)?;
+    let ts = wf.now();
+    wf.end(cg_id, ts);
+
+    // --- phase 3: PIL with the board tracer on ---
+    let ts = wf.now();
+    wf.begin(pil_id, ts);
+    let steps = (t_end / opts.control_period_s) as u64;
+    let (mut session, log) =
+        make_pil_session(opts, cpu, LinkKind::Rs232 { baud }, 0.0, 1 << 14)?;
+    session.run(steps)?;
+    let pil = session.stats().clone();
+    let pil_speed = log.lock().clone();
+    let ts = wf.now();
+    wf.end(pil_id, ts);
+
+    let pil_vs_mil_rms = pil_speed.rms_diff(&mil.speed);
+    let report = CycleReport { mil, codegen: build.report, pil, pil_vs_mil_rms };
+
+    // --- export: one Chrome trace, one metrics report ---
+    let board = session.executive().tracer();
+    let chrome_json = chrome_trace_json(&[
+        ("workflow", &wf),
+        ("mil.engine", model.engine.tracer()),
+        ("pil.board", board),
+    ]);
+
+    let bus_hz = session.executive().mcu.clock.bus_hz();
+    let cycles_to_us = 1e6 / bus_hz;
+    let ctl = session.ctl_profile();
+    let mut m = MetricsReport::new();
+    m.set_meta("scenario", JsonValue::str("servo_development_cycle"));
+    m.set_meta("cpu", JsonValue::str(cpu));
+    m.set_meta("baud", JsonValue::Num(baud as f64));
+    m.set_meta("bus_hz", JsonValue::Num(bus_hz));
+    m.set_meta("pil_steps", JsonValue::Num(report.pil.steps as f64));
+    m.set_meta("mil_block_evals", JsonValue::Num(model.engine.block_evals() as f64));
+    m.add_histogram("pil.ctl.exec_us", ctl.exec_hist().summary(cycles_to_us));
+    m.add_histogram("pil.ctl.response_us", ctl.response_hist().summary(cycles_to_us));
+    if let Some(j) = ctl.sampling_jitter_hist() {
+        m.add_histogram("pil.ctl.sampling_jitter_us", j.summary(cycles_to_us));
+    }
+    m.add_counter("pil.deadline_misses", report.pil.deadline_misses);
+    m.absorb_counters("pil.board.", board);
+    m.absorb_counters("mil.engine.", model.engine.tracer());
+    let metrics_json = m.to_json();
+
+    Ok((report, CycleTrace { chrome_json, metrics_json }))
 }
 
 #[cfg(test)]

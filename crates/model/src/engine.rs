@@ -18,6 +18,7 @@ use crate::block::BlockCtx;
 use crate::graph::{BlockId, Diagram, GraphError, Source};
 use crate::plan::{ExecutionPlan, Sched, NO_EVENT_TARGET, UNCONNECTED};
 use crate::signal::Value;
+use peert_trace::{ClockDomain, EventId, Tracer};
 use std::collections::VecDeque;
 
 /// Simulation errors.
@@ -53,6 +54,18 @@ impl From<GraphError> for SimError {
 /// Safety cap on triggered dispatches within one major step.
 const EVENT_CAP: usize = 10_000;
 
+/// Registered trace event ids for the engine's instrumentation points
+/// (present iff [`Engine::enable_trace`] was called).
+struct EngineTraceIds {
+    step: EventId,
+    output: EventId,
+    update: EventId,
+    /// One instant id per discrete rate bucket, fired on each hit.
+    buckets: Vec<EventId>,
+    evals: EventId,
+    trig: EventId,
+}
+
 /// The fixed-step engine.
 pub struct Engine {
     diagram: Diagram,
@@ -71,6 +84,10 @@ pub struct Engine {
     /// Persistent function-call dispatch queue.
     event_queue: VecDeque<u32>,
     triggered_execs: u64,
+    /// Total block phase executions (output + update + triggered).
+    block_evals: u64,
+    tracer: Tracer,
+    trace_ids: Option<EngineTraceIds>,
 }
 
 impl Engine {
@@ -101,7 +118,48 @@ impl Engine {
             scratch_events,
             event_queue,
             triggered_execs: 0,
+            block_evals: 0,
+            tracer: Tracer::disabled(),
+            trace_ids: None,
         })
+    }
+
+    /// Enable step-loop tracing with a ring of `capacity` records, stamped
+    /// in wall-clock nanoseconds: one `engine.step` span per major step
+    /// enclosing `engine.output_phase` / `engine.update_phase` spans, one
+    /// instant per discrete-rate-bucket hit, and running
+    /// `engine.block_evals` / `engine.triggered_execs` counters. Call with
+    /// 0 to disable again.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Tracer::new(capacity, ClockDomain::WallNanos);
+        self.trace_ids = Some(EngineTraceIds {
+            step: self.tracer.register("engine.step"),
+            output: self.tracer.register("engine.output_phase"),
+            update: self.tracer.register("engine.update_phase"),
+            buckets: self
+                .plan
+                .buckets
+                .iter()
+                .map(|b| {
+                    self.tracer
+                        .register(&format!("rate.p{}o{}", b.period_steps, b.offset_steps))
+                })
+                .collect(),
+            evals: self.tracer.register("engine.block_evals"),
+            trig: self.tracer.register("engine.triggered_execs"),
+        });
+    }
+
+    /// The engine's tracer (disabled unless [`Engine::enable_trace`] was
+    /// called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Total block phase executions (output + update + triggered) since
+    /// construction or [`Engine::reset`].
+    pub fn block_evals(&self) -> u64 {
+        self.block_evals
     }
 
     /// Current simulation time.
@@ -238,6 +296,7 @@ impl Engine {
                 return Err(SimError::EventStorm { t: self.t });
             }
             self.triggered_execs += 1;
+            self.block_evals += 2;
             let idx = target as usize;
             self.exec_phase(idx, true);
             self.enqueue_emitted(idx);
@@ -248,20 +307,49 @@ impl Engine {
 
     /// Execute one major step.
     pub fn step(&mut self) -> Result<(), SimError> {
+        // One predictable branch when tracing is off (the <2 % overhead
+        // budget of the disabled path rides on this being the only cost).
+        let tracing = self.tracer.is_enabled();
+        if tracing {
+            let ts = self.tracer.now();
+            if let Some(ids) = &self.trace_ids {
+                self.tracer.begin(ids.step, ts);
+            }
+        }
         // refresh the due flag of each discrete rate once per step
         for (flag, bucket) in self.bucket_due.iter_mut().zip(&self.plan.buckets) {
             *flag = bucket.due(self.step_index);
         }
+        if tracing {
+            if let Some(ids) = &self.trace_ids {
+                let ts = self.tracer.now();
+                for (b, &due) in self.bucket_due.iter().enumerate() {
+                    if due {
+                        self.tracer.instant(ids.buckets[b], ts);
+                    }
+                }
+                self.tracer.begin(ids.output, ts);
+            }
+        }
         // output phase + event dispatch
+        let mut evals: u64 = 0;
         for k in 0..self.plan.order.len() {
             let idx = self.plan.order[k] as usize;
             if !self.due(idx) {
                 continue;
             }
+            evals += 1;
             self.exec_phase(idx, true);
             if !self.scratch_events.is_empty() {
                 self.enqueue_emitted(idx);
                 self.drain_events()?;
+            }
+        }
+        if tracing {
+            if let Some(ids) = &self.trace_ids {
+                let ts = self.tracer.now();
+                self.tracer.end(ids.output, ts);
+                self.tracer.begin(ids.update, ts);
             }
         }
         // update phase
@@ -270,10 +358,21 @@ impl Engine {
             if !self.due(idx) {
                 continue;
             }
+            evals += 1;
             self.exec_phase(idx, false);
         }
+        self.block_evals += evals;
         self.step_index += 1;
         self.t = self.step_index as f64 * self.dt;
+        if tracing {
+            if let Some(ids) = &self.trace_ids {
+                let ts = self.tracer.now();
+                self.tracer.end(ids.update, ts);
+                self.tracer.set(ids.evals, self.block_evals);
+                self.tracer.set(ids.trig, self.triggered_execs);
+                self.tracer.end(ids.step, ts);
+            }
+        }
         Ok(())
     }
 
@@ -292,6 +391,7 @@ impl Engine {
         self.t = 0.0;
         self.step_index = 0;
         self.triggered_execs = 0;
+        self.block_evals = 0;
         self.event_queue.clear();
         for b in &mut self.diagram.blocks {
             b.reset();
@@ -508,6 +608,57 @@ mod tests {
         assert_eq!(e.probe((b, 0)).as_f64(), 250_000.0, "(10^6 - 2 + 3) / 4 hits");
         assert_eq!(e.probe((c, 0)).as_f64(), 142_857.0, "(10^6 - 3 + 6) / 7 hits");
         assert_eq!(e.plan().rate_count(), 3);
+    }
+
+    #[test]
+    fn trace_spans_nest_and_counters_track_evals() {
+        let mut d = Diagram::new();
+        let _a = d.add("a", Counter { period: None, count: 0, emit: false }).unwrap();
+        let _b = d.add("b", Counter { period: Some(0.004), count: 0, emit: false }).unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        e.enable_trace(1 << 10);
+        for _ in 0..8 {
+            e.step().unwrap();
+        }
+        assert!(e.tracer().is_enabled());
+        // a: 8 output + 8 update; b: 2 hits (t=0, 4 ms) × 2 phases
+        assert_eq!(e.block_evals(), 16 + 4);
+        assert_eq!(e.tracer().counter_by_name("engine.block_evals"), Some(20));
+        let json = peert_trace::chrome_trace_json(&[("mil", e.tracer())]);
+        let doc = peert_trace::JsonValue::parse(&json).unwrap();
+        let events = doc.as_array().unwrap();
+        let mut depth = 0i64;
+        for ev in events {
+            match ev.get("ph").and_then(|p| p.as_str()).unwrap() {
+                "B" => depth += 1,
+                "E" => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0, "balanced spans");
+        // the 4 ms rate bucket fired its instant on both hits
+        let rate_hits = events
+            .iter()
+            .filter(|ev| {
+                ev.get("ph").and_then(|p| p.as_str()) == Some("i")
+                    && ev.get("name").and_then(|n| n.as_str()).is_some_and(|n| n.starts_with("rate."))
+            })
+            .count();
+        assert_eq!(rate_hits, 2);
+    }
+
+    #[test]
+    fn disabled_trace_leaves_no_records_and_reset_clears_evals() {
+        let mut d = Diagram::new();
+        let _ = d.add("a", Counter { period: None, count: 0, emit: false }).unwrap();
+        let mut e = Engine::new(d, 0.001).unwrap();
+        e.step().unwrap();
+        assert!(!e.tracer().is_enabled());
+        assert!(e.tracer().is_empty());
+        assert_eq!(e.block_evals(), 2);
+        e.reset();
+        assert_eq!(e.block_evals(), 0);
     }
 
     #[test]

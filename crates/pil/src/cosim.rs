@@ -17,7 +17,8 @@ use peert_codegen::TaskImage;
 use peert_mcu::board::vectors;
 use peert_mcu::board::Mcu;
 use peert_mcu::{Cycles, McuSpec};
-use peert_rtexec::Executive;
+use peert_rtexec::{Executive, TaskProfile};
+use peert_trace::EventId;
 use serde::{Deserialize, Serialize};
 
 /// The controller side: sensor samples in, actuation samples out
@@ -71,6 +72,16 @@ pub struct PilConfig {
     pub corruption_prob: f64,
     /// Seed for the deterministic noise source.
     pub noise_seed: u64,
+    /// Steps whose inbound sensor frame gets exactly one payload bit
+    /// flipped — deterministic fault injection, independent of
+    /// `corruption_prob`. CRC-16 detects every single-bit error, so each
+    /// listed step contributes exactly one CRC error and one dropped
+    /// exchange.
+    pub corrupt_steps: Vec<u64>,
+    /// Ring capacity of the board trace (0 = tracing off). When set, the
+    /// session records per-packet RX/TX spans, controller-step spans, and
+    /// CRC/drop/line-stall counters on the executive's tracer.
+    pub trace_capacity: usize,
 }
 
 impl Default for PilConfig {
@@ -85,6 +96,8 @@ impl Default for PilConfig {
             rx_isr_cycles: 60,
             corruption_prob: 0.0,
             noise_seed: 0x5EED,
+            corrupt_steps: Vec::new(),
+            trace_capacity: 0,
         }
     }
 }
@@ -175,6 +188,18 @@ impl PilStats {
     }
 }
 
+/// Registered trace ids for the PIL link's instrumentation points.
+#[derive(Clone, Copy)]
+struct PilTraceIds {
+    rx: EventId,
+    tx: EventId,
+    ctl: EventId,
+    crc_ctr: EventId,
+    crc_inst: EventId,
+    dropped_ctr: EventId,
+    line_ctr: EventId,
+}
+
 /// One PIL session.
 pub struct PilSession {
     exec: Executive,
@@ -187,6 +212,11 @@ pub struct PilSession {
     stats: PilStats,
     noise: Noise,
     last_actuation: Vec<f64>,
+    /// Profile of the board's controller step (nominal period = control
+    /// period), the source of the sampling-jitter quantiles.
+    ctl_profile: TaskProfile,
+    trace_ids: Option<PilTraceIds>,
+    crc_seen: u64,
 }
 
 impl PilSession {
@@ -212,6 +242,26 @@ impl PilSession {
         let mut exec = Executive::new(mcu);
         // the communication ISR: charged per received byte
         exec.attach(vectors::sci_rx(0), "comm_rx", cfg.rx_isr_cycles, 16, None);
+        let trace_ids = if cfg.trace_capacity > 0 {
+            // one shared board tracer: the executive's task/irq events and
+            // the PIL link's packet spans land on the same timeline
+            exec.enable_trace(cfg.trace_capacity);
+            let t = exec.tracer_mut();
+            Some(PilTraceIds {
+                rx: t.register("pil.rx"),
+                tx: t.register("pil.tx"),
+                ctl: t.register("pil.ctl_step"),
+                crc_ctr: t.register("pil.crc_errors"),
+                crc_inst: t.register("pil.crc_error"),
+                dropped_ctr: t.register("pil.dropped_exchanges"),
+                line_ctr: t.register("pil.line_cycles"),
+            })
+        } else {
+            None
+        };
+        let mut ctl_profile = TaskProfile::default();
+        ctl_profile
+            .set_nominal_period(exec.mcu.clock.secs_to_cycles(cfg.control_period_s));
         exec.start();
         Ok(PilSession {
             noise: Noise::new(cfg.noise_seed, cfg.corruption_prob),
@@ -224,6 +274,9 @@ impl PilSession {
             seq: 0,
             parser: PacketParser::new(),
             stats: PilStats::default(),
+            ctl_profile,
+            trace_ids,
+            crc_seen: 0,
         })
     }
 
@@ -239,9 +292,15 @@ impl PilSession {
             ));
         }
 
+        let ids = self.trace_ids;
         for step in 0..steps {
             let t0 = self.exec.mcu.now();
             let mut dropped_this_step = false;
+            if let Some(ids) = ids {
+                // opened before reception so the comm ISR task spans the
+                // executive records nest inside it
+                self.exec.tracer_mut().begin(ids.rx, t0);
+            }
 
             // --- host → board: sensor packet, serialized on the wire ---
             let samples: Vec<i16> =
@@ -250,13 +309,20 @@ impl PilSession {
             let bytes = pkt.encode();
             for (j, &b) in bytes.iter().enumerate() {
                 let arrives = t0 + (j as Cycles + 1) * byte_cycles;
-                let wire_byte = self.noise.corrupt(b);
+                let mut wire_byte = self.noise.corrupt(b);
+                if j == 3 && self.cfg.corrupt_steps.contains(&step) {
+                    // flip one bit of the first payload byte
+                    wire_byte ^= 0x01;
+                }
                 self.exec.mcu.scis[0].inject_rx(wire_byte, arrives);
             }
             let rx_done = t0 + bytes.len() as Cycles * byte_cycles;
             // run the board through the reception (comm ISR per byte)
             self.exec.run_until(rx_done + 1);
             let comm_in = self.exec.mcu.now() - t0;
+            if let Some(ids) = ids {
+                self.exec.tracer_mut().end(ids.rx, t0 + comm_in);
+            }
 
             // drain the SCI FIFO through the parser
             let mut request = None;
@@ -265,6 +331,18 @@ impl PilSession {
                     request = Some(p);
                 }
             }
+            // surface newly detected CRC errors on the trace
+            let crc_now = self.parser.crc_errors();
+            if let Some(ids) = ids {
+                let delta = crc_now - self.crc_seen;
+                if delta > 0 {
+                    let now = self.exec.mcu.now();
+                    let tracer = self.exec.tracer_mut();
+                    tracer.add(ids.crc_ctr, delta);
+                    tracer.instant(ids.crc_inst, now);
+                }
+            }
+            self.crc_seen = crc_now;
             // a corrupted frame fails CRC: the controller step does not run
             // this period and the board holds its last actuation (§6's
             // redirected-peripheral semantics under line faults)
@@ -275,7 +353,17 @@ impl PilSession {
                     let compute = table.isr_entry as Cycles
                         + self.image_step_cycles
                         + table.isr_exit as Cycles;
+                    let ctl_start = self.exec.mcu.now();
                     self.exec.mcu.advance(compute);
+                    let ctl_end = self.exec.mcu.now();
+                    if let Some(ids) = ids {
+                        let tracer = self.exec.tracer_mut();
+                        tracer.begin(ids.ctl, ctl_start);
+                        tracer.end(ids.ctl, ctl_end);
+                    }
+                    // release = period start: response covers the wire time,
+                    // start deltas feed the sampling-jitter histogram
+                    self.ctl_profile.record(t0, ctl_start, ctl_end);
                     let sensor_vals: Vec<f64> = request
                         .samples
                         .iter()
@@ -293,11 +381,14 @@ impl PilSession {
                     actuation
                 }
                 None => {
-                    if self.cfg.corruption_prob == 0.0 {
+                    if self.cfg.corruption_prob == 0.0 && self.cfg.corrupt_steps.is_empty() {
                         return Err(format!("step {step}: no complete packet on the board"));
                     }
                     self.stats.dropped_exchanges += 1;
                     dropped_this_step = true;
+                    if let Some(ids) = ids {
+                        self.exec.tracer_mut().add(ids.dropped_ctr, 1);
+                    }
                     self.last_actuation.clone()
                 }
             };
@@ -307,6 +398,9 @@ impl PilSession {
                 actuation.iter().map(|&v| to_sample(v, self.cfg.actuation_scale)).collect();
             let reply = Packet::new(self.seq, reply_samples)?;
             let tx_start = self.exec.mcu.now();
+            if let Some(ids) = ids {
+                self.exec.tracer_mut().begin(ids.tx, tx_start);
+            }
             for &b in &reply.encode() {
                 let now = self.exec.mcu.now();
                 if !self.exec.mcu.scis[0].send(b, now) {
@@ -320,6 +414,12 @@ impl PilSession {
             }
             let step_end = self.exec.mcu.now();
             let comm_out = step_end - tx_start;
+            if let Some(ids) = ids {
+                let tracer = self.exec.tracer_mut();
+                tracer.end(ids.tx, step_end);
+                // serial-line stall: cycles the board spent on the wire
+                tracer.add(ids.line_ctr, comm_in + comm_out);
+            }
 
             // host receives, applies actuation, advances the plant
             let actuation_rx: Vec<f64> = reply
@@ -368,6 +468,13 @@ impl PilSession {
     /// The board executive (for profiling inspection).
     pub fn executive(&self) -> &Executive {
         &self.exec
+    }
+
+    /// Profile of the board's controller step — nominal period is the
+    /// control period, so [`TaskProfile::sampling_jitter_hist`] holds the
+    /// per-step sampling-jitter distribution.
+    pub fn ctl_profile(&self) -> &TaskProfile {
+        &self.ctl_profile
     }
 }
 
@@ -526,6 +633,77 @@ mod tests {
         let stats = s.run(100).unwrap();
         assert_eq!(stats.dropped_exchanges, 0);
         assert_eq!(stats.crc_errors, 0);
+    }
+
+    #[test]
+    fn traced_session_records_packet_spans_and_counters() {
+        let cfg = PilConfig { trace_capacity: 1 << 12, ..Default::default() };
+        let mut s = session(cfg);
+        s.run(10).unwrap();
+        let tracer = s.executive().tracer();
+        let count = |name: &str, kind: peert_trace::EventKind| {
+            tracer
+                .records()
+                .filter(|r| r.kind == kind && tracer.name(r.id) == name)
+                .count()
+        };
+        use peert_trace::EventKind::{SpanBegin, SpanEnd};
+        // one RX, TX and controller span per exchange step
+        assert_eq!(count("pil.rx", SpanBegin), 10);
+        assert_eq!(count("pil.rx", SpanEnd), 10);
+        assert_eq!(count("pil.tx", SpanBegin), 10);
+        assert_eq!(count("pil.tx", SpanEnd), 10);
+        assert_eq!(count("pil.ctl_step", SpanBegin), 10);
+        // the comm ISR task spans from the executive share the timeline
+        assert!(count("task.comm_rx", SpanBegin) > 0);
+        // line-stall cycles accumulated; a clean line has no CRC counter
+        assert!(tracer.counter_by_name("pil.line_cycles").unwrap() > 0);
+        assert_eq!(tracer.counter_by_name("pil.crc_errors"), None);
+        // controller profile: one activation per step, sampling jitter
+        // measured against the control period
+        assert_eq!(s.ctl_profile().activations, 10);
+        assert_eq!(s.ctl_profile().sampling_jitter_hist().unwrap().count(), 9);
+    }
+
+    #[test]
+    fn parser_resyncs_after_injected_noise_and_trace_counts_the_corruption() {
+        // satellite (c): corrupt exactly one payload bit in K chosen
+        // frames; the parser must resync on every following frame and the
+        // trace CRC counter must equal the injected corruption count
+        let corrupt_steps = vec![3u64, 7, 15, 16, 29];
+        let injected = corrupt_steps.len() as u64;
+        let cfg = PilConfig {
+            corrupt_steps: corrupt_steps.clone(),
+            control_period_s: 2e-3,
+            trace_capacity: 1 << 12,
+            ..Default::default()
+        };
+        let mut s = session(cfg);
+        let stats = s.run(40).unwrap().clone();
+        assert_eq!(stats.steps, 40, "the session survives the noise");
+        assert_eq!(stats.crc_errors, injected);
+        assert_eq!(stats.dropped_exchanges, injected);
+        let tracer = s.executive().tracer();
+        assert_eq!(tracer.counter_by_name("pil.crc_errors"), Some(injected));
+        assert_eq!(tracer.counter_by_name("pil.dropped_exchanges"), Some(injected));
+        let crc_instants = tracer
+            .records()
+            .filter(|r| {
+                r.kind == peert_trace::EventKind::Instant && tracer.name(r.id) == "pil.crc_error"
+            })
+            .count() as u64;
+        assert_eq!(crc_instants, injected, "one trace instant per bad frame");
+        // every clean frame after a corrupted one parsed: controller ran on
+        // all non-corrupted steps, so the parser resynchronized each time
+        assert_eq!(s.ctl_profile().activations, 40 - injected);
+    }
+
+    #[test]
+    fn untraced_session_leaves_the_tracer_disabled() {
+        let mut s = session(PilConfig::default());
+        s.run(5).unwrap();
+        assert!(!s.executive().tracer().is_enabled());
+        assert_eq!(s.executive().tracer().len(), 0);
     }
 
     #[test]

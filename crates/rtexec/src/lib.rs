@@ -17,5 +17,5 @@
 pub mod profile;
 pub mod sched;
 
-pub use profile::{ProfileReport, TaskProfile};
+pub use profile::{ProfileReport, ReportSummary, TaskProfile, TaskSummary};
 pub use sched::{Executive, TaskWork};

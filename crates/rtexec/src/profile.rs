@@ -1,92 +1,210 @@
 //! Execution profiling: the measurements PIL simulation surfaces (§6).
+//!
+//! Since the `peert-trace` subsystem landed, all latency statistics are
+//! kept in one representation — [`LogHistogram`] — so execution time,
+//! interrupt response and sampling jitter are computed one way, in one
+//! place. [`ProfileReport`] still renders the PIL console text, but its
+//! canonical output is now the machine-readable [`ReportSummary`]
+//! (`summary()` / `to_json()`), which downstream tooling and the metrics
+//! exporter consume.
 
 use peert_mcu::Cycles;
+use peert_trace::{HistSummary, JsonValue, LogHistogram};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Statistics of one task (periodic or event-driven).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// Exec and response times, successive-start deltas, and — when a nominal
+/// period is declared via [`TaskProfile::set_nominal_period`] — the
+/// per-activation sampling jitter `|Δstart − period|` all land in
+/// log-bucketed histograms. Min/max/mean are exact; quantiles carry the
+/// histogram's ≤ ~3.2 % relative error.
+#[derive(Clone, Debug, Default)]
 pub struct TaskProfile {
     /// Completed activations.
     pub activations: u64,
-    /// Execution-time minimum in cycles.
-    pub exec_min: Cycles,
-    /// Execution-time maximum in cycles.
-    pub exec_max: Cycles,
-    /// Execution-time sum (for the mean).
-    pub exec_sum: Cycles,
-    /// Interrupt response (assert → start) minimum in cycles.
-    pub response_min: Cycles,
-    /// Interrupt response maximum in cycles.
-    pub response_max: Cycles,
-    /// Response sum.
-    pub response_sum: Cycles,
-    /// Start times of each activation (for jitter analysis; capped).
-    pub starts: Vec<Cycles>,
+    exec: LogHistogram,
+    response: LogHistogram,
+    start_delta: LogHistogram,
+    jitter: LogHistogram,
+    nominal_period: Option<Cycles>,
+    last_start: Option<Cycles>,
 }
 
-/// Cap on recorded start timestamps (enough for jitter statistics without
-/// unbounded growth on long runs).
-const MAX_STARTS: usize = 100_000;
-
 impl TaskProfile {
+    /// Declare the nominal activation period so per-activation sampling
+    /// jitter (`|Δstart − period|`) is recorded as its own histogram.
+    /// Call before the first activation.
+    pub fn set_nominal_period(&mut self, period: Cycles) {
+        self.nominal_period = Some(period);
+    }
+
+    /// The declared nominal period, if any.
+    pub fn nominal_period(&self) -> Option<Cycles> {
+        self.nominal_period
+    }
+
     /// Record one completed activation.
     pub fn record(&mut self, asserted: Cycles, started: Cycles, finished: Cycles) {
-        let exec = finished.saturating_sub(started);
-        let resp = started.saturating_sub(asserted);
-        if self.activations == 0 {
-            self.exec_min = exec;
-            self.exec_max = exec;
-            self.response_min = resp;
-            self.response_max = resp;
-        } else {
-            self.exec_min = self.exec_min.min(exec);
-            self.exec_max = self.exec_max.max(exec);
-            self.response_min = self.response_min.min(resp);
-            self.response_max = self.response_max.max(resp);
+        self.exec.record(finished.saturating_sub(started));
+        self.response.record(started.saturating_sub(asserted));
+        if let Some(prev) = self.last_start {
+            let delta = started.saturating_sub(prev);
+            self.start_delta.record(delta);
+            if let Some(period) = self.nominal_period {
+                self.jitter.record(delta.abs_diff(period));
+            }
         }
-        self.exec_sum += exec;
-        self.response_sum += resp;
+        self.last_start = Some(started);
         self.activations += 1;
-        if self.starts.len() < MAX_STARTS {
-            self.starts.push(started);
-        }
+    }
+
+    /// Execution-time minimum in cycles (exact; 0 when never activated).
+    pub fn exec_min(&self) -> Cycles {
+        self.exec.min()
+    }
+
+    /// Execution-time maximum in cycles (exact).
+    pub fn exec_max(&self) -> Cycles {
+        self.exec.max()
     }
 
     /// Mean execution time in cycles.
     pub fn exec_mean(&self) -> f64 {
-        if self.activations == 0 {
-            0.0
-        } else {
-            self.exec_sum as f64 / self.activations as f64
-        }
+        self.exec.mean()
+    }
+
+    /// Interrupt response (assert → start) minimum in cycles (exact).
+    pub fn response_min(&self) -> Cycles {
+        self.response.min()
+    }
+
+    /// Interrupt response maximum in cycles (exact).
+    pub fn response_max(&self) -> Cycles {
+        self.response.max()
     }
 
     /// Mean response time in cycles.
     pub fn response_mean(&self) -> f64 {
-        if self.activations == 0 {
-            0.0
-        } else {
-            self.response_sum as f64 / self.activations as f64
-        }
+        self.response.mean()
     }
 
-    /// Peak-to-peak start jitter relative to the nominal `period`:
-    /// `max_i |Δstart_i − period|` over successive activations.
+    /// Peak start jitter relative to the nominal `period`:
+    /// `max_i |Δstart_i − period|` over successive activations. Exact:
+    /// `|Δ − period|` over the observed delta range is maximized at one of
+    /// the (exactly tracked) extreme deltas. 0 with fewer than two starts.
     pub fn start_jitter(&self, period: Cycles) -> Cycles {
-        self.starts
-            .windows(2)
-            .map(|w| {
-                let delta = w[1] - w[0];
-                delta.abs_diff(period)
-            })
-            .max()
-            .unwrap_or(0)
+        if self.start_delta.count() == 0 {
+            return 0;
+        }
+        self.start_delta
+            .min()
+            .abs_diff(period)
+            .max(self.start_delta.max().abs_diff(period))
+    }
+
+    /// Execution-time histogram.
+    pub fn exec_hist(&self) -> &LogHistogram {
+        &self.exec
+    }
+
+    /// Interrupt-response histogram.
+    pub fn response_hist(&self) -> &LogHistogram {
+        &self.response
+    }
+
+    /// Successive-start-delta histogram.
+    pub fn start_delta_hist(&self) -> &LogHistogram {
+        &self.start_delta
+    }
+
+    /// Sampling-jitter histogram (`|Δstart − period|` per activation);
+    /// `None` unless a nominal period was declared.
+    pub fn sampling_jitter_hist(&self) -> Option<&LogHistogram> {
+        self.nominal_period.map(|_| &self.jitter)
+    }
+}
+
+/// Machine-readable per-task summary, all time axes in microseconds.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TaskSummary {
+    /// Completed activations.
+    pub activations: u64,
+    /// Execution-time quantiles in µs.
+    pub exec_us: HistSummary,
+    /// Interrupt-response quantiles in µs.
+    pub response_us: HistSummary,
+    /// Successive-start-delta quantiles in µs.
+    pub start_delta_us: HistSummary,
+    /// Sampling-jitter quantiles in µs (present iff a nominal period was
+    /// declared for the task).
+    pub sampling_jitter_us: Option<HistSummary>,
+}
+
+impl TaskSummary {
+    fn to_json_value(&self) -> JsonValue {
+        let mut members = vec![
+            ("activations".to_string(), JsonValue::Num(self.activations as f64)),
+            ("exec_us".to_string(), self.exec_us.to_json_value()),
+            ("response_us".to_string(), self.response_us.to_json_value()),
+            ("start_delta_us".to_string(), self.start_delta_us.to_json_value()),
+        ];
+        match &self.sampling_jitter_us {
+            Some(j) => members.push(("sampling_jitter_us".to_string(), j.to_json_value())),
+            None => members.push(("sampling_jitter_us".to_string(), JsonValue::Null)),
+        }
+        JsonValue::Obj(members)
+    }
+}
+
+/// Machine-readable run summary (the serde face of [`ProfileReport`]).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReportSummary {
+    /// Bus frequency the cycle→µs conversion used.
+    pub bus_hz: f64,
+    /// CPU utilization (non-idle fraction).
+    pub utilization: f64,
+    /// Stack high-water mark in bytes.
+    pub stack_high_water: u32,
+    /// Whether the stack overflowed.
+    pub stack_overflow: bool,
+    /// Interrupt requests lost (vector already pending).
+    pub lost_interrupts: u64,
+    /// Total simulated cycles.
+    pub total_cycles: Cycles,
+    /// Per-task summaries, keyed by task name.
+    pub tasks: BTreeMap<String, TaskSummary>,
+}
+
+impl ReportSummary {
+    /// This summary as a JSON tree (real JSON on every build
+    /// configuration — see `peert_trace::json`).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("bus_hz".into(), JsonValue::Num(self.bus_hz)),
+            ("utilization".into(), JsonValue::Num(self.utilization)),
+            ("stack_high_water".into(), JsonValue::Num(self.stack_high_water as f64)),
+            ("stack_overflow".into(), JsonValue::Bool(self.stack_overflow)),
+            ("lost_interrupts".into(), JsonValue::Num(self.lost_interrupts as f64)),
+            ("total_cycles".into(), JsonValue::Num(self.total_cycles as f64)),
+            (
+                "tasks".into(),
+                JsonValue::Obj(
+                    self.tasks.iter().map(|(k, t)| (k.clone(), t.to_json_value())).collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialize to JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
     }
 }
 
 /// The full run report.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ProfileReport {
     /// Per-task statistics, keyed by task name.
     pub tasks: BTreeMap<String, TaskProfile>,
@@ -113,27 +231,65 @@ impl ProfileReport {
         1.0 - self.idle_cycles as f64 / self.total_cycles as f64
     }
 
-    /// Text rendering (the PIL console output).
+    /// The machine-readable summary, with all time axes converted to
+    /// microseconds at `bus_hz`.
+    pub fn summary(&self, bus_hz: f64) -> ReportSummary {
+        let scale = 1e6 / bus_hz;
+        ReportSummary {
+            bus_hz,
+            utilization: self.utilization(),
+            stack_high_water: self.stack_high_water,
+            stack_overflow: self.stack_overflow,
+            lost_interrupts: self.lost_interrupts,
+            total_cycles: self.total_cycles,
+            tasks: self
+                .tasks
+                .iter()
+                .map(|(name, t)| {
+                    (
+                        name.clone(),
+                        TaskSummary {
+                            activations: t.activations,
+                            exec_us: t.exec_hist().summary(scale),
+                            response_us: t.response_hist().summary(scale),
+                            start_delta_us: t.start_delta_hist().summary(scale),
+                            sampling_jitter_us: t
+                                .sampling_jitter_hist()
+                                .map(|h| h.summary(scale)),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize the summary to JSON text.
+    pub fn to_json(&self, bus_hz: f64) -> String {
+        self.summary(bus_hz).to_json()
+    }
+
+    /// Text rendering (the PIL console output), derived from the same
+    /// summary the JSON export uses.
     pub fn render(&self, bus_hz: f64) -> String {
-        let us = |c: Cycles| c as f64 / bus_hz * 1e6;
+        let summary = self.summary(bus_hz);
         let mut out = String::new();
         out.push_str(&format!(
             "run: {} cycles, utilization {:.1} %, stack high water {} B{}, lost IRQs {}\n",
-            self.total_cycles,
-            self.utilization() * 100.0,
-            self.stack_high_water,
-            if self.stack_overflow { " (OVERFLOW)" } else { "" },
-            self.lost_interrupts
+            summary.total_cycles,
+            summary.utilization * 100.0,
+            summary.stack_high_water,
+            if summary.stack_overflow { " (OVERFLOW)" } else { "" },
+            summary.lost_interrupts
         ));
-        for (name, t) in &self.tasks {
+        for (name, t) in &summary.tasks {
             out.push_str(&format!(
                 "  {name:<16} n={:<7} exec [{:.1}..{:.1}] µs mean {:.1} µs   response [{:.1}..{:.1}] µs\n",
                 t.activations,
-                us(t.exec_min),
-                us(t.exec_max),
-                t.exec_mean() / bus_hz * 1e6,
-                us(t.response_min),
-                us(t.response_max),
+                t.exec_us.min,
+                t.exec_us.max,
+                t.exec_us.mean,
+                t.response_us.min,
+                t.response_us.max,
             ));
         }
         out
@@ -150,11 +306,11 @@ mod tests {
         p.record(0, 10, 110); // resp 10, exec 100
         p.record(200, 230, 280); // resp 30, exec 50
         assert_eq!(p.activations, 2);
-        assert_eq!(p.exec_min, 50);
-        assert_eq!(p.exec_max, 100);
+        assert_eq!(p.exec_min(), 50);
+        assert_eq!(p.exec_max(), 100);
         assert_eq!(p.exec_mean(), 75.0);
-        assert_eq!(p.response_min, 10);
-        assert_eq!(p.response_max, 30);
+        assert_eq!(p.response_min(), 10);
+        assert_eq!(p.response_max(), 30);
         assert_eq!(p.response_mean(), 20.0);
     }
 
@@ -179,8 +335,40 @@ mod tests {
     #[test]
     fn empty_profile_is_benign() {
         let p = TaskProfile::default();
+        assert_eq!(p.activations, 0);
+        assert_eq!(p.exec_min(), 0);
+        assert_eq!(p.exec_max(), 0);
         assert_eq!(p.exec_mean(), 0.0);
+        assert_eq!(p.response_mean(), 0.0);
         assert_eq!(p.start_jitter(100), 0);
+        assert!(p.sampling_jitter_hist().is_none());
+    }
+
+    #[test]
+    fn single_activation_has_no_jitter() {
+        let mut p = TaskProfile::default();
+        p.set_nominal_period(1000);
+        p.record(0, 5, 50);
+        assert_eq!(p.activations, 1);
+        assert_eq!(p.start_jitter(1000), 0);
+        // jitter histogram exists (period declared) but holds no deltas yet
+        assert_eq!(p.sampling_jitter_hist().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn sampling_jitter_histogram_records_per_activation_deviation() {
+        let mut p = TaskProfile::default();
+        p.set_nominal_period(1000);
+        p.record(0, 0, 10);
+        p.record(1000, 1050, 1060); // delta 1050 → jitter 50
+        p.record(2000, 2000, 2010); // delta 950  → jitter 50
+        p.record(3000, 3000, 3010); // delta 1000 → jitter 0
+        let h = p.sampling_jitter_hist().unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 50);
+        // start_jitter agrees with the histogram's exact max
+        assert_eq!(p.start_jitter(1000), 50);
     }
 
     #[test]
@@ -199,5 +387,30 @@ mod tests {
         let text = r.render(60.0e6);
         assert!(text.contains("utilization 40.0 %"));
         assert!(text.contains("ctl"));
+    }
+
+    #[test]
+    fn summary_json_is_parseable_and_scaled() {
+        let mut r = ProfileReport {
+            total_cycles: 120_000,
+            idle_cycles: 60_000,
+            ..Default::default()
+        };
+        r.tasks.insert("ctl".into(), {
+            let mut t = TaskProfile::default();
+            t.set_nominal_period(60_000);
+            t.record(0, 0, 6_000); // exec 6000 cycles = 100 µs at 60 MHz
+            t.record(60_000, 60_030, 66_030);
+            t
+        });
+        let doc = JsonValue::parse(&r.to_json(60.0e6)).unwrap();
+        let ctl = doc.get("tasks").unwrap().get("ctl").unwrap();
+        assert_eq!(ctl.get("activations").unwrap().as_u64(), Some(2));
+        let exec = ctl.get("exec_us").unwrap();
+        assert!((exec.get("max").unwrap().as_f64().unwrap() - 100.0).abs() < 1e-9);
+        let jitter = ctl.get("sampling_jitter_us").unwrap();
+        assert_eq!(jitter.get("count").unwrap().as_u64(), Some(1));
+        // delta 60_030 vs nominal 60_000 → 30 cycles = 0.5 µs
+        assert!((jitter.get("max").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-9);
     }
 }

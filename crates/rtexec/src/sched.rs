@@ -12,6 +12,7 @@ use crate::profile::{ProfileReport, TaskProfile};
 use peert_mcu::board::Mcu;
 use peert_mcu::interrupt::IrqVector;
 use peert_mcu::Cycles;
+use peert_trace::{ClockDomain, EventId, Tracer};
 use std::collections::HashMap;
 
 /// Functional work attached to a task: called once per completed
@@ -24,6 +25,10 @@ struct IsrTask {
     cycles: Cycles,
     stack_bytes: u32,
     work: Option<TaskWork>,
+    /// Trace ids for this task's span (`task.<name>`) and its interrupt
+    /// assertion instant (`irq.<name>`).
+    span_id: EventId,
+    irq_id: EventId,
 }
 
 /// The executive: ISR task table + optional background task on one MCU.
@@ -39,6 +44,7 @@ pub struct Executive {
     idle_cycles: Cycles,
     background_cycles: Cycles,
     started_at: Cycles,
+    tracer: Tracer,
 }
 
 impl Executive {
@@ -53,6 +59,43 @@ impl Executive {
             idle_cycles: 0,
             background_cycles: 0,
             started_at: 0,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Enable event tracing with a ring of `capacity` records, stamped in
+    /// simulated MCU cycles. Safe to call before or after [`attach`]
+    /// (existing tasks are re-registered); call with 0 to disable again.
+    ///
+    /// [`attach`]: Executive::attach
+    pub fn enable_trace(&mut self, capacity: usize) {
+        let bus_hz = self.mcu.clock.bus_hz();
+        self.tracer = Tracer::new(capacity, ClockDomain::SimCycles { bus_hz });
+        for task in self.tasks.values_mut() {
+            task.span_id = self.tracer.register(&format!("task.{}", task.name));
+            task.irq_id = self.tracer.register(&format!("irq.{}", task.name));
+        }
+    }
+
+    /// The executive's tracer (disabled unless [`enable_trace`] was
+    /// called).
+    ///
+    /// [`enable_trace`]: Executive::enable_trace
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer, so co-simulation layers sharing the
+    /// board timeline can register their own events on it.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Declare the nominal activation period of task `name` in cycles, so
+    /// its profile records per-activation sampling jitter.
+    pub fn set_nominal_period(&mut self, name: &str, period: Cycles) {
+        if let Some(p) = self.profiles.get_mut(name) {
+            p.set_nominal_period(period);
         }
     }
 
@@ -67,9 +110,11 @@ impl Executive {
         stack_bytes: u32,
         work: Option<TaskWork>,
     ) {
+        let span_id = self.tracer.register(&format!("task.{name}"));
+        let irq_id = self.tracer.register(&format!("irq.{name}"));
         self.tasks.insert(
             vector.0,
-            IsrTask { name: name.to_string(), cycles, stack_bytes, work },
+            IsrTask { name: name.to_string(), cycles, stack_bytes, work, span_id, irq_id },
         );
         self.profiles.entry(name.to_string()).or_default();
     }
@@ -106,6 +151,11 @@ impl Executive {
                 self.mcu.stack.push(table.isr_frame_bytes + task.stack_bytes);
                 let start = now + table.isr_entry as Cycles;
                 let finish = start + task.cycles;
+                if self.tracer.is_enabled() {
+                    self.tracer.instant(task.irq_id, d.asserted_at);
+                    self.tracer.begin(task.span_id, start);
+                    self.tracer.end(task.span_id, finish);
+                }
                 // the ISR body runs with further dispatch held off
                 self.mcu.advance_to(finish + table.isr_exit as Cycles);
                 if let Some(work) = task.work.as_mut() {
@@ -189,8 +239,8 @@ mod tests {
         let n = count.load(Ordering::SeqCst);
         assert!((99..=101).contains(&n), "≈100 activations in 100 ms, got {n}");
         let p = exec.profile("ctl").unwrap();
-        assert_eq!(p.exec_min, 3000);
-        assert_eq!(p.exec_max, 3000);
+        assert_eq!(p.exec_min(), 3000);
+        assert_eq!(p.exec_max(), 3000);
     }
 
     #[test]
@@ -201,8 +251,8 @@ mod tests {
         exec.run_for_secs(0.05);
         let p = exec.profile("ctl").unwrap();
         let entry = exec.mcu.spec.cost_table().isr_entry as u64;
-        assert!(p.response_max <= exec.mcu.spec.cost_table().isr_entry as u64 + 20 + 1,
-            "idle response bounded by quantum+entry, got {}", p.response_max);
+        assert!(p.response_max() <= exec.mcu.spec.cost_table().isr_entry as u64 + 20 + 1,
+            "idle response bounded by quantum+entry, got {}", p.response_max());
         assert!(p.start_jitter(60_000) <= 20 + entry);
     }
 
@@ -219,8 +269,8 @@ mod tests {
         busy.start();
         busy.run_for_secs(0.05);
 
-        let rq = quiet.profile("ctl").unwrap().response_max;
-        let rb = busy.profile("ctl").unwrap().response_max;
+        let rq = quiet.profile("ctl").unwrap().response_max();
+        let rb = busy.profile("ctl").unwrap().response_max();
         assert!(rb > 10 * rq, "long bursts delay the timer ISR: {rb} vs {rq}");
         assert!(
             busy.profile("ctl").unwrap().start_jitter(60_000)
@@ -276,6 +326,49 @@ mod tests {
         let expect = exec.mcu.spec.cost_table().isr_frame_bytes + 100;
         assert_eq!(report.stack_high_water, expect);
         assert!(!report.stack_overflow);
+    }
+
+    #[test]
+    fn trace_records_task_spans_and_irq_instants() {
+        let mut exec = Executive::new(mcu_1khz_timer());
+        exec.attach(vectors::timer(0), "ctl", 3000, 64, None);
+        exec.enable_trace(1 << 12);
+        exec.start();
+        exec.run_for_secs(0.01); // ≈10 activations
+        let p = exec.profile("ctl").unwrap();
+        let begins = exec
+            .tracer()
+            .records()
+            .filter(|r| r.kind == peert_trace::EventKind::SpanBegin)
+            .count() as u64;
+        let instants = exec
+            .tracer()
+            .records()
+            .filter(|r| r.kind == peert_trace::EventKind::Instant)
+            .count() as u64;
+        assert_eq!(begins, p.activations, "one span per activation");
+        assert_eq!(instants, p.activations, "one irq instant per activation");
+        // spans begin at the profile's recorded starts: sim-cycle domain
+        assert!(matches!(
+            exec.tracer().domain(),
+            peert_trace::ClockDomain::SimCycles { .. }
+        ));
+    }
+
+    #[test]
+    fn enable_trace_after_attach_registers_existing_tasks() {
+        let mut exec = Executive::new(mcu_1khz_timer());
+        exec.attach(vectors::timer(0), "ctl", 1000, 16, None);
+        exec.enable_trace(64);
+        exec.start();
+        exec.run_for_secs(0.005);
+        let names: Vec<&str> = exec
+            .tracer()
+            .records()
+            .map(|r| exec.tracer().name(r.id))
+            .collect();
+        assert!(names.contains(&"task.ctl"), "task span registered: {names:?}");
+        assert!(names.contains(&"irq.ctl"), "irq instant registered: {names:?}");
     }
 
     #[test]

@@ -55,13 +55,13 @@ proptest! {
         exec.run_for_secs(0.03);
         let p = exec.profile("t").unwrap();
         prop_assume!(p.activations > 0);
-        prop_assert_eq!(p.exec_min, body);
-        prop_assert_eq!(p.exec_max, body);
+        prop_assert_eq!(p.exec_min(), body);
+        prop_assert_eq!(p.exec_max(), body);
         let entry = exec.mcu.spec.cost_table().isr_entry as u64;
-        prop_assert!(p.response_min >= entry);
+        prop_assert!(p.response_min() >= entry);
         if let Some(b) = burst {
             // non-preemption bound: response ≤ entry + burst (+ quantum slack)
-            prop_assert!(p.response_max <= entry + b + 1);
+            prop_assert!(p.response_max() <= entry + b + 1);
         }
     }
 

@@ -1,0 +1,304 @@
+//! Exporters: Chrome `trace_event` JSON and machine-readable metrics JSON.
+//!
+//! [`chrome_trace_json`] turns any set of [`Tracer`]s — possibly living in
+//! different [`ClockDomain`](crate::ClockDomain)s — into one JSON array
+//! loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//! Each tracer becomes its own trace *process* (pid) so host-side and
+//! board-side timelines sit side by side; all timestamps are converted to
+//! microseconds in the tracer's own domain.
+//!
+//! Because the sink is a fixed-capacity ring, the oldest records of a long
+//! run are overwritten: a surviving `SpanEnd` may have lost its
+//! `SpanBegin`, and an open `SpanBegin` may never see its end. The
+//! exporter sanitizes both cases (unmatched ends are dropped, leftover
+//! begins are closed at the last seen timestamp) so the emitted `"B"`/`"E"`
+//! events are always balanced and orderable.
+//!
+//! [`MetricsReport`] is the machine-readable side: named
+//! [`HistSummary`] quantile blocks plus named counters. Both exporters
+//! emit through the crate's own [`JsonValue`] writer, so the output is
+//! real, parseable JSON on every build configuration.
+
+use crate::hist::HistSummary;
+use crate::json::JsonValue;
+use crate::sink::{EventId, EventKind, Tracer};
+use std::collections::BTreeMap;
+
+fn event(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Render `tracers` as a Chrome `trace_event` JSON array (the "JSON Array
+/// Format": a single array of event objects, which the viewers accept
+/// directly). Each `(process_name, tracer)` pair becomes one pid; span
+/// begin/end map to `"B"`/`"E"`, instants to `"i"`, and each written
+/// counter to one `"C"` sample at the trace end.
+pub fn chrome_trace_json(tracers: &[(&str, &Tracer)]) -> String {
+    let mut events: Vec<JsonValue> = Vec::new();
+    for (pidx, (pname, tracer)) in tracers.iter().enumerate() {
+        let pid = JsonValue::Num((pidx + 1) as f64);
+        events.push(event(vec![
+            ("ph", JsonValue::str("M")),
+            ("pid", pid.clone()),
+            ("tid", JsonValue::Num(0.0)),
+            ("name", JsonValue::str("process_name")),
+            ("args", JsonValue::Obj(vec![("name".into(), JsonValue::str(pname))])),
+        ]));
+
+        // Chronological order: the ring preserves insertion order, but
+        // different call sites can stamp out-of-order timestamps (an IRQ
+        // assertion precedes the task finish recorded just before it), so
+        // stable-sort by ts.
+        let mut recs: Vec<_> = tracer.records().copied().collect();
+        recs.sort_by_key(|r| r.ts);
+
+        // Sanitize span pairing (ring overwrite can orphan either side).
+        let mut stack: Vec<EventId> = Vec::new();
+        let mut last_ts = 0u64;
+        for r in &recs {
+            last_ts = last_ts.max(r.ts);
+            let us = JsonValue::Num(tracer.ts_to_us(r.ts));
+            match r.kind {
+                EventKind::SpanBegin => {
+                    stack.push(r.id);
+                    events.push(event(vec![
+                        ("ph", JsonValue::str("B")),
+                        ("pid", pid.clone()),
+                        ("tid", JsonValue::Num(0.0)),
+                        ("ts", us),
+                        ("name", JsonValue::str(tracer.name(r.id))),
+                    ]));
+                }
+                EventKind::SpanEnd => {
+                    if stack.last() == Some(&r.id) {
+                        stack.pop();
+                        events.push(event(vec![
+                            ("ph", JsonValue::str("E")),
+                            ("pid", pid.clone()),
+                            ("tid", JsonValue::Num(0.0)),
+                            ("ts", us),
+                        ]));
+                    }
+                    // else: begin was overwritten or mis-nested — drop it.
+                }
+                EventKind::Instant => {
+                    events.push(event(vec![
+                        ("ph", JsonValue::str("i")),
+                        ("pid", pid.clone()),
+                        ("tid", JsonValue::Num(0.0)),
+                        ("s", JsonValue::str("t")),
+                        ("ts", us),
+                        ("name", JsonValue::str(tracer.name(r.id))),
+                    ]));
+                }
+            }
+        }
+        // Close any still-open spans at the last timestamp seen.
+        let close_us = JsonValue::Num(tracer.ts_to_us(last_ts));
+        while stack.pop().is_some() {
+            events.push(event(vec![
+                ("ph", JsonValue::str("E")),
+                ("pid", pid.clone()),
+                ("tid", JsonValue::Num(0.0)),
+                ("ts", close_us.clone()),
+            ]));
+        }
+
+        for (name, value) in tracer.counters() {
+            events.push(event(vec![
+                ("ph", JsonValue::str("C")),
+                ("pid", pid.clone()),
+                ("tid", JsonValue::Num(0.0)),
+                ("ts", close_us.clone()),
+                ("name", JsonValue::str(name)),
+                ("args", JsonValue::Obj(vec![("value".into(), JsonValue::Num(value as f64))])),
+            ]));
+        }
+    }
+    JsonValue::Arr(events).render()
+}
+
+/// Machine-readable metrics: named quantile summaries plus named counters.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsReport {
+    /// Free-form context (bus frequency, run length, scenario name, …).
+    pub meta: BTreeMap<String, JsonValue>,
+    /// Named [`HistSummary`] blocks, e.g. `"pil.ctl.sampling_jitter_us"`.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Named counters, e.g. `"pil.crc_errors"`.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl MetricsReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a context value.
+    pub fn set_meta(&mut self, key: &str, value: JsonValue) {
+        self.meta.insert(key.to_string(), value);
+    }
+
+    /// Attach a named quantile summary.
+    pub fn add_histogram(&mut self, name: &str, summary: HistSummary) {
+        self.histograms.insert(name.to_string(), summary);
+    }
+
+    /// Attach a named counter.
+    pub fn add_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Copy every written counter of `tracer` into this report, with
+    /// `prefix` prepended to each name (pass `""` for none).
+    pub fn absorb_counters(&mut self, prefix: &str, tracer: &Tracer) {
+        for (name, value) in tracer.counters() {
+            self.counters.insert(format!("{prefix}{name}"), value);
+        }
+    }
+
+    /// This report as a [`JsonValue`] object with `meta` / `histograms` /
+    /// `counters` sections.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "meta".into(),
+                JsonValue::Obj(self.meta.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+            ),
+            (
+                "histograms".into(),
+                JsonValue::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json_value()))
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".into(),
+                JsonValue::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), JsonValue::Num(v as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialize to JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+    use crate::sink::ClockDomain;
+
+    fn balance_of(events: &[JsonValue]) -> i64 {
+        let mut depth = 0i64;
+        for e in events {
+            match e.get("ph").and_then(|p| p.as_str()).unwrap() {
+                "B" => depth += 1,
+                "E" => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "E before matching B");
+        }
+        depth
+    }
+
+    #[test]
+    fn spans_export_balanced_and_monotonic() {
+        let mut t = Tracer::new(64, ClockDomain::SimCycles { bus_hz: 60e6 });
+        let a = t.register("task.ctl");
+        let irq = t.register("irq.timer");
+        t.begin(a, 100);
+        t.instant(irq, 90); // stamped earlier than the begin before it
+        t.end(a, 700);
+        t.begin(a, 1100);
+        t.end(a, 1600);
+        let json = chrome_trace_json(&[("board", &t)]);
+        let events = JsonValue::parse(&json).unwrap();
+        let events = events.as_array().unwrap();
+        assert_eq!(balance_of(events), 0);
+        let ts: Vec<f64> =
+            events.iter().filter_map(|e| e.get("ts").and_then(|t| t.as_f64())).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps sorted: {ts:?}");
+    }
+
+    #[test]
+    fn orphaned_ends_are_dropped_and_open_begins_closed() {
+        let mut t = Tracer::new(4, ClockDomain::WallNanos);
+        let a = t.register("s");
+        // begin overwritten by ring wrap: only its end survives
+        t.begin(a, 0);
+        t.end(a, 1);
+        t.begin(a, 2);
+        t.end(a, 3);
+        t.begin(a, 4); // pushes the first begin out of the 4-slot ring
+        let json = chrome_trace_json(&[("p", &t)]);
+        let events = JsonValue::parse(&json).unwrap();
+        assert_eq!(balance_of(events.as_array().unwrap()), 0);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "off", ignore = "recording compiled out")]
+    fn counters_become_counter_events() {
+        let mut t = Tracer::new(8, ClockDomain::WallNanos);
+        let c = t.register("crc_errors");
+        t.add(c, 3);
+        let json = chrome_trace_json(&[("p", &t)]);
+        let events = JsonValue::parse(&json).unwrap();
+        let cev = events
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .expect("counter event");
+        assert_eq!(cev.get("name").unwrap().as_str(), Some("crc_errors"));
+        assert_eq!(cev.get("args").unwrap().get("value").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn multiple_tracers_get_distinct_pids() {
+        let a = Tracer::new(4, ClockDomain::WallNanos);
+        let b = Tracer::new(4, ClockDomain::SimCycles { bus_hz: 1e6 });
+        let json = chrome_trace_json(&[("host", &a), ("board", &b)]);
+        let events = JsonValue::parse(&json).unwrap();
+        let names: Vec<(u64, String)> = events
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .map(|e| {
+                (
+                    e.get("pid").unwrap().as_u64().unwrap(),
+                    e.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(names, vec![(1, "host".to_string()), (2, "board".to_string())]);
+    }
+
+    #[test]
+    fn metrics_report_parses_back() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 120, 140] {
+            h.record(v);
+        }
+        let mut m = MetricsReport::new();
+        m.set_meta("bus_hz", JsonValue::Num(60e6));
+        m.add_histogram("ctl.exec_us", h.summary(1.0));
+        m.add_counter("crc_errors", 2);
+        let back = JsonValue::parse(&m.to_json()).unwrap();
+        assert_eq!(back.get("counters").unwrap().get("crc_errors").unwrap().as_u64(), Some(2));
+        let hist = back.get("histograms").unwrap().get("ctl.exec_us").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(back.get("meta").unwrap().get("bus_hz").unwrap().as_f64(), Some(60e6));
+    }
+}

@@ -1,0 +1,330 @@
+//! Log-bucketed (HDR-style) latency/jitter histograms.
+//!
+//! A [`LogHistogram`] records unsigned integer samples (cycles,
+//! nanoseconds, …) into buckets whose width grows geometrically: values
+//! below 32 get exact unit buckets, every later octave is split into 32
+//! sub-buckets, bounding the relative quantization error of any recorded
+//! value — and therefore of any reported quantile — to 1/32 ≈ 3.2 %.
+//! Min, max, sum and count are tracked exactly, so `min()`/`max()`/
+//! `mean()` carry no bucketing error at all. Recording is allocation-free
+//! after the first sample (the bucket array is allocated lazily so an
+//! empty histogram — the common case for never-activated tasks — costs
+//! nothing).
+
+use crate::json::JsonValue;
+use serde::{Deserialize, Serialize};
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range: the exact unit
+/// buckets below 32 plus 59 subdivided octaves above them.
+const NBUCKETS: usize = ((64 - SUB_BITS + 1) as usize) * SUBS as usize;
+
+/// Bucket index of a sample value.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros(); // MSB position, >= SUB_BITS
+        let shift = top - SUB_BITS;
+        let sub = ((v >> shift) - SUBS) as usize;
+        ((top - SUB_BITS + 1) as usize) * SUBS as usize + sub
+    }
+}
+
+/// Lower bound of a bucket (inverse of [`bucket_of`]).
+#[inline]
+fn bucket_low(idx: usize) -> u64 {
+    let octave = idx as u64 >> SUB_BITS;
+    let sub = idx as u64 & (SUBS - 1);
+    if octave == 0 {
+        sub
+    } else {
+        (SUBS + sub) << (octave - 1)
+    }
+}
+
+/// Representative value of a bucket (its midpoint).
+#[inline]
+fn bucket_mid(idx: usize) -> u64 {
+    let octave = idx as u64 >> SUB_BITS;
+    if octave == 0 {
+        bucket_low(idx)
+    } else {
+        bucket_low(idx) + (1u64 << (octave - 1)) / 2
+    }
+}
+
+/// Log-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct LogHistogram {
+    /// Bucket counts; empty until the first sample (lazy allocation).
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Quantile summary of a histogram, in caller-chosen units (see
+/// [`LogHistogram::summary`]'s `scale`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median (≤ ~3.2 % bucketing error).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl HistSummary {
+    /// This summary as a [`JsonValue`] object (used by the metrics
+    /// exporter, guaranteed real JSON regardless of the serde backend).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("count".into(), JsonValue::Num(self.count as f64)),
+            ("min".into(), JsonValue::Num(self.min)),
+            ("max".into(), JsonValue::Num(self.max)),
+            ("mean".into(), JsonValue::Num(self.mean)),
+            ("p50".into(), JsonValue::Num(self.p50)),
+            ("p95".into(), JsonValue::Num(self.p95)),
+            ("p99".into(), JsonValue::Num(self.p99)),
+        ])
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample. Allocation-free after the first call.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; NBUCKETS];
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Quantile `q` ∈ [0, 1]: the smallest bucket whose cumulative count
+    /// reaches `ceil(q · count)`, reported as the bucket midpoint clamped
+    /// to the exact observed `[min, max]`. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_mid(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; NBUCKETS];
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (slot, &n) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Summary with every value axis multiplied by `scale` (e.g. pass
+    /// `1e6 / bus_hz` to turn cycles into microseconds).
+    pub fn summary(&self, scale: f64) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            min: self.min() as f64 * scale,
+            max: self.max() as f64 * scale,
+            mean: self.mean() * scale,
+            p50: self.percentile(0.50) as f64 * scale,
+            p95: self.percentile(0.95) as f64 * scale,
+            p99: self.percentile(0.99) as f64 * scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.summary(1.0), HistSummary::default());
+    }
+
+    #[test]
+    fn single_sample_collapses_all_quantiles() {
+        let mut h = LogHistogram::new();
+        h.record(12_345);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 12_345);
+        assert_eq!(h.max(), 12_345);
+        assert_eq!(h.mean(), 12_345.0);
+        assert_eq!(h.percentile(0.5), 12_345);
+        assert_eq!(h.percentile(0.99), 12_345);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0 / 32.0), 0);
+        assert_eq!(h.percentile(0.5), 15);
+        assert_eq!(h.percentile(1.0), 31);
+    }
+
+    #[test]
+    fn bucket_index_round_trips_within_resolution() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 1000, 60_000, 1 << 30, u64::MAX / 3, u64::MAX] {
+            let idx = bucket_of(v);
+            let low = bucket_low(idx);
+            assert!(low <= v, "low {low} <= v {v}");
+            // bucket width <= low / 32 for octave buckets
+            let next_low = if idx + 1 < NBUCKETS { bucket_low(idx + 1) } else { u64::MAX };
+            assert!(v < next_low || idx == NBUCKETS - 1, "v {v} under next bucket {next_low}");
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        // geometric-ish spread of known samples
+        let mut h = LogHistogram::new();
+        let mut samples: Vec<u64> = (1..=10_000u64).map(|i| i * 37 % 90_001 + 1).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let exact = samples[((q * samples.len() as f64).ceil() as usize - 1).min(samples.len() - 1)];
+            let est = h.percentile(q);
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "q={q}: est {est} vs exact {exact} (err {err})");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [3u64, 700, 44, 90_000, 5] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 2_000_000, 8] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.percentile(0.5), all.percentile(0.5));
+        assert_eq!(a.percentile(0.99), all.percentile(0.99));
+    }
+
+    #[test]
+    fn summary_exports_parseable_json() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 4_000, 5_000_000] {
+            h.record(v);
+        }
+        let json = h.summary(1.0).to_json_value().render();
+        let back = JsonValue::parse(&json).unwrap();
+        assert_eq!(back.get("count").unwrap().as_u64(), Some(5));
+        assert_eq!(back.get("min").unwrap().as_f64(), Some(10.0));
+        assert_eq!(back.get("max").unwrap().as_f64(), Some(5_000_000.0));
+        assert!(back.get("p99").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn summary_scaling_converts_units() {
+        let mut h = LogHistogram::new();
+        h.record(60_000); // 1 ms at 60 MHz
+        let s = h.summary(1e6 / 60e6); // cycles -> µs
+        assert!((s.min - 1_000.0).abs() < 1e-9);
+        assert!((s.mean - 1_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Unified low-overhead tracing & metrics for the PEERT pipeline.
+//!
+//! The paper's PIL workflow is defined by *observing* the running system —
+//! execution times, interrupt response, sampling jitter, memory/stack are
+//! "observed in real time" (§6). This crate is the one instrumentation
+//! layer every execution-path crate shares:
+//!
+//! * [`sink`] — a fixed-capacity ring-buffer event sink ([`Tracer`]):
+//!   span begin/end, instant events and counters with monotonically
+//!   stamped records and **zero heap allocation on the hot path**. A
+//!   runtime-disabled tracer costs one predictable branch per call site;
+//!   the `off` cargo feature additionally compiles every recording call
+//!   down to nothing.
+//! * [`hist`] — log-bucketed (HDR-style) latency/jitter histograms
+//!   ([`LogHistogram`]) with exact min/max/mean and ≤ ~3.2 % relative
+//!   error on the p50/p95/p99 quantiles of a [`HistSummary`].
+//! * [`export`] — exporters: Chrome `trace_event` JSON (loadable in
+//!   `chrome://tracing` / Perfetto) via [`chrome_trace_json`], and a
+//!   machine-readable [`MetricsReport`] JSON.
+//! * [`json`] — a minimal self-contained JSON tree ([`JsonValue`]: emit
+//!   *and* parse) so exported traces are real, spec-compliant JSON on
+//!   every build configuration, and tests can verify them structurally.
+//!
+//! Clocks are explicit: each [`Tracer`] lives in one [`ClockDomain`] —
+//! wall-clock nanoseconds for host-side phases (engine step loop, workflow
+//! phases) or simulated MCU cycles for board-side spans (scheduler tasks,
+//! PIL packets). The Chrome exporter converts each domain to microseconds
+//! and emits one trace *process* per tracer, so host and board timelines
+//! sit side by side in the viewer.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod sink;
+
+pub use export::{chrome_trace_json, MetricsReport};
+pub use hist::{HistSummary, LogHistogram};
+pub use json::JsonValue;
+pub use sink::{ClockDomain, EventId, EventKind, TraceRecord, Tracer};

@@ -1,0 +1,339 @@
+//! The fixed-capacity ring-buffer event sink.
+//!
+//! A [`Tracer`] is owned by the component it instruments (engine,
+//! executive, PIL session, workflow) — no locks, no sharing, no heap
+//! allocation on the hot path. Event names are interned once at setup
+//! time ([`Tracer::register`]); the recording calls take the returned
+//! integer [`EventId`] and a caller-stamped timestamp. When the ring
+//! fills, the oldest records are overwritten (and counted in
+//! [`Tracer::dropped`]) so a tracer can run forever in bounded memory.
+//!
+//! A disabled tracer ([`Tracer::disabled`], the default everywhere) costs
+//! one predictable branch per recording call; building with the crate's
+//! `off` feature turns that branch into a compile-time constant so the
+//! whole call inlines to nothing.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Interned event-name handle (index into the tracer's name table).
+pub type EventId = u16;
+
+/// What one [`TraceRecord`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A span opened at `ts`.
+    SpanBegin,
+    /// The innermost open span with the same id closed at `ts`.
+    SpanEnd,
+    /// A point event.
+    Instant,
+}
+
+/// One fixed-size ring record.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Timestamp in the tracer's [`ClockDomain`] units.
+    pub ts: u64,
+    /// The registered event.
+    pub id: EventId,
+    /// Record kind.
+    pub kind: EventKind,
+}
+
+/// The unit of a tracer's timestamps.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ClockDomain {
+    /// Wall-clock nanoseconds since the tracer was created (host-side
+    /// phases: engine step loop, workflow phases). [`Tracer::now`] stamps
+    /// these.
+    WallNanos,
+    /// Simulated MCU cycles (board-side spans: scheduler tasks, PIL
+    /// packets); the caller stamps timestamps from the simulation clock.
+    SimCycles {
+        /// Bus frequency used to convert cycles to real time.
+        bus_hz: f64,
+    },
+}
+
+/// Fixed-capacity ring-buffer event sink with counters.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    domain: ClockDomain,
+    names: Vec<String>,
+    counters: Vec<u64>,
+    counter_used: Vec<bool>,
+    ring: Vec<TraceRecord>,
+    next: usize,
+    wrapped: bool,
+    dropped: u64,
+    epoch: Instant,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    /// A no-op tracer: every recording call returns after one branch.
+    pub fn disabled() -> Self {
+        Self::new(0, ClockDomain::WallNanos)
+    }
+
+    /// A tracer holding the most recent `capacity` records. Capacity 0
+    /// disables recording entirely.
+    pub fn new(capacity: usize, domain: ClockDomain) -> Self {
+        Tracer {
+            domain,
+            names: Vec::new(),
+            counters: Vec::new(),
+            counter_used: Vec::new(),
+            ring: vec![TraceRecord { ts: 0, id: 0, kind: EventKind::Instant }; capacity],
+            next: 0,
+            wrapped: false,
+            dropped: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether recording calls do anything. Constant-folds to `false`
+    /// under the `off` feature.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        !cfg!(feature = "off") && !self.ring.is_empty()
+    }
+
+    /// The tracer's clock domain.
+    pub fn domain(&self) -> ClockDomain {
+        self.domain
+    }
+
+    /// Intern an event/counter name, returning its [`EventId`]. Repeat
+    /// registrations of the same name return the same id. Setup-time only
+    /// (allocates).
+    pub fn register(&mut self, name: &str) -> EventId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return i as EventId;
+        }
+        self.names.push(name.to_string());
+        self.counters.push(0);
+        self.counter_used.push(false);
+        (self.names.len() - 1) as EventId
+    }
+
+    /// Current timestamp for [`ClockDomain::WallNanos`] tracers
+    /// (nanoseconds since creation). Sim-cycle tracers stamp their own
+    /// timestamps from the simulation clock instead.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn push(&mut self, ts: u64, id: EventId, kind: EventKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        if self.wrapped {
+            self.dropped += 1;
+        }
+        self.ring[self.next] = TraceRecord { ts, id, kind };
+        self.next += 1;
+        if self.next == self.ring.len() {
+            self.next = 0;
+            self.wrapped = true;
+        }
+    }
+
+    /// Open a span at `ts`.
+    #[inline]
+    pub fn begin(&mut self, id: EventId, ts: u64) {
+        self.push(ts, id, EventKind::SpanBegin);
+    }
+
+    /// Close the innermost open span `id` at `ts`.
+    #[inline]
+    pub fn end(&mut self, id: EventId, ts: u64) {
+        self.push(ts, id, EventKind::SpanEnd);
+    }
+
+    /// Record a point event at `ts`.
+    #[inline]
+    pub fn instant(&mut self, id: EventId, ts: u64) {
+        self.push(ts, id, EventKind::Instant);
+    }
+
+    /// Add `delta` to counter `id`.
+    #[inline]
+    pub fn add(&mut self, id: EventId, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counters[id as usize] += delta;
+        self.counter_used[id as usize] = true;
+    }
+
+    /// Set counter `id` to an absolute value.
+    #[inline]
+    pub fn set(&mut self, id: EventId, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counters[id as usize] = value;
+        self.counter_used[id as usize] = true;
+    }
+
+    /// Current value of counter `id`.
+    pub fn counter(&self, id: EventId) -> u64 {
+        self.counters.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Current value of a counter looked up by name (None if the name was
+    /// never registered or never written).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        let i = self.names.iter().position(|n| n == name)?;
+        self.counter_used[i].then(|| self.counters[i])
+    }
+
+    /// All counters that were written, as `(name, value)` pairs.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.names
+            .iter()
+            .zip(&self.counters)
+            .zip(&self.counter_used)
+            .filter(|(_, &used)| used)
+            .map(|((n, &v), _)| (n.as_str(), v))
+    }
+
+    /// The registered name of an event id.
+    pub fn name(&self, id: EventId) -> &str {
+        self.names.get(id as usize).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (tail, head) = if self.wrapped {
+            (&self.ring[self.next..], &self.ring[..self.next])
+        } else {
+            (&self.ring[..self.next], &self.ring[..0])
+        };
+        tail.iter().chain(head.iter())
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        if self.wrapped {
+            self.ring.len()
+        } else {
+            self.next
+        }
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Convert one of this tracer's timestamps to microseconds.
+    pub fn ts_to_us(&self, ts: u64) -> f64 {
+        match self.domain {
+            ClockDomain::WallNanos => ts as f64 / 1_000.0,
+            ClockDomain::SimCycles { bus_hz } => ts as f64 / bus_hz * 1e6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        let id = t.register("x");
+        t.begin(id, 1);
+        t.end(id, 2);
+        t.instant(id, 3);
+        t.add(id, 5);
+        assert!(!t.is_enabled());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.counter(id), 0);
+        assert_eq!(t.counter_by_name("x"), None);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "off", ignore = "recording compiled out")]
+    fn records_come_back_in_order() {
+        let mut t = Tracer::new(8, ClockDomain::WallNanos);
+        let a = t.register("a");
+        let b = t.register("b");
+        t.begin(a, 10);
+        t.instant(b, 15);
+        t.end(a, 20);
+        let recs: Vec<_> = t.records().collect();
+        assert_eq!(recs.len(), 3);
+        assert_eq!((recs[0].ts, recs[0].kind), (10, EventKind::SpanBegin));
+        assert_eq!((recs[1].ts, recs[1].kind), (15, EventKind::Instant));
+        assert_eq!((recs[2].ts, recs[2].kind), (20, EventKind::SpanEnd));
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "off", ignore = "recording compiled out")]
+    fn full_ring_keeps_the_most_recent_records() {
+        let mut t = Tracer::new(4, ClockDomain::WallNanos);
+        let a = t.register("a");
+        for ts in 0..10u64 {
+            t.instant(a, ts);
+        }
+        let ts: Vec<u64> = t.records().map(|r| r.ts).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "off", ignore = "recording compiled out")]
+    fn counters_accumulate_and_set() {
+        let mut t = Tracer::new(4, ClockDomain::SimCycles { bus_hz: 60e6 });
+        let c = t.register("crc_errors");
+        t.add(c, 2);
+        t.add(c, 3);
+        assert_eq!(t.counter(c), 5);
+        t.set(c, 1);
+        assert_eq!(t.counter_by_name("crc_errors"), Some(1));
+        assert_eq!(t.counters().collect::<Vec<_>>(), vec![("crc_errors", 1)]);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut t = Tracer::new(4, ClockDomain::WallNanos);
+        let a = t.register("same");
+        let b = t.register("same");
+        assert_eq!(a, b);
+        assert_eq!(t.name(a), "same");
+    }
+
+    #[test]
+    fn sim_cycles_convert_to_microseconds() {
+        let t = Tracer::new(1, ClockDomain::SimCycles { bus_hz: 60e6 });
+        assert!((t.ts_to_us(60_000) - 1_000.0).abs() < 1e-9);
+        let w = Tracer::new(1, ClockDomain::WallNanos);
+        assert!((w.ts_to_us(2_500) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let t = Tracer::new(1, ClockDomain::WallNanos);
+        let a = t.now();
+        let b = t.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the histogram and the exporter invariants.
+
+use peert_trace::{chrome_trace_json, ClockDomain, JsonValue, LogHistogram, Tracer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantile estimates stay within the advertised 1/32 relative error
+    /// of the exact order statistic, for arbitrary sample sets.
+    #[test]
+    fn percentile_error_is_bounded(mut samples in prop::collection::vec(1u64..=1_000_000_000, 1..400)) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let est = h.percentile(q);
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(err <= 1.0 / 32.0 + 1e-9,
+                "q={} est={} exact={} err={}", q, est, exact, err);
+        }
+    }
+
+    /// min/max/count/sum are exact regardless of bucketing.
+    #[test]
+    fn extrema_are_exact(samples in prop::collection::vec(0u64..=u64::MAX / 1024, 1..200)) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+    }
+
+    /// Merging histograms is equivalent to recording every sample into one.
+    #[test]
+    fn merge_matches_single_histogram(
+        xs in prop::collection::vec(0u64..=10_000_000, 0..100),
+        ys in prop::collection::vec(0u64..=10_000_000, 0..100),
+    ) {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for &v in &xs {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert_eq!(a.min(), all.min());
+        prop_assert_eq!(a.max(), all.max());
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(a.percentile(q), all.percentile(q));
+        }
+    }
+
+    /// Whatever sequence of begin/end/instant calls hits the ring — in
+    /// whatever order and however much of it the ring overwrites — the
+    /// Chrome export is valid JSON with balanced, properly ordered B/E
+    /// events and non-decreasing timestamps.
+    #[test]
+    fn chrome_export_is_always_balanced(
+        capacity in 1usize..32,
+        ops in prop::collection::vec((0u8..3, 0u64..10_000), 0..200),
+    ) {
+        let mut t = Tracer::new(capacity, ClockDomain::WallNanos);
+        let span = t.register("s");
+        let mark = t.register("m");
+        for (op, ts) in ops {
+            match op {
+                0 => t.begin(span, ts),
+                1 => t.end(span, ts),
+                _ => t.instant(mark, ts),
+            }
+        }
+        let json = chrome_trace_json(&[("p", &t)]);
+        let doc = JsonValue::parse(&json).unwrap();
+        let events = doc.as_array().unwrap();
+        let mut depth = 0i64;
+        let mut last_ts = f64::NEG_INFINITY;
+        for e in events {
+            match e.get("ph").and_then(|p| p.as_str()).unwrap() {
+                "B" => depth += 1,
+                "E" => depth -= 1,
+                _ => {}
+            }
+            prop_assert!(depth >= 0, "unmatched E in export");
+            if let Some(ts) = e.get("ts").and_then(|t| t.as_f64()) {
+                prop_assert!(ts >= last_ts, "timestamps went backwards");
+                last_ts = ts;
+            }
+        }
+        prop_assert_eq!(depth, 0, "unclosed B in export");
+    }
+}

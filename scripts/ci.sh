@@ -19,12 +19,18 @@ run() {
 }
 
 # shellcheck disable=SC2086  # CARGO_ARGS is intentionally word-split
-run cargo build --release $CARGO_ARGS
+run cargo build --workspace --release $CARGO_ARGS
 # shellcheck disable=SC2086
-run cargo test -q $CARGO_ARGS
+run cargo test -q --workspace $CARGO_ARGS
 # shellcheck disable=SC2086
-run cargo clippy --all-targets $CARGO_ARGS -- -D warnings
+run cargo clippy --workspace --all-targets $CARGO_ARGS -- -D warnings
 # shellcheck disable=SC2086
-run cargo bench --no-run $CARGO_ARGS
+run cargo bench --no-run --workspace $CARGO_ARGS
+# the trace-overhead bench must always stay compilable (acceptance gate on
+# the disabled-tracer cost), including under the peert-trace `off` feature
+# shellcheck disable=SC2086
+run cargo bench --no-run --bench trace_overhead -p peert-bench $CARGO_ARGS
+# shellcheck disable=SC2086
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace $CARGO_ARGS
 
 echo "==> ci.sh: all gates passed"

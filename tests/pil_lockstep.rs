@@ -87,6 +87,8 @@ fn pil_profiling_reports_the_comm_isr() {
         rx_isr_cycles: 60,
         corruption_prob: 0.0,
         noise_seed: 0,
+        corrupt_steps: Vec::new(),
+        trace_capacity: 0,
     };
     let mut session = target
         .make_session(
@@ -100,5 +102,5 @@ fn pil_profiling_reports_the_comm_isr() {
     session.run(20).unwrap();
     let profile = session.executive().profile("comm_rx").unwrap();
     assert_eq!(profile.activations, 20 * 9, "one rx ISR per inbound byte");
-    assert_eq!(profile.exec_min, 60);
+    assert_eq!(profile.exec_min(), 60);
 }

@@ -1,0 +1,101 @@
+//! Acceptance: with tracing enabled, a MIL→PIL servo run exports a Chrome
+//! `trace_event` JSON that round-trips (valid JSON, balanced B/E spans,
+//! monotonic timestamps) plus a metrics JSON carrying p50/p95/p99 sampling
+//! jitter for the control task.
+
+use peert::servo::ServoOptions;
+use peert::workflow::run_development_cycle_traced;
+use peert_control::setpoint::SetpointProfile;
+use peert_trace::JsonValue;
+
+fn opts() -> ServoOptions {
+    let mut o = ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+        load_step: None,
+        ..Default::default()
+    };
+    o.control_period_s = 2e-3; // 500 Hz fits the 115200-baud line budget
+    o.pid.ts = 2e-3;
+    o
+}
+
+#[test]
+fn traced_cycle_exports_a_loadable_chrome_trace_and_jitter_metrics() {
+    let (report, trace) =
+        run_development_cycle_traced(&opts(), "MC56F8367", 115_200, 0.2).unwrap();
+    assert!(report.pil.steps > 50, "the cycle actually ran");
+
+    // --- Chrome trace: parse it back with the crate's own parser ---
+    let events = JsonValue::parse(&trace.chrome_json).expect("valid JSON");
+    let events = events.as_array().expect("trace_event array format");
+    assert!(events.len() > 100, "all three processes contributed events");
+
+    // process metadata for workflow, MIL engine and PIL board timelines
+    let process_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert_eq!(process_names, ["workflow", "mil.engine", "pil.board"]);
+
+    // per pid: B/E balanced, never negative, timestamps monotonic
+    for pid in 1..=3u64 {
+        let mut depth = 0i64;
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut n = 0u64;
+        for e in events.iter().filter(|e| e.get("pid").and_then(|p| p.as_u64()) == Some(pid)) {
+            if let Some(ts) = e.get("ts").and_then(|t| t.as_f64()) {
+                assert!(ts >= last_ts, "pid {pid}: ts went backwards ({last_ts} -> {ts})");
+                last_ts = ts;
+                n += 1;
+            }
+            match e.get("ph").and_then(|p| p.as_str()).unwrap() {
+                "B" => depth += 1,
+                "E" => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "pid {pid}: E before its B");
+        }
+        assert_eq!(depth, 0, "pid {pid}: unbalanced spans");
+        assert!(n > 0, "pid {pid}: no timestamped events");
+    }
+
+    // the workflow phases appear as named spans
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+        .filter_map(|e| e.get("name")?.as_str())
+        .collect();
+    for phase in ["phase.mil", "phase.codegen", "phase.pil"] {
+        assert!(span_names.contains(&phase), "missing workflow span {phase}");
+    }
+    assert!(span_names.contains(&"pil.rx"), "board packet spans exported");
+
+    // --- metrics: sampling-jitter quantiles for the control task ---
+    let metrics = JsonValue::parse(&trace.metrics_json).expect("valid metrics JSON");
+    let jitter = metrics
+        .get("histograms")
+        .and_then(|h| h.get("pil.ctl.sampling_jitter_us"))
+        .expect("pil.ctl.sampling_jitter_us summary present");
+    for q in ["p50", "p95", "p99", "max", "count"] {
+        let v = jitter.get(q).and_then(|v| v.as_f64());
+        assert!(v.is_some(), "jitter summary has {q}");
+        assert!(v.unwrap() >= 0.0);
+    }
+    let count = jitter.get("count").unwrap().as_u64().unwrap();
+    assert_eq!(count, report.pil.steps - 1, "one jitter sample per period pair");
+    // quantiles are ordered
+    let p50 = jitter.get("p50").unwrap().as_f64().unwrap();
+    let p99 = jitter.get("p99").unwrap().as_f64().unwrap();
+    let max = jitter.get("max").unwrap().as_f64().unwrap();
+    assert!(p50 <= p99 && p99 <= max);
+
+    // exec-time summary rides along, scaled to microseconds
+    let exec = metrics.get("histograms").and_then(|h| h.get("pil.ctl.exec_us")).unwrap();
+    assert!(exec.get("p50").unwrap().as_f64().unwrap() > 0.0);
+
+    // counters from both instrumented layers survive the export
+    let counters = metrics.get("counters").unwrap();
+    assert!(counters.get("mil.engine.engine.block_evals").unwrap().as_u64().unwrap() > 0);
+    assert!(counters.get("pil.board.pil.line_cycles").unwrap().as_u64().unwrap() > 0);
+}
