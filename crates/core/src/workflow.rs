@@ -19,7 +19,7 @@ use peert_codegen::CodegenReport;
 use peert_control::metrics::StepMetrics;
 use peert_mcu::McuCatalog;
 use peert_model::log::SignalLog;
-use peert_pil::cosim::{LinkKind, PilConfig, PilSession, PilStats, PlantFn};
+use peert_pil::cosim::{FaultSchedule, LinkKind, PilConfig, PilSession, PilStats, PlantFn};
 use peert_plant::dcmotor::DcMotor;
 use peert_trace::{chrome_trace_json, ClockDomain, JsonValue, MetricsReport, Tracer};
 use serde::{Deserialize, Serialize};
@@ -193,6 +193,48 @@ pub fn make_pil_session(
     corruption_prob: f64,
     trace_capacity: usize,
 ) -> Result<(PilSession, std::sync::Arc<parking_lot::Mutex<SignalLog>>), String> {
+    assemble_pil_session(opts, cpu, link, corruption_prob, FaultSchedule::default(), trace_capacity)
+}
+
+/// Like [`run_pil_link`] with a deterministic [`FaultSchedule`] replayed
+/// on the wire — the verification harness's fault-injection entry point.
+/// Returns the stats (whose error counters must equal the schedule) and
+/// the logged plant trajectory.
+pub fn run_pil_faulted(
+    opts: &ServoOptions,
+    cpu: &str,
+    link: LinkKind,
+    faults: FaultSchedule,
+    trace_capacity: usize,
+    steps: u64,
+) -> Result<(PilStats, SignalLog), String> {
+    let (mut session, log) = make_pil_session_faulted(opts, cpu, link, faults, trace_capacity)?;
+    session.run(steps)?;
+    let stats = session.stats().clone();
+    let speed = log.lock().clone();
+    Ok((stats, speed))
+}
+
+/// [`make_pil_session`] with a deterministic fault schedule instead of
+/// probabilistic line noise.
+pub fn make_pil_session_faulted(
+    opts: &ServoOptions,
+    cpu: &str,
+    link: LinkKind,
+    faults: FaultSchedule,
+    trace_capacity: usize,
+) -> Result<(PilSession, std::sync::Arc<parking_lot::Mutex<SignalLog>>), String> {
+    assemble_pil_session(opts, cpu, link, 0.0, faults, trace_capacity)
+}
+
+fn assemble_pil_session(
+    opts: &ServoOptions,
+    cpu: &str,
+    link: LinkKind,
+    corruption_prob: f64,
+    faults: FaultSchedule,
+    trace_capacity: usize,
+) -> Result<(PilSession, std::sync::Arc<parking_lot::Mutex<SignalLog>>), String> {
     let spec = McuCatalog::standard()
         .find(cpu)
         .cloned()
@@ -213,6 +255,7 @@ pub fn make_pil_session(
         corruption_prob,
         noise_seed: 0x5EED,
         corrupt_steps: Vec::new(),
+        faults,
         trace_capacity,
     };
     let (plant, log) = pil_plant_logged(opts);
@@ -385,6 +428,32 @@ mod tests {
         assert_eq!(stats.steps, 300);
         assert_eq!(stats.crc_errors, 0);
         assert!(speed.len() > 100);
+    }
+
+    #[test]
+    fn pil_fault_schedule_counters_equal_the_schedule() {
+        let faults = FaultSchedule {
+            corrupt_steps: vec![10, 40],
+            drop_steps: vec![25],
+            overrun_steps: vec![60],
+        };
+        let (stats, _speed) = run_pil_faulted(
+            &fast_opts(),
+            "MC56F8367",
+            LinkKind::Spi { clock_hz: 2_000_000 },
+            faults.clone(),
+            1 << 12,
+            100,
+        )
+        .unwrap();
+        assert_eq!(stats.steps, 100);
+        assert_eq!(stats.crc_errors, faults.corrupt_steps.len() as u64);
+        assert_eq!(
+            stats.dropped_exchanges,
+            (faults.corrupt_steps.len() + faults.drop_steps.len()) as u64
+        );
+        assert_eq!(stats.deadline_misses, faults.overrun_steps.len() as u64);
+        assert_eq!(stats.injected_overruns, faults.overrun_steps.len() as u64);
     }
 
     #[test]

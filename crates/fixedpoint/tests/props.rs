@@ -1,7 +1,23 @@
 //! Property-based tests for the fixed-point algebra.
+//!
+//! Two tiers: approximate laws (error-bounded against f64), and *exact*
+//! laws — every representable Q value, and every sum/difference/product
+//! of two of them, is exactly representable in f64 (15 and 31 fractional
+//! bits, both < 53), so the reference for the saturating ops is computed
+//! in f64 and compared with `==` on raw representations.
 
 use peert_fixedpoint::{autoscale, QFormat, RangeTracker, Q15, Q31};
 use proptest::prelude::*;
+
+/// The raw i16 a saturating Q15 op must land on, from the exact f64.
+fn q15_ref(x: f64) -> i16 {
+    x.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+}
+
+/// The raw i32 a saturating Q31 op must land on, from the exact f64.
+fn q31_ref(x: f64) -> i32 {
+    x.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+}
 
 proptest! {
     #[test]
@@ -97,5 +113,94 @@ proptest! {
             let finer = QFormat::new(16, f.frac_bits + 1, true).unwrap();
             prop_assert!(finer.real_max() < m || finer.real_min() > -m);
         }
+    }
+
+    // --- exact laws vs the f64 reference ---------------------------------
+
+    #[test]
+    fn q15_roundtrip_is_exact(raw in any::<i16>()) {
+        let q = Q15::from_raw(raw);
+        prop_assert_eq!(Q15::from_f64(q.to_f64()), q);
+    }
+
+    #[test]
+    fn q31_roundtrip_is_exact(raw in any::<i32>()) {
+        let q = Q31::from_raw(raw);
+        prop_assert_eq!(Q31::from_f64(q.to_f64()), q);
+    }
+
+    #[test]
+    fn q15_from_f64_is_nearest_with_saturation(v in -4.0f64..4.0) {
+        let q = Q15::from_f64(v);
+        prop_assert_eq!(q.raw(), q15_ref((v * Q15::SCALE).round()));
+    }
+
+    #[test]
+    fn q15_ordering_matches_f64(a in any::<i16>(), b in any::<i16>()) {
+        let (qa, qb) = (Q15::from_raw(a), Q15::from_raw(b));
+        prop_assert_eq!(qa.cmp(&qb), qa.to_f64().partial_cmp(&qb.to_f64()).unwrap());
+    }
+
+    #[test]
+    fn q31_ordering_matches_f64(a in any::<i32>(), b in any::<i32>()) {
+        let (qa, qb) = (Q31::from_raw(a), Q31::from_raw(b));
+        prop_assert_eq!(qa.cmp(&qb), qa.to_f64().partial_cmp(&qb.to_f64()).unwrap());
+    }
+
+    #[test]
+    fn q15_sat_add_matches_reference_exactly(a in any::<i16>(), b in any::<i16>()) {
+        let sum = Q15::from_raw(a).sat_add(Q15::from_raw(b));
+        prop_assert_eq!(sum.raw(), q15_ref(a as f64 + b as f64));
+    }
+
+    #[test]
+    fn q15_sat_sub_matches_reference_exactly(a in any::<i16>(), b in any::<i16>()) {
+        let diff = Q15::from_raw(a).sat_sub(Q15::from_raw(b));
+        prop_assert_eq!(diff.raw(), q15_ref(a as f64 - b as f64));
+    }
+
+    #[test]
+    fn q31_sat_add_matches_reference_exactly(a in any::<i32>(), b in any::<i32>()) {
+        let sum = Q31::from_raw(a).sat_add(Q31::from_raw(b));
+        prop_assert_eq!(sum.raw(), q31_ref(a as f64 + b as f64));
+    }
+
+    #[test]
+    fn q15_sat_add_is_monotone(a in any::<i16>(), b in any::<i16>(), c in any::<i16>()) {
+        prop_assume!(a <= b);
+        let qc = Q15::from_raw(c);
+        prop_assert!(Q15::from_raw(a).sat_add(qc) <= Q15::from_raw(b).sat_add(qc));
+    }
+
+    #[test]
+    fn q15_sat_mul_matches_reference_exactly(a in any::<i16>(), b in any::<i16>()) {
+        // round half up = floor(x + 1/2) on the scaled exact product
+        let prod = Q15::from_raw(a).sat_mul(Q15::from_raw(b));
+        let exact = (a as f64) * (b as f64) / Q15::SCALE;
+        prop_assert_eq!(prod.raw(), q15_ref((exact + 0.5).floor()));
+    }
+
+    #[test]
+    fn q15_sat_neg_matches_reference_exactly(a in any::<i16>()) {
+        prop_assert_eq!(Q15::from_raw(a).sat_neg().raw(), q15_ref(-(a as f64)));
+    }
+
+    #[test]
+    fn q15_sat_abs_matches_reference_exactly(a in any::<i16>()) {
+        let m = Q15::from_raw(a).sat_abs();
+        prop_assert_eq!(m.raw(), q15_ref((a as f64).abs()));
+        prop_assert!(m.raw() >= 0);
+    }
+
+    #[test]
+    fn q15_mac_is_add_of_mul(acc in any::<i16>(), a in any::<i16>(), b in any::<i16>()) {
+        let (qacc, qa, qb) = (Q15::from_raw(acc), Q15::from_raw(a), Q15::from_raw(b));
+        prop_assert_eq!(qacc.mac(qa, qb), qacc.sat_add(qa.sat_mul(qb)));
+    }
+
+    #[test]
+    fn q15_widen_is_exact(a in any::<i16>()) {
+        let q = Q15::from_raw(a);
+        prop_assert_eq!(q.widen().to_f64(), q.to_f64());
     }
 }

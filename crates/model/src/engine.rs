@@ -54,6 +54,45 @@ impl From<GraphError> for SimError {
 /// Safety cap on triggered dispatches within one major step.
 const EVENT_CAP: usize = 10_000;
 
+/// Error from [`Engine::try_probe`]: the probed source does not exist.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProbeError {
+    /// The block index is past the end of the diagram.
+    BlockOutOfRange {
+        /// Offending block index.
+        block: usize,
+        /// Number of blocks in the diagram.
+        len: usize,
+    },
+    /// The block exists but has no such output port.
+    PortOutOfRange {
+        /// Name of the probed block.
+        block: String,
+        /// Number of output ports the block has.
+        outputs: usize,
+        /// The port index asked for.
+        port: usize,
+    },
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::BlockOutOfRange { block, len } => {
+                write!(f, "probe: block #{block} out of range (diagram has {len} blocks)")
+            }
+            ProbeError::PortOutOfRange { block, outputs, port } => {
+                write!(
+                    f,
+                    "probe: block '{block}' has {outputs} output port(s), asked for port {port}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
 /// Registered trace event ids for the engine's instrumentation points
 /// (present iff [`Engine::enable_trace`] was called).
 struct EngineTraceIds {
@@ -204,20 +243,28 @@ impl Engine {
     /// exist — a probe of a mis-built harness should fail loudly, not
     /// index arbitrary memory.
     pub fn probe(&self, src: Source) -> Value {
+        self.try_probe(src).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking variant of [`Engine::probe`]: returns a
+    /// [`ProbeError`] instead of panicking when the block or port does
+    /// not exist, so differential harnesses can report bad probes as
+    /// ordinary failures.
+    pub fn try_probe(&self, src: Source) -> Result<Value, ProbeError> {
         let (id, port) = src;
         let b = id.index();
-        assert!(
-            b < self.plan.out_count.len(),
-            "probe: block #{b} out of range (diagram has {} blocks)",
-            self.plan.out_count.len()
-        );
+        if b >= self.plan.out_count.len() {
+            return Err(ProbeError::BlockOutOfRange { block: b, len: self.plan.out_count.len() });
+        }
         let outputs = self.plan.out_count[b] as usize;
-        assert!(
-            port < outputs,
-            "probe: block '{}' has {outputs} output port(s), asked for port {port}",
-            self.diagram.names[b]
-        );
-        self.values[self.plan.out_base[b] as usize + port]
+        if port >= outputs {
+            return Err(ProbeError::PortOutOfRange {
+                block: self.diagram.names[b].clone(),
+                outputs,
+                port,
+            });
+        }
+        Ok(self.values[self.plan.out_base[b] as usize + port])
     }
 
     /// Inject an external function-call event into a triggered block —
@@ -582,6 +629,25 @@ mod tests {
         let c = d.add("c", Counter { period: None, count: 0, emit: false }).unwrap();
         let e = Engine::new(d, 0.001).unwrap();
         let _ = e.probe((c, 7));
+    }
+
+    #[test]
+    fn try_probe_reports_bad_sources_as_errors() {
+        let mut d = Diagram::new();
+        let c = d.add("c", Counter { period: None, count: 0, emit: false }).unwrap();
+        let e = Engine::new(d, 0.001).unwrap();
+        assert!(e.try_probe((c, 0)).is_ok());
+        match e.try_probe((c, 7)) {
+            Err(ProbeError::PortOutOfRange { block, outputs, port }) => {
+                assert_eq!(block, "c");
+                assert_eq!(outputs, 1);
+                assert_eq!(port, 7);
+            }
+            other => panic!("expected PortOutOfRange, got {other:?}"),
+        }
+        // the Display text is the contract `probe` panics with
+        let msg = e.try_probe((c, 7)).unwrap_err().to_string();
+        assert_eq!(msg, "probe: block 'c' has 1 output port(s), asked for port 7");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! *direct-feedthrough* edges; a cycle among feedthrough edges is an
 //! algebraic loop and is rejected, exactly as Simulink reports it.
 
-use crate::block::{Block, SampleTime};
+use crate::block::{Block, ParamValue, PortCount, SampleTime};
 use std::collections::HashMap;
 
 /// Handle to a block inside a diagram.
@@ -79,6 +79,41 @@ impl std::error::Error for GraphError {}
 pub type Source = (BlockId, usize);
 /// A destination endpoint: input `port` of `block`.
 pub type Dest = (BlockId, usize);
+
+/// Structural snapshot of one block inside a [`DiagramFingerprint`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockFingerprint {
+    /// The block's name in the diagram.
+    pub name: String,
+    /// Library type name (`"Gain"`, `"Sum"`…).
+    pub type_name: String,
+    /// Code-generation parameter bag, in the block's declared order.
+    pub params: Vec<(String, ParamValue)>,
+    /// Port configuration.
+    pub ports: PortCount,
+    /// Whether the block has direct feedthrough.
+    pub feedthrough: bool,
+    /// The block's sample time.
+    pub sample: SampleTime,
+    /// Driving source of each input port (`None` = unconnected).
+    pub sources: Vec<Option<Source>>,
+    /// Triggered target of each event port (`None` = unconnected).
+    pub event_targets: Vec<Option<BlockId>>,
+}
+
+/// Structural fingerprint of a whole diagram: block identities, parameter
+/// bags, sample times, and the full wiring, in insertion order.
+///
+/// Two diagrams built independently from the same specification compare
+/// equal — this is the introspection/comparison hook used by differential
+/// harnesses (`peert-verify`) to assert that separately instantiated
+/// copies of a model really are the same model before executing them
+/// down different paths.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiagramFingerprint {
+    /// One entry per block, in insertion order.
+    pub blocks: Vec<BlockFingerprint>,
+}
 
 /// The model graph.
 pub struct Diagram {
@@ -197,6 +232,39 @@ impl Diagram {
     /// The source driving input `(block, port)`, if connected.
     pub fn source_of(&self, dst: Dest) -> Option<Source> {
         self.wires.get(&(dst.0 .0, dst.1)).copied()
+    }
+
+    /// The triggered block wired to event port `(src, event)`, if any.
+    pub fn event_target_of(&self, src: BlockId, event: usize) -> Option<BlockId> {
+        self.event_wires.get(&(src.0, event)).copied()
+    }
+
+    /// Structural fingerprint of the diagram — see [`DiagramFingerprint`].
+    pub fn fingerprint(&self) -> DiagramFingerprint {
+        let blocks = self
+            .ids()
+            .map(|id| {
+                let b = self.block(id);
+                let ports = b.ports();
+                BlockFingerprint {
+                    name: self.name(id).to_string(),
+                    type_name: b.type_name().to_string(),
+                    params: b
+                        .params()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect(),
+                    ports,
+                    feedthrough: b.feedthrough(),
+                    sample: b.sample(),
+                    sources: (0..ports.inputs).map(|p| self.source_of((id, p))).collect(),
+                    event_targets: (0..ports.events)
+                        .map(|e| self.event_target_of(id, e))
+                        .collect(),
+                }
+            })
+            .collect();
+        DiagramFingerprint { blocks }
     }
 
     /// Iterate block ids in insertion order.
@@ -348,6 +416,65 @@ mod tests {
         d.connect((a, 0), (z, 0)).unwrap();
         d.connect((z, 0), (a, 0)).unwrap();
         assert!(d.sorted_order().is_ok());
+    }
+
+    struct Emitter;
+    impl Block for Emitter {
+        fn type_name(&self) -> &'static str {
+            "Emitter"
+        }
+        fn ports(&self) -> PortCount {
+            PortCount::with_events(0, 1, 1)
+        }
+        fn output(&mut self, _ctx: &mut BlockCtx) {}
+    }
+
+    struct Trig;
+    impl Block for Trig {
+        fn type_name(&self) -> &'static str {
+            "Trig"
+        }
+        fn ports(&self) -> PortCount {
+            PortCount::new(0, 1)
+        }
+        fn sample(&self) -> SampleTime {
+            SampleTime::Triggered
+        }
+        fn output(&mut self, _ctx: &mut BlockCtx) {}
+    }
+
+    #[test]
+    fn event_target_of_reports_the_wiring() {
+        let mut d = Diagram::new();
+        let e = d.add("e", Emitter).unwrap();
+        let t = d.add("t", Trig).unwrap();
+        assert_eq!(d.event_target_of(e, 0), None);
+        d.connect_event(e, 0, t).unwrap();
+        assert_eq!(d.event_target_of(e, 0), Some(t));
+    }
+
+    #[test]
+    fn fingerprints_of_identically_built_diagrams_are_equal() {
+        let build = || {
+            let mut d = Diagram::new();
+            let a = d.add("a", Pass).unwrap();
+            let z = d.add("z", Delay).unwrap();
+            d.connect((a, 0), (z, 0)).unwrap();
+            d
+        };
+        assert_eq!(build().fingerprint(), build().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_wiring() {
+        let mut d1 = Diagram::new();
+        let a = d1.add("a", Pass).unwrap();
+        let z = d1.add("z", Delay).unwrap();
+        d1.connect((a, 0), (z, 0)).unwrap();
+        let mut d2 = Diagram::new();
+        d2.add("a", Pass).unwrap();
+        d2.add("z", Delay).unwrap();
+        assert_ne!(d1.fingerprint(), d2.fingerprint());
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub mod signal;
 pub mod subsystem;
 
 pub use block::{Block, BlockCtx, PortCount, SampleTime};
-pub use engine::{Engine, SimError};
-pub use graph::{BlockId, Diagram, GraphError};
+pub use engine::{Engine, ProbeError, SimError};
+pub use graph::{BlockFingerprint, BlockId, Diagram, DiagramFingerprint, GraphError};
 pub use log::SignalLog;
 pub use plan::ExecutionPlan;
 pub use signal::{DataType, Value};

@@ -49,6 +49,47 @@ pub enum LinkKind {
     },
 }
 
+/// A deterministic schedule of injected PIL faults, generalizing the
+/// single-kind `corrupt_steps` knob: every listed step number triggers
+/// exactly one fault of that kind, so a verification harness can assert
+/// the traced error counters *equal* the schedule (not merely "some
+/// errors happened").
+///
+/// Kinds:
+/// * `corrupt_steps` — one payload bit of the inbound sensor frame is
+///   flipped; CRC-16 catches it, so each step yields exactly one CRC
+///   error and one dropped exchange.
+/// * `drop_steps` — the inbound frame is lost entirely (line time still
+///   elapses); one dropped exchange, no CRC error.
+/// * `overrun_steps` — the controller step is stretched past the control
+///   period (a scheduler overrun); exactly one deadline miss.
+///
+/// The schedule is replayed verbatim on every run, so two sessions with
+/// the same configuration produce byte-identical trajectories.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Steps whose inbound frame gets one payload bit flipped.
+    pub corrupt_steps: Vec<u64>,
+    /// Steps whose inbound frame is dropped on the wire.
+    pub drop_steps: Vec<u64>,
+    /// Steps whose controller step overruns the control period.
+    pub overrun_steps: Vec<u64>,
+}
+
+impl FaultSchedule {
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.corrupt_steps.is_empty()
+            && self.drop_steps.is_empty()
+            && self.overrun_steps.is_empty()
+    }
+
+    /// Total number of scheduled faults of all kinds.
+    pub fn len(&self) -> usize {
+        self.corrupt_steps.len() + self.drop_steps.len() + self.overrun_steps.len()
+    }
+}
+
 /// PIL run configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PilConfig {
@@ -78,6 +119,10 @@ pub struct PilConfig {
     /// listed step contributes exactly one CRC error and one dropped
     /// exchange.
     pub corrupt_steps: Vec<u64>,
+    /// Deterministic multi-kind fault schedule (corruption, frame drops,
+    /// scheduler overruns) — see [`FaultSchedule`]. Defaults to empty.
+    #[serde(default)]
+    pub faults: FaultSchedule,
     /// Ring capacity of the board trace (0 = tracing off). When set, the
     /// session records per-packet RX/TX spans, controller-step spans, and
     /// CRC/drop/line-stall counters on the executive's tracer.
@@ -97,6 +142,7 @@ impl Default for PilConfig {
             corruption_prob: 0.0,
             noise_seed: 0x5EED,
             corrupt_steps: Vec::new(),
+            faults: FaultSchedule::default(),
             trace_capacity: 0,
         }
     }
@@ -151,6 +197,10 @@ pub struct PilStats {
     pub crc_errors: u64,
     /// Exchanges lost to line noise (controller held its last output).
     pub dropped_exchanges: u64,
+    /// Scheduler overruns injected by the fault schedule (each one is
+    /// also counted as a deadline miss).
+    #[serde(default)]
+    pub injected_overruns: u64,
     /// Host-side trajectory: (time s, first sensor channel).
     pub trajectory_t: Vec<f64>,
     /// Host-side trajectory values.
@@ -197,6 +247,7 @@ struct PilTraceIds {
     crc_ctr: EventId,
     crc_inst: EventId,
     dropped_ctr: EventId,
+    overrun_ctr: EventId,
     line_ctr: EventId,
 }
 
@@ -254,6 +305,7 @@ impl PilSession {
                 crc_ctr: t.register("pil.crc_errors"),
                 crc_inst: t.register("pil.crc_error"),
                 dropped_ctr: t.register("pil.dropped_exchanges"),
+                overrun_ctr: t.register("pil.overruns"),
                 line_ctr: t.register("pil.line_cycles"),
             })
         } else {
@@ -307,14 +359,21 @@ impl PilSession {
                 sensors.iter().map(|&v| to_sample(v, self.cfg.sensor_scale)).collect();
             let pkt = Packet::new(self.seq, samples)?;
             let bytes = pkt.encode();
-            for (j, &b) in bytes.iter().enumerate() {
-                let arrives = t0 + (j as Cycles + 1) * byte_cycles;
-                let mut wire_byte = self.noise.corrupt(b);
-                if j == 3 && self.cfg.corrupt_steps.contains(&step) {
-                    // flip one bit of the first payload byte
-                    wire_byte ^= 0x01;
+            // a scheduled frame drop: the wire time elapses but no byte
+            // reaches the board's SCI
+            let drop_inbound = self.cfg.faults.drop_steps.contains(&step);
+            let corrupt_inbound = self.cfg.corrupt_steps.contains(&step)
+                || self.cfg.faults.corrupt_steps.contains(&step);
+            if !drop_inbound {
+                for (j, &b) in bytes.iter().enumerate() {
+                    let arrives = t0 + (j as Cycles + 1) * byte_cycles;
+                    let mut wire_byte = self.noise.corrupt(b);
+                    if j == 3 && corrupt_inbound {
+                        // flip one bit of the first payload byte
+                        wire_byte ^= 0x01;
+                    }
+                    self.exec.mcu.scis[0].inject_rx(wire_byte, arrives);
                 }
-                self.exec.mcu.scis[0].inject_rx(wire_byte, arrives);
             }
             let rx_done = t0 + bytes.len() as Cycles * byte_cycles;
             // run the board through the reception (comm ISR per byte)
@@ -381,7 +440,10 @@ impl PilSession {
                     actuation
                 }
                 None => {
-                    if self.cfg.corruption_prob == 0.0 && self.cfg.corrupt_steps.is_empty() {
+                    if self.cfg.corruption_prob == 0.0
+                        && self.cfg.corrupt_steps.is_empty()
+                        && self.cfg.faults.is_empty()
+                    {
                         return Err(format!("step {step}: no complete packet on the board"));
                     }
                     self.stats.dropped_exchanges += 1;
@@ -392,6 +454,19 @@ impl PilSession {
                     self.last_actuation.clone()
                 }
             };
+
+            // a scheduled scheduler overrun: the controller step is
+            // stretched by a full control period, guaranteeing exactly one
+            // deadline miss on this step
+            if self.cfg.faults.overrun_steps.contains(&step) {
+                let period_cycles =
+                    self.exec.mcu.clock.secs_to_cycles(self.cfg.control_period_s);
+                self.exec.mcu.advance(period_cycles);
+                self.stats.injected_overruns += 1;
+                if let Some(ids) = ids {
+                    self.exec.tracer_mut().add(ids.overrun_ctr, 1);
+                }
+            }
 
             // --- board → host: actuation packet ---
             let reply_samples: Vec<i16> =
@@ -696,6 +771,104 @@ mod tests {
         // every clean frame after a corrupted one parsed: controller ran on
         // all non-corrupted steps, so the parser resynchronized each time
         assert_eq!(s.ctl_profile().activations, 40 - injected);
+    }
+
+    #[test]
+    fn fault_schedule_counters_equal_the_schedule_exactly() {
+        // every fault kind at disjoint steps on a fast SPI link (no
+        // natural deadline misses): counters must *equal* the schedule
+        let faults = FaultSchedule {
+            corrupt_steps: vec![2, 9, 17],
+            drop_steps: vec![5, 11],
+            overrun_steps: vec![7, 13, 20, 26],
+        };
+        let cfg = PilConfig {
+            link: LinkKind::Spi { clock_hz: 2_000_000 },
+            faults: faults.clone(),
+            trace_capacity: 1 << 12,
+            ..Default::default()
+        };
+        let mut s = session(cfg);
+        let stats = s.run(30).unwrap().clone();
+        assert_eq!(stats.steps, 30);
+        assert_eq!(stats.crc_errors, faults.corrupt_steps.len() as u64);
+        assert_eq!(
+            stats.dropped_exchanges,
+            (faults.corrupt_steps.len() + faults.drop_steps.len()) as u64
+        );
+        assert_eq!(stats.deadline_misses, faults.overrun_steps.len() as u64);
+        assert_eq!(stats.injected_overruns, faults.overrun_steps.len() as u64);
+        let tracer = s.executive().tracer();
+        assert_eq!(tracer.counter_by_name("pil.crc_errors"), Some(3));
+        assert_eq!(tracer.counter_by_name("pil.dropped_exchanges"), Some(5));
+        assert_eq!(tracer.counter_by_name("pil.overruns"), Some(4));
+        // the controller ran on every step whose exchange completed
+        assert_eq!(s.ctl_profile().activations, 30 - 5);
+    }
+
+    #[test]
+    fn fault_schedule_replay_is_byte_identical() {
+        let run = || {
+            let cfg = PilConfig {
+                link: LinkKind::Spi { clock_hz: 2_000_000 },
+                faults: FaultSchedule {
+                    corrupt_steps: vec![3, 8],
+                    drop_steps: vec![6],
+                    overrun_steps: vec![10],
+                },
+                ..Default::default()
+            };
+            let mut s = session(cfg);
+            let stats = s.run(25).unwrap();
+            (
+                stats.trajectory_y.iter().map(|v| v.to_bits()).collect::<Vec<u64>>(),
+                stats.step_cycles.clone(),
+            )
+        };
+        assert_eq!(run(), run(), "same schedule, byte-identical trajectory");
+    }
+
+    #[test]
+    fn recovery_restores_lockstep_within_one_exchange() {
+        // open-loop stimulus plant + stateless controller: on a faulted
+        // step the host sees the held previous actuation, and on the very
+        // next clean exchange the reply is bit-identical to the clean run
+        // again — recovery within one exchange
+        use std::sync::{Arc, Mutex};
+        let run = |faults: FaultSchedule| -> Vec<u64> {
+            let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = seen.clone();
+            let mut k = 0u64;
+            let plant: PlantFn = Box::new(move |u: &[f64], dt: f64| {
+                if dt > 0.0 {
+                    sink.lock().unwrap().push(u[0].to_bits());
+                    k += 1;
+                }
+                vec![0.01 * k as f64] // stimulus independent of actuation
+            });
+            let controller: ControllerFn = Box::new(|s: &[f64]| vec![2.0 * s[0]]);
+            let cfg = PilConfig {
+                link: LinkKind::Spi { clock_hz: 2_000_000 },
+                faults,
+                ..Default::default()
+            };
+            let mut s = PilSession::new(&spec(), &image(), cfg, controller, plant).unwrap();
+            s.run(20).unwrap();
+            let v = seen.lock().unwrap().clone();
+            v
+        };
+        let clean = run(FaultSchedule::default());
+        let drops = [4u64, 9];
+        let faulted =
+            run(FaultSchedule { drop_steps: drops.to_vec(), ..Default::default() });
+        assert_eq!(clean.len(), faulted.len());
+        for (step, (c, f)) in clean.iter().zip(&faulted).enumerate() {
+            if drops.contains(&(step as u64)) {
+                assert_ne!(c, f, "step {step}: the held output is visible on the host");
+            } else {
+                assert_eq!(c, f, "step {step}: lockstep restored after the fault");
+            }
+        }
     }
 
     #[test]

@@ -25,5 +25,5 @@
 pub mod cosim;
 pub mod packet;
 
-pub use cosim::{LinkKind, PilConfig, PilSession, PilStats};
+pub use cosim::{FaultSchedule, LinkKind, PilConfig, PilSession, PilStats};
 pub use packet::{Packet, PacketParser, MAX_SAMPLES};

@@ -1,0 +1,189 @@
+//! # peert-verify — differential & property verification harness
+//!
+//! The repo has three ways to execute the same control diagram: the
+//! naive interpreted walk, the precompiled execution plan inside
+//! [`peert_model::Engine`], and the MIL→codegen→PIL lockstep pipeline.
+//! They are supposed to agree. This crate generates random diagrams
+//! from a seed and checks that they *do* agree:
+//!
+//! * **MIL differential** ([`diff::run_mil_case`]): engine vs reference
+//!   interpreter, bit-exact on every output port of every block at
+//!   every step, plus a byte-for-byte `reset()` determinism check.
+//! * **PIL three-way** ([`diff::run_pil_case`]): the controller through
+//!   the full pipeline. Bit-exact against a host-side quantized replica
+//!   of the board; within a propagated quantization tolerance of the
+//!   exact MIL trajectory.
+//! * **Fault replay** ([`diff::run_fault_schedule_case`]): a
+//!   deterministic schedule of line corruption, frame drops and
+//!   scheduler overruns. Traced error counters must *equal* the
+//!   schedule; the drop-aware replica must match bit-for-bit, proving
+//!   lockstep recovery on the first clean exchange.
+//!
+//! A failing case prints its seed and spec, and [`shrink::shrink`]
+//! reduces it to a 1-minimal diagram before reporting.
+
+pub mod diff;
+pub mod gen;
+pub mod interp;
+pub mod rng;
+pub mod shrink;
+pub mod spec;
+
+use peert_mcu::{McuCatalog, McuSpec};
+use peert_pil::FaultSchedule;
+
+/// What [`run_suite`] verified, for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteReport {
+    /// MIL differential cases that passed (engine ≡ interpreter).
+    pub mil_cases: u64,
+    /// PIL three-way cases that passed.
+    pub pil_cases: u64,
+    /// Worst |PIL − MIL| divergence across all PIL cases.
+    pub worst_divergence: f64,
+    /// The tolerance that bounded the worst divergence.
+    pub worst_tolerance: f64,
+    /// Fault-schedule cases that passed with exact counter equality.
+    pub fault_cases: u64,
+}
+
+/// A failed case: everything needed to reproduce and diagnose it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Which phase failed (`"mil"`, `"reset"`, `"pil"`, `"fault"`).
+    pub phase: &'static str,
+    /// The generating seed.
+    pub seed: u64,
+    /// The case index within the seed.
+    pub case: u64,
+    /// What went wrong.
+    pub message: String,
+    /// The spec, shrunk to 1-minimal when shrinking was requested.
+    pub spec: String,
+    /// Blocks in the reported spec.
+    pub blocks: usize,
+}
+
+/// The board CPU every PIL case runs on.
+pub fn default_mcu() -> McuSpec {
+    McuCatalog::standard()
+        .find("MC56F8367")
+        .expect("standard catalog has the MC56F8367")
+        .clone()
+}
+
+/// The fault schedule exercised once per suite run: disjoint corrupt /
+/// drop / overrun steps within the 48-step case horizon.
+pub fn suite_fault_schedule() -> FaultSchedule {
+    FaultSchedule {
+        corrupt_steps: vec![3, 17, 31],
+        drop_steps: vec![8, 23],
+        overrun_steps: vec![12, 40],
+    }
+}
+
+/// Steps each MIL differential case runs for.
+pub const MIL_STEPS: u64 = 40;
+
+/// Run the whole suite: `cases` MIL differential cases (with reset
+/// checks), `cases` PIL three-way cases, and one deterministic
+/// fault-schedule replay per seed. On failure the offending spec is
+/// shrunk (when `do_shrink`) and returned.
+pub fn run_suite(seed: u64, cases: u64, do_shrink: bool) -> Result<SuiteReport, Failure> {
+    let mut report = SuiteReport::default();
+    let mcu = default_mcu();
+
+    for case in 0..cases {
+        let spec = gen::gen_mil_spec(seed, case);
+        if let Err(message) = diff::run_mil_case(&spec, MIL_STEPS, None) {
+            return Err(fail_mil("mil", seed, case, message, &spec, do_shrink, None));
+        }
+        if let Err(message) = diff::check_reset_determinism(&spec, MIL_STEPS) {
+            return Err(fail_mil("reset", seed, case, message, &spec, do_shrink, None));
+        }
+        report.mil_cases += 1;
+    }
+
+    for case in 0..cases {
+        let ctl = gen::gen_controller_case(seed, case);
+        match diff::run_pil_case(&ctl, &mcu) {
+            Ok(r) => {
+                if r.worst_divergence > report.worst_divergence {
+                    report.worst_divergence = r.worst_divergence;
+                    report.worst_tolerance = r.tolerance;
+                }
+                report.pil_cases += 1;
+            }
+            Err(message) => {
+                return Err(Failure {
+                    phase: "pil",
+                    seed,
+                    case,
+                    message,
+                    spec: ctl.ctl.to_json(),
+                    blocks: ctl.ctl.blocks.len(),
+                })
+            }
+        }
+    }
+
+    // one deterministic fault replay per run (same schedule every time)
+    let ctl = gen::gen_controller_case(seed, 0);
+    let faults = suite_fault_schedule();
+    match diff::run_fault_schedule_case(&ctl, &mcu, &faults) {
+        Ok(_) => report.fault_cases += 1,
+        Err(message) => {
+            return Err(Failure {
+                phase: "fault",
+                seed,
+                case: 0,
+                message,
+                spec: ctl.ctl.to_json(),
+                blocks: ctl.ctl.blocks.len(),
+            })
+        }
+    }
+
+    Ok(report)
+}
+
+/// Build a MIL-phase failure, shrinking the spec first when asked.
+fn fail_mil(
+    phase: &'static str,
+    seed: u64,
+    case: u64,
+    message: String,
+    spec: &spec::DiagramSpec,
+    do_shrink: bool,
+    bug: Option<spec::InjectedBug>,
+) -> Failure {
+    let reported = if do_shrink {
+        let (min, _) = shrink::shrink(spec, |s| diff::run_mil_case(s, MIL_STEPS, bug).is_err());
+        min
+    } else {
+        spec.clone()
+    };
+    Failure {
+        phase,
+        seed,
+        case,
+        message,
+        spec: reported.to_json(),
+        blocks: reported.blocks.len(),
+    }
+}
+
+/// The shrinking demonstration: inject a known bug (every `Gain` in the
+/// interpreter path reads `+1e-9` high), let the differential catch it,
+/// and shrink the counterexample. Returns the minimal spec's block count
+/// (expected: 1, a lone `Gain`).
+pub fn demo_shrink(seed: u64) -> Result<(spec::DiagramSpec, usize), String> {
+    let bug = Some(spec::InjectedBug::GainOffset);
+    let spec = (0..256)
+        .map(|c| gen::gen_mil_spec(seed, c))
+        .find(|s| diff::run_mil_case(s, MIL_STEPS, bug).is_err())
+        .ok_or("no generated case tripped the injected bug")?;
+    let (min, _) = shrink::shrink(&spec, |s| diff::run_mil_case(s, MIL_STEPS, bug).is_err());
+    let blocks = min.blocks.len();
+    Ok((min, blocks))
+}

@@ -1,0 +1,63 @@
+//! Greedy counterexample shrinking.
+//!
+//! When a differential case fails, the raw generated diagram is rarely
+//! the story — most of its blocks are bystanders. The shrinker repeats
+//! one move, *remove a single block* (dropping its wires and reindexing
+//! the rest), keeping any removal that still fails, until no single
+//! removal preserves the failure. The result is 1-minimal: every
+//! remaining block is necessary to reproduce the bug.
+
+use crate::spec::DiagramSpec;
+
+/// Shrink `spec` against `fails` (true ⇔ the spec still reproduces the
+/// failure). Returns the 1-minimal spec and the number of candidate
+/// specs tried.
+pub fn shrink(
+    spec: &DiagramSpec,
+    mut fails: impl FnMut(&DiagramSpec) -> bool,
+) -> (DiagramSpec, usize) {
+    debug_assert!(fails(spec), "shrinking starts from a failing spec");
+    let mut current = spec.clone();
+    let mut tried = 0usize;
+    loop {
+        let mut reduced = None;
+        for b in 0..current.blocks.len() {
+            let candidate = current.without_block(b);
+            tried += 1;
+            if fails(&candidate) {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => current = c,
+            None => return (current, tried),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BlockSpec;
+
+    #[test]
+    fn shrinks_to_the_necessary_block() {
+        // failure = "contains a Gain": everything else must go
+        let spec = DiagramSpec {
+            dt: 1e-3,
+            blocks: vec![
+                BlockSpec::Constant { value: 1.0 },
+                BlockSpec::Gain { gain: 2.0 },
+                BlockSpec::Abs,
+                BlockSpec::Sum { signs: "++".into() },
+            ],
+            wires: vec![(0, 0, 1, 0), (1, 0, 2, 0), (2, 0, 3, 0), (0, 0, 3, 1)],
+        };
+        let (min, _) = shrink(&spec, |s| {
+            s.blocks.iter().any(|b| matches!(b, BlockSpec::Gain { .. }))
+        });
+        assert_eq!(min.blocks, vec![BlockSpec::Gain { gain: 2.0 }]);
+        assert!(min.wires.is_empty());
+    }
+}

@@ -1,0 +1,576 @@
+//! Serializable diagram specifications.
+//!
+//! `Box<dyn Block>` is not `Clone`, so a generated test case is a
+//! [`DiagramSpec`] — a plain-data description that can be instantiated
+//! *fresh* for every execution path (interpreted reference, precompiled
+//! engine plan, codegen/PIL pipeline). Two instantiations of the same
+//! spec are the same model, which [`DiagramSpec::build`] guarantees by
+//! construction and the harness double-checks through
+//! [`peert_model::Diagram::fingerprint`].
+
+use peert_model::block::{Block, BlockCtx, ParamValue, PortCount};
+use peert_model::graph::{BlockId, Diagram, GraphError};
+use peert_model::library::discrete::{
+    DiscreteDerivative, DiscreteIntegrator, DiscreteTransferFcn, UnitDelay, ZeroOrderHold,
+};
+use peert_model::library::logic::{Compare, CompareOp, Switch};
+use peert_model::library::math::{Abs, Gain, MinMax, Product, Sum};
+use peert_model::library::nonlinear::{DeadZone, Quantizer, RateLimiter, Relay, Saturation};
+use peert_model::library::sources::{Constant, PulseGenerator, Ramp, SineWave, Step};
+use peert_model::subsystem::{Inport, Outport, Subsystem};
+use peert_model::SampleTime;
+use serde::{Deserialize, Serialize};
+
+/// One block of a generated diagram, as plain data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BlockSpec {
+    /// Controller input marker (instantiates to an `Inport`).
+    Input {
+        /// Which controller input this marker is (0-based).
+        index: usize,
+    },
+    /// Controller output marker (instantiates to an `Outport`).
+    Output,
+    /// Constant source.
+    Constant {
+        /// The value.
+        value: f64,
+    },
+    /// Step source (0 before `time`, `level` after).
+    Step {
+        /// Switch time in seconds.
+        time: f64,
+        /// Final level.
+        level: f64,
+    },
+    /// Sine source (zero phase and bias).
+    Sine {
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency in Hz.
+        freq_hz: f64,
+    },
+    /// Ramp source.
+    Ramp {
+        /// Slope per second.
+        slope: f64,
+        /// Start time in seconds.
+        start: f64,
+    },
+    /// Pulse source.
+    Pulse {
+        /// Amplitude.
+        amplitude: f64,
+        /// Period in seconds.
+        period: f64,
+        /// Duty cycle in `[0, 1]`.
+        duty: f64,
+    },
+    /// Scalar gain.
+    Gain {
+        /// The gain factor.
+        gain: f64,
+    },
+    /// Signed sum; one input per sign character.
+    Sum {
+        /// Sign string, e.g. `"+-"`.
+        signs: String,
+    },
+    /// N-input product.
+    Product {
+        /// Number of inputs.
+        inputs: usize,
+    },
+    /// N-input min or max.
+    MinMax {
+        /// True = max, false = min.
+        is_max: bool,
+        /// Number of inputs.
+        inputs: usize,
+    },
+    /// Absolute value.
+    Abs,
+    /// Saturation to `[lo, hi]`.
+    Saturation {
+        /// Lower limit.
+        lo: f64,
+        /// Upper limit.
+        hi: f64,
+    },
+    /// Dead zone of `width` around zero.
+    DeadZone {
+        /// Zone half-width parameter.
+        width: f64,
+    },
+    /// Quantizer to multiples of `interval`.
+    Quantizer {
+        /// Quantization interval.
+        interval: f64,
+    },
+    /// Symmetric rate limiter.
+    RateLimiter {
+        /// Max rising slew per second.
+        rate: f64,
+    },
+    /// Hysteresis relay.
+    Relay {
+        /// Switch-on threshold.
+        on_point: f64,
+        /// Switch-off threshold (≤ `on_point`).
+        off_point: f64,
+        /// Output when on.
+        on_value: f64,
+        /// Output when off.
+        off_value: f64,
+    },
+    /// Relational compare of input 0 vs input 1 (bool out).
+    Compare {
+        /// Operator index into `[Lt, Le, Gt, Ge, Eq, Ne]`.
+        op: u8,
+    },
+    /// 3-input switch: bool input 1 selects input 0 or input 2.
+    Switch,
+    /// One-period delay.
+    UnitDelay {
+        /// Sample period in seconds.
+        period: f64,
+    },
+    /// Zero-order hold.
+    ZeroOrderHold {
+        /// Sample period in seconds.
+        period: f64,
+    },
+    /// Forward-Euler discrete integrator, clamped to `[lo, hi]`.
+    DiscreteIntegrator {
+        /// Sample period in seconds.
+        period: f64,
+        /// Lower state limit.
+        lo: f64,
+        /// Upper state limit.
+        hi: f64,
+    },
+    /// Backward-difference derivative.
+    DiscreteDerivative {
+        /// Sample period in seconds.
+        period: f64,
+    },
+    /// Direct-form-II transfer function.
+    DiscreteTransferFcn {
+        /// Numerator coefficients.
+        num: Vec<f64>,
+        /// Denominator coefficients.
+        den: Vec<f64>,
+        /// Sample period in seconds.
+        period: f64,
+    },
+}
+
+/// The deliberate bug the shrinking demo injects into one execution path.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum InjectedBug {
+    /// Every `Gain` in the *interpreted* path adds `1e-9` to its output —
+    /// a sub-visible numeric divergence only a bit-exact oracle catches.
+    GainOffset,
+}
+
+/// A `Gain` whose output is perturbed — instantiated only when an
+/// [`InjectedBug::GainOffset`] is requested (the shrink self-test).
+struct BuggyGain {
+    gain: f64,
+}
+
+impl Block for BuggyGain {
+    fn type_name(&self) -> &'static str {
+        "Gain"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![("gain", ParamValue::F(self.gain))]
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(1, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        ctx.set_output(0, ctx.in_f64(0) * self.gain + 1e-9);
+    }
+}
+
+impl BlockSpec {
+    /// `(inputs, outputs)` of the instantiated block.
+    pub fn ports(&self) -> (usize, usize) {
+        match self {
+            BlockSpec::Input { .. } => (0, 1),
+            BlockSpec::Output => (1, 1),
+            BlockSpec::Constant { .. }
+            | BlockSpec::Step { .. }
+            | BlockSpec::Sine { .. }
+            | BlockSpec::Ramp { .. }
+            | BlockSpec::Pulse { .. } => (0, 1),
+            BlockSpec::Gain { .. }
+            | BlockSpec::Abs
+            | BlockSpec::Saturation { .. }
+            | BlockSpec::DeadZone { .. }
+            | BlockSpec::Quantizer { .. }
+            | BlockSpec::RateLimiter { .. }
+            | BlockSpec::Relay { .. }
+            | BlockSpec::UnitDelay { .. }
+            | BlockSpec::ZeroOrderHold { .. }
+            | BlockSpec::DiscreteIntegrator { .. }
+            | BlockSpec::DiscreteDerivative { .. }
+            | BlockSpec::DiscreteTransferFcn { .. } => (1, 1),
+            BlockSpec::Sum { signs } => (signs.len(), 1),
+            BlockSpec::Product { inputs } | BlockSpec::MinMax { inputs, .. } => (*inputs, 1),
+            BlockSpec::Compare { .. } => (2, 1),
+            BlockSpec::Switch => (3, 1),
+        }
+    }
+
+    /// Whether the instantiated block has direct feedthrough — the
+    /// generator only wires *forward* edges into feedthrough blocks, so
+    /// every generated diagram is acyclic by construction.
+    pub fn feedthrough(&self) -> bool {
+        !matches!(
+            self,
+            BlockSpec::UnitDelay { .. } | BlockSpec::DiscreteIntegrator { .. }
+        )
+    }
+
+    /// Instantiate the library block. `bug` swaps in the deliberately
+    /// wrong implementation for the shrink self-test.
+    pub fn instantiate(&self, bug: Option<InjectedBug>) -> Result<Box<dyn Block>, String> {
+        Ok(match self {
+            BlockSpec::Input { .. } => Box::new(Inport),
+            BlockSpec::Output => Box::new(Outport),
+            BlockSpec::Constant { value } => Box::new(Constant::new(*value)),
+            BlockSpec::Step { time, level } => Box::new(Step::new(*time, *level)),
+            BlockSpec::Sine { amplitude, freq_hz } => Box::new(SineWave::new(*amplitude, *freq_hz)),
+            BlockSpec::Ramp { slope, start } => {
+                Box::new(Ramp { slope: *slope, start_time: *start })
+            }
+            BlockSpec::Pulse { amplitude, period, duty } => Box::new(PulseGenerator {
+                amplitude: *amplitude,
+                period: *period,
+                duty: *duty,
+                delay: 0.0,
+            }),
+            BlockSpec::Gain { gain } => match bug {
+                Some(InjectedBug::GainOffset) => Box::new(BuggyGain { gain: *gain }),
+                None => Box::new(Gain::new(*gain)),
+            },
+            BlockSpec::Sum { signs } => Box::new(Sum::new(signs)?),
+            BlockSpec::Product { inputs } => Box::new(Product { inputs: *inputs }),
+            BlockSpec::MinMax { is_max, inputs } => {
+                Box::new(MinMax { is_max: *is_max, inputs: *inputs })
+            }
+            BlockSpec::Abs => Box::new(Abs),
+            BlockSpec::Saturation { lo, hi } => Box::new(Saturation::new(*lo, *hi)),
+            BlockSpec::DeadZone { width } => Box::new(DeadZone { width: *width }),
+            BlockSpec::Quantizer { interval } => Box::new(Quantizer { interval: *interval }),
+            BlockSpec::RateLimiter { rate } => Box::new(RateLimiter::new(*rate)),
+            BlockSpec::Relay { on_point, off_point, on_value, off_value } => {
+                Box::new(Relay::new(*on_point, *off_point, *on_value, *off_value)?)
+            }
+            BlockSpec::Compare { op } => Box::new(Compare {
+                op: [
+                    CompareOp::Lt,
+                    CompareOp::Le,
+                    CompareOp::Gt,
+                    CompareOp::Ge,
+                    CompareOp::Eq,
+                    CompareOp::Ne,
+                ][*op as usize % 6],
+            }),
+            BlockSpec::Switch => Box::new(Switch),
+            BlockSpec::UnitDelay { period } => Box::new(UnitDelay::new(*period)),
+            BlockSpec::ZeroOrderHold { period } => Box::new(ZeroOrderHold::new(*period)),
+            BlockSpec::DiscreteIntegrator { period, lo, hi } => {
+                let mut b = DiscreteIntegrator::new(*period);
+                b.limits = Some((*lo, *hi));
+                Box::new(b)
+            }
+            BlockSpec::DiscreteDerivative { period } => {
+                Box::new(DiscreteDerivative::new(*period))
+            }
+            BlockSpec::DiscreteTransferFcn { num, den, period } => {
+                Box::new(DiscreteTransferFcn::new(*period, num.clone(), den.clone())?)
+            }
+        })
+    }
+}
+
+/// A whole generated diagram as plain data: blocks plus wires
+/// `(src_block, src_port, dst_block, dst_port)` by index.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiagramSpec {
+    /// Fundamental step in seconds.
+    pub dt: f64,
+    /// The blocks, in insertion order.
+    pub blocks: Vec<BlockSpec>,
+    /// Wires as `(src_block, src_port, dst_block, dst_port)`.
+    pub wires: Vec<(usize, usize, usize, usize)>,
+}
+
+impl DiagramSpec {
+    /// Instantiate a fresh [`Diagram`]. Blocks are named `b0`, `b1`, …
+    pub fn build(&self, bug: Option<InjectedBug>) -> Result<Diagram, String> {
+        let mut d = Diagram::new();
+        let mut ids: Vec<BlockId> = Vec::with_capacity(self.blocks.len());
+        for (i, b) in self.blocks.iter().enumerate() {
+            let id = d
+                .add_boxed(format!("b{i}"), b.instantiate(bug)?)
+                .map_err(|e: GraphError| e.to_string())?;
+            ids.push(id);
+        }
+        for &(sb, sp, db, dp) in &self.wires {
+            d.connect((ids[sb], sp), (ids[db], dp)).map_err(|e| e.to_string())?;
+        }
+        Ok(d)
+    }
+
+    /// The spec with block `b` removed: wires touching `b` are dropped
+    /// and higher block indices shift down — the shrinker's one move.
+    pub fn without_block(&self, b: usize) -> DiagramSpec {
+        let blocks = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != b)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let remap = |i: usize| if i > b { i - 1 } else { i };
+        let wires = self
+            .wires
+            .iter()
+            .filter(|&&(sb, _, db, _)| sb != b && db != b)
+            .map(|&(sb, sp, db, dp)| (remap(sb), sp, remap(db), dp))
+            .collect();
+        DiagramSpec { dt: self.dt, blocks, wires }
+    }
+
+    /// Debug-friendly serialized form for failure reports.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| format!("{self:?}"))
+    }
+}
+
+/// A generated PIL test case: a controller diagram (with `Input`/`Output`
+/// markers) plus one host-side stimulus source per controller input.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControllerCase {
+    /// The controller, as markers + processing blocks.
+    pub ctl: DiagramSpec,
+    /// One stimulus source spec per controller input, in input order.
+    pub stim: Vec<BlockSpec>,
+    /// Lockstep exchange steps to run.
+    pub steps: u64,
+}
+
+impl ControllerCase {
+    /// Number of controller inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.stim.len()
+    }
+
+    /// Number of controller outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.ctl.blocks.iter().filter(|b| matches!(b, BlockSpec::Output)).count()
+    }
+
+    /// The flat MIL diagram: `Input{i}` markers replaced by the `i`-th
+    /// stimulus source, everything else identical.
+    pub fn mil_spec(&self) -> DiagramSpec {
+        let blocks = self
+            .ctl
+            .blocks
+            .iter()
+            .map(|b| match b {
+                BlockSpec::Input { index } => self.stim[*index].clone(),
+                other => other.clone(),
+            })
+            .collect();
+        DiagramSpec { dt: self.ctl.dt, blocks, wires: self.ctl.wires.clone() }
+    }
+
+    /// Indices (into `ctl.blocks`) of the `Output` markers, in order.
+    pub fn output_indices(&self) -> Vec<usize> {
+        self.ctl
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| matches!(b, BlockSpec::Output))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Instantiate the controller as an atomic [`Subsystem`].
+    pub fn subsystem(&self) -> Result<Subsystem, String> {
+        let d = self.ctl.build(None)?;
+        let ids: Vec<BlockId> = d.ids().collect();
+        let mut inports = vec![None; self.n_inputs()];
+        let mut outports = Vec::new();
+        for (i, b) in self.ctl.blocks.iter().enumerate() {
+            match b {
+                BlockSpec::Input { index } => inports[*index] = Some(ids[i]),
+                BlockSpec::Output => outports.push(ids[i]),
+                _ => {}
+            }
+        }
+        let inports: Vec<BlockId> =
+            inports.into_iter().map(|o| o.ok_or("missing Input marker")).collect::<Result<_, _>>()?;
+        Subsystem::new(d, inports, outports, SampleTime::every(self.ctl.dt))
+            .map_err(|e| e.to_string())
+    }
+
+    /// Worst-case magnitude of each stimulus channel.
+    pub fn stim_bound(&self, index: usize) -> f64 {
+        match &self.stim[index] {
+            BlockSpec::Constant { value } => value.abs(),
+            BlockSpec::Step { level, .. } => level.abs(),
+            BlockSpec::Sine { amplitude, .. } => amplitude.abs(),
+            other => panic!("non-stimulus spec {other:?} in stim slot"),
+        }
+    }
+
+    /// Forward interval propagation: a bound on the magnitude every block
+    /// output can reach, used to size the actuation full-scale (the
+    /// `propose_q15_scale` idea applied to the harness). Wires in a
+    /// controller spec always run from lower to higher block index, so a
+    /// single forward pass is exact.
+    pub fn value_bounds(&self) -> Vec<f64> {
+        self.propagate(|spec, ins| match spec {
+            BlockSpec::Input { index } => self.stim_bound(*index),
+            BlockSpec::Output => ins.first().copied().unwrap_or(0.0),
+            BlockSpec::Gain { gain } => gain.abs() * ins[0],
+            BlockSpec::Sum { .. } => ins.iter().sum(),
+            BlockSpec::Abs | BlockSpec::DeadZone { .. } => ins[0],
+            BlockSpec::Saturation { lo, hi } => ins[0].min(lo.abs().max(hi.abs())),
+            BlockSpec::MinMax { .. } => ins.iter().cloned().fold(0.0, f64::max),
+            BlockSpec::UnitDelay { .. } | BlockSpec::ZeroOrderHold { .. } => ins[0],
+            BlockSpec::DiscreteIntegrator { period, lo, hi } => {
+                (self.steps as f64 * period * ins[0]).min(lo.abs().max(hi.abs()))
+            }
+            other => panic!("block {other:?} is not in the PIL-safe set"),
+        })
+    }
+
+    /// Forward error-amplification propagation: how much a half-LSB
+    /// perturbation on every controller input can grow by the time it
+    /// reaches each block output. Gains amplify by `|k|`, sums add their
+    /// operands' errors, saturation/dead-zone/abs/min/max are
+    /// non-expansive, delays/holds pass through, and an integrator
+    /// accumulates for the whole run — the tolerance model documented in
+    /// EXPERIMENTS.md E13.
+    pub fn error_amplification(&self) -> Vec<f64> {
+        self.propagate(|spec, ins| match spec {
+            BlockSpec::Input { .. } => 1.0,
+            BlockSpec::Output => ins.first().copied().unwrap_or(0.0),
+            BlockSpec::Gain { gain } => gain.abs() * ins[0],
+            BlockSpec::Sum { .. } => ins.iter().sum(),
+            BlockSpec::Abs
+            | BlockSpec::DeadZone { .. }
+            | BlockSpec::Saturation { .. } => ins[0],
+            BlockSpec::MinMax { .. } => ins.iter().cloned().fold(0.0, f64::max),
+            BlockSpec::UnitDelay { .. } | BlockSpec::ZeroOrderHold { .. } => ins[0],
+            BlockSpec::DiscreteIntegrator { period, .. } => self.steps as f64 * period * ins[0],
+            other => panic!("block {other:?} is not in the PIL-safe set"),
+        })
+    }
+
+    /// One forward pass over the blocks in index order; `f` folds a
+    /// block's per-input quantities (0.0 for unconnected inputs) into its
+    /// output quantity.
+    fn propagate(&self, f: impl Fn(&BlockSpec, &[f64]) -> f64) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.ctl.blocks.len()];
+        for (i, spec) in self.ctl.blocks.iter().enumerate() {
+            let (n_in, _) = spec.ports();
+            let ins: Vec<f64> = (0..n_in)
+                .map(|p| {
+                    self.ctl
+                        .wires
+                        .iter()
+                        .find(|&&(_, _, db, dp)| db == i && dp == p)
+                        .map(|&(sb, _, _, _)| {
+                            debug_assert!(sb < i, "controller wires must run forward");
+                            out[sb]
+                        })
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            out[i] = f(spec, &ins);
+        }
+        out
+    }
+
+    /// The actuation full-scale for the wire: the smallest power of two
+    /// that leaves ≥ 25 % headroom over the worst-case output bound
+    /// (minimum 1.0), so quantization never clips a correct value.
+    pub fn actuation_scale(&self) -> f64 {
+        let bounds = self.value_bounds();
+        let worst = self
+            .output_indices()
+            .into_iter()
+            .map(|i| bounds[i])
+            .fold(0.0, f64::max);
+        let mut scale = 1.0f64;
+        while scale < worst * 1.25 {
+            scale *= 2.0;
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_case() -> ControllerCase {
+        ControllerCase {
+            ctl: DiagramSpec {
+                dt: 1e-3,
+                blocks: vec![
+                    BlockSpec::Input { index: 0 },
+                    BlockSpec::Gain { gain: 2.0 },
+                    BlockSpec::Output,
+                ],
+                wires: vec![(0, 0, 1, 0), (1, 0, 2, 0)],
+            },
+            stim: vec![BlockSpec::Constant { value: 0.5 }],
+            steps: 40,
+        }
+    }
+
+    #[test]
+    fn build_produces_equal_fingerprints() {
+        let spec = tiny_case().mil_spec();
+        let a = spec.build(None).unwrap();
+        let b = spec.build(None).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn without_block_drops_and_remaps_wires() {
+        let spec = tiny_case().ctl.without_block(1);
+        assert_eq!(spec.blocks.len(), 2);
+        assert!(spec.wires.is_empty(), "both wires touched block 1");
+        let spec2 = tiny_case().ctl.without_block(0);
+        assert_eq!(spec2.wires, vec![(0, 0, 1, 0)], "indices shifted down");
+    }
+
+    #[test]
+    fn bounds_and_amplification_follow_the_gain() {
+        let case = tiny_case();
+        let bounds = case.value_bounds();
+        assert_eq!(bounds[2], 1.0, "|0.5| through gain 2");
+        let amp = case.error_amplification();
+        assert_eq!(amp[2], 2.0);
+        assert_eq!(case.actuation_scale(), 2.0, "1.25 headroom over 1.0");
+    }
+
+    #[test]
+    fn injected_bug_changes_only_the_buggy_path() {
+        let spec = tiny_case().mil_spec();
+        let clean = spec.build(None).unwrap();
+        let buggy = spec.build(Some(InjectedBug::GainOffset)).unwrap();
+        // structurally identical (same fingerprint), numerically not
+        assert_eq!(clean.fingerprint(), buggy.fingerprint());
+    }
+}

@@ -20,7 +20,7 @@ fn type_name(input: TokenStream) -> String {
     panic!("serde stub derive: could not find type name");
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
     format!(
@@ -32,7 +32,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .unwrap()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
     format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()

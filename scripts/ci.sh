@@ -33,4 +33,18 @@ run cargo bench --no-run --bench trace_overhead -p peert-bench $CARGO_ARGS
 # shellcheck disable=SC2086
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace $CARGO_ARGS
 
+# differential verification suite: interpreted ≡ plan (bit-exact), PIL
+# within quantization tolerance, fault counters equal to the schedule.
+# VERIFY_SEED/VERIFY_CASES override the defaults; the failing seed and
+# case are printed by the tool itself for offline reproduction.
+VERIFY_SEED="${VERIFY_SEED:-0xC0FFEE}"
+VERIFY_CASES="${VERIFY_CASES:-64}"
+# shellcheck disable=SC2086
+if ! run cargo run --release -q -p peert-verify --bin verify $CARGO_ARGS -- \
+        --seed "$VERIFY_SEED" --cases "$VERIFY_CASES"; then
+    echo "==> ci.sh: verify FAILED — reproduce with:" >&2
+    echo "    cargo run --release -p peert-verify --bin verify -- --seed $VERIFY_SEED --cases $VERIFY_CASES" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all gates passed"

@@ -88,6 +88,7 @@ fn pil_profiling_reports_the_comm_isr() {
         corruption_prob: 0.0,
         noise_seed: 0,
         corrupt_steps: Vec::new(),
+        faults: Default::default(),
         trace_capacity: 0,
     };
     let mut session = target

@@ -87,3 +87,26 @@ proptest! {
         prop_assert!(s.conflicts().is_empty());
     }
 }
+
+/// Promoted from `sync_props.proptest-regressions` (seed
+/// `5ce60720…`, shrunk to `[AddProject(87), AddModel(87),
+/// RemoveProject(87)]`): a bean added on the project side, added again
+/// on the model side, then removed from the project must still converge
+/// — the model-side copy wins the next sync instead of leaving a
+/// half-removed entry behind. Deterministic so the historical failure
+/// stays covered even if the regression file is lost.
+#[test]
+fn regression_add_both_sides_then_remove_project_converges() {
+    let mut s = SyncedProject::new("MC56F8367");
+    let _ = s.project_add("B87", config_for(87));
+    let _ = s.model_add("B87", config_for(87));
+    let _ = s.project_remove("B87");
+    s.sync();
+    assert!(
+        s.is_consistent(),
+        "model {:?} vs project {:?} (conflicts: {:?})",
+        s.model_inventory().keys().collect::<Vec<_>>(),
+        s.project().beans().iter().map(|b| &b.name).collect::<Vec<_>>(),
+        s.conflicts()
+    );
+}
