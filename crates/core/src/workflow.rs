@@ -19,6 +19,7 @@ use peert_codegen::CodegenReport;
 use peert_control::metrics::StepMetrics;
 use peert_mcu::McuCatalog;
 use peert_model::log::SignalLog;
+use peert_pil::arq::ArqConfig;
 use peert_pil::cosim::{FaultSchedule, LinkKind, PilConfig, PilSession, PilStats, PlantFn};
 use peert_plant::dcmotor::DcMotor;
 use peert_trace::{chrome_trace_json, ClockDomain, JsonValue, MetricsReport, Tracer};
@@ -193,7 +194,15 @@ pub fn make_pil_session(
     corruption_prob: f64,
     trace_capacity: usize,
 ) -> Result<(PilSession, std::sync::Arc<parking_lot::Mutex<SignalLog>>), String> {
-    assemble_pil_session(opts, cpu, link, corruption_prob, FaultSchedule::default(), trace_capacity)
+    assemble_pil_session(
+        opts,
+        cpu,
+        link,
+        corruption_prob,
+        FaultSchedule::default(),
+        None,
+        trace_capacity,
+    )
 }
 
 /// Like [`run_pil_link`] with a deterministic [`FaultSchedule`] replayed
@@ -224,7 +233,65 @@ pub fn make_pil_session_faulted(
     faults: FaultSchedule,
     trace_capacity: usize,
 ) -> Result<(PilSession, std::sync::Arc<parking_lot::Mutex<SignalLog>>), String> {
-    assemble_pil_session(opts, cpu, link, 0.0, faults, trace_capacity)
+    assemble_pil_session(opts, cpu, link, 0.0, faults, None, trace_capacity)
+}
+
+/// Outcome of a fault-tolerant PIL run: the stats, the logged plant
+/// trajectory, and the degradation verdict surfaced at the top level so
+/// callers can flag (not fail) an experiment whose link collapsed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResilientPilReport {
+    /// Per-run statistics, including the ARQ counters
+    /// (`retries`/`timeouts`/`failed_exchanges`/`degraded_steps`).
+    pub stats: PilStats,
+    /// Logged motor-speed trajectory.
+    pub speed: SignalLog,
+    /// True when the watchdog declared the link degraded and the tail of
+    /// the run executed on the host-side MIL fallback.
+    pub degraded: bool,
+    /// First step owned by the fallback, when `degraded`.
+    pub degraded_at_step: Option<u64>,
+}
+
+/// Like [`run_pil_faulted`] but over the reliable ARQ transport: faulted
+/// exchanges are retransmitted within the retry budget, and a link the
+/// watchdog declares dead degrades to host-side MIL execution instead of
+/// erroring — the run always completes, with the degradation flagged in
+/// the report.
+pub fn run_pil_resilient(
+    opts: &ServoOptions,
+    cpu: &str,
+    link: LinkKind,
+    faults: FaultSchedule,
+    arq: ArqConfig,
+    trace_capacity: usize,
+    steps: u64,
+) -> Result<ResilientPilReport, String> {
+    let (mut session, log) =
+        make_pil_session_resilient(opts, cpu, link, faults, arq, trace_capacity)?;
+    session.run(steps)?;
+    let stats = session.stats().clone();
+    let speed = log.lock().clone();
+    Ok(ResilientPilReport {
+        degraded: session.is_degraded(),
+        degraded_at_step: stats.degraded_at_step,
+        stats,
+        speed,
+    })
+}
+
+/// [`make_pil_session_faulted`] with the ARQ transport enabled — the
+/// session behind [`run_pil_resilient`], exposed for callers that need
+/// the live session (tracer, profiles) after the run.
+pub fn make_pil_session_resilient(
+    opts: &ServoOptions,
+    cpu: &str,
+    link: LinkKind,
+    faults: FaultSchedule,
+    arq: ArqConfig,
+    trace_capacity: usize,
+) -> Result<(PilSession, std::sync::Arc<parking_lot::Mutex<SignalLog>>), String> {
+    assemble_pil_session(opts, cpu, link, 0.0, faults, Some(arq), trace_capacity)
 }
 
 fn assemble_pil_session(
@@ -233,6 +300,7 @@ fn assemble_pil_session(
     link: LinkKind,
     corruption_prob: f64,
     faults: FaultSchedule,
+    arq: Option<ArqConfig>,
     trace_capacity: usize,
 ) -> Result<(PilSession, std::sync::Arc<parking_lot::Mutex<SignalLog>>), String> {
     let spec = McuCatalog::standard()
@@ -256,6 +324,7 @@ fn assemble_pil_session(
         noise_seed: 0x5EED,
         corrupt_steps: Vec::new(),
         faults,
+        arq,
         trace_capacity,
     };
     let (plant, log) = pil_plant_logged(opts);
@@ -436,6 +505,7 @@ mod tests {
             corrupt_steps: vec![10, 40],
             drop_steps: vec![25],
             overrun_steps: vec![60],
+            drop_reply_steps: Vec::new(),
         };
         let (stats, _speed) = run_pil_faulted(
             &fast_opts(),
@@ -454,6 +524,43 @@ mod tests {
         );
         assert_eq!(stats.deadline_misses, faults.overrun_steps.len() as u64);
         assert_eq!(stats.injected_overruns, faults.overrun_steps.len() as u64);
+    }
+
+    #[test]
+    fn resilient_pil_recovers_bit_exact_then_degrades_gracefully() {
+        let link = LinkKind::Spi { clock_hz: 2_000_000 };
+        let arq = ArqConfig::default();
+        let run = |faults: FaultSchedule| {
+            run_pil_resilient(&fast_opts(), "MC56F8367", link, faults, arq, 0, 80).unwrap()
+        };
+        let clean = run(FaultSchedule::default());
+        assert!(!clean.degraded);
+        assert_eq!(clean.stats.retries, 0);
+
+        // under-budget faults: the ARQ layer recovers every exchange and
+        // the logged plant trajectory is bit-identical to the clean run
+        let faulted = run(FaultSchedule {
+            corrupt_steps: vec![5, 5, 12],
+            drop_steps: vec![20],
+            drop_reply_steps: vec![33],
+            overrun_steps: Vec::new(),
+        });
+        assert!(!faulted.degraded);
+        assert_eq!(faulted.stats.retries, 5);
+        assert_eq!(faulted.stats.timeouts, 5);
+        assert_eq!(faulted.stats.failed_exchanges, 0);
+        let bits = |l: &SignalLog| l.y.iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&faulted.speed), bits(&clean.speed), "recovery is bit-exact");
+
+        // a burst past the budget at the watchdog threshold: the run
+        // completes degraded instead of erroring
+        let burst: Vec<u64> =
+            [10u64, 11, 12].iter().flat_map(|&s| std::iter::repeat_n(s, 4)).collect();
+        let degraded = run(FaultSchedule { drop_steps: burst, ..Default::default() });
+        assert!(degraded.degraded);
+        assert_eq!(degraded.degraded_at_step, Some(13));
+        assert_eq!(degraded.stats.steps, 80, "degraded runs still complete");
+        assert_eq!(degraded.stats.degraded_steps, 80 - 13);
     }
 
     #[test]

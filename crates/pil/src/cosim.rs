@@ -12,7 +12,8 @@
 //! period — the data answering "whether the computation power of the
 //! processor is sufficient".
 
-use crate::packet::{from_sample, to_sample, Packet, PacketParser};
+use crate::arq::{Admission, ArqConfig, ArqTiming, LinkHealth, LinkSupervisor, ReplicaGate};
+use crate::packet::{from_sample, to_sample, Packet, PacketParser, OVERHEAD_BYTES};
 use peert_codegen::TaskImage;
 use peert_mcu::board::vectors;
 use peert_mcu::board::Mcu;
@@ -63,6 +64,18 @@ pub enum LinkKind {
 ///   elapses); one dropped exchange, no CRC error.
 /// * `overrun_steps` — the controller step is stretched past the control
 ///   period (a scheduler overrun); exactly one deadline miss.
+/// * `drop_reply_steps` — the outbound actuation frame is lost on the
+///   wire (only meaningful with [`PilConfig::arq`]: the board executed
+///   the step, so the retransmitted request is answered from the reply
+///   cache without re-stepping the controller).
+///
+/// Under the ARQ transport ([`PilConfig::arq`]) the *occurrence count*
+/// of a step in a fault list is the number of consecutive attempts of
+/// that exchange the fault defeats — list step 7 three times in
+/// `corrupt_steps` and the first three attempts at step 7 arrive
+/// corrupted. The legacy (non-ARQ) path keeps the original boolean
+/// semantics: a listed step faults exactly once, duplicates are
+/// ignored.
 ///
 /// The schedule is replayed verbatim on every run, so two sessions with
 /// the same configuration produce byte-identical trajectories.
@@ -74,6 +87,10 @@ pub struct FaultSchedule {
     pub drop_steps: Vec<u64>,
     /// Steps whose controller step overruns the control period.
     pub overrun_steps: Vec<u64>,
+    /// Steps whose outbound actuation frame is dropped on the wire
+    /// (ARQ sessions only; the legacy path ignores this list).
+    #[serde(default)]
+    pub drop_reply_steps: Vec<u64>,
 }
 
 impl FaultSchedule {
@@ -82,11 +99,20 @@ impl FaultSchedule {
         self.corrupt_steps.is_empty()
             && self.drop_steps.is_empty()
             && self.overrun_steps.is_empty()
+            && self.drop_reply_steps.is_empty()
     }
 
     /// Total number of scheduled faults of all kinds.
     pub fn len(&self) -> usize {
-        self.corrupt_steps.len() + self.drop_steps.len() + self.overrun_steps.len()
+        self.corrupt_steps.len()
+            + self.drop_steps.len()
+            + self.overrun_steps.len()
+            + self.drop_reply_steps.len()
+    }
+
+    /// Occurrence count of `step` in `list` — the ARQ fault multiplicity.
+    fn multiplicity(list: &[u64], step: u64) -> u32 {
+        list.iter().filter(|&&s| s == step).count() as u32
     }
 }
 
@@ -123,6 +149,15 @@ pub struct PilConfig {
     /// scheduler overruns) — see [`FaultSchedule`]. Defaults to empty.
     #[serde(default)]
     pub faults: FaultSchedule,
+    /// Reliable-transport policy. `None` (the default) keeps the legacy
+    /// fire-and-forget exchange: a faulted frame loses the sample and the
+    /// board holds its last output. `Some` wraps every exchange in the
+    /// sequence-numbered ARQ protocol of [`crate::arq`]: bounded
+    /// retransmission with exponential backoff, duplicate suppression on
+    /// the board, and watchdog-triggered fallback to host-side MIL
+    /// execution once the link is declared degraded.
+    #[serde(default)]
+    pub arq: Option<ArqConfig>,
     /// Ring capacity of the board trace (0 = tracing off). When set, the
     /// session records per-packet RX/TX spans, controller-step spans, and
     /// CRC/drop/line-stall counters on the executive's tracer.
@@ -143,6 +178,7 @@ impl Default for PilConfig {
             noise_seed: 0x5EED,
             corrupt_steps: Vec::new(),
             faults: FaultSchedule::default(),
+            arq: None,
             trace_capacity: 0,
         }
     }
@@ -201,6 +237,28 @@ pub struct PilStats {
     /// also counted as a deadline miss).
     #[serde(default)]
     pub injected_overruns: u64,
+    /// ARQ retransmissions sent by the host (0 without [`PilConfig::arq`]).
+    #[serde(default)]
+    pub retries: u64,
+    /// ARQ reply deadlines that expired. Invariant:
+    /// `timeouts == retries + failed_exchanges`.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// ARQ exchanges that exhausted their retry budget (each is also
+    /// counted in `dropped_exchanges`).
+    #[serde(default)]
+    pub failed_exchanges: u64,
+    /// Duplicate requests the board replica answered from its reply
+    /// cache without re-stepping the controller.
+    #[serde(default)]
+    pub duplicate_replies: u64,
+    /// Steps executed by the host-side MIL fallback after the watchdog
+    /// declared the link degraded.
+    #[serde(default)]
+    pub degraded_steps: u64,
+    /// First step owned by the fallback, if the watchdog fired.
+    #[serde(default)]
+    pub degraded_at_step: Option<u64>,
     /// Host-side trajectory: (time s, first sensor channel).
     pub trajectory_t: Vec<f64>,
     /// Host-side trajectory values.
@@ -249,6 +307,11 @@ struct PilTraceIds {
     dropped_ctr: EventId,
     overrun_ctr: EventId,
     line_ctr: EventId,
+    retry: EventId,
+    retries_ctr: EventId,
+    timeouts_ctr: EventId,
+    degraded_ctr: EventId,
+    duplicate_ctr: EventId,
 }
 
 /// One PIL session.
@@ -268,6 +331,12 @@ pub struct PilSession {
     ctl_profile: TaskProfile,
     trace_ids: Option<PilTraceIds>,
     crc_seen: u64,
+    /// ARQ watchdog (unused — always healthy — without `cfg.arq`).
+    supervisor: LinkSupervisor,
+    /// Board-side duplicate/stale suppression over the frame seq.
+    gate: ReplicaGate,
+    /// The board's cached reply for the last committed exchange.
+    cached_reply: Option<Packet>,
 }
 
 impl PilSession {
@@ -307,6 +376,11 @@ impl PilSession {
                 dropped_ctr: t.register("pil.dropped_exchanges"),
                 overrun_ctr: t.register("pil.overruns"),
                 line_ctr: t.register("pil.line_cycles"),
+                retry: t.register("pil.retry"),
+                retries_ctr: t.register("pil.retries"),
+                timeouts_ctr: t.register("pil.timeouts"),
+                degraded_ctr: t.register("pil.degraded_steps"),
+                duplicate_ctr: t.register("pil.duplicate_replies"),
             })
         } else {
             None
@@ -318,6 +392,11 @@ impl PilSession {
         Ok(PilSession {
             noise: Noise::new(cfg.noise_seed, cfg.corruption_prob),
             last_actuation: vec![0.0; cfg.actuation_channels],
+            supervisor: LinkSupervisor::new(
+                cfg.arq.map_or(1, |a| a.watchdog_failures),
+            ),
+            gate: ReplicaGate::new(),
+            cached_reply: None,
             exec,
             cfg,
             controller,
@@ -333,7 +412,22 @@ impl PilSession {
     }
 
     /// Run `steps` control periods; returns the stats.
+    ///
+    /// With [`PilConfig::arq`] set the exchange is reliable: faulted
+    /// frames are retransmitted within the retry budget and a degraded
+    /// link falls back to host-side MIL execution — the run completes
+    /// (flagged via [`PilStats::degraded_steps`]) instead of erroring.
     pub fn run(&mut self, steps: u64) -> Result<&PilStats, String> {
+        if self.cfg.arq.is_some() {
+            self.run_arq(steps)
+        } else {
+            self.run_legacy(steps)
+        }
+    }
+
+    /// The legacy fire-and-forget exchange: one attempt per period, a
+    /// faulted frame loses the sample (held output), counters observe.
+    fn run_legacy(&mut self, steps: u64) -> Result<&PilStats, String> {
         let byte_cycles = self.exec.mcu.scis[0].byte_time_cycles();
         let mut sensors = (self.plant)(&vec![0.0; self.cfg.actuation_channels], 0.0);
         if sensors.len() != self.cfg.sensor_channels {
@@ -525,6 +619,368 @@ impl PilSession {
             };
             self.stats.compute_cycles.push(step_compute);
             self.stats.comm_out_cycles.push(comm_out);
+            self.stats.step_cycles.push(total);
+            let t_s = step as f64 * self.cfg.control_period_s;
+            self.stats.trajectory_t.push(t_s);
+            self.stats.trajectory_y.push(sensors.first().copied().unwrap_or(0.0));
+            self.seq = self.seq.wrapping_add(1);
+        }
+        self.stats.crc_errors = self.parser.crc_errors();
+        Ok(&self.stats)
+    }
+
+    /// Cycles a clean exchange takes end to end: both frames' wire time
+    /// plus the priced controller step — the base unit the ARQ timeout
+    /// and backoff are derived from.
+    fn nominal_exchange_cycles(&self) -> Cycles {
+        let byte_cycles = self.exec.mcu.scis[0].byte_time_cycles();
+        let req_bytes = (OVERHEAD_BYTES + 2 * self.cfg.sensor_channels) as Cycles;
+        let rep_bytes = (OVERHEAD_BYTES + 2 * self.cfg.actuation_channels) as Cycles;
+        let table = self.exec.mcu.spec.cost_table();
+        (req_bytes + rep_bytes) * byte_cycles
+            + table.isr_entry as Cycles
+            + self.image_step_cycles
+            + table.isr_exit as Cycles
+    }
+
+    /// The absolute ARQ timing this session runs with (`None` without
+    /// [`PilConfig::arq`]) — lets tests and experiments compute the
+    /// worst-case recovery bound for the configured link.
+    pub fn arq_timing(&self) -> Option<ArqTiming> {
+        self.cfg.arq.as_ref().map(|a| ArqTiming::derive(a, self.nominal_exchange_cycles()))
+    }
+
+    /// True once the watchdog has declared the link degraded (sticky;
+    /// the session is executing its host-side MIL fallback).
+    pub fn is_degraded(&self) -> bool {
+        self.supervisor.is_degraded()
+    }
+
+    /// The reliable exchange: sequence-numbered ARQ with bounded
+    /// retransmission, duplicate suppression, and watchdog-triggered
+    /// fallback to host-side MIL execution of the quantized replica.
+    fn run_arq(&mut self, steps: u64) -> Result<&PilStats, String> {
+        let arq = self.cfg.arq.expect("run_arq requires cfg.arq");
+        let timing = ArqTiming::derive(&arq, self.nominal_exchange_cycles());
+        let byte_cycles = self.exec.mcu.scis[0].byte_time_cycles();
+        let period_cycles = self.exec.mcu.clock.secs_to_cycles(self.cfg.control_period_s);
+
+        let mut sensors = (self.plant)(&vec![0.0; self.cfg.actuation_channels], 0.0);
+        if sensors.len() != self.cfg.sensor_channels {
+            return Err(format!(
+                "plant produced {} channels, config says {}",
+                sensors.len(),
+                self.cfg.sensor_channels
+            ));
+        }
+
+        let ids = self.trace_ids;
+        for step in 0..steps {
+            let t0 = self.exec.mcu.now();
+
+            if self.supervisor.is_degraded() {
+                // --- host-side MIL fallback: the quantized replica of the
+                // board path (i16 round-trip on sensors and actuations), no
+                // wire traffic, controller stepped exactly once ---
+                let qs: Vec<f64> = sensors
+                    .iter()
+                    .map(|&v| from_sample(to_sample(v, self.cfg.sensor_scale), self.cfg.sensor_scale))
+                    .collect();
+                let actuation = (self.controller)(&qs);
+                if actuation.len() != self.cfg.actuation_channels {
+                    return Err(format!(
+                        "controller produced {} channels, config says {}",
+                        actuation.len(),
+                        self.cfg.actuation_channels
+                    ));
+                }
+                let applied: Vec<f64> = actuation
+                    .iter()
+                    .map(|&v| {
+                        from_sample(to_sample(v, self.cfg.actuation_scale), self.cfg.actuation_scale)
+                    })
+                    .collect();
+                self.last_actuation.clone_from(&applied);
+                self.stats.degraded_steps += 1;
+                if let Some(ids) = ids {
+                    self.exec.tracer_mut().add(ids.degraded_ctr, 1);
+                }
+                sensors = (self.plant)(&applied, self.cfg.control_period_s);
+                self.exec.run_until(t0 + period_cycles);
+                self.stats.steps += 1;
+                self.stats.comm_in_cycles.push(0);
+                self.stats.compute_cycles.push(0);
+                self.stats.comm_out_cycles.push(0);
+                self.stats.step_cycles.push(period_cycles);
+                let t_s = step as f64 * self.cfg.control_period_s;
+                self.stats.trajectory_t.push(t_s);
+                self.stats.trajectory_y.push(sensors.first().copied().unwrap_or(0.0));
+                self.seq = self.seq.wrapping_add(1);
+                continue;
+            }
+
+            // per-attempt fault plan: the occurrence count of this step in
+            // each list is how many consecutive attempts that fault defeats
+            let n_corrupt = FaultSchedule::multiplicity(&self.cfg.faults.corrupt_steps, step)
+                + FaultSchedule::multiplicity(&self.cfg.corrupt_steps, step);
+            let n_drop_req = FaultSchedule::multiplicity(&self.cfg.faults.drop_steps, step);
+            let n_drop_rep = FaultSchedule::multiplicity(&self.cfg.faults.drop_reply_steps, step);
+            #[derive(Clone, Copy, PartialEq)]
+            enum WireFault {
+                Clean,
+                Corrupt,
+                DropRequest,
+                DropReply,
+            }
+            let fault_of = |attempt: u32| {
+                if attempt < n_corrupt {
+                    WireFault::Corrupt
+                } else if attempt < n_corrupt + n_drop_req {
+                    WireFault::DropRequest
+                } else if attempt < n_corrupt + n_drop_req + n_drop_rep {
+                    WireFault::DropReply
+                } else {
+                    WireFault::Clean
+                }
+            };
+
+            let samples: Vec<i16> =
+                sensors.iter().map(|&v| to_sample(v, self.cfg.sensor_scale)).collect();
+            let pkt = Packet::new(self.seq, samples)?;
+            let bytes = pkt.encode();
+
+            let mut delivered: Option<Vec<f64>> = None;
+            let mut comm_in_total: Cycles = 0;
+            let mut comm_out_total: Cycles = 0;
+            let mut compute_this_step: Cycles = 0;
+            let mut attempt: u32 = 0;
+            loop {
+                let attempt_t0 = self.exec.mcu.now();
+                if attempt > 0 {
+                    self.stats.retries += 1;
+                    if let Some(ids) = ids {
+                        let tracer = self.exec.tracer_mut();
+                        tracer.add(ids.retries_ctr, 1);
+                        tracer.begin(ids.retry, attempt_t0);
+                    }
+                    // exponential backoff before the retransmission
+                    self.exec.run_until(attempt_t0 + timing.backoff_cycles(attempt));
+                }
+                let fault = fault_of(attempt);
+
+                // --- request leg (host → board) ---
+                let send_t0 = self.exec.mcu.now();
+                if let Some(ids) = ids {
+                    self.exec.tracer_mut().begin(ids.rx, send_t0);
+                }
+                if fault != WireFault::DropRequest {
+                    for (j, &b) in bytes.iter().enumerate() {
+                        let arrives = send_t0 + (j as Cycles + 1) * byte_cycles;
+                        let mut wire_byte = self.noise.corrupt(b);
+                        if j == 3 && fault == WireFault::Corrupt {
+                            // flip one bit of the first payload byte
+                            wire_byte ^= 0x01;
+                        }
+                        self.exec.mcu.scis[0].inject_rx(wire_byte, arrives);
+                    }
+                }
+                let rx_done = send_t0 + bytes.len() as Cycles * byte_cycles;
+                self.exec.run_until(rx_done + 1);
+                let rx_end = self.exec.mcu.now();
+                comm_in_total += rx_end - send_t0;
+                if let Some(ids) = ids {
+                    self.exec.tracer_mut().end(ids.rx, rx_end);
+                }
+
+                // drain the SCI FIFO through the parser
+                let mut request = None;
+                while let Some(b) = self.exec.mcu.scis[0].recv() {
+                    if let Some(p) = self.parser.push(b) {
+                        request = Some(p);
+                    }
+                }
+                let crc_now = self.parser.crc_errors();
+                if let Some(ids) = ids {
+                    let delta = crc_now - self.crc_seen;
+                    if delta > 0 {
+                        let now = self.exec.mcu.now();
+                        let tracer = self.exec.tracer_mut();
+                        tracer.add(ids.crc_ctr, delta);
+                        tracer.instant(ids.crc_inst, now);
+                    }
+                }
+                self.crc_seen = crc_now;
+
+                // --- board replica: admit, step or answer from cache ---
+                let mut respond = false;
+                if let Some(request) = request {
+                    match self.gate.classify(request.seq) {
+                        Admission::Fresh => {
+                            let table = self.exec.mcu.spec.cost_table();
+                            let compute = table.isr_entry as Cycles
+                                + self.image_step_cycles
+                                + table.isr_exit as Cycles;
+                            let ctl_start = self.exec.mcu.now();
+                            self.exec.mcu.advance(compute);
+                            let ctl_end = self.exec.mcu.now();
+                            if let Some(ids) = ids {
+                                let tracer = self.exec.tracer_mut();
+                                tracer.begin(ids.ctl, ctl_start);
+                                tracer.end(ids.ctl, ctl_end);
+                            }
+                            self.ctl_profile.record(t0, ctl_start, ctl_end);
+                            compute_this_step = compute;
+                            let sensor_vals: Vec<f64> = request
+                                .samples
+                                .iter()
+                                .map(|&s| from_sample(s, self.cfg.sensor_scale))
+                                .collect();
+                            let actuation = (self.controller)(&sensor_vals);
+                            if actuation.len() != self.cfg.actuation_channels {
+                                return Err(format!(
+                                    "controller produced {} channels, config says {}",
+                                    actuation.len(),
+                                    self.cfg.actuation_channels
+                                ));
+                            }
+                            let reply_samples: Vec<i16> = actuation
+                                .iter()
+                                .map(|&v| to_sample(v, self.cfg.actuation_scale))
+                                .collect();
+                            self.cached_reply = Some(Packet::new(request.seq, reply_samples)?);
+                            self.gate.commit(request.seq);
+                            respond = true;
+                        }
+                        Admission::Duplicate => {
+                            // the reply was lost, not the request: answer
+                            // from the cache, never re-step the controller
+                            self.stats.duplicate_replies += 1;
+                            if let Some(ids) = ids {
+                                self.exec.tracer_mut().add(ids.duplicate_ctr, 1);
+                            }
+                            respond = true;
+                        }
+                        Admission::Stale => {}
+                    }
+                }
+
+                // --- reply leg (board → host) ---
+                if respond {
+                    let reply =
+                        self.cached_reply.clone().expect("a committed exchange caches its reply");
+                    let tx_start = self.exec.mcu.now();
+                    if let Some(ids) = ids {
+                        self.exec.tracer_mut().begin(ids.tx, tx_start);
+                    }
+                    for &b in &reply.encode() {
+                        let now = self.exec.mcu.now();
+                        if !self.exec.mcu.scis[0].send(b, now) {
+                            return Err(format!("step {step}: board TX FIFO overflow"));
+                        }
+                    }
+                    while self.exec.mcu.scis[0].tx_backlog() > 0 {
+                        let now = self.exec.mcu.now();
+                        self.exec.run_until(now + byte_cycles);
+                    }
+                    let tx_end = self.exec.mcu.now();
+                    comm_out_total += tx_end - tx_start;
+                    if let Some(ids) = ids {
+                        self.exec.tracer_mut().end(ids.tx, tx_end);
+                    }
+                    // the board pays the TX cycles either way; the fault
+                    // decides whether the host ever sees the frame
+                    if fault != WireFault::DropReply {
+                        let applied: Vec<f64> = reply
+                            .samples
+                            .iter()
+                            .map(|&s| from_sample(s, self.cfg.actuation_scale))
+                            .collect();
+                        delivered = Some(applied);
+                    }
+                }
+
+                if delivered.is_some() {
+                    if attempt > 0 {
+                        if let Some(ids) = ids {
+                            let now = self.exec.mcu.now();
+                            self.exec.tracer_mut().end(ids.retry, now);
+                        }
+                    }
+                    break;
+                }
+
+                // reply deadline expires relative to the (re)transmission
+                let deadline = send_t0 + timing.timeout_cycles;
+                if self.exec.mcu.now() < deadline {
+                    self.exec.run_until(deadline);
+                }
+                self.stats.timeouts += 1;
+                if let Some(ids) = ids {
+                    self.exec.tracer_mut().add(ids.timeouts_ctr, 1);
+                }
+                if attempt > 0 {
+                    if let Some(ids) = ids {
+                        let now = self.exec.mcu.now();
+                        self.exec.tracer_mut().end(ids.retry, now);
+                    }
+                }
+                if attempt >= arq.max_retries {
+                    break; // budget exhausted: the exchange failed
+                }
+                attempt += 1;
+            }
+
+            // a scheduled scheduler overrun (boolean semantics, as in the
+            // legacy path): stretch the step past the control period
+            if self.cfg.faults.overrun_steps.contains(&step) {
+                self.exec.mcu.advance(period_cycles);
+                self.stats.injected_overruns += 1;
+                if let Some(ids) = ids {
+                    self.exec.tracer_mut().add(ids.overrun_ctr, 1);
+                }
+            }
+            let step_end = self.exec.mcu.now();
+
+            let applied = match delivered {
+                Some(a) => {
+                    self.supervisor.record_success();
+                    self.last_actuation.clone_from(&a);
+                    a
+                }
+                None => {
+                    // budget exhausted: hold the last applied actuation and
+                    // let the watchdog judge the link
+                    self.stats.failed_exchanges += 1;
+                    self.stats.dropped_exchanges += 1;
+                    if let Some(ids) = ids {
+                        self.exec.tracer_mut().add(ids.dropped_ctr, 1);
+                    }
+                    if self.supervisor.record_failure() == LinkHealth::Degraded
+                        && self.stats.degraded_at_step.is_none()
+                    {
+                        // the fallback owns the *next* step: this one never
+                        // ran the controller, so execution stays exactly-once
+                        self.stats.degraded_at_step = Some(step + 1);
+                    }
+                    self.last_actuation.clone()
+                }
+            };
+            sensors = (self.plant)(&applied, self.cfg.control_period_s);
+
+            // bookkeeping (same accounting as the legacy path)
+            let total = step_end - t0;
+            if total > period_cycles {
+                self.stats.deadline_misses += 1;
+            } else {
+                self.exec.run_until(t0 + period_cycles);
+            }
+            if let Some(ids) = ids {
+                self.exec.tracer_mut().add(ids.line_ctr, comm_in_total + comm_out_total);
+            }
+            self.stats.steps += 1;
+            self.stats.comm_in_cycles.push(comm_in_total);
+            self.stats.compute_cycles.push(compute_this_step);
+            self.stats.comm_out_cycles.push(comm_out_total);
             self.stats.step_cycles.push(total);
             let t_s = step as f64 * self.cfg.control_period_s;
             self.stats.trajectory_t.push(t_s);
@@ -781,6 +1237,7 @@ mod tests {
             corrupt_steps: vec![2, 9, 17],
             drop_steps: vec![5, 11],
             overrun_steps: vec![7, 13, 20, 26],
+            drop_reply_steps: Vec::new(),
         };
         let cfg = PilConfig {
             link: LinkKind::Spi { clock_hz: 2_000_000 },
@@ -815,6 +1272,7 @@ mod tests {
                     corrupt_steps: vec![3, 8],
                     drop_steps: vec![6],
                     overrun_steps: vec![10],
+                    drop_reply_steps: Vec::new(),
                 },
                 ..Default::default()
             };
@@ -869,6 +1327,148 @@ mod tests {
                 assert_eq!(c, f, "step {step}: lockstep restored after the fault");
             }
         }
+    }
+
+    #[test]
+    fn arq_recovers_bit_exact_under_budget() {
+        // per-step fault multiplicity ≤ the retry budget: every exchange
+        // recovers and the trajectory is bit-identical to the clean run
+        let run = |faults: FaultSchedule| {
+            let cfg = PilConfig {
+                link: LinkKind::Spi { clock_hz: 2_000_000 },
+                faults,
+                arq: Some(ArqConfig::default()),
+                ..Default::default()
+            };
+            let mut s = session(cfg);
+            let stats = s.run(40).unwrap().clone();
+            stats
+        };
+        let clean = run(FaultSchedule::default());
+        assert_eq!((clean.retries, clean.timeouts, clean.dropped_exchanges), (0, 0, 0));
+        // step 7 eats 3 corruptions (the full budget); 12 and 13 one drop
+        // each; 20 loses two replies; 25 one of each kind
+        let faults = FaultSchedule {
+            corrupt_steps: vec![7, 7, 7, 25],
+            drop_steps: vec![12, 13, 25],
+            drop_reply_steps: vec![20, 20, 25],
+            overrun_steps: Vec::new(),
+        };
+        let total = faults.len() as u64;
+        let faulted = run(faults);
+        assert_eq!(faulted.steps, 40);
+        assert_eq!(faulted.retries, total, "one retransmission per defeated attempt");
+        assert_eq!(faulted.timeouts, total, "every defeated attempt timed out");
+        assert_eq!(faulted.crc_errors, 4);
+        assert_eq!(faulted.duplicate_replies, 3, "lost replies answered from cache");
+        assert_eq!(faulted.failed_exchanges, 0);
+        assert_eq!(faulted.dropped_exchanges, 0, "nothing was lost for good");
+        assert_eq!(faulted.degraded_steps, 0);
+        assert_eq!(faulted.degraded_at_step, None);
+        assert_eq!(faulted.deadline_misses, 0, "recovery fits inside the period");
+        let bits = |v: &[f64]| v.iter().map(|y| y.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(
+            bits(&faulted.trajectory_y),
+            bits(&clean.trajectory_y),
+            "recovered run is bit-exact with the clean run"
+        );
+    }
+
+    #[test]
+    fn arq_clean_run_matches_the_legacy_exchange_bit_for_bit() {
+        let run = |arq: Option<ArqConfig>| {
+            let cfg = PilConfig {
+                link: LinkKind::Spi { clock_hz: 2_000_000 },
+                arq,
+                ..Default::default()
+            };
+            let mut s = session(cfg);
+            let st = s.run(30).unwrap();
+            st.trajectory_y.iter().map(|y| y.to_bits()).collect::<Vec<u64>>()
+        };
+        assert_eq!(run(None), run(Some(ArqConfig::default())));
+    }
+
+    #[test]
+    fn arq_degrades_to_mil_fallback_and_completes() {
+        // three consecutive exchanges (the watchdog threshold) fail their
+        // whole budget: the session flags itself degraded and finishes on
+        // the host-side fallback instead of erroring
+        let burst: Vec<u64> = [5u64, 6, 7]
+            .iter()
+            .flat_map(|&s| std::iter::repeat_n(s, 4)) // budget is 3 retries
+            .collect();
+        let cfg = PilConfig {
+            link: LinkKind::Spi { clock_hz: 2_000_000 },
+            faults: FaultSchedule { drop_steps: burst, ..Default::default() },
+            arq: Some(ArqConfig::default()),
+            ..Default::default()
+        };
+        let mut s = session(cfg);
+        let stats = s.run(30).unwrap().clone();
+        assert_eq!(stats.steps, 30, "a degraded session still completes");
+        assert_eq!(stats.failed_exchanges, 3);
+        assert_eq!(stats.dropped_exchanges, 3);
+        assert_eq!(stats.degraded_at_step, Some(8), "fallback owns the step after the trip");
+        assert_eq!(stats.degraded_steps, 30 - 8);
+        assert_eq!(stats.timeouts, stats.retries + stats.failed_exchanges);
+        assert!(s.is_degraded());
+        // the fallback keeps regulating: the loop still approaches its
+        // fixed point even though the board is gone
+        let y = *stats.trajectory_y.last().unwrap();
+        assert!((y - 0.25).abs() < 0.1, "fallback keeps the loop closed: {y}");
+    }
+
+    #[test]
+    fn arq_trace_has_one_retry_span_per_retransmission() {
+        let cfg = PilConfig {
+            link: LinkKind::Spi { clock_hz: 2_000_000 },
+            faults: FaultSchedule {
+                corrupt_steps: vec![3, 3, 9],
+                drop_reply_steps: vec![6],
+                ..Default::default()
+            },
+            arq: Some(ArqConfig::default()),
+            trace_capacity: 1 << 12,
+            ..Default::default()
+        };
+        let mut s = session(cfg);
+        let stats = s.run(20).unwrap().clone();
+        assert_eq!(stats.retries, 4);
+        let tracer = s.executive().tracer();
+        let count = |name: &str, kind: peert_trace::EventKind| {
+            tracer
+                .records()
+                .filter(|r| r.kind == kind && tracer.name(r.id) == name)
+                .count() as u64
+        };
+        use peert_trace::EventKind::{SpanBegin, SpanEnd};
+        assert_eq!(count("pil.retry", SpanBegin), stats.retries);
+        assert_eq!(count("pil.retry", SpanEnd), stats.retries);
+        // one rx span per attempt: 20 first attempts + 4 retransmissions
+        assert_eq!(count("pil.rx", SpanBegin), 20 + stats.retries);
+        assert_eq!(tracer.counter_by_name("pil.retries"), Some(stats.retries));
+        assert_eq!(tracer.counter_by_name("pil.timeouts"), Some(stats.timeouts));
+        assert_eq!(
+            tracer.counter_by_name("pil.duplicate_replies"),
+            Some(stats.duplicate_replies)
+        );
+        assert_eq!(tracer.counter_by_name("pil.degraded_steps"), None, "never degraded");
+    }
+
+    #[test]
+    fn arq_timing_is_exposed_for_the_configured_link() {
+        let cfg = PilConfig {
+            link: LinkKind::Spi { clock_hz: 2_000_000 },
+            arq: Some(ArqConfig::default()),
+            ..Default::default()
+        };
+        let s = session(cfg);
+        let t = s.arq_timing().unwrap();
+        assert!(t.timeout_cycles > 0);
+        assert!(t.backoff_cap >= t.backoff_base);
+        // a session without ARQ exposes nothing
+        assert!(session(PilConfig::default()).arq_timing().is_none());
     }
 
     #[test]

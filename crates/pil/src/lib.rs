@@ -13,6 +13,10 @@
 //! * [`packet`] — the framed sample-exchange protocol (SOF / sequence /
 //!   payload of 16-bit samples / CRC) with an incremental parser robust to
 //!   byte-at-a-time arrival;
+//! * [`arq`] — the reliable transport over those frames: stop-and-wait
+//!   ARQ with per-exchange deadline timeouts, bounded retransmission with
+//!   exponential backoff, board-side duplicate suppression, and a
+//!   watchdog that degrades the session to host-side MIL fallback;
 //! * [`cosim`] — the lockstep co-simulation of the development board
 //!   (an [`peert_rtexec::Executive`] on the simulated MCU, communicating
 //!   through its SCI peripheral at baud-accurate byte times) and the host
@@ -22,8 +26,10 @@
 
 #![warn(missing_docs)]
 
+pub mod arq;
 pub mod cosim;
 pub mod packet;
 
+pub use arq::{Admission, ArqConfig, ArqTiming, LinkHealth, LinkSupervisor, ReplicaGate};
 pub use cosim::{FaultSchedule, LinkKind, PilConfig, PilSession, PilStats};
 pub use packet::{Packet, PacketParser, MAX_SAMPLES};

@@ -1,0 +1,212 @@
+//! Property-based tests for the ARQ reliable-transport state machines
+//! ([`peert_pil::arq`]), swept over arbitrary fault interleavings via
+//! the pure protocol simulation in [`peert_pil::arq::sim`].
+//!
+//! The invariants, in rough order of importance:
+//!
+//! * the protocol never panics and never wedges — every run resolves
+//!   all requested steps whatever the channel does;
+//! * the controller executes **exactly once** per step (never twice),
+//!   on the board or in the fallback;
+//! * `timeouts == retries + failed_exchanges` (a failed exchange has
+//!   one more expired deadline than retransmissions);
+//! * a run whose every exchange stays within the retry budget is
+//!   **bit-identical** to the fault-free run;
+//! * a hard outage degrades in exactly `watchdog_failures` exchanges
+//!   and the host fallback owns every step after that.
+
+use std::collections::BTreeMap;
+
+use peert_pil::arq::sim::{self, Fault};
+use peert_pil::ArqConfig;
+use proptest::prelude::*;
+
+/// Map an arbitrary byte onto the full fault alphabet.
+fn fault_from(b: u8) -> Fault {
+    match b % 9 {
+        0 => Fault::None,
+        1 => Fault::CorruptRequest,
+        2 => Fault::DropRequest,
+        3 => Fault::DuplicateRequest,
+        4 => Fault::StaleRequest,
+        5 => Fault::CorruptReply,
+        6 => Fault::DropReply,
+        7 => Fault::DuplicateReply,
+        _ => Fault::StaleReply,
+    }
+}
+
+/// Map an arbitrary byte onto the *failure* faults only (the ones that
+/// defeat an attempt and force a retransmission).
+fn failure_from(b: u8) -> Fault {
+    match b % 4 {
+        0 => Fault::CorruptRequest,
+        1 => Fault::DropRequest,
+        2 => Fault::CorruptReply,
+        _ => Fault::DropReply,
+    }
+}
+
+fn cfg(max_retries: u32, watchdog: u32) -> ArqConfig {
+    ArqConfig { max_retries, watchdog_failures: watchdog, ..ArqConfig::default() }
+}
+
+proptest! {
+    /// Arbitrary corrupt/drop/reorder/duplicate interleavings — drawn
+    /// uniformly from the whole fault alphabet, per (step, attempt) —
+    /// never panic and never wedge the protocol: every step resolves,
+    /// the controller never runs twice, the timeout ledger balances,
+    /// and the run either stays bit-exact with the clean one (no
+    /// exchange over budget) or degrades cleanly to the fallback.
+    #[test]
+    fn arbitrary_interleavings_never_panic_or_wedge(
+        steps in 1u64..48,
+        max_retries in 0u32..=4,
+        watchdog in 1u32..=4,
+        bytes in prop::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let cfg = cfg(max_retries, watchdog);
+        let span = (max_retries + 1) as u64;
+        let o = sim::run(steps, &cfg, |step, attempt| {
+            let i = (step * span + attempt as u64) as usize;
+            fault_from(bytes[i % bytes.len()])
+        });
+
+        prop_assert_eq!(o.steps_completed, steps, "protocol wedged");
+        prop_assert_eq!(o.outputs.len(), steps as usize);
+        prop_assert_eq!(o.double_execs, 0, "controller ran twice on a step");
+        prop_assert_eq!(o.timeouts, o.retries + o.failed_exchanges);
+
+        if o.failed_exchanges == 0 {
+            // every exchange recovered within budget: lockstep holds
+            prop_assert_eq!(o.degraded_at, None);
+            prop_assert_eq!(o.fallback_steps, 0);
+            prop_assert_eq!(o.outputs, sim::clean_outputs(steps, &cfg));
+        }
+        match o.degraded_at {
+            Some(d) => {
+                // the watchdog needed at least `watchdog` failures to
+                // fire, and the fallback owns every step from `d` on
+                prop_assert!(o.failed_exchanges >= watchdog as u64);
+                prop_assert!(d >= watchdog as u64);
+                prop_assert_eq!(o.fallback_steps, steps - d);
+            }
+            None => prop_assert_eq!(o.fallback_steps, 0),
+        }
+    }
+
+    /// Any schedule that keeps every step within the retry budget —
+    /// 1..=`max_retries` failed attempts per faulted step, arbitrary
+    /// failure kinds — recovers to **bit-exact** lockstep with the
+    /// fault-free run, with exactly one retransmission (and one
+    /// timeout) per failed attempt.
+    #[test]
+    fn under_budget_schedules_recover_bit_exact(
+        steps in 1u64..48,
+        max_retries in 1u32..=4,
+        plan in prop::collection::vec((0u64..48, 1u32..=4, any::<u8>()), 0..12),
+    ) {
+        let cfg = cfg(max_retries, 3);
+        // dedup by step, clamp multiplicity to the budget
+        let plan: BTreeMap<u64, (u32, u8)> = plan
+            .into_iter()
+            .filter(|&(s, _, _)| s < steps)
+            .map(|(s, m, k)| (s, (m.min(max_retries), k)))
+            .collect();
+        let total: u64 = plan.values().map(|&(m, _)| m as u64).sum();
+
+        let o = sim::run(steps, &cfg, |step, attempt| match plan.get(&step) {
+            Some(&(mult, kind)) if attempt < mult => {
+                failure_from(kind.wrapping_add(attempt as u8))
+            }
+            _ => Fault::None,
+        });
+
+        prop_assert_eq!(o.steps_completed, steps);
+        prop_assert_eq!(o.retries, total, "one retransmission per failed attempt");
+        prop_assert_eq!(o.timeouts, total);
+        prop_assert_eq!(o.failed_exchanges, 0);
+        prop_assert_eq!(o.degraded_at, None);
+        prop_assert_eq!(o.double_execs, 0);
+        prop_assert_eq!(o.outputs, sim::clean_outputs(steps, &cfg), "recovered run diverged");
+    }
+
+    /// A hard outage starting at step `p` degrades after exactly
+    /// `watchdog_failures` failed exchanges: the session completes, the
+    /// board owns steps `0..p`, the held output covers the failed
+    /// window, and the fallback owns everything from `p + watchdog`.
+    #[test]
+    fn hard_outage_degrades_within_the_watchdog_bound(
+        max_retries in 0u32..=3,
+        watchdog in 1u32..=4,
+        p in 0u64..20,
+        tail in 1u64..20,
+        kind in any::<u8>(),
+    ) {
+        let cfg = cfg(max_retries, watchdog);
+        let steps = p + watchdog as u64 + tail; // guarantee a degraded tail
+        let o = sim::run(steps, &cfg, |step, attempt| {
+            if step >= p { failure_from(kind.wrapping_add(attempt as u8)) } else { Fault::None }
+        });
+
+        let trip = p + watchdog as u64;
+        prop_assert_eq!(o.steps_completed, steps, "outage wedged the session");
+        prop_assert_eq!(o.degraded_at, Some(trip), "watchdog bound violated");
+        prop_assert_eq!(o.failed_exchanges, watchdog as u64);
+        prop_assert_eq!(o.fallback_steps, steps - trip);
+        prop_assert_eq!(o.double_execs, 0);
+        prop_assert_eq!(o.timeouts, o.retries + o.failed_exchanges);
+        // each failed exchange burned its whole budget
+        prop_assert_eq!(o.retries, (watchdog * max_retries) as u64);
+    }
+
+    /// Benign channel noise — duplicated and reordered (stale) frames
+    /// in either direction — costs nothing: no retransmissions, no
+    /// timeouts, no double executions, bit-exact with the clean run.
+    #[test]
+    fn duplicate_and_stale_noise_is_free(
+        steps in 1u64..48,
+        bytes in prop::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let cfg = ArqConfig::default();
+        let o = sim::run(steps, &cfg, |step, _| {
+            match bytes[step as usize % bytes.len()] % 5 {
+                0 => Fault::None,
+                1 => Fault::DuplicateRequest,
+                2 => Fault::StaleRequest,
+                3 => Fault::DuplicateReply,
+                _ => Fault::StaleReply,
+            }
+        });
+
+        prop_assert_eq!(o.steps_completed, steps);
+        prop_assert_eq!((o.retries, o.timeouts, o.failed_exchanges), (0, 0, 0));
+        prop_assert_eq!(o.double_execs, 0, "duplicate request re-stepped the controller");
+        prop_assert_eq!(o.degraded_at, None);
+        prop_assert_eq!(o.outputs, sim::clean_outputs(steps, &cfg));
+    }
+
+    /// The pathological channel that delivers *nothing* ever: the board
+    /// never executes, the watchdog fires on schedule, and the host
+    /// fallback still completes the whole horizon.
+    #[test]
+    fn total_blackout_still_completes_degraded(
+        steps in 5u64..64,
+        max_retries in 0u32..=3,
+        watchdog in 1u32..=4,
+    ) {
+        prop_assume!((watchdog as u64) < steps);
+        let cfg = cfg(max_retries, watchdog);
+        let o = sim::run(steps, &cfg, |_, _| Fault::DropRequest);
+
+        prop_assert_eq!(o.steps_completed, steps);
+        prop_assert_eq!(o.board_steps, 0);
+        prop_assert_eq!(o.degraded_at, Some(watchdog as u64));
+        prop_assert_eq!(o.fallback_steps, steps - watchdog as u64);
+        prop_assert_eq!(o.double_execs, 0);
+        // the failed window held the initial (zero) actuation
+        for (i, &out) in o.outputs.iter().take(watchdog as usize).enumerate() {
+            prop_assert_eq!(out, 0, "held output violated at step {}", i);
+        }
+    }
+}

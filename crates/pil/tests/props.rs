@@ -178,6 +178,65 @@ proptest! {
         prop_assert_eq!(got, vec![p2]);
     }
 
+    /// A frame duplicated on the wire parses twice, bit-identical, with
+    /// no CRC error and no loss of sync: suppressing the duplicate is
+    /// the ARQ replica gate's job (`peert_pil::arq::ReplicaGate`), not
+    /// the parser's.
+    #[test]
+    fn duplicated_frames_parse_intact_and_in_sync(
+        samples in prop::collection::vec(any::<i16>(), 0..8),
+        copies in 2usize..5,
+        tail_samples in prop::collection::vec(any::<i16>(), 0..8),
+    ) {
+        let p = Packet::new(3, samples).unwrap();
+        let tail = Packet::new(4, tail_samples).unwrap();
+        let mut stream = Vec::new();
+        for _ in 0..copies {
+            stream.extend(p.encode());
+        }
+        stream.extend(tail.encode());
+        let mut parser = PacketParser::new();
+        let got: Vec<Packet> = stream.iter().filter_map(|&b| parser.push(b)).collect();
+        let mut expect = vec![p; copies];
+        expect.push(tail);
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(parser.crc_errors(), 0, "duplicates must not desync the parser");
+    }
+
+    /// Frames delivered in an arbitrary order all parse intact, in wire
+    /// order, with zero CRC errors: the parser carries no cross-frame
+    /// state, so reordering is left fully visible to the sequence-number
+    /// gate above it — and the resync invariant holds throughout (a
+    /// valid frame after the scramble still parses).
+    #[test]
+    fn reordered_frames_parse_in_wire_order(
+        payloads in prop::collection::vec(prop::collection::vec(any::<i16>(), 0..6), 2..8),
+        keys in prop::collection::vec(any::<u64>(), 8),
+    ) {
+        let packets: Vec<Packet> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Packet::new(i as u8, s).unwrap())
+            .collect();
+        let mut order: Vec<usize> = (0..packets.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let mut stream = Vec::new();
+        for &i in &order {
+            stream.extend(packets[i].encode());
+        }
+        let mut parser = PacketParser::new();
+        let got: Vec<Packet> = stream.iter().filter_map(|&b| parser.push(b)).collect();
+        let expect: Vec<Packet> = order.iter().map(|&i| packets[i].clone()).collect();
+        prop_assert_eq!(got, expect, "every reordered frame must arrive intact");
+        prop_assert_eq!(parser.crc_errors(), 0);
+        // resync invariant: the parser is immediately ready for the next
+        // in-order frame
+        let next = Packet::new(200, vec![1, -2, 3]).unwrap();
+        let after: Vec<Packet> =
+            next.encode().iter().filter_map(|&b| parser.push(b)).collect();
+        prop_assert_eq!(after, vec![next]);
+    }
+
     /// A corrupted LEN mis-frames the stream, so the loss is bounded, not
     /// zero: after a flush gap the parser is hunting again and the next
     /// frame parses.

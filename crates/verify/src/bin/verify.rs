@@ -6,10 +6,11 @@
 //!
 //! Runs the differential suite (MIL bit-exactness + reset determinism,
 //! PIL three-way with quantization tolerance, deterministic fault
-//! replay) and the shrinking self-test. Exits non-zero on any failure,
-//! printing the seed, case index and (shrunk) spec needed to reproduce.
+//! replay, ARQ bit-exact recovery + graceful-degradation proofs) and
+//! the shrinking self-test. Exits non-zero on any failure, printing the
+//! seed, case index and (shrunk) spec needed to reproduce.
 
-use peert_verify::{demo_shrink, run_suite, suite_fault_schedule};
+use peert_verify::{demo_shrink, run_suite, suite_arq_config, suite_fault_schedule};
 
 struct Args {
     seed: u64,
@@ -85,6 +86,13 @@ fn main() {
                 f.corrupt_steps.len(),
                 f.drop_steps.len(),
                 f.overrun_steps.len()
+            );
+            let arq = suite_arq_config();
+            println!(
+                "  arq:   {} recovery case(s) bit-exact with the clean run \
+                 ({} retransmissions, budget {}); {} degradation replay(s) \
+                 completed flagged-degraded",
+                report.arq_cases, report.arq_retries, arq.max_retries, report.arq_degraded_cases
             );
         }
         Err(fail) => {

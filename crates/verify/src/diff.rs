@@ -27,7 +27,7 @@ use peert_model::block::step_block;
 use peert_model::signal::Value;
 use peert_model::Engine;
 use peert_pil::packet::{from_sample, to_sample};
-use peert_pil::{FaultSchedule, LinkKind, PilConfig, PilSession};
+use peert_pil::{ArqConfig, FaultSchedule, LinkKind, PilConfig, PilSession};
 
 /// Tagged bit pattern of a [`Value`] — the bit-exact comparison key
 /// (`f64` via `to_bits`, so `-0.0` vs `0.0` and NaN payloads count as
@@ -196,6 +196,7 @@ fn run_session(
     case: &ControllerCase,
     mcu: &McuSpec,
     faults: FaultSchedule,
+    arq: Option<ArqConfig>,
     act_scale: f64,
 ) -> Result<(peert_pil::PilStats, Vec<Vec<u64>>, u64), String> {
     let sub = case.subsystem()?;
@@ -216,6 +217,7 @@ fn run_session(
         noise_seed: 0,
         corrupt_steps: Vec::new(),
         faults,
+        arq,
         trace_capacity: 0,
     };
 
@@ -298,7 +300,8 @@ pub fn run_pil_case(case: &ControllerCase, mcu: &McuSpec) -> Result<PilCaseRepor
     check_codegen_determinism(case)?;
 
     let act_scale = case.actuation_scale();
-    let (stats, received, activations) = run_session(case, mcu, FaultSchedule::default(), act_scale)?;
+    let (stats, received, activations) =
+        run_session(case, mcu, FaultSchedule::default(), None, act_scale)?;
     if stats.crc_errors != 0 || stats.dropped_exchanges != 0 {
         return Err(format!(
             "clean line reported {} CRC errors / {} drops",
@@ -355,7 +358,7 @@ pub fn run_fault_schedule_case(
     faults: &FaultSchedule,
 ) -> Result<FaultReport, String> {
     let act_scale = case.actuation_scale();
-    let (stats, received, activations) = run_session(case, mcu, faults.clone(), act_scale)?;
+    let (stats, received, activations) = run_session(case, mcu, faults.clone(), None, act_scale)?;
 
     let n_corrupt = faults.corrupt_steps.len() as u64;
     let n_drop = faults.drop_steps.len() as u64;
@@ -400,6 +403,171 @@ pub fn run_fault_schedule_case(
     })
 }
 
+/// Counter totals of an ARQ recovery run (for reporting).
+#[derive(Clone, Debug, Default)]
+pub struct ArqReport {
+    /// Retransmissions the host sent (== the schedule's fault count).
+    pub retries: u64,
+    /// Expired reply deadlines (== retries on a fully recovered run).
+    pub timeouts: u64,
+    /// Duplicate requests the board answered from its reply cache.
+    pub duplicate_replies: u64,
+}
+
+/// The bit-exact recovery proof: under any [`FaultSchedule`] whose
+/// per-step fault count stays within the retry budget, the ARQ session
+/// must produce the **clean run's** actuation stream bit-for-bit, with
+/// counters equal to the schedule and zero lost exchanges — recovery is
+/// proved, not just observed.
+pub fn run_arq_recovery_case(
+    case: &ControllerCase,
+    mcu: &McuSpec,
+    faults: &FaultSchedule,
+    arq: &ArqConfig,
+) -> Result<ArqReport, String> {
+    // precondition the oracle depends on: every step's fault multiplicity
+    // fits the retry budget
+    for step in 0..case.steps {
+        let m = [&faults.corrupt_steps, &faults.drop_steps, &faults.drop_reply_steps]
+            .iter()
+            .map(|l| l.iter().filter(|&&s| s == step).count() as u32)
+            .sum::<u32>();
+        if m > arq.max_retries {
+            return Err(format!(
+                "schedule puts {m} faults on step {step}, budget is {}",
+                arq.max_retries
+            ));
+        }
+    }
+    let act_scale = case.actuation_scale();
+    let (stats, received, activations) =
+        run_session(case, mcu, faults.clone(), Some(*arq), act_scale)?;
+
+    let n_corrupt = faults.corrupt_steps.len() as u64;
+    let n_drop_rep = faults.drop_reply_steps.len() as u64;
+    let total = (faults.corrupt_steps.len()
+        + faults.drop_steps.len()
+        + faults.drop_reply_steps.len()) as u64;
+    if stats.retries != total || stats.timeouts != total {
+        return Err(format!(
+            "retries {} / timeouts {} != scheduled fault count {}",
+            stats.retries, stats.timeouts, total
+        ));
+    }
+    if stats.crc_errors != n_corrupt {
+        return Err(format!("crc_errors {} != schedule {}", stats.crc_errors, n_corrupt));
+    }
+    if stats.duplicate_replies != n_drop_rep {
+        return Err(format!(
+            "duplicate_replies {} != dropped replies {}",
+            stats.duplicate_replies, n_drop_rep
+        ));
+    }
+    if stats.failed_exchanges != 0 || stats.dropped_exchanges != 0 || stats.degraded_steps != 0 {
+        return Err(format!(
+            "under-budget faults lost exchanges: failed {} dropped {} degraded {}",
+            stats.failed_exchanges, stats.dropped_exchanges, stats.degraded_steps
+        ));
+    }
+    if activations != case.steps {
+        return Err(format!(
+            "controller ran {activations} times over {} steps (exactly-once violated)",
+            case.steps
+        ));
+    }
+
+    // the oracle: the *clean* replica — a recovered run leaves no trace
+    // of the faults in the data
+    let expected = host_reference(case, &FaultSchedule::default(), act_scale)?;
+    if received != expected {
+        let step = received.iter().zip(&expected).position(|(a, b)| a != b);
+        return Err(format!(
+            "ARQ-recovered actuation differs from the clean run at step {step:?}"
+        ));
+    }
+    Ok(ArqReport {
+        retries: stats.retries,
+        timeouts: stats.timeouts,
+        duplicate_replies: stats.duplicate_replies,
+    })
+}
+
+/// The graceful-degradation proof: a fault burst past the retry budget
+/// at `arq.watchdog_failures` consecutive steps must complete (never
+/// error, never wedge) with `degraded_steps > 0`, and the whole
+/// trajectory must equal the drop-aware replica bit-for-bit — the
+/// held-output steps *and* the host-fallback tail are both exact.
+pub fn run_arq_degradation_case(
+    case: &ControllerCase,
+    mcu: &McuSpec,
+    arq: &ArqConfig,
+    burst_start: u64,
+) -> Result<u64, String> {
+    let watchdog = arq.watchdog_failures as u64;
+    let trip = burst_start + watchdog;
+    if trip >= case.steps {
+        return Err(format!(
+            "burst at {burst_start}+{watchdog} leaves no degraded tail in {} steps",
+            case.steps
+        ));
+    }
+    // each burst step carries one more fault than the budget tolerates
+    let burst: Vec<u64> = (burst_start..trip)
+        .flat_map(|s| std::iter::repeat_n(s, arq.max_retries as usize + 1))
+        .collect();
+    let faults = FaultSchedule { drop_steps: burst, ..Default::default() };
+    let act_scale = case.actuation_scale();
+    let (stats, received, activations) =
+        run_session(case, mcu, faults, Some(*arq), act_scale)?;
+
+    if stats.steps != case.steps {
+        return Err(format!("run stopped at step {} of {}", stats.steps, case.steps));
+    }
+    if stats.failed_exchanges != watchdog {
+        return Err(format!("failed_exchanges {} != burst {}", stats.failed_exchanges, watchdog));
+    }
+    if stats.degraded_at_step != Some(trip) {
+        return Err(format!(
+            "degraded_at_step {:?}, watchdog must trip at {trip}",
+            stats.degraded_at_step
+        ));
+    }
+    if stats.degraded_steps != case.steps - trip || stats.degraded_steps == 0 {
+        return Err(format!(
+            "degraded_steps {} != tail {}",
+            stats.degraded_steps,
+            case.steps - trip
+        ));
+    }
+    if stats.timeouts != stats.retries + stats.failed_exchanges {
+        return Err(format!(
+            "timeout accounting broken: {} != {} + {}",
+            stats.timeouts, stats.retries, stats.failed_exchanges
+        ));
+    }
+    if activations != case.steps - watchdog {
+        return Err(format!(
+            "controller ran {activations} times, expected {} (burst steps never execute)",
+            case.steps - watchdog
+        ));
+    }
+
+    // the oracle: the drop-aware replica with the burst as plain drops —
+    // held outputs during the burst, exact quantized execution after
+    let burst_as_drops = FaultSchedule {
+        drop_steps: (burst_start..trip).collect(),
+        ..Default::default()
+    };
+    let expected = host_reference(case, &burst_as_drops, act_scale)?;
+    if received != expected {
+        let step = received.iter().zip(&expected).position(|(a, b)| a != b);
+        return Err(format!(
+            "degraded trajectory differs from the drop-aware replica at step {step:?}"
+        ));
+    }
+    Ok(stats.degraded_steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,11 +610,46 @@ mod tests {
             corrupt_steps: vec![3, 17],
             drop_steps: vec![8, 23],
             overrun_steps: vec![12],
+            drop_reply_steps: Vec::new(),
         };
         let r = run_fault_schedule_case(&case, &mcu, &faults).unwrap();
         assert_eq!(
             (r.crc_errors, r.dropped_exchanges, r.deadline_misses, r.injected_overruns),
             (2, 4, 1, 1)
         );
+    }
+
+    #[test]
+    fn arq_recovery_is_bit_exact_on_a_generated_controller() {
+        let mcu = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        let case = gen_controller_case(0xC0FFEE, 2);
+        let faults = FaultSchedule {
+            corrupt_steps: vec![4, 4, 19],
+            drop_steps: vec![9, 30, 30],
+            drop_reply_steps: vec![14, 25, 25],
+            overrun_steps: Vec::new(),
+        };
+        let r = run_arq_recovery_case(&case, &mcu, &faults, &ArqConfig::default()).unwrap();
+        assert_eq!(r.retries, 9);
+        assert_eq!(r.timeouts, 9);
+        assert_eq!(r.duplicate_replies, 3);
+    }
+
+    #[test]
+    fn arq_recovery_rejects_over_budget_schedules_upfront() {
+        let mcu = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        let case = gen_controller_case(0xC0FFEE, 2);
+        let faults = FaultSchedule { drop_steps: vec![6, 6, 6, 6], ..Default::default() };
+        assert!(run_arq_recovery_case(&case, &mcu, &faults, &ArqConfig::default()).is_err());
+    }
+
+    #[test]
+    fn arq_degradation_is_clean_and_exact_on_a_generated_controller() {
+        let mcu = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+        let case = gen_controller_case(0xC0FFEE, 3);
+        let arq = ArqConfig::default();
+        let degraded =
+            run_arq_degradation_case(&case, &mcu, &arq, 10).unwrap();
+        assert_eq!(degraded, case.steps - 10 - arq.watchdog_failures as u64);
     }
 }

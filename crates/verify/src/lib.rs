@@ -30,7 +30,7 @@ pub mod shrink;
 pub mod spec;
 
 use peert_mcu::{McuCatalog, McuSpec};
-use peert_pil::FaultSchedule;
+use peert_pil::{ArqConfig, FaultSchedule};
 
 /// What [`run_suite`] verified, for reporting.
 #[derive(Clone, Debug, Default)]
@@ -45,12 +45,20 @@ pub struct SuiteReport {
     pub worst_tolerance: f64,
     /// Fault-schedule cases that passed with exact counter equality.
     pub fault_cases: u64,
+    /// ARQ recovery cases proved bit-exact against the clean run.
+    pub arq_cases: u64,
+    /// Total retransmissions exercised across the ARQ recovery cases.
+    pub arq_retries: u64,
+    /// Degradation replays that completed flagged-degraded, bit-exact
+    /// against the drop-aware replica.
+    pub arq_degraded_cases: u64,
 }
 
 /// A failed case: everything needed to reproduce and diagnose it.
 #[derive(Clone, Debug)]
 pub struct Failure {
-    /// Which phase failed (`"mil"`, `"reset"`, `"pil"`, `"fault"`).
+    /// Which phase failed (`"mil"`, `"reset"`, `"pil"`, `"fault"`,
+    /// `"arq"`, `"arq-degrade"`).
     pub phase: &'static str,
     /// The generating seed.
     pub seed: u64,
@@ -79,16 +87,49 @@ pub fn suite_fault_schedule() -> FaultSchedule {
         corrupt_steps: vec![3, 17, 31],
         drop_steps: vec![8, 23],
         overrun_steps: vec![12, 40],
+        drop_reply_steps: Vec::new(),
     }
+}
+
+/// The ARQ policy the suite's recovery/degradation phases run with.
+pub fn suite_arq_config() -> ArqConfig {
+    ArqConfig::default()
+}
+
+/// A seeded per-case ARQ fault schedule: a handful of distinct steps,
+/// each loaded with 1..=`max_retries` faults split randomly across
+/// corrupt / drop-request / drop-reply — always within the retry budget,
+/// so [`diff::run_arq_recovery_case`] must prove bit-exact recovery.
+pub fn gen_arq_schedule(seed: u64, case: u64, steps: u64, max_retries: u32) -> FaultSchedule {
+    let mut rng = rng::Rng::derive(seed, 0xA509_0000 ^ case);
+    let mut faults = FaultSchedule::default();
+    let n_steps = 2 + rng.below(5); // 2..=6 faulted steps
+    let mut chosen = std::collections::BTreeSet::new();
+    while (chosen.len() as u64) < n_steps.min(steps) {
+        chosen.insert(rng.below(steps));
+    }
+    for step in chosen {
+        let multiplicity = 1 + rng.below(max_retries as u64);
+        for _ in 0..multiplicity {
+            match rng.below(3) {
+                0 => faults.corrupt_steps.push(step),
+                1 => faults.drop_steps.push(step),
+                _ => faults.drop_reply_steps.push(step),
+            }
+        }
+    }
+    faults
 }
 
 /// Steps each MIL differential case runs for.
 pub const MIL_STEPS: u64 = 40;
 
 /// Run the whole suite: `cases` MIL differential cases (with reset
-/// checks), `cases` PIL three-way cases, and one deterministic
-/// fault-schedule replay per seed. On failure the offending spec is
-/// shrunk (when `do_shrink`) and returned.
+/// checks), `cases` PIL three-way cases, one deterministic
+/// fault-schedule replay, `cases` ARQ bit-exact recovery proofs under
+/// seeded under-budget schedules, and one over-budget degradation
+/// replay. On failure the offending spec is shrunk (when `do_shrink`)
+/// and returned.
 pub fn run_suite(seed: u64, cases: u64, do_shrink: bool) -> Result<SuiteReport, Failure> {
     let mut report = SuiteReport::default();
     let mcu = default_mcu();
@@ -135,6 +176,47 @@ pub fn run_suite(seed: u64, cases: u64, do_shrink: bool) -> Result<SuiteReport, 
         Err(message) => {
             return Err(Failure {
                 phase: "fault",
+                seed,
+                case: 0,
+                message,
+                spec: ctl.ctl.to_json(),
+                blocks: ctl.ctl.blocks.len(),
+            })
+        }
+    }
+
+    // ARQ phase: per-case seeded under-budget schedules, each proved
+    // bit-exact against the clean run
+    let arq = suite_arq_config();
+    for case in 0..cases {
+        let ctl = gen::gen_controller_case(seed, case);
+        let schedule = gen_arq_schedule(seed, case, ctl.steps, arq.max_retries);
+        match diff::run_arq_recovery_case(&ctl, &mcu, &schedule, &arq) {
+            Ok(r) => {
+                report.arq_cases += 1;
+                report.arq_retries += r.retries;
+            }
+            Err(message) => {
+                return Err(Failure {
+                    phase: "arq",
+                    seed,
+                    case,
+                    message,
+                    spec: ctl.ctl.to_json(),
+                    blocks: ctl.ctl.blocks.len(),
+                })
+            }
+        }
+    }
+
+    // one over-budget degradation replay: must complete flagged-degraded
+    let ctl = gen::gen_controller_case(seed, 0);
+    let burst_start = 5 + (seed % 7); // deterministic per seed, tail guaranteed
+    match diff::run_arq_degradation_case(&ctl, &mcu, &arq, burst_start) {
+        Ok(_) => report.arq_degraded_cases += 1,
+        Err(message) => {
+            return Err(Failure {
+                phase: "arq-degrade",
                 seed,
                 case: 0,
                 message,

@@ -76,6 +76,7 @@ fn reset_after_a_fault_schedule_run_replays_byte_for_byte() {
         corrupt_steps: vec![5, 19],
         drop_steps: vec![11],
         overrun_steps: vec![27],
+        drop_reply_steps: Vec::new(),
     };
     let a = diff::run_fault_schedule_case(&case, &mcu, &faults).unwrap();
     let b = diff::run_fault_schedule_case(&case, &mcu, &faults).unwrap();

@@ -1,7 +1,8 @@
 //! The full Fig 6.1 development cycle: MIL simulation → model/project
 //! synchronization → PEERT code generation (with the expert system in the
 //! loop) → PIL simulation over the RS-232 line — and the validation data
-//! each phase produces.
+//! each phase produces. Every claim it prints is asserted, so
+//! `scripts/ci.sh` runs it as an integration check.
 //!
 //! ```sh
 //! cargo run --example development_cycle
@@ -50,11 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.mil.metrics.rise_time,
         report.mil.metrics.overshoot * 100.0,
         report.mil.metrics.steady_state_error);
+    assert!(report.mil.metrics.rise_time > 0.0 && report.mil.metrics.rise_time < 0.2,
+        "MIL loop failed to rise to the setpoint");
+    assert!(report.mil.metrics.steady_state_error.abs() < 2.0,
+        "MIL loop failed to regulate");
 
     println!("\n[codegen] {}", report.codegen.row());
     let build = run_codegen(&opts, "MC56F8367")?;
     let out_dir = std::path::Path::new("target/generated/servo");
     let written = build.code.source.write_to(out_dir)?;
+    assert!(written.len() >= 3, "codegen must emit headers and sources");
     println!("          sources written to {}:", out_dir.display());
     for p in &written {
         println!("            {}", p.file_name().unwrap().to_string_lossy());
@@ -70,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("       minimum feasible control period: {:.3} ms",
         report.pil.min_feasible_period_s(bus) * 1e3);
     println!("       deadline misses: {}", report.pil.deadline_misses);
+    assert_eq!(report.pil.deadline_misses, 0, "500 Hz must fit the 115200-baud line");
     println!("\n[PIL vs MIL] speed-trajectory RMS deviation: {:.3} rad/s", report.pil_vs_mil_rms);
+    assert!(report.pil_vs_mil_rms < 1.0,
+        "PIL diverged {} rad/s RMS from MIL", report.pil_vs_mil_rms);
 
     println!("\n=== Phase 4: HIL — the production configuration on the chip registers ===");
     let hil = run_hil(&opts, "MC56F8367", 0.5)?;
@@ -80,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ctl.exec_mean() / bus * 1e6,
         ctl.start_jitter(spec.clock.secs_to_cycles(opts.control_period_s)) as f64 / bus * 1e6);
     println!("       stack high water {} B of {} B", hil.profile.stack_high_water, spec.stack_bytes);
-    println!("       HIL vs MIL speed RMS: {:.3} rad/s", hil.speed.rms_diff(&report.mil.speed));
+    let hil_rms = hil.speed.rms_diff(&report.mil.speed);
+    println!("       HIL vs MIL speed RMS: {:.3} rad/s", hil_rms);
+    assert!(ctl.activations > 200, "HIL timer ISR barely ran");
+    assert!(hil.profile.stack_high_water < spec.stack_bytes, "stack overflowed the chip budget");
+    assert!(hil_rms < 5.0, "HIL diverged {hil_rms} rad/s RMS from MIL");
     println!("\ndevelopment cycle complete — no gap between the model and the implementation");
     Ok(())
 }

@@ -1,16 +1,20 @@
 //! PIL simulation deep dive (§6, Fig 6.2): sweep the RS-232 baud rate and
 //! watch the communication time dominate the control period — the paper's
 //! "Even though the communication over RS232 is very slow..." trade-off,
-//! quantified.
+//! quantified — then put the reliable ARQ transport through a faulted
+//! exchange and a blackout. Every claim it prints is asserted, so
+//! `scripts/ci.sh` runs it as an integration check.
 //!
 //! ```sh
 //! cargo run --release --example pil_simulation
 //! ```
 
 use peert::servo::ServoOptions;
-use peert::workflow::{run_mil, run_pil};
+use peert::workflow::{run_mil, run_pil, run_pil_resilient};
 use peert_control::setpoint::SetpointProfile;
 use peert_mcu::McuCatalog;
+use peert_pil::cosim::LinkKind;
+use peert_pil::{ArqConfig, FaultSchedule};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
@@ -36,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let steps = (0.4 / period) as u64;
         let mil = run_mil(&opts, 0.4)?;
         let (stats, speed) = run_pil(&opts, "MC56F8367", baud, steps)?;
+        let rms = speed.rms_diff(&mil.speed);
         println!(
             "{:>8} {:>11.1} {:>11.3} {:>11.1} {:>8} {:>12.3}",
             baud,
@@ -43,8 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.mean_step_cycles() / bus * 1e3,
             stats.comm_fraction() * 100.0,
             stats.deadline_misses,
-            speed.rms_diff(&mil.speed),
+            rms,
         );
+        assert_eq!(stats.deadline_misses, 0, "{baud} baud: a feasible period missed deadlines");
+        assert!(rms < 1.0, "{baud} baud: PIL diverged {rms} rad/s RMS from MIL");
+        assert!(stats.comm_fraction() > 0.5, "{baud} baud: the line should dominate the period");
     }
 
     println!("\nand the infeasible case the paper's workflow is built to catch:");
@@ -63,5 +71,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.min_feasible_period_s(bus) * 1e3
     );
     println!("  → PIL answers §6's question before any hardware exists.");
+    assert_eq!(stats.deadline_misses, 100, "every 1 kHz step should overrun the line budget");
+    assert!(stats.min_feasible_period_s(bus) > 1e-3);
+
+    println!("\nand what the reliable transport adds on a noisy line (SPI 2 MHz, 1 kHz loop):");
+    let mut opts = ServoOptions {
+        setpoint: SetpointProfile::from(0.0).at(0.02, 150.0),
+        load_step: None,
+        ..Default::default()
+    };
+    opts.control_period_s = 1e-3;
+    opts.pid.ts = 1e-3;
+    let link = LinkKind::Spi { clock_hz: 2_000_000 };
+    let arq = ArqConfig::default();
+    let steps = 200;
+
+    // under-budget faults: the ARQ layer retransmits and the run stays
+    // bit-identical to the clean one
+    let faults = FaultSchedule {
+        corrupt_steps: vec![30, 30, 95],
+        drop_steps: vec![60],
+        drop_reply_steps: vec![120, 120],
+        ..Default::default()
+    };
+    let clean = run_pil_resilient(&opts, "MC56F8367", link, FaultSchedule::default(), arq, 1 << 12, steps)?;
+    let faulted = run_pil_resilient(&opts, "MC56F8367", link, faults, arq, 1 << 12, steps)?;
+    println!(
+        "  {} injected faults → {} retransmissions, {} timeouts, 0 failed exchanges",
+        6, faulted.stats.retries, faulted.stats.timeouts
+    );
+    assert_eq!(faulted.stats.retries, 6);
+    assert_eq!(faulted.stats.timeouts, 6);
+    assert_eq!(faulted.stats.failed_exchanges, 0);
+    assert!(!faulted.degraded);
+    assert_eq!(faulted.speed.y.len(), clean.speed.y.len());
+    for (a, b) in faulted.speed.y.iter().zip(clean.speed.y.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "recovered trajectory must be bit-exact");
+    }
+    println!("  recovered trajectory is bit-identical to the fault-free run");
+
+    // a blackout the budget cannot cover: the watchdog degrades the
+    // session to the host-side MIL fallback and the run still completes
+    let burst: Vec<u64> = (80u64..83)
+        .flat_map(|s| std::iter::repeat_n(s, (arq.max_retries + 1) as usize))
+        .collect();
+    let blackout = FaultSchedule { drop_steps: burst, ..Default::default() };
+    let degraded = run_pil_resilient(&opts, "MC56F8367", link, blackout, arq, 1 << 12, steps)?;
+    println!(
+        "  blackout at step 80 → watchdog tripped, fallback owns steps {}..{} \
+         ({} degraded), run completed",
+        degraded.degraded_at_step.unwrap(),
+        steps,
+        degraded.stats.degraded_steps
+    );
+    assert!(degraded.degraded, "the watchdog must declare the link degraded");
+    assert_eq!(degraded.degraded_at_step, Some(83));
+    assert_eq!(degraded.stats.degraded_steps, steps - 83);
+    assert_eq!(degraded.stats.steps, steps, "a degraded run still completes the horizon");
+    println!("  → a broken line degrades the experiment; it no longer aborts it.");
     Ok(())
 }

@@ -33,8 +33,25 @@ run cargo bench --no-run --bench trace_overhead -p peert-bench $CARGO_ARGS
 # shellcheck disable=SC2086
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace $CARGO_ARGS
 
+# asserted integration runs: the paper's example walkthroughs carry
+# their own assertions (deadline feasibility, MIL/PIL divergence bounds,
+# ARQ bit-exact recovery and graceful degradation) and exit non-zero on
+# any regression
+# shellcheck disable=SC2086
+run cargo run --release -q --example development_cycle $CARGO_ARGS
+# shellcheck disable=SC2086
+run cargo run --release -q --example pil_simulation $CARGO_ARGS
+
+# long ARQ soak (10^5 faulted steps, exact counter accounting, bit-exact
+# trajectory): opt-in because it adds ~1 min in release
+if [[ "${PIL_SOAK:-0}" == "1" ]]; then
+    # shellcheck disable=SC2086
+    run env PIL_SOAK=1 cargo test --release --test pil_soak $CARGO_ARGS -- --nocapture
+fi
+
 # differential verification suite: interpreted ≡ plan (bit-exact), PIL
-# within quantization tolerance, fault counters equal to the schedule.
+# within quantization tolerance, fault counters equal to the schedule,
+# ARQ recovery proofs under seeded fault schedules.
 # VERIFY_SEED/VERIFY_CASES override the defaults; the failing seed and
 # case are printed by the tool itself for offline reproduction.
 VERIFY_SEED="${VERIFY_SEED:-0xC0FFEE}"

@@ -89,6 +89,7 @@ fn pil_profiling_reports_the_comm_isr() {
         noise_seed: 0,
         corrupt_steps: Vec::new(),
         faults: Default::default(),
+        arq: None,
         trace_capacity: 0,
     };
     let mut session = target

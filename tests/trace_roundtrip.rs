@@ -4,9 +4,11 @@
 //! jitter for the control task.
 
 use peert::servo::ServoOptions;
-use peert::workflow::run_development_cycle_traced;
+use peert::workflow::{make_pil_session_resilient, run_development_cycle_traced};
 use peert_control::setpoint::SetpointProfile;
-use peert_trace::JsonValue;
+use peert_pil::cosim::LinkKind;
+use peert_pil::{ArqConfig, FaultSchedule};
+use peert_trace::{chrome_trace_json, JsonValue, MetricsReport};
 
 fn opts() -> ServoOptions {
     let mut o = ServoOptions {
@@ -98,4 +100,89 @@ fn traced_cycle_exports_a_loadable_chrome_trace_and_jitter_metrics() {
     let counters = metrics.get("counters").unwrap();
     assert!(counters.get("mil.engine.engine.block_evals").unwrap().as_u64().unwrap() > 0);
     assert!(counters.get("pil.board.pil.line_cycles").unwrap().as_u64().unwrap() > 0);
+}
+
+#[test]
+fn arq_counters_round_trip_through_both_exporters() {
+    // a resilient session with under-budget faults early (retries that
+    // recover) and an over-budget burst late (watchdog trips, the tail
+    // degrades to the host fallback)
+    let arq = ArqConfig::default(); // budget 3, watchdog 3
+    let steps: u64 = 60;
+    let burst: Vec<u64> =
+        [40u64, 41, 42].iter().flat_map(|&s| std::iter::repeat_n(s, 4)).collect();
+    let mut corrupt = vec![5, 5, 20];
+    corrupt.extend(burst);
+    let faults = FaultSchedule {
+        corrupt_steps: corrupt,
+        drop_reply_steps: vec![12],
+        ..Default::default()
+    };
+    let (mut session, _log) = make_pil_session_resilient(
+        &opts(),
+        "MC56F8367",
+        LinkKind::Spi { clock_hz: 2_000_000 },
+        faults,
+        arq,
+        1 << 14,
+    )
+    .unwrap();
+    session.run(steps).unwrap();
+    let stats = session.stats().clone();
+    // schedule-derived expectations: 4 recovered faults + 3×3 burst
+    // retries; each burst step adds one extra timeout; fallback owns the
+    // tail from step 43
+    assert_eq!(stats.retries, 4 + 9);
+    assert_eq!(stats.timeouts, stats.retries + 3);
+    assert_eq!(stats.degraded_at_step, Some(43));
+    assert_eq!(stats.degraded_steps, steps - 43);
+    assert_eq!(stats.duplicate_replies, 1);
+    assert!(session.is_degraded());
+
+    // --- metrics exporter: the ARQ counters survive with their values ---
+    let board = session.executive().tracer();
+    let mut m = MetricsReport::new();
+    m.absorb_counters("pil.board.", board);
+    let metrics = JsonValue::parse(&m.to_json()).expect("valid metrics JSON");
+    let counters = metrics.get("counters").unwrap();
+    let counter = |name: &str| counters.get(name).and_then(|v| v.as_u64()).unwrap_or(0);
+    assert_eq!(counter("pil.board.pil.retries"), stats.retries);
+    assert_eq!(counter("pil.board.pil.timeouts"), stats.timeouts);
+    assert_eq!(counter("pil.board.pil.degraded_steps"), stats.degraded_steps);
+    assert_eq!(counter("pil.board.pil.duplicate_replies"), stats.duplicate_replies);
+    assert_eq!(counter("pil.board.pil.dropped_exchanges"), stats.failed_exchanges);
+
+    // --- Chrome exporter: one balanced retry span per retransmission ---
+    let chrome = chrome_trace_json(&[("pil.board", board)]);
+    let events = JsonValue::parse(&chrome).expect("valid chrome JSON");
+    let events = events.as_array().unwrap();
+    let phase_count = |name: &str, ph: &str| {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some(ph)
+                    && e.get("name").and_then(|n| n.as_str()) == Some(name)
+            })
+            .count() as u64
+    };
+    assert_eq!(phase_count("pil.retry", "B"), stats.retries);
+    // `E` events carry no name in the trace_event format, so prove each
+    // retry span *closes* by replaying the LIFO discipline: every pop
+    // that matches a `pil.retry` begin is one closed retry span
+    let mut stack: Vec<&str> = Vec::new();
+    let mut closed_retries = 0u64;
+    for e in events {
+        match e.get("ph").and_then(|p| p.as_str()).unwrap() {
+            "B" => stack.push(e.get("name").and_then(|n| n.as_str()).unwrap()),
+            "E" => {
+                let name = stack.pop().expect("E before its B in the board trace");
+                if name == "pil.retry" {
+                    closed_retries += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(stack.is_empty(), "unbalanced spans in the board trace");
+    assert_eq!(closed_retries, stats.retries, "every retry span is closed");
 }
