@@ -9,12 +9,32 @@ use peert_mcu::McuSpec;
 use serde::{Deserialize, Serialize};
 
 /// Severity of a validation finding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// This is the one canonical severity scale across the workspace: the
+/// bean expert system, the static analyzer (`peert-lint`) and the
+/// workflow gates all share it. The derived order ranks by urgency
+/// (`Error < Warning < Note`), so sorting ascending lists blockers
+/// first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Severity {
-    /// Design cannot be generated.
+    /// Design cannot be generated (lint: deny).
     Error,
     /// Design generates but deserves attention (e.g. rate rounded).
     Warning,
+    /// Informational — an improvement opportunity, never a defect.
+    Note,
+}
+
+impl Severity {
+    /// Lowercase label used by renderers (`"error"` / `"warning"` /
+    /// `"note"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
 }
 
 /// One validation finding from the expert system.
@@ -61,7 +81,7 @@ pub struct EventSpec {
 }
 
 /// Kinds of on-chip resources beans compete for.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ResourceKind {
     /// A general-purpose timer channel.
     TimerChannel,

@@ -12,13 +12,14 @@ use crate::bean::{Finding, ResourceKind, Severity};
 use crate::project::PeProject;
 use peert_mcu::McuSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The instance assignment the allocator produced: bean name → peripheral
-/// instance index (within its resource kind).
+/// instance index (within its resource kind). Stored in a `BTreeMap` so
+/// serialized allocations are byte-reproducible across runs.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Allocation {
-    assignments: HashMap<String, usize>,
+    assignments: BTreeMap<String, usize>,
 }
 
 impl Allocation {
@@ -68,8 +69,8 @@ impl ExpertSystem {
     /// error-severity finding was produced.
     pub fn allocate(project: &PeProject, spec: &McuSpec) -> (Vec<Finding>, Option<Allocation>) {
         let mut findings = Vec::new();
-        let mut next_free: HashMap<ResourceKind, usize> = HashMap::new();
-        let mut pins_taken: HashMap<usize, String> = HashMap::new();
+        let mut next_free: BTreeMap<ResourceKind, usize> = BTreeMap::new();
+        let mut pins_taken: BTreeMap<usize, String> = BTreeMap::new();
         let mut alloc = Allocation::default();
 
         for bean in project.beans() {
@@ -127,6 +128,11 @@ impl ExpertSystem {
         let mut findings = Self::validate_beans(project, spec);
         let (mut alloc_findings, alloc) = Self::allocate(project, spec);
         findings.append(&mut alloc_findings);
+        // canonical order (severity, bean, message): the report is
+        // byte-reproducible no matter which pass produced a finding
+        findings.sort_by(|a, b| {
+            (a.severity, &a.bean, &a.message).cmp(&(b.severity, &b.bean, &b.message))
+        });
         let has_error = findings.iter().any(|f| f.severity == Severity::Error);
         (findings, if has_error { None } else { alloc })
     }

@@ -27,6 +27,8 @@
 //!   bean; "the model with the PE blocks can be ... ported to another MCU by
 //!   selecting another CPU bean in the PE project window" (§1).
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod bean;

@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
             let rows = e10_validation_ladder();
             assert_eq!(rows.len(), 3);
             rows
-        })
+        });
     });
     g.finish();
 }

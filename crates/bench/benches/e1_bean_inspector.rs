@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
             let rows = e1_bean_inspector();
             assert!(rows.iter().any(|r| !r.accepted));
             rows
-        })
+        });
     });
 }
 

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
             m.run(0.2).unwrap();
             let n = m.speed_log.lock().len();
             n
-        })
+        });
     });
     g.finish();
 }

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
                 };
                 let mut m = build_servo_model(&opts).unwrap();
                 m.run(0.2).unwrap();
-            })
+            });
         });
     }
     g.finish();

@@ -9,12 +9,12 @@ fn bench(c: &mut Criterion) {
     let cfg = PidConfig { kp: 0.3, ki: 1.0, kd: 0.0, ts: 1e-3, umin: -1.0, umax: 1.0 };
     c.bench_function("e4_pid_step_f64", |b| {
         let mut pid = PidF64::new(cfg).unwrap();
-        b.iter(|| black_box(pid.step(black_box(0.4), black_box(0.1))))
+        b.iter(|| black_box(pid.step(black_box(0.4), black_box(0.1))));
     });
     c.bench_function("e4_pid_step_q15", |b| {
         let mut pid = PidQ15::new(cfg, 1.0, 1.0).unwrap();
         let (r, y) = (Q15::from_f64(0.4), Q15::from_f64(0.1));
-        b.iter(|| black_box(pid.step(black_box(r), black_box(y))))
+        b.iter(|| black_box(pid.step(black_box(r), black_box(y))));
     });
 }
 

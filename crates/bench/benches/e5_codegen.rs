@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
             let out = run_codegen(&opts, "MC56F8367").unwrap();
             assert!(out.report.loc > 30);
             out.report.loc
-        })
+        });
     });
 }
 

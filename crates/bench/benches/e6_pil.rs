@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
                 opts.pid.ts = period;
                 let (stats, _) = run_pil(&opts, "MC56F8367", baud, 50).unwrap();
                 assert_eq!(stats.steps, 50);
-            })
+            });
         });
     }
     g.finish();

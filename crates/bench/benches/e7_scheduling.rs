@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
             exec.start();
             exec.run_for_secs(0.1);
             exec.profile("ctl").unwrap().activations
-        })
+        });
     });
     g.finish();
 }

@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
             let rows = e8_portability();
             assert_eq!(rows.iter().filter(|r| r.built).count(), 5);
             rows
-        })
+        });
     });
     g.finish();
 }

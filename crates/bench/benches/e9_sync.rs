@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
             let row = e9_sync(seed, 80);
             assert!(row.consistent);
             row
-        })
+        });
     });
 }
 

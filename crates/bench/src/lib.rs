@@ -6,6 +6,8 @@
 //! `experiments` report binary share one implementation (see DESIGN.md §4
 //! for the experiment index and EXPERIMENTS.md for recorded outcomes).
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod experiments;

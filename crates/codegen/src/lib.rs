@@ -28,6 +28,8 @@
 //! * [`report`] — LoC / footprint / generation-time metrics, including the
 //!   §2 comparison against the quoted 6-lines-per-day manual productivity.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod emit;

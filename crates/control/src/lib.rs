@@ -8,6 +8,8 @@
 //! reference) and Q15 fixed point (what actually ships to the 16-bit
 //! MC56F8367, §7); [`filter`] and [`setpoint`] supply the supporting pieces.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod filter;

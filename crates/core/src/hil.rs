@@ -119,7 +119,7 @@ pub fn run_hil_loaded(
         // a lost timer activation means the control step did NOT run this
         // period: the PWM register holds its previous duty (§1's sample
         // dropping under overload)
-        let acts = exec.profile("ctl_step").map(|p| p.activations).unwrap_or(0);
+        let acts = exec.profile("ctl_step").map_or(0, |p| p.activations);
         let ran = acts > activations_seen;
         activations_seen = acts;
         if ran {

@@ -32,6 +32,8 @@
 //!   code generation → PIL simulation, with the validation data each phase
 //!   produces.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod hil;

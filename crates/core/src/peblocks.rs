@@ -87,11 +87,11 @@ impl PePwm {
     }
 
     fn period_counts(&self) -> u32 {
-        self.bean.resolved.map(|r| r.period_counts).unwrap_or(3000)
+        self.bean.resolved.map_or(3000, |r| r.period_counts)
     }
 
     fn dead_counts(&self) -> u32 {
-        self.bean.resolved.map(|r| r.dead_time_counts).unwrap_or(0)
+        self.bean.resolved.map_or(0, |r| r.dead_time_counts)
     }
 }
 

@@ -319,9 +319,8 @@ pub fn servo_project(opts: &ServoOptions, cpu: &str) -> PeProject {
 /// PIL controller side for the servo: functionally the generated code
 /// (encoder counts in, duty out), run per exchange on the board.
 pub fn pil_controller(opts: &ServoOptions) -> Result<ControllerFn, String> {
-    let lines = match opts.feedback {
-        Feedback::Encoder { lines } => lines,
-        _ => return Err("PIL servo adapter expects encoder feedback".into()),
+    let Feedback::Encoder { lines } = opts.feedback else {
+        return Err("PIL servo adapter expects encoder feedback".into());
     };
     let cpr = lines * 4;
     let ts = opts.control_period_s;

@@ -210,6 +210,12 @@ impl PeertTarget {
         PeertTarget { registry }
     }
 
+    /// The target's template registry (standard + PE block set) — the
+    /// registry the static analyzer prices the generated step with.
+    pub fn registry(&self) -> &TlcRegistry {
+        &self.registry
+    }
+
     /// Emit the `main.c` runtime skeleton (§5): bean init, periodic step in
     /// the timer ISR, optional background task stub.
     pub fn emit_main(&self, model: &str, project: &PeProject, timer_bean: &str) -> SourceFile {

@@ -15,7 +15,8 @@ use crate::servo::{
 use crate::target_peert::{BuildOutput, PeertTarget};
 use crate::target_pil::PilTarget;
 use peert_codegen::tlc::{Arithmetic, CodegenOptions};
-use peert_codegen::CodegenReport;
+use peert_codegen::{generate_controller, CodegenReport, TaskImage};
+use peert_lint::{FormatSpec, LintOptions, LintReport, SchedSpec, TaskSpec};
 use peert_control::metrics::StepMetrics;
 use peert_mcu::McuCatalog;
 use peert_model::log::SignalLog;
@@ -60,6 +61,69 @@ fn codegen_opts(opts: &ServoOptions) -> CodegenOptions {
     }
 }
 
+/// Phase 0 — static analysis: lint the controller model, the bean
+/// project, and the predicted task set *before* anything is simulated
+/// or generated. The numeric checks run at the configured arithmetic
+/// (the Q15 scale is taken from [`ControllerArithmetic::FixedQ15`]);
+/// the schedulability check prices the generated step on the target's
+/// cost table, so an infeasible period is refused without running a
+/// single simulated cycle.
+pub fn run_lint(opts: &ServoOptions, cpu: &str) -> Result<LintReport, String> {
+    let spec = McuCatalog::standard()
+        .find(cpu)
+        .cloned()
+        .ok_or_else(|| format!("unknown CPU '{cpu}'"))?;
+    let controller = build_controller(opts)?;
+    let mut lint_opts = LintOptions::default();
+    if let ControllerArithmetic::FixedQ15 { scale } = opts.arithmetic {
+        lint_opts.format = Some(FormatSpec { format: peert_fixedpoint::QFormat::Q15, scale });
+    }
+    let fp = controller.diagram().fingerprint();
+    let mut report =
+        peert_lint::lint_fingerprint(&fp, opts.control_period_s, &lint_opts).report;
+
+    // cross-layer: the bean project through the expert system, plus
+    // block↔bean consistency on the controller diagram
+    let project = servo_project(opts, cpu);
+    report.merge(peert_lint::lint_project(&project, &spec, &lint_opts.config));
+    report.merge(peert_lint::lint_block_beans(&fp, &project, &lint_opts.config));
+
+    // static timing: price the generated step on the target and bound
+    // the response time the executive would measure
+    let code = generate_controller(
+        &controller,
+        "servo",
+        &codegen_opts(opts),
+        PeertTarget::new().registry(),
+    )
+    .map_err(|e| e.to_string())?;
+    let image = TaskImage::build(&code, &spec);
+    let sched = SchedSpec::for_mcu(
+        &spec,
+        None,
+        vec![TaskSpec {
+            name: "TI1".into(),
+            period_s: opts.control_period_s,
+            cost_cycles: image.step_cycles as u64,
+        }],
+    );
+    let (_, sched_report) = peert_lint::lint_sched(&sched, &lint_opts.config);
+    report.merge(sched_report);
+    Ok(report)
+}
+
+/// Refuse the cycle when the lint report carries deny-level findings.
+fn lint_gate(opts: &ServoOptions, cpu: &str) -> Result<(), String> {
+    let report = run_lint(opts, cpu)?;
+    if !report.is_deny_clean() {
+        return Err(format!(
+            "static analysis refused the cycle:\n{}",
+            peert_lint::render_text(&report)
+        ));
+    }
+    Ok(())
+}
+
 /// Phase 1 — MIL: simulate the single model for `t_end` seconds.
 pub fn run_mil(opts: &ServoOptions, t_end: f64) -> Result<MilResult, String> {
     let mut model = build_servo_model(opts)?;
@@ -71,8 +135,7 @@ pub fn run_mil(opts: &ServoOptions, t_end: f64) -> Result<MilResult, String> {
         .setpoint
         .breakpoints()
         .first()
-        .map(|&(t, _)| t)
-        .unwrap_or(0.0);
+        .map_or(0.0, |&(t, _)| t);
     let metrics = StepMetrics::from_response(&speed.t, &speed.y, plateau, t0);
     Ok(MilResult { speed, duty, metrics })
 }
@@ -339,6 +402,7 @@ pub fn run_development_cycle(
     baud: u32,
     t_end: f64,
 ) -> Result<CycleReport, String> {
+    lint_gate(opts, cpu)?;
     let mil = run_mil(opts, t_end)?;
     let build = run_codegen(opts, cpu)?;
     let steps = (t_end / opts.control_period_s) as u64;
@@ -370,9 +434,17 @@ pub fn run_development_cycle_traced(
     t_end: f64,
 ) -> Result<(CycleReport, CycleTrace), String> {
     let mut wf = Tracer::new(16, ClockDomain::WallNanos);
+    let lint_id = wf.register("phase.lint");
     let mil_id = wf.register("phase.mil");
     let cg_id = wf.register("phase.codegen");
     let pil_id = wf.register("phase.pil");
+
+    // --- phase 0: static analysis gate ---
+    let ts = wf.now();
+    wf.begin(lint_id, ts);
+    lint_gate(opts, cpu)?;
+    let ts = wf.now();
+    wf.end(lint_id, ts);
 
     // --- phase 1: MIL, with the engine's step loop traced ---
     let ts = wf.now();
@@ -387,8 +459,7 @@ pub fn run_development_cycle_traced(
         .setpoint
         .breakpoints()
         .first()
-        .map(|&(t, _)| t)
-        .unwrap_or(0.0);
+        .map_or(0.0, |&(t, _)| t);
     let metrics = StepMetrics::from_response(&speed.t, &speed.y, plateau, t0);
     let mil = MilResult { speed, duty, metrics };
     let ts = wf.now();
@@ -457,6 +528,34 @@ mod tests {
             load_step: None,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn lint_phase_passes_the_servo_model() {
+        let report = run_lint(&fast_opts(), "MC56F8367").unwrap();
+        assert!(report.is_deny_clean(), "{}", peert_lint::render_text(&report));
+        // the fixed-point variant at the advised scale is also clean
+        let opts = ServoOptions {
+            arithmetic: crate::servo::ControllerArithmetic::FixedQ15 { scale: 256.0 },
+            ..fast_opts()
+        };
+        let report = run_lint(&opts, "MC56F8367").unwrap();
+        assert!(report.is_deny_clean(), "{}", peert_lint::render_text(&report));
+    }
+
+    #[test]
+    fn lint_gate_refuses_an_infeasible_control_period() {
+        // 3 µs period: the priced step alone exceeds it, so the static
+        // analyzer must refuse the cycle before MIL even starts
+        let mut opts = fast_opts();
+        opts.control_period_s = 3e-6;
+        opts.pid.ts = 3e-6;
+        let report = run_lint(&opts, "MC56F8367").unwrap();
+        assert!(report.has_rule(peert_lint::rules::SCHED_UTIL));
+        assert!(!report.is_deny_clean());
+        let err = run_development_cycle(&opts, "MC56F8367", 115_200, 0.01).unwrap_err();
+        assert!(err.contains("static analysis refused"), "{err}");
+        assert!(err.contains("sched.util"), "{err}");
     }
 
     #[test]

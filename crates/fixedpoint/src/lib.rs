@@ -20,6 +20,8 @@
 //!   quantization-error accounting, the equivalent of Simulink's
 //!   fixed-point advisor the paper relies on.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod analysis;

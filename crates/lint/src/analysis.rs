@@ -1,0 +1,584 @@
+//! Diagram-level lint rules: numeric (`num.*`), structural (`graph.*`)
+//! and rate (`rate.*`) analyses over a [`DiagramFingerprint`].
+//!
+//! Everything here is *static* — no simulation step runs. The numeric
+//! rules consume the interval analysis from [`crate::interval`]; the
+//! rate rules mirror, constant for constant, the integer-step
+//! quantization the execution plan applies
+//! (`period_steps = max(round(period/dt), 1)`), so a prediction made
+//! here is a statement about what the compiled plan will actually do.
+
+use crate::diag::{rules, LintConfig, LintReport};
+use crate::interval::{analyze_with_inputs, param_f, param_i, Interval};
+use peert_fixedpoint::QFormat;
+use peert_model::block::{ParamValue, SampleTime};
+use peert_model::graph::DiagramFingerprint;
+use std::collections::BTreeMap;
+
+/// A fixed-point format paired with a real-world scale factor: a signal
+/// `x` is stored as `x / scale` in `format`, so the representable real
+/// range is `[real_min·scale, real_max·scale]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FormatSpec {
+    /// The storage format (e.g. [`QFormat::Q15`]).
+    pub format: QFormat,
+    /// Real-world value represented by 1.0 in the format.
+    pub scale: f64,
+}
+
+impl FormatSpec {
+    /// Q15 at unit scale.
+    pub fn q15() -> Self {
+        FormatSpec { format: QFormat::Q15, scale: 1.0 }
+    }
+
+    /// Q31 at unit scale.
+    pub fn q31() -> Self {
+        FormatSpec { format: QFormat::Q31, scale: 1.0 }
+    }
+
+    /// The representable real interval.
+    pub fn real_range(&self) -> (f64, f64) {
+        let a = self.format.real_min() * self.scale;
+        let b = self.format.real_max() * self.scale;
+        (a.min(b), a.max(b))
+    }
+}
+
+/// Relative pad applied to computed bounds before comparing against the
+/// format range, absorbing f64 rounding in the analysis itself.
+const BOUND_PAD_REL: f64 = 1e-9;
+/// Absolute pad companion to [`BOUND_PAD_REL`].
+const BOUND_PAD_ABS: f64 = 1e-12;
+
+fn padded(iv: Interval) -> Interval {
+    if iv.is_bottom() {
+        return iv;
+    }
+    let pad = iv.abs_max() * BOUND_PAD_REL + BOUND_PAD_ABS;
+    iv.pad(pad)
+}
+
+/// Library blocks that are pure dataflow: no side effects, no hardware,
+/// no event ports. Only these may be reported dead (removing anything
+/// else could change observable behavior even with no consumers).
+const PURE_BLOCKS: &[&str] = &[
+    "Constant",
+    "Step",
+    "Ramp",
+    "SineWave",
+    "PulseGenerator",
+    "FromWorkspace",
+    "Gain",
+    "Sum",
+    "Product",
+    "MinMax",
+    "Abs",
+    "TrigFn",
+    "Saturation",
+    "DeadZone",
+    "Quantizer",
+    "RateLimiter",
+    "Relay",
+    "Compare",
+    "LogicGate",
+    "Switch",
+    "UnitDelay",
+    "ZeroOrderHold",
+    "DiscreteIntegrator",
+    "DiscreteDerivative",
+    "DiscreteTransferFcn",
+    "Lookup1D",
+];
+
+/// Stateless feedthrough blocks whose output is a pure function of the
+/// current inputs — the constant-folding candidates.
+const FOLDABLE_BLOCKS: &[&str] = &[
+    "Gain", "Sum", "Product", "MinMax", "Abs", "Saturation", "DeadZone", "Quantizer", "Compare",
+    "LogicGate", "Switch",
+];
+
+fn is_pure(type_name: &str) -> bool {
+    PURE_BLOCKS.contains(&type_name)
+}
+
+/// Everything the diagram lint needs besides the model itself.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Engine steps the numeric certificates cover.
+    pub horizon_steps: u64,
+    /// Fixed-point target to check overflow against (`None` skips the
+    /// `num.overflow`/`num.saturation` rules).
+    pub format: Option<FormatSpec>,
+    /// Declared ranges for `Inport` blocks, by block name (an absent
+    /// inport is unbounded).
+    pub input_ranges: BTreeMap<String, (f64, f64)>,
+    /// Per-rule severity overrides.
+    pub config: LintConfig,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            horizon_steps: 1000,
+            format: None,
+            input_ranges: BTreeMap::new(),
+            config: LintConfig::new(),
+        }
+    }
+}
+
+impl LintOptions {
+    /// Defaults with a fixed-point format to check against.
+    pub fn with_format(format: FormatSpec) -> Self {
+        LintOptions { format: Some(format), ..Self::default() }
+    }
+}
+
+/// Per-diagram lint result: the diagnostics plus the interval analysis
+/// they were derived from (callers reuse the bounds, e.g. for scale
+/// proposals or certification).
+pub struct DiagramLint {
+    /// The diagnostics produced.
+    pub report: LintReport,
+    /// The interval each block's output was bounded to.
+    pub bounds: Vec<Interval>,
+    /// Indices of blocks found dead (safe to remove).
+    pub dead: Vec<usize>,
+    /// Whether every block's bounds are finite.
+    pub all_finite: bool,
+}
+
+impl DiagramLint {
+    /// Whether the diagram is *certified overflow-free* for the format
+    /// the lint ran with: a format was given, every bound is finite, and
+    /// no overflow/saturation diagnostic was produced. By the soundness
+    /// of the interval analysis, a certified diagram cannot saturate at
+    /// that format in any concrete run within the analysis horizon.
+    pub fn certified_overflow_free(&self, format: Option<&FormatSpec>) -> bool {
+        format.is_some()
+            && self.all_finite
+            && !self.report.has_rule(rules::NUM_OVERFLOW)
+            && !self.report.has_rule(rules::NUM_SATURATION)
+    }
+}
+
+/// Run the numeric, structural, and rate rules over `fp`. `dt` is the
+/// engine fundamental step the model will run (and be planned) at.
+pub fn lint_fingerprint(fp: &DiagramFingerprint, dt: f64, opts: &LintOptions) -> DiagramLint {
+    let config = &opts.config;
+    let mut report = LintReport::new();
+    let ia = analyze_with_inputs(fp, dt, opts.horizon_steps, &opts.input_ranges);
+
+    check_params(fp, config, &mut report);
+    check_overflow(fp, &ia.bounds, opts.format.as_ref(), config, &mut report);
+    check_unconnected(fp, config, &mut report);
+    let dead = check_dead(fp, config, &mut report);
+    check_const_fold(fp, config, &mut report);
+    check_rates(fp, dt, config, &mut report);
+
+    DiagramLint { report, bounds: ia.bounds, dead, all_finite: ia.all_finite }
+}
+
+fn path_of(fp: &DiagramFingerprint, idx: usize) -> String {
+    format!("model/{}", fp.blocks[idx].name)
+}
+
+/// `num.nan` + `num.div-zero`: parameter sanity.
+fn check_params(fp: &DiagramFingerprint, config: &LintConfig, report: &mut LintReport) {
+    for (i, b) in fp.blocks.iter().enumerate() {
+        for (key, v) in &b.params {
+            if let ParamValue::F(x) = v {
+                if !x.is_finite() {
+                    report.push(
+                        config,
+                        rules::NUM_NAN,
+                        path_of(fp, i),
+                        format!("parameter '{key}' is {x} — injects non-finite values into the dataflow"),
+                        Some(format!("set '{key}' to a finite value")),
+                    );
+                }
+            }
+        }
+        match b.type_name.as_str() {
+            "Quantizer"
+                if param_f(&b.params, "interval").unwrap_or(0.0) == 0.0 => {
+                    report.push(
+                        config,
+                        rules::NUM_DIV_ZERO,
+                        path_of(fp, i),
+                        "quantization interval is 0 — the block divides by it".to_string(),
+                        Some("set a non-zero quantization interval".to_string()),
+                    );
+                }
+            "DiscreteDerivative"
+                if param_f(&b.params, "period").unwrap_or(0.0) <= 0.0 => {
+                    report.push(
+                        config,
+                        rules::NUM_DIV_ZERO,
+                        path_of(fp, i),
+                        "sample period is not positive — the difference quotient divides by it"
+                            .to_string(),
+                        Some("set a positive sample period".to_string()),
+                    );
+                }
+            "SpeedFromCounts" => {
+                let cpr = param_i(&b.params, "counts_per_rev").unwrap_or(0);
+                let ts = param_f(&b.params, "ts").unwrap_or(0.0);
+                if cpr <= 0 || ts <= 0.0 {
+                    report.push(
+                        config,
+                        rules::NUM_DIV_ZERO,
+                        path_of(fp, i),
+                        format!("counts_per_rev = {cpr}, ts = {ts} — speed conversion divides by both"),
+                        Some("set positive counts_per_rev and ts".to_string()),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `num.overflow` / `num.saturation`: compare each block's (padded)
+/// output interval against the chosen format's real range.
+fn check_overflow(
+    fp: &DiagramFingerprint,
+    bounds: &[Interval],
+    format: Option<&FormatSpec>,
+    config: &LintConfig,
+    report: &mut LintReport,
+) {
+    let Some(spec) = format else { return };
+    let (lo, hi) = spec.real_range();
+    for (i, b) in fp.blocks.iter().enumerate() {
+        if b.ports.outputs == 0 {
+            continue;
+        }
+        let iv = padded(bounds[i]);
+        if iv.is_bottom() || !iv.is_finite() {
+            // unbounded blocks block *certification*, not generation
+            continue;
+        }
+        if iv.lo > hi || iv.hi < lo {
+            report.push(
+                config,
+                rules::NUM_OVERFLOW,
+                path_of(fp, i),
+                format!(
+                    "output range [{:.6}, {:.6}] lies entirely outside {} × {} = [{:.6}, {:.6}]",
+                    iv.lo, iv.hi, spec.format, spec.scale, lo, hi
+                ),
+                Some("rescale the signal or widen the fixed-point format".to_string()),
+            );
+        } else if iv.lo < lo || iv.hi > hi {
+            report.push(
+                config,
+                rules::NUM_SATURATION,
+                path_of(fp, i),
+                format!(
+                    "output range [{:.6}, {:.6}] exceeds {} × {} = [{:.6}, {:.6}] — some values will saturate",
+                    iv.lo, iv.hi, spec.format, spec.scale, lo, hi
+                ),
+                Some("increase the scale factor or saturate explicitly upstream".to_string()),
+            );
+        }
+    }
+}
+
+/// `graph.unconnected`: input ports that silently read the default 0.
+fn check_unconnected(fp: &DiagramFingerprint, config: &LintConfig, report: &mut LintReport) {
+    for (i, b) in fp.blocks.iter().enumerate() {
+        for (p, src) in b.sources.iter().enumerate() {
+            if src.is_none() {
+                report.push(
+                    config,
+                    rules::GRAPH_UNCONNECTED,
+                    path_of(fp, i),
+                    format!("input port {p} is unconnected and reads the default value 0"),
+                    Some("wire the port or add a Constant block making the 0 explicit".to_string()),
+                );
+            }
+        }
+    }
+}
+
+/// `graph.dead`: pure blocks whose output reaches no anchor. Anchors are
+/// sinks (no outputs), non-pure blocks (hardware, subsystems, markers —
+/// removing those could change behavior), and event emitters with a
+/// wired target. Returns the dead indices (used by the verify harness
+/// to prove removal is trajectory-preserving).
+fn check_dead(
+    fp: &DiagramFingerprint,
+    config: &LintConfig,
+    report: &mut LintReport,
+) -> Vec<usize> {
+    let n = fp.blocks.len();
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, b) in fp.blocks.iter().enumerate() {
+        let wired_event = b.event_targets.iter().any(Option::is_some);
+        if b.ports.outputs == 0 || !is_pure(&b.type_name) || wired_event {
+            live[i] = true;
+            stack.push(i);
+        }
+    }
+    if stack.len() == n {
+        return Vec::new();
+    }
+    // backward closure: everything a live block reads is live, and the
+    // emitter of an event that triggers a live block is live
+    while let Some(i) = stack.pop() {
+        for src in fp.blocks[i].sources.iter().flatten() {
+            let s = src.0.index();
+            if !live[s] {
+                live[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    for (i, b) in fp.blocks.iter().enumerate() {
+        for t in b.event_targets.iter().flatten() {
+            if live[t.index()] && !live[i] {
+                live[i] = true;
+                stack.push(i);
+            }
+        }
+    }
+    while let Some(i) = stack.pop() {
+        for src in fp.blocks[i].sources.iter().flatten() {
+            let s = src.0.index();
+            if !live[s] {
+                live[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let dead: Vec<usize> = (0..n).filter(|&i| !live[i]).collect();
+    for &i in &dead {
+        report.push(
+            config,
+            rules::GRAPH_DEAD,
+            path_of(fp, i),
+            "output reaches no sink, outport, or hardware block — the block has no observable effect"
+                .to_string(),
+            Some("remove the block (removal is trajectory-preserving)".to_string()),
+        );
+    }
+    dead
+}
+
+/// `graph.const-fold`: stateless feedthrough blocks all of whose
+/// connected inputs are (transitively) constant.
+fn check_const_fold(fp: &DiagramFingerprint, config: &LintConfig, report: &mut LintReport) {
+    let n = fp.blocks.len();
+    let mut foldable = vec![false; n];
+    // fixpoint over the (acyclic) feedthrough subgraph; n passes suffice
+    for _ in 0..n {
+        let mut changed = false;
+        for (i, b) in fp.blocks.iter().enumerate() {
+            if foldable[i] {
+                continue;
+            }
+            let f = match b.type_name.as_str() {
+                "Constant" => true,
+                t if FOLDABLE_BLOCKS.contains(&t) => {
+                    let connected: Vec<usize> = b
+                        .sources
+                        .iter()
+                        .flatten()
+                        .map(|s| s.0.index())
+                        .collect();
+                    !connected.is_empty() && connected.iter().all(|&s| foldable[s])
+                }
+                _ => false,
+            };
+            if f {
+                foldable[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (i, b) in fp.blocks.iter().enumerate() {
+        if foldable[i] && b.type_name != "Constant" {
+            report.push(
+                config,
+                rules::GRAPH_CONST_FOLD,
+                path_of(fp, i),
+                "all inputs are constant — the block computes the same value every step".to_string(),
+                Some("fold the subgraph into a single Constant block".to_string()),
+            );
+        }
+    }
+}
+
+/// `rate.quantized` + `rate.transition`: mirror the execution plan's
+/// integer-step schedule and flag rates it cannot honor, plus wires
+/// that cross rates without a hold.
+fn check_rates(fp: &DiagramFingerprint, dt: f64, config: &LintConfig, report: &mut LintReport) {
+    // the plan's quantization, constant for constant
+    let steps_of = |period: f64| -> u64 { ((period / dt).round() as u64).max(1) };
+    let mut period_steps: Vec<Option<u64>> = vec![None; fp.blocks.len()];
+    for (i, b) in fp.blocks.iter().enumerate() {
+        if let SampleTime::Discrete { period, .. } = b.sample {
+            let steps = steps_of(period);
+            period_steps[i] = Some(steps);
+            let achieved = steps as f64 * dt;
+            let rel = ((achieved - period) / period).abs();
+            if rel.is_nan() || rel > 1e-9 {
+                report.push(
+                    config,
+                    rules::RATE_QUANTIZED,
+                    path_of(fp, i),
+                    format!(
+                        "sample period {period} s is not a multiple of dt = {dt} s — the plan will run it every {steps} steps ({achieved} s, {:.2}% off)",
+                        rel * 100.0
+                    ),
+                    Some("choose a period that is an integer multiple of dt".to_string()),
+                );
+            }
+        }
+    }
+    let holds = ["ZeroOrderHold", "UnitDelay"];
+    for (i, b) in fp.blocks.iter().enumerate() {
+        if !b.feedthrough {
+            continue;
+        }
+        let Some(di) = period_steps[i] else { continue };
+        for src in b.sources.iter().flatten() {
+            let s = src.0.index();
+            let Some(ds) = period_steps[s] else { continue };
+            if ds != di && !holds.contains(&fp.blocks[s].type_name.as_str()) {
+                report.push(
+                    config,
+                    rules::RATE_TRANSITION,
+                    path_of(fp, i),
+                    format!(
+                        "reads '{}' across a rate boundary ({ds} steps → {di} steps) without a hold",
+                        fp.blocks[s].name
+                    ),
+                    Some("insert a ZeroOrderHold or UnitDelay at the boundary".to_string()),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peert_model::graph::Diagram;
+    use peert_model::library::discrete::{UnitDelay, ZeroOrderHold};
+    use peert_model::library::math::{Gain, Sum};
+    use peert_model::library::sinks::Scope;
+    use peert_model::library::sources::Constant;
+
+    fn lint(d: &Diagram, dt: f64, format: Option<&FormatSpec>) -> DiagramLint {
+        let opts = LintOptions { format: format.copied(), ..LintOptions::default() };
+        lint_fingerprint(&d.fingerprint(), dt, &opts)
+    }
+
+    #[test]
+    fn overflow_is_denied_and_saturation_warned() {
+        let mut d = Diagram::new();
+        let c = d.add("c", Constant::new(3.0)).unwrap();
+        let g = d.add("g", Gain::new(2.0)).unwrap();
+        let sc = d.add("scope", Scope::new()).unwrap();
+        d.connect((c, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (sc, 0)).unwrap();
+        let q15 = FormatSpec::q15();
+        let r = lint(&d, 1e-3, Some(&q15));
+        // 6.0 is entirely outside [-1, 1): overflow at 'g', and 3.0 at 'c'
+        assert!(r.report.has_rule(rules::NUM_OVERFLOW));
+        assert!(!r.report.is_deny_clean());
+        assert!(!r.certified_overflow_free(Some(&q15)));
+        // widen the scale: 6.0/8 fits
+        let scaled = FormatSpec { format: peert_fixedpoint::QFormat::Q15, scale: 8.0 };
+        let r = lint(&d, 1e-3, Some(&scaled));
+        assert!(!r.report.has_rule(rules::NUM_OVERFLOW), "{:?}", r.report.diagnostics());
+        assert!(!r.report.has_rule(rules::NUM_SATURATION));
+        assert!(r.certified_overflow_free(Some(&scaled)));
+    }
+
+    #[test]
+    fn dead_blocks_are_found_and_live_ones_spared() {
+        let mut d = Diagram::new();
+        let c = d.add("c", Constant::new(1.0)).unwrap();
+        let g = d.add("g", Gain::new(2.0)).unwrap();
+        let sc = d.add("scope", Scope::new()).unwrap();
+        let dead_g = d.add("orphan", Gain::new(5.0)).unwrap();
+        d.connect((c, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (sc, 0)).unwrap();
+        d.connect((g, 0), (dead_g, 0)).unwrap();
+        let r = lint(&d, 1e-3, None);
+        assert_eq!(r.dead, vec![dead_g.index()]);
+        assert!(r.report.has_rule(rules::GRAPH_DEAD));
+        let diag = r.report.diagnostics().iter().find(|x| x.rule == rules::GRAPH_DEAD).unwrap();
+        assert_eq!(diag.path, "model/orphan");
+    }
+
+    #[test]
+    fn const_fold_and_unconnected_are_reported() {
+        let mut d = Diagram::new();
+        let a = d.add("a", Constant::new(1.0)).unwrap();
+        let b = d.add("b", Constant::new(2.0)).unwrap();
+        let s = d.add("s", Sum::new("++").unwrap()).unwrap();
+        let g = d.add("g", Gain::new(3.0)).unwrap(); // input unconnected
+        let sc1 = d.add("scope1", Scope::new()).unwrap();
+        let sc2 = d.add("scope2", Scope::new()).unwrap();
+        d.connect((a, 0), (s, 0)).unwrap();
+        d.connect((b, 0), (s, 1)).unwrap();
+        d.connect((s, 0), (sc1, 0)).unwrap();
+        d.connect((g, 0), (sc2, 0)).unwrap();
+        let r = lint(&d, 1e-3, None);
+        assert!(r.report.has_rule(rules::GRAPH_CONST_FOLD));
+        assert!(r.report.has_rule(rules::GRAPH_UNCONNECTED));
+        // notes and warnings only: still deny-clean
+        assert!(r.report.is_deny_clean());
+    }
+
+    #[test]
+    fn rate_quantization_and_transitions_are_flagged() {
+        let mut d = Diagram::new();
+        // 1.5·dt: plan rounds to 2 steps — 33% off
+        let z1 = d.add("fast", UnitDelay::new(1.5e-3)).unwrap();
+        let z2 = d.add("slow", UnitDelay::new(5e-3)).unwrap();
+        let g = d.add("g", Gain::new(1.0)).unwrap();
+        let sc1 = d.add("scope1", Scope::new()).unwrap();
+        let sc2 = d.add("scope2", Scope::new()).unwrap();
+        d.connect((z1, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (sc1, 0)).unwrap();
+        d.connect((z2, 0), (sc2, 0)).unwrap();
+        let r = lint(&d, 1e-3, None);
+        assert!(r.report.has_rule(rules::RATE_QUANTIZED));
+        // UnitDelay is itself a hold: no bogus transition warning
+        assert!(!r.report.has_rule(rules::RATE_TRANSITION));
+
+        // a feedthrough Gain sampled at another rate would need a hold —
+        // model that with a slow ZOH feeding a fast ZOH via nothing: the
+        // direct discrete-to-discrete feedthrough case
+        let mut d2 = Diagram::new();
+        let src = d2.add("src", ZeroOrderHold::new(4e-3)).unwrap();
+        let dst = d2.add("dst", ZeroOrderHold::new(1e-3)).unwrap();
+        let sc2 = d2.add("scope", Scope::new()).unwrap();
+        d2.connect((src, 0), (dst, 0)).unwrap();
+        d2.connect((dst, 0), (sc2, 0)).unwrap();
+        // ZOH is a hold, so even this is fine
+        let r2 = lint(&d2, 1e-3, None);
+        assert!(!r2.report.has_rule(rules::RATE_TRANSITION));
+    }
+
+    #[test]
+    fn nan_parameters_are_denied() {
+        let mut d = Diagram::new();
+        let g = d.add("g", Gain::new(f64::NAN)).unwrap();
+        let sc = d.add("scope", Scope::new()).unwrap();
+        d.connect((g, 0), (sc, 0)).unwrap();
+        let r = lint(&d, 1e-3, None);
+        assert!(r.report.has_rule(rules::NUM_NAN));
+        assert!(!r.report.is_deny_clean());
+    }
+}

@@ -1,0 +1,49 @@
+//! `peert-lint` — run the whole-model static analysis over the built-in
+//! demo model/project/task set and print the unified diagnostics.
+//!
+//! Exit code 0 when the report is deny-clean, 1 otherwise — so the
+//! binary doubles as a CI gate. `--defect` seeds the three deny-class
+//! defects (Q15 overflow, ADC bit-width mismatch, over-utilized task
+//! set) to demonstrate what a refusal looks like.
+
+use peert_lint::demo::demo_lint;
+use peert_lint::{render_json, render_text};
+
+const USAGE: &str = "usage: peert-lint [--format text|json] [--defect]\n\
+  --format text|json  output format (default: text)\n\
+  --defect            lint the seeded-defect variant of the demo model\n";
+
+fn main() {
+    let mut json = false;
+    let mut defect = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("--format expects 'text' or 'json', got {other:?}\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--defect" => defect = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = demo_lint(defect);
+    if json {
+        println!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+    std::process::exit(i32::from(!report.is_deny_clean()));
+}

@@ -1,0 +1,301 @@
+//! Cross-layer configuration lint: consistency between the model's PE
+//! blocks, the Processor Expert project (beans), and the target MCU.
+//!
+//! The bean expert system already validates each bean against the MCU
+//! and allocates peripherals; its findings are imported here under
+//! `cfg.bean`. On top of that this module checks the *seams* the expert
+//! system cannot see — a PE block in the diagram referencing a bean
+//! that does not exist, an ADC block simulating a different bit-width
+//! than the bean will configure, a timer block whose period disagrees
+//! with the bean, a PWM carrier slower than the control loop that
+//! commands it, and interrupt event ports left unwired.
+
+use crate::diag::{rules, Diagnostic, LintConfig, LintReport};
+use crate::interval::{param_f, param_i, param_s};
+use peert_beans::bean::BeanConfig;
+use peert_beans::expert::ExpertSystem;
+use peert_beans::project::PeProject;
+use peert_mcu::McuSpec;
+use peert_model::graph::DiagramFingerprint;
+
+/// Import the expert system's findings (per-bean validation plus
+/// allocation) as `cfg.bean` diagnostics. Severities carry over — the
+/// two layers share one `Severity` enum.
+pub fn lint_project(project: &PeProject, spec: &McuSpec, config: &LintConfig) -> LintReport {
+    let mut report = LintReport::new();
+    let (findings, _alloc) = ExpertSystem::check(project, spec);
+    for f in &findings {
+        let mut d = Diagnostic::from_finding(f);
+        if let Some(sv) = config.severity_for_import(rules::CFG_BEAN, d.severity) {
+            d.severity = sv;
+            report.push_diagnostic(d);
+        }
+    }
+    report
+}
+
+/// The bean kind a PE block type requires in the project.
+fn required_kind(type_name: &str) -> Option<&'static str> {
+    match type_name {
+        "PeAdc" => Some("Adc"),
+        "PePwm" => Some("Pwm"),
+        "PeQuadDec" => Some("QuadDec"),
+        "PeBitIn" | "PeBitOut" => Some("BitIo"),
+        "PeTimerInt" => Some("TimerInt"),
+        _ => None,
+    }
+}
+
+fn kind_of(config: &BeanConfig) -> &'static str {
+    match config {
+        BeanConfig::TimerInt(_) => "TimerInt",
+        BeanConfig::Adc(_) => "Adc",
+        BeanConfig::Pwm(_) => "Pwm",
+        BeanConfig::BitIo(_) => "BitIo",
+        BeanConfig::QuadDec(_) => "QuadDec",
+        BeanConfig::Serial(_) => "Serial",
+        _ => "other",
+    }
+}
+
+/// Check the block ↔ bean seams. `fp` is the fingerprint of the diagram
+/// that contains the PE blocks (the full closed-loop model or the
+/// controller subsystem's inner diagram).
+pub fn lint_block_beans(
+    fp: &DiagramFingerprint,
+    project: &PeProject,
+    config: &LintConfig,
+) -> LintReport {
+    let mut report = LintReport::new();
+    let mut control_period: Option<f64> = None;
+
+    for b in &fp.blocks {
+        let path = format!("model/{}", b.name);
+        // every event (interrupt) port of any block must lead somewhere
+        for (e, t) in b.event_targets.iter().enumerate() {
+            if t.is_none() {
+                report.push(
+                    config,
+                    rules::CFG_EVENT_UNWIRED,
+                    path.clone(),
+                    format!("event port {e} (interrupt) has no function-call target"),
+                    Some("wire the event to a triggered subsystem".to_string()),
+                );
+            }
+        }
+        let Some(kind) = required_kind(&b.type_name) else { continue };
+        let Some(bean_name) = param_s(&b.params, "bean") else { continue };
+        let Some(bean) = project.find(bean_name) else {
+            report.push(
+                config,
+                rules::CFG_BEAN_MISSING,
+                path.clone(),
+                format!("references bean '{bean_name}' which is not in the project"),
+                Some(format!("add a {kind} bean named '{bean_name}' to the project")),
+            );
+            continue;
+        };
+        if kind_of(&bean.config) != kind {
+            report.push(
+                config,
+                rules::CFG_BEAN_MISSING,
+                path.clone(),
+                format!(
+                    "references bean '{bean_name}' of kind {}, but a {kind} bean is required",
+                    kind_of(&bean.config)
+                ),
+                None,
+            );
+            continue;
+        }
+        match (&b.type_name[..], &bean.config) {
+            ("PeAdc", BeanConfig::Adc(a)) => {
+                let block_bits = param_i(&b.params, "resolution").unwrap_or(0);
+                if block_bits != a.resolution_bits as i64 {
+                    report.push(
+                        config,
+                        rules::CFG_ADC_WIDTH,
+                        path.clone(),
+                        format!(
+                            "block simulates a {block_bits}-bit converter but bean '{bean_name}' configures {} bits",
+                            a.resolution_bits
+                        ),
+                        Some("align the block resolution with the bean property".to_string()),
+                    );
+                }
+            }
+            ("PeTimerInt", BeanConfig::TimerInt(t)) => {
+                let block_period = param_f(&b.params, "period").unwrap_or(0.0);
+                let rel = if t.period_s > 0.0 {
+                    ((block_period - t.period_s) / t.period_s).abs()
+                } else {
+                    f64::INFINITY
+                };
+                if rel.is_nan() || rel > 1e-9 {
+                    report.push(
+                        config,
+                        rules::CFG_TIMER_PERIOD,
+                        path.clone(),
+                        format!(
+                            "block simulates a {block_period} s period but bean '{bean_name}' configures {} s",
+                            t.period_s
+                        ),
+                        Some("align the block period with the bean property".to_string()),
+                    );
+                } else {
+                    control_period = Some(t.period_s);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // PWM carrier vs control rate: commanding a duty cycle faster than
+    // the carrier reloads loses updates
+    if let Some(period) = control_period {
+        let control_hz = 1.0 / period;
+        for bean in project.beans() {
+            if let BeanConfig::Pwm(p) = &bean.config {
+                if p.freq_hz < control_hz {
+                    report.push(
+                        config,
+                        rules::CFG_PWM_CARRIER,
+                        format!("project/{}", bean.name),
+                        format!(
+                            "PWM carrier {} Hz is slower than the {control_hz} Hz control rate commanding it",
+                            p.freq_hz
+                        ),
+                        Some("raise the carrier frequency above the control rate".to_string()),
+                    );
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peert_beans::bean::Bean;
+    use peert_beans::catalog::{AdcBean, PwmBean, TimerIntBean};
+    use peert_mcu::McuCatalog;
+    use peert_model::block::{ParamValue, PortCount, SampleTime};
+    use peert_model::graph::{BlockFingerprint, DiagramFingerprint};
+
+    fn pe_block(
+        name: &str,
+        type_name: &str,
+        params: Vec<(&str, ParamValue)>,
+        events: usize,
+        wired: bool,
+    ) -> BlockFingerprint {
+        BlockFingerprint {
+            name: name.into(),
+            type_name: type_name.into(),
+            params: params.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            ports: PortCount::with_events(0, 1, events),
+            feedthrough: false,
+            sample: SampleTime::Continuous,
+            sources: Vec::new(),
+            event_targets: if wired {
+                vec![Some(peert_model::graph::BlockId::from_index(0)); events]
+            } else {
+                vec![None; events]
+            },
+        }
+    }
+
+    fn project() -> PeProject {
+        let mut p = PeProject::new("MC56F8367");
+        p.add(Bean { name: "TI1".into(), config: BeanConfig::TimerInt(TimerIntBean::new(1e-3)) })
+            .unwrap();
+        p.add(Bean { name: "AD1".into(), config: BeanConfig::Adc(AdcBean::new(12, 0)) }).unwrap();
+        p.add(Bean { name: "PWM1".into(), config: BeanConfig::Pwm(PwmBean::new(20_000.0)) })
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn consistent_model_is_clean() {
+        let fp = DiagramFingerprint {
+            blocks: vec![
+                pe_block(
+                    "adc",
+                    "PeAdc",
+                    vec![("bean", ParamValue::S("AD1".into())), ("resolution", ParamValue::I(12))],
+                    0,
+                    false,
+                ),
+                pe_block(
+                    "timer",
+                    "PeTimerInt",
+                    vec![("bean", ParamValue::S("TI1".into())), ("period", ParamValue::F(1e-3))],
+                    1,
+                    true,
+                ),
+            ],
+        };
+        let r = lint_block_beans(&fp, &project(), &LintConfig::new());
+        assert!(r.diagnostics().is_empty(), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn missing_bean_and_width_mismatch_are_denied() {
+        let fp = DiagramFingerprint {
+            blocks: vec![
+                pe_block(
+                    "adc",
+                    "PeAdc",
+                    vec![("bean", ParamValue::S("AD9".into())), ("resolution", ParamValue::I(12))],
+                    0,
+                    false,
+                ),
+                pe_block(
+                    "adc2",
+                    "PeAdc",
+                    vec![("bean", ParamValue::S("AD1".into())), ("resolution", ParamValue::I(10))],
+                    0,
+                    false,
+                ),
+            ],
+        };
+        let r = lint_block_beans(&fp, &project(), &LintConfig::new());
+        assert!(r.has_rule(rules::CFG_BEAN_MISSING));
+        assert!(r.has_rule(rules::CFG_ADC_WIDTH));
+        assert_eq!(r.deny_count(), 2);
+    }
+
+    #[test]
+    fn unwired_event_and_slow_carrier_warn() {
+        let mut p = project();
+        if let Some(b) = p.find_mut("PWM1") {
+            b.config = BeanConfig::Pwm(PwmBean::new(500.0)); // slower than 1 kHz control
+        }
+        let fp = DiagramFingerprint {
+            blocks: vec![pe_block(
+                "timer",
+                "PeTimerInt",
+                vec![("bean", ParamValue::S("TI1".into())), ("period", ParamValue::F(1e-3))],
+                1,
+                false,
+            )],
+        };
+        let r = lint_block_beans(&fp, &p, &LintConfig::new());
+        assert!(r.has_rule(rules::CFG_EVENT_UNWIRED));
+        assert!(r.has_rule(rules::CFG_PWM_CARRIER));
+        assert!(r.is_deny_clean());
+    }
+
+    #[test]
+    fn expert_findings_arrive_as_cfg_bean() {
+        let mut p = PeProject::new("MC56F8323");
+        p.add(Bean { name: "AD1".into(), config: BeanConfig::Adc(AdcBean::new(12, 0)) }).unwrap();
+        p.add(Bean { name: "AD2".into(), config: BeanConfig::Adc(AdcBean::new(12, 1)) }).unwrap();
+        let spec = McuCatalog::standard().find("MC56F8323").unwrap().clone();
+        let r = lint_project(&p, &spec, &LintConfig::new());
+        assert!(r.has_rule(rules::CFG_BEAN));
+        assert!(!r.is_deny_clean());
+    }
+}

@@ -1,0 +1,302 @@
+//! The unified diagnostic model: stable rule IDs, severities shared with
+//! the bean expert system, per-rule warn/deny configuration, and the
+//! sorted, byte-reproducible [`LintReport`].
+
+use peert_beans::bean::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+pub use peert_beans::bean::Severity;
+
+/// Stable rule identifiers. Renaming one is an API break (and a test
+/// failure — see `tests/golden.rs`); new rules append to [`rules::ALL_RULES`].
+pub mod rules {
+    /// An interval provably exceeds the chosen fixed-point format: every
+    /// reachable value on at least one side saturates.
+    pub const NUM_OVERFLOW: &str = "num.overflow";
+    /// An interval partially exceeds the chosen format: some reachable
+    /// values would saturate.
+    pub const NUM_SATURATION: &str = "num.saturation";
+    /// A parameter makes the block divide by zero.
+    pub const NUM_DIV_ZERO: &str = "num.div-zero";
+    /// A non-finite parameter injects NaN/∞ into the dataflow.
+    pub const NUM_NAN: &str = "num.nan";
+    /// An input port reads the default 0 because nothing drives it.
+    pub const GRAPH_UNCONNECTED: &str = "graph.unconnected";
+    /// A block's output reaches no sink, outport or handled event.
+    pub const GRAPH_DEAD: &str = "graph.dead";
+    /// A feedthrough subgraph of constants: foldable at compile time.
+    pub const GRAPH_CONST_FOLD: &str = "graph.const-fold";
+    /// A discrete rate is distorted by the plan's integer-step
+    /// quantization.
+    pub const RATE_QUANTIZED: &str = "rate.quantized";
+    /// A wire crosses rates without a hold/delay block.
+    pub const RATE_TRANSITION: &str = "rate.transition";
+    /// Static utilization bound at or beyond capacity.
+    pub const SCHED_UTIL: &str = "sched.util";
+    /// Non-preemptive response bound exceeds a task's period.
+    pub const SCHED_OVERRUN: &str = "sched.overrun";
+    /// A finding imported from the bean expert system.
+    pub const CFG_BEAN: &str = "cfg.bean";
+    /// A PE block references a bean absent from the project.
+    pub const CFG_BEAN_MISSING: &str = "cfg.bean-missing";
+    /// ADC block bit-width disagrees with the bean property.
+    pub const CFG_ADC_WIDTH: &str = "cfg.adc-width";
+    /// Timer block period disagrees with the bean property.
+    pub const CFG_TIMER_PERIOD: &str = "cfg.timer-period";
+    /// PWM carrier slower than the control rate that commands it.
+    pub const CFG_PWM_CARRIER: &str = "cfg.pwm-carrier";
+    /// An event (interrupt) port with no function-call target wired.
+    pub const CFG_EVENT_UNWIRED: &str = "cfg.event-unwired";
+
+    /// Every rule, in catalog order. The golden test pins this list.
+    pub const ALL_RULES: &[&str] = &[
+        NUM_OVERFLOW,
+        NUM_SATURATION,
+        NUM_DIV_ZERO,
+        NUM_NAN,
+        GRAPH_UNCONNECTED,
+        GRAPH_DEAD,
+        GRAPH_CONST_FOLD,
+        RATE_QUANTIZED,
+        RATE_TRANSITION,
+        SCHED_UTIL,
+        SCHED_OVERRUN,
+        CFG_BEAN,
+        CFG_BEAN_MISSING,
+        CFG_ADC_WIDTH,
+        CFG_TIMER_PERIOD,
+        CFG_PWM_CARRIER,
+        CFG_EVENT_UNWIRED,
+    ];
+}
+
+/// Default severity of a rule when the config does not override it.
+pub fn default_severity(rule: &str) -> Severity {
+    match rule {
+        rules::NUM_OVERFLOW
+        | rules::NUM_DIV_ZERO
+        | rules::NUM_NAN
+        | rules::SCHED_UTIL
+        | rules::SCHED_OVERRUN
+        | rules::CFG_BEAN_MISSING
+        | rules::CFG_ADC_WIDTH
+        | rules::CFG_TIMER_PERIOD => Severity::Error,
+        rules::GRAPH_CONST_FOLD => Severity::Note,
+        _ => Severity::Warning,
+    }
+}
+
+/// One diagnostic: a stable rule ID, a severity, the block/bean path it
+/// anchors to, a message, and an optional suggestion.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule identifier from [`rules`].
+    pub rule: String,
+    /// Severity after configuration overrides.
+    pub severity: Severity,
+    /// The "span": a slash-separated block or bean path, e.g.
+    /// `"model/PID"` or `"project/TI1"`.
+    pub path: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the analyzer has a concrete idea.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Lossless import of a bean expert-system [`Finding`] under the
+    /// [`rules::CFG_BEAN`] rule.
+    pub fn from_finding(f: &Finding) -> Self {
+        Diagnostic {
+            rule: rules::CFG_BEAN.into(),
+            severity: f.severity,
+            path: format!("project/{}", f.bean),
+            message: f.message.clone(),
+            suggestion: None,
+        }
+    }
+
+    /// Lossless export back to the bean expert-system shape (the bean
+    /// name is the last path segment).
+    pub fn to_finding(&self) -> Finding {
+        let bean = self.path.rsplit('/').next().unwrap_or(&self.path).to_string();
+        Finding { severity: self.severity, bean, message: self.message.clone() }
+    }
+}
+
+/// What the configuration does with a rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleAction {
+    /// Suppress the rule entirely.
+    Allow,
+    /// Force the given severity.
+    Set(Severity),
+}
+
+/// Per-rule warn/deny configuration.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintConfig {
+    overrides: BTreeMap<String, RuleAction>,
+}
+
+impl LintConfig {
+    /// A config with no overrides (catalog defaults apply).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Force `rule` to deny (error) severity.
+    pub fn deny(mut self, rule: &str) -> Self {
+        self.overrides.insert(rule.into(), RuleAction::Set(Severity::Error));
+        self
+    }
+
+    /// Downgrade `rule` to warning severity.
+    pub fn warn(mut self, rule: &str) -> Self {
+        self.overrides.insert(rule.into(), RuleAction::Set(Severity::Warning));
+        self
+    }
+
+    /// Suppress `rule` entirely.
+    pub fn allow(mut self, rule: &str) -> Self {
+        self.overrides.insert(rule.into(), RuleAction::Allow);
+        self
+    }
+
+    /// The effective severity of `rule`, or `None` when allowed away.
+    pub fn severity_of(&self, rule: &str) -> Option<Severity> {
+        match self.overrides.get(rule) {
+            Some(RuleAction::Allow) => None,
+            Some(RuleAction::Set(s)) => Some(*s),
+            None => Some(default_severity(rule)),
+        }
+    }
+
+    /// Effective severity for an imported diagnostic that carries its
+    /// own severity (`default`): an explicit override wins, an allow
+    /// suppresses, otherwise the import keeps what it arrived with.
+    pub fn severity_for_import(&self, rule: &str, default: Severity) -> Option<Severity> {
+        match self.overrides.get(rule) {
+            Some(RuleAction::Allow) => None,
+            Some(RuleAction::Set(s)) => Some(*s),
+            None => Some(default),
+        }
+    }
+}
+
+/// A sorted bag of diagnostics. The canonical order is
+/// `(rule, path, message)`, so two runs over the same model render
+/// byte-identically regardless of analysis order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a diagnostic under `rule`, honoring the config's severity
+    /// override (an allowed rule adds nothing).
+    pub fn push(
+        &mut self,
+        config: &LintConfig,
+        rule: &str,
+        path: impl Into<String>,
+        message: impl Into<String>,
+        suggestion: Option<String>,
+    ) {
+        if let Some(severity) = config.severity_of(rule) {
+            self.diagnostics.push(Diagnostic {
+                rule: rule.into(),
+                severity,
+                path: path.into(),
+                message: message.into(),
+                suggestion,
+            });
+            self.sort();
+        }
+    }
+
+    /// Insert a pre-built diagnostic (e.g. an imported finding whose
+    /// severity was already resolved via
+    /// [`LintConfig::severity_for_import`]), keeping canonical order.
+    pub fn push_diagnostic(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+        self.sort();
+    }
+
+    /// Absorb another report.
+    pub fn merge(&mut self, mut other: LintReport) {
+        self.diagnostics.append(&mut other.diagnostics);
+        self.sort();
+    }
+
+    fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.rule, &a.path, &a.message).cmp(&(&b.rule, &b.path, &b.message)));
+    }
+
+    /// The diagnostics, in canonical `(rule, path, message)` order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Diagnostics at deny (error) severity.
+    pub fn denials(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of deny-severity diagnostics.
+    pub fn deny_count(&self) -> usize {
+        self.denials().count()
+    }
+
+    /// Whether nothing blocks code generation.
+    pub fn is_deny_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// Whether a diagnostic with `rule` is present.
+    pub fn has_rule(&self, rule: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_overrides_and_allows() {
+        let cfg = LintConfig::new().deny(rules::GRAPH_UNCONNECTED).allow(rules::GRAPH_CONST_FOLD);
+        assert_eq!(cfg.severity_of(rules::GRAPH_UNCONNECTED), Some(Severity::Error));
+        assert_eq!(cfg.severity_of(rules::GRAPH_CONST_FOLD), None);
+        assert_eq!(cfg.severity_of(rules::NUM_OVERFLOW), Some(Severity::Error));
+        assert_eq!(cfg.severity_of(rules::RATE_QUANTIZED), Some(Severity::Warning));
+    }
+
+    #[test]
+    fn report_sorts_canonically_and_counts_denials() {
+        let cfg = LintConfig::new();
+        let mut r = LintReport::new();
+        r.push(&cfg, rules::SCHED_OVERRUN, "tasks/ctl", "z", None);
+        r.push(&cfg, rules::GRAPH_DEAD, "model/b3", "dead", None);
+        r.push(&cfg, rules::GRAPH_DEAD, "model/b1", "dead", None);
+        let order: Vec<&str> = r.diagnostics().iter().map(|d| d.path.as_str()).collect();
+        assert_eq!(order, ["model/b1", "model/b3", "tasks/ctl"]);
+        assert_eq!(r.deny_count(), 1);
+        assert!(!r.is_deny_clean());
+    }
+
+    #[test]
+    fn finding_round_trips_losslessly() {
+        let f = Finding::warning("TI1", "rate rounded");
+        let d = Diagnostic::from_finding(&f);
+        assert_eq!(d.rule, rules::CFG_BEAN);
+        assert_eq!(d.to_finding(), f);
+    }
+}

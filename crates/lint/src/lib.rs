@@ -1,0 +1,184 @@
+//! peert-lint: whole-model static analysis for PEERT.
+//!
+//! The paper's environment catches design errors *before* anything runs
+//! on hardware: the expert system verifies bean settings, the MIL
+//! simulation exposes numeric behavior, the PIL run measures timing.
+//! This crate moves a slice of each check to *compile time* — it reads
+//! a diagram's structural fingerprint, the Processor Expert project,
+//! and the task set, and proves (or refutes) properties statically:
+//!
+//! * **Interval analysis** ([`interval`], [`analysis`]) — propagates
+//!   value intervals through the block library to certify a diagram
+//!   overflow-free at a chosen fixed-point format, flag division by
+//!   zero and NaN sources, and find dead blocks, unconnected ports,
+//!   and constant-foldable subgraphs.
+//! * **Static schedulability** ([`sched`]) — a non-preemptive
+//!   response-time bound mirroring the `peert-rtexec` executive that
+//!   predicts lost interrupts before a single simulated cycle.
+//! * **Cross-layer configuration lint** ([`cross`]) — block ↔ bean
+//!   consistency (bit widths, periods, carriers, event wiring) plus
+//!   the bean expert system's findings, unified under one diagnostic
+//!   model ([`diag`]) with stable rule IDs and byte-reproducible text
+//!   and JSON renderers ([`render`]).
+//!
+//! Deny-severity diagnostics refuse code generation: see
+//! [`checked_generate`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cross;
+pub mod demo;
+pub mod diag;
+pub mod interval;
+pub mod render;
+pub mod sched;
+
+pub use analysis::{lint_fingerprint, DiagramLint, FormatSpec, LintOptions};
+pub use cross::{lint_block_beans, lint_project};
+pub use diag::{default_severity, rules, Diagnostic, LintConfig, LintReport, RuleAction, Severity};
+pub use interval::{analyze, analyze_with_inputs, Interval, IntervalAnalysis};
+pub use render::{render_json, render_text, to_json};
+pub use sched::{lint_sched, SchedSpec, SchedVerdict, TaskSpec, TaskVerdict};
+
+use peert_codegen::{generate_controller, CodegenError, CodegenOptions, ControllerCode, TlcRegistry};
+use peert_model::graph::Diagram;
+use peert_model::subsystem::Subsystem;
+
+/// Lint a live diagram (fingerprints it first).
+pub fn lint_diagram(d: &Diagram, dt: f64, opts: &LintOptions) -> DiagramLint {
+    lint_fingerprint(&d.fingerprint(), dt, opts)
+}
+
+/// Why [`checked_generate`] did not produce code.
+#[derive(Debug)]
+pub enum CheckedGenerateError {
+    /// The lint produced deny-severity diagnostics; generation refused.
+    /// The report carries everything found (not only the denials).
+    LintDenied(LintReport),
+    /// The lint passed but the generator itself failed.
+    Codegen(CodegenError),
+}
+
+impl std::fmt::Display for CheckedGenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckedGenerateError::LintDenied(report) => {
+                write!(
+                    f,
+                    "lint denied code generation ({} deny-severity diagnostic(s)):\n{}",
+                    report.deny_count(),
+                    render::render_text(report)
+                )
+            }
+            CheckedGenerateError::Codegen(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckedGenerateError {}
+
+/// Lint-gated code generation: run the diagram lint over the controller
+/// subsystem and refuse to generate while any deny-severity diagnostic
+/// stands. On success returns the generated code *and* the (warning /
+/// note) report so callers can surface it.
+///
+/// When the codegen options select Q15 arithmetic and `lint_opts` names
+/// no format, the lint checks against Q15 at unit scale — the format
+/// the generated code will actually run in.
+pub fn checked_generate(
+    controller: &Subsystem,
+    model_name: &str,
+    opts: &CodegenOptions,
+    registry: &TlcRegistry,
+    lint_opts: &LintOptions,
+) -> Result<(ControllerCode, LintReport), CheckedGenerateError> {
+    let mut effective = lint_opts.clone();
+    if effective.format.is_none()
+        && matches!(opts.arithmetic, peert_codegen::Arithmetic::FixedQ15)
+    {
+        effective.format = Some(FormatSpec::q15());
+    }
+    let lint = lint_diagram(controller.diagram(), opts.dt, &effective);
+    if !lint.report.is_deny_clean() {
+        return Err(CheckedGenerateError::LintDenied(lint.report));
+    }
+    match generate_controller(controller, model_name, opts, registry) {
+        Ok(code) => Ok((code, lint.report)),
+        Err(e) => Err(CheckedGenerateError::Codegen(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peert_model::block::SampleTime;
+    use peert_model::library::math::Gain;
+    use peert_model::library::sources::Constant;
+    use peert_model::subsystem::{Inport, Outport};
+
+    fn controller(gain: f64) -> Subsystem {
+        let mut inner = Diagram::new();
+        let ip = inner.add("u", Inport).unwrap();
+        let g = inner.add("g", Gain::new(gain)).unwrap();
+        let op = inner.add("y", Outport).unwrap();
+        inner.connect((ip, 0), (g, 0)).unwrap();
+        inner.connect((g, 0), (op, 0)).unwrap();
+        Subsystem::new(inner, vec![ip], vec![op], SampleTime::every(1e-3)).unwrap()
+    }
+
+    #[test]
+    fn clean_controller_generates_with_report() {
+        let reg = TlcRegistry::standard();
+        let (code, report) = checked_generate(
+            &controller(0.5),
+            "demo",
+            &CodegenOptions::default(),
+            &reg,
+            &LintOptions::default(),
+        )
+        .unwrap();
+        assert!(!code.source.files.is_empty());
+        assert!(report.is_deny_clean());
+    }
+
+    #[test]
+    fn nan_parameter_refuses_generation() {
+        let reg = TlcRegistry::standard();
+        let err = checked_generate(
+            &controller(f64::NAN),
+            "demo",
+            &CodegenOptions::default(),
+            &reg,
+            &LintOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            CheckedGenerateError::LintDenied(report) => {
+                assert!(report.has_rule(rules::NUM_NAN));
+            }
+            other => panic!("expected lint denial, got {other}"),
+        }
+    }
+
+    #[test]
+    fn q15_overflow_refuses_generation_for_fixed_codegen() {
+        // constant 3.0 inside the controller: provably outside Q15
+        let mut inner = Diagram::new();
+        let c = inner.add("c", Constant::new(3.0)).unwrap();
+        let op = inner.add("y", Outport).unwrap();
+        inner.connect((c, 0), (op, 0)).unwrap();
+        let sub = Subsystem::new(inner, vec![], vec![op], SampleTime::every(1e-3)).unwrap();
+        let reg = TlcRegistry::standard();
+        let opts = CodegenOptions { arithmetic: peert_codegen::Arithmetic::FixedQ15, dt: 1e-3 };
+        let err = checked_generate(&sub, "demo", &opts, &reg, &LintOptions::default())
+            .unwrap_err();
+        match err {
+            CheckedGenerateError::LintDenied(report) => {
+                assert!(report.has_rule(rules::NUM_OVERFLOW), "{}", render_text(&report));
+            }
+            other => panic!("expected lint denial, got {other}"),
+        }
+    }
+}

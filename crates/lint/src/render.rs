@@ -1,0 +1,136 @@
+//! Diagnostic renderers: a compiler-style text report and a
+//! machine-readable JSON document.
+//!
+//! Both are byte-reproducible: the report is already in canonical
+//! `(rule, path, message)` order and the JSON goes through
+//! [`peert_trace::JsonValue`], whose object members keep insertion
+//! order. Running the lint twice over the same model renders identical
+//! bytes — `scripts/ci.sh` asserts exactly that.
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+use peert_trace::JsonValue;
+
+fn counts(report: &LintReport) -> (usize, usize, usize) {
+    let mut e = 0;
+    let mut w = 0;
+    let mut n = 0;
+    for d in report.diagnostics() {
+        match d.severity {
+            Severity::Error => e += 1,
+            Severity::Warning => w += 1,
+            Severity::Note => n += 1,
+        }
+    }
+    (e, w, n)
+}
+
+/// Render a compiler-style text report:
+///
+/// ```text
+/// error[num.overflow] model/g: output range ... exceeds ...
+///   = help: rescale the signal or widen the fixed-point format
+/// ```
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in report.diagnostics() {
+        out.push_str(&format!(
+            "{}[{}] {}: {}\n",
+            d.severity.label(),
+            d.rule,
+            d.path,
+            d.message
+        ));
+        if let Some(s) = &d.suggestion {
+            out.push_str(&format!("  = help: {s}\n"));
+        }
+    }
+    let (e, w, n) = counts(report);
+    out.push_str(&format!("{e} error(s), {w} warning(s), {n} note(s)\n"));
+    out
+}
+
+fn diag_json(d: &Diagnostic) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("rule".into(), JsonValue::str(&d.rule)),
+        ("severity".into(), JsonValue::str(d.severity.label())),
+        ("path".into(), JsonValue::str(&d.path)),
+        ("message".into(), JsonValue::str(&d.message)),
+        (
+            "suggestion".into(),
+            d.suggestion.as_deref().map_or(JsonValue::Null, JsonValue::str),
+        ),
+    ])
+}
+
+/// Build the JSON document for a report (render with
+/// [`JsonValue::render`]).
+pub fn to_json(report: &LintReport) -> JsonValue {
+    let (e, w, n) = counts(report);
+    JsonValue::Obj(vec![
+        (
+            "diagnostics".into(),
+            JsonValue::Arr(report.diagnostics().iter().map(diag_json).collect()),
+        ),
+        (
+            "summary".into(),
+            JsonValue::Obj(vec![
+                ("errors".into(), JsonValue::Num(e as f64)),
+                ("warnings".into(), JsonValue::Num(w as f64)),
+                ("notes".into(), JsonValue::Num(n as f64)),
+                ("deny_clean".into(), JsonValue::Bool(report.is_deny_clean())),
+            ]),
+        ),
+    ])
+}
+
+/// Render the JSON report as a string.
+pub fn render_json(report: &LintReport) -> String {
+    to_json(report).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{rules, LintConfig};
+
+    fn sample() -> LintReport {
+        let cfg = LintConfig::new();
+        let mut r = LintReport::new();
+        r.push(
+            &cfg,
+            rules::NUM_OVERFLOW,
+            "model/g",
+            "output range [6, 6] lies outside [-1, 1]",
+            Some("rescale".to_string()),
+        );
+        r.push(&cfg, rules::GRAPH_DEAD, "model/orphan", "no observable effect", None);
+        r
+    }
+
+    #[test]
+    fn text_format_is_stable() {
+        let txt = render_text(&sample());
+        assert_eq!(
+            txt,
+            "warning[graph.dead] model/orphan: no observable effect\n\
+             error[num.overflow] model/g: output range [6, 6] lies outside [-1, 1]\n\
+             \x20 = help: rescale\n\
+             1 error(s), 1 warning(s), 0 note(s)\n"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_and_is_deterministic() {
+        let a = render_json(&sample());
+        let b = render_json(&sample());
+        assert_eq!(a, b);
+        let parsed = JsonValue::parse(&a).unwrap();
+        let diags = parsed.get("diagnostics").unwrap();
+        match diags {
+            JsonValue::Arr(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+        let summary = parsed.get("summary").unwrap();
+        assert_eq!(summary.get("errors").and_then(JsonValue::as_f64), Some(1.0));
+    }
+}

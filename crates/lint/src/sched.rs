@@ -1,0 +1,230 @@
+//! Static schedulability analysis mirroring the non-preemptive
+//! interrupt executive in `peert-rtexec`.
+//!
+//! The executive runs one handler at a time to completion; a pending
+//! interrupt of any priority waits for the running handler (or the
+//! longest background burst) to finish. The classic bound for that
+//! model: the response time of task *i* is its own cost plus the
+//! longest blocking section plus one instance of every other task —
+//! if that exceeds the task's period, the *next* instance can be lost
+//! before the current one is serviced, which is exactly the
+//! `lost_interrupts` counter the executive reports.
+
+use crate::diag::{rules, LintConfig, LintReport};
+
+/// A periodic interrupt task, as the executive sees it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskSpec {
+    /// Handler name (diagnostic path is `tasks/<name>`).
+    pub name: String,
+    /// Activation period in seconds.
+    pub period_s: f64,
+    /// Worst-case handler cost in bus cycles (excluding entry/exit).
+    pub cost_cycles: u64,
+}
+
+/// The task set plus the platform constants the bound needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedSpec {
+    /// Bus clock in Hz (cycles per second).
+    pub bus_hz: f64,
+    /// Interrupt entry overhead in cycles (from the MCU cost table).
+    pub isr_entry: u64,
+    /// Interrupt exit overhead in cycles.
+    pub isr_exit: u64,
+    /// Longest non-preemptible background section in cycles, if any.
+    pub background_burst_cycles: Option<u64>,
+    /// The periodic tasks.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl SchedSpec {
+    /// Build a spec from an MCU's clock tree and cost table, so the
+    /// entry/exit overheads match what `peert-rtexec` will charge.
+    pub fn for_mcu(
+        spec: &peert_mcu::McuSpec,
+        background_burst_cycles: Option<u64>,
+        tasks: Vec<TaskSpec>,
+    ) -> Self {
+        let ct = spec.cost_table();
+        SchedSpec {
+            bus_hz: spec.bus_hz(),
+            isr_entry: ct.isr_entry as u64,
+            isr_exit: ct.isr_exit as u64,
+            background_burst_cycles,
+            tasks,
+        }
+    }
+}
+
+/// Utilization threshold that earns a warning.
+const UTIL_WARN: f64 = 0.8;
+
+/// One task's verdict from the response-time analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskVerdict {
+    /// Task name.
+    pub name: String,
+    /// Worst-case response time in cycles.
+    pub response_cycles: f64,
+    /// The task's period in cycles.
+    pub period_cycles: f64,
+    /// Whether the bound predicts lost activations (overrun).
+    pub overrun: bool,
+}
+
+/// The full analysis result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedVerdict {
+    /// Total utilization (entry + cost + exit over each period).
+    pub utilization: f64,
+    /// Per-task response bounds.
+    pub tasks: Vec<TaskVerdict>,
+}
+
+impl SchedVerdict {
+    /// Whether any task overruns its period.
+    pub fn any_overrun(&self) -> bool {
+        self.tasks.iter().any(|t| t.overrun)
+    }
+}
+
+/// Compute the bound without emitting diagnostics.
+pub fn analyze(spec: &SchedSpec) -> SchedVerdict {
+    let overhead = (spec.isr_entry + spec.isr_exit) as f64;
+    let utilization: f64 = spec
+        .tasks
+        .iter()
+        .map(|t| (t.cost_cycles as f64 + overhead) / (t.period_s * spec.bus_hz))
+        .sum();
+    let blocking = spec.background_burst_cycles.unwrap_or(0) as f64;
+    let tasks = spec
+        .tasks
+        .iter()
+        .map(|t| {
+            let own = overhead + t.cost_cycles as f64;
+            let others: f64 = spec
+                .tasks
+                .iter()
+                .filter(|o| o.name != t.name)
+                .map(|o| overhead + o.cost_cycles as f64)
+                .sum();
+            let response_cycles = blocking + others + own;
+            let period_cycles = t.period_s * spec.bus_hz;
+            TaskVerdict {
+                name: t.name.clone(),
+                response_cycles,
+                period_cycles,
+                overrun: response_cycles > period_cycles,
+            }
+        })
+        .collect();
+    SchedVerdict { utilization, tasks }
+}
+
+/// Run the analysis and report `sched.util` / `sched.overrun`.
+pub fn lint_sched(spec: &SchedSpec, config: &LintConfig) -> (SchedVerdict, LintReport) {
+    let verdict = analyze(spec);
+    let mut report = LintReport::new();
+    if verdict.utilization >= 1.0 {
+        report.push(
+            config,
+            rules::SCHED_UTIL,
+            "tasks",
+            format!(
+                "total utilization {:.1}% — the task set is infeasible on this clock",
+                verdict.utilization * 100.0
+            ),
+            Some("lengthen periods, shorten handlers, or pick a faster part".to_string()),
+        );
+    } else if verdict.utilization >= UTIL_WARN {
+        // feasible but close: a warning regardless of the rule's deny
+        // default (explicit config overrides still win)
+        if let Some(severity) =
+            config.severity_for_import(rules::SCHED_UTIL, crate::diag::Severity::Warning)
+        {
+            report.push_diagnostic(crate::diag::Diagnostic {
+                rule: rules::SCHED_UTIL.into(),
+                severity,
+                path: "tasks".into(),
+                message: format!(
+                    "total utilization {:.1}% exceeds the {:.0}% safety margin",
+                    verdict.utilization * 100.0,
+                    UTIL_WARN * 100.0
+                ),
+                suggestion: None,
+            });
+        }
+    }
+    for t in &verdict.tasks {
+        if t.overrun {
+            report.push(
+                config,
+                rules::SCHED_OVERRUN,
+                format!("tasks/{}", t.name),
+                format!(
+                    "worst-case response {:.0} cycles exceeds the period {:.0} cycles — activations will be lost",
+                    t.response_cycles, t.period_cycles
+                ),
+                Some("shorten the blocking background section or the competing handlers".to_string()),
+            );
+        }
+    }
+    (verdict, report)
+}
+
+impl LintReport {
+    /// Whether this report contains a `sched.overrun` prediction.
+    pub fn predicts_overrun(&self) -> bool {
+        self.has_rule(rules::SCHED_OVERRUN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e7_spec(burst_us: f64) -> SchedSpec {
+        // the E7 experiment: MC56F8367 at 60 MHz, 1 kHz control task of
+        // 3000 cycles, isr entry/exit from the dsp56800e cost table
+        SchedSpec {
+            bus_hz: 60e6,
+            isr_entry: 12,
+            isr_exit: 8,
+            background_burst_cycles: if burst_us > 0.0 {
+                Some((burst_us * 60.0) as u64)
+            } else {
+                None
+            },
+            tasks: vec![TaskSpec { name: "ctl".into(), period_s: 1e-3, cost_cycles: 3_000 }],
+        }
+    }
+
+    #[test]
+    fn short_bursts_are_schedulable() {
+        let (v, r) = lint_sched(&e7_spec(900.0), &LintConfig::new());
+        assert!(!v.any_overrun(), "{v:?}");
+        assert!(!r.predicts_overrun());
+    }
+
+    #[test]
+    fn long_bursts_predict_overrun() {
+        let (v, r) = lint_sched(&e7_spec(1500.0), &LintConfig::new());
+        assert!(v.any_overrun());
+        assert!(r.predicts_overrun());
+        assert!(!r.is_deny_clean());
+    }
+
+    #[test]
+    fn utilization_thresholds() {
+        let mut s = e7_spec(0.0);
+        s.tasks[0].cost_cycles = 55_000; // ~92%
+        let (v, r) = lint_sched(&s, &LintConfig::new());
+        assert!(v.utilization > UTIL_WARN && v.utilization < 1.0);
+        assert!(r.has_rule(rules::SCHED_UTIL));
+        assert!(r.is_deny_clean(), "below 100% is a warning");
+        s.tasks[0].cost_cycles = 70_000; // >100%
+        let (_, r) = lint_sched(&s, &LintConfig::new());
+        assert!(!r.is_deny_clean());
+    }
+}

@@ -1,0 +1,62 @@
+//! The static schedulability verdict must agree with what the cycle
+//! timer executive actually measures on the E7 task configuration:
+//! a 60 MHz MC56F8367 running a 1 kHz / 3000-cycle control task against
+//! background bursts of increasing length. For every burst the lint's
+//! overrun prediction (made without simulating a single cycle) must
+//! match whether the executive lost interrupts over half a simulated
+//! second.
+
+use peert_lint::{lint_sched, LintConfig, SchedSpec, TaskSpec};
+use peert_mcu::board::{vectors, Mcu};
+use peert_mcu::McuCatalog;
+use peert_rtexec::Executive;
+
+const TASK_COST: u64 = 3_000;
+const PERIOD_COUNTS: u32 = 60_000; // 1 kHz at 60 MHz, prescaler 1
+
+fn measured_lost(burst_cycles: u64) -> u64 {
+    let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+    let mut mcu = Mcu::new(&spec);
+    mcu.intc.configure(vectors::timer(0), 5);
+    mcu.timers[0].configure(1, PERIOD_COUNTS).unwrap();
+    mcu.timers[0].start(0);
+    let mut exec = Executive::new(mcu);
+    exec.attach(vectors::timer(0), "ctl", TASK_COST, 64, None);
+    exec.set_background_burst(if burst_cycles > 0 { Some(burst_cycles) } else { None });
+    exec.start();
+    exec.run_for_secs(0.5);
+    exec.report().lost_interrupts
+}
+
+fn predicted_overrun(burst_cycles: u64) -> bool {
+    let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+    let sched = SchedSpec::for_mcu(
+        &spec,
+        (burst_cycles > 0).then_some(burst_cycles),
+        vec![TaskSpec { name: "ctl".into(), period_s: 1e-3, cost_cycles: TASK_COST }],
+    );
+    let (verdict, report) = lint_sched(&sched, &LintConfig::new());
+    assert_eq!(verdict.any_overrun(), report.predicts_overrun());
+    verdict.any_overrun()
+}
+
+#[test]
+fn static_verdict_agrees_with_executive_across_burst_sweep() {
+    // the E7 sweep: background bursts in microseconds at 60 MHz
+    for burst_us in [0u64, 50, 200, 500, 900, 1500] {
+        let burst_cycles = burst_us * 60;
+        let lost = measured_lost(burst_cycles);
+        let predicted = predicted_overrun(burst_cycles);
+        assert_eq!(
+            predicted,
+            lost > 0,
+            "burst {burst_us} µs: lint predicted overrun={predicted}, executive lost {lost} interrupts"
+        );
+    }
+}
+
+#[test]
+fn prediction_flips_between_900_and_1500_microseconds() {
+    assert!(!predicted_overrun(900 * 60), "900 µs bursts fit inside the 1 ms period");
+    assert!(predicted_overrun(1500 * 60), "1500 µs bursts exceed the period");
+}

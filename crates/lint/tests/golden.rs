@@ -1,0 +1,128 @@
+//! Golden-file tests: the renderers' output is part of the tool's
+//! contract (CI gates byte-compare it), so pin it exactly. Also pins
+//! the rule-ID catalog — renaming a rule breaks every config that
+//! references it, so a rename must show up here as a deliberate edit.
+
+use peert_lint::demo::demo_lint;
+use peert_lint::{render_json, render_text, rules, Severity};
+use peert_trace::JsonValue;
+
+const CLEAN_TEXT: &str = "\
+note[graph.const-fold] model/trim_gain: all inputs are constant — the block computes the same value every step
+  = help: fold the subgraph into a single Constant block
+warning[graph.dead] model/orphan: output reaches no sink, outport, or hardware block — the block has no observable effect
+  = help: remove the block (removal is trajectory-preserving)
+warning[num.saturation] model/orphan: output range [-1.200000, 3.600000] exceeds sfix16_En15 \u{d7} 1 = [-1.000000, 0.999969] — some values will saturate
+  = help: increase the scale factor or saturate explicitly upstream
+0 error(s), 2 warning(s), 1 note(s)
+";
+
+const CLEAN_JSON: &str = "{\"diagnostics\":[\
+{\"rule\":\"graph.const-fold\",\"severity\":\"note\",\"path\":\"model/trim_gain\",\"message\":\"all inputs are constant — the block computes the same value every step\",\"suggestion\":\"fold the subgraph into a single Constant block\"},\
+{\"rule\":\"graph.dead\",\"severity\":\"warning\",\"path\":\"model/orphan\",\"message\":\"output reaches no sink, outport, or hardware block — the block has no observable effect\",\"suggestion\":\"remove the block (removal is trajectory-preserving)\"},\
+{\"rule\":\"num.saturation\",\"severity\":\"warning\",\"path\":\"model/orphan\",\"message\":\"output range [-1.200000, 3.600000] exceeds sfix16_En15 \u{d7} 1 = [-1.000000, 0.999969] — some values will saturate\",\"suggestion\":\"increase the scale factor or saturate explicitly upstream\"}],\
+\"summary\":{\"errors\":0,\"warnings\":2,\"notes\":1,\"deny_clean\":true}}";
+
+#[test]
+fn clean_text_render_is_stable() {
+    assert_eq!(render_text(&demo_lint(false)), CLEAN_TEXT);
+}
+
+#[test]
+fn clean_json_render_is_stable() {
+    assert_eq!(render_json(&demo_lint(false)), CLEAN_JSON);
+}
+
+#[test]
+fn renders_are_deterministic_across_runs() {
+    // two independent lints of the same model must be byte-identical —
+    // this is what lets CI diff two `--format json` invocations
+    assert_eq!(render_json(&demo_lint(false)), render_json(&demo_lint(false)));
+    assert_eq!(render_text(&demo_lint(true)), render_text(&demo_lint(true)));
+}
+
+#[test]
+fn json_round_trips_through_trace_parser() {
+    let rendered = render_json(&demo_lint(true));
+    let parsed = JsonValue::parse(&rendered).expect("lint JSON must parse");
+    let diags = parsed.get("diagnostics").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(diags.len(), 8);
+    let summary = parsed.get("summary").unwrap();
+    assert_eq!(summary.get("errors").and_then(JsonValue::as_u64), Some(5));
+    assert_eq!(summary.get("warnings").and_then(JsonValue::as_u64), Some(2));
+    assert_eq!(summary.get("notes").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(
+        summary.get("deny_clean").map(|v| *v == JsonValue::Bool(false)),
+        Some(true)
+    );
+    // every diagnostic carries the full shape
+    for d in diags {
+        for key in ["rule", "severity", "path", "message", "suggestion"] {
+            assert!(d.get(key).is_some(), "diagnostic missing key {key}");
+        }
+    }
+}
+
+#[test]
+fn defect_run_denies_with_expected_rules() {
+    let report = demo_lint(true);
+    assert!(!report.is_deny_clean());
+    let denied: Vec<&str> = report.denials().map(|d| d.rule.as_str()).collect();
+    assert_eq!(
+        denied,
+        [
+            rules::CFG_ADC_WIDTH,
+            rules::NUM_OVERFLOW,
+            rules::NUM_OVERFLOW,
+            rules::SCHED_OVERRUN,
+            rules::SCHED_UTIL,
+        ]
+    );
+}
+
+#[test]
+fn rule_ids_are_stable() {
+    // the published catalog: IDs are load-bearing (configs, CI filters,
+    // golden files) — additions go at the right spot, renames are breaking
+    assert_eq!(
+        rules::ALL_RULES,
+        [
+            "num.overflow",
+            "num.saturation",
+            "num.div-zero",
+            "num.nan",
+            "graph.unconnected",
+            "graph.dead",
+            "graph.const-fold",
+            "rate.quantized",
+            "rate.transition",
+            "sched.util",
+            "sched.overrun",
+            "cfg.bean",
+            "cfg.bean-missing",
+            "cfg.adc-width",
+            "cfg.timer-period",
+            "cfg.pwm-carrier",
+            "cfg.event-unwired",
+        ]
+    );
+    // the deny-by-default set is exactly this
+    let denies: Vec<&str> = rules::ALL_RULES
+        .iter()
+        .copied()
+        .filter(|r| peert_lint::default_severity(r) == Severity::Error)
+        .collect();
+    assert_eq!(
+        denies,
+        [
+            "num.overflow",
+            "num.div-zero",
+            "num.nan",
+            "sched.util",
+            "sched.overrun",
+            "cfg.bean-missing",
+            "cfg.adc-width",
+            "cfg.timer-period",
+        ]
+    );
+}

@@ -33,6 +33,8 @@
 //! every ordering and crossover the paper's workflow is designed to expose
 //! survives the substitution.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod board;

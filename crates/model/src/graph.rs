@@ -18,6 +18,14 @@ impl BlockId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Handle for a raw index — for building synthetic
+    /// [`DiagramFingerprint`]s (static analysis fixtures); using a
+    /// fabricated id against a diagram it did not come from is a logic
+    /// error.
+    pub fn from_index(i: usize) -> BlockId {
+        BlockId(i)
+    }
 }
 
 /// Errors raised while building or sorting a diagram.

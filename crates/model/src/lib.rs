@@ -30,6 +30,8 @@
 //! * **signal logging** ([`log`]) — the Scope data every experiment
 //!   post-processes.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod block;

@@ -76,6 +76,9 @@ impl Block for Ramp {
     fn type_name(&self) -> &'static str {
         "Ramp"
     }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![("slope", ParamValue::F(self.slope)), ("start_time", ParamValue::F(self.start_time))]
+    }
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
     }
@@ -108,6 +111,14 @@ impl Block for SineWave {
     fn type_name(&self) -> &'static str {
         "SineWave"
     }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![
+            ("amplitude", ParamValue::F(self.amplitude)),
+            ("freq_hz", ParamValue::F(self.freq_hz)),
+            ("phase", ParamValue::F(self.phase)),
+            ("bias", ParamValue::F(self.bias)),
+        ]
+    }
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
     }
@@ -133,6 +144,14 @@ pub struct PulseGenerator {
 impl Block for PulseGenerator {
     fn type_name(&self) -> &'static str {
         "PulseGenerator"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        vec![
+            ("amplitude", ParamValue::F(self.amplitude)),
+            ("period", ParamValue::F(self.period)),
+            ("duty", ParamValue::F(self.duty)),
+            ("delay", ParamValue::F(self.delay)),
+        ]
     }
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
@@ -165,6 +184,17 @@ pub struct FromWorkspace {
 impl Block for FromWorkspace {
     fn type_name(&self) -> &'static str {
         "FromWorkspace"
+    }
+    fn params(&self) -> Vec<(&'static str, ParamValue)> {
+        // the recording itself is not a scalar parameter; expose its
+        // envelope so static range analysis can bound the output
+        let lo = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        vec![
+            ("period", ParamValue::F(self.period)),
+            ("samples_min", ParamValue::F(if lo.is_finite() { lo } else { 0.0 })),
+            ("samples_max", ParamValue::F(if hi.is_finite() { hi } else { 0.0 })),
+        ]
     }
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)

@@ -24,6 +24,8 @@
 //!   timing decomposition (inbound comm / compute / outbound comm),
 //!   deadline misses and the plant trajectory E6 compares against MIL.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod arq;

@@ -9,6 +9,8 @@
 //! integrate internally with RK4 ([`integrators`]) at a sub-step fine enough
 //! to be insensitive to the model engine's fundamental step.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod dcmotor;

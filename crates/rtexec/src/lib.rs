@@ -12,6 +12,8 @@
 //! execution times, interrupt response times, sampling jitter, stack
 //! high-water marks and lost activations.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod profile;

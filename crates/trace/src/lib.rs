@@ -28,6 +28,8 @@
 //! and emits one trace *process* per tracer, so host and board timelines
 //! sit side by side in the viewer.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod export;

@@ -209,7 +209,7 @@ impl Tracer {
 
     /// The registered name of an event id.
     pub fn name(&self, id: EventId) -> &str {
-        self.names.get(id as usize).map(String::as_str).unwrap_or("?")
+        self.names.get(id as usize).map_or("?", String::as_str)
     }
 
     /// Records currently held, oldest first.

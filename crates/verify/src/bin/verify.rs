@@ -94,6 +94,15 @@ fn main() {
                  completed flagged-degraded",
                 report.arq_cases, report.arq_retries, arq.max_retries, report.arq_degraded_cases
             );
+            println!(
+                "  lint:  {} diagram(s) analyzed; {} overflow-free certificate(s) held \
+                 against the engine; {} dead-block removal(s) bit-exact; \
+                 {} seeded defect(s) refused",
+                report.lint_cases,
+                report.lint_certified,
+                report.lint_dead_removed,
+                report.lint_defects
+            );
         }
         Err(fail) => {
             eprintln!(

@@ -22,9 +22,12 @@
 //! A failing case prints its seed and spec, and [`shrink::shrink`]
 //! reduces it to a 1-minimal diagram before reporting.
 
+#![forbid(unsafe_code)]
+
 pub mod diff;
 pub mod gen;
 pub mod interp;
+pub mod lintchk;
 pub mod rng;
 pub mod shrink;
 pub mod spec;
@@ -52,13 +55,22 @@ pub struct SuiteReport {
     /// Degradation replays that completed flagged-degraded, bit-exact
     /// against the drop-aware replica.
     pub arq_degraded_cases: u64,
+    /// Diagrams the lint phase analyzed.
+    pub lint_cases: u64,
+    /// Diagrams certified overflow-free whose certificate held against
+    /// the engine run at the tightest covering Q15 scale.
+    pub lint_certified: u64,
+    /// Dead blocks whose removal was proved trajectory-preserving.
+    pub lint_dead_removed: u64,
+    /// Seeded deny-class defects correctly refused.
+    pub lint_defects: u64,
 }
 
 /// A failed case: everything needed to reproduce and diagnose it.
 #[derive(Clone, Debug)]
 pub struct Failure {
     /// Which phase failed (`"mil"`, `"reset"`, `"pil"`, `"fault"`,
-    /// `"arq"`, `"arq-degrade"`).
+    /// `"arq"`, `"arq-degrade"`, `"lint"`).
     pub phase: &'static str,
     /// The generating seed.
     pub seed: u64,
@@ -222,6 +234,46 @@ pub fn run_suite(seed: u64, cases: u64, do_shrink: bool) -> Result<SuiteReport, 
                 message,
                 spec: ctl.ctl.to_json(),
                 blocks: ctl.ctl.blocks.len(),
+            })
+        }
+    }
+
+    // lint phase: static-analysis soundness over at least 64 generated
+    // diagrams — certificates checked against the engine, dead-block
+    // removal proved bit-exact, seeded defects refused
+    let lint_cases = cases.max(64);
+    for case in 0..lint_cases {
+        let spec = gen::gen_mil_spec(seed, case);
+        match lintchk::run_lint_case(&spec, MIL_STEPS) {
+            Ok(r) => {
+                report.lint_cases += 1;
+                if r.certified {
+                    report.lint_certified += 1;
+                }
+                report.lint_dead_removed += r.dead_removed;
+            }
+            Err(message) => {
+                return Err(Failure {
+                    phase: "lint",
+                    seed,
+                    case,
+                    message,
+                    spec: spec.to_json(),
+                    blocks: spec.blocks.len(),
+                })
+            }
+        }
+    }
+    match lintchk::run_lint_defect_checks() {
+        Ok(n) => report.lint_defects = n,
+        Err(message) => {
+            return Err(Failure {
+                phase: "lint",
+                seed,
+                case: 0,
+                message,
+                spec: String::new(),
+                blocks: 0,
             })
         }
     }

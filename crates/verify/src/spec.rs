@@ -488,11 +488,10 @@ impl ControllerCase {
                         .wires
                         .iter()
                         .find(|&&(_, _, db, dp)| db == i && dp == p)
-                        .map(|&(sb, _, _, _)| {
+                        .map_or(0.0, |&(sb, _, _, _)| {
                             debug_assert!(sb < i, "controller wires must run forward");
                             out[sb]
                         })
-                        .unwrap_or(0.0)
                 })
                 .collect();
             out[i] = f(spec, &ins);

@@ -49,6 +49,18 @@ if [[ "${PIL_SOAK:-0}" == "1" ]]; then
     run env PIL_SOAK=1 cargo test --release --test pil_soak $CARGO_ARGS -- --nocapture
 fi
 
+# static-analysis gate: the built-in demo model must lint deny-clean,
+# and the machine-readable output must be byte-reproducible (two runs
+# compared verbatim) so downstream tooling can diff it
+# shellcheck disable=SC2086
+run cargo run --release -q -p peert-lint $CARGO_ARGS
+# shellcheck disable=SC2086
+cargo run --release -q -p peert-lint $CARGO_ARGS -- --format json > /tmp/peert-lint-1.json
+# shellcheck disable=SC2086
+cargo run --release -q -p peert-lint $CARGO_ARGS -- --format json > /tmp/peert-lint-2.json
+run cmp /tmp/peert-lint-1.json /tmp/peert-lint-2.json
+rm -f /tmp/peert-lint-1.json /tmp/peert-lint-2.json
+
 # differential verification suite: interpreted ≡ plan (bit-exact), PIL
 # within quantization tolerance, fault counters equal to the schedule,
 # ARQ recovery proofs under seeded fault schedules.

@@ -2,11 +2,14 @@
 //! tests (`tests/`) and runnable examples (`examples/`). The library itself
 //! only re-exports the member crates for convenient use in those targets.
 
+#![forbid(unsafe_code)]
+
 pub use peert;
 pub use peert_beans as beans;
 pub use peert_codegen as codegen;
 pub use peert_control as control;
 pub use peert_fixedpoint as fixedpoint;
+pub use peert_lint as lint;
 pub use peert_mcu as mcu;
 pub use peert_model as model;
 pub use peert_pil as pil;

@@ -1,0 +1,55 @@
+//! Property tests for the static analyzer: `peert-lint` must be total.
+//!
+//! The analyzer is allowed to be *imprecise* (widen to ⊤, emit a
+//! spurious warning) but never to panic, loop, or produce
+//! irreproducible output — whatever diagram the generator throws at it.
+//! The generator is `peert-verify`'s own seeded diagram generator, so
+//! the property runs over the same case distribution the differential
+//! suite executes for real.
+
+use peert_lint::{render_json, render_text, FormatSpec, LintOptions};
+use peert_verify::gen::gen_mil_spec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Lint never panics, and both renderers are deterministic, on any
+    /// generated diagram at any analysis format.
+    #[test]
+    fn lint_is_total_and_deterministic(seed in any::<u64>(), case in 0u64..512, q15 in any::<bool>()) {
+        let spec = gen_mil_spec(seed, case);
+        let diagram = spec.build(None).expect("generated specs build");
+        let fp = diagram.fingerprint();
+        let opts = if q15 {
+            LintOptions::with_format(FormatSpec::q15())
+        } else {
+            LintOptions::default()
+        };
+        let a = peert_lint::lint_fingerprint(&fp, spec.dt, &opts);
+        let b = peert_lint::lint_fingerprint(&fp, spec.dt, &opts);
+        prop_assert_eq!(render_text(&a.report), render_text(&b.report));
+        prop_assert_eq!(render_json(&a.report), render_json(&b.report));
+        // interval bounds are well-formed: never lo > hi on a non-bottom
+        for iv in &a.bounds {
+            if !iv.is_bottom() {
+                prop_assert!(iv.lo <= iv.hi, "malformed interval {:?}", iv);
+            }
+        }
+        // dead indices point at real blocks
+        for &d in &a.dead {
+            prop_assert!(d < fp.blocks.len());
+        }
+    }
+
+    /// A deny-clean verdict is stable under re-linting the rebuilt
+    /// diagram (fingerprinting is deterministic end to end).
+    #[test]
+    fn verdict_survives_rebuild(seed in any::<u64>(), case in 0u64..128) {
+        let spec = gen_mil_spec(seed, case);
+        let fp1 = spec.build(None).expect("builds").fingerprint();
+        let fp2 = spec.build(None).expect("builds").fingerprint();
+        let opts = LintOptions::default();
+        let a = peert_lint::lint_fingerprint(&fp1, spec.dt, &opts);
+        let b = peert_lint::lint_fingerprint(&fp2, spec.dt, &opts);
+        prop_assert_eq!(render_json(&a.report), render_json(&b.report));
+    }
+}
