@@ -1,0 +1,54 @@
+//! Compiled-kernel backend vs the plan interpreter on the PR-1
+//! 400-block chain, plus the batched SoA engine (per-lane time across
+//! 8 instances). The recorded numbers live in BENCH_kernel.json (E16);
+//! this bench is the interactive/CI view of the same comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peert_model::graph::Diagram;
+use peert_model::library::math::Gain;
+use peert_model::library::sources::SineWave;
+use peert_model::{Backend, BatchEngine, Engine};
+
+const LANES: usize = 8;
+
+fn chain(n: usize) -> Diagram {
+    let mut d = Diagram::new();
+    let mut prev = d.add("src", SineWave::new(1.0, 10.0)).unwrap();
+    for i in 0..n {
+        let blk = d.add(format!("g{i}"), Gain::new(1.0001)).unwrap();
+        d.connect((prev, 0), (blk, 0)).unwrap();
+        prev = blk;
+    }
+    d
+}
+
+fn kernel_vs_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_vs_interp_400_blocks");
+    g.bench_with_input(BenchmarkId::from_parameter("interpreted"), &(), |b, ()| {
+        let mut e = Engine::with_backend(chain(400), 1e-3, Backend::Interpreted).unwrap();
+        b.iter(|| {
+            e.step().unwrap();
+            e.time()
+        });
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("compiled"), &(), |b, ()| {
+        let mut e = Engine::new(chain(400), 1e-3).unwrap();
+        assert_eq!(e.backend(), Backend::Compiled, "{:?}", e.fallback_reason());
+        b.iter(|| {
+            e.step().unwrap();
+            e.time()
+        });
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("batched_8_lanes"), &(), |b, ()| {
+        let d = chain(400);
+        let mut e = BatchEngine::new(&d, 1e-3, LANES).unwrap();
+        b.iter(|| {
+            e.step();
+            e.time()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, kernel_vs_interp);
+criterion_main!(benches);

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use peert_model::graph::Diagram;
 use peert_model::library::math::Gain;
 use peert_model::library::sources::SineWave;
-use peert_model::Engine;
+use peert_model::{Backend, Engine};
 
 fn chain_engine(n: usize) -> Engine {
     let mut d = Diagram::new();
@@ -17,7 +17,10 @@ fn chain_engine(n: usize) -> Engine {
         d.connect((prev, 0), (blk, 0)).unwrap();
         prev = blk;
     }
-    Engine::new(d, 1e-3).unwrap()
+    // pinned to the interpreter so the tracer-overhead baseline stays
+    // comparable across releases (kernel_vs_interp owns the compiled
+    // numbers)
+    Engine::with_backend(d, 1e-3, Backend::Interpreted).unwrap()
 }
 
 fn trace_overhead(c: &mut Criterion) {

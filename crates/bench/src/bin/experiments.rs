@@ -197,11 +197,41 @@ fn main() {
     }
     println!("\ntrace-overhead summary written to BENCH_trace.json");
 
+    println!("\n## E16 — compiled kernel backend vs interpreter (400-block chain)\n");
+    let e16 = e16_kernel(20_000);
+    println!("{:<12} {:>6} {:>16} {:>10}", "engine", "lanes", "ns/step/lane", "speedup");
+    let interp_ns = e16[0].ns_per_step_per_lane;
+    for r in &e16 {
+        println!(
+            "{:<12} {:>6} {:>16.1} {:>9.2}x",
+            r.engine, r.lanes, r.ns_per_step_per_lane, interp_ns / r.ns_per_step_per_lane
+        );
+    }
+    let compiled_ns = e16[1].ns_per_step_per_lane;
+    let batched_ns = e16[2].ns_per_step_per_lane;
+    let kernel_blob = serde_json::json!({
+        "experiment": "kernel_backend_400_block_chain",
+        "steps": e16[0].steps,
+        "interpreted_ns_per_step": interp_ns,
+        "compiled_ns_per_step": compiled_ns,
+        "batched_lanes": e16[2].lanes,
+        "batched_ns_per_step_per_lane": batched_ns,
+        "speedup_compiled": interp_ns / compiled_ns,
+        "speedup_batched_per_lane": interp_ns / batched_ns,
+    });
+    let kernel_text =
+        serde_json::to_string_pretty(&kernel_blob).expect("kernel rows are serializable");
+    if let Err(e) = fs::write("BENCH_kernel.json", kernel_text) {
+        eprintln!("error: cannot write BENCH_kernel.json: {e}");
+        std::process::exit(1);
+    }
+    println!("\nkernel-backend summary written to BENCH_kernel.json");
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
             "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
-            "e12": e12,
+            "e12": e12, "e16": e16,
         });
         let text = serde_json::to_string_pretty(&blob).expect("rows are serializable");
         if let Err(e) = fs::write(&path, text) {

@@ -761,7 +761,7 @@ pub fn e12_trace_overhead(steps: u64) -> Vec<E12Row> {
     use peert_model::graph::Diagram;
     use peert_model::library::math::Gain;
     use peert_model::library::sources::SineWave;
-    use peert_model::Engine;
+    use peert_model::{Backend, Engine};
 
     let build = || {
         let mut d = Diagram::new();
@@ -771,7 +771,10 @@ pub fn e12_trace_overhead(steps: u64) -> Vec<E12Row> {
             d.connect((prev, 0), (blk, 0)).unwrap();
             prev = blk;
         }
-        Engine::new(d, 1e-3).unwrap()
+        // pinned to the interpreter: BENCH_trace.json tracks the tracer's
+        // overhead on the same engine it was first measured on (E16 owns
+        // the compiled-backend numbers)
+        Engine::with_backend(d, 1e-3, Backend::Interpreted).unwrap()
     };
     let mut plain = build();
     let mut traced = build();
@@ -797,6 +800,83 @@ pub fn e12_trace_overhead(steps: u64) -> Vec<E12Row> {
     vec![
         E12Row { mode: "disabled".into(), steps, ns_per_step: disabled },
         E12Row { mode: "enabled".into(), steps, ns_per_step: enabled },
+    ]
+}
+
+// ---------------------------------------------------------------- E16 ----
+
+/// One engine configuration timed on the 400-block ablation chain.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E16Row {
+    /// Engine configuration: "interpreted", "compiled" or "batched".
+    pub engine: String,
+    /// Steps timed per round (after warmup).
+    pub steps: u64,
+    /// Instances stepping together (1 except for "batched").
+    pub lanes: usize,
+    /// Mean wall-clock nanoseconds per step *per lane*.
+    pub ns_per_step_per_lane: f64,
+}
+
+/// Lanes the E16 batched configuration steps together.
+pub const E16_LANES: usize = 8;
+
+/// E16 — the compiled kernel backend vs the interpreter on the PR-1
+/// 400-block chain, plus [`peert_model::BatchEngine`] stepping
+/// [`E16_LANES`] instances over SoA lanes. The three configurations are
+/// interleaved and the per-configuration minimum kept, as in E12.
+pub fn e16_kernel(steps: u64) -> Vec<E16Row> {
+    use peert_model::graph::Diagram;
+    use peert_model::library::math::Gain;
+    use peert_model::library::sources::SineWave;
+    use peert_model::{Backend, BatchEngine, Engine};
+
+    let chain = || {
+        let mut d = Diagram::new();
+        let mut prev = d.add("src", SineWave::new(1.0, 10.0)).unwrap();
+        for i in 0..400 {
+            let blk = d.add(format!("g{i}"), Gain::new(1.0001)).unwrap();
+            d.connect((prev, 0), (blk, 0)).unwrap();
+            prev = blk;
+        }
+        d
+    };
+    let mut interp = Engine::with_backend(chain(), 1e-3, Backend::Interpreted).unwrap();
+    let mut comp = Engine::new(chain(), 1e-3).unwrap();
+    assert_eq!(comp.backend(), Backend::Compiled, "chain must lower: {:?}", comp.fallback_reason());
+    let batch_d = chain();
+    let mut batch = BatchEngine::new(&batch_d, 1e-3, E16_LANES).unwrap();
+
+    let engine_chunk = |e: &mut Engine, n: u64| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            e.step().unwrap();
+        }
+        t0.elapsed().as_nanos() as f64 / n as f64
+    };
+    let batch_chunk = |b: &mut BatchEngine, n: u64| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            b.step();
+        }
+        t0.elapsed().as_nanos() as f64 / n as f64 / E16_LANES as f64
+    };
+
+    let rounds = 10;
+    let per_round = (steps / rounds).max(1);
+    engine_chunk(&mut interp, per_round); // warmup
+    engine_chunk(&mut comp, per_round);
+    batch_chunk(&mut batch, per_round);
+    let (mut i_ns, mut c_ns, mut b_ns) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        i_ns = i_ns.min(engine_chunk(&mut interp, per_round));
+        c_ns = c_ns.min(engine_chunk(&mut comp, per_round));
+        b_ns = b_ns.min(batch_chunk(&mut batch, per_round));
+    }
+    vec![
+        E16Row { engine: "interpreted".into(), steps, lanes: 1, ns_per_step_per_lane: i_ns },
+        E16Row { engine: "compiled".into(), steps, lanes: 1, ns_per_step_per_lane: c_ns },
+        E16Row { engine: "batched".into(), steps, lanes: E16_LANES, ns_per_step_per_lane: b_ns },
     ]
 }
 

@@ -1,0 +1,56 @@
+//! CI perf smoke for the compiled kernel backend: over a cheap 2k-step
+//! run of the 400-block chain, the compiled engine must not be slower
+//! than the interpreter. Gated on `KERNEL_SMOKE=1` (wall-clock compares
+//! are meaningless under an unloaded-machine assumption, so CI opts in
+//! explicitly; the honest numbers live in BENCH_kernel.json / E16).
+
+use std::time::Instant;
+
+use peert_model::graph::Diagram;
+use peert_model::library::math::Gain;
+use peert_model::library::sources::SineWave;
+use peert_model::{Backend, Engine};
+
+fn chain(n: usize) -> Diagram {
+    let mut d = Diagram::new();
+    let mut prev = d.add("src", SineWave::new(1.0, 10.0)).unwrap();
+    for i in 0..n {
+        let blk = d.add(format!("g{i}"), Gain::new(1.0001)).unwrap();
+        d.connect((prev, 0), (blk, 0)).unwrap();
+        prev = blk;
+    }
+    d
+}
+
+fn time_steps(e: &mut Engine, n: u64) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..n {
+        e.step().unwrap();
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+#[test]
+fn compiled_is_not_slower_than_interpreted() {
+    if std::env::var("KERNEL_SMOKE").as_deref() != Ok("1") {
+        eprintln!("kernel_smoke: skipped (set KERNEL_SMOKE=1 to run)");
+        return;
+    }
+    const STEPS: u64 = 2_000;
+    let mut interp = Engine::with_backend(chain(400), 1e-3, Backend::Interpreted).unwrap();
+    let mut comp = Engine::new(chain(400), 1e-3).unwrap();
+    assert_eq!(comp.backend(), Backend::Compiled, "{:?}", comp.fallback_reason());
+    // warmup, then interleaved rounds keeping the per-engine minimum so
+    // transient load hits both configurations equally
+    time_steps(&mut interp, STEPS / 4);
+    time_steps(&mut comp, STEPS / 4);
+    let (mut i_best, mut c_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..4 {
+        i_best = i_best.min(time_steps(&mut interp, STEPS));
+        c_best = c_best.min(time_steps(&mut comp, STEPS));
+    }
+    assert!(
+        c_best <= i_best,
+        "compiled backend slower than the interpreter: {c_best:.6}s vs {i_best:.6}s over {STEPS} steps"
+    );
+}

@@ -176,6 +176,16 @@ pub trait Block: Send {
     /// Reset all internal state to initial conditions.
     fn reset(&mut self) {}
 
+    /// Lower this block to a compiled kernel for the fused-tape backend
+    /// ([`crate::kernel`]). `None` (the default) means "not lowerable":
+    /// any diagram containing such a block runs on the interpreter
+    /// instead. Lowering is a crate-internal optimization of the
+    /// built-in library — external blocks keep the default and lose
+    /// nothing but speed.
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        None
+    }
+
     /// Output phase: compute outputs from inputs and current state.
     fn output(&mut self, ctx: &mut BlockCtx);
 

@@ -32,6 +32,11 @@ pub enum SimError {
         /// The step's time.
         t: f64,
     },
+    /// A compiled-backend-only construction (e.g.
+    /// [`Engine::compiled_pruned`] or [`crate::kernel::BatchEngine`])
+    /// hit a diagram that cannot be lowered. [`Engine::new`] never
+    /// returns this — it falls back to the interpreter instead.
+    Kernel(crate::kernel::KernelError),
 }
 
 impl std::fmt::Display for SimError {
@@ -39,6 +44,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Graph(g) => write!(f, "{g}"),
             SimError::EventStorm { t } => write!(f, "event livelock at t={t}"),
+            SimError::Kernel(k) => write!(f, "{k}"),
         }
     }
 }
@@ -53,6 +59,27 @@ impl From<GraphError> for SimError {
 
 /// Safety cap on triggered dispatches within one major step.
 const EVENT_CAP: usize = 10_000;
+
+/// Which step backend an [`Engine`] runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The plan interpreter: per step, walk `plan.order`, gather inputs
+    /// through the resolution table, dispatch `Block::output`/`update`.
+    Interpreted,
+    /// The fused-kernel tape ([`crate::kernel`]): monomorphized kernels
+    /// over a flat arena, no per-step dispatch or input walk. Bit-exact
+    /// with the interpreter (the `peert-verify` "kernel" phase is the
+    /// proof); selected by default when every block lowers.
+    Compiled,
+}
+
+/// Live state of the compiled backend: the shared tape plus this
+/// engine's single-lane runtime (values arena + state/param pools).
+struct CompiledState {
+    plan: std::sync::Arc<crate::kernel::CompiledPlan>,
+    rt: crate::kernel::KernelRuntime,
+    cache_hit: bool,
+}
 
 /// Error from [`Engine::try_probe`]: the probed source does not exist.
 #[derive(Clone, Debug, PartialEq)]
@@ -127,25 +154,85 @@ pub struct Engine {
     block_evals: u64,
     tracer: Tracer,
     trace_ids: Option<EngineTraceIds>,
+    /// Present iff stepping on the compiled backend.
+    compiled: Option<CompiledState>,
+    /// Why the compiled backend was not (or is no longer) in use.
+    fallback_reason: Option<String>,
 }
 
 impl Engine {
     /// Build an engine over `diagram` with fundamental step `dt` seconds.
     ///
-    /// Compiles the diagram into an [`ExecutionPlan`]; the plan caches the
-    /// blocks' `ports()` and `sample()` metadata, so structural edits
-    /// through [`Engine::diagram_mut`] (rewiring, port or rate changes)
-    /// require a new engine — parameter tweaks are fine.
+    /// Tries the compiled kernel backend first (tapes are shared through
+    /// the process-wide [`crate::kernel::PlanCache`], keyed by
+    /// [`Diagram::fingerprint`]); if any block does not lower, the engine
+    /// falls back to the plan interpreter automatically and
+    /// [`Engine::fallback_reason`] says why. Both backends cache the
+    /// blocks' `ports()` and `sample()` metadata at build time, so
+    /// structural edits through [`Engine::diagram_mut`] (rewiring, port
+    /// or rate changes) require a new engine.
     pub fn new(diagram: Diagram, dt: f64) -> Result<Self, SimError> {
+        Self::with_backend(diagram, dt, Backend::Compiled)
+    }
+
+    /// [`Engine::new`] with an explicit backend choice.
+    /// `Backend::Interpreted` never compiles a tape; `Backend::Compiled`
+    /// compiles through the global plan cache, falling back to the
+    /// interpreter when the diagram cannot be lowered.
+    pub fn with_backend(diagram: Diagram, dt: f64, backend: Backend) -> Result<Self, SimError> {
         assert!(dt > 0.0, "fundamental step must be positive");
         let order = diagram.sorted_order()?;
-        let plan = ExecutionPlan::compile(&diagram, dt, &order);
+        let mut e = Self::build_interpreted(diagram, dt, &order);
+        if backend == Backend::Compiled {
+            let outcome = {
+                let mut cache = crate::kernel::global_cache().lock();
+                cache.get_or_compile(&e.diagram, &order, dt, true)
+            };
+            e.attach_compiled(outcome);
+        }
+        Ok(e)
+    }
+
+    /// [`Engine::new`] compiling through a caller-owned
+    /// [`crate::kernel::PlanCache`] instead of the process-wide one —
+    /// differential harnesses use this to assert exact hit/miss counts.
+    /// Fallback semantics match [`Engine::new`].
+    pub fn with_cache(
+        diagram: Diagram,
+        dt: f64,
+        cache: &mut crate::kernel::PlanCache,
+    ) -> Result<Self, SimError> {
+        assert!(dt > 0.0, "fundamental step must be positive");
+        let order = diagram.sorted_order()?;
+        let mut e = Self::build_interpreted(diagram, dt, &order);
+        let outcome = cache.get_or_compile(&e.diagram, &order, dt, true);
+        e.attach_compiled(outcome);
+        Ok(e)
+    }
+
+    /// Build a compiled-only engine whose tape omits the blocks listed in
+    /// `dead` (indices into the diagram) — the hook `peert-lint`'s
+    /// dead-block removal proof drives. Bypasses the plan cache (pruned
+    /// tapes are diagram-specific) and errors instead of falling back:
+    /// a prune request on an un-lowerable diagram is a caller bug.
+    pub fn compiled_pruned(diagram: Diagram, dt: f64, dead: &[usize]) -> Result<Self, SimError> {
+        assert!(dt > 0.0, "fundamental step must be positive");
+        let order = diagram.sorted_order()?;
+        let plan = crate::kernel::compile(&diagram, &order, dt, dead, true)
+            .map_err(SimError::Kernel)?;
+        let mut e = Self::build_interpreted(diagram, dt, &order);
+        e.attach_compiled(Ok((std::sync::Arc::new(plan), false)));
+        Ok(e)
+    }
+
+    fn build_interpreted(diagram: Diagram, dt: f64, order: &[BlockId]) -> Self {
+        let plan = ExecutionPlan::compile(&diagram, dt, order);
         let values = vec![Value::default(); plan.arena_len];
         let bucket_due = vec![false; plan.buckets.len()];
         let scratch_in = Vec::with_capacity(plan.max_inputs);
         let scratch_events = Vec::with_capacity(plan.max_events);
         let event_queue = VecDeque::with_capacity(16);
-        Ok(Engine {
+        Engine {
             diagram,
             plan,
             dt,
@@ -160,7 +247,31 @@ impl Engine {
             block_evals: 0,
             tracer: Tracer::disabled(),
             trace_ids: None,
-        })
+            compiled: None,
+            fallback_reason: None,
+        }
+    }
+
+    /// Install a compile outcome: a tape (with its single-lane runtime)
+    /// on success, a recorded fallback reason on failure.
+    fn attach_compiled(
+        &mut self,
+        outcome: Result<
+            (std::sync::Arc<crate::kernel::CompiledPlan>, bool),
+            crate::kernel::KernelError,
+        >,
+    ) {
+        match outcome {
+            Ok((plan, cache_hit)) => {
+                let rt = crate::kernel::KernelRuntime::new(&plan, 1);
+                self.compiled = Some(CompiledState { plan, rt, cache_hit });
+                self.fallback_reason = None;
+            }
+            Err(err) => {
+                self.compiled = None;
+                self.fallback_reason = Some(err.to_string());
+            }
+        }
     }
 
     /// Enable step-loop tracing with a ring of `capacity` records, stamped
@@ -187,6 +298,15 @@ impl Engine {
             evals: self.tracer.register("engine.block_evals"),
             trig: self.tracer.register("engine.triggered_execs"),
         });
+        // Construction-time facts, exported once: which backend this
+        // engine stepped up with and whether its tape came from the cache.
+        let backend = self.tracer.register("engine.backend");
+        self.tracer.set(backend, matches!(self.backend(), Backend::Compiled) as u64);
+        let hit = self.tracer.register("plancache.hit");
+        let miss = self.tracer.register("plancache.miss");
+        let was_hit = self.compiled.as_ref().is_some_and(|c| c.cache_hit);
+        self.tracer.set(hit, was_hit as u64);
+        self.tracer.set(miss, (self.compiled.is_some() && !was_hit) as u64);
     }
 
     /// The engine's tracer (disabled unless [`Engine::enable_trace`] was
@@ -226,6 +346,33 @@ impl Engine {
         &self.plan
     }
 
+    /// Which backend steps this engine.
+    pub fn backend(&self) -> Backend {
+        if self.compiled.is_some() {
+            Backend::Compiled
+        } else {
+            Backend::Interpreted
+        }
+    }
+
+    /// Why the engine is on the interpreter despite the compiled backend
+    /// being requested (`None` when compiled, or when the interpreter was
+    /// asked for explicitly).
+    pub fn fallback_reason(&self) -> Option<&str> {
+        self.fallback_reason.as_deref()
+    }
+
+    /// Whether this engine's compiled tape came out of the plan cache
+    /// (false on the interpreter or on a cold compile).
+    pub fn plan_cache_hit(&self) -> bool {
+        self.compiled.as_ref().is_some_and(|c| c.cache_hit)
+    }
+
+    /// The compiled tape, when on the compiled backend.
+    pub fn compiled_plan(&self) -> Option<&crate::kernel::CompiledPlan> {
+        self.compiled.as_ref().map(|c| &*c.plan)
+    }
+
     /// The diagram (to inspect blocks, e.g. read a Scope).
     pub fn diagram(&self) -> &Diagram {
         &self.diagram
@@ -233,7 +380,18 @@ impl Engine {
 
     /// Mutable diagram access between runs (parameter tweaks; see
     /// [`Engine::new`] for what requires recompiling).
+    ///
+    /// On the compiled backend the blocks are bystanders — parameters and
+    /// state live in the tape's pools — so mutating them mid-run could
+    /// not take effect. Calling this on a compiled engine therefore
+    /// demotes it to the interpreter **and resets it to t = 0** (block
+    /// state was never advanced while compiled, so resuming mid-run
+    /// would be wrong); [`Engine::fallback_reason`] records the demotion.
     pub fn diagram_mut(&mut self) -> &mut Diagram {
+        if self.compiled.take().is_some() {
+            self.fallback_reason = Some("diagram_mut: demoted to interpreter".into());
+            self.reset();
+        }
         &mut self.diagram
     }
 
@@ -264,13 +422,28 @@ impl Engine {
                 port,
             });
         }
-        Ok(self.values[self.plan.out_base[b] as usize + port])
+        // Same arena layout on both backends (the tape reuses the plan's
+        // out_base slots; lanes = 1 makes slot index == value index).
+        let arena: &[Value] = match &self.compiled {
+            Some(cs) => cs.rt.values(),
+            None => &self.values,
+        };
+        Ok(arena[self.plan.out_base[b] as usize + port])
     }
 
     /// Inject an external function-call event into a triggered block —
     /// used by co-simulation harnesses that map hardware interrupts onto
     /// model events.
     pub fn fire(&mut self, target: BlockId) -> Result<(), SimError> {
+        if let Some(cs) = self.compiled.as_mut() {
+            // Compiled tapes carry no event ports (diagrams with them fall
+            // back to the interpreter), so a fire cannot cascade: run the
+            // target's output + update kernels and count like a dispatch.
+            self.triggered_execs += 1;
+            self.block_evals += 2;
+            crate::kernel::run_block(&cs.plan, &mut cs.rt, target.index(), self.t, self.dt);
+            return Ok(());
+        }
         self.event_queue.push_back(target.index() as u32);
         self.drain_events()
     }
@@ -354,6 +527,9 @@ impl Engine {
 
     /// Execute one major step.
     pub fn step(&mut self) -> Result<(), SimError> {
+        if self.compiled.is_some() {
+            return self.step_compiled();
+        }
         // One predictable branch when tracing is off (the <2 % overhead
         // budget of the disabled path rides on this being the only cost).
         let tracing = self.tracer.is_enabled();
@@ -423,6 +599,59 @@ impl Engine {
         Ok(())
     }
 
+    /// One major step on the fused-kernel tape: refresh the rate flags,
+    /// sweep the tape twice (output then update). Trace structure mirrors
+    /// the interpreter's so BENCH/trace tooling reads both identically.
+    fn step_compiled(&mut self) -> Result<(), SimError> {
+        let tracing = self.tracer.is_enabled();
+        if tracing {
+            let ts = self.tracer.now();
+            if let Some(ids) = &self.trace_ids {
+                self.tracer.begin(ids.step, ts);
+            }
+        }
+        for (flag, bucket) in self.bucket_due.iter_mut().zip(&self.plan.buckets) {
+            *flag = bucket.due(self.step_index);
+        }
+        if tracing {
+            if let Some(ids) = &self.trace_ids {
+                let ts = self.tracer.now();
+                for (b, &due) in self.bucket_due.iter().enumerate() {
+                    if due {
+                        self.tracer.instant(ids.buckets[b], ts);
+                    }
+                }
+                self.tracer.begin(ids.output, ts);
+            }
+        }
+        let cs = self.compiled.as_mut().expect("step_compiled without compiled state");
+        let mut evals =
+            crate::kernel::sweep(&cs.plan, &mut cs.rt, self.t, self.dt, &self.bucket_due, true);
+        if tracing {
+            if let Some(ids) = &self.trace_ids {
+                let ts = self.tracer.now();
+                self.tracer.end(ids.output, ts);
+                self.tracer.begin(ids.update, ts);
+            }
+        }
+        let cs = self.compiled.as_mut().expect("step_compiled without compiled state");
+        evals +=
+            crate::kernel::sweep(&cs.plan, &mut cs.rt, self.t, self.dt, &self.bucket_due, false);
+        self.block_evals += evals;
+        self.step_index += 1;
+        self.t = self.step_index as f64 * self.dt;
+        if tracing {
+            if let Some(ids) = &self.trace_ids {
+                let ts = self.tracer.now();
+                self.tracer.end(ids.update, ts);
+                self.tracer.set(ids.evals, self.block_evals);
+                self.tracer.set(ids.trig, self.triggered_execs);
+                self.tracer.end(ids.step, ts);
+            }
+        }
+        Ok(())
+    }
+
     /// Run until `t_end` (exclusive of a final partial step).
     pub fn run_until(&mut self, t_end: f64) -> Result<(), SimError> {
         while self.t < t_end - self.dt * 1e-9 {
@@ -431,9 +660,11 @@ impl Engine {
         Ok(())
     }
 
-    /// Reset time, state and logs for a fresh run. The compiled plan is
-    /// reused as-is: scheduling derives from the immutable rate buckets,
-    /// so a rerun reproduces the identical trajectory.
+    /// Reset time, state and logs for a fresh run. The compiled plan (or
+    /// tape) is reused as-is — no cache lookup, no recompilation:
+    /// scheduling derives from the immutable rate buckets and the tape
+    /// reloads its initial state pool, so a rerun reproduces the
+    /// identical trajectory.
     pub fn reset(&mut self) {
         self.t = 0.0;
         self.step_index = 0;
@@ -445,6 +676,9 @@ impl Engine {
         }
         for v in &mut self.values {
             *v = Value::default();
+        }
+        if let Some(cs) = self.compiled.as_mut() {
+            cs.rt.reset(&cs.plan);
         }
     }
 }

@@ -27,6 +27,10 @@
 //!   buckets, and a fixed-step **engine** ([`engine`]) executing the
 //!   closed-loop single model (plant + controller, §5) in MIL simulation
 //!   with an allocation-free step loop;
+//! * a **compiled kernel backend** ([`kernel`]): the plan lowered further
+//!   into a flat tape of monomorphized kernels (no per-step dispatch),
+//!   cached by diagram fingerprint, with a batched SoA engine stepping N
+//!   instances of the same plan together;
 //! * **signal logging** ([`log`]) — the Scope data every experiment
 //!   post-processes.
 
@@ -38,6 +42,7 @@ pub mod block;
 pub mod chart;
 pub mod engine;
 pub mod graph;
+pub mod kernel;
 pub mod library;
 pub mod log;
 pub mod plan;
@@ -45,7 +50,8 @@ pub mod signal;
 pub mod subsystem;
 
 pub use block::{Block, BlockCtx, PortCount, SampleTime};
-pub use engine::{Engine, ProbeError, SimError};
+pub use engine::{Backend, Engine, ProbeError, SimError};
+pub use kernel::{global_cache_stats, BatchEngine, CacheStats, CompiledPlan, KernelError, PlanCache};
 pub use graph::{BlockFingerprint, BlockId, Diagram, DiagramFingerprint, GraphError};
 pub use log::SignalLog;
 pub use plan::ExecutionPlan;

@@ -36,6 +36,14 @@ impl Block for Integrator {
         self.prev_u = 0.0;
         self.have_prev = false;
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::integrator(
+            self.state,
+            self.prev_u,
+            self.have_prev,
+            self.initial,
+        ))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         ctx.set_output(0, self.state);
     }
@@ -80,6 +88,9 @@ impl Block for TransferFcn1 {
     }
     fn reset(&mut self) {
         self.state = 0.0;
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::transfer_fcn1(self.gain, self.tau, self.state))
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         ctx.set_output(0, self.state);

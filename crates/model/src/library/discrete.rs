@@ -38,6 +38,9 @@ impl Block for UnitDelay {
     fn reset(&mut self) {
         self.state = self.initial;
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::unit_delay(self.state, self.initial))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         ctx.set_output(0, self.state);
     }
@@ -75,6 +78,12 @@ impl Block for ZeroOrderHold {
     }
     fn reset(&mut self) {
         self.held = 0.0;
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        // `held` is write-only from the engine's point of view — the
+        // output always equals the sampled input, so the lowering is
+        // stateless.
+        Some(crate::kernel::KernelSpec::zero_order_hold())
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         self.held = ctx.in_f64(0);
@@ -126,6 +135,14 @@ impl Block for DiscreteIntegrator {
     fn reset(&mut self) {
         self.state = self.initial;
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::discrete_integrator(
+            self.period,
+            self.limits,
+            self.state,
+            self.initial,
+        ))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         ctx.set_output(0, self.state);
     }
@@ -168,6 +185,9 @@ impl Block for DiscreteDerivative {
     fn reset(&mut self) {
         self.prev = 0.0;
         self.primed = false;
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::discrete_derivative(self.period, self.prev, self.primed))
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let u = ctx.in_f64(0);
@@ -222,6 +242,9 @@ impl Block for DiscreteTransferFcn {
     }
     fn reset(&mut self) {
         self.w.iter_mut().for_each(|x| *x = 0.0);
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::discrete_tf(&self.num, &self.den, &self.w))
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let u = ctx.in_f64(0);

@@ -35,6 +35,9 @@ impl Block for Compare {
     fn ports(&self) -> PortCount {
         PortCount::new(2, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::compare(self.op))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let (a, b) = (ctx.in_f64(0), ctx.in_f64(1));
         let r = match self.op {
@@ -80,6 +83,9 @@ impl Block for LogicGate {
     fn ports(&self) -> PortCount {
         PortCount::new(self.inputs, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::logic_gate(self.op))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let mut vals = (0..self.inputs).map(|i| ctx.in_bool(i));
         let r = match self.op {
@@ -105,6 +111,9 @@ impl Block for Switch {
     }
     fn ports(&self) -> PortCount {
         PortCount::new(3, 1)
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::switch())
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = if ctx.in_bool(1) { ctx.input(0) } else { ctx.input(2) };

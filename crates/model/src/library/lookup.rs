@@ -55,6 +55,9 @@ impl Block for Lookup1D {
     fn ports(&self) -> PortCount {
         PortCount::new(1, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::lookup1d(&self.x, &self.y))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = self.eval(ctx.in_f64(0));
         ctx.set_output(0, v);

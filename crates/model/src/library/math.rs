@@ -29,6 +29,13 @@ impl Block for Gain {
     fn ports(&self) -> PortCount {
         PortCount::new(1, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        // Typed-output gains cast per step; keep those interpreted.
+        match self.out_type {
+            None => Some(crate::kernel::KernelSpec::gain(self.gain)),
+            Some(_) => None,
+        }
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = crate::signal::Value::F64(ctx.in_f64(0) * self.gain);
         match self.out_type {
@@ -77,6 +84,9 @@ impl Block for Sum {
     fn ports(&self) -> PortCount {
         PortCount::new(self.signs.len(), 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::sum(&self.signs))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v: f64 = self.signs.iter().enumerate().map(|(i, s)| s * ctx.in_f64(i)).sum();
         ctx.set_output(0, v);
@@ -98,6 +108,9 @@ impl Block for Product {
     }
     fn ports(&self) -> PortCount {
         PortCount::new(self.inputs, 1)
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::product())
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v: f64 = (0..self.inputs).map(|i| ctx.in_f64(i)).product();
@@ -125,6 +138,9 @@ impl Block for MinMax {
     }
     fn ports(&self) -> PortCount {
         PortCount::new(self.inputs, 1)
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::minmax(self.is_max))
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let vals = (0..self.inputs).map(|i| ctx.in_f64(i));
@@ -164,6 +180,13 @@ impl Block for TrigFn {
     fn ports(&self) -> PortCount {
         PortCount::new(if self.op == TrigOp::Atan2 { 2 } else { 1 }, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(match self.op {
+            TrigOp::Sin => crate::kernel::KernelSpec::trig_sin(),
+            TrigOp::Cos => crate::kernel::KernelSpec::trig_cos(),
+            TrigOp::Atan2 => crate::kernel::KernelSpec::trig_atan2(),
+        })
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = match self.op {
             TrigOp::Sin => ctx.in_f64(0).sin(),
@@ -186,6 +209,9 @@ impl Block for Abs {
     }
     fn ports(&self) -> PortCount {
         PortCount::new(1, 1)
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::abs())
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = ctx.in_f64(0).abs();

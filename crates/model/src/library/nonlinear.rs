@@ -28,6 +28,9 @@ impl Block for Saturation {
     fn ports(&self) -> PortCount {
         PortCount::new(1, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::saturation(self.lo, self.hi))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = ctx.in_f64(0).clamp(self.lo, self.hi);
         ctx.set_output(0, v);
@@ -49,6 +52,9 @@ impl Block for Quantizer {
     }
     fn ports(&self) -> PortCount {
         PortCount::new(1, 1)
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::quantizer(self.interval))
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = (ctx.in_f64(0) / self.interval).round() * self.interval;
@@ -86,6 +92,14 @@ impl Block for RateLimiter {
     fn reset(&mut self) {
         self.state = 0.0;
         self.primed = false;
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::rate_limiter(
+            self.rising,
+            self.falling,
+            self.state,
+            self.primed,
+        ))
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let u = ctx.in_f64(0);
@@ -139,6 +153,15 @@ impl Block for Relay {
     fn reset(&mut self) {
         self.state_on = false;
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::relay(
+            self.on_point,
+            self.off_point,
+            self.on_value,
+            self.off_value,
+            self.state_on,
+        ))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let u = ctx.in_f64(0);
         if u >= self.on_point {
@@ -165,6 +188,9 @@ impl Block for DeadZone {
     }
     fn ports(&self) -> PortCount {
         PortCount::new(1, 1)
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::dead_zone(self.width))
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let u = ctx.in_f64(0);

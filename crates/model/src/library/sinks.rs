@@ -88,6 +88,9 @@ impl Block for Terminator {
     fn ports(&self) -> PortCount {
         PortCount::new(1, 0)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::terminator())
+    }
     fn output(&mut self, _ctx: &mut BlockCtx) {}
 }
 

@@ -26,6 +26,9 @@ impl Block for Constant {
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::constant(self.value))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         ctx.set_output(0, self.value);
     }
@@ -58,6 +61,9 @@ impl Block for Step {
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::step_source(self.step_time, self.initial, self.fin))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = if ctx.t >= self.step_time { self.fin } else { self.initial };
         ctx.set_output(0, v);
@@ -81,6 +87,9 @@ impl Block for Ramp {
     }
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::ramp(self.slope, self.start_time))
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = if ctx.t >= self.start_time { self.slope * (ctx.t - self.start_time) } else { 0.0 };
@@ -122,6 +131,9 @@ impl Block for SineWave {
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::sine(self.amplitude, self.freq_hz, self.phase, self.bias))
+    }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = self.amplitude * (std::f64::consts::TAU * self.freq_hz * ctx.t + self.phase).sin()
             + self.bias;
@@ -155,6 +167,9 @@ impl Block for PulseGenerator {
     }
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::pulse(self.amplitude, self.period, self.duty, self.delay))
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let t = ctx.t - self.delay;
@@ -199,6 +214,8 @@ impl Block for FromWorkspace {
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
     }
+    // No `lower()`: the fingerprint/params only expose the recording's
+    // envelope, so a compiled tape could not be cache-keyed soundly.
     fn sample(&self) -> SampleTime {
         SampleTime::every(self.period)
     }

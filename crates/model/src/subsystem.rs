@@ -24,6 +24,9 @@ impl Block for Inport {
     fn ports(&self) -> PortCount {
         PortCount::new(0, 1)
     }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::inport())
+    }
     fn output(&mut self, _ctx: &mut BlockCtx) {
         // value injected by the owning Subsystem; nothing to compute
     }
@@ -39,6 +42,9 @@ impl Block for Outport {
     }
     fn ports(&self) -> PortCount {
         PortCount::new(1, 1)
+    }
+    fn lower(&self) -> Option<crate::kernel::KernelSpec> {
+        Some(crate::kernel::KernelSpec::outport())
     }
     fn output(&mut self, ctx: &mut BlockCtx) {
         let v = ctx.input(0);

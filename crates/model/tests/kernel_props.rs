@@ -1,0 +1,266 @@
+//! Differential properties of the compiled kernel backend.
+//!
+//! The contract under test (DESIGN.md §10): for every diagram the
+//! generator can produce, the fused-kernel tape is **bit-exact** with
+//! the plan interpreter — every output port, every step, including
+//! multirate exact-hit boundaries and external `fire()` dispatches —
+//! and every `BatchEngine` lane is bit-exact with a solo engine.
+//! Comparisons go through `f64::to_bits`-style raw encodings
+//! (`peert_verify::diff::value_bits`), never through `==` on floats.
+
+use peert_model::block::{Block, BlockCtx, PortCount};
+use peert_model::graph::{BlockId, Diagram};
+use peert_model::library::math::Gain;
+use peert_model::library::sources::SineWave;
+use peert_model::{Backend, BatchEngine, Engine, PlanCache};
+use peert_verify::diff::value_bits;
+use peert_verify::gen::gen_mil_spec;
+
+const SEED: u64 = 0x5EED_CAFE;
+
+/// All output ports of every block, as raw bit encodings.
+fn port_bits(e: &Engine) -> Vec<(u8, u64)> {
+    let mut bits = Vec::new();
+    for id in e.diagram().ids() {
+        for p in 0..e.diagram().block(id).ports().outputs {
+            bits.push(value_bits(e.probe((id, p))));
+        }
+    }
+    bits
+}
+
+/// Build interpreter + compiled engines for one generated case and
+/// assert lockstep bit-equality over `steps` steps. `fire_every`
+/// optionally dispatches an external event into the last block every N
+/// steps on both engines (the `fire()` path of the tape).
+fn assert_case_lockstep(seed: u64, case: u64, steps: usize, fire_every: Option<u64>) {
+    let spec = gen_mil_spec(seed, case);
+    let interp_d = spec.build(None).expect("spec builds");
+    let comp_d = spec.build(None).expect("spec builds");
+    let mut interp = Engine::with_backend(interp_d, spec.dt, Backend::Interpreted).unwrap();
+    let mut comp = Engine::new(comp_d, spec.dt).unwrap();
+    assert_eq!(
+        comp.backend(),
+        Backend::Compiled,
+        "case {case}: generated diagram must lower fully ({:?})",
+        comp.fallback_reason()
+    );
+    let last = BlockId::from_index(spec.blocks.len() - 1);
+    for s in 0..steps {
+        interp.step().unwrap();
+        comp.step().unwrap();
+        if let Some(n) = fire_every {
+            if (s as u64).is_multiple_of(n) {
+                interp.fire(last).unwrap();
+                comp.fire(last).unwrap();
+            }
+        }
+        assert_eq!(
+            port_bits(&interp),
+            port_bits(&comp),
+            "seed {seed:#x} case {case} step {s}: compiled diverged from interpreter"
+        );
+    }
+    assert_eq!(interp.block_evals(), comp.block_evals(), "case {case}: eval accounting");
+}
+
+#[test]
+fn compiled_is_bit_exact_on_generated_diagrams() {
+    // 64 generated diagrams over 1k steps each: the gen grammar mixes
+    // periods {1,2,4,5,8} ms at dt = 1 ms, so exact multirate hit
+    // boundaries occur throughout.
+    for case in 0..64 {
+        assert_case_lockstep(SEED, case, 1000, None);
+    }
+}
+
+#[test]
+fn compiled_fire_paths_match_the_interpreter() {
+    for case in 0..16 {
+        assert_case_lockstep(SEED ^ 0xF1E, case, 200, Some(7));
+    }
+}
+
+/// A block the lowering does not know — forces the interpreter fallback.
+struct Opaque;
+impl Block for Opaque {
+    fn type_name(&self) -> &'static str {
+        "Opaque"
+    }
+    fn ports(&self) -> PortCount {
+        PortCount::new(1, 1)
+    }
+    fn output(&mut self, ctx: &mut BlockCtx) {
+        let v = ctx.in_f64(0) * 0.5 + 1.0;
+        ctx.set_output(0, v);
+    }
+}
+
+fn opaque_diagram() -> Diagram {
+    let mut d = Diagram::new();
+    let s = d.add("sine", SineWave::new(1.0, 10.0)).unwrap();
+    let o = d.add("opaque", Opaque).unwrap();
+    d.connect((s, 0), (o, 0)).unwrap();
+    d
+}
+
+#[test]
+fn unlowered_block_falls_back_to_the_interpreter() {
+    let mut auto = Engine::new(opaque_diagram(), 1e-3).unwrap();
+    assert_eq!(auto.backend(), Backend::Interpreted, "must fall back, not fail");
+    let reason = auto.fallback_reason().expect("fallback reason recorded");
+    assert!(reason.contains("Opaque"), "reason names the offending block: {reason}");
+    // and the fallback engine still computes the right trajectory
+    let mut reference = Engine::with_backend(opaque_diagram(), 1e-3, Backend::Interpreted).unwrap();
+    for _ in 0..100 {
+        auto.step().unwrap();
+        reference.step().unwrap();
+        assert_eq!(port_bits(&auto), port_bits(&reference));
+    }
+}
+
+#[test]
+fn reset_rerun_is_byte_identical_with_zero_extra_misses() {
+    let spec = gen_mil_spec(SEED ^ 0x7E5E7, 3);
+    let mut cache = PlanCache::new(8);
+    let mut e = Engine::with_cache(spec.build(None).unwrap(), spec.dt, &mut cache).unwrap();
+    assert_eq!(e.backend(), Backend::Compiled);
+    assert_eq!((cache.hits(), cache.misses()), (0, 1), "cold compile");
+
+    let record = |e: &mut Engine| -> Vec<Vec<(u8, u64)>> {
+        (0..300)
+            .map(|_| {
+                e.step().unwrap();
+                port_bits(e)
+            })
+            .collect()
+    };
+    let first = record(&mut e);
+    e.reset();
+    let second = record(&mut e);
+    assert_eq!(first, second, "reset-then-rerun must reproduce the trajectory byte-for-byte");
+    assert_eq!((cache.hits(), cache.misses()), (0, 1), "reset performs no cache traffic");
+
+    // a second engine over the same topology is a warm hit
+    let mut e2 = Engine::with_cache(spec.build(None).unwrap(), spec.dt, &mut cache).unwrap();
+    assert!(e2.plan_cache_hit());
+    assert_eq!((cache.hits(), cache.misses()), (1, 1), "warmup complete: hit, no new miss");
+    let third = record(&mut e2);
+    assert_eq!(first, third, "cached tape drives the identical trajectory");
+}
+
+fn gain_chain(g: f64) -> Diagram {
+    let mut d = Diagram::new();
+    let s = d.add("sine", SineWave::new(1.0, 10.0)).unwrap();
+    let a = d.add("g1", Gain::new(g)).unwrap();
+    let b = d.add("g2", Gain::new(g + 1.0)).unwrap();
+    d.connect((s, 0), (a, 0)).unwrap();
+    d.connect((a, 0), (b, 0)).unwrap();
+    d
+}
+
+#[test]
+fn lru_eviction_counters_match_the_analytic_sequence() {
+    // capacity 2, three distinct fingerprints round-robin: every access
+    // evicts the entry the next access needs, so all six are misses.
+    let mut cache = PlanCache::new(2);
+    let gains = [2.0, 3.0, 5.0];
+    let mut first_bytes: Vec<Vec<u8>> = Vec::new();
+    for &g in &gains {
+        let e = Engine::with_cache(gain_chain(g), 1e-3, &mut cache).unwrap();
+        first_bytes.push(e.compiled_plan().unwrap().structural_bytes());
+    }
+    assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 3, 2));
+    for (i, &g) in gains.iter().enumerate() {
+        let e = Engine::with_cache(gain_chain(g), 1e-3, &mut cache).unwrap();
+        // determinism gate: the evicted plan recompiles byte-identically
+        assert_eq!(
+            e.compiled_plan().unwrap().structural_bytes(),
+            first_bytes[i],
+            "recompile of evicted plan {i} must be byte-identical"
+        );
+    }
+    assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 6, 2), "LRU thrash: zero hits");
+    // after [.., B, C] in cache, B and C hit; A misses again
+    let _ = Engine::with_cache(gain_chain(3.0), 1e-3, &mut cache).unwrap();
+    let _ = Engine::with_cache(gain_chain(5.0), 1e-3, &mut cache).unwrap();
+    assert_eq!((cache.hits(), cache.misses()), (2, 6));
+    let _ = Engine::with_cache(gain_chain(2.0), 1e-3, &mut cache).unwrap();
+    assert_eq!((cache.hits(), cache.misses()), (2, 7));
+}
+
+#[test]
+fn batched_lanes_are_bit_exact_with_solo_engines() {
+    for case in [0u64, 5, 11, 23] {
+        let spec = gen_mil_spec(SEED ^ 0xBA7C, case);
+        let d = spec.build(None).unwrap();
+        let mut cache = PlanCache::new(4);
+        let mut batch = BatchEngine::with_cache(&d, spec.dt, 3, &mut cache).unwrap();
+        let mut solo = Engine::with_backend(spec.build(None).unwrap(), spec.dt, Backend::Interpreted)
+            .unwrap();
+        for s in 0..400 {
+            batch.step();
+            solo.step().unwrap();
+            for id in solo.diagram().ids() {
+                for p in 0..solo.diagram().block(id).ports().outputs {
+                    let want = value_bits(solo.probe((id, p)));
+                    for lane in 0..batch.lanes() {
+                        assert_eq!(
+                            value_bits(batch.probe(lane, (id, p))),
+                            want,
+                            "case {case} step {s} lane {lane} block #{b} port {p}",
+                            b = id.index()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_param_overrides_diverge_single_lanes_only() {
+    let d = gain_chain(0.5);
+    let g1 = BlockId::from_index(1);
+    let mut cache = PlanCache::new(4);
+    let mut batch = BatchEngine::with_cache(&d, 1e-3, 3, &mut cache).unwrap();
+    assert!(batch.set_param(1, g1, 0, 2.0), "lane 1 gets gain 2.0");
+
+    // reference: same chain rebuilt with g1's factor overridden (g2
+    // keeps the built diagram's 1.5)
+    let reference = |g1_gain: f64| -> Vec<(u8, u64)> {
+        let mut dd = Diagram::new();
+        let s = dd.add("sine", SineWave::new(1.0, 10.0)).unwrap();
+        let a = dd.add("g1", Gain::new(g1_gain)).unwrap();
+        let b = dd.add("g2", Gain::new(1.5)).unwrap();
+        dd.connect((s, 0), (a, 0)).unwrap();
+        dd.connect((a, 0), (b, 0)).unwrap();
+        let mut e = Engine::with_backend(dd, 1e-3, Backend::Interpreted).unwrap();
+        (0..200)
+            .map(|_| {
+                e.step().unwrap();
+                value_bits(e.probe((BlockId::from_index(2), 0)))
+            })
+            .collect()
+    };
+    let base = reference(0.5);
+    let boosted = reference(2.0);
+    let observe = |batch: &mut BatchEngine| -> Vec<Vec<(u8, u64)>> {
+        (0..200)
+            .map(|_| {
+                batch.step();
+                (0..3).map(|l| value_bits(batch.probe(l, (BlockId::from_index(2), 0)))).collect()
+            })
+            .collect()
+    };
+    let lanes = observe(&mut batch);
+    for (s, row) in lanes.iter().enumerate() {
+        assert_eq!(row[0], base[s], "lane 0 untouched");
+        assert_eq!(row[1], boosted[s], "lane 1 overridden");
+        assert_eq!(row[2], base[s], "lane 2 untouched");
+    }
+    // overrides survive reset(): the rerun reproduces the same split
+    batch.reset();
+    let rerun = observe(&mut batch);
+    assert_eq!(lanes, rerun, "reset preserves per-lane overrides and the trajectory");
+}

@@ -5,9 +5,9 @@
 //! ```
 //!
 //! Runs the differential suite (MIL bit-exactness + reset determinism,
-//! PIL three-way with quantization tolerance, deterministic fault
-//! replay, ARQ bit-exact recovery + graceful-degradation proofs) and
-//! the shrinking self-test. Exits non-zero on any failure, printing the
+//! kernel-backend bit-exactness incl. batched lanes, PIL three-way with
+//! quantization tolerance, deterministic fault replay, ARQ bit-exact
+//! recovery + graceful-degradation proofs) and the shrinking self-test. Exits non-zero on any failure, printing the
 //! seed, case index and (shrunk) spec needed to reproduce.
 
 use peert_verify::{demo_shrink, run_suite, suite_arq_config, suite_fault_schedule};
@@ -74,6 +74,16 @@ fn main() {
             println!(
                 "  mil:   {} cases bit-exact (engine = interpreter, reset reproducible)",
                 report.mil_cases
+            );
+            let cache = peert_model::global_cache_stats();
+            println!(
+                "  kernel: {} cases bit-exact (interpreted = compiled = {} batched lanes); \
+                 plan cache {} hit(s) / {} miss(es), {} resident",
+                report.kernel_cases,
+                peert_verify::KERNEL_LANES,
+                cache.hits,
+                cache.misses,
+                cache.entries
             );
             println!(
                 "  pil:   {} cases in lockstep; worst |PIL-MIL| {:.3e} within tolerance {:.3e}",

@@ -25,7 +25,7 @@ use peert_codegen::{generate_controller, CodegenOptions, TaskImage, TlcRegistry}
 use peert_mcu::McuSpec;
 use peert_model::block::step_block;
 use peert_model::signal::Value;
-use peert_model::Engine;
+use peert_model::{Backend, BatchEngine, Engine};
 use peert_pil::packet::{from_sample, to_sample};
 use peert_pil::{ArqConfig, FaultSchedule, LinkKind, PilConfig, PilSession};
 
@@ -74,6 +74,66 @@ pub fn run_mil_case(
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// The "kernel" differential: the interpreted engine, the compiled
+/// fused-kernel engine and a `lanes`-wide [`BatchEngine`] all step the
+/// same spec in lockstep, and every output port of every block must be
+/// bit-identical across all three at every step (each batch lane
+/// individually). Also demands the compiled engine actually lowered
+/// (no silent interpreter fallback) and that its per-step block-eval
+/// accounting equals the interpreter's.
+pub fn run_kernel_case(spec: &DiagramSpec, steps: u64, lanes: usize) -> Result<(), String> {
+    let mut interp = Engine::with_backend(spec.build(None)?, spec.dt, Backend::Interpreted)
+        .map_err(|e| format!("{e:?}"))?;
+    let mut comp = Engine::new(spec.build(None)?, spec.dt).map_err(|e| format!("{e:?}"))?;
+    if comp.backend() != Backend::Compiled {
+        return Err(format!(
+            "generated diagram did not lower to the kernel tape: {}",
+            comp.fallback_reason().unwrap_or("no reason recorded")
+        ));
+    }
+    let batch_d = spec.build(None)?;
+    let ids: Vec<_> = batch_d.ids().collect();
+    let ports: Vec<usize> = ids.iter().map(|&id| batch_d.block(id).ports().outputs).collect();
+    let mut batch =
+        BatchEngine::new(&batch_d, spec.dt, lanes).map_err(|e| format!("batch: {e:?}"))?;
+    for step in 0..steps {
+        interp.step().map_err(|e| format!("interpreter step {step}: {e:?}"))?;
+        comp.step().map_err(|e| format!("compiled step {step}: {e:?}"))?;
+        batch.step();
+        for (i, &id) in ids.iter().enumerate() {
+            for port in 0..ports[i] {
+                let iv = interp.probe((id, port));
+                let cv = comp.probe((id, port));
+                if value_bits(cv) != value_bits(iv) {
+                    return Err(format!(
+                        "step {step}, block #{}, port {port}: compiled {cv:?} != \
+                         interpreter {iv:?}",
+                        id.index()
+                    ));
+                }
+                for lane in 0..lanes {
+                    let bv = batch.probe(lane, (id, port));
+                    if value_bits(bv) != value_bits(iv) {
+                        return Err(format!(
+                            "step {step}, block #{}, port {port}, lane {lane}: \
+                             batched {bv:?} != interpreter {iv:?}",
+                            id.index()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if interp.block_evals() != comp.block_evals() {
+        return Err(format!(
+            "block-eval accounting diverged: interpreter {} != compiled {}",
+            interp.block_evals(),
+            comp.block_evals()
+        ));
     }
     Ok(())
 }

@@ -9,6 +9,9 @@
 //! * **MIL differential** ([`diff::run_mil_case`]): engine vs reference
 //!   interpreter, bit-exact on every output port of every block at
 //!   every step, plus a byte-for-byte `reset()` determinism check.
+//! * **Kernel differential** ([`diff::run_kernel_case`]): the compiled
+//!   fused-kernel tape and every lane of the batched SoA engine vs the
+//!   interpreted engine, bit-exact on every port at every step.
 //! * **PIL three-way** ([`diff::run_pil_case`]): the controller through
 //!   the full pipeline. Bit-exact against a host-side quantized replica
 //!   of the board; within a propagated quantization tolerance of the
@@ -40,6 +43,9 @@ use peert_pil::{ArqConfig, FaultSchedule};
 pub struct SuiteReport {
     /// MIL differential cases that passed (engine ≡ interpreter).
     pub mil_cases: u64,
+    /// Kernel differential cases that passed (interpreted ≡ compiled ≡
+    /// every batched lane, bit-exact).
+    pub kernel_cases: u64,
     /// PIL three-way cases that passed.
     pub pil_cases: u64,
     /// Worst |PIL − MIL| divergence across all PIL cases.
@@ -69,8 +75,8 @@ pub struct SuiteReport {
 /// A failed case: everything needed to reproduce and diagnose it.
 #[derive(Clone, Debug)]
 pub struct Failure {
-    /// Which phase failed (`"mil"`, `"reset"`, `"pil"`, `"fault"`,
-    /// `"arq"`, `"arq-degrade"`, `"lint"`).
+    /// Which phase failed (`"mil"`, `"reset"`, `"kernel"`, `"pil"`,
+    /// `"fault"`, `"arq"`, `"arq-degrade"`, `"lint"`).
     pub phase: &'static str,
     /// The generating seed.
     pub seed: u64,
@@ -136,8 +142,12 @@ pub fn gen_arq_schedule(seed: u64, case: u64, steps: u64, max_retries: u32) -> F
 /// Steps each MIL differential case runs for.
 pub const MIL_STEPS: u64 = 40;
 
+/// Batch lanes each kernel differential case runs with.
+pub const KERNEL_LANES: usize = 4;
+
 /// Run the whole suite: `cases` MIL differential cases (with reset
-/// checks), `cases` PIL three-way cases, one deterministic
+/// checks), `cases.max(64)` kernel differential cases (interpreted vs
+/// compiled vs batched lanes), `cases` PIL three-way cases, one deterministic
 /// fault-schedule replay, `cases` ARQ bit-exact recovery proofs under
 /// seeded under-budget schedules, and one over-budget degradation
 /// replay. On failure the offending spec is shrunk (when `do_shrink`)
@@ -155,6 +165,33 @@ pub fn run_suite(seed: u64, cases: u64, do_shrink: bool) -> Result<SuiteReport, 
             return Err(fail_mil("reset", seed, case, message, &spec, do_shrink, None));
         }
         report.mil_cases += 1;
+    }
+
+    // kernel phase: the compiled fused-kernel tape and the batched SoA
+    // engine versus the interpreter, bit-exact on every port at every
+    // step, over at least 64 generated diagrams
+    let kernel_cases = cases.max(64);
+    for case in 0..kernel_cases {
+        let spec = gen::gen_mil_spec(seed, case);
+        if let Err(message) = diff::run_kernel_case(&spec, MIL_STEPS, KERNEL_LANES) {
+            let reported = if do_shrink {
+                let (min, _) = shrink::shrink(&spec, |s| {
+                    diff::run_kernel_case(s, MIL_STEPS, KERNEL_LANES).is_err()
+                });
+                min
+            } else {
+                spec.clone()
+            };
+            return Err(Failure {
+                phase: "kernel",
+                seed,
+                case,
+                message,
+                spec: reported.to_json(),
+                blocks: reported.blocks.len(),
+            });
+        }
+        report.kernel_cases += 1;
     }
 
     for case in 0..cases {

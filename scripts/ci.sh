@@ -30,8 +30,17 @@ run cargo bench --no-run --workspace $CARGO_ARGS
 # the disabled-tracer cost), including under the peert-trace `off` feature
 # shellcheck disable=SC2086
 run cargo bench --no-run --bench trace_overhead -p peert-bench $CARGO_ARGS
+# same for the kernel-vs-interpreter bench (acceptance gate on the
+# compiled backend's speedup, recorded in BENCH_kernel.json)
+# shellcheck disable=SC2086
+run cargo bench --no-run --bench kernel_vs_interp -p peert-bench $CARGO_ARGS
 # shellcheck disable=SC2086
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace $CARGO_ARGS
+
+# cheap perf smoke: over 2k steps the compiled kernel backend must not
+# be slower than the interpreter (the full numbers are E16)
+# shellcheck disable=SC2086
+run env KERNEL_SMOKE=1 cargo test --release -q -p peert-bench --test kernel_smoke $CARGO_ARGS
 
 # asserted integration runs: the paper's example walkthroughs carry
 # their own assertions (deadline feasibility, MIL/PIL divergence bounds,
@@ -61,9 +70,10 @@ cargo run --release -q -p peert-lint $CARGO_ARGS -- --format json > /tmp/peert-l
 run cmp /tmp/peert-lint-1.json /tmp/peert-lint-2.json
 rm -f /tmp/peert-lint-1.json /tmp/peert-lint-2.json
 
-# differential verification suite: interpreted ≡ plan (bit-exact), PIL
-# within quantization tolerance, fault counters equal to the schedule,
-# ARQ recovery proofs under seeded fault schedules.
+# differential verification suite: interpreted ≡ plan (bit-exact),
+# compiled kernel tape ≡ interpreter ≡ every batched lane (bit-exact),
+# PIL within quantization tolerance, fault counters equal to the
+# schedule, ARQ recovery proofs under seeded fault schedules.
 # VERIFY_SEED/VERIFY_CASES override the defaults; the failing seed and
 # case are printed by the tool itself for offline reproduction.
 VERIFY_SEED="${VERIFY_SEED:-0xC0FFEE}"
