@@ -227,11 +227,42 @@ fn main() {
     }
     println!("\nkernel-backend summary written to BENCH_kernel.json");
 
+    println!("\n## E17 — serving-layer throughput: coalesced vs per-session engines\n");
+    let e17 = e17_serve(2_000);
+    println!(
+        "{:<24} {:>9} {:>11} {:>10} {:>12} {:>14}",
+        "mode", "sessions", "steps each", "wall[ms]", "sessions/s", "p99 step[ns]"
+    );
+    for r in &e17 {
+        println!(
+            "{:<24} {:>9} {:>11} {:>10.2} {:>12.1} {:>14.0}",
+            r.mode, r.sessions, r.steps_per_session, r.wall_ms, r.sessions_per_sec, r.p99_step_ns
+        );
+    }
+    let (solo, gang) = (&e17[0], &e17[1]);
+    let serve_blob = serde_json::json!({
+        "experiment": "serve_throughput_same_fingerprint_sessions",
+        "sessions": solo.sessions,
+        "steps_per_session": solo.steps_per_session,
+        "solo_sessions_per_sec": solo.sessions_per_sec,
+        "coalesced_sessions_per_sec": gang.sessions_per_sec,
+        "speedup_coalesced": gang.sessions_per_sec / solo.sessions_per_sec,
+        "solo_p99_step_ns": solo.p99_step_ns,
+        "coalesced_p99_step_ns": gang.p99_step_ns,
+    });
+    let serve_text =
+        serde_json::to_string_pretty(&serve_blob).expect("serve rows are serializable");
+    if let Err(e) = fs::write("BENCH_serve.json", serve_text) {
+        eprintln!("error: cannot write BENCH_serve.json: {e}");
+        std::process::exit(1);
+    }
+    println!("\nserve-throughput summary written to BENCH_serve.json");
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
             "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
-            "e12": e12, "e16": e16,
+            "e12": e12, "e16": e16, "e17": e17,
         });
         let text = serde_json::to_string_pretty(&blob).expect("rows are serializable");
         if let Err(e) = fs::write(&path, text) {

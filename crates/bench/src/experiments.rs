@@ -22,26 +22,39 @@ fn catalog() -> McuCatalog {
     McuCatalog::standard()
 }
 
-/// Map `f` over `items` on one scoped thread each — one engine per
-/// configuration — joining in spawn order, so the result vector (and any
-/// JSON serialized from it) is byte-identical to the serial
-/// `items.into_iter().map(f).collect()`.
+/// Map `f` over `items` in parallel — one engine per configuration —
+/// joining in submit order, so the result vector (and any JSON
+/// serialized from it) is byte-identical to the serial
+/// `items.into_iter().map(f).collect()`. The fan-out rides the serving
+/// layer's generic-job lanes ([`peert_serve::sweep_map`]), which
+/// replaced the hand-rolled scoped-thread pool the sweeps started on.
 fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
 {
-    let f = &f;
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = items.into_iter().map(|item| s.spawn(move |_| f(item))).collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-    })
-    .expect("sweep scope panicked")
+    peert_serve::sweep_map(items, f)
 }
 
 fn mc56() -> McuSpec {
     catalog().find("MC56F8367").unwrap().clone()
+}
+
+/// The PR-1 400-block Gain chain every engine ablation steps
+/// (E12/E16/E17 and the kernel/serve Criterion benches): one sine
+/// source feeding 400 slightly-amplifying gains.
+fn ablation_chain() -> peert_model::Diagram {
+    use peert_model::library::math::Gain;
+    use peert_model::library::sources::SineWave;
+    let mut d = peert_model::Diagram::new();
+    let mut prev = d.add("src", SineWave::new(1.0, 10.0)).unwrap();
+    for i in 0..400 {
+        let blk = d.add(format!("g{i}"), Gain::new(1.0001)).unwrap();
+        d.connect((prev, 0), (blk, 0)).unwrap();
+        prev = blk;
+    }
+    d
 }
 
 fn quick_servo() -> ServoOptions {
@@ -758,24 +771,12 @@ pub struct E12Row {
 /// tracer disabled (one predictable branch per step, the configuration
 /// every MIL run ships with) vs enabled (ring writes + counters).
 pub fn e12_trace_overhead(steps: u64) -> Vec<E12Row> {
-    use peert_model::graph::Diagram;
-    use peert_model::library::math::Gain;
-    use peert_model::library::sources::SineWave;
     use peert_model::{Backend, Engine};
 
-    let build = || {
-        let mut d = Diagram::new();
-        let mut prev = d.add("src", SineWave::new(1.0, 10.0)).unwrap();
-        for i in 0..400 {
-            let blk = d.add(format!("g{i}"), Gain::new(1.0001)).unwrap();
-            d.connect((prev, 0), (blk, 0)).unwrap();
-            prev = blk;
-        }
-        // pinned to the interpreter: BENCH_trace.json tracks the tracer's
-        // overhead on the same engine it was first measured on (E16 owns
-        // the compiled-backend numbers)
-        Engine::with_backend(d, 1e-3, Backend::Interpreted).unwrap()
-    };
+    // pinned to the interpreter: BENCH_trace.json tracks the tracer's
+    // overhead on the same engine it was first measured on (E16 owns
+    // the compiled-backend numbers)
+    let build = || Engine::with_backend(ablation_chain(), 1e-3, Backend::Interpreted).unwrap();
     let mut plain = build();
     let mut traced = build();
     traced.enable_trace(1 << 12);
@@ -826,25 +827,12 @@ pub const E16_LANES: usize = 8;
 /// [`E16_LANES`] instances over SoA lanes. The three configurations are
 /// interleaved and the per-configuration minimum kept, as in E12.
 pub fn e16_kernel(steps: u64) -> Vec<E16Row> {
-    use peert_model::graph::Diagram;
-    use peert_model::library::math::Gain;
-    use peert_model::library::sources::SineWave;
     use peert_model::{Backend, BatchEngine, Engine};
 
-    let chain = || {
-        let mut d = Diagram::new();
-        let mut prev = d.add("src", SineWave::new(1.0, 10.0)).unwrap();
-        for i in 0..400 {
-            let blk = d.add(format!("g{i}"), Gain::new(1.0001)).unwrap();
-            d.connect((prev, 0), (blk, 0)).unwrap();
-            prev = blk;
-        }
-        d
-    };
-    let mut interp = Engine::with_backend(chain(), 1e-3, Backend::Interpreted).unwrap();
-    let mut comp = Engine::new(chain(), 1e-3).unwrap();
+    let mut interp = Engine::with_backend(ablation_chain(), 1e-3, Backend::Interpreted).unwrap();
+    let mut comp = Engine::new(ablation_chain(), 1e-3).unwrap();
     assert_eq!(comp.backend(), Backend::Compiled, "chain must lower: {:?}", comp.fallback_reason());
-    let batch_d = chain();
+    let batch_d = ablation_chain();
     let mut batch = BatchEngine::new(&batch_d, 1e-3, E16_LANES).unwrap();
 
     let engine_chunk = |e: &mut Engine, n: u64| {
@@ -877,6 +865,92 @@ pub fn e16_kernel(steps: u64) -> Vec<E16Row> {
         E16Row { engine: "interpreted".into(), steps, lanes: 1, ns_per_step_per_lane: i_ns },
         E16Row { engine: "compiled".into(), steps, lanes: 1, ns_per_step_per_lane: c_ns },
         E16Row { engine: "batched".into(), steps, lanes: E16_LANES, ns_per_step_per_lane: b_ns },
+    ]
+}
+
+// ---------------------------------------------------------------- E17 ----
+
+/// One serving configuration pushing the same session load (E17).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E17Row {
+    /// Serving mode: "coalesced" (all sessions share one batch engine)
+    /// or "one-engine-per-session" (`max_lanes = 1` forces a private
+    /// engine per session — the pre-serve baseline).
+    pub mode: String,
+    /// Same-fingerprint sessions submitted.
+    pub sessions: usize,
+    /// Step budget per session.
+    pub steps_per_session: u64,
+    /// Wall-clock milliseconds from resume to the last session joined.
+    pub wall_ms: f64,
+    /// Completed sessions per second of wall clock.
+    pub sessions_per_sec: f64,
+    /// p99 of the shard's scheduled step latency in ns (whole gang per
+    /// step), from the `serve.shard0.step_ns` histogram.
+    pub p99_step_ns: f64,
+    /// Batch engines the schedule instantiated (incl. the warmup gang).
+    pub batches: u64,
+    /// Plan-cache hits — every gang after the warmup compile.
+    pub cache_hits: u64,
+}
+
+/// Same-fingerprint sessions the E17 comparison submits.
+pub const E17_SESSIONS: usize = 8;
+
+/// One E17 mode: warm the plan cache, submit [`E17_SESSIONS`] paused,
+/// then time resume → last join. One shard, so the `max_lanes` knob is
+/// the only difference between the modes.
+fn e17_case(mode: &str, max_lanes: usize, steps: u64) -> E17Row {
+    use peert_serve::{ServeConfig, Server, SessionOutcome, SessionSpec};
+    let sessions = E17_SESSIONS;
+    let server = Server::start(ServeConfig {
+        shards: 1,
+        queue_cap: sessions + 1,
+        tenant_quota: sessions + 1,
+        max_lanes,
+        quantum: 64,
+        plan_cache_cap: 4,
+        compact: false,
+        start_paused: false,
+    });
+    // warm the plan cache so neither mode times the one-off compile
+    server.submit(SessionSpec::new("warmup", ablation_chain(), 1e-3, 1)).unwrap().join();
+    server.pause();
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            server
+                .submit(SessionSpec::new(format!("tenant{i}"), ablation_chain(), 1e-3, steps))
+                .expect("roomy config admits all")
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    server.resume();
+    for h in handles {
+        assert_eq!(h.join().outcome, SessionOutcome::Completed);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    E17Row {
+        mode: mode.into(),
+        sessions,
+        steps_per_session: steps,
+        wall_ms: wall * 1e3,
+        sessions_per_sec: sessions as f64 / wall,
+        p99_step_ns: stats.shards[0].step_ns.p99,
+        batches: stats.counters.batches,
+        cache_hits: stats.plan_cache.hits,
+    }
+}
+
+/// E17 — serving-layer throughput: [`E17_SESSIONS`] same-fingerprint
+/// sessions of the 400-block chain, coalesced into one shared
+/// [`peert_model::BatchEngine`] vs forced one-engine-per-session.
+/// Both modes run one shard with a warm plan cache, so the ratio
+/// isolates the coalescing win itself (BENCH_serve.json records it).
+pub fn e17_serve(steps: u64) -> Vec<E17Row> {
+    vec![
+        e17_case("one-engine-per-session", 1, steps),
+        e17_case("coalesced", E17_SESSIONS, steps),
     ]
 }
 
@@ -1009,6 +1083,23 @@ mod tests {
         let e8 = serde_json::to_string(&e8_portability()).unwrap();
         let e8_serial = serde_json::to_string(&e8_portability_serial()).unwrap();
         assert_eq!(e8, e8_serial, "E8 parallel JSON ≡ serial JSON");
+    }
+
+    #[test]
+    fn e17_coalescing_beats_one_engine_per_session() {
+        let rows = e17_serve(400);
+        let (solo, gang) = (&rows[0], &rows[1]);
+        // the warmup session forms its own 1-lane gang in both modes
+        assert_eq!(gang.batches, 2, "8 same-fingerprint sessions coalesce into one gang");
+        assert_eq!(solo.batches, 1 + E17_SESSIONS as u64, "max_lanes = 1 forbids sharing");
+        assert_eq!(solo.cache_hits, E17_SESSIONS as u64, "per-session gangs share the plan");
+        assert_eq!(gang.cache_hits, 1);
+        assert!(
+            gang.sessions_per_sec > 1.3 * solo.sessions_per_sec,
+            "coalescing wins even unoptimized: {:.1} vs {:.1} sessions/sec",
+            gang.sessions_per_sec,
+            solo.sessions_per_sec
+        );
     }
 
     #[test]

@@ -1323,12 +1323,13 @@ pub struct PlanCache {
     entries: Vec<CacheEntry>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl PlanCache {
     /// An empty cache holding at most `cap` compiled plans.
     pub fn new(cap: usize) -> Self {
-        PlanCache { cap: cap.max(1), entries: Vec::new(), hits: 0, misses: 0 }
+        PlanCache { cap: cap.max(1), entries: Vec::new(), hits: 0, misses: 0, evictions: 0 }
     }
 
     /// Cache hits so far.
@@ -1339,6 +1340,11 @@ impl PlanCache {
     /// Cache misses (= compilations) so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Plans evicted by the LRU policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Plans currently cached.
@@ -1378,7 +1384,10 @@ impl PlanCache {
         let plan = Arc::new(build(diagram, order, dt, specs, &[], fold));
         self.misses += 1;
         self.entries.insert(0, CacheEntry { digest, fingerprint, plan: Arc::clone(&plan) });
-        self.entries.truncate(self.cap);
+        if self.entries.len() > self.cap {
+            self.evictions += (self.entries.len() - self.cap) as u64;
+            self.entries.truncate(self.cap);
+        }
         Ok((plan, false))
     }
 }
@@ -1401,6 +1410,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compile.
     pub misses: u64,
+    /// Plans dropped by the LRU policy.
+    pub evictions: u64,
     /// Plans currently resident.
     pub entries: usize,
 }
@@ -1408,7 +1419,19 @@ pub struct CacheStats {
 /// Counters of the process-wide [`PlanCache`].
 pub fn global_cache_stats() -> CacheStats {
     let c = global_cache().lock();
-    CacheStats { hits: c.hits(), misses: c.misses(), entries: c.len() }
+    CacheStats { hits: c.hits(), misses: c.misses(), evictions: c.evictions(), entries: c.len() }
+}
+
+/// Digest of `diagram`'s lowered kernel specs under the batch-engine
+/// compilation flags (`fold` off), or `None` when any block refuses to
+/// lower (such diagrams need the interpreter).
+///
+/// Two diagrams sharing both this digest and [`Diagram::fingerprint`]
+/// compile to the same [`CompiledPlan`] cache entry, so a scheduler can
+/// use the digest as a cheap pre-grouping key for lane coalescing
+/// without compiling anything.
+pub fn lowering_digest(diagram: &Diagram, dt: f64) -> Option<u64> {
+    lower_all(diagram).ok().map(|specs| specs_digest(&specs, dt, false, &[]))
 }
 
 // ---------------------------------------------------------------------
@@ -1549,6 +1572,62 @@ impl KernelRuntime {
         self.consts[i.cbase as usize * self.lanes + lane] = v;
         true
     }
+
+    /// Copy one lane out into template-layout (single-lane) pools.
+    fn extract_lane(&self, plan: &CompiledPlan, lane: usize) -> LanePools {
+        let mut values = Vec::with_capacity(plan.arena_slots);
+        for slot in 0..plan.arena_slots {
+            values.push(self.values[slot * self.lanes + lane]);
+        }
+        let mut state = vec![0.0; plan.state0.len()];
+        let mut params = vec![0.0; plan.params.len()];
+        let mut consts = vec![Value::default(); plan.consts.len()];
+        for i in &plan.tape {
+            let (sb, sl) = (i.sbase as usize, i.slen as usize);
+            for k in 0..sl {
+                state[sb + k] = self.state[sb * self.lanes + lane * sl + k];
+            }
+            let (pb, pl) = (i.pbase as usize, i.plen as usize);
+            for k in 0..pl {
+                params[pb + k] = self.params[pb * self.lanes + lane * pl + k];
+            }
+            let (cb, cl) = (i.cbase as usize, i.clen as usize);
+            for k in 0..cl {
+                consts[cb + k] = self.consts[cb * self.lanes + lane * cl + k];
+            }
+        }
+        LanePools { values, state, params, consts }
+    }
+
+    /// Load template-layout pools into one lane (inverse of
+    /// `extract_lane`).
+    fn load_lane(&mut self, plan: &CompiledPlan, lane: usize, pools: &LanePools) {
+        for slot in 0..plan.arena_slots {
+            self.values[slot * self.lanes + lane] = pools.values[slot];
+        }
+        for i in &plan.tape {
+            let (sb, sl) = (i.sbase as usize, i.slen as usize);
+            for k in 0..sl {
+                self.state[sb * self.lanes + lane * sl + k] = pools.state[sb + k];
+            }
+            let (pb, pl) = (i.pbase as usize, i.plen as usize);
+            for k in 0..pl {
+                self.params[pb * self.lanes + lane * pl + k] = pools.params[pb + k];
+            }
+            let (cb, cl) = (i.cbase as usize, i.clen as usize);
+            for k in 0..cl {
+                self.consts[cb * self.lanes + lane * cl + k] = pools.consts[cb + k];
+            }
+        }
+    }
+}
+
+/// Template-layout (single-lane) copies of every mutable pool.
+struct LanePools {
+    values: Vec<Value>,
+    state: Vec<f64>,
+    params: Vec<f64>,
+    consts: Vec<Value>,
 }
 
 /// Run one tape instruction's kernel over all lanes.
@@ -1776,6 +1855,72 @@ impl BatchEngine {
         self.step_index = 0;
         self.bucket_due.fill(false);
     }
+
+    /// The shared compiled plan, clonable for
+    /// [`BatchEngine::from_shared_plan`] (e.g. a scheduler compacting a
+    /// half-dead batch into a narrower one without another cache
+    /// lookup).
+    pub fn shared_plan(&self) -> Arc<CompiledPlan> {
+        Arc::clone(&self.plan)
+    }
+
+    /// Allocate `lanes` fresh lanes over an already-compiled plan
+    /// (shared, not recompiled — `dt` comes from the plan itself).
+    pub fn from_shared_plan(plan: Arc<CompiledPlan>, lanes: usize) -> Self {
+        let dt = plan.dt;
+        Self::from_plan(plan, dt, lanes)
+    }
+
+    /// Capture everything lane-local about `lane` — value arena slice,
+    /// state, per-lane parameter/constant overrides — plus the shared
+    /// step index, so the lane can be transplanted into another
+    /// [`BatchEngine`] of the same plan.
+    pub fn checkpoint_lane(&self, lane: usize) -> LaneCheckpoint {
+        assert!(lane < self.rt.lanes, "checkpoint_lane: lane {lane} out of range");
+        LaneCheckpoint { step_index: self.step_index, pools: self.rt.extract_lane(&self.plan, lane) }
+    }
+
+    /// Load a checkpoint into `lane`. Fails (returning `false`, engine
+    /// untouched) when the checkpoint was taken on a different plan
+    /// shape or at a different step index than this engine is at —
+    /// lanes share one clock, so a transplant must be time-aligned
+    /// (use [`BatchEngine::seek`] on a fresh engine first).
+    pub fn restore_lane(&mut self, lane: usize, chk: &LaneCheckpoint) -> bool {
+        if lane >= self.rt.lanes
+            || chk.step_index != self.step_index
+            || chk.pools.values.len() != self.plan.arena_slots
+            || chk.pools.state.len() != self.plan.state0.len()
+            || chk.pools.params.len() != self.plan.params.len()
+            || chk.pools.consts.len() != self.plan.consts.len()
+        {
+            return false;
+        }
+        self.rt.load_lane(&self.plan, lane, &chk.pools);
+        true
+    }
+
+    /// Fast-forward a *fresh* engine's clock to `step_index` without
+    /// stepping, so checkpointed lanes can be restored time-aligned.
+    /// Panics if any step has already run.
+    pub fn seek(&mut self, step_index: u64) {
+        assert!(self.step_index == 0, "seek: engine has already stepped");
+        self.step_index = step_index;
+        self.t = step_index as f64 * self.dt;
+    }
+}
+
+/// One lane of a [`BatchEngine`], frozen for transplant (see
+/// [`BatchEngine::checkpoint_lane`]).
+pub struct LaneCheckpoint {
+    step_index: u64,
+    pools: LanePools,
+}
+
+impl LaneCheckpoint {
+    /// The shared step index the lane was frozen at.
+    pub fn step_index(&self) -> u64 {
+        self.step_index
+    }
 }
 
 #[cfg(test)]
@@ -1783,6 +1928,7 @@ mod tests {
     use super::*;
     use crate::block::{Block, BlockCtx, PortCount, SampleTime};
     use crate::engine::{Backend, Engine};
+    use crate::library::continuous::Integrator;
     use crate::library::math::{Gain, Sum};
     use crate::library::sources::{Constant, SineWave};
 
@@ -1955,5 +2101,98 @@ mod tests {
         let comp = Engine::with_cache(d2, 1e-3, &mut cache).unwrap();
         assert_lockstep(interp, comp, 3);
         let _ = g;
+    }
+
+    #[test]
+    fn lane_checkpoint_transplants_bit_exact() {
+        // divergent lanes, stateful diagram (integrator), transplant
+        // lane 2 into a narrow engine mid-run: trajectories must match
+        // the untouched wide engine bit-for-bit
+        let mut d = Diagram::new();
+        let s = d.add("sine", SineWave::new(1.0, 25.0)).unwrap();
+        let g = d.add("g", Gain::new(1.0)).unwrap();
+        let i = d.add("int", Integrator::new(0.0)).unwrap();
+        d.connect((s, 0), (g, 0)).unwrap();
+        d.connect((g, 0), (i, 0)).unwrap();
+
+        let mut cache = PlanCache::new(4);
+        let mut wide = BatchEngine::with_cache(&d, 1e-3, 4, &mut cache).unwrap();
+        for lane in 0..4 {
+            assert!(wide.set_param(lane, g, 0, 1.0 + lane as f64 * 0.5));
+        }
+        for _ in 0..10 {
+            wide.step();
+        }
+
+        let chk = wide.checkpoint_lane(2);
+        assert_eq!(chk.step_index(), 10);
+        let mut narrow = BatchEngine::from_shared_plan(wide.shared_plan(), 1);
+        narrow.seek(10);
+        assert!(narrow.restore_lane(0, &chk));
+        assert_eq!(narrow.steps(), 10);
+
+        for _ in 0..30 {
+            wide.step();
+            narrow.step();
+            for &src in &[(s, 0), (g, 0), (i, 0)] {
+                let (a, b) = (wide.probe(2, src), narrow.probe(0, src));
+                assert_eq!(a.as_f64().to_bits(), b.as_f64().to_bits(), "{src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_lane_rejects_misaligned_clock_and_shape() {
+        let d = offset_diagram();
+        let mut cache = PlanCache::new(4);
+        let mut e = BatchEngine::with_cache(&d, 1e-3, 2, &mut cache).unwrap();
+        e.step();
+        let chk = e.checkpoint_lane(0);
+        // same engine, same clock: fine
+        assert!(e.restore_lane(1, &chk));
+        // lane out of range
+        assert!(!e.restore_lane(2, &chk));
+        // clock mismatch
+        e.step();
+        assert!(!e.restore_lane(1, &chk));
+        // different plan shape
+        let other = foldable_diagram();
+        let mut o = BatchEngine::with_cache(&other, 1e-3, 2, &mut cache).unwrap();
+        o.step();
+        assert!(!o.restore_lane(0, &chk));
+    }
+
+    #[test]
+    fn plan_cache_counts_evictions() {
+        let mut cache = PlanCache::new(1);
+        let _ = BatchEngine::with_cache(&offset_diagram(), 1e-3, 1, &mut cache).unwrap();
+        assert_eq!((cache.misses(), cache.evictions()), (1, 0));
+        let _ = BatchEngine::with_cache(&foldable_diagram(), 1e-3, 1, &mut cache).unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 1);
+        // the survivor still hits
+        let _ = BatchEngine::with_cache(&foldable_diagram(), 1e-3, 1, &mut cache).unwrap();
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn lowering_digest_is_some_iff_compilable() {
+        struct Opaque;
+        impl Block for Opaque {
+            fn type_name(&self) -> &'static str {
+                "Opaque"
+            }
+            fn ports(&self) -> PortCount {
+                PortCount::new(0, 1)
+            }
+            fn output(&mut self, ctx: &mut BlockCtx) {
+                ctx.set_output(0, 1.0);
+            }
+        }
+        assert!(lowering_digest(&foldable_diagram(), 1e-3).is_some());
+        let mut d = Diagram::new();
+        d.add("opaque", Opaque).unwrap();
+        assert!(lowering_digest(&d, 1e-3).is_none());
     }
 }

@@ -51,7 +51,10 @@ pub mod subsystem;
 
 pub use block::{Block, BlockCtx, PortCount, SampleTime};
 pub use engine::{Backend, Engine, ProbeError, SimError};
-pub use kernel::{global_cache_stats, BatchEngine, CacheStats, CompiledPlan, KernelError, PlanCache};
+pub use kernel::{
+    global_cache_stats, lowering_digest, BatchEngine, CacheStats, CompiledPlan, KernelError,
+    LaneCheckpoint, PlanCache,
+};
 pub use graph::{BlockFingerprint, BlockId, Diagram, DiagramFingerprint, GraphError};
 pub use log::SignalLog;
 pub use plan::ExecutionPlan;

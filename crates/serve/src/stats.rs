@@ -1,0 +1,161 @@
+//! Service observability: a serde snapshot plus a `peert-trace`
+//! metrics mirror with per-shard counter naming.
+
+use peert_trace::{HistSummary, LogHistogram, MetricsReport};
+use serde::{Deserialize, Serialize};
+
+/// Whole-service monotonic counters. Everything in here is a pure
+/// function of the admission/schedule history — no wall-clock — so a
+/// deterministic driver (the soak test) can predict the final value
+/// exactly. Field order is declaration order and serde preserves it,
+/// so the JSON rendering is deterministic too.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeCounters {
+    /// Submissions attempted (accepted + rejected).
+    pub submitted: u64,
+    /// Sessions admitted past quota and backpressure.
+    pub accepted: u64,
+    /// Rejections: tenant quota exhausted.
+    pub rejected_quota: u64,
+    /// Rejections: shard queue full.
+    pub rejected_backpressure: u64,
+    /// Rejections: unusable spec or unsupported overrides.
+    pub rejected_invalid: u64,
+    /// Sessions that ran their full step budget.
+    pub completed: u64,
+    /// Sessions cancelled by their client.
+    pub cancelled: u64,
+    /// Sessions the daemon could not run.
+    pub failed: u64,
+    /// Steps recorded by *completed* sessions (Σ of their budgets).
+    pub steps_completed: u64,
+    /// Batch engines instantiated (gangs formed).
+    pub batches: u64,
+    /// Session lanes that shared a batch with at least one other
+    /// session (the coalescing win).
+    pub coalesced_lanes: u64,
+    /// Sessions that ran on the solo interpreter fallback.
+    pub solo_sessions: u64,
+    /// Generic jobs executed (experiment sweeps).
+    pub jobs: u64,
+}
+
+/// The server-owned [`peert_model::PlanCache`] counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Plans dropped by the LRU policy.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub resident: usize,
+}
+
+/// One shard's view: sessions it ran, batches it formed, its live
+/// queue depth, its slice of plan-cache traffic, and its step-latency
+/// distribution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Session lanes started on this shard.
+    pub sessions: u64,
+    /// Batch engines this shard instantiated.
+    pub batches: u64,
+    /// Batches narrowed via lane checkpoint/transplant after enough
+    /// lanes finished.
+    pub compactions: u64,
+    /// Solo (interpreter-fallback) sessions this shard ran.
+    pub solo_sessions: u64,
+    /// Plan-cache hits attributable to this shard's lookups.
+    pub cache_hits: u64,
+    /// Plan-cache misses (compiles) attributable to this shard.
+    pub cache_misses: u64,
+    /// Messages waiting in the shard's bounded queue right now.
+    pub queue_depth: usize,
+    /// Wall-clock nanoseconds to advance one scheduled batch/solo by
+    /// one step (p50/p95/p99 in ns).
+    pub step_ns: HistSummary,
+}
+
+/// Full service snapshot: counters + plan cache + per-shard stats.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Whole-service monotonic counters.
+    pub counters: ServeCounters,
+    /// Plan-cache traffic.
+    pub plan_cache: PlanCacheStats,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServeStats {
+    /// Deterministic JSON rendering (field order = declaration order).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ServeStats serializes")
+    }
+
+    /// Mirror the snapshot as `serve.*` / `plancache.*` metrics, one
+    /// name-spaced set per shard plus service-wide rollups — the same
+    /// report shape the engine/PIL layers export through `peert-trace`.
+    pub fn metrics_report(&self) -> MetricsReport {
+        let mut m = MetricsReport::new();
+        let c = &self.counters;
+        m.add_counter("serve.sessions", c.accepted);
+        m.add_counter(
+            "serve.rejected",
+            c.rejected_quota + c.rejected_backpressure + c.rejected_invalid,
+        );
+        m.add_counter("serve.queue_depth", self.shards.iter().map(|s| s.queue_depth as u64).sum());
+        m.add_counter("serve.completed", c.completed);
+        m.add_counter("serve.cancelled", c.cancelled);
+        m.add_counter("serve.batches", c.batches);
+        m.add_counter("serve.coalesced_lanes", c.coalesced_lanes);
+        m.add_counter("plancache.hit", self.plan_cache.hits);
+        m.add_counter("plancache.miss", self.plan_cache.misses);
+        m.add_counter("plancache.evict", self.plan_cache.evictions);
+        for s in &self.shards {
+            let p = format!("serve.shard{}.", s.shard);
+            m.add_counter(&format!("{p}sessions"), s.sessions);
+            m.add_counter(&format!("{p}batches"), s.batches);
+            m.add_counter(&format!("{p}compactions"), s.compactions);
+            m.add_counter(&format!("{p}solo_sessions"), s.solo_sessions);
+            m.add_counter(&format!("{p}queue_depth"), s.queue_depth as u64);
+            m.add_counter(&format!("plancache.shard{}.hit", s.shard), s.cache_hits);
+            m.add_counter(&format!("plancache.shard{}.miss", s.shard), s.cache_misses);
+            m.add_histogram(&format!("{p}step_ns"), s.step_ns);
+        }
+        m
+    }
+}
+
+/// Mutable per-shard accounting, owned by the worker thread behind a
+/// mutex so `Server::stats` can snapshot it live.
+#[derive(Default)]
+pub(crate) struct ShardState {
+    pub(crate) sessions: u64,
+    pub(crate) batches: u64,
+    pub(crate) compactions: u64,
+    pub(crate) solo_sessions: u64,
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
+    pub(crate) hist: LogHistogram,
+}
+
+impl ShardState {
+    pub(crate) fn snapshot(&self, shard: usize, queue_depth: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            sessions: self.sessions,
+            batches: self.batches,
+            compactions: self.compactions,
+            solo_sessions: self.solo_sessions,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            queue_depth,
+            step_ns: self.hist.summary(1.0),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Order-preserving parallel map over the service's shards — the
+//! promotion target for the hand-rolled scoped-thread experiment
+//! sweeps (E3/E6/E8).
+
+use std::sync::Arc;
+
+use crate::server::{ServeConfig, Server};
+
+/// Map `f` over `items` as generic jobs on a private server, one shard
+/// per item (capped by available parallelism), collecting in submit
+/// order — so the result vector (and any JSON serialized from it) is
+/// byte-identical to the serial `items.into_iter().map(f).collect()`.
+pub fn sweep_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let parallel = std::thread::available_parallelism().map_or(4, usize::from);
+    let server = Server::start(ServeConfig {
+        shards: items.len().min(parallel.max(1)),
+        queue_cap: items.len(),
+        ..ServeConfig::default()
+    });
+    let f = Arc::new(f);
+    let rxs: Vec<_> = items
+        .into_iter()
+        .map(|item| {
+            let (tx, rx) = crossbeam::channel::bounded(1);
+            let f = Arc::clone(&f);
+            let ok = server.submit_job(move || {
+                let _ = tx.send(f(item));
+            });
+            assert!(ok, "sweep server refused a job");
+            rx
+        })
+        .collect();
+    let out = rxs.iter().map(|rx| rx.recv().expect("sweep job lost")).collect();
+    drop(server);
+    out
+}

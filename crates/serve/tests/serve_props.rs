@@ -1,0 +1,219 @@
+//! Property tests for `peert-serve`: arbitrary submit/cancel/quota
+//! interleavings never panic or wedge, admission decisions are a pure
+//! function of the schedule, and trajectories don't depend on how many
+//! shards the server runs.
+
+use std::time::Duration;
+
+use peert_model::library::continuous::Integrator;
+use peert_model::library::math::Gain;
+use peert_model::library::sources::SineWave;
+use peert_model::{Diagram, Value};
+use peert_serve::{Reject, ServeConfig, Server, SessionOutcome, SessionSpec};
+use proptest::prelude::*;
+
+const DT: f64 = 1e-3;
+const JOIN: Duration = Duration::from_secs(60);
+
+/// One of a few diagram shapes, parameterized — enough variety to mix
+/// fingerprints within a schedule without leaving the lowerable set.
+fn diagram(shape: u8, gain: f64) -> Diagram {
+    let mut d = Diagram::new();
+    let s = d.add("sine", SineWave::new(1.0, 10.0)).unwrap();
+    let g = d.add("gain", Gain::new(gain)).unwrap();
+    d.connect((s, 0), (g, 0)).unwrap();
+    if shape % 2 == 1 {
+        let i = d.add("int", Integrator::new(0.0)).unwrap();
+        d.connect((g, 0), (i, 0)).unwrap();
+    }
+    d
+}
+
+/// One submission in a generated schedule.
+#[derive(Clone, Debug)]
+struct Op {
+    tenant: u8,
+    shape: u8,
+    gain_milli: u32,
+    steps: u64,
+    cancel: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (any::<u8>(), any::<u8>(), 100u32..4000, 1u64..60, any::<bool>()).prop_map(
+        |(tenant, shape, gain_milli, steps, cancel)| Op {
+            tenant: tenant % 3,
+            shape,
+            gain_milli,
+            steps,
+            cancel,
+        },
+    )
+}
+
+fn spec_of(op: &Op) -> SessionSpec {
+    SessionSpec::new(
+        format!("tenant{}", op.tenant),
+        diagram(op.shape, op.gain_milli as f64 * 1e-3),
+        DT,
+        op.steps,
+    )
+    .probe_all()
+}
+
+/// Admission outcome, reduced to what must be schedule-deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Admission {
+    Accepted,
+    Quota,
+    Backpressure,
+}
+
+proptest! {
+    /// Any interleaving of submissions and cancellations on a live
+    /// server completes: every accepted session's stream terminates
+    /// within the deadline (no wedge), no panic, and the final counters
+    /// account for every submission.
+    #[test]
+    fn interleavings_never_wedge(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let server = Server::start(ServeConfig {
+            shards: 2,
+            queue_cap: 8,
+            tenant_quota: 6,
+            max_lanes: 3,
+            quantum: 8,
+            ..ServeConfig::default()
+        });
+        let submitted = ops.len() as u64;
+        let mut handles = Vec::new();
+        let mut rejected = 0u64;
+        for op in &ops {
+            match server.submit(spec_of(op)) {
+                Ok(h) => {
+                    if op.cancel {
+                        h.cancel();
+                    }
+                    handles.push(h);
+                }
+                Err(Reject::QuotaExceeded { .. } | Reject::Backpressure { .. }) => rejected += 1,
+                Err(other) => prop_assert!(false, "unexpected reject: {other}"),
+            }
+            // reap roughly half the backlog as we go — an arbitrary
+            // interleaving of joins with submissions
+            if handles.len() > 4 {
+                let h: peert_serve::SessionHandle = handles.remove(0);
+                let r = h.join_deadline(JOIN);
+                prop_assert!(r.is_ok(), "wedged: {:?}", r.err());
+            }
+        }
+        let accepted = submitted - rejected;
+        for h in handles {
+            let r = h.join_deadline(JOIN);
+            prop_assert!(r.is_ok(), "wedged: {:?}", r.err());
+            let r = r.unwrap();
+            prop_assert!(matches!(
+                r.outcome,
+                SessionOutcome::Completed | SessionOutcome::Cancelled
+            ));
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.counters.submitted, submitted);
+        prop_assert_eq!(
+            stats.counters.accepted,
+            accepted,
+            "accepted sessions must all have been admitted"
+        );
+        prop_assert_eq!(
+            stats.counters.completed + stats.counters.cancelled,
+            stats.counters.accepted
+        );
+        prop_assert_eq!(stats.counters.failed, 0);
+    }
+
+    /// With the server paused (so nothing drains mid-schedule), the
+    /// accept/quota/backpressure decision for every submission is a
+    /// pure function of the schedule: replaying it gives the identical
+    /// decision vector and identical counters.
+    #[test]
+    fn admission_is_deterministic(ops in prop::collection::vec(op_strategy(), 1..50)) {
+        let run = |ops: &[Op]| {
+            let server = Server::start(ServeConfig {
+                shards: 2,
+                queue_cap: 6,
+                tenant_quota: 4,
+                start_paused: true,
+                ..ServeConfig::default()
+            });
+            let mut decisions = Vec::new();
+            let mut handles = Vec::new();
+            for op in ops {
+                match server.submit(spec_of(op)) {
+                    Ok(h) => {
+                        decisions.push(Admission::Accepted);
+                        handles.push(h);
+                    }
+                    Err(Reject::QuotaExceeded { .. }) => decisions.push(Admission::Quota),
+                    Err(Reject::Backpressure { .. }) => decisions.push(Admission::Backpressure),
+                    Err(other) => panic!("unexpected reject: {other}"),
+                }
+            }
+            let counters = {
+                let s = server.stats();
+                (s.counters.rejected_quota, s.counters.rejected_backpressure)
+            };
+            server.resume();
+            for h in handles {
+                h.join_deadline(JOIN).expect("drain");
+            }
+            server.shutdown();
+            (decisions, counters)
+        };
+        let (d1, c1) = run(&ops);
+        let (d2, c2) = run(&ops);
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// The shard count is a throughput knob, not a semantics knob: the
+    /// same schedule produces bit-identical trajectories on 1, 2 and 8
+    /// shards.
+    #[test]
+    fn trajectories_are_shard_count_invariant(
+        ops in prop::collection::vec(op_strategy(), 1..12),
+    ) {
+        let run = |shards: usize| -> Vec<Vec<Value>> {
+            let server = Server::start(ServeConfig {
+                shards,
+                queue_cap: 64,
+                tenant_quota: 64,
+                max_lanes: 4,
+                quantum: 8,
+                start_paused: true,
+                ..ServeConfig::default()
+            });
+            let handles: Vec<_> = ops
+                .iter()
+                .map(|op| server.submit(spec_of(op)).expect("roomy config admits all"))
+                .collect();
+            server.resume();
+            let out = handles
+                .into_iter()
+                .map(|h| {
+                    let r = h.join_deadline(JOIN).expect("no wedge");
+                    assert_eq!(r.outcome, SessionOutcome::Completed);
+                    r.trajectory
+                })
+                .collect();
+            server.shutdown();
+            out
+        };
+        let bits = |t: &Vec<Vec<Value>>| -> Vec<Vec<u64>> {
+            t.iter()
+                .map(|s| s.iter().map(|v| v.as_f64().to_bits()).collect())
+                .collect()
+        };
+        let (one, two, eight) = (run(1), run(2), run(8));
+        prop_assert_eq!(bits(&one), bits(&two));
+        prop_assert_eq!(bits(&one), bits(&eight));
+    }
+}

@@ -113,6 +113,14 @@ fn main() {
                 report.lint_dead_removed,
                 report.lint_defects
             );
+            println!(
+                "  serve: {} multi-tenant schedule(s), {} session(s) bit-exact with a \
+                 solo engine run; plan cache {} hit(s) > {} miss(es)",
+                report.serve_schedules,
+                report.serve_sessions,
+                report.serve_cache_hits,
+                report.serve_cache_misses
+            );
         }
         Err(fail) => {
             eprintln!(

@@ -32,6 +32,7 @@ pub mod gen;
 pub mod interp;
 pub mod lintchk;
 pub mod rng;
+pub mod servechk;
 pub mod shrink;
 pub mod spec;
 
@@ -70,13 +71,22 @@ pub struct SuiteReport {
     pub lint_dead_removed: u64,
     /// Seeded deny-class defects correctly refused.
     pub lint_defects: u64,
+    /// Multi-tenant serve schedules replayed through `peert-serve`.
+    pub serve_schedules: u64,
+    /// Served sessions proved bit-exact against a solo engine run.
+    pub serve_sessions: u64,
+    /// Plan-cache hits across the serve schedules (coalescing proof:
+    /// must exceed the misses).
+    pub serve_cache_hits: u64,
+    /// Plan-cache misses across the serve schedules.
+    pub serve_cache_misses: u64,
 }
 
 /// A failed case: everything needed to reproduce and diagnose it.
 #[derive(Clone, Debug)]
 pub struct Failure {
     /// Which phase failed (`"mil"`, `"reset"`, `"kernel"`, `"pil"`,
-    /// `"fault"`, `"arq"`, `"arq-degrade"`, `"lint"`).
+    /// `"fault"`, `"arq"`, `"arq-degrade"`, `"lint"`, `"serve"`).
     pub phase: &'static str,
     /// The generating seed.
     pub seed: u64,
@@ -313,6 +323,45 @@ pub fn run_suite(seed: u64, cases: u64, do_shrink: bool) -> Result<SuiteReport, 
                 blocks: 0,
             })
         }
+    }
+
+    // serve phase: seeded multi-tenant schedules through peert-serve
+    // (≥64), every batched-lane trajectory bit-exact against a solo
+    // engine run, and the plan cache hitting more than it misses
+    let serve_schedules = cases.max(64);
+    for case in 0..serve_schedules {
+        match servechk::run_serve_schedule(seed, case) {
+            Ok(r) => {
+                report.serve_schedules += 1;
+                report.serve_sessions += r.sessions;
+                report.serve_cache_hits += r.cache_hits;
+                report.serve_cache_misses += r.cache_misses;
+            }
+            Err(message) => {
+                return Err(Failure {
+                    phase: "serve",
+                    seed,
+                    case,
+                    message,
+                    spec: String::new(),
+                    blocks: 0,
+                })
+            }
+        }
+    }
+    if report.serve_cache_hits <= report.serve_cache_misses {
+        return Err(Failure {
+            phase: "serve",
+            seed,
+            case: 0,
+            message: format!(
+                "coalescing regressed: {} plan-cache hit(s) vs {} miss(es) across {} \
+                 schedules (hits must dominate)",
+                report.serve_cache_hits, report.serve_cache_misses, report.serve_schedules
+            ),
+            spec: String::new(),
+            blocks: 0,
+        });
     }
 
     Ok(report)

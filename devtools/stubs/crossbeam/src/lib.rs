@@ -59,3 +59,249 @@ pub mod thread {
 }
 
 pub use thread::scope;
+
+/// MPMC channels (subset of `crossbeam::channel` the workspace uses:
+/// `bounded`/`unbounded`, blocking and non-blocking send/recv,
+/// `recv_timeout`, `len`/`is_empty`), built on `Mutex` + `Condvar`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        recv_cv: Condvar,
+        send_cv: Condvar,
+    }
+
+    /// Sending half; clonable, shareable across threads.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half; clonable, shareable across threads.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// The receiver disconnected; the message comes back.
+    pub struct SendError<T>(pub T);
+
+    /// Why `try_send` refused a message.
+    pub enum TrySendError<T> {
+        /// The bounded buffer is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Every sender disconnected and the buffer is drained.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why `try_recv` returned nothing.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message buffered right now.
+        Empty,
+        /// Every sender is gone and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Why `recv_timeout` returned nothing.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Every sender is gone and the buffer is drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    fn pair<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { buf: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    /// A channel buffering at most `cap` messages (`cap` 0 is promoted
+    /// to 1; the workspace never uses rendezvous channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        pair(Some(cap.max(1)))
+    }
+
+    /// A channel with an unbounded buffer.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        pair(None)
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.0.state.lock().unwrap();
+            s.senders -= 1;
+            if s.senders == 0 {
+                drop(s);
+                self.0.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut s = self.0.state.lock().unwrap();
+            s.receivers -= 1;
+            if s.receivers == 0 {
+                drop(s);
+                self.0.send_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is buffered (or every receiver is gone).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut s = self.0.state.lock().unwrap();
+            loop {
+                if s.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match s.cap {
+                    Some(cap) if s.buf.len() >= cap => {
+                        s = self.0.send_cv.wait(s).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            s.buf.push_back(msg);
+            drop(s);
+            self.0.recv_cv.notify_one();
+            Ok(())
+        }
+
+        /// Buffer the message without blocking, or say why not.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut s = self.0.state.lock().unwrap();
+            if s.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = s.cap {
+                if s.buf.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            s.buf.push_back(msg);
+            drop(s);
+            self.0.recv_cv.notify_one();
+            Ok(())
+        }
+
+        /// Messages buffered right now.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().buf.len()
+        }
+
+        /// Whether the buffer is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives (or every sender is gone).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut s = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = s.buf.pop_front() {
+                    drop(s);
+                    self.0.send_cv.notify_one();
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvError);
+                }
+                s = self.0.recv_cv.wait(s).unwrap();
+            }
+        }
+
+        /// Pop a buffered message without blocking, or say why not.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut s = self.0.state.lock().unwrap();
+            if let Some(v) = s.buf.pop_front() {
+                drop(s);
+                self.0.send_cv.notify_one();
+                return Ok(v);
+            }
+            if s.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut s = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = s.buf.pop_front() {
+                    drop(s);
+                    self.0.send_cv.notify_one();
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.0.recv_cv.wait_timeout(s, deadline - now).unwrap();
+                s = guard;
+            }
+        }
+
+        /// Messages buffered right now.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().buf.len()
+        }
+
+        /// Whether the buffer is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}

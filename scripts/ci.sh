@@ -58,6 +58,22 @@ if [[ "${PIL_SOAK:-0}" == "1" ]]; then
     run env PIL_SOAK=1 cargo test --release --test pil_soak $CARGO_ARGS -- --nocapture
 fi
 
+# serving-layer gate: scheduler/admission property tests, plus the
+# coalesced-vs-solo throughput bench staying compilable (the recorded
+# numbers are BENCH_serve.json / E17)
+# shellcheck disable=SC2086
+run cargo test --release -q -p peert-serve --test serve_props $CARGO_ARGS
+# shellcheck disable=SC2086
+run cargo bench --no-run --bench serve_throughput -p peert-bench $CARGO_ARGS
+
+# deterministic service soak (10^3 sessions, 8 tenants, quota exhaustion,
+# cancellations, queue-overflow flood; final counters must equal the
+# schedule-derived expectation exactly): opt-in, mirrors PIL_SOAK
+if [[ "${SERVE_SOAK:-0}" == "1" ]]; then
+    # shellcheck disable=SC2086
+    run env SERVE_SOAK=1 cargo test --release -p peert-serve --test serve_soak $CARGO_ARGS -- --nocapture
+fi
+
 # static-analysis gate: the built-in demo model must lint deny-clean,
 # and the machine-readable output must be byte-reproducible (two runs
 # compared verbatim) so downstream tooling can diff it
@@ -73,7 +89,8 @@ rm -f /tmp/peert-lint-1.json /tmp/peert-lint-2.json
 # differential verification suite: interpreted ≡ plan (bit-exact),
 # compiled kernel tape ≡ interpreter ≡ every batched lane (bit-exact),
 # PIL within quantization tolerance, fault counters equal to the
-# schedule, ARQ recovery proofs under seeded fault schedules.
+# schedule, ARQ recovery proofs under seeded fault schedules, and
+# multi-tenant serve schedules bit-exact with solo engine runs.
 # VERIFY_SEED/VERIFY_CASES override the defaults; the failing seed and
 # case are printed by the tool itself for offline reproduction.
 VERIFY_SEED="${VERIFY_SEED:-0xC0FFEE}"

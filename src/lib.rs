@@ -15,3 +15,4 @@ pub use peert_model as model;
 pub use peert_pil as pil;
 pub use peert_plant as plant;
 pub use peert_rtexec as rtexec;
+pub use peert_serve as serve;
