@@ -239,6 +239,26 @@ fn main() {
             r.mode, r.sessions, r.steps_per_session, r.wall_ms, r.sessions_per_sec, r.p99_step_ns
         );
     }
+    println!("\n## E18 — wire front-end overhead: loopback TCP vs in-process submission\n");
+    let e18 = e18_wire(2_000);
+    println!(
+        "{:<16} {:>9} {:>11} {:>14} {:>10} {:>12}",
+        "path", "sessions", "steps each", "submit[µs]", "wall[ms]", "sessions/s"
+    );
+    for r in &e18 {
+        println!(
+            "{:<16} {:>9} {:>11} {:>14.1} {:>10.2} {:>12.1}",
+            r.path, r.sessions, r.steps_per_session, r.submit_us_mean, r.wall_ms,
+            r.sessions_per_sec
+        );
+    }
+    let (inproc, wire) = (&e18[0], &e18[1]);
+    println!(
+        "\nper-submission wire overhead: {:.1} µs ({:.2}x the in-process admission)",
+        wire.submit_us_mean - inproc.submit_us_mean,
+        wire.submit_us_mean / inproc.submit_us_mean
+    );
+
     let (solo, gang) = (&e17[0], &e17[1]);
     let serve_blob = serde_json::json!({
         "experiment": "serve_throughput_same_fingerprint_sessions",
@@ -249,6 +269,10 @@ fn main() {
         "speedup_coalesced": gang.sessions_per_sec / solo.sessions_per_sec,
         "solo_p99_step_ns": solo.p99_step_ns,
         "coalesced_p99_step_ns": gang.p99_step_ns,
+        "wire_sessions_per_sec": wire.sessions_per_sec,
+        "wire_submit_us_mean": wire.submit_us_mean,
+        "inprocess_submit_us_mean": inproc.submit_us_mean,
+        "wire_submit_overhead_us": wire.submit_us_mean - inproc.submit_us_mean,
     });
     let serve_text =
         serde_json::to_string_pretty(&serve_blob).expect("serve rows are serializable");
@@ -262,7 +286,7 @@ fn main() {
         let blob = serde_json::json!({
             "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
             "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
-            "e12": e12, "e16": e16, "e17": e17,
+            "e12": e12, "e16": e16, "e17": e17, "e18": e18,
         });
         let text = serde_json::to_string_pretty(&blob).expect("rows are serializable");
         if let Err(e) = fs::write(&path, text) {

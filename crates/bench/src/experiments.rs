@@ -954,6 +954,150 @@ pub fn e17_serve(steps: u64) -> Vec<E17Row> {
     ]
 }
 
+// ---------------------------------------------------------------- E18 ----
+
+/// One submission path pushing the same session load (E18).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E18Row {
+    /// Submission path: "in-process" (`Server::submit` directly) or
+    /// "wire-loopback" (framed over a real 127.0.0.1 TCP socket via
+    /// [`peert_wire::WireClient`]).
+    pub path: String,
+    /// Sessions submitted.
+    pub sessions: usize,
+    /// Step budget per session.
+    pub steps_per_session: u64,
+    /// Mean admission round-trip per session in µs, measured while the
+    /// daemon is paused — for the wire path this is encode + TCP +
+    /// deframe + admit + the `Accepted` frame coming back.
+    pub submit_us_mean: f64,
+    /// Wall-clock milliseconds from resume to the last session joined
+    /// (result streaming included — chunks cross the socket on the
+    /// wire path).
+    pub wall_ms: f64,
+    /// Completed sessions per second of wall clock.
+    pub sessions_per_sec: f64,
+}
+
+/// Same-fingerprint sessions the E18 comparison submits per path.
+pub const E18_SESSIONS: usize = 8;
+
+/// The [`ablation_chain`] as a wire-encodable [`DiagramSpec`]; both
+/// E18 paths run this exact diagram so the delta is pure front-end
+/// overhead.
+fn ablation_chain_spec() -> peert_model::spec::DiagramSpec {
+    use peert_model::spec::BlockSpec;
+    let mut blocks = vec![BlockSpec::Sine { amplitude: 1.0, freq_hz: 10.0 }];
+    let mut wires = Vec::new();
+    for i in 0..400usize {
+        blocks.push(BlockSpec::Gain { gain: 1.0001 });
+        wires.push((i, 0, i + 1, 0));
+    }
+    peert_model::spec::DiagramSpec { dt: 1e-3, blocks, wires }
+}
+
+fn e18_config(sessions: usize) -> peert_serve::ServeConfig {
+    peert_serve::ServeConfig {
+        shards: 1,
+        queue_cap: sessions + 1,
+        tenant_quota: sessions + 1,
+        max_lanes: sessions,
+        quantum: 64,
+        plan_cache_cap: 4,
+        compact: false,
+        start_paused: false,
+    }
+}
+
+/// E18 — wire front-end overhead: the E17 coalesced workload submitted
+/// once through in-process [`peert_serve::Server::submit`] and once
+/// through the framed loopback-TCP front end. Both paths warm the plan
+/// cache first and submit paused, so the per-submission delta is the
+/// codec + socket + forwarder cost and nothing else
+/// (BENCH_serve.json records it).
+pub fn e18_wire(steps: u64) -> Vec<E18Row> {
+    use peert_serve::{Server, SessionOutcome, SessionSpec};
+    use peert_wire::{WireClient, WireServer, WireSpec};
+    let sessions = E18_SESSIONS;
+    let spec = ablation_chain_spec();
+
+    // in-process baseline
+    let inproc = {
+        let server = Server::start(e18_config(sessions));
+        let diagram = spec.build().expect("chain builds");
+        server.submit(SessionSpec::new("warmup", diagram, 1e-3, 1)).unwrap().join();
+        server.pause();
+        let t0 = std::time::Instant::now();
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let diagram = spec.build().expect("chain builds");
+                server
+                    .submit(SessionSpec::new(format!("tenant{i}"), diagram, 1e-3, steps))
+                    .expect("roomy config admits all")
+            })
+            .collect();
+        let submit_us = t0.elapsed().as_secs_f64() * 1e6 / sessions as f64;
+        let t0 = std::time::Instant::now();
+        server.resume();
+        for h in handles {
+            assert_eq!(h.join().outcome, SessionOutcome::Completed);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        server.shutdown();
+        E18Row {
+            path: "in-process".into(),
+            sessions,
+            steps_per_session: steps,
+            submit_us_mean: submit_us,
+            wall_ms: wall * 1e3,
+            sessions_per_sec: sessions as f64 / wall,
+        }
+    };
+
+    // the same schedule across a real loopback socket
+    let wire = {
+        let server = std::sync::Arc::new(Server::start(e18_config(sessions)));
+        let ws = WireServer::start(std::sync::Arc::clone(&server), "127.0.0.1:0")
+            .expect("bind loopback");
+        let mut client = WireClient::connect(ws.local_addr()).expect("connect loopback");
+        client
+            .submit(WireSpec::new("warmup", spec.clone(), 1))
+            .expect("warmup admits")
+            .join();
+        server.pause();
+        let t0 = std::time::Instant::now();
+        let live: Vec<_> = (0..sessions)
+            .map(|i| {
+                client
+                    .submit(WireSpec::new(format!("tenant{i}"), spec.clone(), steps))
+                    .expect("roomy config admits all")
+            })
+            .collect();
+        let submit_us = t0.elapsed().as_secs_f64() * 1e6 / sessions as f64;
+        let t0 = std::time::Instant::now();
+        server.resume();
+        for s in live {
+            assert_eq!(s.join().outcome, SessionOutcome::Completed);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        client.close();
+        ws.shutdown();
+        if let Ok(server) = std::sync::Arc::try_unwrap(server) {
+            server.shutdown();
+        }
+        E18Row {
+            path: "wire-loopback".into(),
+            sessions,
+            steps_per_session: steps,
+            submit_us_mean: submit_us,
+            wall_ms: wall * 1e3,
+            sessions_per_sec: sessions as f64 / wall,
+        }
+    };
+
+    vec![inproc, wire]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

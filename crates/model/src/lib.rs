@@ -47,6 +47,7 @@ pub mod library;
 pub mod log;
 pub mod plan;
 pub mod signal;
+pub mod spec;
 pub mod subsystem;
 
 pub use block::{Block, BlockCtx, PortCount, SampleTime};

@@ -35,8 +35,8 @@ fn port_bits(e: &Engine) -> Vec<(u8, u64)> {
 /// steps on both engines (the `fire()` path of the tape).
 fn assert_case_lockstep(seed: u64, case: u64, steps: usize, fire_every: Option<u64>) {
     let spec = gen_mil_spec(seed, case);
-    let interp_d = spec.build(None).expect("spec builds");
-    let comp_d = spec.build(None).expect("spec builds");
+    let interp_d = spec.build().expect("spec builds");
+    let comp_d = spec.build().expect("spec builds");
     let mut interp = Engine::with_backend(interp_d, spec.dt, Backend::Interpreted).unwrap();
     let mut comp = Engine::new(comp_d, spec.dt).unwrap();
     assert_eq!(
@@ -123,7 +123,7 @@ fn unlowered_block_falls_back_to_the_interpreter() {
 fn reset_rerun_is_byte_identical_with_zero_extra_misses() {
     let spec = gen_mil_spec(SEED ^ 0x7E5E7, 3);
     let mut cache = PlanCache::new(8);
-    let mut e = Engine::with_cache(spec.build(None).unwrap(), spec.dt, &mut cache).unwrap();
+    let mut e = Engine::with_cache(spec.build().unwrap(), spec.dt, &mut cache).unwrap();
     assert_eq!(e.backend(), Backend::Compiled);
     assert_eq!((cache.hits(), cache.misses()), (0, 1), "cold compile");
 
@@ -142,7 +142,7 @@ fn reset_rerun_is_byte_identical_with_zero_extra_misses() {
     assert_eq!((cache.hits(), cache.misses()), (0, 1), "reset performs no cache traffic");
 
     // a second engine over the same topology is a warm hit
-    let mut e2 = Engine::with_cache(spec.build(None).unwrap(), spec.dt, &mut cache).unwrap();
+    let mut e2 = Engine::with_cache(spec.build().unwrap(), spec.dt, &mut cache).unwrap();
     assert!(e2.plan_cache_hit());
     assert_eq!((cache.hits(), cache.misses()), (1, 1), "warmup complete: hit, no new miss");
     let third = record(&mut e2);
@@ -193,10 +193,10 @@ fn lru_eviction_counters_match_the_analytic_sequence() {
 fn batched_lanes_are_bit_exact_with_solo_engines() {
     for case in [0u64, 5, 11, 23] {
         let spec = gen_mil_spec(SEED ^ 0xBA7C, case);
-        let d = spec.build(None).unwrap();
+        let d = spec.build().unwrap();
         let mut cache = PlanCache::new(4);
         let mut batch = BatchEngine::with_cache(&d, spec.dt, 3, &mut cache).unwrap();
-        let mut solo = Engine::with_backend(spec.build(None).unwrap(), spec.dt, Backend::Interpreted)
+        let mut solo = Engine::with_backend(spec.build().unwrap(), spec.dt, Backend::Interpreted)
             .unwrap();
         for s in 0..400 {
             batch.step();

@@ -16,28 +16,17 @@
 use bytes::{BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 
+/// CRC16-CCITT (poly 0x1021, init 0xFFFF) — the shared implementation
+/// in `peert-frame`, re-exported so this module stays the packet
+/// layer's single import point.
+pub use peert_frame::crc16;
+
 /// Start-of-frame marker.
 pub const SOF: u8 = 0xA5;
 /// Maximum samples per packet (payload length must fit u8).
 pub const MAX_SAMPLES: usize = 120;
 /// Frame overhead in bytes (SOF + LEN + SEQ + CRC16).
 pub const OVERHEAD_BYTES: usize = 5;
-
-/// CRC16-CCITT (poly 0x1021, init 0xFFFF).
-pub fn crc16(data: &[u8]) -> u16 {
-    let mut crc: u16 = 0xFFFF;
-    for &b in data {
-        crc ^= (b as u16) << 8;
-        for _ in 0..8 {
-            if crc & 0x8000 != 0 {
-                crc = (crc << 1) ^ 0x1021;
-            } else {
-                crc <<= 1;
-            }
-        }
-    }
-    crc
-}
 
 /// One protocol packet.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]

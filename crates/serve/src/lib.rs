@@ -46,8 +46,8 @@ mod tests;
 
 pub use server::{route_shard, ServeConfig, Server};
 pub use session::{
-    all_ports, LaneOverride, Reject, SessionEvent, SessionHandle, SessionOutcome, SessionResult,
-    SessionSpec,
+    all_ports, CancelToken, LaneOverride, Reject, SessionEvent, SessionHandle, SessionOutcome,
+    SessionResult, SessionSpec,
 };
 pub use stats::{PlanCacheStats, ServeCounters, ServeStats, ShardStats};
 pub use sweep::sweep_map;

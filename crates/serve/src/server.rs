@@ -187,6 +187,27 @@ impl Server {
             )));
         }
 
+        let shard = route_shard(&spec.diagram, spec.dt, self.txs.len());
+
+        // deadline admission: predict run time from the routed shard's
+        // measured p99 step latency and refuse infeasible sessions
+        // before any compute is spent. An empty histogram (cold start)
+        // admits — there is nothing to predict from yet.
+        if let Some(budget) = spec.deadline_budget {
+            let p99 = self.shared.shard_states[shard].lock().p99_step_ns();
+            if let Some(p99_step_ns) = p99 {
+                let predicted_ns = p99_step_ns.saturating_mul(spec.steps);
+                let budget_ns = u64::try_from(budget.as_nanos()).unwrap_or(u64::MAX);
+                if predicted_ns > budget_ns {
+                    return Err(self.count_reject(Reject::DeadlineInfeasible {
+                        budget_ns,
+                        predicted_ns,
+                        p99_step_ns,
+                    }));
+                }
+            }
+        }
+
         // quota: count of unreaped sessions per tenant
         let quota = self.shared.config.tenant_quota;
         {
@@ -204,7 +225,6 @@ impl Server {
             *n += 1;
         }
 
-        let shard = route_shard(&spec.diagram, spec.dt, self.txs.len());
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded();
         let cancel = Arc::new(AtomicBool::new(false));
@@ -357,6 +377,7 @@ impl Server {
             Reject::QuotaExceeded { .. } => c.rejected_quota += 1,
             Reject::Backpressure { .. } => c.rejected_backpressure += 1,
             Reject::Invalid(_) | Reject::OverridesUnsupported(_) => c.rejected_invalid += 1,
+            Reject::DeadlineInfeasible { .. } => c.rejected_deadline += 1,
             Reject::ShuttingDown => {}
         }
         r

@@ -37,6 +37,13 @@ pub struct SessionSpec {
     /// priority) — the daemon itself never consults wall-clock time,
     /// which keeps scheduling decisions reproducible.
     pub priority: u8,
+    /// Optional wall-clock completion budget. Admission predicts the
+    /// session's run time from the routed shard's measured p99
+    /// step latency and rejects with [`Reject::DeadlineInfeasible`]
+    /// *before* any compute is spent if the prediction exceeds the
+    /// budget. Only admission consults it — scheduling stays
+    /// wall-clock-free, so admitted sessions remain deterministic.
+    pub deadline_budget: Option<Duration>,
 }
 
 impl SessionSpec {
@@ -50,6 +57,7 @@ impl SessionSpec {
             probes: Vec::new(),
             overrides: Vec::new(),
             priority: 0,
+            deadline_budget: None,
         }
     }
 
@@ -74,6 +82,12 @@ impl SessionSpec {
     /// Add a per-lane override.
     pub fn with_override(mut self, o: LaneOverride) -> Self {
         self.overrides.push(o);
+        self
+    }
+
+    /// Set a wall-clock completion budget for deadline admission.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline_budget = Some(budget);
         self
     }
 }
@@ -140,6 +154,18 @@ pub enum Reject {
     /// not lower (it would run on the solo interpreter fallback where
     /// per-lane overrides don't exist).
     OverridesUnsupported(String),
+    /// The session cannot finish inside its wall-clock deadline
+    /// budget: `steps × p99(step latency)` on the routed shard already
+    /// exceeds the budget, so running it would only burn compute.
+    DeadlineInfeasible {
+        /// The budget the client asked for, in nanoseconds.
+        budget_ns: u64,
+        /// Predicted run time (`steps × p99_step_ns`), in nanoseconds.
+        predicted_ns: u64,
+        /// The measured p99 step latency the prediction used, in
+        /// nanoseconds (rounded up, floored at 1).
+        p99_step_ns: u64,
+    },
     /// The server is shutting down.
     ShuttingDown,
 }
@@ -155,6 +181,11 @@ impl std::fmt::Display for Reject {
             }
             Reject::Invalid(r) => write!(f, "invalid session spec: {r}"),
             Reject::OverridesUnsupported(r) => write!(f, "overrides unsupported: {r}"),
+            Reject::DeadlineInfeasible { budget_ns, predicted_ns, p99_step_ns } => write!(
+                f,
+                "deadline infeasible: predicted {predicted_ns} ns \
+                 (p99 step {p99_step_ns} ns) exceeds budget {budget_ns} ns"
+            ),
             Reject::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -203,6 +234,21 @@ pub struct SessionResult {
     pub trajectory: Vec<Value>,
 }
 
+/// A detached cancellation token for a session: lets one part of a
+/// program (e.g. a wire connection's reader thread) cancel a session
+/// whose [`SessionHandle`] another part owns. Cloneable and cheap;
+/// cancelling is idempotent and takes effect at the next quantum
+/// boundary, exactly like [`SessionHandle::cancel`].
+#[derive(Clone)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Ask the daemon to stop the session at the next quantum boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
 /// Client-side handle: the result stream plus cancellation. Dropping
 /// (or consuming via [`SessionHandle::join`]) releases the tenant's
 /// quota slot — quota counts *unreaped* sessions, which keeps
@@ -231,6 +277,11 @@ impl SessionHandle {
     /// (the session then reports `Completed`).
     pub fn cancel(&self) {
         self.cancel.store(true, Ordering::Release);
+    }
+
+    /// A detached [`CancelToken`] for this session.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken(Arc::clone(&self.cancel))
     }
 
     /// Next stream event (blocking).

@@ -21,6 +21,8 @@ pub struct ServeCounters {
     pub rejected_backpressure: u64,
     /// Rejections: unusable spec or unsupported overrides.
     pub rejected_invalid: u64,
+    /// Rejections: predicted run time exceeded the deadline budget.
+    pub rejected_deadline: u64,
     /// Sessions that ran their full step budget.
     pub completed: u64,
     /// Sessions cancelled by their client.
@@ -106,8 +108,9 @@ impl ServeStats {
         m.add_counter("serve.sessions", c.accepted);
         m.add_counter(
             "serve.rejected",
-            c.rejected_quota + c.rejected_backpressure + c.rejected_invalid,
+            c.rejected_quota + c.rejected_backpressure + c.rejected_invalid + c.rejected_deadline,
         );
+        m.add_counter("serve.rejected_deadline", c.rejected_deadline);
         m.add_counter("serve.queue_depth", self.shards.iter().map(|s| s.queue_depth as u64).sum());
         m.add_counter("serve.completed", c.completed);
         m.add_counter("serve.cancelled", c.cancelled);
@@ -145,6 +148,18 @@ pub(crate) struct ShardState {
 }
 
 impl ShardState {
+    /// Measured p99 step latency in whole nanoseconds (rounded up,
+    /// floored at 1 so a sub-nanosecond measurement still predicts a
+    /// nonzero run time), or `None` while the histogram is empty —
+    /// the deadline-admission input.
+    pub(crate) fn p99_step_ns(&self) -> Option<u64> {
+        let s = self.hist.summary(1.0);
+        if s.count == 0 {
+            return None;
+        }
+        Some((s.p99.ceil() as u64).max(1))
+    }
+
     pub(crate) fn snapshot(&self, shard: usize, queue_depth: usize) -> ShardStats {
         ShardStats {
             shard,

@@ -358,3 +358,89 @@ fn priority_separates_gangs() {
     assert_eq!(stats.plan_cache.misses, 1);
     assert_eq!(stats.plan_cache.hits, 1);
 }
+
+// ---------------------------------------------------------------------------
+// deadline admission
+// ---------------------------------------------------------------------------
+
+/// Warm a single-shard server's latency histogram with one completed
+/// session, returning the server and the measured p99 (ns/step,
+/// ceiling) its stats now report.
+fn warmed_single_shard() -> (Server, u64) {
+    let server = Server::start(ServeConfig {
+        shards: 1,
+        quantum: 8,
+        ..ServeConfig::default()
+    });
+    let h = server.submit(SessionSpec::new("warm", chain(1.0), DT, 64)).unwrap();
+    assert_eq!(h.join_deadline(JOIN).unwrap().outcome, SessionOutcome::Completed);
+    let stats = server.stats();
+    let summary = &stats.shards[0].step_ns;
+    assert!(summary.count > 0, "warm-up session must populate the shard histogram");
+    let p99 = (summary.p99.ceil() as u64).max(1);
+    (server, p99)
+}
+
+#[test]
+fn infeasible_deadline_is_rejected_with_the_measured_p99() {
+    let (server, p99) = warmed_single_shard();
+    let steps = 1_u64 << 40; // predicted = p99 * 2^40 ns ≫ any sane budget
+    let spec = SessionSpec::new("acme", chain(1.0), DT, steps)
+        .deadline(Duration::from_nanos(1));
+    match server.submit(spec) {
+        Err(Reject::DeadlineInfeasible { budget_ns, predicted_ns, p99_step_ns }) => {
+            assert_eq!(budget_ns, 1);
+            assert_eq!(p99_step_ns, p99, "the reject must carry the measured p99");
+            assert_eq!(predicted_ns, p99.saturating_mul(steps));
+        }
+        Err(other) => panic!("expected DeadlineInfeasible, got {other:?}"),
+        Ok(_) => panic!("expected DeadlineInfeasible, got admission"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.counters.rejected_deadline, 1);
+    assert_eq!(stats.counters.submitted, 2); // warm-up + the rejected one
+    assert_eq!(stats.counters.accepted, 1);
+}
+
+#[test]
+fn feasible_deadline_is_admitted_and_completes() {
+    let (server, _) = warmed_single_shard();
+    // an hour of wall-clock budget for 32 steps is always feasible
+    let spec = SessionSpec::new("acme", chain(2.0), DT, 32)
+        .probe_all()
+        .deadline(Duration::from_secs(3600));
+    let h = server.submit(spec).expect("feasible deadline must be admitted");
+    let r = h.join_deadline(JOIN).unwrap();
+    assert_eq!(r.outcome, SessionOutcome::Completed);
+    assert_eq!(r.trajectory, reference(chain(2.0), 32));
+    let stats = server.shutdown();
+    assert_eq!(stats.counters.rejected_deadline, 0);
+}
+
+#[test]
+fn cold_start_admits_any_deadline() {
+    // no session has run yet, so the shard histogram is empty: there is
+    // no measured p99 to predict with, and admission must not guess —
+    // even a 1 ns budget is admitted (and simply missed)
+    let server = Server::start(ServeConfig { shards: 1, ..ServeConfig::default() });
+    let spec = SessionSpec::new("acme", chain(1.0), DT, 8)
+        .deadline(Duration::from_nanos(1));
+    let h = server.submit(spec).expect("cold-start submissions bypass deadline admission");
+    assert_eq!(h.join_deadline(JOIN).unwrap().outcome, SessionOutcome::Completed);
+    let stats = server.shutdown();
+    assert_eq!(stats.counters.rejected_deadline, 0);
+}
+
+#[test]
+fn deadline_rejects_are_counted_in_the_metrics_report() {
+    let (server, _) = warmed_single_shard();
+    let spec = SessionSpec::new("acme", chain(1.0), DT, 1 << 40)
+        .deadline(Duration::from_nanos(1));
+    assert!(matches!(server.submit(spec), Err(Reject::DeadlineInfeasible { .. })));
+    let stats = server.shutdown();
+    let json = stats.metrics_report().to_json();
+    assert!(
+        json.contains("serve.rejected_deadline"),
+        "metrics report missing serve.rejected_deadline: {json}"
+    );
+}

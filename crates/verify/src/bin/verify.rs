@@ -121,6 +121,15 @@ fn main() {
                 report.serve_cache_hits,
                 report.serve_cache_misses
             );
+            println!(
+                "  wire:  {} schedule(s) over loopback TCP indistinguishable from \
+                 in-process ({} session(s) bit-exact, {} quota rejection(s) and \
+                 {} pre-resume cancel(s) identical, final counters equal)",
+                report.wire_schedules,
+                report.wire_sessions,
+                report.wire_rejects,
+                report.wire_cancelled
+            );
         }
         Err(fail) => {
             eprintln!(

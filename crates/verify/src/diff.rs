@@ -51,8 +51,8 @@ pub fn run_mil_case(
     steps: u64,
     bug: Option<InjectedBug>,
 ) -> Result<(), String> {
-    let d_engine = spec.build(None)?;
-    let d_interp = spec.build(bug)?;
+    let d_engine = spec.build()?;
+    let d_interp = crate::spec::build_bugged(spec, bug)?;
     if d_engine.fingerprint() != d_interp.fingerprint() {
         return Err("two instantiations of the spec disagree structurally".into());
     }
@@ -86,16 +86,16 @@ pub fn run_mil_case(
 /// (no silent interpreter fallback) and that its per-step block-eval
 /// accounting equals the interpreter's.
 pub fn run_kernel_case(spec: &DiagramSpec, steps: u64, lanes: usize) -> Result<(), String> {
-    let mut interp = Engine::with_backend(spec.build(None)?, spec.dt, Backend::Interpreted)
+    let mut interp = Engine::with_backend(spec.build()?, spec.dt, Backend::Interpreted)
         .map_err(|e| format!("{e:?}"))?;
-    let mut comp = Engine::new(spec.build(None)?, spec.dt).map_err(|e| format!("{e:?}"))?;
+    let mut comp = Engine::new(spec.build()?, spec.dt).map_err(|e| format!("{e:?}"))?;
     if comp.backend() != Backend::Compiled {
         return Err(format!(
             "generated diagram did not lower to the kernel tape: {}",
             comp.fallback_reason().unwrap_or("no reason recorded")
         ));
     }
-    let batch_d = spec.build(None)?;
+    let batch_d = spec.build()?;
     let ids: Vec<_> = batch_d.ids().collect();
     let ports: Vec<usize> = ids.iter().map(|&id| batch_d.block(id).ports().outputs).collect();
     let mut batch =
@@ -142,7 +142,7 @@ pub fn run_kernel_case(spec: &DiagramSpec, steps: u64, lanes: usize) -> Result<(
 /// the second trajectory reproduces the first byte-for-byte (the plan's
 /// reset contract).
 pub fn check_reset_determinism(spec: &DiagramSpec, steps: u64) -> Result<(), String> {
-    let d = spec.build(None)?;
+    let d = spec.build()?;
     let ids: Vec<_> = d.ids().collect();
     let ports: Vec<usize> = ids.iter().map(|&id| d.block(id).ports().outputs).collect();
     let mut engine = Engine::new(d, spec.dt).map_err(|e| format!("{e:?}"))?;
@@ -198,7 +198,7 @@ fn stim_rows(case: &ControllerCase) -> Result<Vec<Vec<f64>>, String> {
     let mut blocks: Vec<_> = case
         .stim
         .iter()
-        .map(|s| s.instantiate(None))
+        .map(|s| s.instantiate())
         .collect::<Result<_, _>>()?;
     let dt = case.ctl.dt;
     Ok((0..=case.steps)
@@ -216,7 +216,7 @@ fn stim_rows(case: &ControllerCase) -> Result<Vec<Vec<f64>>, String> {
 /// diagram (stimuli inlined), via the engine.
 fn mil_outputs(case: &ControllerCase) -> Result<Vec<Vec<f64>>, String> {
     let spec = case.mil_spec();
-    let d = spec.build(None)?;
+    let d = spec.build()?;
     let ids: Vec<_> = d.ids().collect();
     let outs = case.output_indices();
     let mut engine = Engine::new(d, spec.dt).map_err(|e| format!("{e:?}"))?;

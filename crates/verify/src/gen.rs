@@ -201,7 +201,7 @@ mod tests {
     fn generated_diagrams_build_and_sort() {
         for case in 0..50 {
             let spec = gen_mil_spec(1, case);
-            let d = spec.build(None).expect("spec must instantiate");
+            let d = spec.build().expect("spec must instantiate");
             d.sorted_order().expect("spec must be acyclic");
         }
     }

@@ -35,6 +35,7 @@ pub mod rng;
 pub mod servechk;
 pub mod shrink;
 pub mod spec;
+pub mod wirechk;
 
 use peert_mcu::{McuCatalog, McuSpec};
 use peert_pil::{ArqConfig, FaultSchedule};
@@ -80,13 +81,23 @@ pub struct SuiteReport {
     pub serve_cache_hits: u64,
     /// Plan-cache misses across the serve schedules.
     pub serve_cache_misses: u64,
+    /// Wire schedules replayed over a loopback socket, each proved
+    /// indistinguishable from the same schedule run in-process.
+    pub wire_schedules: u64,
+    /// Wire sessions whose trajectories matched in-process bit-for-bit.
+    pub wire_sessions: u64,
+    /// Quota rejections proved to carry identical payloads over the wire.
+    pub wire_rejects: u64,
+    /// Cancelled-while-paused wire sessions proved to stop at step zero.
+    pub wire_cancelled: u64,
 }
 
 /// A failed case: everything needed to reproduce and diagnose it.
 #[derive(Clone, Debug)]
 pub struct Failure {
     /// Which phase failed (`"mil"`, `"reset"`, `"kernel"`, `"pil"`,
-    /// `"fault"`, `"arq"`, `"arq-degrade"`, `"lint"`, `"serve"`).
+    /// `"fault"`, `"arq"`, `"arq-degrade"`, `"lint"`, `"serve"`,
+    /// `"wire"`).
     pub phase: &'static str,
     /// The generating seed.
     pub seed: u64,
@@ -358,6 +369,47 @@ pub fn run_suite(seed: u64, cases: u64, do_shrink: bool) -> Result<SuiteReport, 
                 "coalescing regressed: {} plan-cache hit(s) vs {} miss(es) across {} \
                  schedules (hits must dominate)",
                 report.serve_cache_hits, report.serve_cache_misses, report.serve_schedules
+            ),
+            spec: String::new(),
+            blocks: 0,
+        });
+    }
+
+    // wire phase: the same seeded schedules over a real loopback socket
+    // (≥64), each proved indistinguishable — trajectories, rejections
+    // and final counters — from an in-process run
+    let wire_schedules = cases.max(64);
+    for case in 0..wire_schedules {
+        match wirechk::run_wire_schedule(seed, case) {
+            Ok(r) => {
+                report.wire_schedules += 1;
+                report.wire_sessions += r.sessions;
+                report.wire_rejects += r.rejects;
+                report.wire_cancelled += r.cancelled;
+            }
+            Err(message) => {
+                return Err(Failure {
+                    phase: "wire",
+                    seed,
+                    case,
+                    message,
+                    spec: String::new(),
+                    blocks: 0,
+                })
+            }
+        }
+    }
+    // The schedules are sized to exercise the unhappy paths too; a run
+    // that never rejected or never cancelled proved nothing about them.
+    if report.wire_rejects == 0 || report.wire_cancelled == 0 {
+        return Err(Failure {
+            phase: "wire",
+            seed,
+            case: 0,
+            message: format!(
+                "wire schedules exercised {} quota rejection(s) and {} cancel(s) across \
+                 {} schedules; both must occur at least once",
+                report.wire_rejects, report.wire_cancelled, report.wire_schedules
             ),
             spec: String::new(),
             blocks: 0,

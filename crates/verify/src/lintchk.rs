@@ -56,7 +56,7 @@ fn covering_scale(m: f64) -> f64 {
 
 /// Run the lint phase on one generated spec.
 pub fn run_lint_case(spec: &DiagramSpec, steps: u64) -> Result<LintCaseReport, String> {
-    let diagram = spec.build(None)?;
+    let diagram = spec.build()?;
     let fp = diagram.fingerprint();
     let mut report = LintCaseReport::default();
 
@@ -80,7 +80,7 @@ pub fn run_lint_case(spec: &DiagramSpec, steps: u64) -> Result<LintCaseReport, S
             peert_lint::lint_fingerprint(&fp, spec.dt, &LintOptions::with_format(format));
         if lint.certified_overflow_free(Some(&format)) {
             let (lo, hi) = format.real_range();
-            let d = spec.build(None)?;
+            let d = spec.build()?;
             let ids: Vec<_> = d.ids().collect();
             let ports: Vec<usize> =
                 ids.iter().map(|&id| d.block(id).ports().outputs).collect();
@@ -127,15 +127,15 @@ pub fn run_lint_case(spec: &DiagramSpec, steps: u64) -> Result<LintCaseReport, S
 /// tape exactly `dead.len()` instructions shorter than the unpruned
 /// compile.
 fn check_pruned_tape(spec: &DiagramSpec, dead: &[usize], steps: u64) -> Result<(), String> {
-    let d_ref = spec.build(None)?;
+    let d_ref = spec.build()?;
     let ids: Vec<_> = d_ref.ids().collect();
     let ports: Vec<usize> = ids.iter().map(|&id| d_ref.block(id).ports().outputs).collect();
     let mut reference = Engine::with_backend(d_ref, spec.dt, peert_model::Backend::Interpreted)
         .map_err(|e| format!("{e:?}"))?;
-    let mut pruned = Engine::compiled_pruned(spec.build(None)?, spec.dt, dead)
+    let mut pruned = Engine::compiled_pruned(spec.build()?, spec.dt, dead)
         .map_err(|e| format!("pruned compile: {e:?}"))?;
 
-    let full = Engine::compiled_pruned(spec.build(None)?, spec.dt, &[])
+    let full = Engine::compiled_pruned(spec.build()?, spec.dt, &[])
         .map_err(|e| format!("full compile: {e:?}"))?;
     let (full_len, pruned_len) = (
         full.compiled_plan().expect("compiled").tape_len(),
@@ -182,8 +182,8 @@ fn check_dead_removal(
     steps: u64,
 ) -> Result<(), String> {
     let reduced = spec.without_block(dead);
-    let d_full = spec.build(None)?;
-    let d_red = reduced.build(None)?;
+    let d_full = spec.build()?;
+    let d_red = reduced.build()?;
     let ids_full: Vec<_> = d_full.ids().collect();
     let ids_red: Vec<_> = d_red.ids().collect();
     let ports: Vec<usize> =
@@ -231,7 +231,7 @@ pub fn run_lint_defect_checks() -> Result<u64, String> {
         ],
         wires: vec![(0, 0, 1, 0), (1, 0, 2, 0)],
     };
-    let fp = spec.build(None)?.fingerprint();
+    let fp = spec.build()?.fingerprint();
     let lint = peert_lint::lint_fingerprint(
         &fp,
         spec.dt,

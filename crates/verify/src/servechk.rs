@@ -36,7 +36,7 @@ const JOIN: std::time::Duration = std::time::Duration::from_secs(60);
 /// port of every block, probed after each step — exactly what a served
 /// session with `probe_all` streams back.
 fn reference(spec: &DiagramSpec, steps: u64) -> Result<Vec<Value>, String> {
-    let diagram = spec.build(None)?;
+    let diagram = spec.build()?;
     let probes = peert_serve::all_ports(&diagram);
     let mut e = Engine::with_backend(diagram, spec.dt, Backend::Interpreted)
         .map_err(|e| format!("reference engine: {e:?}"))?;
@@ -108,7 +108,7 @@ pub fn run_serve_schedule(seed: u64, case: u64) -> Result<ScheduleReport, String
             } else {
                 (spec.clone(), None)
             };
-            let diagram = spec.build(None)?;
+            let diagram = spec.build()?;
             let mut s = SessionSpec::new(tenant, diagram, spec.dt, MIL_STEPS)
                 .probe_all()
                 .priority(priority);
@@ -138,7 +138,7 @@ pub fn run_serve_schedule(seed: u64, case: u64) -> Result<ScheduleReport, String
         let spec = gen::gen_mil_spec(seed, case * 31);
         let h = server
             .submit(
-                SessionSpec::new("tenant-cancel", spec.build(None)?, spec.dt, MIL_STEPS * 1000)
+                SessionSpec::new("tenant-cancel", spec.build()?, spec.dt, MIL_STEPS * 1000)
                     .probe_all(),
             )
             .map_err(|e| format!("cancel-session reject: {e}"))?;

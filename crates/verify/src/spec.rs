@@ -1,169 +1,18 @@
-//! Serializable diagram specifications.
+//! Diagram specifications for generated test cases.
 //!
-//! `Box<dyn Block>` is not `Clone`, so a generated test case is a
-//! [`DiagramSpec`] — a plain-data description that can be instantiated
-//! *fresh* for every execution path (interpreted reference, precompiled
-//! engine plan, codegen/PIL pipeline). Two instantiations of the same
-//! spec are the same model, which [`DiagramSpec::build`] guarantees by
-//! construction and the harness double-checks through
-//! [`peert_model::Diagram::fingerprint`].
+//! The plain-data [`BlockSpec`]/[`DiagramSpec`] vocabulary lives in
+//! [`peert_model::spec`] (shared with the serve wire protocol); this
+//! module re-exports it and adds what only the harness needs: the
+//! deliberate-bug machinery for the shrink self-test, and the
+//! PIL-specific [`ControllerCase`].
 
 use peert_model::block::{Block, BlockCtx, ParamValue, PortCount};
-use peert_model::graph::{BlockId, Diagram, GraphError};
-use peert_model::library::discrete::{
-    DiscreteDerivative, DiscreteIntegrator, DiscreteTransferFcn, UnitDelay, ZeroOrderHold,
-};
-use peert_model::library::logic::{Compare, CompareOp, Switch};
-use peert_model::library::math::{Abs, Gain, MinMax, Product, Sum};
-use peert_model::library::nonlinear::{DeadZone, Quantizer, RateLimiter, Relay, Saturation};
-use peert_model::library::sources::{Constant, PulseGenerator, Ramp, SineWave, Step};
-use peert_model::subsystem::{Inport, Outport, Subsystem};
+use peert_model::graph::{BlockId, Diagram};
+use peert_model::subsystem::Subsystem;
 use peert_model::SampleTime;
 use serde::{Deserialize, Serialize};
 
-/// One block of a generated diagram, as plain data.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub enum BlockSpec {
-    /// Controller input marker (instantiates to an `Inport`).
-    Input {
-        /// Which controller input this marker is (0-based).
-        index: usize,
-    },
-    /// Controller output marker (instantiates to an `Outport`).
-    Output,
-    /// Constant source.
-    Constant {
-        /// The value.
-        value: f64,
-    },
-    /// Step source (0 before `time`, `level` after).
-    Step {
-        /// Switch time in seconds.
-        time: f64,
-        /// Final level.
-        level: f64,
-    },
-    /// Sine source (zero phase and bias).
-    Sine {
-        /// Amplitude.
-        amplitude: f64,
-        /// Frequency in Hz.
-        freq_hz: f64,
-    },
-    /// Ramp source.
-    Ramp {
-        /// Slope per second.
-        slope: f64,
-        /// Start time in seconds.
-        start: f64,
-    },
-    /// Pulse source.
-    Pulse {
-        /// Amplitude.
-        amplitude: f64,
-        /// Period in seconds.
-        period: f64,
-        /// Duty cycle in `[0, 1]`.
-        duty: f64,
-    },
-    /// Scalar gain.
-    Gain {
-        /// The gain factor.
-        gain: f64,
-    },
-    /// Signed sum; one input per sign character.
-    Sum {
-        /// Sign string, e.g. `"+-"`.
-        signs: String,
-    },
-    /// N-input product.
-    Product {
-        /// Number of inputs.
-        inputs: usize,
-    },
-    /// N-input min or max.
-    MinMax {
-        /// True = max, false = min.
-        is_max: bool,
-        /// Number of inputs.
-        inputs: usize,
-    },
-    /// Absolute value.
-    Abs,
-    /// Saturation to `[lo, hi]`.
-    Saturation {
-        /// Lower limit.
-        lo: f64,
-        /// Upper limit.
-        hi: f64,
-    },
-    /// Dead zone of `width` around zero.
-    DeadZone {
-        /// Zone half-width parameter.
-        width: f64,
-    },
-    /// Quantizer to multiples of `interval`.
-    Quantizer {
-        /// Quantization interval.
-        interval: f64,
-    },
-    /// Symmetric rate limiter.
-    RateLimiter {
-        /// Max rising slew per second.
-        rate: f64,
-    },
-    /// Hysteresis relay.
-    Relay {
-        /// Switch-on threshold.
-        on_point: f64,
-        /// Switch-off threshold (≤ `on_point`).
-        off_point: f64,
-        /// Output when on.
-        on_value: f64,
-        /// Output when off.
-        off_value: f64,
-    },
-    /// Relational compare of input 0 vs input 1 (bool out).
-    Compare {
-        /// Operator index into `[Lt, Le, Gt, Ge, Eq, Ne]`.
-        op: u8,
-    },
-    /// 3-input switch: bool input 1 selects input 0 or input 2.
-    Switch,
-    /// One-period delay.
-    UnitDelay {
-        /// Sample period in seconds.
-        period: f64,
-    },
-    /// Zero-order hold.
-    ZeroOrderHold {
-        /// Sample period in seconds.
-        period: f64,
-    },
-    /// Forward-Euler discrete integrator, clamped to `[lo, hi]`.
-    DiscreteIntegrator {
-        /// Sample period in seconds.
-        period: f64,
-        /// Lower state limit.
-        lo: f64,
-        /// Upper state limit.
-        hi: f64,
-    },
-    /// Backward-difference derivative.
-    DiscreteDerivative {
-        /// Sample period in seconds.
-        period: f64,
-    },
-    /// Direct-form-II transfer function.
-    DiscreteTransferFcn {
-        /// Numerator coefficients.
-        num: Vec<f64>,
-        /// Denominator coefficients.
-        den: Vec<f64>,
-        /// Sample period in seconds.
-        period: f64,
-    },
-}
+pub use peert_model::spec::{BlockSpec, DiagramSpec};
 
 /// The deliberate bug the shrinking demo injects into one execution path.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -194,162 +43,32 @@ impl Block for BuggyGain {
     }
 }
 
-impl BlockSpec {
-    /// `(inputs, outputs)` of the instantiated block.
-    pub fn ports(&self) -> (usize, usize) {
-        match self {
-            BlockSpec::Input { .. } => (0, 1),
-            BlockSpec::Output => (1, 1),
-            BlockSpec::Constant { .. }
-            | BlockSpec::Step { .. }
-            | BlockSpec::Sine { .. }
-            | BlockSpec::Ramp { .. }
-            | BlockSpec::Pulse { .. } => (0, 1),
-            BlockSpec::Gain { .. }
-            | BlockSpec::Abs
-            | BlockSpec::Saturation { .. }
-            | BlockSpec::DeadZone { .. }
-            | BlockSpec::Quantizer { .. }
-            | BlockSpec::RateLimiter { .. }
-            | BlockSpec::Relay { .. }
-            | BlockSpec::UnitDelay { .. }
-            | BlockSpec::ZeroOrderHold { .. }
-            | BlockSpec::DiscreteIntegrator { .. }
-            | BlockSpec::DiscreteDerivative { .. }
-            | BlockSpec::DiscreteTransferFcn { .. } => (1, 1),
-            BlockSpec::Sum { signs } => (signs.len(), 1),
-            BlockSpec::Product { inputs } | BlockSpec::MinMax { inputs, .. } => (*inputs, 1),
-            BlockSpec::Compare { .. } => (2, 1),
-            BlockSpec::Switch => (3, 1),
+/// Instantiate a [`DiagramSpec`], optionally swapping in the deliberately
+/// wrong block implementation for the shrink self-test. With `bug: None`
+/// this is exactly [`DiagramSpec::build`].
+pub fn build_bugged(spec: &DiagramSpec, bug: Option<InjectedBug>) -> Result<Diagram, String> {
+    let Some(bug) = bug else {
+        return spec.build();
+    };
+    let mut d = Diagram::new();
+    let mut ids: Vec<BlockId> = Vec::with_capacity(spec.blocks.len());
+    for (i, b) in spec.blocks.iter().enumerate() {
+        let block: Box<dyn Block> = match (bug, b) {
+            (InjectedBug::GainOffset, BlockSpec::Gain { gain }) => {
+                Box::new(BuggyGain { gain: *gain })
+            }
+            _ => b.instantiate()?,
+        };
+        let id = d.add_boxed(format!("b{i}"), block).map_err(|e| e.to_string())?;
+        ids.push(id);
+    }
+    for &(sb, sp, db, dp) in &spec.wires {
+        if sb >= ids.len() || db >= ids.len() {
+            return Err(format!("wire ({sb},{sp})->({db},{dp}) references a missing block"));
         }
+        d.connect((ids[sb], sp), (ids[db], dp)).map_err(|e| e.to_string())?;
     }
-
-    /// Whether the instantiated block has direct feedthrough — the
-    /// generator only wires *forward* edges into feedthrough blocks, so
-    /// every generated diagram is acyclic by construction.
-    pub fn feedthrough(&self) -> bool {
-        !matches!(
-            self,
-            BlockSpec::UnitDelay { .. } | BlockSpec::DiscreteIntegrator { .. }
-        )
-    }
-
-    /// Instantiate the library block. `bug` swaps in the deliberately
-    /// wrong implementation for the shrink self-test.
-    pub fn instantiate(&self, bug: Option<InjectedBug>) -> Result<Box<dyn Block>, String> {
-        Ok(match self {
-            BlockSpec::Input { .. } => Box::new(Inport),
-            BlockSpec::Output => Box::new(Outport),
-            BlockSpec::Constant { value } => Box::new(Constant::new(*value)),
-            BlockSpec::Step { time, level } => Box::new(Step::new(*time, *level)),
-            BlockSpec::Sine { amplitude, freq_hz } => Box::new(SineWave::new(*amplitude, *freq_hz)),
-            BlockSpec::Ramp { slope, start } => {
-                Box::new(Ramp { slope: *slope, start_time: *start })
-            }
-            BlockSpec::Pulse { amplitude, period, duty } => Box::new(PulseGenerator {
-                amplitude: *amplitude,
-                period: *period,
-                duty: *duty,
-                delay: 0.0,
-            }),
-            BlockSpec::Gain { gain } => match bug {
-                Some(InjectedBug::GainOffset) => Box::new(BuggyGain { gain: *gain }),
-                None => Box::new(Gain::new(*gain)),
-            },
-            BlockSpec::Sum { signs } => Box::new(Sum::new(signs)?),
-            BlockSpec::Product { inputs } => Box::new(Product { inputs: *inputs }),
-            BlockSpec::MinMax { is_max, inputs } => {
-                Box::new(MinMax { is_max: *is_max, inputs: *inputs })
-            }
-            BlockSpec::Abs => Box::new(Abs),
-            BlockSpec::Saturation { lo, hi } => Box::new(Saturation::new(*lo, *hi)),
-            BlockSpec::DeadZone { width } => Box::new(DeadZone { width: *width }),
-            BlockSpec::Quantizer { interval } => Box::new(Quantizer { interval: *interval }),
-            BlockSpec::RateLimiter { rate } => Box::new(RateLimiter::new(*rate)),
-            BlockSpec::Relay { on_point, off_point, on_value, off_value } => {
-                Box::new(Relay::new(*on_point, *off_point, *on_value, *off_value)?)
-            }
-            BlockSpec::Compare { op } => Box::new(Compare {
-                op: [
-                    CompareOp::Lt,
-                    CompareOp::Le,
-                    CompareOp::Gt,
-                    CompareOp::Ge,
-                    CompareOp::Eq,
-                    CompareOp::Ne,
-                ][*op as usize % 6],
-            }),
-            BlockSpec::Switch => Box::new(Switch),
-            BlockSpec::UnitDelay { period } => Box::new(UnitDelay::new(*period)),
-            BlockSpec::ZeroOrderHold { period } => Box::new(ZeroOrderHold::new(*period)),
-            BlockSpec::DiscreteIntegrator { period, lo, hi } => {
-                let mut b = DiscreteIntegrator::new(*period);
-                b.limits = Some((*lo, *hi));
-                Box::new(b)
-            }
-            BlockSpec::DiscreteDerivative { period } => {
-                Box::new(DiscreteDerivative::new(*period))
-            }
-            BlockSpec::DiscreteTransferFcn { num, den, period } => {
-                Box::new(DiscreteTransferFcn::new(*period, num.clone(), den.clone())?)
-            }
-        })
-    }
-}
-
-/// A whole generated diagram as plain data: blocks plus wires
-/// `(src_block, src_port, dst_block, dst_port)` by index.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct DiagramSpec {
-    /// Fundamental step in seconds.
-    pub dt: f64,
-    /// The blocks, in insertion order.
-    pub blocks: Vec<BlockSpec>,
-    /// Wires as `(src_block, src_port, dst_block, dst_port)`.
-    pub wires: Vec<(usize, usize, usize, usize)>,
-}
-
-impl DiagramSpec {
-    /// Instantiate a fresh [`Diagram`]. Blocks are named `b0`, `b1`, …
-    pub fn build(&self, bug: Option<InjectedBug>) -> Result<Diagram, String> {
-        let mut d = Diagram::new();
-        let mut ids: Vec<BlockId> = Vec::with_capacity(self.blocks.len());
-        for (i, b) in self.blocks.iter().enumerate() {
-            let id = d
-                .add_boxed(format!("b{i}"), b.instantiate(bug)?)
-                .map_err(|e: GraphError| e.to_string())?;
-            ids.push(id);
-        }
-        for &(sb, sp, db, dp) in &self.wires {
-            d.connect((ids[sb], sp), (ids[db], dp)).map_err(|e| e.to_string())?;
-        }
-        Ok(d)
-    }
-
-    /// The spec with block `b` removed: wires touching `b` are dropped
-    /// and higher block indices shift down — the shrinker's one move.
-    pub fn without_block(&self, b: usize) -> DiagramSpec {
-        let blocks = self
-            .blocks
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != b)
-            .map(|(_, s)| s.clone())
-            .collect();
-        let remap = |i: usize| if i > b { i - 1 } else { i };
-        let wires = self
-            .wires
-            .iter()
-            .filter(|&&(sb, _, db, _)| sb != b && db != b)
-            .map(|&(sb, sp, db, dp)| (remap(sb), sp, remap(db), dp))
-            .collect();
-        DiagramSpec { dt: self.dt, blocks, wires }
-    }
-
-    /// Debug-friendly serialized form for failure reports.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).unwrap_or_else(|_| format!("{self:?}"))
-    }
+    Ok(d)
 }
 
 /// A generated PIL test case: a controller diagram (with `Input`/`Output`
@@ -403,7 +122,7 @@ impl ControllerCase {
 
     /// Instantiate the controller as an atomic [`Subsystem`].
     pub fn subsystem(&self) -> Result<Subsystem, String> {
-        let d = self.ctl.build(None)?;
+        let d = self.ctl.build()?;
         let ids: Vec<BlockId> = d.ids().collect();
         let mut inports = vec![None; self.n_inputs()];
         let mut outports = Vec::new();
@@ -540,8 +259,8 @@ mod tests {
     #[test]
     fn build_produces_equal_fingerprints() {
         let spec = tiny_case().mil_spec();
-        let a = spec.build(None).unwrap();
-        let b = spec.build(None).unwrap();
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
         assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
@@ -567,8 +286,8 @@ mod tests {
     #[test]
     fn injected_bug_changes_only_the_buggy_path() {
         let spec = tiny_case().mil_spec();
-        let clean = spec.build(None).unwrap();
-        let buggy = spec.build(Some(InjectedBug::GainOffset)).unwrap();
+        let clean = build_bugged(&spec, None).unwrap();
+        let buggy = build_bugged(&spec, Some(InjectedBug::GainOffset)).unwrap();
         // structurally identical (same fingerprint), numerically not
         assert_eq!(clean.fingerprint(), buggy.fingerprint());
     }

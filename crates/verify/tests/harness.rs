@@ -45,8 +45,8 @@ fn out_of_range_probe_is_an_error_not_a_panic() {
         }
         spec
     };
-    let foreign = big.build(None).unwrap().ids().last().unwrap();
-    let engine = Engine::new(small.build(None).unwrap(), small.dt).unwrap();
+    let foreign = big.build().unwrap().ids().last().unwrap();
+    let engine = Engine::new(small.build().unwrap(), small.dt).unwrap();
     match engine.try_probe((foreign, 0)) {
         Err(ProbeError::BlockOutOfRange { block, len }) => {
             assert_eq!(block, foreign.index());
@@ -55,7 +55,7 @@ fn out_of_range_probe_is_an_error_not_a_panic() {
         other => panic!("expected BlockOutOfRange, got {other:?}"),
     }
     // and a valid block with a bogus port
-    let first = small.build(None).unwrap().ids().next().unwrap();
+    let first = small.build().unwrap().ids().next().unwrap();
     assert!(matches!(
         engine.try_probe((first, 99)),
         Err(ProbeError::PortOutOfRange { port: 99, .. })

@@ -1,0 +1,32 @@
+//! Network front end for `peert-serve`.
+//!
+//! The service core (`peert_serve::Server`) is an in-process API; this
+//! crate puts it on a socket. Three layers:
+//!
+//! - [`codec`]: a versioned, length-prefixed, CRC16-checked frame
+//!   vocabulary carrying session submissions, rejections, result chunks
+//!   and cancels as self-contained binary payloads. Same framing
+//!   conventions as the PIL packet protocol (SOF marker, length prefix,
+//!   CRC16-CCITT, resync-on-corruption), built on `peert_frame`.
+//! - [`server`]: a thread-per-connection `std::net::TcpListener` loop
+//!   that deframes submissions, bridges them into `Server::submit`, and
+//!   streams each session's chunks back as frames. No async runtime;
+//!   bounded buffers everywhere.
+//! - [`client`]: a blocking [`client::WireClient`] used by the examples,
+//!   the verify harness's wire phase, and the soak/bench drivers.
+//!
+//! Determinism contract: for identical submission schedules, a paused
+//! server drained through the wire produces bit-identical trajectories
+//! and identical final counters to in-process submission — the verify
+//! harness's "wire" phase enforces exactly that over a loopback socket.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod server;
+
+pub use client::{WireClient, WireError, WireSession};
+pub use codec::{Frame, WireOverride, WireSpec, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION};
+pub use server::WireServer;

@@ -1,0 +1,322 @@
+//! The socket front end: a thread-per-connection TCP loop bridging
+//! deframed [`Frame`]s into [`peert_serve::Server::submit`].
+//!
+//! No async runtime — the paper's toolchain philosophy (simple,
+//! inspectable concurrency) carried to the service layer. Per
+//! connection: one *reader* thread (deframe → dispatch), one *writer*
+//! thread (serialize frames from an internal queue, so forwarders and
+//! the reader never interleave partial frames on the socket), and one
+//! *forwarder* thread per live session (drains the session's event
+//! stream into `Chunk`/`Done` frames). All buffers are bounded: the
+//! deframer caps payloads at [`MAX_FRAME_PAYLOAD`], reads go through a
+//! fixed scratch buffer, and session events are already chunked by the
+//! daemon's quantum.
+//!
+//! Ordering guarantees clients may rely on:
+//!
+//! * `Accepted` is enqueued to the writer *before* the session's
+//!   forwarder starts, so no `Chunk`/`Done` for a session precedes its
+//!   `Accepted`;
+//! * the forwarder drops its [`peert_serve::SessionHandle`] (releasing the tenant's
+//!   quota slot) *before* enqueueing the `Done` frame, so once a client
+//!   has seen `Done`, a follow-up submission cannot be quota-rejected
+//!   by the session that just ended — which is what makes wire-driven
+//!   schedules exactly as predictable as in-process ones;
+//! * `CancelAck` is sent only after the cancel flag is set (or the id
+//!   was found dead), so a client that has its ack knows the daemon
+//!   will not step the session past the current quantum.
+//!
+//! A dropped connection cancels every session it still owns — a client
+//! that vanishes mid-stream stops costing compute within one quantum.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use peert_frame::Deframer;
+use peert_model::graph::BlockId;
+use peert_serve::{CancelToken, LaneOverride, Server, SessionEvent, SessionSpec};
+
+use crate::codec::{
+    Frame, WireOverride, WireSpec, ERR_MALFORMED, ERR_UNEXPECTED, ERR_VERSION, MAX_FRAME_PAYLOAD,
+    PROTOCOL_VERSION,
+};
+
+/// A running wire front end over a [`peert_serve::Server`].
+pub struct WireServer {
+    addr: SocketAddr,
+    closed: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl WireServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// accepting connections against `server`.
+    pub fn start(server: Arc<Server>, addr: impl ToSocketAddrs) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let closed = Arc::new(AtomicBool::new(false));
+        let threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let closed = Arc::clone(&closed);
+            let threads = Arc::clone(&threads);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("peert-wire-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if closed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        if let Ok(peer) = stream.try_clone() {
+                            conns.lock().expect("conns lock").push(peer);
+                        }
+                        let server = Arc::clone(&server);
+                        let threads2 = Arc::clone(&threads);
+                        let handle = std::thread::Builder::new()
+                            .name("peert-wire-conn".into())
+                            .spawn(move || run_connection(&server, stream, &threads2))
+                            .expect("spawn wire connection");
+                        threads.lock().expect("threads lock").push(handle);
+                    }
+                })
+                .expect("spawn wire accept loop")
+        };
+        Ok(WireServer { addr, closed, accept: Some(accept), threads, conns })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close every live connection and join all
+    /// connection/forwarder threads. Sessions still streaming are
+    /// cancelled by their connections' teardown; call this after
+    /// draining (or after [`peert_serve::Server::resume`]) so
+    /// cancelled sessions can reach their `Done` events.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for c in self.conns.lock().expect("conns lock").drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        // Connection threads spawn forwarders that push into the same
+        // vec; loop until it stays empty so late arrivals get joined.
+        loop {
+            let drained: Vec<_> =
+                self.threads.lock().expect("threads lock").drain(..).collect();
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One connection: deframe, dispatch, tear down.
+fn run_connection(
+    server: &Arc<Server>,
+    stream: TcpStream,
+    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    // The writer thread serializes all outbound frames; everything else
+    // holds a Sender<Vec<u8>> of pre-encoded bytes.
+    let (out_tx, out_rx) = channel::<Vec<u8>>();
+    let writer = std::thread::Builder::new()
+        .name("peert-wire-write".into())
+        .spawn(move || {
+            let mut w = write_half;
+            while let Ok(bytes) = out_rx.recv() {
+                if w.write_all(&bytes).is_err() {
+                    break;
+                }
+            }
+            let _ = w.shutdown(std::net::Shutdown::Both);
+        })
+        .expect("spawn wire writer");
+    threads.lock().expect("threads lock").push(writer);
+
+    // Sessions this connection owns: id → cancel token. Forwarders
+    // remove themselves on Done; teardown cancels whatever remains.
+    let live: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let mut reader = stream;
+    let mut deframer = Deframer::new(MAX_FRAME_PAYLOAD);
+    let mut buf = [0u8; 8192];
+    loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        for raw in deframer.push_slice(&buf[..n]) {
+            if raw.version != PROTOCOL_VERSION {
+                send(&out_tx, &Frame::Error {
+                    code: ERR_VERSION,
+                    message: format!(
+                        "unsupported protocol version {} (this server speaks {})",
+                        raw.version, PROTOCOL_VERSION
+                    ),
+                });
+                continue;
+            }
+            match Frame::decode(&raw) {
+                Ok(Frame::Submit { request_id, spec }) => {
+                    handle_submit(server, request_id, spec, &out_tx, &live, threads);
+                }
+                Ok(Frame::Cancel { session_id }) => {
+                    let token = live.lock().expect("live lock").get(&session_id).cloned();
+                    let known = token.is_some();
+                    if let Some(t) = token {
+                        t.cancel();
+                    }
+                    send(&out_tx, &Frame::CancelAck { session_id, known });
+                }
+                Ok(_) => {
+                    send(&out_tx, &Frame::Error {
+                        code: ERR_UNEXPECTED,
+                        message: format!("frame kind 0x{:02X} is server-to-client", raw.kind),
+                    });
+                }
+                Err(e) => {
+                    send(&out_tx, &Frame::Error {
+                        code: ERR_MALFORMED,
+                        message: format!("kind 0x{:02X}: {e}", raw.kind),
+                    });
+                }
+            }
+        }
+    }
+
+    // Disconnect: whatever the client still owned gets cancelled. The
+    // forwarders drain the resulting Done events and exit on their own.
+    for (_, token) in live.lock().expect("live lock").drain() {
+        token.cancel();
+    }
+}
+
+/// Decode a submission into a [`SessionSpec`], submit it, and either
+/// start a forwarder (accepted) or answer with the typed rejection.
+fn handle_submit(
+    server: &Arc<Server>,
+    request_id: u64,
+    sub: WireSpec,
+    out_tx: &Sender<Vec<u8>>,
+    live: &Arc<Mutex<HashMap<u64, CancelToken>>>,
+    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let diagram = match sub.diagram.build() {
+        Ok(d) => d,
+        Err(e) => {
+            // An in-process caller hits this error while *building*,
+            // before any Server::submit — so the daemon's counters are
+            // untouched here too, keeping wire and in-process schedules
+            // counter-identical.
+            send(out_tx, &Frame::Rejected {
+                request_id,
+                reject: peert_serve::Reject::Invalid(format!("diagram does not build: {e}")),
+            });
+            return;
+        }
+    };
+    let probes = sub
+        .probes
+        .iter()
+        .map(|&(b, p)| (BlockId::from_index(b as usize), p as usize))
+        .collect();
+    let overrides = sub
+        .overrides
+        .into_iter()
+        .map(|o| match o {
+            WireOverride::Param { block, index, value } => LaneOverride::Param {
+                block: BlockId::from_index(block as usize),
+                index: index as usize,
+                value,
+            },
+            WireOverride::Const { block, value } => {
+                LaneOverride::Const { block: BlockId::from_index(block as usize), value }
+            }
+        })
+        .collect();
+    let spec = SessionSpec {
+        tenant: sub.tenant,
+        diagram,
+        dt: sub.dt,
+        steps: sub.steps,
+        probes,
+        overrides,
+        priority: sub.priority,
+        deadline_budget: sub.deadline_ns.map(std::time::Duration::from_nanos),
+    };
+    match server.submit(spec) {
+        Err(reject) => send(out_tx, &Frame::Rejected { request_id, reject }),
+        Ok(handle) => {
+            let session_id = handle.id();
+            live.lock().expect("live lock").insert(session_id, handle.cancel_token());
+            // Accepted goes through the writer queue before the
+            // forwarder exists, so it precedes every Chunk/Done.
+            send(out_tx, &Frame::Accepted { request_id, session_id });
+            let out_tx = out_tx.clone();
+            let live = Arc::clone(live);
+            let fwd = std::thread::Builder::new()
+                .name("peert-wire-fwd".into())
+                .spawn(move || {
+                    let handle = handle;
+                    loop {
+                        match handle.next_event() {
+                            Some(SessionEvent::Chunk { start_step, values }) => {
+                                send(&out_tx, &Frame::Chunk { session_id, start_step, values });
+                            }
+                            Some(SessionEvent::Done { outcome, steps }) => {
+                                live.lock().expect("live lock").remove(&session_id);
+                                // Release the quota slot before the
+                                // client can possibly see Done.
+                                drop(handle);
+                                send(&out_tx, &Frame::Done { session_id, outcome, steps });
+                                break;
+                            }
+                            None => {
+                                live.lock().expect("live lock").remove(&session_id);
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn wire forwarder");
+            threads.lock().expect("threads lock").push(fwd);
+        }
+    }
+}
+
+fn send(out_tx: &Sender<Vec<u8>>, frame: &Frame) {
+    // A failed send means the writer (and connection) are gone; the
+    // reader will notice on its own.
+    let _ = out_tx.send(frame.encode());
+}

@@ -1,0 +1,193 @@
+//! Golden-bytes tests: the exact wire layout of every frame kind,
+//! pinned against checked-in hex fixtures. A refactor that changes
+//! field order, endianness, tag values, CRC coverage or the framing
+//! overhead fails here with a byte-level diff — version bumps must be
+//! deliberate (change [`PROTOCOL_VERSION`], regenerate the fixtures,
+//! and say so in DESIGN.md §12).
+
+use peert_fixedpoint::Q15;
+use peert_frame::{crc16, Deframer, WIRE_OVERHEAD, WIRE_SOF};
+use peert_model::spec::{BlockSpec, DiagramSpec};
+use peert_model::Value;
+use peert_serve::{Reject, SessionOutcome};
+use peert_wire::{Frame, WireOverride, WireSpec, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION};
+
+/// `(name, expected wire hex, frame)` for every kind in the vocabulary.
+fn fixtures() -> Vec<(&'static str, &'static str, Frame)> {
+    let diagram = DiagramSpec {
+        dt: 0.001,
+        blocks: vec![
+            BlockSpec::Constant { value: 1.5 },
+            BlockSpec::Gain { gain: -2.0 },
+            BlockSpec::Output,
+        ],
+        wires: vec![(0, 0, 1, 0), (1, 0, 2, 0)],
+    };
+    vec![
+        (
+            "cancel",
+            "5a0102080000000102030405060708c935",
+            Frame::Cancel { session_id: 0x0807060504030201 },
+        ),
+        (
+            "accepted",
+            "5a018110000000070000000000000028000000000000000877",
+            Frame::Accepted { request_id: 7, session_id: 40 },
+        ),
+        (
+            "cancel_ack",
+            "5a0186090000002800000000000000013d6c",
+            Frame::CancelAck { session_id: 40, known: true },
+        ),
+        (
+            "error",
+            "5a0185090000000200030000006261646b80",
+            Frame::Error { code: 2, message: "bad".into() },
+        ),
+        (
+            "done_completed",
+            "5a0184110000002800000000000000008002000000000000c2c3",
+            Frame::Done { session_id: 40, outcome: SessionOutcome::Completed, steps: 640 },
+        ),
+        (
+            "rejected_quota",
+            "5a0182210000000700000000000000000400000061636d6504000000000000000400000000000000\
+             9133",
+            Frame::Rejected {
+                request_id: 7,
+                reject: Reject::QuotaExceeded { tenant: "acme".into(), active: 4, quota: 4 },
+            },
+        ),
+        (
+            "rejected_deadline",
+            "5a018221000000080000000000000005e80300000000000000fa000000000000640000000000000\
+             0ee08",
+            Frame::Rejected {
+                request_id: 8,
+                reject: Reject::DeadlineInfeasible {
+                    budget_ns: 1000,
+                    predicted_ns: 64000,
+                    p99_step_ns: 100,
+                },
+            },
+        ),
+        (
+            "chunk_every_value_tag",
+            "5a01834a000000280000000000000010000000000000000600000000000000000000f83f01feff\
+             ffff0000000002fdff0000000000000304000000000000000401000000000000000500c0000000\
+             000000c4fe",
+            Frame::Chunk {
+                session_id: 40,
+                start_step: 16,
+                values: vec![
+                    Value::F64(1.5),
+                    Value::I32(-2),
+                    Value::I16(-3),
+                    Value::U16(4),
+                    Value::Bool(true),
+                    Value::Q15(Q15::from_raw(-16384)),
+                ],
+            },
+        ),
+        (
+            "submit",
+            "5a01018e00000007000000000000000400000061636d65fca9f1d24d62503f40000000000000000\
+             101404b4c00000000000100000001000000000000000100000000010000000000000000000000000\
+             00840fca9f1d24d62503f0300000002000000000000f83f0700000000000000c0010200000000000\
+             000000000000100000000000000010000000000000002000000000000002231",
+            Frame::Submit {
+                request_id: 7,
+                spec: WireSpec::new("acme", diagram, 64)
+                    .priority(1)
+                    .deadline_ns(5_000_000)
+                    .probe(1, 0)
+                    .with_override(WireOverride::Param { block: 1, index: 0, value: 3.0 }),
+            },
+        ),
+    ]
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("valid hex fixture"))
+        .collect()
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn every_frame_kind_encodes_to_its_pinned_bytes() {
+    for (name, want_hex, frame) in fixtures() {
+        let got = frame.encode();
+        assert_eq!(
+            hex(&got),
+            hex(&unhex(want_hex)),
+            "wire layout of '{name}' changed — if deliberate, bump PROTOCOL_VERSION and \
+             regenerate the fixture"
+        );
+    }
+}
+
+#[test]
+fn every_pinned_fixture_decodes_to_its_frame() {
+    for (name, wire_hex, want) in fixtures() {
+        let mut d = Deframer::new(MAX_FRAME_PAYLOAD);
+        let raws = d.push_slice(&unhex(wire_hex));
+        assert_eq!(raws.len(), 1, "fixture '{name}' must deframe to exactly one frame");
+        assert_eq!(raws[0].version, PROTOCOL_VERSION, "fixture '{name}'");
+        let got = Frame::decode(&raws[0]).unwrap_or_else(|e| panic!("fixture '{name}': {e}"));
+        assert_eq!(got, want, "fixture '{name}' decoded differently");
+    }
+}
+
+/// The outer grammar, checked structurally against the fixture bytes:
+/// SOF marker, version, kind discriminant, little-endian LEN matching
+/// the payload, and CRC16-CCITT (poly 0x1021, init 0xFFFF) over
+/// VER..payload in little-endian trailer position.
+#[test]
+fn outer_grammar_is_pinned() {
+    for (name, wire_hex, frame) in fixtures() {
+        let bytes = unhex(wire_hex);
+        assert!(bytes.len() >= WIRE_OVERHEAD, "fixture '{name}' shorter than the overhead");
+        assert_eq!(bytes[0], WIRE_SOF, "fixture '{name}': SOF");
+        assert_eq!(bytes[1], PROTOCOL_VERSION, "fixture '{name}': version byte");
+        assert_eq!(bytes[2], frame.kind(), "fixture '{name}': kind byte");
+        let len =
+            u32::from_le_bytes([bytes[3], bytes[4], bytes[5], bytes[6]]) as usize;
+        assert_eq!(len, bytes.len() - WIRE_OVERHEAD, "fixture '{name}': LEN field");
+        let crc = u16::from_le_bytes([bytes[bytes.len() - 2], bytes[bytes.len() - 1]]);
+        assert_eq!(
+            crc,
+            crc16(&bytes[1..bytes.len() - 2]),
+            "fixture '{name}': CRC trailer over VER..payload"
+        );
+    }
+}
+
+/// The client→server / server→client split lives in the kind byte's
+/// high bit; pin the discriminants themselves.
+#[test]
+fn kind_discriminants_are_pinned() {
+    let kinds: Vec<(u8, &str)> = fixtures()
+        .iter()
+        .map(|(name, wire_hex, _)| (unhex(wire_hex)[2], *name))
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            (0x02, "cancel"),
+            (0x81, "accepted"),
+            (0x86, "cancel_ack"),
+            (0x85, "error"),
+            (0x84, "done_completed"),
+            (0x82, "rejected_quota"),
+            (0x82, "rejected_deadline"),
+            (0x83, "chunk_every_value_tag"),
+            (0x01, "submit"),
+        ]
+    );
+}

@@ -1,0 +1,361 @@
+//! Property-based tests for the wire frame codec: every frame kind
+//! round-trips bit-exactly through encode → deframe → decode, and the
+//! stream layer survives whatever a hostile or broken peer sends —
+//! re-slicing, truncation, bit flips, oversize lengths and raw garbage
+//! never panic, never wedge the deframer, and never surface a silently
+//! corrupted frame.
+
+use peert_fixedpoint::Q15;
+use peert_frame::{Deframer, RawFrame, WIRE_OVERHEAD, WIRE_SOF};
+use peert_model::spec::{BlockSpec, DiagramSpec};
+use peert_model::Value;
+use peert_serve::{Reject, SessionOutcome};
+use peert_wire::{Frame, WireOverride, WireSpec, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------------
+
+/// Any `Value`, including non-finite floats: floats travel as raw bit
+/// patterns, so the strategy draws bits, not numbers.
+fn arb_string(max: usize) -> impl Strategy<Value = String> {
+    // chars drawn across ASCII and a multi-byte range, so length
+    // prefixes count bytes != chars
+    prop::collection::vec(32u32..0x2FF, 0..max)
+        .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn arb_signs() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<bool>(), 0..5)
+        .prop_map(|bs| bs.into_iter().map(|b| if b { '+' } else { '-' }).collect())
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(|b| Value::F64(f64::from_bits(b))),
+        any::<i32>().prop_map(Value::I32),
+        any::<i16>().prop_map(Value::I16),
+        any::<u16>().prop_map(Value::U16),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i16>().prop_map(|r| Value::Q15(Q15::from_raw(r))),
+    ]
+}
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arb_block() -> impl Strategy<Value = BlockSpec> {
+    prop_oneof![
+        (0usize..4).prop_map(|index| BlockSpec::Input { index }),
+        Just(BlockSpec::Output),
+        arb_f64().prop_map(|value| BlockSpec::Constant { value }),
+        (arb_f64(), arb_f64()).prop_map(|(time, level)| BlockSpec::Step { time, level }),
+        (arb_f64(), arb_f64())
+            .prop_map(|(amplitude, freq_hz)| BlockSpec::Sine { amplitude, freq_hz }),
+        (arb_f64(), arb_f64()).prop_map(|(slope, start)| BlockSpec::Ramp { slope, start }),
+        (arb_f64(), arb_f64(), arb_f64())
+            .prop_map(|(amplitude, period, duty)| BlockSpec::Pulse { amplitude, period, duty }),
+        arb_f64().prop_map(|gain| BlockSpec::Gain { gain }),
+        arb_signs().prop_map(|signs| BlockSpec::Sum { signs }),
+        (1usize..5).prop_map(|inputs| BlockSpec::Product { inputs }),
+        (any::<bool>(), 1usize..5)
+            .prop_map(|(is_max, inputs)| BlockSpec::MinMax { is_max, inputs }),
+        Just(BlockSpec::Abs),
+        (arb_f64(), arb_f64()).prop_map(|(lo, hi)| BlockSpec::Saturation { lo, hi }),
+        arb_f64().prop_map(|width| BlockSpec::DeadZone { width }),
+        arb_f64().prop_map(|interval| BlockSpec::Quantizer { interval }),
+        arb_f64().prop_map(|rate| BlockSpec::RateLimiter { rate }),
+        (arb_f64(), arb_f64(), arb_f64(), arb_f64()).prop_map(
+            |(on_point, off_point, on_value, off_value)| BlockSpec::Relay {
+                on_point,
+                off_point,
+                on_value,
+                off_value,
+            }
+        ),
+        any::<u8>().prop_map(|op| BlockSpec::Compare { op }),
+        Just(BlockSpec::Switch),
+        arb_f64().prop_map(|period| BlockSpec::UnitDelay { period }),
+        arb_f64().prop_map(|period| BlockSpec::ZeroOrderHold { period }),
+        (arb_f64(), arb_f64(), arb_f64())
+            .prop_map(|(period, lo, hi)| BlockSpec::DiscreteIntegrator { period, lo, hi }),
+        arb_f64().prop_map(|period| BlockSpec::DiscreteDerivative { period }),
+        (
+            prop::collection::vec(arb_f64(), 1..4),
+            prop::collection::vec(arb_f64(), 1..4),
+            arb_f64()
+        )
+            .prop_map(|(num, den, period)| BlockSpec::DiscreteTransferFcn { num, den, period }),
+    ]
+}
+
+/// An arbitrary `DiagramSpec` as wire *data* — structural validity
+/// (wire targets in range, ports that exist) is the daemon's problem,
+/// not the codec's, so the strategy doesn't bother being well-formed.
+fn arb_diagram() -> impl Strategy<Value = DiagramSpec> {
+    (
+        arb_f64(),
+        prop::collection::vec(arb_block(), 0..6),
+        prop::collection::vec((0usize..64, 0usize..4, 0usize..64, 0usize..4), 0..8),
+    )
+        .prop_map(|(dt, blocks, wires)| DiagramSpec { dt, blocks, wires })
+}
+
+fn arb_override() -> impl Strategy<Value = WireOverride> {
+    prop_oneof![
+        (any::<u32>(), 0u32..8, arb_f64())
+            .prop_map(|(block, index, value)| WireOverride::Param { block, index, value }),
+        (any::<u32>(), arb_value()).prop_map(|(block, value)| WireOverride::Const { block, value }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = WireSpec> {
+    (
+        (arb_string(12), arb_diagram(), arb_f64(), any::<u64>()),
+        (
+            any::<u8>(),
+            prop::option::of(any::<u64>()),
+            prop::collection::vec((any::<u32>(), 0u32..4), 0..8),
+            prop::collection::vec(arb_override(), 0..4),
+        ),
+    )
+        .prop_map(|((tenant, diagram, dt, steps), (priority, deadline_ns, probes, overrides))| {
+            WireSpec { tenant, diagram, dt, steps, priority, deadline_ns, probes, overrides }
+        })
+}
+
+fn arb_reject() -> impl Strategy<Value = Reject> {
+    prop_oneof![
+        (arb_string(12), 0usize..100, 0usize..100).prop_map(|(tenant, active, quota)| {
+            Reject::QuotaExceeded { tenant, active, quota }
+        }),
+        (0usize..16, 0usize..1000).prop_map(|(shard, cap)| Reject::Backpressure { shard, cap }),
+        arb_string(24).prop_map(Reject::Invalid),
+        arb_string(24).prop_map(Reject::OverridesUnsupported),
+        Just(Reject::ShuttingDown),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(budget_ns, predicted_ns, p99_step_ns)| Reject::DeadlineInfeasible {
+                budget_ns,
+                predicted_ns,
+                p99_step_ns,
+            }
+        ),
+    ]
+}
+
+fn arb_outcome() -> impl Strategy<Value = SessionOutcome> {
+    prop_oneof![
+        Just(SessionOutcome::Completed),
+        Just(SessionOutcome::Cancelled),
+        arb_string(24).prop_map(SessionOutcome::Failed),
+    ]
+}
+
+/// Every frame kind, client- and server-side.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u64>(), arb_spec()).prop_map(|(request_id, spec)| Frame::Submit {
+            request_id,
+            spec
+        }),
+        any::<u64>().prop_map(|session_id| Frame::Cancel { session_id }),
+        (any::<u64>(), any::<u64>()).prop_map(|(request_id, session_id)| Frame::Accepted {
+            request_id,
+            session_id
+        }),
+        (any::<u64>(), arb_reject())
+            .prop_map(|(request_id, reject)| Frame::Rejected { request_id, reject }),
+        (any::<u64>(), any::<u64>(), prop::collection::vec(arb_value(), 0..24)).prop_map(
+            |(session_id, start_step, values)| Frame::Chunk { session_id, start_step, values }
+        ),
+        (any::<u64>(), arb_outcome(), any::<u64>())
+            .prop_map(|(session_id, outcome, steps)| Frame::Done { session_id, outcome, steps }),
+        (any::<u16>(), arb_string(24)).prop_map(|(code, message)| Frame::Error { code, message }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(session_id, known)| Frame::CancelAck { session_id, known }),
+    ]
+}
+
+/// Frame equality through re-encoding: `f64::NAN != f64::NAN` under
+/// `PartialEq`, but encoding is a pure function of the bit patterns, so
+/// two frames are wire-identical iff their bytes are.
+fn wire_eq(a: &Frame, b: &Frame) -> bool {
+    a.encode() == b.encode()
+}
+
+/// Deframer cap for the adversarial-stream properties: small enough
+/// that a flush gap is cheap, large enough for every generated frame.
+const TEST_CAP: usize = 1 << 12;
+
+fn flush_gap() -> Vec<u8> {
+    vec![0u8; TEST_CAP + WIRE_OVERHEAD]
+}
+
+proptest! {
+    /// Every frame kind survives encode → deframe → decode bit-exactly.
+    #[test]
+    fn every_frame_kind_round_trips(f in arb_frame()) {
+        let bytes = f.encode();
+        let mut d = Deframer::new(MAX_FRAME_PAYLOAD);
+        let raws = d.push_slice(&bytes);
+        prop_assert_eq!(raws.len(), 1);
+        prop_assert_eq!(raws[0].version, PROTOCOL_VERSION);
+        prop_assert_eq!(raws[0].kind, f.kind());
+        let back = Frame::decode(&raws[0]).expect("valid frame decodes");
+        prop_assert!(wire_eq(&back, &f), "round trip changed the frame");
+        prop_assert_eq!(d.crc_errors(), 0);
+    }
+
+    /// A train of frames, cut into arbitrary slices, parses completely
+    /// and in order — slice boundaries are invisible to the stream.
+    #[test]
+    fn frame_trains_survive_arbitrary_re_slicing(
+        frames in prop::collection::vec(arb_frame(), 1..6),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..12),
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend(f.encode());
+        }
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c.index(stream.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(stream.len());
+        bounds.sort_unstable();
+        let mut d = Deframer::new(MAX_FRAME_PAYLOAD);
+        let mut got = Vec::new();
+        for w in bounds.windows(2) {
+            got.extend(d.push_slice(&stream[w[0]..w[1]]));
+        }
+        prop_assert_eq!(got.len(), frames.len());
+        for (raw, want) in got.iter().zip(frames.iter()) {
+            let back = Frame::decode(raw).expect("valid frame decodes");
+            prop_assert!(wire_eq(&back, want));
+        }
+    }
+
+    /// A single-bit flip anywhere past SOF and LEN leaves the frame
+    /// boundary intact, so the corruption is caught by CRC, the frame is
+    /// dropped, and the very next frame parses. (SOF and LEN flips break
+    /// framing itself; they get their own bounded-loss properties.)
+    #[test]
+    fn bit_flips_are_dropped_with_resync(
+        f1 in arb_frame(),
+        f2 in arb_frame(),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut stream = f1.encode();
+        let len = stream.len();
+        // flip within VER, KIND, payload or CRC — not SOF (0), not LEN (3..7)
+        let flippable: Vec<usize> =
+            (1..len).filter(|&i| !(3..7).contains(&i)).collect();
+        let idx = flippable[byte_idx.index(flippable.len())];
+        stream[idx] ^= 1 << bit;
+        stream.extend(f2.encode());
+        let mut d = Deframer::new(MAX_FRAME_PAYLOAD);
+        let got = d.push_slice(&stream);
+        prop_assert_eq!(got.len(), 1, "corrupted frame must be dropped");
+        // a VER flip still CRC-fails; the payload is never trusted
+        prop_assert_eq!(d.crc_errors(), 1);
+        let back = Frame::decode(&got[0]).expect("clean frame decodes");
+        prop_assert!(wire_eq(&back, &f2), "the frame after the corruption must parse");
+    }
+
+    /// A corrupted LEN mis-frames the stream: the loss is bounded (at
+    /// most the payload cap), never a panic, and after a SOF-free flush
+    /// gap the next frame parses.
+    #[test]
+    fn len_flips_lose_at_most_the_cap(
+        f1 in arb_frame(),
+        f2 in arb_frame(),
+        len_byte in 0usize..4,
+        bit in 0u8..8,
+    ) {
+        let mut stream = f1.encode();
+        stream[3 + len_byte] ^= 1 << bit;
+        stream.extend(flush_gap());
+        stream.extend(f2.encode());
+        let mut d = Deframer::new(TEST_CAP);
+        let got = d.push_slice(&stream);
+        let back = Frame::decode(got.last().expect("trailing frame parses"))
+            .expect("trailing frame decodes");
+        prop_assert!(wire_eq(&back, &f2));
+    }
+
+    /// Truncating a frame anywhere never wedges the deframer: after a
+    /// flush gap, the next valid frame parses.
+    #[test]
+    fn truncation_never_wedges(
+        f1 in arb_frame(),
+        f2 in arb_frame(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let whole = f1.encode();
+        let keep = cut.index(whole.len());
+        let mut stream = whole[..keep].to_vec();
+        stream.extend(flush_gap());
+        stream.extend(f2.encode());
+        let mut d = Deframer::new(TEST_CAP);
+        let got = d.push_slice(&stream);
+        let back = Frame::decode(got.last().expect("frame after truncation parses"))
+            .expect("frame after truncation decodes");
+        prop_assert!(wire_eq(&back, &f2));
+    }
+
+    /// Arbitrary garbage never panics the deframer and never produces a
+    /// frame that passes CRC *and* decodes to a submit/cancel by
+    /// accident without the full grammar agreeing; afterwards the parser
+    /// is still functional.
+    #[test]
+    fn garbage_streams_never_panic_or_wedge(
+        garbage in prop::collection::vec(any::<u8>(), 0..512),
+        f in arb_frame(),
+    ) {
+        let mut d = Deframer::new(TEST_CAP);
+        for raw in d.push_slice(&garbage) {
+            let _ = Frame::decode(&raw); // must not panic, whatever parsed
+        }
+        let mut stream = flush_gap();
+        stream.extend(f.encode());
+        let got = d.push_slice(&stream);
+        let back = Frame::decode(got.last().expect("frame after garbage parses"))
+            .expect("frame after garbage decodes");
+        prop_assert!(wire_eq(&back, &f));
+    }
+
+    /// `Frame::decode` over arbitrary payload bytes under any kind byte
+    /// is total: typed errors or a frame, never a panic and never an
+    /// absurd allocation (`Dec::count` bounds every collection by the
+    /// bytes actually present).
+    #[test]
+    fn decode_is_total_over_arbitrary_payloads(
+        kind in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let raw = RawFrame { version: PROTOCOL_VERSION, kind, payload };
+        if let Ok(f) = Frame::decode(&raw) {
+            // anything that decodes must re-encode into a deframeable frame
+            let mut d = Deframer::new(MAX_FRAME_PAYLOAD);
+            prop_assert_eq!(d.push_slice(&f.encode()).len(), 1);
+        }
+    }
+}
+
+/// A LEN beyond the payload cap aborts *at the fourth LEN byte* — the
+/// deframer is back to SOF hunting immediately (no flush gap needed)
+/// and the oversize counter records the attack.
+#[test]
+fn oversize_len_aborts_promptly_and_recovers() {
+    let cap = 256;
+    let mut d = Deframer::new(cap);
+    let mut stream = vec![WIRE_SOF, PROTOCOL_VERSION, 0x01];
+    stream.extend_from_slice(&(cap as u32 + 1).to_le_bytes());
+    let f = Frame::Cancel { session_id: 99 };
+    stream.extend(f.encode());
+    let got = d.push_slice(&stream);
+    assert_eq!(d.oversize(), 1);
+    assert_eq!(got.len(), 1, "the frame right after the oversize header must parse");
+    assert_eq!(Frame::decode(&got[0]).expect("decodes"), f);
+}

@@ -1,0 +1,386 @@
+//! Deterministic wire soak: the serve-layer soak discipline
+//! (`crates/serve/tests/serve_soak.rs`) driven entirely through the
+//! socket front end — waves of paused submission over several
+//! [`WireClient`]s, quota exhaustion *over the wire*, acked pre-resume
+//! cancels, deadline-admission rejections once the step-latency
+//! histogram is warm, a cancel-ack flood of dead and bogus session
+//! ids, and a mid-stream disconnect whose orphaned sessions the server
+//! must cancel — with the final [`ServeCounters`] predicted *exactly*
+//! from the schedule. If the wire layer dropped, duplicated or
+//! reordered a single admission-relevant frame, the equality at the
+//! bottom would break.
+//!
+//! The default run keeps tier-1 fast; `WIRE_SOAK=1` stretches it to
+//! the full-scale battery (CI runs that gate in release, see
+//! `scripts/ci.sh`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use peert_model::spec::{BlockSpec, DiagramSpec};
+use peert_serve::{Reject, ServeConfig, ServeCounters, Server, SessionOutcome};
+use peert_wire::{WireClient, WireError, WireServer, WireSpec};
+
+const DT: f64 = 1e-3;
+const JOIN: Duration = Duration::from_secs(120);
+const SHAPES: u64 = 3;
+
+/// Soak scale: (waves, tenants, submits per tenant per wave, quota,
+/// clients, deadline-reject reps, cancel-flood size, disconnect-phase
+/// sessions). Accepted sessions per wave = tenants × quota, which must
+/// fit one shard's queue (a wave may route every shape to the same
+/// shard).
+fn scale() -> (u64, u64, u64, usize, usize, u64, u64, u64) {
+    if std::env::var("WIRE_SOAK").ok().as_deref() == Some("1") {
+        (4, 8, 24, 20, 4, 8, 256, 24) // 4×8×20 = 640 accepted wave sessions
+    } else {
+        (2, 4, 5, 3, 2, 2, 24, 6) // quick tier-1 variant, same invariants
+    }
+}
+
+/// Fixed diagram spec per shape — parameters must be identical across
+/// sessions of a shape, or their lowering digests diverge and nothing
+/// coalesces. Every shape keeps its `Gain` at block index 1, which is
+/// what the probe below points at.
+fn shape(s: u64) -> DiagramSpec {
+    match s % SHAPES {
+        0 => DiagramSpec {
+            dt: DT,
+            blocks: vec![
+                BlockSpec::Sine { amplitude: 1.0, freq_hz: 10.0 },
+                BlockSpec::Gain { gain: 1.5 },
+            ],
+            wires: vec![(0, 0, 1, 0)],
+        },
+        1 => DiagramSpec {
+            dt: DT,
+            blocks: vec![
+                BlockSpec::Sine { amplitude: 1.0, freq_hz: 10.0 },
+                BlockSpec::Gain { gain: 2.0 },
+                BlockSpec::DiscreteIntegrator { period: DT, lo: -1e9, hi: 1e9 },
+            ],
+            wires: vec![(0, 0, 1, 0), (1, 0, 2, 0)],
+        },
+        _ => DiagramSpec {
+            dt: DT,
+            blocks: vec![
+                BlockSpec::Sine { amplitude: 2.0, freq_hz: 5.0 },
+                BlockSpec::Gain { gain: 0.5 },
+            ],
+            wires: vec![(0, 0, 1, 0)],
+        },
+    }
+}
+
+fn budget(s: u64) -> u64 {
+    16 + 8 * (s % SHAPES)
+}
+
+fn spec_for(tenant: String, s: u64, steps: u64) -> WireSpec {
+    WireSpec::new(tenant, shape(s), steps).probe(1, 0)
+}
+
+/// Gang chunks the scheduler will cut an `n`-session bucket into, and
+/// their contribution to the `batches` / `coalesced_lanes` counters.
+fn gangs_of(n: u64, max_lanes: u64) -> (u64, u64) {
+    let (mut batches, mut coalesced, mut left) = (0, 0, n);
+    while left > 0 {
+        let take = left.min(max_lanes);
+        batches += 1;
+        if take >= 2 {
+            coalesced += take;
+        }
+        left -= take;
+    }
+    (batches, coalesced)
+}
+
+/// Poll the daemon's counters until they equal `want` (the wire soak's
+/// only asynchronous edge: a disconnected client cannot join its
+/// sessions, so quiescence is observed through [`Server::stats`]).
+fn await_counters(server: &Server, want: &ServeCounters) {
+    let deadline = Instant::now() + JOIN;
+    loop {
+        if &server.stats().counters == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "counters never reached the expectation:\n  now:  {:?}\n  want: {:?}",
+            server.stats().counters,
+            want
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn wire_soak_counters_equal_schedule_derived_expectations() {
+    let (waves, tenants, submits, quota, n_clients, dl_reps, flood, doomed) = scale();
+    let queue_cap = 1024usize;
+    assert!(tenants as usize * quota <= queue_cap, "a wave must fit one queue");
+    let max_lanes = 8u64;
+    let config = ServeConfig {
+        shards: 2,
+        queue_cap,
+        tenant_quota: quota,
+        max_lanes: max_lanes as usize,
+        quantum: 16,
+        plan_cache_cap: 64,
+        compact: true,
+        start_paused: true,
+    };
+    let server = Arc::new(Server::start(config));
+    let ws = WireServer::start(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    let mut clients: Vec<WireClient> = (0..n_clients)
+        .map(|_| WireClient::connect(ws.local_addr()).expect("connect loopback"))
+        .collect();
+
+    let mut exp = ServeCounters::default();
+    let mut exp_gangs = 0u64; // for the plan-cache hit count
+    let mut completed_per_shape = [0u64; SHAPES as usize];
+    let mut stale_ids = Vec::new(); // reaped sessions, fodder for the flood
+
+    // ── wave phase: paused submission round-robin over every client,
+    // quota exhaustion over the wire, acked pre-resume cancels, then
+    // resume and join everything ─────────────────────────────────────
+    for wave in 0..waves {
+        if wave > 0 {
+            server.pause();
+        }
+        let mut joins = Vec::new();
+        let mut wave_shape_counts = [0u64; SHAPES as usize];
+        for t in 0..tenants {
+            for j in 0..submits {
+                let s = t + j;
+                let ci = ((t * submits + j) as usize) % clients.len();
+                exp.submitted += 1;
+                let spec = spec_for(format!("tenant{t}"), s, budget(s));
+                if j >= quota as u64 {
+                    // the first `quota` sessions of this tenant are
+                    // still unreaped, so the daemon must reject — and
+                    // the typed reason must survive the socket
+                    match clients[ci].submit(spec) {
+                        Err(WireError::Rejected(Reject::QuotaExceeded {
+                            tenant, active, ..
+                        })) => {
+                            assert_eq!((tenant.as_str(), active), (&*format!("tenant{t}"), quota));
+                            exp.rejected_quota += 1;
+                        }
+                        other => panic!("expected quota reject, got {:?}", other.map(|_| ())),
+                    }
+                    continue;
+                }
+                let sess = clients[ci].submit(spec).expect("under quota, roomy queue");
+                exp.accepted += 1;
+                wave_shape_counts[(s % SHAPES) as usize] += 1;
+                let cancel = j % 5 == 0;
+                if cancel {
+                    // cancelled while the server is paused: the ack
+                    // round-trip proves the flag is set before the lane
+                    // ever steps, so it must record exactly 0
+                    let known = clients[ci].cancel(sess.id()).expect("cancel round-trip");
+                    assert!(known, "server forgot a session it had just accepted");
+                    exp.cancelled += 1;
+                } else {
+                    exp.completed += 1;
+                    exp.steps_completed += budget(s);
+                    completed_per_shape[(s % SHAPES) as usize] += 1;
+                }
+                joins.push((sess, s, cancel));
+            }
+        }
+        // gang formation sees each wave's whole backlog at once:
+        // per shape, ceil(n / max_lanes) gangs
+        for &n in &wave_shape_counts {
+            let (b, c) = gangs_of(n, max_lanes);
+            exp.batches += b;
+            exp.coalesced_lanes += c;
+            exp_gangs += b;
+        }
+        server.resume();
+        for (sess, s, cancel) in joins {
+            let id = sess.id();
+            let res = sess.join_deadline(JOIN).expect("wave session wedged");
+            if cancel {
+                assert_eq!(res.outcome, SessionOutcome::Cancelled);
+                assert_eq!(res.steps, 0, "pre-resume cancel must land before the first quantum");
+                assert!(res.trajectory.is_empty());
+            } else {
+                assert_eq!(res.outcome, SessionOutcome::Completed);
+                assert_eq!(res.steps, budget(s));
+                assert_eq!(res.trajectory.len() as u64, budget(s), "one probe per step");
+            }
+            stale_ids.push(id);
+        }
+    }
+
+    // ── deadline phase: every shape's shard is warm now, so a 1 ns
+    // budget with a u64::MAX step bill must be refused before any
+    // compute — and a generous budget must still be admitted ─────────
+    for s in 0..SHAPES {
+        assert!(completed_per_shape[s as usize] > 0, "shape {s} never warmed its shard");
+    }
+    for rep in 0..dl_reps {
+        for s in 0..SHAPES {
+            let ci = ((rep * SHAPES + s) as usize) % clients.len();
+            exp.submitted += 1;
+            let spec = spec_for("deadline".into(), s, u64::MAX).deadline_ns(1);
+            match clients[ci].submit(spec) {
+                Err(WireError::Rejected(Reject::DeadlineInfeasible {
+                    budget_ns,
+                    predicted_ns,
+                    p99_step_ns,
+                })) => {
+                    assert_eq!(budget_ns, 1);
+                    assert!(p99_step_ns >= 1);
+                    assert_eq!(predicted_ns, p99_step_ns.saturating_mul(u64::MAX));
+                    exp.rejected_deadline += 1;
+                }
+                other => panic!("expected deadline reject, got {:?}", other.map(|_| ())),
+            }
+        }
+    }
+    // feasible deadline: an hour of budget for a 16-step session
+    server.pause();
+    exp.submitted += 1;
+    let spec = spec_for("deadline".into(), 0, budget(0)).deadline_ns(3_600_000_000_000);
+    let sess = clients[0].submit(spec).expect("a generous deadline admits");
+    exp.accepted += 1;
+    exp.completed += 1;
+    exp.steps_completed += budget(0);
+    let (b, c) = gangs_of(1, max_lanes);
+    exp.batches += b;
+    exp.coalesced_lanes += c;
+    exp_gangs += b;
+    server.resume();
+    let res = sess.join_deadline(JOIN).expect("deadline-admitted session wedged");
+    assert_eq!(res.outcome, SessionOutcome::Completed);
+
+    // ── cancel flood: a burst of cancels for sessions that are long
+    // reaped plus ids that never existed. Every one must come back
+    // acked `known=false` and none may disturb a counter ─────────────
+    for i in 0..flood {
+        let ci = (i as usize) % clients.len();
+        let id = if i % 2 == 0 && !stale_ids.is_empty() {
+            stale_ids[(i as usize / 2) % stale_ids.len()]
+        } else {
+            (1u64 << 40) | i
+        };
+        let known = clients[ci].cancel(id).expect("flood cancel round-trip");
+        assert!(!known, "session {id} should be unknown to the daemon");
+    }
+
+    // ── disconnect phase: a sacrificial client submits (and cancels)
+    // a batch while paused, then vanishes mid-stream. Its connection
+    // teardown re-cancels whatever it still owned — idempotently — and
+    // the daemon must converge to the schedule-derived counters even
+    // though nobody is left to join the sessions ─────────────────────
+    server.pause();
+    let mut doomed_client = WireClient::connect(ws.local_addr()).expect("connect loopback");
+    let mut doomed_shape_counts = [0u64; SHAPES as usize];
+    for i in 0..doomed {
+        exp.submitted += 1;
+        let spec = spec_for(format!("doom{}", i / quota as u64), i, budget(i));
+        let sess = doomed_client.submit(spec).expect("fresh tenants, roomy queue");
+        exp.accepted += 1;
+        doomed_shape_counts[(i % SHAPES) as usize] += 1;
+        let known = doomed_client.cancel(sess.id()).expect("cancel round-trip");
+        assert!(known);
+        exp.cancelled += 1;
+    }
+    for &n in &doomed_shape_counts {
+        let (b, c) = gangs_of(n, max_lanes);
+        exp.batches += b;
+        exp.coalesced_lanes += c;
+        exp_gangs += b;
+    }
+    drop(doomed_client); // mid-stream disconnect, sessions still live
+    server.resume();
+    await_counters(&server, &exp);
+
+    // ── the proof: counters equal the schedule-derived expectation ───
+    for c in clients.drain(..) {
+        c.close();
+    }
+    ws.shutdown();
+    let Ok(server) = Arc::try_unwrap(server) else {
+        panic!("wire front end leaked a Server reference past shutdown");
+    };
+    let stats = server.shutdown();
+    assert_eq!(stats.counters, exp);
+
+    // the plan cache compiled each shape exactly once, ever
+    assert_eq!(stats.plan_cache.misses, SHAPES);
+    assert_eq!(stats.plan_cache.hits, exp_gangs - SHAPES);
+    assert_eq!(stats.plan_cache.evictions, 0);
+
+    // every shard that ran sessions measured step latency (the deadline
+    // phase above fed off these histograms)
+    for sh in &stats.shards {
+        if sh.sessions > 0 {
+            assert!(sh.step_ns.count > 0, "shard {} ran without histogram samples", sh.shard);
+        }
+    }
+}
+
+/// The non-paused half of the disconnect story: sessions that are
+/// actively *streaming* when their client vanishes must stop costing
+/// compute. Exact step counts are inherently racy here (the cancel
+/// lands at a quantum boundary), so this asserts convergence — every
+/// orphaned session ends `Cancelled`, none completes — rather than a
+/// step-exact schedule.
+#[test]
+fn mid_stream_disconnect_cancels_streaming_sessions() {
+    let config = ServeConfig {
+        shards: 1,
+        queue_cap: 64,
+        tenant_quota: 8,
+        max_lanes: 4,
+        quantum: 8,
+        plan_cache_cap: 8,
+        compact: false,
+        start_paused: false,
+    };
+    let server = Arc::new(Server::start(config));
+    let ws = WireServer::start(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    let client = {
+        let mut client = WireClient::connect(ws.local_addr()).expect("connect loopback");
+        let mut sessions = Vec::new();
+        for _ in 0..3 {
+            // a step bill this large cannot complete inside the test;
+            // only the disconnect can end these sessions
+            let sess = client.submit(spec_for("ghost".into(), 0, 1 << 40)).expect("admitted");
+            sessions.push(sess);
+        }
+        // wait until every session has streamed at least one chunk, so
+        // the disconnect provably lands mid-stream
+        for sess in &sessions {
+            let ev = sess.next_event().expect("first chunk");
+            assert!(matches!(ev, peert_serve::SessionEvent::Chunk { .. }));
+        }
+        client
+    };
+    drop(client); // abrupt disconnect while all three are streaming
+
+    let deadline = Instant::now() + JOIN;
+    loop {
+        let c = server.stats().counters;
+        if c.cancelled == 3 {
+            assert_eq!(c.accepted, 3);
+            assert_eq!(c.completed, 0, "an orphaned session ran to completion");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never cancelled the orphaned sessions: {c:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    ws.shutdown();
+    let Ok(server) = Arc::try_unwrap(server) else {
+        panic!("wire front end leaked a Server reference past shutdown");
+    };
+    server.shutdown();
+}

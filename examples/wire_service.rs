@@ -1,0 +1,114 @@
+//! The service boundary over a real socket: start the `peert-serve`
+//! daemon, put the `peert-wire` TCP front end on a loopback port, and
+//! drive it with the blocking `WireClient` — framed submission,
+//! streamed result chunks, wall-clock deadline admission (an
+//! infeasible budget is refused with the measured p99 step latency it
+//! was judged against), and an acked cancel.
+//!
+//! ```sh
+//! cargo run --example wire_service
+//! ```
+
+use std::sync::Arc;
+
+use peert_model::spec::{BlockSpec, DiagramSpec};
+use peert_serve::{Reject, ServeConfig, Server, SessionOutcome};
+use peert_wire::{WireClient, WireError, WireServer, WireSpec};
+
+fn plant_spec() -> DiagramSpec {
+    DiagramSpec {
+        dt: 1e-3,
+        blocks: vec![
+            BlockSpec::Sine { amplitude: 1.0, freq_hz: 10.0 },
+            BlockSpec::Gain { gain: 1.5 },
+            BlockSpec::DiscreteIntegrator { period: 1e-3, lo: -1e9, hi: 1e9 },
+        ],
+        wires: vec![(0, 0, 1, 0), (1, 0, 2, 0)],
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Arc::new(Server::start(ServeConfig {
+        shards: 2,
+        queue_cap: 64,
+        tenant_quota: 8,
+        max_lanes: 4,
+        quantum: 32,
+        plan_cache_cap: 16,
+        compact: true,
+        start_paused: false,
+    }));
+    let ws = WireServer::start(Arc::clone(&server), "127.0.0.1:0")?;
+    println!("wire front end listening on {}", ws.local_addr());
+
+    let mut client = WireClient::connect(ws.local_addr())?;
+
+    // 1. a framed submission, probing the integrator output per step
+    let steps = 2_000u64;
+    let session =
+        client.submit(WireSpec::new("host-tools", plant_spec(), steps).probe(2, 0)).map_err(
+            |e| format!("submit failed: {e}"),
+        )?;
+    let result = session.join();
+    assert_eq!(result.outcome, SessionOutcome::Completed);
+    assert_eq!(result.trajectory.len() as u64, steps);
+    println!(
+        "session completed: {} steps streamed back over TCP, final integral = {:?}",
+        result.steps,
+        result.trajectory.last().unwrap()
+    );
+
+    // 2. deadline admission: the shard's histogram is warm now, so a
+    //    1 ms budget against a 10^9-step bill must be refused *before*
+    //    any compute — with the measured evidence in the rejection
+    let doomed = WireSpec::new("host-tools", plant_spec(), 1_000_000_000).deadline_ns(1_000_000);
+    match client.submit(doomed) {
+        Err(WireError::Rejected(Reject::DeadlineInfeasible {
+            budget_ns,
+            predicted_ns,
+            p99_step_ns,
+        })) => {
+            println!(
+                "deadline admission refused 10^9 steps: budget {budget_ns} ns, \
+                 predicted {predicted_ns} ns at measured p99 {p99_step_ns} ns/step"
+            );
+        }
+        Err(other) => return Err(format!("expected a deadline rejection, got {other}").into()),
+        Ok(_) => return Err("expected a deadline rejection, got an admission".into()),
+    }
+    // ... while the same bill with an honest budget is admitted
+    let generous = WireSpec::new("host-tools", plant_spec(), steps)
+        .probe(2, 0)
+        .deadline_ns(60_000_000_000);
+    let session = client.submit(generous).map_err(|e| format!("submit failed: {e}"))?;
+    assert_eq!(session.join().outcome, SessionOutcome::Completed);
+    println!("the same shape under a 60 s budget: admitted and completed");
+
+    // 3. an acked cancel: once the ack is back, the daemon will not
+    //    step the session past its current quantum
+    let long = client
+        .submit(WireSpec::new("host-tools", plant_spec(), u64::MAX / 2))
+        .map_err(|e| format!("submit failed: {e}"))?;
+    let known = client.cancel(long.id()).map_err(|e| format!("cancel failed: {e}"))?;
+    assert!(known, "the session was live when cancelled");
+    let result = long.join();
+    assert_eq!(result.outcome, SessionOutcome::Cancelled);
+    println!("cancel acked and honored after {} step(s)", result.steps);
+
+    client.close();
+    ws.shutdown();
+    let Ok(server) = Arc::try_unwrap(server) else {
+        return Err("wire front end leaked a Server reference".into());
+    };
+    let stats = server.shutdown();
+    println!(
+        "daemon counters: {} submitted, {} completed, {} cancelled, {} deadline-rejected",
+        stats.counters.submitted,
+        stats.counters.completed,
+        stats.counters.cancelled,
+        stats.counters.rejected_deadline
+    );
+    assert_eq!(stats.counters.submitted, 4);
+    assert_eq!(stats.counters.rejected_deadline, 1);
+    Ok(())
+}

@@ -50,6 +50,8 @@ run env KERNEL_SMOKE=1 cargo test --release -q -p peert-bench --test kernel_smok
 run cargo run --release -q --example development_cycle $CARGO_ARGS
 # shellcheck disable=SC2086
 run cargo run --release -q --example pil_simulation $CARGO_ARGS
+# shellcheck disable=SC2086
+run cargo run --release -q --example wire_service $CARGO_ARGS
 
 # long ARQ soak (10^5 faulted steps, exact counter accounting, bit-exact
 # trajectory): opt-in because it adds ~1 min in release
@@ -74,6 +76,24 @@ if [[ "${SERVE_SOAK:-0}" == "1" ]]; then
     run env SERVE_SOAK=1 cargo test --release -p peert-serve --test serve_soak $CARGO_ARGS -- --nocapture
 fi
 
+# wire-protocol gate: frame-codec fuzz battery (round-trips, re-slicing,
+# bit flips, truncation, garbage — corrupted frames dropped with resync,
+# never a panic or a wedge) plus the golden-bytes layout pin (any layout
+# drift must come with a deliberate PROTOCOL_VERSION bump)
+# shellcheck disable=SC2086
+run cargo test --release -q -p peert-wire --test wire_props $CARGO_ARGS
+# shellcheck disable=SC2086
+run cargo test --release -q -p peert-wire --test wire_golden $CARGO_ARGS
+
+# deterministic wire soak (multi-client loopback waves, quota exhaustion
+# over the wire, deadline rejections, cancel flood, mid-stream
+# disconnects; final counters must equal the schedule-derived
+# expectation exactly): opt-in, mirrors SERVE_SOAK
+if [[ "${WIRE_SOAK:-0}" == "1" ]]; then
+    # shellcheck disable=SC2086
+    run env WIRE_SOAK=1 cargo test --release -p peert-wire --test wire_soak $CARGO_ARGS -- --nocapture
+fi
+
 # static-analysis gate: the built-in demo model must lint deny-clean,
 # and the machine-readable output must be byte-reproducible (two runs
 # compared verbatim) so downstream tooling can diff it
@@ -89,8 +109,9 @@ rm -f /tmp/peert-lint-1.json /tmp/peert-lint-2.json
 # differential verification suite: interpreted ≡ plan (bit-exact),
 # compiled kernel tape ≡ interpreter ≡ every batched lane (bit-exact),
 # PIL within quantization tolerance, fault counters equal to the
-# schedule, ARQ recovery proofs under seeded fault schedules, and
-# multi-tenant serve schedules bit-exact with solo engine runs.
+# schedule, ARQ recovery proofs under seeded fault schedules,
+# multi-tenant serve schedules bit-exact with solo engine runs, and
+# wire schedules over loopback TCP indistinguishable from in-process.
 # VERIFY_SEED/VERIFY_CASES override the defaults; the failing seed and
 # case are printed by the tool itself for offline reproduction.
 VERIFY_SEED="${VERIFY_SEED:-0xC0FFEE}"

@@ -17,7 +17,7 @@ proptest! {
     #[test]
     fn lint_is_total_and_deterministic(seed in any::<u64>(), case in 0u64..512, q15 in any::<bool>()) {
         let spec = gen_mil_spec(seed, case);
-        let diagram = spec.build(None).expect("generated specs build");
+        let diagram = spec.build().expect("generated specs build");
         let fp = diagram.fingerprint();
         let opts = if q15 {
             LintOptions::with_format(FormatSpec::q15())
@@ -45,8 +45,8 @@ proptest! {
     #[test]
     fn verdict_survives_rebuild(seed in any::<u64>(), case in 0u64..128) {
         let spec = gen_mil_spec(seed, case);
-        let fp1 = spec.build(None).expect("builds").fingerprint();
-        let fp2 = spec.build(None).expect("builds").fingerprint();
+        let fp1 = spec.build().expect("builds").fingerprint();
+        let fp2 = spec.build().expect("builds").fingerprint();
         let opts = LintOptions::default();
         let a = peert_lint::lint_fingerprint(&fp1, spec.dt, &opts);
         let b = peert_lint::lint_fingerprint(&fp2, spec.dt, &opts);
