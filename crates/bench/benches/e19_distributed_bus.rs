@@ -1,0 +1,25 @@
+//! E19 bench: distributed control over the simulated CAN bus — the
+//! three scenarios (clean / faulted / partition) with the analytic
+//! `sched.bus-delay` bound asserted against the observed latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert_bench::e19_bus;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e19_distributed_bus");
+    g.sample_size(10);
+    g.bench_function("three_scenarios_64_steps", |b| {
+        b.iter(|| {
+            let rows = e19_bus(64);
+            assert_eq!(rows.len(), 3);
+            for r in &rows {
+                assert!(r.worst_delivery_cycles <= r.bound_cycles);
+            }
+            rows
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

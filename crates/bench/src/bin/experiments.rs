@@ -282,11 +282,50 @@ fn main() {
     }
     println!("\nserve-throughput summary written to BENCH_serve.json");
 
+    println!("\n## E19 — distributed control over the simulated CAN bus\n");
+    let e19 = e19_bus(512);
+    println!(
+        "{:<12} {:>6} {:>8} {:>11} {:>11} {:>8} {:>14} {:>14}",
+        "scenario", "steps", "frames", "bits/frame", "bits/step", "retries", "worst[cyc]", "bound[cyc]"
+    );
+    for r in &e19 {
+        println!(
+            "{:<12} {:>6} {:>8} {:>11.1} {:>11.1} {:>8} {:>14} {:>14}",
+            r.scenario, r.steps, r.frames_sent, r.bits_per_frame, r.bits_per_step, r.retries,
+            r.worst_delivery_cycles, r.bound_cycles
+        );
+        if r.worst_delivery_cycles > r.bound_cycles {
+            eprintln!(
+                "error: E19 {}: observed delivery latency {} exceeds the analytic bound {}",
+                r.scenario, r.worst_delivery_cycles, r.bound_cycles
+            );
+            std::process::exit(1);
+        }
+    }
+    let bus_blob = serde_json::json!({
+        "experiment": "distributed_pil_over_simulated_can_bus",
+        "steps": e19[0].steps,
+        "clean_worst_delivery_cycles": e19[0].worst_delivery_cycles,
+        "clean_bound_cycles": e19[0].bound_cycles,
+        "faulted_worst_delivery_cycles": e19[1].worst_delivery_cycles,
+        "faulted_bound_cycles": e19[1].bound_cycles,
+        "faulted_retries": e19[1].retries,
+        "bits_per_frame": e19[0].bits_per_frame,
+        "bits_per_step": e19[0].bits_per_step,
+        "bound_margin_clean": e19[0].bound_cycles as f64 / e19[0].worst_delivery_cycles as f64,
+    });
+    let bus_text = serde_json::to_string_pretty(&bus_blob).expect("bus rows are serializable");
+    if let Err(e) = fs::write("BENCH_bus.json", bus_text) {
+        eprintln!("error: cannot write BENCH_bus.json: {e}");
+        std::process::exit(1);
+    }
+    println!("\nbus-delay summary written to BENCH_bus.json");
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
             "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
-            "e12": e12, "e16": e16, "e17": e17, "e18": e18,
+            "e12": e12, "e16": e16, "e17": e17, "e18": e18, "e19": e19,
         });
         let text = serde_json::to_string_pretty(&blob).expect("rows are serializable");
         if let Err(e) = fs::write(&path, text) {

@@ -1098,6 +1098,179 @@ pub fn e18_wire(steps: u64) -> Vec<E18Row> {
     vec![inproc, wire]
 }
 
+// ---------------------------------------------------------------------
+// E19 — distributed control over the simulated CAN bus (peert-bus +
+// peert-pil::multi): per-frame bus overhead and observed delivery
+// latency vs the analytic `sched.bus-delay` bound from peert-lint.
+
+/// One E19 measurement row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E19Row {
+    /// Scenario: "clean", "faulted" (under-budget drop/corrupt plan) or
+    /// "partition" (two-step window on the last node, below watchdog).
+    pub scenario: String,
+    /// Control steps simulated.
+    pub steps: u64,
+    /// Frames the bus carried.
+    pub frames_sent: u64,
+    /// Average wire bits per frame (protocol overhead included).
+    pub bits_per_frame: f64,
+    /// Average wire bits per control step.
+    pub bits_per_step: f64,
+    /// Retransmissions the ARQ layer performed.
+    pub retries: u64,
+    /// Steps that exhausted a hop's retry budget.
+    pub failed_steps: u64,
+    /// Worst observed sensor→actuation delivery latency (cycles).
+    pub worst_delivery_cycles: u64,
+    /// Static bound: the composed per-hop `sched.bus-delay` worst case,
+    /// plus the ARQ recovery allowance for the scheduled multiplicity.
+    pub bound_cycles: u64,
+}
+
+fn e19_nodes() -> Vec<peert_pil::NodeSpec> {
+    let mk = |name: &str, cycles: u64| peert_pil::NodeSpec {
+        name: name.into(),
+        mcu: mc56(),
+        step_cycles: cycles,
+        in_channels: 1,
+        out_channels: 1,
+    };
+    vec![mk("sensor", 600), mk("ctl", 1400), mk("pwm", 350)]
+}
+
+fn e19_stages() -> Vec<peert_pil::StageFn> {
+    let mut lp = 0.0f64;
+    let mut u = 0.0f64;
+    vec![
+        Box::new(move |ins: &[f64]| {
+            lp = 0.8 * lp + 0.2 * ins[0];
+            vec![lp]
+        }),
+        Box::new(move |ins: &[f64]| {
+            u = 0.7 * u + 0.6 * (0.25 - ins[0]);
+            vec![u.clamp(-1.0, 1.0)]
+        }),
+        Box::new(|ins: &[f64]| vec![(ins[0] * 0.95).clamp(-1.0, 1.0)]),
+    ]
+}
+
+fn e19_plant() -> peert_pil::cosim::PlantFn {
+    let mut k = 0u64;
+    Box::new(move |_applied: &[f64], _dt: f64| {
+        let t = k as f64 * 10e-3;
+        k += 1;
+        vec![0.4 * (6.0 * t).sin() + 0.1 * (41.0 * t).sin()]
+    })
+}
+
+/// Composed static bound for one full sensor→actuation pipeline: the
+/// per-message `sched.bus-delay` worst case (blocking + interference +
+/// own transmission) for each hop's DATA and ACK, plus the hop's
+/// receive-side processing.
+fn e19_static_bound(session: &peert_pil::MultiPilSession, period_s: f64) -> u64 {
+    use peert_lint::{analyze_bus, BusMsgSpec, BusSchedSpec};
+    use peert_pil::multi::{ack_id, ack_wire_bytes, data_id};
+    let mut messages = Vec::new();
+    for hop in 0..=session.n_stages() {
+        messages.push(BusMsgSpec {
+            name: format!("data{hop}"),
+            id: data_id(hop),
+            wire_bytes: session.hop_data_bytes(hop),
+            deadline_s: period_s,
+        });
+        messages.push(BusMsgSpec {
+            name: format!("ack{hop}"),
+            id: ack_id(hop),
+            wire_bytes: ack_wire_bytes(),
+            deadline_s: period_s,
+        });
+    }
+    let bus_hz = mc56().bus_hz();
+    let verdict = analyze_bus(&BusSchedSpec::for_bus(session.bus_config(), bus_hz, messages));
+    let mut bound = 0u64;
+    for hop in 0..=session.n_stages() {
+        let data = verdict.message(&format!("data{hop}")).expect("data message analyzed");
+        let ack = verdict.message(&format!("ack{hop}")).expect("ack message analyzed");
+        bound += data.delay_cycles + session.hop_proc_cycles(hop) + ack.delay_cycles;
+    }
+    bound
+}
+
+fn e19_case(
+    scenario: &str,
+    steps: u64,
+    faults: peert_pil::MultiFaultSchedule,
+    partitions: Vec<peert_pil::StepPartition>,
+    max_mult: u32,
+) -> E19Row {
+    let period_s = 10e-3;
+    let cfg = peert_pil::MultiPilConfig {
+        control_period_s: period_s,
+        hop_scales: vec![2.0; 4],
+        faults,
+        partitions,
+        ..Default::default()
+    };
+    let mut session =
+        peert_pil::MultiPilSession::new(e19_nodes(), e19_stages(), cfg, e19_plant())
+            .expect("E19 chain is consistent");
+    let mut bound = e19_static_bound(&session, period_s);
+    if max_mult > 0 {
+        // a step carrying m faults pays at most the worst hop's
+        // timeout+backoff ladder on top of the clean pipeline
+        bound += (0..=session.n_stages())
+            .map(|h| session.hop_timing(h).recovery_bound_cycles(max_mult))
+            .max()
+            .unwrap_or(0);
+    }
+    session.run(steps);
+    let stats = session.stats();
+    let bus = session.bus_counters();
+    E19Row {
+        scenario: scenario.into(),
+        steps,
+        frames_sent: bus.frames_sent,
+        bits_per_frame: bus.bits_sent as f64 / bus.frames_sent as f64,
+        bits_per_step: bus.bits_sent as f64 / steps as f64,
+        retries: stats.retries,
+        failed_steps: stats.failed_steps,
+        worst_delivery_cycles: stats.worst_delivery_cycles,
+        bound_cycles: bound,
+    }
+}
+
+/// E19 — the three distributed-control scenarios: fault-free, an
+/// under-budget fault plan (every 8th step carries 1..=3 late-hop
+/// faults), and a two-step partition of the PWM node. Acceptance: the
+/// analytic bound dominates every observed delivery latency
+/// (BENCH_bus.json records the margins).
+pub fn e19_bus(steps: u64) -> Vec<E19Row> {
+    let mut faults = peert_pil::MultiFaultSchedule::default();
+    for step in (0..steps).step_by(8) {
+        let mult = 1 + (step / 8) % 3;
+        let hop = 2 + ((step / 8) % 2) as usize;
+        for k in 0..mult {
+            match (step / 8 + k) % 3 {
+                0 => faults.corrupt_data.push((hop, step)),
+                1 => faults.drop_data.push((hop, step)),
+                _ => faults.drop_ack.push((hop, step)),
+            }
+        }
+    }
+    let part_from = steps / 2;
+    let partition = peert_pil::StepPartition {
+        node: 3,
+        from_step: part_from,
+        until_step: part_from + 2,
+    };
+    vec![
+        e19_case("clean", steps, Default::default(), Vec::new(), 0),
+        e19_case("faulted", steps, faults, Vec::new(), 3),
+        e19_case("partition", steps, Default::default(), vec![partition], 0),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1244,6 +1417,20 @@ mod tests {
             gang.sessions_per_sec,
             solo.sessions_per_sec
         );
+    }
+
+    #[test]
+    fn e19_static_bound_dominates_observed_latency() {
+        for row in e19_bus(64) {
+            assert!(
+                row.worst_delivery_cycles <= row.bound_cycles,
+                "{}: observed {} > bound {}",
+                row.scenario,
+                row.worst_delivery_cycles,
+                row.bound_cycles
+            );
+            assert!(row.bits_per_frame > 47.0, "frame overhead is priced in");
+        }
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! # peert-bus — a deterministic simulated CAN-like broadcast bus
+//!
+//! The single-board PIL story (PR 2–4) models one point-to-point serial
+//! line. Real embedded-control deployments are several MCUs on a shared
+//! bus, so this crate models the medium those systems actually use: a
+//! CAN-style broadcast bus with **priority arbitration** — when the wire
+//! frees, every node with a pending frame contends and the lowest frame
+//! ID wins, *non-destructively* for the winner (losers simply wait for
+//! the next arbitration round, exactly like CAN's dominant-bit
+//! arbitration) — per-node TX queues, and cycle-priced transmissions
+//! (`(overhead_bits + 8·payload) × bit_time_cycles`).
+//!
+//! Everything is deterministic and event-driven: the simulation advances
+//! one transmission at a time ([`SimBus::advance_next`]), so a
+//! co-simulation can react to each delivery (submit an ACK, retransmit)
+//! before the next arbitration round is decided. Faults are scheduled,
+//! never random:
+//!
+//! * [`BusFaultSchedule`] defeats transmissions by **cycle range**
+//!   (drop / corrupt windows with an ID filter and a budget) and
+//!   isolates nodes with **partition windows**;
+//! * [`SimBus::defeat_next`] arms step-precise directives ("defeat the
+//!   next *n* frames with this ID"), which is how the multi-node PIL
+//!   session maps per-(hop, step) fault multiplicities onto the wire
+//!   without knowing absolute cycle numbers in advance.
+//!
+//! The bus is payload-agnostic: frames carry opaque bytes (in practice
+//! `peert-frame` encodings, so a corrupted delivery is CRC-rejected and
+//! resynced by the shared deframer on the receive side). Counters
+//! ([`BusCounters`]) account for every transmission, arbitration loss,
+//! fault hit and partition loss exactly — the verify "bus" phase and the
+//! `BUS_SOAK` battery check them against schedule-derived expectations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time in bus-clock cycles (the same clock domain the
+/// attached `peert-mcu` instances run on).
+pub type Cycle = u64;
+
+/// Wire pricing: how many cycles one frame occupies the bus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Cycles per bit on the wire (bus clock / bit rate).
+    pub bit_time_cycles: u64,
+    /// Non-payload bits per frame: arbitration ID, control field, CRC,
+    /// interframe space. The CAN 2.0A standard frame carries ~47.
+    pub frame_overhead_bits: u64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        // 500 kbit/s on a 60 MHz bus clock, CAN standard-frame overhead
+        BusConfig { bit_time_cycles: 120, frame_overhead_bits: 47 }
+    }
+}
+
+impl BusConfig {
+    /// Bits one frame with `payload_bytes` of payload puts on the wire.
+    pub fn frame_bits(&self, payload_bytes: usize) -> u64 {
+        self.frame_overhead_bits + 8 * payload_bytes as u64
+    }
+
+    /// Cycles one frame with `payload_bytes` of payload occupies the bus.
+    pub fn frame_cycles(&self, payload_bytes: usize) -> u64 {
+        self.frame_bits(payload_bytes) * self.bit_time_cycles.max(1)
+    }
+}
+
+/// One frame as a node's TX queue holds it: an 11-bit-style arbitration
+/// ID (lower wins) and opaque payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BusFrame {
+    /// Arbitration identifier; the lowest pending ID wins the bus.
+    pub id: u16,
+    /// Opaque frame bytes (typically a `peert-frame` encoding).
+    pub bytes: Vec<u8>,
+}
+
+/// What a fault window does to a matching transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The frame occupies the wire but no node receives it.
+    Drop,
+    /// The frame is delivered with one payload-adjacent byte bit-flipped,
+    /// so a CRC-checked deframer rejects it and resyncs.
+    Corrupt,
+}
+
+/// A scheduled fault: defeats up to `budget` transmissions whose ID
+/// matches `id` (or any ID when `None`) and which *start* in
+/// `[from_cycle, until_cycle)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// What the window does.
+    pub kind: FaultKind,
+    /// First cycle (inclusive) at which the window is armed.
+    pub from_cycle: Cycle,
+    /// First cycle (exclusive) at which the window is disarmed.
+    pub until_cycle: Cycle,
+    /// Only transmissions with this arbitration ID are defeated
+    /// (`None` matches every frame).
+    pub id: Option<u16>,
+    /// At most this many transmissions are defeated.
+    pub budget: u32,
+}
+
+/// A network partition: `node` neither transmits onto the wire nor
+/// hears it while the window is armed (its consumed frames and missed
+/// deliveries are counted, so schedules stay exactly accountable).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// First cycle (inclusive) of the partition.
+    pub from_cycle: Cycle,
+    /// First cycle (exclusive) after the partition.
+    pub until_cycle: Cycle,
+    /// The isolated node.
+    pub node: usize,
+}
+
+/// The deterministic fault plan a bus is constructed with.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusFaultSchedule {
+    /// Drop/corrupt windows, consulted in declaration order.
+    pub windows: Vec<FaultWindow>,
+    /// Partition windows.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl BusFaultSchedule {
+    /// Whether the schedule does anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty() && self.partitions.is_empty()
+    }
+}
+
+/// Exact accounting of everything the bus did.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusCounters {
+    /// Transmissions that occupied the wire.
+    pub frames_sent: u64,
+    /// Total bits those transmissions put on the wire.
+    pub bits_sent: u64,
+    /// Pending frames that lost an arbitration round (one per loser per
+    /// round; a frame deferred over three rounds counts three times).
+    pub arbitration_losses: u64,
+    /// Transmissions defeated by a `Drop` fault.
+    pub dropped_frames: u64,
+    /// Transmissions delivered bit-flipped by a `Corrupt` fault.
+    pub corrupted_frames: u64,
+    /// Frames consumed unsent because their *sender* was partitioned.
+    pub partition_tx_losses: u64,
+    /// Deliveries suppressed because the *receiver* was partitioned.
+    pub partition_rx_losses: u64,
+}
+
+/// One frame handed to one receiver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Sending node index.
+    pub from: usize,
+    /// Receiving node index.
+    pub to: usize,
+    /// Arbitration ID of the frame.
+    pub id: u16,
+    /// Frame bytes as received (bit-flipped when corrupted).
+    pub bytes: Vec<u8>,
+    /// Cycle the transmission completed (end of frame).
+    pub at: Cycle,
+}
+
+/// A step-precise fault directive armed by [`SimBus::defeat_next`].
+#[derive(Clone, Debug)]
+struct Directive {
+    kind: FaultKind,
+    id: Option<u16>,
+    remaining: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    frame: BusFrame,
+    since: Cycle,
+    order: u64,
+}
+
+/// The bus itself: `nodes` stations, per-node TX queues, one shared
+/// wire. Deterministic by construction — ties in arbitration break by
+/// (frame ID, node index, submission order).
+#[derive(Debug)]
+pub struct SimBus {
+    cfg: BusConfig,
+    faults: BusFaultSchedule,
+    window_spent: Vec<u32>,
+    directives: Vec<Directive>,
+    manual_isolated: Vec<bool>,
+    queues: Vec<Vec<Pending>>,
+    counters: BusCounters,
+    now: Cycle,
+    free_at: Cycle,
+    next_order: u64,
+}
+
+impl SimBus {
+    /// A bus joining `nodes` stations under `cfg` and `faults`.
+    pub fn new(cfg: BusConfig, nodes: usize, faults: BusFaultSchedule) -> Self {
+        let window_spent = vec![0; faults.windows.len()];
+        SimBus {
+            cfg,
+            faults,
+            window_spent,
+            directives: Vec::new(),
+            manual_isolated: vec![false; nodes],
+            queues: vec![Vec::new(); nodes],
+            counters: BusCounters::default(),
+            now: 0,
+            free_at: 0,
+            next_order: 0,
+        }
+    }
+
+    /// Number of stations.
+    pub fn nodes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The wire pricing config.
+    pub fn config(&self) -> &BusConfig {
+        &self.cfg
+    }
+
+    /// Exact counters so far.
+    pub fn counters(&self) -> &BusCounters {
+        &self.counters
+    }
+
+    /// Total frames pending across every TX queue.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Whether nothing is queued anywhere.
+    pub fn idle(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Queue `frame` at `node`, eligible from the current cycle.
+    pub fn submit(&mut self, node: usize, frame: BusFrame) {
+        self.submit_at(node, frame, self.now);
+    }
+
+    /// Queue `frame` at `node`, eligible from cycle `at` (clamped to
+    /// now — the bus never back-dates a submission).
+    pub fn submit_at(&mut self, node: usize, frame: BusFrame, at: Cycle) {
+        let since = at.max(self.now);
+        let order = self.next_order;
+        self.next_order += 1;
+        self.queues[node].push(Pending { frame, since, order });
+    }
+
+    /// Manually isolate (or rejoin) a node, on top of any scheduled
+    /// partition windows. The multi-node PIL session uses this to map
+    /// step-scoped partitions onto the wire.
+    pub fn set_isolated(&mut self, node: usize, isolated: bool) {
+        self.manual_isolated[node] = isolated;
+    }
+
+    /// Arm a step-precise directive: defeat the next `count`
+    /// transmissions whose arbitration ID matches `id` (any when
+    /// `None`). Directives are consulted before the schedule's windows,
+    /// in the order they were armed.
+    pub fn defeat_next(&mut self, kind: FaultKind, id: Option<u16>, count: u32) {
+        if count > 0 {
+            self.directives.push(Directive { kind, id, remaining: count });
+        }
+    }
+
+    /// Disarm every remaining directive (window faults stay armed).
+    pub fn clear_directives(&mut self) {
+        self.directives.clear();
+    }
+
+    fn isolated(&self, node: usize, at: Cycle) -> bool {
+        self.manual_isolated[node]
+            || self
+                .faults
+                .partitions
+                .iter()
+                .any(|w| w.node == node && w.from_cycle <= at && at < w.until_cycle)
+    }
+
+    /// First matching fault for a transmission of `id` starting at
+    /// `start`, consuming its budget.
+    fn take_fault(&mut self, id: u16, start: Cycle) -> Option<FaultKind> {
+        for d in &mut self.directives {
+            if d.remaining > 0 && d.id.is_none_or(|want| want == id) {
+                d.remaining -= 1;
+                return Some(d.kind);
+            }
+        }
+        for (i, w) in self.faults.windows.iter().enumerate() {
+            let armed = w.from_cycle <= start && start < w.until_cycle;
+            if armed && self.window_spent[i] < w.budget && w.id.is_none_or(|want| want == id) {
+                self.window_spent[i] += 1;
+                return Some(w.kind);
+            }
+        }
+        None
+    }
+
+    /// Process at most one transmission whose arbitration round starts
+    /// before `limit`. Returns its deliveries (empty when the frame was
+    /// dropped, its sender partitioned, or nothing was eligible — in the
+    /// last case the clock lands exactly on `limit`). A transmission
+    /// that starts before `limit` runs to completion, so `now()` can
+    /// exceed `limit` after the call; drive a deadline loop off
+    /// `now() < deadline`, not the return value.
+    pub fn advance_next(&mut self, limit: Cycle) -> Vec<Delivery> {
+        loop {
+            let earliest = self
+                .queues
+                .iter()
+                .flatten()
+                .map(|p| p.since)
+                .min();
+            let Some(earliest) = earliest else {
+                self.now = self.now.max(limit);
+                return Vec::new();
+            };
+            let start = earliest.max(self.free_at).max(self.now);
+            if start >= limit {
+                self.now = self.now.max(limit);
+                return Vec::new();
+            }
+
+            // Arbitration: each node offers its best eligible frame
+            // (lowest ID, then submission order); the lowest offer wins,
+            // ties broken by node index.
+            let mut contenders: Vec<(u16, usize, u64, usize)> = Vec::new();
+            for (node, queue) in self.queues.iter().enumerate() {
+                let best = queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.since <= start)
+                    .min_by_key(|(_, p)| (p.frame.id, p.order));
+                if let Some((idx, p)) = best {
+                    contenders.push((p.frame.id, node, p.order, idx));
+                }
+            }
+            debug_assert!(!contenders.is_empty(), "an eligible frame exists by construction");
+            contenders.sort_unstable();
+            let (id, node, _, idx) = contenders[0];
+            let pending = self.queues[node].remove(idx);
+
+            if self.isolated(node, start) {
+                // A partitioned sender never reaches the wire: the frame
+                // is consumed, no time passes for anyone else.
+                self.counters.partition_tx_losses += 1;
+                continue;
+            }
+
+            self.counters.arbitration_losses += contenders.len() as u64 - 1;
+            self.counters.frames_sent += 1;
+            self.counters.bits_sent += self.cfg.frame_bits(pending.frame.bytes.len());
+            let end = start + self.cfg.frame_cycles(pending.frame.bytes.len());
+            self.free_at = end;
+            self.now = end;
+
+            let fault = self.take_fault(id, start);
+            if fault == Some(FaultKind::Drop) {
+                self.counters.dropped_frames += 1;
+                return Vec::new();
+            }
+            let mut bytes = pending.frame.bytes;
+            if fault == Some(FaultKind::Corrupt) {
+                self.counters.corrupted_frames += 1;
+                // Flip a bit near the tail (the last payload byte of a
+                // peert-frame encoding): a CRC-checked deframer rejects
+                // the frame cleanly, without confusing the length field.
+                let at = bytes.len().saturating_sub(3);
+                if let Some(b) = bytes.get_mut(at) {
+                    *b ^= 0x01;
+                }
+            }
+
+            let mut out = Vec::new();
+            for to in 0..self.queues.len() {
+                if to == node {
+                    continue;
+                }
+                if self.isolated(to, start) {
+                    self.counters.partition_rx_losses += 1;
+                    continue;
+                }
+                out.push(Delivery { from: node, to, id, bytes: bytes.clone(), at: end });
+            }
+            return out;
+        }
+    }
+
+    /// Drain every transmission that starts before `target`, collecting
+    /// all deliveries. Use this for idle stretches where nothing reacts
+    /// mid-flight; reactive protocols should loop on [`Self::advance_next`].
+    pub fn advance_to(&mut self, target: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while self.now < target {
+            let before = (self.now, self.pending());
+            out.extend(self.advance_next(target));
+            if (self.now, self.pending()) == before {
+                break; // nothing eligible moved the clock
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u16, len: usize) -> BusFrame {
+        BusFrame { id, bytes: vec![id as u8; len] }
+    }
+
+    fn quiet_bus(nodes: usize) -> SimBus {
+        SimBus::new(BusConfig { bit_time_cycles: 2, frame_overhead_bits: 40 }, nodes, BusFaultSchedule::default())
+    }
+
+    #[test]
+    fn frame_pricing_matches_the_formula() {
+        let cfg = BusConfig { bit_time_cycles: 3, frame_overhead_bits: 47 };
+        assert_eq!(cfg.frame_bits(8), 47 + 64);
+        assert_eq!(cfg.frame_cycles(8), (47 + 64) * 3);
+    }
+
+    #[test]
+    fn lowest_id_wins_and_losses_are_counted() {
+        let mut bus = quiet_bus(3);
+        bus.submit(0, frame(0x300, 4));
+        bus.submit(1, frame(0x100, 4));
+        bus.submit(2, frame(0x200, 4));
+        let d1 = bus.advance_next(u64::MAX);
+        assert_eq!(d1[0].id, 0x100, "lowest arbitration ID wins");
+        assert_eq!(bus.counters().arbitration_losses, 2);
+        // non-destructive: the losers transmit next without resubmission
+        let d2 = bus.advance_next(u64::MAX);
+        assert_eq!(d2[0].id, 0x200);
+        let d3 = bus.advance_next(u64::MAX);
+        assert_eq!(d3[0].id, 0x300);
+        assert_eq!(bus.counters().arbitration_losses, 2 + 1);
+        assert!(bus.idle());
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node_but_the_sender() {
+        let mut bus = quiet_bus(4);
+        bus.submit(1, frame(7, 2));
+        let ds = bus.advance_next(u64::MAX);
+        let to: Vec<usize> = ds.iter().map(|d| d.to).collect();
+        assert_eq!(to, [0, 2, 3]);
+        assert!(ds.iter().all(|d| d.from == 1));
+    }
+
+    #[test]
+    fn delivery_time_is_start_plus_frame_cycles() {
+        let mut bus = quiet_bus(2);
+        bus.submit_at(0, frame(1, 4), 100);
+        let ds = bus.advance_next(u64::MAX);
+        let cycles = bus.config().frame_cycles(4);
+        assert_eq!(ds[0].at, 100 + cycles);
+        assert_eq!(bus.now(), 100 + cycles);
+    }
+
+    #[test]
+    fn a_frame_started_before_the_limit_completes_past_it() {
+        let mut bus = quiet_bus(2);
+        bus.submit(0, frame(1, 4)); // eligible at 0, takes 144 cycles
+        let ds = bus.advance_next(10);
+        assert_eq!(ds.len(), 1, "started before the limit, so it runs");
+        assert!(bus.now() > 10);
+        // and with nothing pending the clock pins to the limit
+        let none = bus.advance_next(1_000);
+        assert!(none.is_empty());
+        assert_eq!(bus.now(), 1_000);
+    }
+
+    #[test]
+    fn drop_window_defeats_exactly_its_budget() {
+        let faults = BusFaultSchedule {
+            windows: vec![FaultWindow {
+                kind: FaultKind::Drop,
+                from_cycle: 0,
+                until_cycle: u64::MAX,
+                id: Some(5),
+                budget: 2,
+            }],
+            partitions: Vec::new(),
+        };
+        let mut bus =
+            SimBus::new(BusConfig { bit_time_cycles: 1, frame_overhead_bits: 8 }, 2, faults);
+        for _ in 0..4 {
+            bus.submit(0, frame(5, 1));
+        }
+        bus.submit(0, frame(6, 1)); // different ID: never matched
+        let mut delivered = 0;
+        while !bus.idle() {
+            delivered += usize::from(!bus.advance_next(u64::MAX).is_empty());
+        }
+        assert_eq!(bus.counters().dropped_frames, 2);
+        assert_eq!(delivered, 3, "two of the four id-5 frames plus the id-6 frame");
+        assert_eq!(bus.counters().frames_sent, 5, "dropped frames still occupy the wire");
+    }
+
+    #[test]
+    fn directives_defeat_before_windows_and_then_disarm() {
+        let mut bus = quiet_bus(2);
+        bus.defeat_next(FaultKind::Corrupt, Some(9), 1);
+        bus.submit(0, frame(9, 3));
+        bus.submit(0, frame(9, 3));
+        let first = bus.advance_next(u64::MAX);
+        assert_ne!(first[0].bytes, frame(9, 3).bytes, "first transmission corrupted");
+        let second = bus.advance_next(u64::MAX);
+        assert_eq!(second[0].bytes, frame(9, 3).bytes, "directive exhausted");
+        assert_eq!(bus.counters().corrupted_frames, 1);
+    }
+
+    #[test]
+    fn partitioned_sender_and_receiver_are_counted() {
+        let mut bus = quiet_bus(3);
+        bus.set_isolated(2, true);
+        bus.submit(2, frame(1, 2)); // consumed, never on the wire
+        bus.submit(0, frame(2, 2)); // transmitted, node 2 misses it
+        let ds = bus.advance_next(u64::MAX);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].to, 1);
+        assert_eq!(bus.counters().partition_tx_losses, 1);
+        assert_eq!(bus.counters().partition_rx_losses, 1);
+        assert_eq!(bus.counters().frames_sent, 1);
+        bus.set_isolated(2, false);
+        bus.submit(2, frame(1, 2));
+        assert_eq!(bus.advance_next(u64::MAX).len(), 2, "rejoined node transmits again");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let drive = || {
+            let mut bus = quiet_bus(3);
+            bus.submit_at(0, frame(0x10, 3), 5);
+            bus.submit_at(1, frame(0x08, 2), 5);
+            bus.submit_at(2, frame(0x20, 1), 0);
+            let mut log = Vec::new();
+            while !bus.idle() {
+                log.extend(bus.advance_next(u64::MAX));
+            }
+            (log, bus.counters().clone())
+        };
+        assert_eq!(drive(), drive());
+    }
+
+    #[test]
+    fn advance_to_drains_and_pins_the_clock() {
+        let mut bus = quiet_bus(2);
+        bus.submit(0, frame(1, 1));
+        bus.submit(0, frame(2, 1));
+        let ds = bus.advance_to(10_000);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(bus.now(), 10_000);
+        assert!(bus.idle());
+    }
+}

@@ -48,6 +48,11 @@ pub mod rules {
     pub const CFG_PWM_CARRIER: &str = "cfg.pwm-carrier";
     /// An event (interrupt) port with no function-call target wired.
     pub const CFG_EVENT_UNWIRED: &str = "cfg.event-unwired";
+    /// A bus message's worst-case transmission delay (blocking by the
+    /// longest lower-priority frame + interference from higher-priority
+    /// IDs) breaks its deadline or the response-time bound of the task
+    /// waiting on it.
+    pub const SCHED_BUS_DELAY: &str = "sched.bus-delay";
 
     /// Every rule, in catalog order. The golden test pins this list.
     pub const ALL_RULES: &[&str] = &[
@@ -68,6 +73,7 @@ pub mod rules {
         CFG_TIMER_PERIOD,
         CFG_PWM_CARRIER,
         CFG_EVENT_UNWIRED,
+        SCHED_BUS_DELAY,
     ];
 }
 
@@ -81,7 +87,8 @@ pub fn default_severity(rule: &str) -> Severity {
         | rules::SCHED_OVERRUN
         | rules::CFG_BEAN_MISSING
         | rules::CFG_ADC_WIDTH
-        | rules::CFG_TIMER_PERIOD => Severity::Error,
+        | rules::CFG_TIMER_PERIOD
+        | rules::SCHED_BUS_DELAY => Severity::Error,
         rules::GRAPH_CONST_FOLD => Severity::Note,
         _ => Severity::Warning,
     }

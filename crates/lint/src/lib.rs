@@ -40,7 +40,10 @@ pub use cross::{lint_block_beans, lint_project};
 pub use diag::{default_severity, rules, Diagnostic, LintConfig, LintReport, RuleAction, Severity};
 pub use interval::{analyze, analyze_with_inputs, Interval, IntervalAnalysis};
 pub use render::{render_json, render_text, to_json};
-pub use sched::{lint_sched, SchedSpec, SchedVerdict, TaskSpec, TaskVerdict};
+pub use sched::{
+    analyze_bus, lint_bus, lint_sched, BusMsgSpec, BusMsgVerdict, BusSchedSpec, BusVerdict,
+    SchedSpec, SchedVerdict, TaskSpec, TaskVerdict,
+};
 
 use peert_codegen::{generate_controller, CodegenError, CodegenOptions, ControllerCode, TlcRegistry};
 use peert_model::graph::Diagram;

@@ -178,6 +178,153 @@ impl LintReport {
     pub fn predicts_overrun(&self) -> bool {
         self.has_rule(rules::SCHED_OVERRUN)
     }
+
+    /// Whether this report contains a `sched.bus-delay` prediction.
+    pub fn predicts_bus_delay(&self) -> bool {
+        self.has_rule(rules::SCHED_BUS_DELAY)
+    }
+}
+
+/// One periodic message on the shared bus, identified by its
+/// arbitration ID (lower wins).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BusMsgSpec {
+    /// Message name (diagnostic path is `bus/<name>`).
+    pub name: String,
+    /// Arbitration ID — the static priority.
+    pub id: u16,
+    /// Wire bytes per frame (framing overhead included).
+    pub wire_bytes: usize,
+    /// Delivery deadline in seconds (typically the control period).
+    pub deadline_s: f64,
+}
+
+/// The message set plus the bus pricing the bound needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BusSchedSpec {
+    /// Bus clock in Hz (cycles per second).
+    pub bus_hz: f64,
+    /// Frame pricing (bit time, per-frame overhead bits).
+    pub bus: peert_bus::BusConfig,
+    /// The periodic messages.
+    pub messages: Vec<BusMsgSpec>,
+}
+
+impl BusSchedSpec {
+    /// Build a spec from a simulated bus configuration, so the priced
+    /// frame times match what `peert-bus` will charge.
+    pub fn for_bus(bus: &peert_bus::BusConfig, bus_hz: f64, messages: Vec<BusMsgSpec>) -> Self {
+        BusSchedSpec { bus_hz, bus: *bus, messages }
+    }
+}
+
+/// One message's verdict from the worst-case transmission-delay bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BusMsgVerdict {
+    /// Message name.
+    pub name: String,
+    /// Own transmission time in cycles.
+    pub transmission_cycles: u64,
+    /// Blocking by the longest lower-priority frame already on the wire
+    /// (arbitration is non-destructive for the winner).
+    pub blocking_cycles: u64,
+    /// One instance of every higher-priority message.
+    pub interference_cycles: u64,
+    /// Worst-case queuing-to-delivery delay:
+    /// blocking + interference + transmission.
+    pub delay_cycles: u64,
+    /// The message's deadline in cycles.
+    pub deadline_cycles: f64,
+    /// Whether the bound breaks the deadline.
+    pub overrun: bool,
+}
+
+/// The full bus analysis result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BusVerdict {
+    /// Per-message delay bounds, in input order.
+    pub messages: Vec<BusMsgVerdict>,
+}
+
+impl BusVerdict {
+    /// Whether any message breaks its deadline.
+    pub fn any_overrun(&self) -> bool {
+        self.messages.iter().any(|m| m.overrun)
+    }
+
+    /// The verdict of a message by name.
+    pub fn message(&self, name: &str) -> Option<&BusMsgVerdict> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+}
+
+/// Compute the worst-case bus transmission delay of every message
+/// without emitting diagnostics.
+///
+/// The model mirrors the non-preemptive task bound above, transposed
+/// onto CAN-style arbitration: a frame that has started transmitting is
+/// never preempted, so message *m* waits at most for the longest frame
+/// of any *lower*-priority message (larger ID) already on the wire,
+/// plus one instance of every *higher*-priority message (smaller ID)
+/// that beats it in arbitration, plus its own transmission time.
+pub fn analyze_bus(spec: &BusSchedSpec) -> BusVerdict {
+    let messages = spec
+        .messages
+        .iter()
+        .map(|m| {
+            let own = spec.bus.frame_cycles(m.wire_bytes);
+            let blocking = spec
+                .messages
+                .iter()
+                .filter(|o| o.id > m.id)
+                .map(|o| spec.bus.frame_cycles(o.wire_bytes))
+                .max()
+                .unwrap_or(0);
+            let interference: u64 = spec
+                .messages
+                .iter()
+                .filter(|o| o.id < m.id)
+                .map(|o| spec.bus.frame_cycles(o.wire_bytes))
+                .sum();
+            let delay = blocking + interference + own;
+            let deadline_cycles = m.deadline_s * spec.bus_hz;
+            BusMsgVerdict {
+                name: m.name.clone(),
+                transmission_cycles: own,
+                blocking_cycles: blocking,
+                interference_cycles: interference,
+                delay_cycles: delay,
+                deadline_cycles,
+                overrun: delay as f64 > deadline_cycles,
+            }
+        })
+        .collect();
+    BusVerdict { messages }
+}
+
+/// Run the bus analysis and report `sched.bus-delay`.
+pub fn lint_bus(spec: &BusSchedSpec, config: &LintConfig) -> (BusVerdict, LintReport) {
+    let verdict = analyze_bus(spec);
+    let mut report = LintReport::new();
+    for m in &verdict.messages {
+        if m.overrun {
+            report.push(
+                config,
+                rules::SCHED_BUS_DELAY,
+                format!("bus/{}", m.name),
+                format!(
+                    "worst-case bus delay {} cycles (blocking {} + interference {} + transmission {}) exceeds the deadline {:.0} cycles",
+                    m.delay_cycles,
+                    m.blocking_cycles,
+                    m.interference_cycles,
+                    m.transmission_cycles,
+                    m.deadline_cycles
+                ),
+                Some("raise the message's priority (lower ID), shorten frames, or speed up the bit time".to_string()),
+            );
+        }
+    }
+    (verdict, report)
 }
 
 #[cfg(test)]
@@ -213,6 +360,65 @@ mod tests {
         assert!(v.any_overrun());
         assert!(r.predicts_overrun());
         assert!(!r.is_deny_clean());
+    }
+
+    fn bus_spec(deadline_s: f64) -> BusSchedSpec {
+        // the distributed-PIL shape: per-hop ACKs outrank DATA frames,
+        // STATUS heartbeats sit at the bottom of the ID space
+        let bus = peert_bus::BusConfig { bit_time_cycles: 120, frame_overhead_bits: 47 };
+        let mut messages = vec![];
+        for hop in 0..4u16 {
+            messages.push(BusMsgSpec {
+                name: format!("ack{hop}"),
+                id: 0x080 + hop,
+                wire_bytes: 10,
+                deadline_s,
+            });
+            messages.push(BusMsgSpec {
+                name: format!("data{hop}"),
+                id: 0x100 + hop,
+                wire_bytes: 12,
+                deadline_s,
+            });
+        }
+        for node in 1..4u16 {
+            messages.push(BusMsgSpec {
+                name: format!("status{node}"),
+                id: 0x400 + node,
+                wire_bytes: 13,
+                deadline_s,
+            });
+        }
+        BusSchedSpec::for_bus(&bus, 60e6, messages)
+    }
+
+    #[test]
+    fn bus_bound_decomposes_blocking_and_interference() {
+        let v = analyze_bus(&bus_spec(10e-3));
+        // The top-priority message only suffers blocking by the longest
+        // lower-priority frame (a 13-byte status).
+        let top = v.message("ack0").unwrap();
+        assert_eq!(top.interference_cycles, 0);
+        assert_eq!(top.blocking_cycles, (47 + 13 * 8) * 120);
+        // The bottom-priority message suffers no blocking but one
+        // instance of everything above it.
+        let bottom = v.message("status3").unwrap();
+        assert_eq!(bottom.blocking_cycles, 0);
+        let everything_above: u64 =
+            v.messages.iter().filter(|m| m.name != "status3").map(|m| m.transmission_cycles).sum();
+        assert_eq!(bottom.interference_cycles, everything_above);
+        assert!(!v.any_overrun());
+    }
+
+    #[test]
+    fn bus_overrun_reports_the_new_rule() {
+        // 150 us deadline: the low-priority statuses cannot make it.
+        let (v, r) = lint_bus(&bus_spec(150e-6), &LintConfig::new());
+        assert!(v.any_overrun());
+        assert!(r.predicts_bus_delay());
+        assert!(!r.is_deny_clean(), "sched.bus-delay denies by default");
+        let (_, r) = lint_bus(&bus_spec(10e-3), &LintConfig::new());
+        assert!(!r.predicts_bus_delay());
     }
 
     #[test]

@@ -104,6 +104,7 @@ fn rule_ids_are_stable() {
             "cfg.timer-period",
             "cfg.pwm-carrier",
             "cfg.event-unwired",
+            "sched.bus-delay",
         ]
     );
     // the deny-by-default set is exactly this
@@ -123,6 +124,7 @@ fn rule_ids_are_stable() {
             "cfg.bean-missing",
             "cfg.adc-width",
             "cfg.timer-period",
+            "sched.bus-delay",
         ]
     );
 }

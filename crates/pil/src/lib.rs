@@ -22,7 +22,12 @@
 //!   through its SCI peripheral at baud-accurate byte times) and the host
 //!   plant runner (the xPC-simulator stand-in). Produces the per-step
 //!   timing decomposition (inbound comm / compute / outbound comm),
-//!   deadline misses and the plant trajectory E6 compares against MIL.
+//!   deadline misses and the plant trajectory E6 compares against MIL;
+//! * [`multi`] — the distributed generalization: several MCU nodes
+//!   (sensor / control / PWM stages partitioned from one diagram)
+//!   exchanging framed samples over a simulated CAN-like bus
+//!   ([`peert_bus`]), with the ARQ machinery applied per hop and
+//!   bus-partition degradation falling back to a host-side replica.
 
 #![forbid(unsafe_code)]
 
@@ -30,8 +35,13 @@
 
 pub mod arq;
 pub mod cosim;
+pub mod multi;
 pub mod packet;
 
 pub use arq::{Admission, ArqConfig, ArqTiming, LinkHealth, LinkSupervisor, ReplicaGate};
 pub use cosim::{FaultSchedule, LinkKind, PilConfig, PilSession, PilStats};
+pub use multi::{
+    MultiFaultSchedule, MultiPilConfig, MultiPilSession, MultiPilStats, NodeSpec, StageFn,
+    StepPartition,
+};
 pub use packet::{Packet, PacketParser, MAX_SAMPLES};

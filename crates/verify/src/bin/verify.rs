@@ -130,6 +130,15 @@ fn main() {
                 report.wire_rejects,
                 report.wire_cancelled
             );
+            println!(
+                "  bus:   {} multi-node schedule(s) over the simulated CAN bus \
+                 ({} under-budget run(s) bit-exact vs the MIL replica with exact \
+                 counters, {} partition run(s) flagged-degraded, {} retransmission(s))",
+                report.bus_schedules,
+                report.bus_exact,
+                report.bus_degraded,
+                report.bus_retries
+            );
         }
         Err(fail) => {
             eprintln!(

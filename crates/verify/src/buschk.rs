@@ -1,0 +1,425 @@
+//! The "bus" phase: seeded multi-node PIL schedules over the simulated
+//! CAN bus, proved against a single-engine host replica.
+//!
+//! Each case builds a 2–3 stage pipeline of seeded linear stages,
+//! partitions it across [`peert_pil::multi::MultiPilSession`] nodes and
+//! replays a seeded schedule:
+//!
+//! * **Under-budget fault cases** — a handful of `(hop, step)` fault
+//!   events (corrupt DATA / drop DATA / drop ACK), each within the
+//!   per-exchange retry budget. The delivered trajectory must be
+//!   **bit-exact** against the clean single-engine MIL replica (the
+//!   same stage math chained through the same per-hop quantization
+//!   round-trips), every ARQ/bus counter must equal the
+//!   schedule-derived expectation **exactly**, and every per-step
+//!   delivery latency must sit under the `sched.bus-delay` analytic
+//!   bound (plus the E14 recovery bound on faulted steps).
+//! * **Partition cases** (every 8th case) — the last stage node is
+//!   isolated from a seeded step to the end of the run. The session
+//!   must complete **flagged-degraded** at exactly the watchdog
+//!   threshold, hold actuation over the failed steps, track the replica
+//!   bit-exactly before and after, and the partition-loss counters must
+//!   equal the closed-form expectation.
+
+use peert_lint::{analyze_bus, BusMsgSpec, BusSchedSpec};
+use peert_pil::multi::{
+    ack_id, ack_wire_bytes, data_id, quantize_roundtrip, MultiFaultSchedule, MultiPilConfig,
+    MultiPilSession, MultiPilStats, NodeSpec, StageFn, StepPartition,
+};
+use peert_pil::ArqConfig;
+
+use crate::rng::Rng;
+
+/// Steps each bus case runs for.
+pub const BUS_STEPS: u64 = 24;
+
+/// What one bus schedule proved.
+#[derive(Clone, Debug, Default)]
+pub struct BusScheduleReport {
+    /// Steps executed.
+    pub steps: u64,
+    /// Scheduled fault events (multiplicity included).
+    pub faults: u64,
+    /// Hop retransmissions exercised.
+    pub retries: u64,
+    /// Whether this was a partition case that ended degraded.
+    pub degraded: bool,
+    /// Worst per-step delivery latency observed, in bus cycles.
+    pub worst_latency: u64,
+    /// The analytic pipeline delay bound the latencies were checked
+    /// against, in bus cycles.
+    pub latency_bound: u64,
+}
+
+/// Seeded parameters of one pipeline stage: `out[j] = clamp(Σ w[j][i] ·
+/// in[i] + fb · acc[j])`, with `acc` accumulating the clamped output.
+/// The last stage is always stateless (`fb = 0`) so a degraded run's
+/// trajectory stays predictable from the replica alone.
+#[derive(Clone, Debug)]
+struct StageParams {
+    weights: Vec<Vec<f64>>, // [out][in]
+    feedback: f64,
+}
+
+impl StageParams {
+    fn gen(rng: &mut Rng, ins: usize, outs: usize, stateless: bool) -> Self {
+        let bound = 0.9 / ins as f64;
+        let weights = (0..outs)
+            .map(|_| (0..ins).map(|_| rng.range_f64(-bound, bound)).collect())
+            .collect();
+        let feedback = if stateless { 0.0 } else { rng.range_f64(-0.4, 0.4) };
+        StageParams { weights, feedback }
+    }
+
+    fn instantiate(&self) -> StageFn {
+        let weights = self.weights.clone();
+        let feedback = self.feedback;
+        let mut acc = vec![0.0f64; weights.len()];
+        Box::new(move |ins: &[f64]| {
+            weights
+                .iter()
+                .zip(acc.iter_mut())
+                .map(|(row, a)| {
+                    let mix: f64 = row.iter().zip(ins).map(|(w, x)| w * x).sum();
+                    let y = (mix + feedback * *a).clamp(-1.0, 1.0);
+                    *a = y;
+                    y
+                })
+                .collect()
+        })
+    }
+}
+
+/// Everything a seeded case pins down.
+struct BusCase {
+    specs: Vec<NodeSpec>,
+    params: Vec<StageParams>,
+    cfg: MultiPilConfig,
+    /// Fault multiplicity per scheduled `(hop, step)`, split by type.
+    corrupt: u64,
+    drop_data: u64,
+    drop_ack: u64,
+    /// Total multiplicity per faulted step (for the latency bound).
+    step_faults: std::collections::BTreeMap<u64, u32>,
+    /// Partition start step, when this is a partition case.
+    partition_from: Option<u64>,
+}
+
+fn gen_bus_case(seed: u64, case: u64) -> BusCase {
+    let mut rng = Rng::derive(seed, 0xB005_0000 ^ case);
+    let stages = 2 + rng.below(2) as usize; // 2..=3 stages
+    let mcu = crate::default_mcu();
+
+    // Channel chain: sensors → stage widths → actuation.
+    let mut widths = Vec::with_capacity(stages + 1);
+    widths.push(1 + rng.below(2) as usize);
+    for _ in 0..stages {
+        widths.push(1 + rng.below(2) as usize);
+    }
+
+    let names = ["sensor", "ctl", "pwm"];
+    let specs: Vec<NodeSpec> = (0..stages)
+        .map(|i| NodeSpec {
+            name: names[i.min(names.len() - 1)].to_string(),
+            mcu: mcu.clone(),
+            step_cycles: 200 + rng.below(1200),
+            in_channels: widths[i],
+            out_channels: widths[i + 1],
+        })
+        .collect();
+
+    let params: Vec<StageParams> = (0..stages)
+        .map(|i| {
+            StageParams::gen(&mut rng, widths[i], widths[i + 1], i == stages - 1)
+        })
+        .collect();
+
+    let scales: Vec<f64> = (0..=stages).map(|_| *rng.pick(&[1.0, 2.0, 4.0])).collect();
+    let arq = ArqConfig::default();
+
+    let mut faults = MultiFaultSchedule::default();
+    let mut step_faults = std::collections::BTreeMap::new();
+    let partition_from = if case % 8 == 7 {
+        // Partition case: isolate the last stage node from a seeded
+        // step to the end of the run; no additional faults.
+        Some(4 + rng.below(4))
+    } else {
+        // Under-budget fault case: distinct (hop, step) events, each
+        // within the retry budget.
+        let events = 2 + rng.below(3); // 2..=4
+        let mut chosen = std::collections::BTreeSet::new();
+        while (chosen.len() as u64) < events {
+            chosen.insert((rng.below(stages as u64 + 1) as usize, rng.below(BUS_STEPS)));
+        }
+        for (hop, step) in chosen {
+            let multiplicity = 1 + rng.below(arq.max_retries as u64) as u32;
+            *step_faults.entry(step).or_insert(0) += multiplicity;
+            for _ in 0..multiplicity {
+                match rng.below(3) {
+                    0 => faults.corrupt_data.push((hop, step)),
+                    1 => faults.drop_data.push((hop, step)),
+                    _ => faults.drop_ack.push((hop, step)),
+                }
+            }
+        }
+        None
+    };
+    let corrupt = faults.corrupt_data.len() as u64;
+    let drop_data = faults.drop_data.len() as u64;
+    let drop_ack = faults.drop_ack.len() as u64;
+
+    let cfg = MultiPilConfig {
+        // Wide enough that even a step with every hop at its full
+        // retry budget finishes inside the period (no deadline noise).
+        control_period_s: 30e-3,
+        hop_scales: scales,
+        faults,
+        partitions: partition_from
+            .map(|from| vec![StepPartition { node: stages, from_step: from, until_step: u64::MAX }])
+            .unwrap_or_default(),
+        // Statuses off: the exact-counter obligations below include
+        // arbitration_losses == 0, which only holds when the wire is
+        // strictly sequential. Status-frame arbitration is pinned by
+        // the peert-pil unit tests and the bus soak instead.
+        status_frames: false,
+        ..MultiPilConfig::default()
+    };
+
+    BusCase { specs, params, cfg, corrupt, drop_data, drop_ack, step_faults, partition_from }
+}
+
+/// The plant both runs share: an open-loop seeded stimulus (independent
+/// of actuation, so a recovered run realigns with the clean one).
+fn stimulus(seed: u64, case: u64, channels: usize) -> peert_pil::cosim::PlantFn {
+    let mut rng = Rng::derive(seed, 0xB005_1000 ^ case);
+    let rows: Vec<Vec<f64>> = (0..BUS_STEPS)
+        .map(|_| (0..channels).map(|_| rng.range_f64(-0.95, 0.95)).collect())
+        .collect();
+    let mut k = 0usize;
+    Box::new(move |_applied: &[f64], _dt: f64| {
+        let row = rows[k.min(rows.len() - 1)].clone();
+        k += 1;
+        row
+    })
+}
+
+/// The single-engine MIL replica: the same stage math, chained through
+/// the same per-hop quantization round-trips, no bus. Returns the
+/// per-step actuation bit patterns.
+fn replica_trajectory(case: &BusCase, seed: u64, case_idx: u64) -> Vec<Vec<u64>> {
+    let mut stages: Vec<StageFn> = case.params.iter().map(StageParams::instantiate).collect();
+    let mut plant = stimulus(seed, case_idx, case.specs[0].in_channels);
+    let scales = &case.cfg.hop_scales;
+    let mut applied = vec![0.0f64; case.specs.last().unwrap().out_channels];
+    let mut out = Vec::with_capacity(BUS_STEPS as usize);
+    for step in 0..BUS_STEPS {
+        let dt = if step == 0 { 0.0 } else { case.cfg.control_period_s };
+        let sensors = plant(&applied, dt);
+        let mut v = quantize_roundtrip(&sensors, scales[0]);
+        for (i, stage) in stages.iter_mut().enumerate() {
+            v = stage(&v);
+            v = quantize_roundtrip(&v, scales[i + 1]);
+        }
+        applied = v;
+        out.push(applied.iter().map(|x| x.to_bits()).collect());
+    }
+    out
+}
+
+/// The analytic per-step pipeline delay bound from the lint model:
+/// `Σ_h W(DATA_h) + proc_h + W(ACK_h)` with `W` the worst-case
+/// `sched.bus-delay` response of each message over the case's ID space.
+fn pipeline_bound_cycles(session: &MultiPilSession) -> u64 {
+    let hops = session.n_hops();
+    let mut messages = Vec::with_capacity(2 * hops);
+    for hop in 0..hops {
+        messages.push(BusMsgSpec {
+            name: format!("data{hop}"),
+            id: data_id(hop),
+            wire_bytes: session.hop_data_bytes(hop),
+            deadline_s: 30e-3,
+        });
+        messages.push(BusMsgSpec {
+            name: format!("ack{hop}"),
+            id: ack_id(hop),
+            wire_bytes: ack_wire_bytes(),
+            deadline_s: 30e-3,
+        });
+    }
+    let spec = BusSchedSpec::for_bus(
+        session.bus_config(),
+        crate::default_mcu().bus_hz(),
+        messages,
+    );
+    let verdict = analyze_bus(&spec);
+    (0..hops)
+        .map(|hop| {
+            let data = verdict.message(&format!("data{hop}")).expect("data verdict").delay_cycles;
+            let ack = verdict.message(&format!("ack{hop}")).expect("ack verdict").delay_cycles;
+            data + session.hop_proc_cycles(hop) + ack
+        })
+        .sum()
+}
+
+fn check_exact(expect: &str, got: u64, want: u64) -> Result<(), String> {
+    if got != want {
+        return Err(format!("{expect}: got {got}, schedule demands exactly {want}"));
+    }
+    Ok(())
+}
+
+/// Replay one seeded bus schedule and prove its obligations.
+pub fn run_bus_schedule(seed: u64, case_idx: u64) -> Result<BusScheduleReport, String> {
+    let case = gen_bus_case(seed, case_idx);
+    let s = case.specs.len() as u64;
+    let stages: Vec<StageFn> = case.params.iter().map(StageParams::instantiate).collect();
+    let plant = stimulus(seed, case_idx, case.specs[0].in_channels);
+    let mut session =
+        MultiPilSession::new(case.specs.clone(), stages, case.cfg.clone(), plant)?;
+    let bound = pipeline_bound_cycles(&session);
+    session.run(BUS_STEPS);
+    let stats = session.stats().clone();
+    let bus = session.bus_counters().clone();
+    let replica = replica_trajectory(&case, seed, case_idx);
+
+    check_exact("steps", stats.steps, BUS_STEPS)?;
+    check_exact("deadline misses", stats.deadline_misses, 0)?;
+    check_exact("arbitration losses", bus.arbitration_losses, 0)?;
+    check_exact("decode errors", stats.decode_errors, 0)?;
+
+    match case.partition_from {
+        None => check_fault_case(&case, &session, &stats, &bus, &replica, bound, s)?,
+        Some(from) => check_partition_case(&case, &session, &stats, &bus, &replica, from, s)?,
+    }
+
+    Ok(BusScheduleReport {
+        steps: stats.steps,
+        faults: case.corrupt + case.drop_data + case.drop_ack,
+        retries: stats.retries,
+        degraded: session.is_degraded(),
+        worst_latency: stats.worst_delivery_cycles,
+        latency_bound: bound,
+    })
+}
+
+fn check_fault_case(
+    case: &BusCase,
+    session: &MultiPilSession,
+    stats: &MultiPilStats,
+    bus: &peert_bus::BusCounters,
+    replica: &[Vec<u64>],
+    bound: u64,
+    s: u64,
+) -> Result<(), String> {
+    if session.is_degraded() {
+        return Err("under-budget schedule degraded the session".into());
+    }
+    if stats.trajectory != replica {
+        let at = stats
+            .trajectory
+            .iter()
+            .zip(replica)
+            .position(|(a, b)| a != b)
+            .unwrap_or(usize::MAX);
+        return Err(format!(
+            "under-budget faulted trajectory diverged from the MIL replica at step {at}"
+        ));
+    }
+    let faults = case.corrupt + case.drop_data + case.drop_ack;
+    check_exact("failed steps", stats.failed_steps, 0)?;
+    check_exact("retries", stats.retries, faults)?;
+    check_exact("timeouts", stats.timeouts, faults)?;
+    check_exact("duplicate acks", stats.duplicate_acks, case.drop_ack)?;
+    check_exact("corrupted frames", bus.corrupted_frames, case.corrupt)?;
+    check_exact("dropped frames", bus.dropped_frames, case.drop_data + case.drop_ack)?;
+    // A corrupted broadcast is CRC-rejected at every listening deframer
+    // (all nodes except the sender).
+    check_exact("crc rejections", stats.crc_rejected, s * case.corrupt)?;
+    check_exact("partition tx losses", bus.partition_tx_losses, 0)?;
+    check_exact("partition rx losses", bus.partition_rx_losses, 0)?;
+    // Extra wire frames: one retransmitted DATA per corrupt/drop-DATA
+    // event, a retransmitted DATA plus a re-ACK per dropped ACK.
+    let expected_frames =
+        BUS_STEPS * 2 * (s + 1) + case.corrupt + case.drop_data + 2 * case.drop_ack;
+    check_exact("frames sent", bus.frames_sent, expected_frames)?;
+    for (i, execs) in stats.stage_execs.iter().enumerate() {
+        check_exact(&format!("stage {i} execs"), *execs, BUS_STEPS)?;
+    }
+    // Latency obligations: clean steps under the analytic bound,
+    // faulted steps under bound + the E14 recovery allowance.
+    for (step, latency) in stats.delivery_latencies.iter().enumerate() {
+        let mult = case.step_faults.get(&(step as u64)).copied().unwrap_or(0);
+        let allowance: u64 = if mult == 0 {
+            0
+        } else {
+            (0..session.n_hops())
+                .map(|h| session.hop_timing(h).recovery_bound_cycles(mult))
+                .max()
+                .unwrap_or(0)
+        };
+        if *latency > bound + allowance {
+            return Err(format!(
+                "step {step} delivery latency {latency} exceeds the lint bound {bound} \
+                 (+ recovery allowance {allowance})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_partition_case(
+    case: &BusCase,
+    session: &MultiPilSession,
+    stats: &MultiPilStats,
+    bus: &peert_bus::BusCounters,
+    replica: &[Vec<u64>],
+    from: u64,
+    s: u64,
+) -> Result<(), String> {
+    let watchdog = u64::from(case.cfg.arq.watchdog_failures);
+    let retries = u64::from(case.cfg.arq.max_retries);
+    if !session.is_degraded() {
+        return Err("partition schedule completed without degrading".into());
+    }
+    if stats.degraded_at_step != Some(from + watchdog) {
+        return Err(format!(
+            "degraded at {:?}, expected step {}",
+            stats.degraded_at_step,
+            from + watchdog
+        ));
+    }
+    check_exact("failed steps", stats.failed_steps, watchdog)?;
+    check_exact("failed hops", stats.failed_hops, watchdog)?;
+    check_exact("retries", stats.retries, watchdog * retries)?;
+    check_exact("timeouts", stats.timeouts, watchdog * (retries + 1))?;
+    check_exact("degraded steps", stats.degraded_steps, BUS_STEPS - from - watchdog)?;
+    for (i, execs) in stats.stage_execs.iter().enumerate() {
+        let want = if i + 1 == stats.stage_execs.len() { BUS_STEPS - watchdog } else { BUS_STEPS };
+        check_exact(&format!("stage {i} execs"), *execs, want)?;
+    }
+    // Per failed step the isolated receiver misses both frames of every
+    // completed hop plus every retransmitted DATA of the failing hop.
+    let rx_per_failed = 2 * (s - 1) + retries + 1;
+    check_exact("partition rx losses", bus.partition_rx_losses, watchdog * rx_per_failed)?;
+    check_exact("partition tx losses", bus.partition_tx_losses, 0)?;
+    let expected_frames = from * 2 * (s + 1) + watchdog * rx_per_failed;
+    check_exact("frames sent", bus.frames_sent, expected_frames)?;
+    // Trajectory: replica before the window, actuation held across the
+    // failed steps, replica again once the fallback owns the pipeline
+    // (the last stage is stateless by construction).
+    let from_usize = from as usize;
+    let wd = watchdog as usize;
+    if stats.trajectory[..from_usize] != replica[..from_usize] {
+        return Err("pre-partition trajectory diverged from the MIL replica".into());
+    }
+    let held = &stats.trajectory[from_usize - 1];
+    for step in from_usize..from_usize + wd {
+        if &stats.trajectory[step] != held {
+            return Err(format!("failed step {step} did not hold the last actuation"));
+        }
+    }
+    if stats.trajectory[from_usize + wd..] != replica[from_usize + wd..] {
+        return Err("degraded trajectory diverged from the MIL replica".into());
+    }
+    Ok(())
+}

@@ -27,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod buschk;
 pub mod diff;
 pub mod gen;
 pub mod interp;
@@ -90,6 +91,16 @@ pub struct SuiteReport {
     pub wire_rejects: u64,
     /// Cancelled-while-paused wire sessions proved to stop at step zero.
     pub wire_cancelled: u64,
+    /// Multi-node bus schedules replayed over the simulated CAN bus.
+    pub bus_schedules: u64,
+    /// Under-budget bus schedules proved bit-exact against the
+    /// single-engine MIL replica, with exact counters.
+    pub bus_exact: u64,
+    /// Partition schedules that completed flagged-degraded with exact
+    /// partition-loss counters.
+    pub bus_degraded: u64,
+    /// Hop retransmissions exercised across the bus schedules.
+    pub bus_retries: u64,
 }
 
 /// A failed case: everything needed to reproduce and diagnose it.
@@ -97,7 +108,7 @@ pub struct SuiteReport {
 pub struct Failure {
     /// Which phase failed (`"mil"`, `"reset"`, `"kernel"`, `"pil"`,
     /// `"fault"`, `"arq"`, `"arq-degrade"`, `"lint"`, `"serve"`,
-    /// `"wire"`).
+    /// `"wire"`, `"bus"`).
     pub phase: &'static str,
     /// The generating seed.
     pub seed: u64,
@@ -410,6 +421,51 @@ pub fn run_suite(seed: u64, cases: u64, do_shrink: bool) -> Result<SuiteReport, 
                 "wire schedules exercised {} quota rejection(s) and {} cancel(s) across \
                  {} schedules; both must occur at least once",
                 report.wire_rejects, report.wire_cancelled, report.wire_schedules
+            ),
+            spec: String::new(),
+            blocks: 0,
+        });
+    }
+
+    // bus phase: seeded multi-node schedules over the simulated CAN bus
+    // (≥64) — under-budget fault schedules bit-exact against the
+    // single-engine MIL replica with exact counters, partition
+    // schedules completing flagged-degraded
+    let bus_schedules = cases.max(64);
+    for case in 0..bus_schedules {
+        match buschk::run_bus_schedule(seed, case) {
+            Ok(r) => {
+                report.bus_schedules += 1;
+                if r.degraded {
+                    report.bus_degraded += 1;
+                } else {
+                    report.bus_exact += 1;
+                }
+                report.bus_retries += r.retries;
+            }
+            Err(message) => {
+                return Err(Failure {
+                    phase: "bus",
+                    seed,
+                    case,
+                    message,
+                    spec: String::new(),
+                    blocks: 0,
+                })
+            }
+        }
+    }
+    // The schedule mix must exercise both recovery and degradation, or
+    // the phase proved nothing about them.
+    if report.bus_degraded == 0 || report.bus_retries == 0 {
+        return Err(Failure {
+            phase: "bus",
+            seed,
+            case: 0,
+            message: format!(
+                "bus schedules exercised {} retransmission(s) and {} degraded completion(s) \
+                 across {} schedules; both must occur at least once",
+                report.bus_retries, report.bus_degraded, report.bus_schedules
             ),
             spec: String::new(),
             blocks: 0,

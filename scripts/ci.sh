@@ -52,6 +52,8 @@ run cargo run --release -q --example development_cycle $CARGO_ARGS
 run cargo run --release -q --example pil_simulation $CARGO_ARGS
 # shellcheck disable=SC2086
 run cargo run --release -q --example wire_service $CARGO_ARGS
+# shellcheck disable=SC2086
+run cargo run --release -q --example distributed_pil $CARGO_ARGS
 
 # long ARQ soak (10^5 faulted steps, exact counter accounting, bit-exact
 # trajectory): opt-in because it adds ~1 min in release
@@ -94,6 +96,21 @@ if [[ "${WIRE_SOAK:-0}" == "1" ]]; then
     run env WIRE_SOAK=1 cargo test --release -p peert-wire --test wire_soak $CARGO_ARGS -- --nocapture
 fi
 
+# simulated-CAN-bus gate: arbitration/fault property battery (priority
+# respected under arbitrary interleavings, no schedule wedges the bus,
+# corrupt frames CRC-rejected with resync, drop schedules never perturb
+# surviving payloads)
+# shellcheck disable=SC2086
+run cargo test --release -q -p peert-bus --test bus_props $CARGO_ARGS
+
+# distributed-PIL bus soak (10^5 multi-node steps, one partition window,
+# every counter equal to its schedule-derived expectation, post-recovery
+# trajectory bit-identical to the clean run): opt-in, mirrors PIL_SOAK
+if [[ "${BUS_SOAK:-0}" == "1" ]]; then
+    # shellcheck disable=SC2086
+    run env BUS_SOAK=1 cargo test --release --test bus_soak $CARGO_ARGS -- --nocapture
+fi
+
 # static-analysis gate: the built-in demo model must lint deny-clean,
 # and the machine-readable output must be byte-reproducible (two runs
 # compared verbatim) so downstream tooling can diff it
@@ -110,8 +127,10 @@ rm -f /tmp/peert-lint-1.json /tmp/peert-lint-2.json
 # compiled kernel tape ≡ interpreter ≡ every batched lane (bit-exact),
 # PIL within quantization tolerance, fault counters equal to the
 # schedule, ARQ recovery proofs under seeded fault schedules,
-# multi-tenant serve schedules bit-exact with solo engine runs, and
-# wire schedules over loopback TCP indistinguishable from in-process.
+# multi-tenant serve schedules bit-exact with solo engine runs, wire
+# schedules over loopback TCP indistinguishable from in-process, and
+# multi-node schedules over the simulated CAN bus bit-exact vs the MIL
+# replica with exact counters.
 # VERIFY_SEED/VERIFY_CASES override the defaults; the failing seed and
 # case are printed by the tool itself for offline reproduction.
 VERIFY_SEED="${VERIFY_SEED:-0xC0FFEE}"

@@ -1,0 +1,228 @@
+//! Distributed-PIL bus soak: a long multi-node run over the simulated
+//! CAN bus whose every counter equals its schedule-derived expectation
+//! **exactly**, and whose post-recovery trajectory is bit-identical to
+//! the fault-free run.
+//!
+//! The schedule is a pure function of the seed: roughly 1 step in 16
+//! carries 1..=3 under-budget faults (corrupt DATA / drop DATA / drop
+//! ACK) on the *late* hops (2 and 3), plus one two-step partition
+//! window isolating the PWM node — two failed steps, strictly below
+//! the watchdog threshold of 3, so the session recovers instead of
+//! degrading.
+//!
+//! Faults are restricted to hops 2 and 3 deliberately: the closed-form
+//! arbitration count (`S + 3·S(S−1)/2` losses per step — see
+//! [`peert_pil::MultiPilSession::clean_arbitration_losses_per_step`])
+//! is preserved by late-hop faults and by partitions of the last node,
+//! because every retransmission round there runs on an already-drained
+//! wire. That keeps `arbitration_losses == steps × 12` exact across
+//! the whole soak, faults and partition included.
+//!
+//! The default run keeps tier-1 fast; `BUS_SOAK=1` stretches it to the
+//! full 10⁵-step soak (CI gates it in release, see `scripts/ci.sh`).
+
+use peert_mcu::{McuCatalog, McuSpec};
+use peert_pil::cosim::PlantFn;
+use peert_pil::{
+    MultiFaultSchedule, MultiPilConfig, MultiPilSession, NodeSpec, StageFn, StepPartition,
+};
+
+const SEED: u64 = 0xB05_50AC;
+const STAGES: usize = 3;
+/// `S + 3·S(S−1)/2` for S = 3 — the per-step arbitration-loss total
+/// with status frames on.
+const ARB_PER_STEP: u64 = 12;
+/// ArqConfig defaults the session runs under.
+const MAX_RETRIES: u64 = 3;
+const WATCHDOG: u64 = 3;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn spec() -> McuSpec {
+    McuCatalog::standard().find("MC56F8367").unwrap().clone()
+}
+
+fn nodes() -> Vec<NodeSpec> {
+    vec![
+        NodeSpec { name: "sensor".into(), mcu: spec(), step_cycles: 500, in_channels: 1, out_channels: 1 },
+        NodeSpec { name: "ctl".into(), mcu: spec(), step_cycles: 1100, in_channels: 1, out_channels: 1 },
+        NodeSpec { name: "pwm".into(), mcu: spec(), step_cycles: 300, in_channels: 1, out_channels: 1 },
+    ]
+}
+
+/// Stage chain: a stateful low-pass (sensor), a stateful leaky
+/// accumulator (controller), and a **stateless** saturating gain (PWM).
+/// The first two run every step even when the last hop fails, so their
+/// state stays aligned with the clean run; the last is stateless — the
+/// two properties the post-recovery bit-exactness proof rests on.
+fn stages() -> Vec<StageFn> {
+    let mut lp = 0.0f64;
+    let mut acc = 0.0f64;
+    vec![
+        Box::new(move |ins: &[f64]| {
+            lp = 0.875 * lp + 0.125 * ins[0];
+            vec![lp]
+        }),
+        Box::new(move |ins: &[f64]| {
+            acc = 0.75 * acc + 0.5 * ins[0];
+            vec![acc.clamp(-1.0, 1.0)]
+        }),
+        Box::new(|ins: &[f64]| vec![(ins[0] * 0.9).clamp(-1.0, 1.0)]),
+    ]
+}
+
+/// Open-loop stimulus: the sensor reading never depends on the applied
+/// actuation, so a held actuation during failed steps cannot feed back.
+fn plant() -> PlantFn {
+    let mut k: u64 = 0;
+    Box::new(move |_applied: &[f64], _dt: f64| {
+        let h = splitmix(SEED ^ 0x5EED ^ k);
+        k += 1;
+        vec![((h % 8192) as f64 / 8192.0) * 1.9 - 0.95]
+    })
+}
+
+/// Schedule-derived totals — the oracle every counter must match.
+#[derive(Default)]
+struct Expected {
+    total: u64,
+    corrupt: u64,
+    drop_data: u64,
+    drop_ack: u64,
+}
+
+/// Seeded fault plan: pure function of (seed, steps, partition range).
+/// All faults land on hops 2 or 3 and never inside the partition
+/// window, so each tally above is exact by construction.
+fn soak_schedule(steps: u64, part_from: u64, part_until: u64) -> (MultiFaultSchedule, Expected) {
+    let mut faults = MultiFaultSchedule::default();
+    let mut exp = Expected::default();
+    for step in 0..steps {
+        if (part_from..part_until).contains(&step) {
+            continue;
+        }
+        let h = splitmix(SEED ^ step.wrapping_mul(0x9E37_79B9));
+        if !h.is_multiple_of(16) {
+            continue;
+        }
+        let mult = 1 + ((h >> 8) % 3); // 1..=3 ≤ the per-hop retry budget
+        for k in 0..mult {
+            let hop = 2 + ((h >> (16 + 3 * k)) & 1) as usize; // hop 2 or 3
+            exp.total += 1;
+            match (h >> (24 + 2 * k)) % 3 {
+                0 => {
+                    faults.corrupt_data.push((hop, step));
+                    exp.corrupt += 1;
+                }
+                1 => {
+                    faults.drop_data.push((hop, step));
+                    exp.drop_data += 1;
+                }
+                _ => {
+                    faults.drop_ack.push((hop, step));
+                    exp.drop_ack += 1;
+                }
+            }
+        }
+    }
+    (faults, exp)
+}
+
+fn soak_steps() -> u64 {
+    if std::env::var("BUS_SOAK").ok().as_deref() == Some("1") {
+        100_000
+    } else {
+        400
+    }
+}
+
+fn config(faults: MultiFaultSchedule, partitions: Vec<StepPartition>) -> MultiPilConfig {
+    MultiPilConfig {
+        control_period_s: 20e-3,
+        hop_scales: vec![2.0, 2.0, 2.0, 2.0],
+        faults,
+        partitions,
+        ..MultiPilConfig::default()
+    }
+}
+
+#[test]
+fn bus_soak_has_exact_counters_and_recovers_bit_identically() {
+    let steps = soak_steps();
+    let part_from = steps / 2;
+    let part_until = part_from + 2; // 2 failed steps < watchdog 3
+    let (faults, exp) = soak_schedule(steps, part_from, part_until);
+    assert!(exp.total > steps / 20, "schedule too sparse to be a soak");
+
+    let partitions =
+        vec![StepPartition { node: STAGES, from_step: part_from, until_step: part_until }];
+    let mut session =
+        MultiPilSession::new(nodes(), stages(), config(faults, partitions), plant()).unwrap();
+    session.run(steps);
+    let stats = session.stats().clone();
+    let bus = session.bus_counters();
+
+    // --- session counters equal their schedule-derived expectations ---
+    let failed = part_until - part_from; // every partition step fails hop 2
+    assert!(failed < WATCHDOG, "the window must stay below the degradation threshold");
+    assert_eq!(stats.steps, steps);
+    assert_eq!(stats.deadline_misses, 0);
+    assert_eq!(stats.failed_steps, failed);
+    assert_eq!(stats.failed_hops, failed);
+    assert!(!session.is_degraded(), "2 failed steps stay below the watchdog");
+    assert_eq!(stats.degraded_steps, 0);
+    assert_eq!(stats.degraded_at_step, None);
+    assert_eq!(stats.retries, exp.total + failed * MAX_RETRIES);
+    assert_eq!(stats.timeouts, exp.total + failed * (MAX_RETRIES + 1));
+    assert_eq!(stats.duplicate_acks, exp.drop_ack, "one re-ACK per dropped ACK");
+    assert_eq!(stats.crc_rejected, 3 * exp.corrupt, "3 listening deframers reject each corruption");
+    assert_eq!(stats.decode_errors, 0);
+    // Stages 0 and 1 run even during the partition; stage 2 lives on
+    // the isolated node and misses exactly the failed steps.
+    assert_eq!(stats.stage_execs, vec![steps, steps, steps - failed]);
+
+    // --- bus counters equal the closed forms ---
+    // Clean step: 2 frames per hop × 4 hops + 3 statuses = 11. Failed
+    // step: 2 statuses + hops 0/1 (2 each) + (1+R) unanswered DATA2
+    // transmissions = 10. Faults add 1 frame each, dropped ACKs 2.
+    let clean_frames = (steps - failed) * 11;
+    let extra = exp.corrupt + exp.drop_data + 2 * exp.drop_ack;
+    let per_failed = 3 * (STAGES as u64 - 1) + MAX_RETRIES + 1; // = 10
+    assert_eq!(bus.frames_sent, clean_frames + extra + failed * per_failed);
+    assert_eq!(bus.corrupted_frames, exp.corrupt);
+    assert_eq!(bus.dropped_frames, exp.drop_data + exp.drop_ack);
+    // One consumed status per failed step (the isolated node's)…
+    assert_eq!(bus.partition_tx_losses, failed);
+    // …and 10 suppressed deliveries: 2 statuses + 2×2 hop-0/1 frames +
+    // (1+R) DATA2 attempts the isolated node never hears.
+    assert_eq!(bus.partition_rx_losses, failed * per_failed);
+    // The headline closed form: late-hop faults and last-node
+    // partitions leave the per-step arbitration total untouched.
+    assert_eq!(session.clean_arbitration_losses_per_step(), ARB_PER_STEP);
+    assert_eq!(bus.arbitration_losses, steps * ARB_PER_STEP);
+
+    // --- trajectory: bit-identical to the clean run outside the
+    // partition window, held flat inside it ---
+    let mut clean =
+        MultiPilSession::new(nodes(), stages(), config(MultiFaultSchedule::default(), Vec::new()), plant())
+            .unwrap();
+    clean.run(steps);
+    let want = &clean.stats().trajectory;
+    assert_eq!(clean.bus_counters().frames_sent, steps * 11);
+    for (t, clean_step) in want.iter().enumerate() {
+        if (part_from..part_until).contains(&(t as u64)) {
+            assert_eq!(
+                stats.trajectory[t],
+                stats.trajectory[part_from as usize - 1],
+                "failed step {t} must hold the last good actuation"
+            );
+        } else {
+            assert_eq!(&stats.trajectory[t], clean_step, "step {t} diverged from the clean run");
+        }
+    }
+}

@@ -6,8 +6,11 @@
 use peert::servo::ServoOptions;
 use peert::workflow::{make_pil_session_resilient, run_development_cycle_traced};
 use peert_control::setpoint::SetpointProfile;
+use peert_mcu::McuCatalog;
 use peert_pil::cosim::LinkKind;
-use peert_pil::{ArqConfig, FaultSchedule};
+use peert_pil::{
+    ArqConfig, FaultSchedule, MultiFaultSchedule, MultiPilConfig, MultiPilSession, NodeSpec,
+};
 use peert_trace::{chrome_trace_json, JsonValue, MetricsReport};
 
 fn opts() -> ServoOptions {
@@ -185,4 +188,118 @@ fn arq_counters_round_trip_through_both_exporters() {
     }
     assert!(stack.is_empty(), "unbalanced spans in the board trace");
     assert_eq!(closed_retries, stats.retries, "every retry span is closed");
+}
+
+/// Golden shape for the multi-node (distributed PIL over the simulated
+/// CAN bus) trace: one Chrome process lane per bus node plus the host
+/// lane carrying the `bus.*` counters.
+#[test]
+fn multi_node_trace_exports_one_process_lane_per_node_plus_bus_counters() {
+    let spec = McuCatalog::standard().find("MC56F8367").unwrap().clone();
+    let mk = |name: &str, cycles: u64| NodeSpec {
+        name: name.into(),
+        mcu: spec.clone(),
+        step_cycles: cycles,
+        in_channels: 1,
+        out_channels: 1,
+    };
+    let nodes = vec![mk("sensor", 400), mk("ctl", 900), mk("pwm", 300)];
+    let stages: Vec<peert_pil::StageFn> = vec![
+        Box::new(|ins: &[f64]| vec![ins[0] * 0.5]),
+        Box::new(|ins: &[f64]| vec![ins[0] * -0.8]),
+        Box::new(|ins: &[f64]| vec![ins[0] * 0.9]),
+    ];
+    let cfg = MultiPilConfig {
+        control_period_s: 10e-3,
+        hop_scales: vec![2.0; 4],
+        trace_capacity: 1 << 12,
+        // one recovered drop so the retransmit counter is non-zero
+        faults: MultiFaultSchedule { drop_data: vec![(2, 3)], ..Default::default() },
+        ..Default::default()
+    };
+    let mut k = 0u64;
+    let plant = Box::new(move |_applied: &[f64], _dt: f64| {
+        k += 1;
+        vec![((k % 23) as f64 / 23.0) - 0.5]
+    });
+    let steps = 10u64;
+    let mut session = MultiPilSession::new(nodes, stages, cfg, plant).unwrap();
+    session.run(steps);
+
+    let chrome = chrome_trace_json(&session.tracers());
+    let events = JsonValue::parse(&chrome).expect("valid chrome JSON");
+    let events = events.as_array().expect("trace_event array format");
+
+    // --- golden lane set: host first, then one lane per bus node ---
+    let process_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert_eq!(process_names, ["pil.host", "node.sensor", "node.ctl", "node.pwm"]);
+
+    // --- per lane: balanced spans, monotonic timestamps ---
+    for pid in 1..=4u64 {
+        let mut depth = 0i64;
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut spans = 0u64;
+        for e in events.iter().filter(|e| e.get("pid").and_then(|p| p.as_u64()) == Some(pid)) {
+            if let Some(ts) = e.get("ts").and_then(|t| t.as_f64()) {
+                assert!(ts >= last_ts, "pid {pid}: ts went backwards ({last_ts} -> {ts})");
+                last_ts = ts;
+            }
+            match e.get("ph").and_then(|p| p.as_str()).unwrap() {
+                "B" => {
+                    depth += 1;
+                    spans += 1;
+                }
+                "E" => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "pid {pid}: E before its B");
+        }
+        assert_eq!(depth, 0, "pid {pid}: unbalanced spans");
+        assert!(spans > 0, "pid {pid}: lane carries no spans");
+    }
+
+    // --- the host lane carries the bus.* counter set with the exact
+    // schedule-derived values ---
+    let counter = |name: &str| {
+        events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                    && e.get("pid").and_then(|p| p.as_u64()) == Some(1)
+                    && e.get("name").and_then(|n| n.as_str()) == Some(name)
+            })
+            .and_then(|e| e.get("args")?.get("value")?.as_f64())
+    };
+    // 11 frames per clean step + 1 retransmitted DATA frame
+    assert_eq!(counter("bus.frames"), Some((steps * 11 + 1) as f64));
+    assert_eq!(counter("bus.dropped"), Some(1.0));
+    assert_eq!(counter("bus.retransmits"), Some(1.0));
+    assert_eq!(counter("bus.corrupted"), Some(0.0));
+    for name in [
+        "bus.bits",
+        "bus.arbitration_losses",
+        "bus.partition_tx_losses",
+        "bus.partition_rx_losses",
+        "bus.timeouts",
+        "bus.duplicate_acks",
+        "bus.failed_steps",
+        "bus.degraded_steps",
+        "bus.crc_rejected",
+    ] {
+        assert!(counter(name).is_some(), "missing bus counter {name}");
+    }
+
+    // --- node lanes carry per-step spans and the exec counter ---
+    let node_spans = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("B")
+                && e.get("name").and_then(|n| n.as_str()) == Some("node.step")
+        })
+        .count() as u64;
+    assert_eq!(node_spans, 3 * steps, "every stage executes (and traces) every step");
 }
