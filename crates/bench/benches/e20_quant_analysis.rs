@@ -1,0 +1,18 @@
+//! E20 bench: cost of the certified quantization-error analysis (value
+//! intervals + affine and interval error modes + certificates) on the
+//! diamond and chain families. The recorded numbers live in
+//! BENCH_lint.json; this bench is the interactive/CI view of the same
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peert_bench::e20_quant;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e20_quant_analysis_all_families", |b| {
+        b.iter(|| black_box(e20_quant(black_box(1))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -321,11 +321,57 @@ fn main() {
     }
     println!("\nbus-delay summary written to BENCH_bus.json");
 
+    println!("\n## E20 — certified quantization-error analysis (peert-lint)\n");
+    let e20 = e20_quant(20);
+    println!(
+        "{:<10} {:>6} {:>7} {:>12} {:>14} {:>14} {:>11} {:>6}",
+        "family", "depth", "blocks", "lint[µs]", "affine", "interval", "tightening", "sites"
+    );
+    for r in &e20 {
+        println!(
+            "{:<10} {:>6} {:>7} {:>12.1} {:>14.3e} {:>14.3e} {:>10.2}x {:>6}",
+            r.family, r.depth, r.blocks, r.analysis_us, r.affine_bound, r.interval_bound,
+            r.tightening, r.sites
+        );
+    }
+    let diamond = e20.iter().rev().find(|r| r.family == "diamond").unwrap();
+    // the serde stub Debug-formats derived structs, so flatten the rows
+    // into `Value`s by hand to keep the checked-in file valid JSON
+    let e20_rows: Vec<serde_json::Value> = e20
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "family": r.family,
+                "depth": r.depth,
+                "blocks": r.blocks,
+                "analysis_us": r.analysis_us,
+                "affine_bound": r.affine_bound,
+                "interval_bound": r.interval_bound,
+                "tightening": r.tightening,
+                "sites": r.sites,
+            })
+        })
+        .collect();
+    let lint_blob = serde_json::json!({
+        "experiment": "quant_error_analysis_affine_vs_interval",
+        "rows": e20_rows,
+        "diamond_depth": diamond.depth,
+        "diamond_tightening": diamond.tightening,
+        "worst_analysis_us": e20.iter().map(|r| r.analysis_us).fold(0.0f64, f64::max),
+    });
+    let lint_text =
+        serde_json::to_string_pretty(&lint_blob).expect("quant rows are serializable");
+    if let Err(e) = fs::write("BENCH_lint.json", lint_text) {
+        eprintln!("error: cannot write BENCH_lint.json: {e}");
+        std::process::exit(1);
+    }
+    println!("\nquant-analysis summary written to BENCH_lint.json");
+
     if let Some(path) = json_path {
         let blob = serde_json::json!({
             "e1": e1, "e2": e2, "e3": e3, "e4": e4, "e5": e5,
             "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10, "e11": e11,
-            "e12": e12, "e16": e16, "e17": e17, "e18": e18, "e19": e19,
+            "e12": e12, "e16": e16, "e17": e17, "e18": e18, "e19": e19, "e20": e20,
         });
         let text = serde_json::to_string_pretty(&blob).expect("rows are serializable");
         if let Err(e) = fs::write(&path, text) {

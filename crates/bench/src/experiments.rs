@@ -1271,6 +1271,105 @@ pub fn e19_bus(steps: u64) -> Vec<E19Row> {
     ]
 }
 
+// ---------------------------------------------------------------- E20 ----
+
+/// One diagram family under the quantization-error analysis (E20).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E20Row {
+    /// Family: "diamond" (mixed-sign fan-in, correlation cancels) or
+    /// "chain" (single path, affine ≡ interval).
+    pub family: String,
+    /// Stages in the family.
+    pub depth: usize,
+    /// Blocks in the generated diagram.
+    pub blocks: usize,
+    /// Wall-clock microseconds per full lint pass (value intervals +
+    /// both error modes + certificates), minimum over rounds.
+    pub analysis_us: f64,
+    /// Certified affine error radius at the outport.
+    pub affine_bound: f64,
+    /// Decorrelated interval error radius at the same port.
+    pub interval_bound: f64,
+    /// `interval / affine` — how much correlation tracking tightened
+    /// the certificate (1.0 = tie).
+    pub tightening: f64,
+    /// Distinct quantization sites in the diagram.
+    pub sites: usize,
+}
+
+/// Build one E20 diagram: `depth` stages after a constant source. A
+/// "diamond" stage splits its input through two positive gains and
+/// recombines with a mixed-sign `Sum`, so both branches carry the same
+/// upstream noise symbols and the affine mode cancels them; a "chain"
+/// stage is a single gain, where decorrelation costs nothing.
+fn e20_diagram(family: &str, depth: usize) -> peert_model::graph::Diagram {
+    use peert_model::library::math::{Gain, Sum};
+    use peert_model::library::sources::Constant;
+    use peert_model::subsystem::Outport;
+
+    let mut d = peert_model::graph::Diagram::new();
+    let mut prev = d.add("src", Constant::new(0.5)).unwrap();
+    for s in 0..depth {
+        prev = if family == "diamond" {
+            let a = d.add(format!("a{s}"), Gain::new(0.60)).unwrap();
+            let b = d.add(format!("b{s}"), Gain::new(0.55)).unwrap();
+            d.connect((prev, 0), (a, 0)).unwrap();
+            d.connect((prev, 0), (b, 0)).unwrap();
+            let sum = d.add(format!("s{s}"), Sum::new("+-").unwrap()).unwrap();
+            d.connect((a, 0), (sum, 0)).unwrap();
+            d.connect((b, 0), (sum, 1)).unwrap();
+            sum
+        } else {
+            let g = d.add(format!("g{s}"), Gain::new(0.75)).unwrap();
+            d.connect((prev, 0), (g, 0)).unwrap();
+            g
+        };
+    }
+    let o = d.add("out", Outport).unwrap();
+    d.connect((prev, 0), (o, 0)).unwrap();
+    d
+}
+
+/// E20 — cost and payoff of the affine quantization-error analysis:
+/// full lint pass timed per family/depth, with the affine-vs-interval
+/// certificate gap recorded. The differential soundness side (measured
+/// divergence ≤ certificate on 64 seeded diagrams) is `peert-verify`'s
+/// numeric phase; this experiment prices the analysis and quantifies
+/// the correlation payoff.
+pub fn e20_quant(rounds: u32) -> Vec<E20Row> {
+    use peert_lint::{lint_diagram, ErrorModel, FormatSpec, LintOptions, QuantOptions};
+
+    let mut rows = Vec::new();
+    for (family, depth) in
+        [("chain", 16usize), ("chain", 64), ("diamond", 8), ("diamond", 32)]
+    {
+        let d = e20_diagram(family, depth);
+        let mut opts = LintOptions::with_format(FormatSpec::q15());
+        opts.quant = Some(QuantOptions::new(ErrorModel::all_blocks(&FormatSpec::q15())));
+        let lint = lint_diagram(&d, 1e-3, &opts); // warmup + the recorded result
+        let qa = lint.quant.as_ref().expect("quant analysis ran");
+        let outport = qa.affine.len() - 1;
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds.max(1) {
+            let t0 = std::time::Instant::now();
+            let l = lint_diagram(&d, 1e-3, &opts);
+            best = best.min(t0.elapsed().as_nanos() as f64 / 1e3);
+            assert!(l.quant.is_some());
+        }
+        rows.push(E20Row {
+            family: family.into(),
+            depth,
+            blocks: qa.affine.len(),
+            analysis_us: best,
+            affine_bound: qa.affine[outport],
+            interval_bound: qa.interval[outport],
+            tightening: qa.interval[outport] / qa.affine[outport],
+            sites: qa.sites,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1430,6 +1529,36 @@ mod tests {
                 row.bound_cycles
             );
             assert!(row.bits_per_frame > 47.0, "frame overhead is priced in");
+        }
+    }
+
+    #[test]
+    fn e20_correlation_pays_on_the_diamond_and_ties_on_the_chain() {
+        for row in e20_quant(1) {
+            assert!(row.affine_bound.is_finite(), "{}-{}: no certificate", row.family, row.depth);
+            assert!(
+                row.affine_bound <= row.interval_bound * (1.0 + 1e-12),
+                "{}-{}: affine above interval",
+                row.family,
+                row.depth
+            );
+            if row.family == "diamond" {
+                assert!(
+                    row.tightening > 1.5,
+                    "{}-{}: cancellation should tighten markedly, got {:.3}",
+                    row.family,
+                    row.depth,
+                    row.tightening
+                );
+            } else {
+                assert!(
+                    (row.tightening - 1.0).abs() < 1e-9,
+                    "{}-{}: single path must tie, got {:.3}",
+                    row.family,
+                    row.depth,
+                    row.tightening
+                );
+            }
         }
     }
 

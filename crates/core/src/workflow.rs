@@ -513,6 +513,38 @@ pub fn run_development_cycle_traced(
     m.add_counter("pil.deadline_misses", report.pil.deadline_misses);
     m.absorb_counters("pil.board.", board);
     m.absorb_counters("mil.engine.", model.engine.tracer());
+
+    // Fixed-point cycles also export the certified quantization-error
+    // analysis: how many rounding sites the diagram has, how many output
+    // ports got a finite certificate over the PIL horizon, and the worst
+    // certified bound (at full-scale inputs).
+    if let ControllerArithmetic::FixedQ15 { scale } = opts.arithmetic {
+        let controller = build_controller(opts)?;
+        let fp = controller.diagram().fingerprint();
+        let spec = FormatSpec { format: peert_fixedpoint::QFormat::Q15, scale };
+        let ranges: std::collections::BTreeMap<String, (f64, f64)> = fp
+            .blocks
+            .iter()
+            .filter(|b| b.type_name == "Inport")
+            .map(|b| (b.name.clone(), (-scale, scale)))
+            .collect();
+        let certs = peert_lint::certify_ports(
+            &fp,
+            opts.control_period_s,
+            steps,
+            &peert_lint::ErrorModel::all_blocks(&spec),
+            &ranges,
+        );
+        let sites = certs.iter().map(|c| c.sites as u64).max().unwrap_or(0);
+        let certified = certs.iter().filter(|c| c.bound.is_finite()).count() as u64;
+        m.add_counter("lint.quant.sites", sites);
+        m.add_counter("lint.quant.ports", certs.len() as u64);
+        m.add_counter("lint.quant.ports_certified", certified);
+        // ∞ (nothing certifiable, e.g. hardware bean blocks the numeric
+        // model can't transfer) renders as JSON null by convention
+        let worst = certs.iter().map(|c| c.bound).fold(0.0, f64::max);
+        m.set_meta("lint.quant.worst_bound", JsonValue::Num(worst));
+    }
     let metrics_json = m.to_json();
 
     Ok((report, CycleTrace { chrome_json, metrics_json }))

@@ -1,0 +1,325 @@
+//! Affine-arithmetic error forms: the abstract domain behind the
+//! certified quantization-error analysis in [`crate::num`].
+//!
+//! An [`ErrorForm`] describes the set of values a *signal error* (the
+//! difference between the exact run and the quantized run of the same
+//! diagram) can take at one point in the dataflow:
+//!
+//! ```text
+//!   e  =  Σ_s c_s·ε_s  +  δ,      ε_s ∈ [-1, 1],   |δ| ≤ r
+//! ```
+//!
+//! Every quantization *site* (a block output that rounds, a sensor
+//! boundary, a rounded coefficient) owns one noise symbol `ε_s`. The
+//! center is always zero — every modeled error source is symmetric — so
+//! a form is just its signed symbol coefficients plus a non-negative
+//! *residual* radius `r` absorbing everything non-linear or unknown.
+//!
+//! The payoff over plain intervals is *correlation*: two paths that
+//! carry the same symbol with opposite signs cancel. `x − x` has radius
+//! 0 as a form, but radius `2·rad(x)` once decorrelated — exactly the
+//! pessimism the interval comparison mode of the analysis reproduces on
+//! purpose.
+//!
+//! Everything here is deterministic: symbol lists are kept sorted, all
+//! folds run in index order, and the widening in `num` never consults
+//! wall-clock or randomness — two runs over the same fingerprint render
+//! byte-identically.
+
+/// Hard cap on carried symbols per form. Forms flowing through very deep
+/// diagrams would otherwise accumulate one term per upstream site; past
+/// the cap the smallest-magnitude terms fold into the residual (sound:
+/// `c·ε ⊆ [-|c|, |c|]`), keeping every operation O(cap).
+const MAX_TERMS: usize = 96;
+
+/// An affine error form: sorted `(symbol, coefficient)` terms plus a
+/// non-negative residual radius. See the module docs for semantics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorForm {
+    /// Noise-symbol terms, strictly sorted by symbol id, no zero
+    /// coefficients, every coefficient finite.
+    terms: Vec<(u32, f64)>,
+    /// Radius of the uncorrelated remainder (`≥ 0`, may be `+∞`).
+    residual: f64,
+}
+
+impl ErrorForm {
+    /// The zero error (both runs identical).
+    pub fn zero() -> ErrorForm {
+        ErrorForm { terms: Vec::new(), residual: 0.0 }
+    }
+
+    /// A fresh noise term `mag·ε_sym` (`mag` is taken by magnitude; a
+    /// non-finite magnitude becomes an infinite residual).
+    pub fn noise(sym: u32, mag: f64) -> ErrorForm {
+        let m = mag.abs();
+        if !m.is_finite() {
+            return ErrorForm::top();
+        }
+        if m == 0.0 {
+            return ErrorForm::zero();
+        }
+        ErrorForm { terms: vec![(sym, m)], residual: 0.0 }
+    }
+
+    /// A pure residual `|e| ≤ r` with no correlation information.
+    pub fn residual(r: f64) -> ErrorForm {
+        if r.is_nan() {
+            return ErrorForm::top();
+        }
+        ErrorForm { terms: Vec::new(), residual: r.abs() }
+    }
+
+    /// The unbounded error (analysis ⊤).
+    pub fn top() -> ErrorForm {
+        ErrorForm { terms: Vec::new(), residual: f64::INFINITY }
+    }
+
+    /// Whether the form certifies nothing.
+    pub fn is_top(&self) -> bool {
+        self.residual.is_infinite()
+    }
+
+    /// Total radius: `Σ|c_s| + r` — the certified error magnitude.
+    pub fn radius(&self) -> f64 {
+        self.terms.iter().map(|(_, c)| c.abs()).sum::<f64>() + self.residual
+    }
+
+    /// Iterate the carried symbol ids (used by the site accounting in
+    /// [`crate::num`]).
+    pub fn symbols(&self) -> impl Iterator<Item = u32> + '_ {
+        self.terms.iter().map(|&(s, _)| s)
+    }
+
+    /// Forget all correlation: a pure residual of the same radius. The
+    /// interval comparison mode applies this after every gather, which
+    /// is exactly what makes it an interval analysis.
+    pub fn decorrelate(&self) -> ErrorForm {
+        ErrorForm::residual(self.radius())
+    }
+
+    /// Rebuild the invariants after an op: drop zero terms, push any
+    /// non-finite coefficient into the residual, enforce the term cap.
+    fn normalize(mut self) -> ErrorForm {
+        if self.terms.iter().any(|(_, c)| !c.is_finite()) || self.residual.is_nan() {
+            return ErrorForm::top();
+        }
+        self.terms.retain(|(_, c)| *c != 0.0);
+        if self.terms.len() > MAX_TERMS {
+            // deterministically fold the smallest-|c| terms away
+            let mut by_mag: Vec<(u32, f64)> = self.terms.clone();
+            by_mag.sort_by(|a, b| {
+                b.1.abs()
+                    .partial_cmp(&a.1.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            let keep: std::collections::BTreeSet<u32> =
+                by_mag[..MAX_TERMS].iter().map(|(s, _)| *s).collect();
+            let mut folded = 0.0;
+            self.terms.retain(|(s, c)| {
+                if keep.contains(s) {
+                    true
+                } else {
+                    folded += c.abs();
+                    false
+                }
+            });
+            self.residual += folded;
+        }
+        self
+    }
+
+    /// Sum of two forms: shared symbols add coefficients (this is where
+    /// cancellation happens), residuals add.
+    pub fn add(&self, other: &ErrorForm) -> ErrorForm {
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() || j < other.terms.len() {
+            match (self.terms.get(i), other.terms.get(j)) {
+                (Some(&(sa, ca)), Some(&(sb, cb))) if sa == sb => {
+                    terms.push((sa, ca + cb));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(sa, ca)), Some(&(sb, _))) if sa < sb => {
+                    terms.push((sa, ca));
+                    i += 1;
+                }
+                (Some(_), Some(&(sb, cb))) => {
+                    terms.push((sb, cb));
+                    j += 1;
+                }
+                (Some(&(sa, ca)), None) => {
+                    terms.push((sa, ca));
+                    i += 1;
+                }
+                (None, Some(&(sb, cb))) => {
+                    terms.push((sb, cb));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        ErrorForm { terms, residual: self.residual + other.residual }.normalize()
+    }
+
+    /// Difference `self − other` (shared symbols cancel).
+    pub fn sub(&self, other: &ErrorForm) -> ErrorForm {
+        self.add(&other.neg())
+    }
+
+    /// Negation (flips every coefficient; the residual is symmetric).
+    pub fn neg(&self) -> ErrorForm {
+        ErrorForm {
+            terms: self.terms.iter().map(|&(s, c)| (s, -c)).collect(),
+            residual: self.residual,
+        }
+    }
+
+    /// Scale by a constant `k` (signs preserved, so later cancellation
+    /// still works; `NaN` widens to ⊤).
+    pub fn scale(&self, k: f64) -> ErrorForm {
+        if k.is_nan() {
+            return ErrorForm::top();
+        }
+        ErrorForm {
+            terms: self.terms.iter().map(|&(s, c)| (s, c * k)).collect(),
+            residual: self.residual * k.abs(),
+        }
+        .normalize()
+    }
+
+    /// Least upper bound used by the Kleene iteration. Per shared symbol
+    /// the join keeps the signed common part (same sign → smaller
+    /// magnitude, opposite signs → nothing) and pushes each side's
+    /// leftover into the residual, taking the worse side:
+    ///
+    /// ```text
+    ///   c_s = sign-matched min(a_s, b_s)
+    ///   r_J = max(r_A + Σ|a_s − c_s|,  r_B + Σ|b_s − c_s|)
+    /// ```
+    ///
+    /// Soundness: any `e` drawn from A equals `Σ c_s ε_s` plus a
+    /// remainder of magnitude ≤ `r_A + Σ|a_s − c_s| ≤ r_J` *under the
+    /// same `ε` realization*, so the join contains both operands without
+    /// breaking cross-signal correlation. Radius-exactness:
+    /// `|a_s − c_s| + |c_s| = |a_s|` in every case, so
+    /// `rad(J) = max(rad(A), rad(B))` — joining never loses tightness
+    /// against the interval comparison mode.
+    pub fn join(&self, other: &ErrorForm) -> ErrorForm {
+        let mut terms = Vec::with_capacity(self.terms.len().max(other.terms.len()));
+        let mut left_a = 0.0f64; // Σ|a_s − c_s|
+        let mut left_b = 0.0f64; // Σ|b_s − c_s|
+        let (mut i, mut j) = (0, 0);
+        loop {
+            match (self.terms.get(i), other.terms.get(j)) {
+                (Some(&(sa, ca)), Some(&(sb, cb))) if sa == sb => {
+                    let c = if ca.signum() == cb.signum() {
+                        if ca.abs() <= cb.abs() {
+                            ca
+                        } else {
+                            cb
+                        }
+                    } else {
+                        0.0
+                    };
+                    terms.push((sa, c));
+                    left_a += (ca - c).abs();
+                    left_b += (cb - c).abs();
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(sa, ca)), Some(&(sb, _))) if sa < sb => {
+                    left_a += ca.abs();
+                    i += 1;
+                }
+                (Some(_), Some(&(_, cb))) => {
+                    left_b += cb.abs();
+                    j += 1;
+                }
+                (Some(&(_, ca)), None) => {
+                    left_a += ca.abs();
+                    i += 1;
+                }
+                (None, Some(&(_, cb))) => {
+                    left_b += cb.abs();
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        let residual = (self.residual + left_a).max(other.residual + left_b);
+        ErrorForm { terms, residual }.normalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_symbols_cancel() {
+        let x = ErrorForm::noise(1, 0.5);
+        assert_eq!(x.sub(&x).radius(), 0.0, "x − x is exactly zero");
+        assert_eq!(x.add(&x).radius(), 1.0);
+        // decorrelated, the same subtraction doubles instead of cancelling
+        assert_eq!(x.decorrelate().sub(&x.decorrelate()).radius(), 1.0);
+    }
+
+    #[test]
+    fn mixed_sign_paths_beat_intervals() {
+        // e through gains 0.8 and 0.7 reconverging on a "+-" sum
+        let e = ErrorForm::noise(3, 0.01);
+        let aff = e.scale(0.8).sub(&e.scale(0.7));
+        let itv = e.decorrelate().scale(0.8).add(&e.decorrelate().scale(0.7));
+        assert!((aff.radius() - 0.001).abs() < 1e-15);
+        assert!((itv.radius() - 0.015).abs() < 1e-15);
+    }
+
+    #[test]
+    fn join_is_radius_exact_and_sound() {
+        let a = ErrorForm::noise(1, 0.3).add(&ErrorForm::noise(2, 0.2));
+        let b = ErrorForm::noise(1, 0.5).add(&ErrorForm::residual(0.1));
+        let j = a.join(&b);
+        let exact = a.radius().max(b.radius());
+        assert!((j.radius() - exact).abs() < 1e-15, "rad(join) = max of radii");
+        // the common part keeps correlation: joining x with itself is x
+        let x = ErrorForm::noise(7, 0.25);
+        assert_eq!(x.join(&x), x);
+        // opposite signs share nothing
+        let n = ErrorForm::noise(1, 0.3);
+        let jn = n.join(&n.neg());
+        assert!((jn.radius() - 0.3).abs() < 1e-15);
+        assert!(jn.sub(&n).radius() <= 0.6 + 1e-15);
+    }
+
+    #[test]
+    fn scale_and_top_behave() {
+        let x = ErrorForm::noise(1, 0.5).scale(-2.0);
+        assert_eq!(x.radius(), 1.0);
+        assert_eq!(x.add(&ErrorForm::noise(1, 1.0)).radius(), 0.0, "−2·(0.5ε) + 1ε cancels");
+        assert!(ErrorForm::noise(1, f64::INFINITY).is_top());
+        assert!(ErrorForm::residual(f64::NAN).is_top());
+        assert!(x.scale(f64::NAN).is_top());
+        assert!(ErrorForm::top().radius().is_infinite());
+    }
+
+    #[test]
+    fn term_cap_folds_smallest_into_residual() {
+        let mut f = ErrorForm::zero();
+        for s in 0..200u32 {
+            f = f.add(&ErrorForm::noise(s, 1.0 + s as f64));
+        }
+        let rad: f64 = (0..200).map(|s| 1.0 + s as f64).sum();
+        assert!((f.radius() - rad).abs() < 1e-9, "folding preserves the radius");
+        assert!(f.terms.len() <= MAX_TERMS);
+    }
+
+    #[test]
+    fn join_with_zero_decorrelates_but_keeps_radius() {
+        let x = ErrorForm::noise(1, 0.4);
+        let j = x.join(&ErrorForm::zero());
+        assert!((j.radius() - 0.4).abs() < 1e-15);
+    }
+}

@@ -115,6 +115,11 @@ pub struct LintOptions {
     pub input_ranges: BTreeMap<String, (f64, f64)>,
     /// Per-rule severity overrides.
     pub config: LintConfig,
+    /// Certified quantization-error analysis to run (`None` skips the
+    /// `num.q15-error` / `num.coeff-quantization` / `num.error-growth`
+    /// rules). [`crate::checked_generate`] enables it automatically for
+    /// fixed-point codegen.
+    pub quant: Option<crate::num::QuantOptions>,
 }
 
 impl Default for LintOptions {
@@ -124,6 +129,7 @@ impl Default for LintOptions {
             format: None,
             input_ranges: BTreeMap::new(),
             config: LintConfig::new(),
+            quant: None,
         }
     }
 }
@@ -147,6 +153,9 @@ pub struct DiagramLint {
     pub dead: Vec<usize>,
     /// Whether every block's bounds are finite.
     pub all_finite: bool,
+    /// The certified quantization-error analysis, when one was requested
+    /// via [`LintOptions::quant`].
+    pub quant: Option<crate::num::QuantAnalysis>,
 }
 
 impl DiagramLint {
@@ -176,8 +185,11 @@ pub fn lint_fingerprint(fp: &DiagramFingerprint, dt: f64, opts: &LintOptions) ->
     let dead = check_dead(fp, config, &mut report);
     check_const_fold(fp, config, &mut report);
     check_rates(fp, dt, config, &mut report);
+    let quant = opts.quant.as_ref().map(|q| {
+        crate::num::check_quant(fp, dt, opts.horizon_steps, q, &ia.bounds, config, &mut report)
+    });
 
-    DiagramLint { report, bounds: ia.bounds, dead, all_finite: ia.all_finite }
+    DiagramLint { report, bounds: ia.bounds, dead, all_finite: ia.all_finite, quant }
 }
 
 fn path_of(fp: &DiagramFingerprint, idx: usize) -> String {

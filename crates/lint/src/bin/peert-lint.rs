@@ -7,11 +7,13 @@
 //! set) to demonstrate what a refusal looks like.
 
 use peert_lint::demo::demo_lint;
-use peert_lint::{render_json, render_text};
+use peert_lint::diag::explain_rule;
+use peert_lint::{render_json, render_text, rules};
 
-const USAGE: &str = "usage: peert-lint [--format text|json] [--defect]\n\
+const USAGE: &str = "usage: peert-lint [--format text|json] [--defect] [--explain RULE_ID]\n\
   --format text|json  output format (default: text)\n\
-  --defect            lint the seeded-defect variant of the demo model\n";
+  --defect            lint the seeded-defect variant of the demo model\n\
+  --explain RULE_ID   print a rule's documentation and exit (see --explain list)\n";
 
 fn main() {
     let mut json = false;
@@ -27,6 +29,28 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    eprintln!("--explain expects a rule ID\n{USAGE}");
+                    std::process::exit(2);
+                };
+                if id == "list" {
+                    for r in rules::ALL_RULES {
+                        println!("{r}");
+                    }
+                    return;
+                }
+                match explain_rule(&id) {
+                    Some(text) => {
+                        print!("{text}");
+                        return;
+                    }
+                    None => {
+                        eprintln!("unknown rule '{id}' — try --explain list");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--defect" => defect = true,
             "--help" | "-h" => {
                 print!("{USAGE}");

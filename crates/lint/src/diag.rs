@@ -53,6 +53,19 @@ pub mod rules {
     /// IDs) breaks its deadline or the response-time bound of the task
     /// waiting on it.
     pub const SCHED_BUS_DELAY: &str = "sched.bus-delay";
+    /// The certified quantization-error bound at an output port exceeds
+    /// the per-port tolerance: the generated fixed-point code is proven
+    /// able to diverge from the floating-point model by more than the
+    /// caller accepts.
+    pub const NUM_Q15_ERROR: &str = "num.q15-error";
+    /// A block coefficient is not exactly representable in the target
+    /// fixed-point format (or saturates it outright), so the generated
+    /// code computes with a perturbed coefficient.
+    pub const NUM_COEFF_QUANTIZATION: &str = "num.coeff-quantization";
+    /// A marginally-stable accumulator grows its quantization error
+    /// every step: the error fixpoint does not converge, only its
+    /// per-step growth rate is certified.
+    pub const NUM_ERROR_GROWTH: &str = "num.error-growth";
 
     /// Every rule, in catalog order. The golden test pins this list.
     pub const ALL_RULES: &[&str] = &[
@@ -74,6 +87,9 @@ pub mod rules {
         CFG_PWM_CARRIER,
         CFG_EVENT_UNWIRED,
         SCHED_BUS_DELAY,
+        NUM_Q15_ERROR,
+        NUM_COEFF_QUANTIZATION,
+        NUM_ERROR_GROWTH,
     ];
 }
 
@@ -88,10 +104,214 @@ pub fn default_severity(rule: &str) -> Severity {
         | rules::CFG_BEAN_MISSING
         | rules::CFG_ADC_WIDTH
         | rules::CFG_TIMER_PERIOD
-        | rules::SCHED_BUS_DELAY => Severity::Error,
+        | rules::SCHED_BUS_DELAY
+        | rules::NUM_Q15_ERROR => Severity::Error,
         rules::GRAPH_CONST_FOLD => Severity::Note,
         _ => Severity::Warning,
     }
+}
+
+/// Documentation for one stable rule: what it checks, why it matters,
+/// and what a finding looks like. Every ID in [`rules::ALL_RULES`] has
+/// one (the golden test enforces it).
+pub struct RuleDoc {
+    /// The stable rule ID.
+    pub id: &'static str,
+    /// One-paragraph explanation of what the rule proves or flags.
+    pub doc: &'static str,
+    /// A representative finding, in the text renderer's shape.
+    pub example: &'static str,
+}
+
+/// Look up the documentation for a stable rule ID.
+pub fn rule_doc(rule: &str) -> Option<RuleDoc> {
+    let (doc, example): (&'static str, &'static str) = match rule {
+        rules::NUM_OVERFLOW => (
+            "The interval analysis proves a block's output range lies entirely outside the \
+             chosen fixed-point format: every reachable value on at least one side saturates, \
+             so the generated code cannot represent the signal at all. This is a hard numeric \
+             fault, not a precision concern — the block must be rescaled or the format widened \
+             before codegen.",
+            "error[num.overflow] model/boost: output range [2.000000, 4.000000] lies outside \
+             sfix16_En15 \u{d7} 1 = [-1.000000, 0.999969] — every value saturates",
+        ),
+        rules::NUM_SATURATION => (
+            "The output range partially exceeds the chosen format: some reachable values \
+             would clamp at the rail while others pass through. Depending on the controller \
+             this may be intended (saturating arithmetic is well-defined) or a sign the scale \
+             factor is too small; the lint warns so the choice is deliberate.",
+            "warning[num.saturation] model/orphan: output range [-1.200000, 3.600000] exceeds \
+             sfix16_En15 \u{d7} 1 = [-1.000000, 0.999969] — some values will saturate",
+        ),
+        rules::NUM_DIV_ZERO => (
+            "A block parameter makes the block divide by zero every step (a zero quantization \
+             interval, a zero sample period in a derivative). The dataflow downstream of the \
+             block is NaN/\u{221e} from the first tick, so code generation is refused.",
+            "error[num.div-zero] model/quant: quantization interval is 0 — the block divides \
+             by it",
+        ),
+        rules::NUM_NAN => (
+            "A non-finite parameter (NaN or \u{b1}\u{221e}) injects poison into the dataflow: \
+             every arithmetic block it reaches produces NaN, comparisons silently go false, \
+             and the generated fixed-point code would quantize it to an arbitrary finite \
+             value. Denied at the source block.",
+            "error[num.nan] model/g: parameter 'gain' is not finite",
+        ),
+        rules::GRAPH_UNCONNECTED => (
+            "An input port has no incoming wire and silently reads the default value 0. \
+             Occasionally intended for optional ports, but far more often a diagram editing \
+             slip that turns a feedback term off without any runtime symptom.",
+            "warning[graph.unconnected] model/sum: input port 1 is unconnected and reads 0",
+        ),
+        rules::GRAPH_DEAD => (
+            "The block's output reaches no sink, outport, or hardware block along any wire, \
+             so nothing observable depends on it. Removal is trajectory-preserving; keeping \
+             it costs cycles on the target every step.",
+            "warning[graph.dead] model/orphan: output reaches no sink, outport, or hardware \
+             block — the block has no observable effect",
+        ),
+        rules::GRAPH_CONST_FOLD => (
+            "Every input of a feedthrough block is constant, so the block computes the same \
+             value every step. The subgraph can be folded into a single Constant at compile \
+             time — free cycles on the target, and one fewer quantization site in the \
+             fixed-point error budget.",
+            "note[graph.const-fold] model/trim_gain: all inputs are constant — the block \
+             computes the same value every step",
+        ),
+        rules::RATE_QUANTIZED => (
+            "A block's discrete sample period is not an integer multiple of the engine \
+             fundamental step, so the execution plan quantizes it to the nearest integer \
+             step count — the block actually runs at a distorted rate. The controller's \
+             coefficients were designed for the nominal period, not the planned one.",
+            "warning[rate.quantized] model/filt: period 0.0015s is planned as 2 steps of \
+             0.001s (runs at 0.002s, 33.3% off)",
+        ),
+        rules::RATE_TRANSITION => (
+            "A wire crosses between blocks that run at different rates without a hold or \
+             delay block in between. The faster side reads a value that changes mid-frame \
+             (or the slower side misses samples); a ZeroOrderHold/UnitDelay at the boundary \
+             makes the transfer deterministic.",
+            "warning[rate.transition] model/mix: input from 'fast' at 0.001s crosses to \
+             0.010s without a rate-transition block",
+        ),
+        rules::SCHED_UTIL => (
+            "The static utilization bound of the task set is at or beyond CPU capacity \
+             (\u{2265} 100%): no schedule, preemptive or not, can run all tasks at their \
+             periods. Denied because the executive would lose ticks from the first overrun.",
+            "error[sched.util] project/tasks: utilization 123.0% exceeds capacity",
+        ),
+        rules::SCHED_OVERRUN => (
+            "The non-preemptive response-time bound of a task exceeds its period: in the \
+             worst phasing, the task misses its own next activation while waiting for \
+             longer-running peers. Mirrors the peert-rtexec executive exactly, so a clean \
+             bound is a proof the executive cannot report a lost interrupt.",
+            "error[sched.overrun] project/TI1: response bound 12.0ms exceeds period 10.0ms",
+        ),
+        rules::CFG_BEAN => (
+            "A finding imported from the bean expert system (the paper's design-error \
+             checker for peripheral configurations), re-anchored to the project path under \
+             the unified diagnostic model. Severity follows the expert system's own rating.",
+            "warning[cfg.bean] project/AD1: conversion time 12.3\u{b5}s exceeds the sample \
+             window",
+        ),
+        rules::CFG_BEAN_MISSING => (
+            "A hardware block in the diagram references a Processor Expert bean that does \
+             not exist in the project: the generated glue code would call into a driver \
+             that was never configured. Denied — the project and model have drifted apart.",
+            "error[cfg.bean-missing] model/adc: references bean 'AD1' which is not in the \
+             project",
+        ),
+        rules::CFG_ADC_WIDTH => (
+            "The ADC block's declared bit width disagrees with the bean's configured \
+             resolution: the scaling constants baked into the generated code would be \
+             computed for the wrong full-scale count, silently gaining or losing a power \
+             of two.",
+            "error[cfg.adc-width] model/adc: block expects 12-bit samples but bean 'AD1' \
+             converts at 10 bits",
+        ),
+        rules::CFG_TIMER_PERIOD => (
+            "A timer-driven block's period disagrees with the timer bean's configured \
+             interrupt period: the control law would execute at a different rate than it \
+             was designed (and than the schedulability analysis assumed). Denied as a \
+             cross-layer inconsistency.",
+            "error[cfg.timer-period] model/ctrl: block period 1.0ms but bean 'TI1' fires \
+             every 1.2ms",
+        ),
+        rules::CFG_PWM_CARRIER => (
+            "The PWM bean's carrier frequency is slower than the control rate commanding \
+             it: duty-cycle updates arrive faster than the carrier can realize them, so \
+             commands are dropped at the hardware boundary.",
+            "warning[cfg.pwm-carrier] model/pwm: control rate 0.5ms updates faster than \
+             carrier period 1.0ms",
+        ),
+        rules::CFG_EVENT_UNWIRED => (
+            "A hardware block exposes an event (interrupt) port with no function-call \
+             target wired: the interrupt fires on the target and is acknowledged by a stub \
+             that runs nothing. Usually a missing wire to the controller's trigger input.",
+            "warning[cfg.event-unwired] model/adc: event port 'OnEnd' has no wired target",
+        ),
+        rules::SCHED_BUS_DELAY => (
+            "A bus message's worst-case transmission delay — blocking by the longest \
+             lower-priority frame plus interference from every higher-priority ID — breaks \
+             its deadline or pushes the response-time bound of the task waiting on it past \
+             that task's period. The distributed analogue of sched.overrun.",
+            "error[sched.bus-delay] bus/cmd: worst-case delay 4.2ms exceeds deadline 2.0ms",
+        ),
+        rules::NUM_Q15_ERROR => (
+            "The certified quantization-error bound at an output port exceeds the per-port \
+             tolerance. The bound comes from the affine-arithmetic error analysis: one \
+             noise symbol per quantization site (block-output rounding, coefficient \
+             storage, boundary conversion), propagated so correlated errors cancel. A \
+             denial is a proof the generated fixed-point code can diverge from the \
+             floating-point model by more than the caller accepts — not a measurement.",
+            "error[num.q15-error] model/out: certified quantization error 3.052e-4 exceeds \
+             the port tolerance 1.000e-4 over 1000 steps",
+        ),
+        rules::NUM_COEFF_QUANTIZATION => (
+            "A Gain or transfer-function coefficient is not exactly representable in the \
+             target fixed-point format. Outside the format's range the stored value \
+             saturates outright (denied — the generated code computes with a different \
+             controller); inside it, the coefficient rounds to the nearest grid point and \
+             the analysis charges the resulting perturbation to the error budget (warning).",
+            "error[num.coeff-quantization] model/g: coefficient 'gain' = 1.5 saturates Q15 \
+             ([-1, 0.999969482421875]) — FRAC16 clamps it",
+        ),
+        rules::NUM_ERROR_GROWTH => (
+            "A marginally-stable accumulator (an unlimited integrator, a filter on the \
+             stability boundary) grows its quantization error every step: the error \
+             fixpoint does not converge, and only a per-step growth rate can be certified. \
+             The reported rate makes the bound linear in the run horizon — acceptable for \
+             bounded missions, a red flag for continuous operation.",
+            "warning[num.error-growth] model/int: 'DiscreteIntegrator' accumulates \
+             quantization error at 1.526e-8 per step — the bound is linear in the horizon, \
+             not a fixpoint",
+        ),
+        _ => return None,
+    };
+    Some(RuleDoc { id: rules::ALL_RULES.iter().find(|r| **r == rule)?, doc, example })
+}
+
+/// Render the `--explain` text for a rule: doc paragraph, default
+/// severity (and whether it denies codegen), and an example finding.
+/// One function shared by the CLI and the golden test so the printed
+/// explanation cannot drift from the rule table.
+pub fn explain_rule(rule: &str) -> Option<String> {
+    let d = rule_doc(rule)?;
+    let sev = default_severity(d.id);
+    let deny = if sev == Severity::Error { " (denies codegen)" } else { "" };
+    let sev_name = match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    };
+    Some(format!(
+        "{id}\n  default severity: {sev_name}{deny}\n\n{doc}\n\nexample:\n  {ex}\n",
+        id = d.id,
+        sev_name = sev_name,
+        deny = deny,
+        doc = d.doc,
+        ex = d.example,
+    ))
 }
 
 /// One diagnostic: a stable rule ID, a severity, the block/bean path it

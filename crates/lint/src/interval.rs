@@ -246,7 +246,7 @@ pub fn param_s<'a>(params: &'a [(String, ParamValue)], key: &str) -> Option<&'a 
 
 /// Parse a comma-joined coefficient list (`DiscreteTransferFcn` encodes
 /// `num`/`den` this way in its parameter bag).
-fn param_coeffs(params: &[(String, ParamValue)], key: &str) -> Option<Vec<f64>> {
+pub(crate) fn param_coeffs(params: &[(String, ParamValue)], key: &str) -> Option<Vec<f64>> {
     let s = param_s(params, key)?;
     if s.is_empty() {
         return Some(Vec::new());

@@ -27,15 +27,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affine;
 pub mod analysis;
 pub mod cross;
 pub mod demo;
 pub mod diag;
 pub mod interval;
+pub mod num;
 pub mod render;
 pub mod sched;
 
+pub use affine::ErrorForm;
 pub use analysis::{lint_fingerprint, DiagramLint, FormatSpec, LintOptions};
+pub use num::{
+    analyze_errors, certify_ports, check_quant, ErrorCertificate, ErrorModel, QuantAnalysis,
+    QuantOptions,
+};
 pub use cross::{lint_block_beans, lint_project};
 pub use diag::{default_severity, rules, Diagnostic, LintConfig, LintReport, RuleAction, Severity};
 pub use interval::{analyze, analyze_with_inputs, Interval, IntervalAnalysis};
@@ -98,10 +105,17 @@ pub fn checked_generate(
     lint_opts: &LintOptions,
 ) -> Result<(ControllerCode, LintReport), CheckedGenerateError> {
     let mut effective = lint_opts.clone();
-    if effective.format.is_none()
-        && matches!(opts.arithmetic, peert_codegen::Arithmetic::FixedQ15)
-    {
-        effective.format = Some(FormatSpec::q15());
+    if matches!(opts.arithmetic, peert_codegen::Arithmetic::FixedQ15) {
+        if effective.format.is_none() {
+            effective.format = Some(FormatSpec::q15());
+        }
+        // fixed-point codegen always gets the certified error analysis
+        // (coefficient representability is a deny-class property of the
+        // generated code, not an opt-in)
+        if effective.quant.is_none() {
+            let spec = effective.format.unwrap_or_else(FormatSpec::q15);
+            effective.quant = Some(QuantOptions::new(ErrorModel::all_blocks(&spec)));
+        }
     }
     let lint = lint_diagram(controller.diagram(), opts.dt, &effective);
     if !lint.report.is_deny_clean() {

@@ -7,6 +7,92 @@ use peert_lint::demo::demo_lint;
 use peert_lint::{render_json, render_text, rules, Severity};
 use peert_trace::JsonValue;
 
+mod widening {
+    //! Satellite: the widening-interaction golden. A seeded family of
+    //! unlimited accumulators drives the *value* interval analysis to ⊤
+    //! (widening fires), yet the affine error pass still certifies a
+    //! finite per-step growth rate — the exact situation the
+    //! `num.error-growth` rule exists for. The finding is pinned.
+
+    use peert_lint::{lint_diagram, rules, ErrorModel, FormatSpec, LintOptions, QuantOptions};
+    use peert_model::graph::Diagram;
+    use peert_model::library::discrete::UnitDelay;
+    use peert_model::library::math::{Gain, Sum};
+    use peert_model::library::sources::Constant;
+    use peert_model::subsystem::Outport;
+
+    /// One member of the accumulator family: a seeded constant drive
+    /// into an unlimited feedback accumulator `x' = x + drive` built
+    /// from a Sum and a UnitDelay.
+    fn accumulator(seed: u64) -> Diagram {
+        let mut d = Diagram::new();
+        let drive = 0.001 + (seed % 7) as f64 * 0.002;
+        let c = d.add("drive", Constant::new(drive)).unwrap();
+        let g = d.add("g", Gain::new(0.25)).unwrap();
+        d.connect((c, 0), (g, 0)).unwrap();
+        let s = d.add("s", Sum::new("++").unwrap()).unwrap();
+        let acc = d.add("acc", UnitDelay::new(1e-3)).unwrap();
+        d.connect((g, 0), (s, 0)).unwrap();
+        d.connect((acc, 0), (s, 1)).unwrap();
+        d.connect((s, 0), (acc, 0)).unwrap();
+        let o = d.add("out", Outport).unwrap();
+        d.connect((s, 0), (o, 0)).unwrap();
+        d
+    }
+
+    #[test]
+    fn interval_widens_to_top_but_affine_certifies_growth() {
+        for seed in 0..5u64 {
+            let d = accumulator(seed);
+            let mut opts = LintOptions::with_format(FormatSpec::q15());
+            opts.quant =
+                Some(QuantOptions::new(ErrorModel::all_blocks(&FormatSpec::q15())));
+            let lint = lint_diagram(&d, 1e-3, &opts);
+            // the value analysis lost: widening took the integrator to ⊤
+            assert!(!lint.all_finite, "seed {seed}: interval pass must widen to top");
+            // the error analysis still certifies a finite per-step rate
+            let qa = lint.quant.as_ref().unwrap();
+            assert!(!qa.converged, "seed {seed}");
+            let growing: Vec<usize> =
+                (0..qa.state_growth.len()).filter(|&i| qa.state_growth[i] > 0.0).collect();
+            assert!(!growing.is_empty(), "seed {seed}: no accumulator flagged");
+            for &i in &growing {
+                assert!(qa.affine[i].is_finite(), "seed {seed}: growth without a bound");
+            }
+            assert!(lint.report.has_rule(rules::NUM_ERROR_GROWTH), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn growth_finding_is_pinned() {
+        // seed 0: the delay state absorbs its own rounding plus the sum
+        // and gain stages' each step — 3.25·q per step exactly
+        let d = accumulator(0);
+        let mut opts = LintOptions::with_format(FormatSpec::q15());
+        opts.quant = Some(QuantOptions::new(ErrorModel::all_blocks(&FormatSpec::q15())));
+        let lint = lint_diagram(&d, 1e-3, &opts);
+        let f = lint
+            .report
+            .diagnostics()
+            .iter()
+            .find(|f| f.rule == rules::NUM_ERROR_GROWTH)
+            .expect("growth finding present");
+        assert_eq!(f.path, "model/acc");
+        assert_eq!(
+            f.message,
+            "'UnitDelay' accumulates quantization error at 4.959e-5 per step — \
+             the bound is linear in the horizon, not a fixpoint"
+        );
+        // the certificate agrees: growing port, finite bound over the
+        // 1000-step horizon
+        let qa = lint.quant.as_ref().unwrap();
+        let cert = &qa.certificates[0];
+        assert_eq!(cert.port, "out");
+        assert!(cert.growth_per_step > 0.0);
+        assert_eq!(cert.horizon_steps, 1000);
+    }
+}
+
 const CLEAN_TEXT: &str = "\
 note[graph.const-fold] model/trim_gain: all inputs are constant — the block computes the same value every step
   = help: fold the subgraph into a single Constant block
@@ -105,6 +191,9 @@ fn rule_ids_are_stable() {
             "cfg.pwm-carrier",
             "cfg.event-unwired",
             "sched.bus-delay",
+            "num.q15-error",
+            "num.coeff-quantization",
+            "num.error-growth",
         ]
     );
     // the deny-by-default set is exactly this
@@ -125,6 +214,45 @@ fn rule_ids_are_stable() {
             "cfg.adc-width",
             "cfg.timer-period",
             "sched.bus-delay",
+            "num.q15-error",
         ]
     );
+}
+
+#[test]
+fn every_rule_has_an_explanation() {
+    for r in rules::ALL_RULES {
+        let text = peert_lint::diag::explain_rule(r)
+            .unwrap_or_else(|| panic!("rule {r} has no --explain documentation"));
+        assert!(text.starts_with(r), "explanation for {r} must lead with the ID");
+        assert!(text.contains("default severity:"), "{r}");
+        assert!(text.contains("example:"), "{r}");
+        // the example should be a rendered finding of this very rule
+        assert!(text.contains(&format!("[{r}]")), "example for {r} names another rule");
+    }
+    assert!(peert_lint::diag::explain_rule("num.bogus").is_none());
+}
+
+#[test]
+fn explain_output_is_pinned_for_the_new_numeric_rules() {
+    // the full explain text for the three PR-10 rules is part of the CLI
+    // contract — a drift here is a doc change that must be deliberate
+    let text = peert_lint::diag::explain_rule(rules::NUM_ERROR_GROWTH).unwrap();
+    assert_eq!(
+        text,
+        "num.error-growth\n  default severity: warning\n\n\
+         A marginally-stable accumulator (an unlimited integrator, a filter on the \
+         stability boundary) grows its quantization error every step: the error \
+         fixpoint does not converge, and only a per-step growth rate can be certified. \
+         The reported rate makes the bound linear in the run horizon — acceptable for \
+         bounded missions, a red flag for continuous operation.\n\n\
+         example:\n  \
+         warning[num.error-growth] model/int: 'DiscreteIntegrator' accumulates \
+         quantization error at 1.526e-8 per step — the bound is linear in the horizon, \
+         not a fixpoint\n"
+    );
+    let q15 = peert_lint::diag::explain_rule(rules::NUM_Q15_ERROR).unwrap();
+    assert!(q15.starts_with("num.q15-error\n  default severity: error (denies codegen)\n"));
+    let coeff = peert_lint::diag::explain_rule(rules::NUM_COEFF_QUANTIZATION).unwrap();
+    assert!(coeff.starts_with("num.coeff-quantization\n  default severity: warning\n"));
 }

@@ -139,6 +139,18 @@ fn main() {
                 report.bus_degraded,
                 report.bus_retries
             );
+            println!(
+                "  numeric: {} case(s) within the certified quantization bounds \
+                 ({} port(s) checked bit-level, worst measured/bound {:.3}; affine \
+                 strictly tighter than interval on {}/{} nontrivial port(s); \
+                 {} seeded defect(s) refused by exact rule ID)",
+                report.numeric_cases,
+                report.numeric_ports,
+                report.numeric_worst_ratio,
+                report.numeric_strict,
+                report.numeric_eligible,
+                report.numeric_defects
+            );
         }
         Err(fail) => {
             eprintln!(

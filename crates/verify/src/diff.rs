@@ -248,7 +248,7 @@ fn check_codegen_determinism(case: &ControllerCase) -> Result<(), String> {
 
 /// Sensor full-scale for the wire. Stimuli are bounded to |v| ≤ 0.75, so
 /// a fixed 2.0 leaves ≥ 62 % headroom — quantization never clips.
-const SENSOR_SCALE: f64 = 2.0;
+pub(crate) const SENSOR_SCALE: f64 = 2.0;
 
 /// Drive `case` through a [`PilSession`] under `faults` and return the
 /// stats plus the actuation bit stream the host received each step.
@@ -381,18 +381,28 @@ pub fn run_pil_case(case: &ControllerCase, mcu: &McuSpec) -> Result<PilCaseRepor
         ));
     }
 
-    // oracle (b): bounded divergence from the exact MIL trajectory
+    // oracle (b): bounded divergence from the exact MIL trajectory —
+    // per-channel tolerances are the *certified* quantization bounds
+    // from the affine error analysis under the boundary model (sensor
+    // round-trip ≤ half an LSB at SENSOR_SCALE in, actuation rounding
+    // ≤ half an LSB at act_scale out, exact f64 in between)
     let mil = mil_outputs(case)?;
-    let amp = case.error_amplification();
-    let outs = case.output_indices();
     let q_sensor = SENSOR_SCALE / 32_768.0;
     let q_act = act_scale / 32_768.0;
+    let certs = case.certified_bounds(q_sensor / 2.0, q_act / 2.0)?;
+    if certs.len() != case.n_outputs() {
+        return Err(format!(
+            "{} certificate(s) for {} output channel(s)",
+            certs.len(),
+            case.n_outputs()
+        ));
+    }
     let mut report = PilCaseReport { activations, ..Default::default() };
     for (step, bits) in received.iter().enumerate() {
         for (ch, &b) in bits.iter().enumerate() {
             let pil = f64::from_bits(b);
             let exact = mil[step][ch];
-            let tol = amp[outs[ch]] * q_sensor / 2.0 + q_act / 2.0 + 1e-9;
+            let tol = certs[ch].bound + 1e-9;
             let err = (pil - exact).abs();
             if err > tol {
                 return Err(format!(

@@ -23,6 +23,8 @@ use crate::spec::{BlockSpec, ControllerCase, DiagramSpec};
 const MIL_STREAM: u64 = 0x4D49_4C00_0000_0000;
 /// Stream tag for controller/PIL cases.
 const CTL_STREAM: u64 = 0x4354_4C00_0000_0000;
+/// Stream tag for numeric-certificate cases.
+const NUM_STREAM: u64 = 0x4E55_4D00_0000_0000;
 
 /// Fundamental step shared by all generated diagrams.
 pub const DT: f64 = 1e-3;
@@ -185,6 +187,63 @@ pub fn gen_controller_case(seed: u64, case: u64) -> ControllerCase {
     ControllerCase { ctl: DiagramSpec { dt: DT, blocks, wires }, stim, steps: 48 }
 }
 
+/// Generate numeric-phase case `case` of seed `seed`: a single-rate
+/// forward DAG over the affine-friendly block set, opening with a
+/// mixed-sign diamond — one bounded source fanned through two positive
+/// gains into a `+-` sum — whose correlated rounding errors must
+/// cancel, followed by a 2–7 block tail wired strictly into the
+/// diamond's cone (so every tail port has wire depth ≥ 3), closed by
+/// 1–2 `Output` markers. [`crate::numchk::run_numeric_case`] holds the
+/// certified error bounds against a bit-level quantized replica of
+/// these diagrams.
+pub fn gen_numeric_spec(seed: u64, case: u64) -> DiagramSpec {
+    let mut r = Rng::derive(seed, NUM_STREAM ^ case);
+    let mut blocks = vec![match r.below(3) {
+        0 => BlockSpec::Constant { value: r.range_f64(-0.75, 0.75) },
+        1 => BlockSpec::Step { time: r.range_f64(0.0, 0.02), level: r.range_f64(-0.75, 0.75) },
+        _ => {
+            BlockSpec::Sine { amplitude: r.range_f64(0.1, 0.75), freq_hz: r.range_f64(0.5, 40.0) }
+        }
+    }];
+    blocks.push(BlockSpec::Gain { gain: r.range_f64(0.05, 0.95) });
+    blocks.push(BlockSpec::Gain { gain: r.range_f64(0.05, 0.95) });
+    blocks.push(BlockSpec::Sum { signs: "+-".into() });
+    let mut wires = vec![(0, 0, 1, 0), (0, 0, 2, 0), (1, 0, 3, 0), (2, 0, 3, 1)];
+
+    let n_tail = 2 + r.below(6) as usize; // 2..=7
+    for i in 4..4 + n_tail {
+        let b = match r.below(8) {
+            0 | 1 => {
+                let mag = r.range_f64(0.05, 0.95);
+                BlockSpec::Gain { gain: if r.chance(1, 2) { mag } else { -mag } }
+            }
+            2 | 3 => BlockSpec::Sum { signs: r.pick(&["++", "+-"]).to_string() },
+            4 => BlockSpec::UnitDelay { period: DT },
+            5 => BlockSpec::ZeroOrderHold { period: DT },
+            6 => BlockSpec::Abs,
+            _ => BlockSpec::Saturation { lo: -r.range_f64(1.5, 2.5), hi: r.range_f64(1.5, 2.5) },
+        };
+        let (n_in, _) = b.ports();
+        for p in 0..n_in {
+            // sources drawn from the diamond's sum onward: every tail
+            // block sits downstream of the cancellation
+            let src = 3 + r.below((i - 3) as u64) as usize;
+            wires.push((src, 0, i, p));
+        }
+        blocks.push(b);
+    }
+
+    let n_out = 1 + r.below(2) as usize;
+    let last = blocks.len();
+    for k in 0..n_out {
+        let src =
+            if k == 0 { last - 1 } else { 3 + r.below((last - 3) as u64) as usize };
+        wires.push((src, 0, last + k, 0));
+        blocks.push(BlockSpec::Output);
+    }
+    DiagramSpec { dt: DT, blocks, wires }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,7 +278,16 @@ mod tests {
                 assert!(c.ctl.wires.iter().any(|&(_, _, db, _)| db == out));
             }
             c.value_bounds();
-            c.error_amplification();
+            // every controller gets a finite certificate per output
+            let certs = c.certified_bounds(1e-4, 1e-4).expect("certification must run");
+            assert_eq!(certs.len(), c.n_outputs());
+            for cert in &certs {
+                assert!(
+                    cert.bound.is_finite(),
+                    "case {case}: infinite certified bound on '{}'",
+                    cert.port
+                );
+            }
         }
     }
 }

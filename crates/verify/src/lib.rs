@@ -32,6 +32,7 @@ pub mod diff;
 pub mod gen;
 pub mod interp;
 pub mod lintchk;
+pub mod numchk;
 pub mod rng;
 pub mod servechk;
 pub mod shrink;
@@ -101,6 +102,22 @@ pub struct SuiteReport {
     pub bus_degraded: u64,
     /// Hop retransmissions exercised across the bus schedules.
     pub bus_retries: u64,
+    /// Numeric cases whose certified quantization bounds held against
+    /// the bit-level quantized differential oracle.
+    pub numeric_cases: u64,
+    /// Block outputs checked across those cases (finite certified bound).
+    pub numeric_ports: u64,
+    /// Ports of wire depth ≥ 3 eligible for the affine-vs-interval
+    /// strictness comparison.
+    pub numeric_eligible: u64,
+    /// Eligible ports where the affine bound was strictly tighter than
+    /// the interval bound (the cancellation proof).
+    pub numeric_strict: u64,
+    /// Worst measured-error / certified-bound ratio the oracle observed.
+    pub numeric_worst_ratio: f64,
+    /// Seeded deny-class numeric defects correctly refused with their
+    /// exact stable rule IDs.
+    pub numeric_defects: u64,
 }
 
 /// A failed case: everything needed to reproduce and diagnose it.
@@ -108,7 +125,7 @@ pub struct SuiteReport {
 pub struct Failure {
     /// Which phase failed (`"mil"`, `"reset"`, `"kernel"`, `"pil"`,
     /// `"fault"`, `"arq"`, `"arq-degrade"`, `"lint"`, `"serve"`,
-    /// `"wire"`, `"bus"`).
+    /// `"wire"`, `"bus"`, `"numeric"`).
     pub phase: &'static str,
     /// The generating seed.
     pub seed: u64,
@@ -470,6 +487,73 @@ pub fn run_suite(seed: u64, cases: u64, do_shrink: bool) -> Result<SuiteReport, 
             spec: String::new(),
             blocks: 0,
         });
+    }
+
+    // numeric phase: the certified quantization bounds (affine error
+    // analysis at the covering Q15 scale) held against a bit-level
+    // quantized differential oracle over ≥64 seeded diagrams, plus the
+    // aggregate cancellation proof — affine strictly tighter than
+    // interval on ≥ 80 % of nontrivial-depth ports — and the seeded
+    // deny-class defects refused with their exact rule IDs
+    let numeric_cases = cases.max(64);
+    for case in 0..numeric_cases {
+        let spec = gen::gen_numeric_spec(seed, case);
+        match numchk::run_numeric_case(&spec, numchk::NUMERIC_STEPS) {
+            Ok(r) => {
+                report.numeric_cases += 1;
+                report.numeric_ports += r.ports;
+                report.numeric_eligible += r.eligible;
+                report.numeric_strict += r.strict;
+                if r.worst_ratio > report.numeric_worst_ratio {
+                    report.numeric_worst_ratio = r.worst_ratio;
+                }
+            }
+            Err(message) => {
+                let reported = if do_shrink {
+                    let (min, _) = shrink::shrink(&spec, |s| {
+                        numchk::run_numeric_case(s, numchk::NUMERIC_STEPS).is_err()
+                    });
+                    min
+                } else {
+                    spec.clone()
+                };
+                return Err(Failure {
+                    phase: "numeric",
+                    seed,
+                    case,
+                    message,
+                    spec: reported.to_json(),
+                    blocks: reported.blocks.len(),
+                });
+            }
+        }
+    }
+    if report.numeric_strict * 5 < report.numeric_eligible * 4 {
+        return Err(Failure {
+            phase: "numeric",
+            seed,
+            case: 0,
+            message: format!(
+                "affine strictly tighter than interval on only {}/{} nontrivial-depth \
+                 port(s) across {} cases (≥ 80 % required)",
+                report.numeric_strict, report.numeric_eligible, report.numeric_cases
+            ),
+            spec: String::new(),
+            blocks: 0,
+        });
+    }
+    match numchk::run_numeric_defect_checks() {
+        Ok(n) => report.numeric_defects = n,
+        Err(message) => {
+            return Err(Failure {
+                phase: "numeric",
+                seed,
+                case: 0,
+                message,
+                spec: String::new(),
+                blocks: 0,
+            })
+        }
     }
 
     Ok(report)

@@ -44,7 +44,7 @@ pub struct LintCaseReport {
 }
 
 /// The smallest power-of-two scale whose Q15 real range covers `m`.
-fn covering_scale(m: f64) -> f64 {
+pub(crate) fn covering_scale(m: f64) -> f64 {
     let mut scale = 1.0f64;
     // Q15 real_max is just below 1.0, so a bound of exactly `scale`
     // still needs the next power up; hence `>=`.

@@ -123,14 +123,48 @@ cargo run --release -q -p peert-lint $CARGO_ARGS -- --format json > /tmp/peert-l
 run cmp /tmp/peert-lint-1.json /tmp/peert-lint-2.json
 rm -f /tmp/peert-lint-1.json /tmp/peert-lint-2.json
 
+# rule-ID stability: the catalog is a published contract (configs and
+# CI greps reference IDs verbatim), so any rename/removal must show up
+# as a deliberate edit both here and in the golden test
+# shellcheck disable=SC2086
+cargo run --release -q -p peert-lint $CARGO_ARGS -- --explain list | sort > /tmp/peert-lint-rules.txt
+sort > /tmp/peert-lint-rules-pinned.txt <<'RULES'
+num.overflow
+num.saturation
+num.div-zero
+num.nan
+num.q15-error
+num.coeff-quantization
+num.error-growth
+graph.unconnected
+graph.dead
+graph.const-fold
+rate.quantized
+rate.transition
+sched.util
+sched.overrun
+sched.bus-delay
+cfg.bean
+cfg.bean-missing
+cfg.adc-width
+cfg.timer-period
+cfg.pwm-carrier
+cfg.event-unwired
+RULES
+run cmp /tmp/peert-lint-rules.txt /tmp/peert-lint-rules-pinned.txt
+rm -f /tmp/peert-lint-rules.txt /tmp/peert-lint-rules-pinned.txt
+
 # differential verification suite: interpreted ≡ plan (bit-exact),
 # compiled kernel tape ≡ interpreter ≡ every batched lane (bit-exact),
-# PIL within quantization tolerance, fault counters equal to the
-# schedule, ARQ recovery proofs under seeded fault schedules,
+# PIL within the *certified* quantization tolerance (the lint's
+# ErrorCertificate, not a hand-derived bound), fault counters equal to
+# the schedule, ARQ recovery proofs under seeded fault schedules,
 # multi-tenant serve schedules bit-exact with solo engine runs, wire
-# schedules over loopback TCP indistinguishable from in-process, and
+# schedules over loopback TCP indistinguishable from in-process,
 # multi-node schedules over the simulated CAN bus bit-exact vs the MIL
-# replica with exact counters.
+# replica with exact counters, and the "numeric" phase holding every
+# quantization ErrorCertificate against a bit-level exact-vs-Q15 oracle
+# at every port of every step (E20).
 # VERIFY_SEED/VERIFY_CASES override the defaults; the failing seed and
 # case are printed by the tool itself for offline reproduction.
 VERIFY_SEED="${VERIFY_SEED:-0xC0FFEE}"

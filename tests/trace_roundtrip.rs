@@ -106,6 +106,36 @@ fn traced_cycle_exports_a_loadable_chrome_trace_and_jitter_metrics() {
 }
 
 #[test]
+fn fixed_point_traced_cycle_exports_the_quantization_certificate_counters() {
+    // a fixed-point cycle additionally exports the certified error
+    // analysis: site count, certified ports, and the worst bound
+    let mut o = opts();
+    o.arithmetic = peert::servo::ControllerArithmetic::FixedQ15 { scale: 256.0 };
+    let (_report, trace) =
+        run_development_cycle_traced(&o, "MC56F8367", 115_200, 0.1).unwrap();
+    let metrics = JsonValue::parse(&trace.metrics_json).expect("valid metrics JSON");
+    let counters = metrics.get("counters").unwrap();
+    let sites = counters.get("lint.quant.sites").and_then(|v| v.as_u64());
+    assert!(sites.unwrap_or(0) > 0, "quantization sites counted: {sites:?}");
+    let ports = counters.get("lint.quant.ports").and_then(|v| v.as_u64());
+    assert_eq!(ports, Some(1), "the servo controller has one output port");
+    assert!(
+        counters.get("lint.quant.ports_certified").and_then(|v| v.as_u64()).is_some(),
+        "certified-port counter exported"
+    );
+    // present even when nothing was certifiable (the servo diagram's
+    // hardware bean blocks have no numeric transfer, so ∞ renders null)
+    let worst = metrics.get("meta").and_then(|m| m.get("lint.quant.worst_bound"));
+    assert!(worst.is_some(), "worst certified bound exported");
+
+    // the float cycle exports none of these
+    let (_report, trace) =
+        run_development_cycle_traced(&opts(), "MC56F8367", 115_200, 0.1).unwrap();
+    let metrics = JsonValue::parse(&trace.metrics_json).expect("valid metrics JSON");
+    assert!(metrics.get("counters").unwrap().get("lint.quant.sites").is_none());
+}
+
+#[test]
 fn arq_counters_round_trip_through_both_exporters() {
     // a resilient session with under-budget faults early (retries that
     // recover) and an over-budget burst late (watchdog trips, the tail
