@@ -1,0 +1,58 @@
+//! Throwaway review check: phase-2 extrapolation with a MinMax whose
+//! inputs are (a) a constant-error Relay and (b) a linearly-growing
+//! integrator. If the MinMax certified bound comes out BELOW the
+//! integrator's, the extrapolation froze a max() transfer before its
+//! crossover — unsound.
+
+use peert_lint::{analyze_errors, analyze_with_inputs, ErrorModel, FormatSpec};
+use peert_model::graph::Diagram;
+use peert_model::library::discrete::DiscreteIntegrator;
+use peert_model::library::math::MinMax;
+use peert_model::library::nonlinear::Relay;
+use peert_model::library::sources::Constant;
+use peert_model::subsystem::Outport;
+use std::collections::BTreeMap;
+
+#[test]
+fn minmax_bound_vs_growing_input() {
+    let mut d = Diagram::new();
+    let c = d.add("c", Constant::new(0.01)).unwrap();
+    let int = d.add("int", DiscreteIntegrator::new(1e-3)).unwrap();
+    let relay = d
+        .add(
+            "relay",
+            Relay { on_point: 0.5, off_point: -0.5, on_value: 5.0, off_value: 0.0, state_on: false },
+        )
+        .unwrap();
+    let mm = d.add("mm", MinMax { is_max: true, inputs: 2 }).unwrap();
+    let o = d.add("out", Outport).unwrap();
+    d.connect((c, 0), (int, 0)).unwrap();
+    d.connect((c, 0), (relay, 0)).unwrap();
+    d.connect((int, 0), (mm, 0)).unwrap();
+    d.connect((relay, 0), (mm, 1)).unwrap();
+    d.connect((mm, 0), (o, 0)).unwrap();
+    let fp = d.fingerprint();
+    let horizon = 1_000_000_000u64;
+    let ia = analyze_with_inputs(&fp, 1e-3, horizon, &BTreeMap::new());
+    let spec = FormatSpec::q15();
+    let model = ErrorModel::all_blocks(&spec);
+    let qa = analyze_errors(&fp, 1e-3, horizon, &model, &ia.bounds);
+    eprintln!("converged = {}", qa.converged);
+    eprintln!(
+        "int bound = {:e} (growth {:e}), mm bound = {:e} (growth {:e}), out bound = {:e}",
+        qa.bound[int.index()],
+        qa.growth[int.index()],
+        qa.bound[mm.index()],
+        qa.growth[mm.index()],
+        qa.bound[o.index()],
+    );
+    // soundness demands the MinMax bound cover the growing input error:
+    // |max(a,b) - max(a',b')| can equal |a - a'| when the first branch
+    // wins, so bound[mm] must be >= bound[int] - (relay const) slackless
+    assert!(
+        qa.bound[mm.index()] + 1e-9 >= qa.bound[int.index()],
+        "UNSOUND: mm bound {:e} < int bound {:e}",
+        qa.bound[mm.index()],
+        qa.bound[int.index()]
+    );
+}
